@@ -1,0 +1,534 @@
+// Command mcsanalyze runs the paper's analyses over a log file in the
+// Table 1 schema and prints each table and figure of the evaluation
+// as text: fitted models, headline statistics, and ASCII renderings
+// of the figure shapes.
+//
+// Usage:
+//
+//	mcsgen -users 20000 -o week.log
+//	mcsanalyze -i week.log
+//	mcsanalyze -i week.log -figure 3        # just Figure 3
+//	mcsanalyze -i week.log -figure table3
+package main
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mcloud/internal/core"
+	"mcloud/internal/textplot"
+	"mcloud/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("i", "-", "input log file (- for stdin)")
+		figure = flag.String("figure", "all", "which experiment to print: all, 1, 3, sessions, 4, 5, 6, 7, table3, 8, 9, 10, 12, 14, 15, 16, whatif")
+		days   = flag.Int("days", 7, "observation window in days")
+		flows  = flag.Int("idleflows", 120, "flows per class for the Fig 13/16 simulator study")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+		if strings.HasSuffix(*in, ".gz") {
+			gz, err := gzip.NewReader(f)
+			if err != nil {
+				fatal(err)
+			}
+			defer gz.Close()
+			r = gz
+		}
+	}
+
+	a := core.NewAnalyzer(core.Options{Days: *days})
+	start := time.Now()
+	badLines := 0
+	br := bufio.NewReaderSize(r, 1<<16)
+	if magic, err := br.Peek(4); err == nil && string(magic) == "mcl1" {
+		// Binary stream.
+		tr := trace.NewBinaryReader(br)
+		for {
+			l, err := tr.Read()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			a.Add(l)
+		}
+	} else {
+		// Text stream; tolerate malformed lines (e.g. a torn final
+		// record from a crashed writer): count and continue.
+		tr := trace.NewReader(br)
+		for {
+			l, err := tr.Read()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				badLines++
+				continue
+			}
+			a.Add(l)
+		}
+	}
+	if badLines > 0 {
+		fmt.Fprintf(os.Stderr, "mcsanalyze: skipped %d malformed lines\n", badLines)
+	}
+	res, err := a.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("analyzed %d logs from %d users in %v\n",
+		res.Logs, res.Users, time.Since(start).Round(time.Millisecond))
+	for _, w := range res.Warnings {
+		fmt.Fprintf(os.Stderr, "mcsanalyze: warning: %s\n", w)
+	}
+	fmt.Println()
+
+	want := func(keys ...string) bool {
+		if *figure == "all" {
+			return true
+		}
+		for _, k := range keys {
+			if *figure == k {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("1") {
+		printFigure1(res)
+	}
+	if want("3") {
+		printFigure3(res)
+	}
+	if want("sessions") {
+		printSessions(res)
+	}
+	if want("4") {
+		printFigure4(res)
+	}
+	if want("5") {
+		printFigure5(res)
+	}
+	if want("6", "table2") {
+		printFigure6(res)
+	}
+	if want("7") {
+		printFigure7(res)
+	}
+	if want("table3") {
+		printTable3(res)
+	}
+	if want("8") {
+		printFigure8(res)
+	}
+	if want("9") {
+		printFigure9(res)
+	}
+	if want("10") {
+		printFigure10(res)
+	}
+	if want("12") {
+		printFigure12(res)
+	}
+	if want("14") {
+		printFigure14(res)
+	}
+	if want("15") {
+		printFigure15(res)
+	}
+	if want("13", "16") {
+		printIdleStudy(*flows)
+	}
+	if want("whatif") {
+		printWhatIfs()
+	}
+}
+
+// printWhatIfs runs the design-implication studies the paper proposes
+// but could not evaluate on its dataset (no file identifiers): the
+// web-cache offload under assumed Zipf popularity and the f4-style
+// warm-storage cost split.
+func printWhatIfs() {
+	fmt.Println("== What-ifs: design implications (Table 4) ==")
+	cache, err := core.RunCacheStudy(core.CacheStudyConfig{Seed: 1})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("web-cache proxies for downloads (assumed Zipf 1.1 popularity):")
+	for _, p := range cache.Points {
+		fmt.Printf("  cache = %4.0f%% of catalog: hit rate %.1f%%, origin offload %.1f%%\n",
+			100*p.CacheFrac, 100*p.HitRate, 100*p.ByteHitRate)
+	}
+	tier, err := core.RunTieringStudy(core.TieringStudyConfig{Seed: 1})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nf4-style warm storage (reads on %.0f%% of uploads, cold price %.1fx hot):\n",
+		100*tier.Config.ReadProb, tier.Config.ColdPrice/tier.Config.HotPrice)
+	fmt.Printf("  demotions %d, promotions %d, cold share at day %d: %.1f%%\n",
+		tier.Stats.Demotions, tier.Stats.Promotions, tier.Config.Days, 100*tier.ColdShareEnd)
+	fmt.Printf("  storage cost: %.3g tiered vs %.3g hot-only -> %.1f%% saving\n",
+		tier.TieredCost, tier.HotOnlyCost, 100*tier.Saving)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsanalyze:", err)
+	os.Exit(1)
+}
+
+func gb(v int64) string { return fmt.Sprintf("%.2f GB", float64(v)/1e9) }
+
+func printFigure1(res core.Results) {
+	w := res.Workload
+	fmt.Println("== Figure 1: temporal variation of workload ==")
+	fmt.Printf("total stored: %s in %d files; retrieved: %s in %d files\n",
+		gb(w.TotalStoreVol), w.TotalStoreFile, gb(w.TotalRetrVol), w.TotalRetrFile)
+	fmt.Printf("stored/retrieved file ratio: %.2f (paper: >2x)\n", w.FileRatio())
+	fmt.Printf("retrieved/stored volume ratio: %.2f (paper: retrievals dominate)\n", w.VolumeRatio())
+	fmt.Printf("peak local hour: %02d:00 (paper: surge ~23:00), peak/trough %.1fx\n\n",
+		w.PeakHourOfDay, w.PeakToTrough)
+
+	var xs, store, retr []float64
+	for _, h := range w.Hours {
+		xs = append(xs, float64(h.Hour))
+		store = append(store, float64(h.StoreVol)/1e9)
+		retr = append(retr, float64(h.RetrVol)/1e9)
+	}
+	fmt.Println(textplot.Render(textplot.Options{
+		Title: "Fig 1a: hourly data volume (GB)", XLabel: "hour of week", Width: 70, Height: 12,
+	}, textplot.Series{Name: "store", Xs: xs, Ys: store}, textplot.Series{Name: "retrieve", Xs: xs, Ys: retr}))
+}
+
+func printFigure3(res core.Results) {
+	io := res.InterOp
+	fmt.Println("== Figure 3: inter-file-operation time ==")
+	if !io.Fitted() {
+		fmt.Println("(not enough inter-operation gaps for the mixture fit)")
+		fmt.Println()
+		return
+	}
+	fmt.Printf("gaps fitted: %d\n", io.Gaps)
+	fmt.Printf("GMM: %v\n", io.Mixture)
+	fmt.Printf("in-session mean: %.1f s (paper ~10 s); inter-session mean: %.0f s ≈ %.2f days (paper ~1 day)\n",
+		io.InSessionMeanSec(), io.InterSessionMeanSec(), io.InterSessionMeanSec()/86400)
+	fmt.Printf("histogram valley: %.0f s; component crossover: %.0f s; τ := %.0f s (1 hour)\n\n",
+		io.ValleySec, io.CrossoverSec, io.TauSec)
+
+	h := io.Hist.H
+	centers := make([]float64, len(h.Counts))
+	for i := range centers {
+		centers[i] = h.BinCenter(i)
+	}
+	fmt.Println(textplot.Histogram("histogram of log10(gap seconds), -1..7", centers, h.Counts, 70, 10))
+}
+
+func printSessions(res core.Results) {
+	s := res.Sessions
+	fmt.Println("== §3.1.1: session classification ==")
+	fmt.Printf("sessions: %d\n", s.Stats.Total)
+	fmt.Printf("store-only: %.1f%% (paper 68.2%%)  retrieve-only: %.1f%% (paper 29.9%%)  mixed: %.1f%% (paper ~2%%)\n\n",
+		100*s.StoreOnlyFrac, 100*s.RetrieveOnlyFrac, 100*s.MixedFrac)
+}
+
+func printFigure4(res core.Results) {
+	s := res.Sessions
+	fmt.Println("== Figure 4: burstiness of file operations ==")
+	fmt.Printf("P(normalized operating time < 0.1): %.3f (paper > 0.8)\n", s.BurstAll.P(0.1))
+	fmt.Printf("median normalized op time, sessions > 20 ops: %.4f (paper ~0.03)\n\n", s.BurstOver20.Quantile(0.5))
+	var series []textplot.Series
+	for _, sc := range []struct {
+		name string
+		e    interface {
+			Points(int) ([]float64, []float64)
+		}
+	}{{"#files>1", s.BurstAll}, {"#files>10", s.BurstOver10}, {"#files>20", s.BurstOver20}} {
+		xs, ps := sc.e.Points(60)
+		series = append(series, textplot.Series{Name: sc.name, Xs: xs, Ys: ps})
+	}
+	fmt.Println(textplot.Render(textplot.Options{
+		Title: "Fig 4: CDF of normalized user operating time", XLabel: "normalized time", Width: 70, Height: 14,
+	}, series...))
+}
+
+func printFigure5(res core.Results) {
+	s := res.Sessions
+	fmt.Println("== Figure 5: session size ==")
+	fmt.Printf("single-operation sessions: %.1f%% (paper ~40%%); >20 ops: %.1f%% (paper ~10%%)\n", 100*s.POneOp, 100*s.POver20Ops)
+	fmt.Printf("store volume slope: %.2f MB/file (paper ~1.5)\n", s.StoreSlopeMB)
+	fmt.Printf("1-file retrieve-session mean volume: %.1f MB (paper ~70)\n\n", s.OneFileRetrieveMeanMB)
+
+	rows := [][]string{}
+	for _, b := range s.StoreBins {
+		if b.Files > 100 || b.N < 5 {
+			continue
+		}
+		if b.Files%10 != 0 && b.Files != 1 && b.Files != 5 {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", b.Files), fmt.Sprintf("%d", b.N),
+			fmt.Sprintf("%.1f", b.MeanMB), fmt.Sprintf("%.1f", b.MedMB),
+			fmt.Sprintf("%.1f-%.1f", b.P25MB, b.P75MB),
+		})
+	}
+	fmt.Println("Fig 5b: store-only session volume by #files (MB)")
+	fmt.Println(textplot.Table([]string{"#files", "n", "mean", "median", "25-75th"}, rows))
+}
+
+func printFigure6(res core.Results) {
+	f := res.FileSize
+	fmt.Println("== Figure 6 / Table 2: average file size mixtures ==")
+	if len(f.StoreMixture.Components) == 0 || len(f.RetrieveMixture.Components) == 0 {
+		fmt.Println("(not enough sessions for the mixture fits)")
+		fmt.Println()
+		return
+	}
+	fmt.Printf("store-only   (%d sessions): %v\n", f.StoreN, f.StoreMixture)
+	fmt.Printf("  paper: α=(0.91, 0.07, 0.02) µ=(1.5, 13.1, 77.4) MB\n")
+	fmt.Printf("  chi-square: stat %.1f df %d p %.4f\n", f.StoreGOF.Stat, f.StoreGOF.DF, f.StoreGOF.PValue)
+	fmt.Printf("retrieve-only (%d sessions): %v\n", f.RetrieveN, f.RetrieveMixture)
+	fmt.Printf("  paper: α=(0.46, 0.26, 0.28) µ=(1.6, 29.8, 146.8) MB\n")
+	fmt.Printf("  chi-square: stat %.1f df %d p %.4f\n\n", f.RetrieveGOF.Stat, f.RetrieveGOF.DF, f.RetrieveGOF.PValue)
+
+	// CCDF on log-log axes like the paper's Fig 6.
+	for _, side := range []struct {
+		name string
+		e    interface {
+			Quantile(float64) float64
+			CCDF(float64) float64
+		}
+	}{{"store-only", f.StoreCCDF}, {"retrieve-only", f.RetrieveCCDF}} {
+		var xs, ys []float64
+		for p := 0.0; p < 6; p += 0.1 {
+			x := math.Pow(10, p-1) // 0.1 MB .. 100 GB
+			c := side.e.CCDF(x)
+			if c <= 0 {
+				break
+			}
+			xs = append(xs, x)
+			ys = append(ys, math.Log10(c))
+		}
+		fmt.Println(textplot.Render(textplot.Options{
+			Title: "Fig 6 CCDF (log10 P on y): " + side.name, XLabel: "avg file size MB", LogX: true, Width: 60, Height: 10,
+		}, textplot.Series{Xs: xs, Ys: ys}))
+	}
+}
+
+func printFigure7(res core.Results) {
+	u := res.Usage
+	fmt.Println("== Figure 7: per-user store/retrieve volume ratio ==")
+	counts := func(ratios []float64) (down, mixed, up float64) {
+		for _, r := range ratios {
+			switch {
+			case r < -5:
+				down++
+			case r > 5:
+				up++
+			default:
+				mixed++
+			}
+		}
+		n := float64(len(ratios))
+		if n == 0 {
+			return 0, 0, 0
+		}
+		return down / n, mixed / n, up / n
+	}
+	for _, g := range []struct {
+		name   string
+		ratios []float64
+	}{
+		{"mobile-only", u.RatiosMobileOnly},
+		{"mobile-and-pc", u.RatiosMobileAndPC},
+		{"pc-only", u.RatiosPCOnly},
+	} {
+		d, m, up := counts(g.ratios)
+		fmt.Printf("%-14s: retrieval-dominant %.1f%%  mixed %.1f%%  storage-dominant %.1f%%\n",
+			g.name, 100*d, 100*m, 100*up)
+	}
+	fmt.Println()
+}
+
+func printTable3(res core.Results) {
+	fmt.Println("== Table 3: user types by category ==")
+	cats := []string{"mobile-only", "mobile-and-pc", "pc-only"}
+	rows := [][]string{}
+	for _, class := range []string{"upload-only", "download-only", "occasional", "mixed"} {
+		row := []string{class}
+		for _, cat := range cats {
+			r := res.Usage.Table3[class][cat]
+			row = append(row, fmt.Sprintf("%.1f%%", 100*r.UserFrac),
+				fmt.Sprintf("%.0f%%/%.0f%%", 100*r.StoreFrac, 100*r.RetrFrac))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(textplot.Table(
+		[]string{"class", "mob users", "st/rt vol", "m+pc users", "st/rt vol", "pc users", "st/rt vol"}, rows))
+	fmt.Println("paper (mobile-only): upload 51.5% (86.6% vol), download 17.3% (84.5% vol), occasional 23.9%, mixed 7.2%")
+	fmt.Println()
+}
+
+func printFigure8(res core.Results) {
+	e := res.Engagement
+	fmt.Println("== Figure 8: user engagement ==")
+	strata := sortedKeys(e.Day0Users)
+	for _, s := range strata {
+		fmt.Printf("%-18s: %5d day-0 users, never-return %.1f%%", s, e.Day0Users[s], 100*e.NeverReturn[s])
+		if rd := e.ReturnDay[s]; len(rd) > 1 {
+			fmt.Printf(", return day1 %.1f%% day2 %.1f%%", 100*rd[1], 100*rd[2])
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper: ~half of 1-device users never return; <20% for multi-device")
+	fmt.Println()
+}
+
+func printFigure9(res core.Results) {
+	e := res.Engagement
+	fmt.Println("== Figure 9: retrieval after day-0 uploads ==")
+	for _, s := range sortedKeys(e.Day0Uploaders) {
+		curve := e.RetrievalByDay[s]
+		if len(curve) == 0 {
+			continue
+		}
+		fmt.Printf("%-18s: %5d uploaders, retrieve day0 %.1f%% ... day%d %.1f%%, never %.1f%%\n",
+			s, e.Day0Uploaders[s], 100*curve[0], len(curve)-1, 100*curve[len(curve)-1], 100*e.NeverRetrieve[s])
+	}
+	fmt.Println("paper: >80% of mobile-only users never retrieve their uploads within the week")
+	fmt.Println()
+}
+
+func printFigure10(res core.Results) {
+	a := res.Activity
+	fmt.Println("== Figure 10: user activity rank distributions ==")
+	if a.StoreSE.C == 0 || a.RetrieveSE.C == 0 {
+		fmt.Println("(not enough active users for the SE fits)")
+		fmt.Println()
+		return
+	}
+	fmt.Printf("storage:   SE c=%.3f x0=%.3f R²=%.4f (paper c=0.2, R²=0.9992); power-law R²=%.4f\n",
+		a.StoreSE.C, a.StoreSE.X0, a.StoreSE.R2, a.StorePowerLawR2)
+	fmt.Printf("retrieval: SE c=%.3f x0=%.3f R²=%.4f (paper c=0.15, R²=0.9990); power-law R²=%.4f\n\n",
+		a.RetrieveSE.C, a.RetrieveSE.X0, a.RetrieveSE.R2, a.RetrievePowerLawR2)
+
+	// Rank plot (log-log) for storage.
+	desc := append([]float64(nil), a.StoreCounts...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+	var xs, ys []float64
+	for i := 0; i < len(desc); i += 1 + len(desc)/200 {
+		xs = append(xs, float64(i+1))
+		ys = append(ys, math.Log10(desc[i]))
+	}
+	fmt.Println(textplot.Render(textplot.Options{
+		Title: "Fig 10a: stored files per user (log10 y) vs rank", XLabel: "rank", LogX: true, Width: 60, Height: 12,
+	}, textplot.Series{Xs: xs, Ys: ys}))
+}
+
+func printFigure12(res core.Results) {
+	p := res.Perf
+	fmt.Println("== Figure 12: chunk transfer time by device ==")
+	fmt.Printf("median upload:   android %.2fs (paper 4.1s)  ios %.2fs (paper 1.6s)\n",
+		p.MedianUpload(trace.Android).Seconds(), p.MedianUpload(trace.IOS).Seconds())
+	fmt.Printf("median download: android %.2fs  ios %.2fs\n\n",
+		p.MedianDownload(trace.Android).Seconds(), p.MedianDownload(trace.IOS).Seconds())
+
+	var series []textplot.Series
+	for _, d := range []trace.DeviceType{trace.Android, trace.IOS} {
+		xs, ps := p.UploadTime[d].Points(60)
+		series = append(series, textplot.Series{Name: d.String(), Xs: xs, Ys: ps})
+	}
+	fmt.Println(textplot.Render(textplot.Options{
+		Title: "Fig 12a: CDF of chunk upload time (s)", XLabel: "seconds", Width: 70, Height: 12,
+	}, series...))
+}
+
+func printFigure14(res core.Results) {
+	p := res.Perf
+	fmt.Println("== Figure 14: RTT ==")
+	fmt.Printf("median %.0f ms (paper ~100 ms), q90 %.0f ms, q99 %.0f ms\n\n",
+		p.RTT.Quantile(0.5)*1000, p.RTT.Quantile(0.9)*1000, p.RTT.Quantile(0.99)*1000)
+	xs, ps := p.RTT.Points(80)
+	for i := range xs {
+		xs[i] *= 1000
+	}
+	fmt.Println(textplot.Render(textplot.Options{
+		Title: "Fig 14: CDF of RTT (ms, log x)", XLabel: "ms", LogX: true, Width: 70, Height: 12,
+	}, textplot.Series{Xs: xs, Ys: ps}))
+}
+
+func printFigure15(res core.Results) {
+	p := res.Perf
+	fmt.Println("== Figure 15: estimated sending window for storage flows ==")
+	fmt.Printf("P(swnd <= 64 KB): %.3f — concentration below the unscaled receive window\n", p.SWnd.P(66*1024))
+	fmt.Printf("median %.1f KB, q90 %.1f KB\n\n", p.SWnd.Quantile(0.5)/1024, p.SWnd.Quantile(0.9)/1024)
+}
+
+func printIdleStudy(flows int) {
+	res, err := core.RunIdleTimeStudy(core.IdleTimeConfig{Flows: flows, Seed: 1})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Figures 13 & 16: idle time between chunks (TCP simulator) ==")
+	rows := [][]string{}
+	for _, cls := range []string{"android/storage", "ios/storage", "android/retrieval", "ios/retrieval"} {
+		st := res.Classes[cls]
+		rows = append(rows, []string{
+			cls,
+			fmt.Sprintf("%.0f ms", st.Tsrv.Quantile(0.5)*1000),
+			fmt.Sprintf("%.0f ms", st.Tclt.Quantile(0.5)*1000),
+			fmt.Sprintf("%.0f ms", st.Tclt.Quantile(0.9)*1000),
+			fmt.Sprintf("%.1f%%", 100*st.RestartFrac),
+			fmt.Sprintf("%.2f s", st.MedianChunkTime.Seconds()),
+		})
+	}
+	fmt.Println(textplot.Table(
+		[]string{"class", "med Tsrv", "med Tclt", "q90 Tclt", "idle>RTO", "med chunk"}, rows))
+	fmt.Println("paper Fig 16c: 60% of Android storage idles restart slow-start vs 18% for iOS")
+
+	// Fig 13: sequence number over time for the sample flows.
+	for _, dev := range []string{"android", "ios"} {
+		flow := res.SampleFlows[dev]
+		var xs, ys []float64
+		for _, s := range flow.Samples {
+			if s.At > 10*time.Second {
+				break
+			}
+			xs = append(xs, s.At.Seconds())
+			ys = append(ys, float64(s.Seq)/1e6)
+		}
+		fmt.Println(textplot.Render(textplot.Options{
+			Title:  "Fig 13a: sequence number (MB) over time, " + dev + " storage flow",
+			XLabel: "s", Width: 70, Height: 10,
+		}, textplot.Series{Xs: xs, Ys: ys}))
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

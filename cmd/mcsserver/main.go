@@ -1,0 +1,129 @@
+// Command mcsserver runs the mobile cloud storage service on real TCP
+// sockets: one metadata server and N storage front-ends, each logging
+// every request in the Table 1 schema to a log file that mcsanalyze
+// can consume directly.
+//
+// Usage:
+//
+//	mcsserver -meta :8070 -frontends :8081,:8082 -log service.log
+package main
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"mcloud/internal/randx"
+	"mcloud/internal/storage"
+	"mcloud/internal/trace"
+)
+
+func main() {
+	var (
+		metaAddr = flag.String("meta", ":8070", "metadata server listen address")
+		feAddrs  = flag.String("frontends", ":8081", "comma-separated front-end listen addresses")
+		logPath  = flag.String("log", "service.log", "request log output path")
+		tsrvMS   = flag.Int("tsrv", 0, "simulated upstream processing median (ms); 0 disables the extra delay")
+		metaSnap = flag.String("metasnap", "", "metadata snapshot file: loaded at startup, saved at shutdown")
+	)
+	flag.Parse()
+
+	logFile, err := os.Create(*logPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer logFile.Close()
+	sink := storage.NewWriterSink(trace.NewWriter(logFile))
+
+	store := storage.NewMemStore()
+	meta := storage.NewMetadata()
+	if *metaSnap != "" {
+		if err := meta.LoadFile(*metaSnap); err != nil {
+			fatal(err)
+		}
+		if n := meta.Stats().Files; n > 0 {
+			fmt.Printf("mcsserver: restored %d files from %s\n", n, *metaSnap)
+		}
+	}
+
+	var opts storage.FrontEndOptions
+	if *tsrvMS > 0 {
+		src := randx.New(uint64(time.Now().UnixNano()))
+		median := float64(*tsrvMS) * float64(time.Millisecond)
+		opts.UpstreamDelay = func() time.Duration {
+			return time.Duration(src.LogNormal(math.Log(median), 0.45))
+		}
+		opts.SleepUpstream = true
+	}
+
+	var servers []*http.Server
+	for _, addr := range strings.Split(*feAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		fe := storage.NewFrontEnd(store, meta, sink, opts)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fatal(err)
+		}
+		srv := &http.Server{Handler: fe.Handler()}
+		go srv.Serve(ln)
+		base := "http://" + hostify(ln.Addr().String())
+		meta.AddFrontEnd(base)
+		servers = append(servers, srv)
+		fmt.Printf("mcsserver: front-end on %s\n", base)
+	}
+
+	metaLn, err := net.Listen("tcp", *metaAddr)
+	if err != nil {
+		fatal(err)
+	}
+	metaSrv := &http.Server{Handler: meta.Handler()}
+	go metaSrv.Serve(metaLn)
+	fmt.Printf("mcsserver: metadata server on http://%s\n", hostify(metaLn.Addr().String()))
+	fmt.Printf("mcsserver: logging requests to %s\n", *logPath)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	for _, s := range servers {
+		s.Close()
+	}
+	metaSrv.Close()
+	if err := sink.Flush(); err != nil {
+		fatal(err)
+	}
+	if *metaSnap != "" {
+		if err := meta.SaveFile(*metaSnap); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mcsserver: metadata snapshot saved to %s\n", *metaSnap)
+	}
+	st := store.Stats()
+	ms := meta.Stats()
+	fmt.Printf("\nmcsserver: %d chunks (%0.2f MB unique), dedup ratio %.3f; %d files, %d users, %d dedup hits\n",
+		st.Chunks, float64(st.Bytes)/(1<<20), st.DedupRatio(), ms.Files, ms.Users, ms.DedupHits)
+}
+
+// hostify rewrites a wildcard listen address into a dialable one.
+func hostify(addr string) string {
+	if strings.HasPrefix(addr, "[::]") {
+		return "127.0.0.1" + strings.TrimPrefix(addr, "[::]")
+	}
+	if strings.HasPrefix(addr, "0.0.0.0") {
+		return "127.0.0.1" + strings.TrimPrefix(addr, "0.0.0.0")
+	}
+	return addr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Tcptuning explores the paper's §4.3 transmission-optimization
+// implications on the TCP simulator: for Android and iOS upload flows
+// it sweeps the remedies the paper discusses — larger chunks (fewer
+// inter-chunk idles), disabling slow-start-after-idle, and enabling
+// window scaling at the server — and reports the throughput effect of
+// each.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mcloud/internal/tcpsim"
+	"mcloud/internal/textplot"
+)
+
+const (
+	fileSize = 20 << 20
+	flows    = 40
+	rtt      = 100 * time.Millisecond
+)
+
+// meanThroughput runs upload flows and returns goodput in KB/s plus
+// the slow-start restart fraction.
+func meanThroughput(dev tcpsim.DeviceProfile, chunk int64, noSSAI, winScale bool) (kbps float64, restartFrac float64) {
+	server := tcpsim.DefaultServer
+	server.WindowScaling = winScale
+	var total float64
+	restarts, gaps := 0, 0
+	for i := 0; i < flows; i++ {
+		res, err := tcpsim.SimulateUpload(tcpsim.TransferConfig{
+			Device:    dev,
+			Server:    server,
+			FileSize:  fileSize,
+			ChunkSize: chunk,
+			RTT:       rtt,
+			NoSSAI:    noSSAI,
+			Seed:      uint64(i) * 31,
+		})
+		if err != nil {
+			panic(err)
+		}
+		total += res.Flow.Throughput()
+		for ci, c := range res.Flow.Chunks {
+			if ci > 0 {
+				gaps++
+				if c.Restarted {
+					restarts++
+				}
+			}
+		}
+	}
+	rf := 0.0
+	if gaps > 0 {
+		rf = float64(restarts) / float64(gaps)
+	}
+	return total / flows / 1024, rf
+}
+
+func main() {
+	fmt.Println("== §4.3: transmission optimizations for upload flows ==")
+	fmt.Printf("(20 MB uploads, RTT %v, %d flows per cell)\n\n", rtt, flows)
+
+	devices := []tcpsim.DeviceProfile{tcpsim.AndroidProfile, tcpsim.IOSProfile}
+
+	// Baseline.
+	rows := [][]string{}
+	for _, dev := range devices {
+		base, rf := meanThroughput(dev, 512<<10, false, false)
+		noSSAI, _ := meanThroughput(dev, 512<<10, true, false)
+		big, bigRf := meanThroughput(dev, 2<<20, false, false)
+		scaled, _ := meanThroughput(dev, 512<<10, false, true)
+		all, _ := meanThroughput(dev, 2<<20, true, true)
+		rows = append(rows, []string{
+			dev.Name,
+			fmt.Sprintf("%.0f KB/s (%.0f%% restarts)", base, 100*rf),
+			fmt.Sprintf("%.0f (+%.0f%%)", noSSAI, 100*(noSSAI/base-1)),
+			fmt.Sprintf("%.0f (+%.0f%%, %.0f%% restarts)", big, 100*(big/base-1), 100*bigRf),
+			fmt.Sprintf("%.0f (+%.0f%%)", scaled, 100*(scaled/base-1)),
+			fmt.Sprintf("%.0f (+%.0f%%)", all, 100*(all/base-1)),
+		})
+	}
+	fmt.Println(textplot.Table(
+		[]string{"device", "baseline 512KB", "no SSAI", "2MB chunks", "win scaling", "all three"}, rows))
+
+	// Chunk-size sweep: the paper recommends 1.5-2 MB chunks since the
+	// median stored file is ~1.5 MB.
+	fmt.Println("chunk size sweep (Android uploads):")
+	var xs, ys, rfs []float64
+	for _, c := range []int64{256 << 10, 512 << 10, 1 << 20, 1536 << 10, 2 << 20, 4 << 20, 8 << 20} {
+		thr, rf := meanThroughput(tcpsim.AndroidProfile, c, false, false)
+		xs = append(xs, float64(c)/(1<<20))
+		ys = append(ys, thr)
+		rfs = append(rfs, 100*rf)
+		fmt.Printf("  %6.2f MB chunks: %6.0f KB/s, %4.0f%% of idles restart slow-start\n",
+			float64(c)/(1<<20), thr, 100*rf)
+	}
+	fmt.Println()
+	fmt.Println(textplot.Render(textplot.Options{
+		Title: "upload throughput (KB/s) vs chunk size (MB)", XLabel: "MB", Width: 60, Height: 10,
+	}, textplot.Series{Xs: xs, Ys: ys}))
+
+	// Restart-policy comparison under an explicit burst model: the
+	// paper warns that simply disabling SSAI risks tail losses after
+	// the idle burst; pacing gets the benefit safely.
+	fmt.Println("restart policy comparison (Android uploads, lossy bottleneck):")
+	harsh := tcpsim.BurstParams{SafeBurst: 24 << 10, LossProb: 0.8, RecoveryRTOs: 3}
+	prows := [][]string{}
+	for _, pol := range []tcpsim.RestartPolicy{
+		tcpsim.RestartSlowStart, tcpsim.KeepWindow, tcpsim.PacedRestart,
+	} {
+		var thr float64
+		losses, restarts, paced := 0, 0, 0
+		for i := 0; i < flows; i++ {
+			res, err := tcpsim.SimulateUploadPolicy(tcpsim.TransferConfig{
+				Device: tcpsim.AndroidProfile, Server: tcpsim.DefaultServer,
+				FileSize: fileSize, RTT: rtt, Seed: uint64(i),
+			}, pol, harsh)
+			if err != nil {
+				panic(err)
+			}
+			thr += res.Throughput / 1024
+			losses += res.BurstLosses
+			restarts += res.Restarts
+			paced += res.PacedIdles
+		}
+		prows = append(prows, []string{
+			pol.String(),
+			fmt.Sprintf("%.0f KB/s", thr/flows),
+			fmt.Sprintf("%d", restarts),
+			fmt.Sprintf("%d", losses),
+			fmt.Sprintf("%d", paced),
+		})
+	}
+	fmt.Println(textplot.Table(
+		[]string{"policy", "throughput", "ss-restarts", "burst losses", "paced idles"}, prows))
+
+	fmt.Println("takeaways (matching §4.3):")
+	fmt.Println(" - larger chunks cut the number of idle intervals, the dominant Android penalty")
+	fmt.Println(" - disabling slow-start-after-idle helps, but post-idle bursts cost timeouts on lossy paths")
+	fmt.Println(" - paced restarts keep the window safely (Visweswaraiah & Heidemann)")
+	fmt.Println(" - window scaling lifts the 64 KB clamp that bounds every upload flow")
+}

@@ -1,0 +1,3 @@
+module mcloud
+
+go 1.22

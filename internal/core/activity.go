@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"mcloud/internal/dist"
+)
+
+// ActivityResult carries the Fig 10 rank-distribution analysis: the
+// per-user stored/retrieved file counts, their stretched-exponential
+// fits, and the power-law comparison the paper uses to reject a pure
+// power law.
+type ActivityResult struct {
+	StoreCounts    []float64 // per-user stored-file counts (users with >= 1)
+	RetrieveCounts []float64
+
+	StoreSE    dist.StretchedExp
+	RetrieveSE dist.StretchedExp
+
+	StorePowerLawR2    float64
+	RetrievePowerLawR2 float64
+}
+
+func (a *Analyzer) activity() (ActivityResult, error) {
+	var res ActivityResult
+	for _, u := range a.byUser {
+		if u.storeFiles > 0 {
+			res.StoreCounts = append(res.StoreCounts, float64(u.storeFiles))
+		}
+		if u.retrFiles > 0 {
+			res.RetrieveCounts = append(res.RetrieveCounts, float64(u.retrFiles))
+		}
+	}
+	if len(res.StoreCounts) < 10 || len(res.RetrieveCounts) < 10 {
+		return res, fmt.Errorf("too few active users (%d store, %d retrieve)",
+			len(res.StoreCounts), len(res.RetrieveCounts))
+	}
+	var err error
+	if res.StoreSE, err = dist.FitStretchedExpRank(res.StoreCounts, 0.05, 1.2); err != nil {
+		return res, err
+	}
+	if res.RetrieveSE, err = dist.FitStretchedExpRank(res.RetrieveCounts, 0.05, 1.2); err != nil {
+		return res, err
+	}
+	if _, res.StorePowerLawR2, err = dist.PowerLawRankR2(res.StoreCounts); err != nil {
+		return res, err
+	}
+	if _, res.RetrievePowerLawR2, err = dist.PowerLawRankR2(res.RetrieveCounts); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mcloud/internal/trace"
+	"mcloud/internal/workload"
+)
+
+func TestRunFailsOnEmptyInput(t *testing.T) {
+	a := NewAnalyzer(Options{})
+	if _, err := a.Run(); err == nil {
+		t.Error("Run on an empty analyzer should fail (no gaps to fit)")
+	}
+}
+
+func TestRunWarnsOnTinyInput(t *testing.T) {
+	a := NewAnalyzer(Options{})
+	base := time.Date(2015, 8, 3, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		a.Add(trace.Log{
+			Time:   base.Add(time.Duration(i) * time.Minute),
+			UserID: 1,
+			Device: trace.Android,
+			Type:   trace.FileStore,
+		})
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatalf("tiny input should degrade gracefully, got %v", err)
+	}
+	if len(res.Warnings) == 0 {
+		t.Error("expected model-fit warnings on tiny input")
+	}
+	if res.InterOp.Fitted() {
+		t.Error("mixture should not be fitted on 5 operations")
+	}
+	if res.InterOp.InSessionMeanSec() != 0 {
+		t.Error("unfitted accessor should return 0")
+	}
+	// Session statistics still work.
+	if res.Sessions.Stats.Total == 0 {
+		t.Error("session analysis should still run")
+	}
+}
+
+func TestAnalyzerTracksWindow(t *testing.T) {
+	a := NewAnalyzer(Options{})
+	base := time.Date(2015, 8, 3, 0, 0, 0, 0, time.UTC)
+	a.Add(trace.Log{Time: base.Add(time.Hour), UserID: 1, Type: trace.FileStore})
+	a.Add(trace.Log{Time: base, UserID: 1, Type: trace.FileStore})
+	a.Add(trace.Log{Time: base.Add(3 * time.Hour), UserID: 2, Type: trace.FileRetrieve})
+	if a.TotalLogs() != 3 || a.Users() != 2 {
+		t.Errorf("logs=%d users=%d", a.TotalLogs(), a.Users())
+	}
+	if !a.anchorStart().Equal(base) {
+		t.Errorf("anchor = %v, want first log time", a.anchorStart())
+	}
+}
+
+func TestAnalyzerExplicitStartOverridesAnchor(t *testing.T) {
+	start := time.Date(2015, 8, 1, 0, 0, 0, 0, time.UTC)
+	a := NewAnalyzer(Options{Start: start})
+	a.Add(trace.Log{Time: start.Add(50 * time.Hour), UserID: 1, Type: trace.FileStore})
+	if !a.anchorStart().Equal(start) {
+		t.Error("explicit start ignored")
+	}
+}
+
+func TestUserCategoryOverride(t *testing.T) {
+	// Force every user into the mobile-and-pc category and check the
+	// Table 3 grouping follows the override rather than the devices.
+	g, err := workload.New(workload.Config{Users: 300, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(Options{
+		Start: g.Config().Start,
+		Days:  g.Config().Days,
+		UserCategory: func(uint64) (bool, bool) {
+			return true, true // everyone mobile+pc
+		},
+	})
+	a.AddStream(g.Stream())
+	res := a.usage()
+	total := 0
+	for _, row := range res.Table3 {
+		total += row["mobile-and-pc"].Users
+		if row["mobile-only"].Users != 0 || row["pc-only"].Users != 0 {
+			t.Error("category override leaked users into other groups")
+		}
+	}
+	if total != 300 {
+		t.Errorf("categorized %d users, want 300", total)
+	}
+}
+
+func TestClassifyVolumeThresholds(t *testing.T) {
+	cases := []struct {
+		store, retr int64
+		want        string
+	}{
+		{0, 0, "occasional"},
+		{1 << 19, 1 << 18, "occasional"}, // < 1 MB total
+		{100 << 20, 0, "upload-only"},    // ratio -> +inf
+		{0, 100 << 20, "download-only"},  // ratio -> 0
+		{50 << 20, 50 << 20, "mixed"},
+		{200 << 20, 1 << 10, "mixed"}, // ratio ~2e5? check below
+	}
+	for i, c := range cases[:5] {
+		if got := classifyVolume(c.store, c.retr); got != c.want {
+			t.Errorf("case %d: classify(%d, %d) = %s, want %s", i, c.store, c.retr, got, c.want)
+		}
+	}
+	// 200 MB vs 1 KB: ratio ~2e5 > 1e5 -> upload-only.
+	if got := classifyVolume(200<<20, 1<<10); got != "upload-only" {
+		t.Errorf("borderline ratio: got %s, want upload-only", got)
+	}
+}
+
+func TestPerfFiltersProxiedAndPC(t *testing.T) {
+	a := NewAnalyzer(Options{})
+	base := time.Date(2015, 8, 3, 0, 0, 0, 0, time.UTC)
+	mk := func(dev trace.DeviceType, proxied bool) trace.Log {
+		return trace.Log{
+			Time: base, UserID: 1, Device: dev, Type: trace.ChunkStore,
+			Bytes: 512 << 10, Proc: 2 * time.Second, Server: 100 * time.Millisecond,
+			RTT: 100 * time.Millisecond, Proxied: proxied,
+		}
+	}
+	a.Add(mk(trace.Android, false)) // counted
+	a.Add(mk(trace.Android, true))  // proxied: dropped
+	a.Add(mk(trace.PC, false))      // PC: dropped
+	p := a.perf()
+	if n := p.UploadTime[trace.Android].N(); n != 1 {
+		t.Errorf("android upload samples = %d, want 1", n)
+	}
+	if p.RTT.N() != 1 {
+		t.Errorf("rtt samples = %d, want 1", p.RTT.N())
+	}
+}
+
+func TestPerfIgnoresPartialChunksForFig12(t *testing.T) {
+	a := NewAnalyzer(Options{})
+	base := time.Date(2015, 8, 3, 0, 0, 0, 0, time.UTC)
+	a.Add(trace.Log{
+		Time: base, UserID: 1, Device: trace.IOS, Type: trace.ChunkStore,
+		Bytes: 100 << 10, Proc: time.Second, Server: 50 * time.Millisecond,
+		RTT: 80 * time.Millisecond,
+	})
+	p := a.perf()
+	if n := p.UploadTime[trace.IOS].N(); n != 0 {
+		t.Errorf("partial chunk counted in Fig 12 sample: %d", n)
+	}
+	// But its RTT still feeds Fig 14.
+	if p.RTT.N() != 1 {
+		t.Errorf("rtt samples = %d, want 1", p.RTT.N())
+	}
+}
+
+func TestStratumOf(t *testing.T) {
+	mk := func(devs ...trace.DeviceType) *userAcc {
+		u := &userAcc{devices: map[uint64]trace.DeviceType{}}
+		for i, d := range devs {
+			u.devices[uint64(i)] = d
+		}
+		return u
+	}
+	cases := []struct {
+		acc  *userAcc
+		want string
+	}{
+		{mk(trace.Android), StratumOneDevice},
+		{mk(trace.IOS, trace.Android), StratumMultiDevice},
+		{mk(trace.IOS, trace.Android, trace.Android), StratumThreePlus},
+		{mk(trace.Android, trace.PC), StratumMobileAndPC},
+		{mk(trace.PC), "pc-only"},
+	}
+	for i, c := range cases {
+		if got := stratumOf(c.acc); got != c.want {
+			t.Errorf("case %d: stratum = %s, want %s", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mcloud/internal/trace"
+	"mcloud/internal/workload"
+)
+
+// analyzed runs the full pipeline once over a shared synthetic
+// dataset; generation and analysis are deterministic.
+var analyzed = func() Results {
+	g, err := workload.New(workload.Config{Users: 3000, PCOnlyUsers: 1000, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	a := NewAnalyzer(Options{Start: g.Config().Start, Days: g.Config().Days})
+	a.AddStream(g.Stream())
+	res, err := a.Run()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}()
+
+func TestWorkloadTotalsConsistent(t *testing.T) {
+	w := analyzed.Workload
+	if w.TotalStoreVol <= 0 || w.TotalRetrVol <= 0 {
+		t.Fatal("zero volumes")
+	}
+	var sv, rv int64
+	for _, h := range w.Hours {
+		sv += h.StoreVol
+		rv += h.RetrVol
+	}
+	if sv != w.TotalStoreVol || rv != w.TotalRetrVol {
+		t.Error("hourly series does not sum to totals")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	w := analyzed.Workload
+	// Retrievals contribute more volume; stored files outnumber
+	// retrieved files about 2:1 (§2.4).
+	if w.VolumeRatio() <= 1 {
+		t.Errorf("retrieve/store volume ratio = %.2f, want > 1", w.VolumeRatio())
+	}
+	if r := w.FileRatio(); r < 1.8 || r > 3.5 {
+		t.Errorf("stored/retrieved file ratio = %.2f, want ~2-3", r)
+	}
+	// Diurnal: late-evening peak, clear peak-to-trough swing.
+	if w.PeakHourOfDay < 19 && w.PeakHourOfDay > 1 {
+		t.Errorf("peak hour = %d, want late evening", w.PeakHourOfDay)
+	}
+	if w.PeakToTrough < 2 {
+		t.Errorf("peak/trough = %.2f, want > 2", w.PeakToTrough)
+	}
+}
+
+func TestFigure3GMM(t *testing.T) {
+	io := analyzed.InterOp
+	if io.Gaps < 1000 {
+		t.Fatalf("only %d gaps", io.Gaps)
+	}
+	inSess := io.InSessionMeanSec()
+	interSess := io.InterSessionMeanSec()
+	if inSess < 0.5 || inSess > 25 {
+		t.Errorf("in-session mean = %.2f s, want seconds scale (paper: ~10 s)", inSess)
+	}
+	if interSess < 10000 || interSess > 400000 {
+		t.Errorf("inter-session mean = %.0f s, want ~1 day (paper: ~86400 s)", interSess)
+	}
+	// The 1-hour mark must fall between the components and the
+	// empirical valley should surround it.
+	if !(inSess < 3600 && 3600 < interSess) {
+		t.Error("τ = 1 h not between the mixture components")
+	}
+	if io.ValleySec < 300 || io.ValleySec > 5*3600 {
+		t.Errorf("histogram valley = %.0f s, want within [5 min, 5 h] around τ", io.ValleySec)
+	}
+	if io.CrossoverSec < 60 || io.CrossoverSec > 12*3600 {
+		t.Errorf("component crossover = %.0f s, unreasonable", io.CrossoverSec)
+	}
+	if io.TauSec != 3600 {
+		t.Errorf("TauSec = %v, want 3600", io.TauSec)
+	}
+}
+
+func TestSessionClassification(t *testing.T) {
+	s := analyzed.Sessions
+	if s.StoreOnlyFrac < 0.60 || s.StoreOnlyFrac > 0.76 {
+		t.Errorf("store-only = %.3f, want ~0.68", s.StoreOnlyFrac)
+	}
+	if s.RetrieveOnlyFrac < 0.22 || s.RetrieveOnlyFrac > 0.38 {
+		t.Errorf("retrieve-only = %.3f, want ~0.30", s.RetrieveOnlyFrac)
+	}
+	if s.MixedFrac > 0.06 {
+		t.Errorf("mixed = %.3f, want ~0.02", s.MixedFrac)
+	}
+	total := s.StoreOnlyFrac + s.RetrieveOnlyFrac + s.MixedFrac
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("class fractions sum to %v", total)
+	}
+}
+
+func TestFigure4Burstiness(t *testing.T) {
+	s := analyzed.Sessions
+	if p := s.BurstAll.P(0.1); p < 0.6 {
+		t.Errorf("P(norm op time < 0.1) = %.3f, want >= 0.6 (paper: >0.8)", p)
+	}
+	// More files => more front-loaded.
+	if s.BurstOver20.P(0.1) < s.BurstAll.P(0.1) {
+		t.Error(">20-op sessions should be at least as front-loaded as all sessions")
+	}
+	if med := s.BurstOver20.Quantile(0.5); med > 0.05 {
+		t.Errorf(">20-op median normalized op time = %.3f, want < 0.05 (paper: ~0.03)", med)
+	}
+}
+
+func TestFigure5SessionSize(t *testing.T) {
+	s := analyzed.Sessions
+	if s.POneOp < 0.30 || s.POneOp > 0.60 {
+		t.Errorf("P(one op) = %.3f, want ~0.4", s.POneOp)
+	}
+	if s.POver20Ops < 0.05 || s.POver20Ops > 0.18 {
+		t.Errorf("P(>20 ops) = %.3f, want ~0.1", s.POver20Ops)
+	}
+	// Fig 5b: store sessions scale linearly at ~1.5 MB per file.
+	if s.StoreSlopeMB < 0.8 || s.StoreSlopeMB > 2.6 {
+		t.Errorf("store volume slope = %.2f MB/file, want ~1.5", s.StoreSlopeMB)
+	}
+	// Fig 5c: single-file retrieve sessions average tens of MB.
+	if s.OneFileRetrieveMeanMB < 25 || s.OneFileRetrieveMeanMB > 130 {
+		t.Errorf("1-file retrieve mean = %.1f MB, want ~70", s.OneFileRetrieveMeanMB)
+	}
+	// The retrieve-session average dwarfs the median in the low bins
+	// (heavy tail, "average higher than the 75th percentile" shape).
+	for _, b := range analyzed.Sessions.RetrieveBins {
+		if b.Files == 1 && b.N > 50 {
+			if b.MeanMB < b.MedMB {
+				t.Error("1-file retrieve mean below median — tail missing")
+			}
+			break
+		}
+	}
+}
+
+func TestFigure6Table2(t *testing.T) {
+	f := analyzed.FileSize
+	if len(f.StoreMixture.Components) < 2 || len(f.RetrieveMixture.Components) < 3 {
+		t.Fatalf("component counts: store %d, retrieve %d",
+			len(f.StoreMixture.Components), len(f.RetrieveMixture.Components))
+	}
+	// Store: photo-scale mass >= 0.85 near 1.5 MB.
+	var wSmall, mSmall float64
+	for _, c := range f.StoreMixture.Components {
+		if c.Mu < 3 {
+			wSmall += c.Alpha
+			mSmall += c.Alpha * c.Mu
+		}
+	}
+	if wSmall < 0.80 {
+		t.Errorf("store small-scale weight = %.3f, want >= 0.80 (paper: 0.91)", wSmall)
+	}
+	if m := mSmall / wSmall; m < 0.9 || m > 2.2 {
+		t.Errorf("store small-scale mean = %.2f MB, want ~1.5", m)
+	}
+	// Retrieve: a tail component near 150 MB with weight ~0.28.
+	rt := f.RetrieveMixture.Components[len(f.RetrieveMixture.Components)-1]
+	if rt.Mu < 90 || rt.Mu > 260 {
+		t.Errorf("retrieve tail µ = %.1f, want ~147", rt.Mu)
+	}
+	if rt.Alpha < 0.14 || rt.Alpha > 0.42 {
+		t.Errorf("retrieve tail α = %.3f, want ~0.28", rt.Alpha)
+	}
+	// Chi-square: the paper's fits pass at 5%; ours should not be
+	// wildly rejected. (With tens of thousands of sessions GOF is
+	// strict; require it not to fail catastrophically.)
+	if f.StoreGOF.Stat <= 0 || f.RetrieveGOF.Stat <= 0 {
+		t.Error("GOF statistics missing")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	u := analyzed.Usage
+	mo := map[string]UserClassRow{}
+	for class, cats := range u.Table3 {
+		mo[class] = cats["mobile-only"]
+	}
+	if f := mo["upload-only"].UserFrac; f < 0.40 || f > 0.62 {
+		t.Errorf("mobile-only upload-only share = %.3f, want ~0.515", f)
+	}
+	if f := mo["download-only"].UserFrac; f < 0.10 || f > 0.26 {
+		t.Errorf("mobile-only download-only share = %.3f, want ~0.173", f)
+	}
+	if f := mo["occasional"].UserFrac; f < 0.15 || f > 0.32 {
+		t.Errorf("mobile-only occasional share = %.3f, want ~0.239", f)
+	}
+	if f := mo["mixed"].UserFrac; f < 0.03 || f > 0.15 {
+		t.Errorf("mobile-only mixed share = %.3f, want ~0.072", f)
+	}
+	// Upload-only users generate the bulk of stored volume (paper:
+	// 86.6 %).
+	if f := mo["upload-only"].StoreFrac; f < 0.70 {
+		t.Errorf("upload-only stored-volume share = %.3f, want > 0.7", f)
+	}
+	// PC users spread more evenly: their upload-only share is lower
+	// than mobile's.
+	pcUp := u.Table3["upload-only"]["pc-only"].UserFrac
+	if pcUp >= mo["upload-only"].UserFrac {
+		t.Errorf("pc-only upload share (%.3f) should be below mobile-only (%.3f)",
+			pcUp, mo["upload-only"].UserFrac)
+	}
+	// Mobile+PC users are more likely mixed than mobile-only users.
+	mpMixed := u.Table3["mixed"]["mobile-and-pc"].UserFrac
+	if mpMixed <= mo["mixed"].UserFrac {
+		t.Errorf("mobile+pc mixed share (%.3f) should exceed mobile-only (%.3f)",
+			mpMixed, mo["mixed"].UserFrac)
+	}
+}
+
+func TestFigure7Ratios(t *testing.T) {
+	u := analyzed.Usage
+	if len(u.RatiosMobileOnly) == 0 || len(u.RatiosPCOnly) == 0 {
+		t.Fatal("missing ratio samples")
+	}
+	frac := func(ratios []float64, pred func(float64) bool) float64 {
+		n := 0
+		for _, r := range ratios {
+			if pred(r) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(ratios))
+	}
+	// Storage-dominant (ratio > 1e5 → log10 > 5) is more common among
+	// mobile-only users than PC-only users.
+	moUp := frac(u.RatiosMobileOnly, func(r float64) bool { return r > 5 })
+	pcUp := frac(u.RatiosPCOnly, func(r float64) bool { return r > 5 })
+	if moUp <= pcUp {
+		t.Errorf("mobile storage-dominance (%.3f) should exceed PC (%.3f)", moUp, pcUp)
+	}
+	// Multi-device mobile users are less storage-dominant than
+	// single-device ones (Fig 7b).
+	oneDev := frac(u.RatiosByDevices[1], func(r float64) bool { return r > 5 })
+	multi := append(append([]float64{}, u.RatiosByDevices[2]...), u.RatiosByDevices[3]...)
+	if len(multi) > 30 {
+		multiUp := frac(multi, func(r float64) bool { return r > 5 })
+		if multiUp >= oneDev {
+			t.Errorf("multi-device storage-dominance (%.3f) should be below single-device (%.3f)", multiUp, oneDev)
+		}
+	}
+}
+
+func TestFigure8Engagement(t *testing.T) {
+	e := analyzed.Engagement
+	if e.Day0Users[StratumOneDevice] < 50 {
+		t.Fatalf("too few day-0 single-device users: %d", e.Day0Users[StratumOneDevice])
+	}
+	// About half of single-device users never return.
+	nr := e.NeverReturn[StratumOneDevice]
+	if nr < 0.40 || nr > 0.72 {
+		t.Errorf("1-device never-return = %.3f, want ~0.5", nr)
+	}
+	// Multi-device and mobile+PC users return far more.
+	if v := e.NeverReturn[StratumMultiDevice]; v >= nr {
+		t.Errorf("multi-device never-return (%.3f) should be below 1-device (%.3f)", v, nr)
+	}
+	if v := e.NeverReturn[StratumMobileAndPC]; v >= nr {
+		t.Errorf("mobile+pc never-return (%.3f) should be below 1-device (%.3f)", v, nr)
+	}
+	// Bimodal: among returners, day 1 is the modal return day.
+	rd := e.ReturnDay[StratumOneDevice]
+	for d := 2; d < len(rd); d++ {
+		if rd[d] > rd[1] {
+			t.Errorf("return-day %d (%.3f) exceeds day 1 (%.3f) — bimodality lost", d, rd[d], rd[1])
+		}
+	}
+}
+
+func TestFigure9RetrievalAfterUpload(t *testing.T) {
+	e := analyzed.Engagement
+	for _, s := range []string{StratumOneDevice, StratumMultiDevice, StratumThreePlus} {
+		if e.Day0Uploaders[s] < 20 {
+			continue
+		}
+		if nr := e.NeverRetrieve[s]; nr < 0.80 {
+			t.Errorf("%s never-retrieve = %.3f, want > 0.80", s, nr)
+		}
+	}
+	// Mobile+PC users retrieve their uploads far more often,
+	// especially same-day.
+	mp := e.RetrievalByDay[StratumMobileAndPC]
+	one := e.RetrievalByDay[StratumOneDevice]
+	if mp == nil || one == nil {
+		t.Fatal("missing retrieval curves")
+	}
+	last := len(mp) - 1
+	if mp[last] <= one[last] {
+		t.Errorf("mobile+pc cumulative retrieval (%.3f) should exceed 1-device (%.3f)", mp[last], one[last])
+	}
+	if mp[0] <= one[0] {
+		t.Errorf("mobile+pc day-0 retrieval (%.3f) should exceed 1-device (%.3f)", mp[0], one[0])
+	}
+}
+
+func TestFigure10Activity(t *testing.T) {
+	act := analyzed.Activity
+	if act.StoreSE.C < 0.12 || act.StoreSE.C > 0.45 {
+		t.Errorf("store SE c = %.3f, want ~0.2", act.StoreSE.C)
+	}
+	if act.RetrieveSE.C < 0.04 || act.RetrieveSE.C > 0.30 {
+		t.Errorf("retrieve SE c = %.3f, want ~0.15", act.RetrieveSE.C)
+	}
+	if act.RetrieveSE.C >= act.StoreSE.C {
+		t.Error("retrieval should be more skewed (smaller c) than storage")
+	}
+	if act.StoreSE.R2 < 0.95 {
+		t.Errorf("store SE R² = %.4f, want > 0.95 (paper: 0.999)", act.StoreSE.R2)
+	}
+	if act.StoreSE.R2 <= act.StorePowerLawR2 {
+		t.Errorf("SE fit (R²=%.4f) should beat power law (R²=%.4f)",
+			act.StoreSE.R2, act.StorePowerLawR2)
+	}
+}
+
+func TestFigure12ChunkTimes(t *testing.T) {
+	p := analyzed.Perf
+	am := p.MedianUpload(trace.Android)
+	im := p.MedianUpload(trace.IOS)
+	if am < 3200*time.Millisecond || am > 5200*time.Millisecond {
+		t.Errorf("Android median upload = %v, want ~4.1 s", am)
+	}
+	if im < 1100*time.Millisecond || im > 2300*time.Millisecond {
+		t.Errorf("iOS median upload = %v, want ~1.6 s", im)
+	}
+	// Downloads are faster than uploads and the device gap narrows.
+	ad := p.MedianDownload(trace.Android)
+	if ad >= am {
+		t.Errorf("Android download median (%v) should be below upload (%v)", ad, am)
+	}
+}
+
+func TestFigure14RTT(t *testing.T) {
+	p := analyzed.Perf
+	med := time.Duration(p.RTT.Quantile(0.5) * float64(time.Second))
+	if med < 60*time.Millisecond || med > 170*time.Millisecond {
+		t.Errorf("median RTT = %v, want ~100 ms", med)
+	}
+	q95 := p.RTT.Quantile(0.95)
+	if q95 < 3*p.RTT.Quantile(0.5) {
+		t.Errorf("RTT tail too light: q95/q50 = %.2f", q95/p.RTT.Quantile(0.5))
+	}
+}
+
+func TestFigure15SWnd(t *testing.T) {
+	// The swnd estimate should be bounded by the 64 KB receive window
+	// for the bulk of storage chunks — concentration below 64 KB.
+	p := analyzed.Perf
+	if p.SWnd.N() == 0 {
+		t.Fatal("no swnd samples")
+	}
+	below := p.SWnd.P(66 * 1024)
+	if below < 0.85 {
+		t.Errorf("P(swnd <= 64 KB) = %.3f, want most of the mass under the clamp", below)
+	}
+}
+
+func TestFigure16IdleStudy(t *testing.T) {
+	res, err := RunIdleTimeStudy(IdleTimeConfig{Flows: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := res.Classes["android/storage"]
+	is := res.Classes["ios/storage"]
+	// Fig 16c: ~60 % Android vs ~18 % iOS restart fractions.
+	if as.RestartFrac < 0.48 || as.RestartFrac > 0.72 {
+		t.Errorf("android/storage restart fraction = %.3f, want ~0.60", as.RestartFrac)
+	}
+	if is.RestartFrac < 0.08 || is.RestartFrac > 0.30 {
+		t.Errorf("ios/storage restart fraction = %.3f, want ~0.18", is.RestartFrac)
+	}
+	// Fig 16a: Tsrv ≈ 100 ms for both; Android Tclt ≈ +90 ms.
+	for _, cls := range []string{"android/storage", "ios/storage", "android/retrieval", "ios/retrieval"} {
+		med := res.Classes[cls].Tsrv.Quantile(0.5)
+		if med < 0.06 || med > 0.16 {
+			t.Errorf("%s median Tsrv = %.3f s, want ~0.1", cls, med)
+		}
+	}
+	aClt := as.Tclt.Quantile(0.5)
+	iClt := is.Tclt.Quantile(0.5)
+	if aClt-iClt < 0.05 {
+		t.Errorf("Android storage Tclt (%.3f) should exceed iOS (%.3f) by ~90 ms", aClt, iClt)
+	}
+	// Fig 16b: Android retrieval Tclt has a heavy tail (~1 s at q90 vs
+	// ~0.1 s for iOS).
+	ar := res.Classes["android/retrieval"]
+	ir := res.Classes["ios/retrieval"]
+	if q := ar.Tclt.Quantile(0.9); q < 0.5 {
+		t.Errorf("android/retrieval q90 Tclt = %.3f s, want ~1", q)
+	}
+	if q := ir.Tclt.Quantile(0.9); q > 0.4 {
+		t.Errorf("ios/retrieval q90 Tclt = %.3f s, want ~0.1-0.2", q)
+	}
+	// Fig 13: the sample flows exist and the Android one restarts.
+	if _, ok := res.SampleFlows["android"]; !ok {
+		t.Error("missing android sample flow")
+	}
+	// Android slower overall (Fig 12 confirmation from the simulator).
+	if as.MedianChunkTime <= is.MedianChunkTime {
+		t.Errorf("android median chunk (%v) should exceed ios (%v)",
+			as.MedianChunkTime, is.MedianChunkTime)
+	}
+}
+
+func TestIdleStudyWhatIfs(t *testing.T) {
+	base, err := RunIdleTimeStudy(IdleTimeConfig{Flows: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSSAI, err := RunIdleTimeStudy(IdleTimeConfig{Flows: 30, Seed: 9, NoSSAI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigChunks, err := RunIdleTimeStudy(IdleTimeConfig{Flows: 30, Seed: 9, ChunkSize: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := RunIdleTimeStudy(IdleTimeConfig{Flows: 30, Seed: 9, WindowScaling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "android/storage"
+	if noSSAI.Classes[key].RestartFrac != 0 {
+		t.Error("disabling SSAI should eliminate restarts")
+	}
+	if noSSAI.Classes[key].MeanThroughput <= base.Classes[key].MeanThroughput {
+		t.Error("disabling SSAI should raise Android storage throughput")
+	}
+	if bigChunks.Classes[key].MeanThroughput <= base.Classes[key].MeanThroughput {
+		t.Error("2 MB chunks should raise Android storage throughput (fewer idles)")
+	}
+	if scaled.Classes[key].MeanThroughput <= base.Classes[key].MeanThroughput {
+		t.Error("window scaling should raise storage throughput")
+	}
+}
+
+func TestAnalyzerCounts(t *testing.T) {
+	if analyzed.Logs == 0 || analyzed.Users != 4000 {
+		t.Errorf("logs=%d users=%d, want all 4000 users active", analyzed.Logs, analyzed.Users)
+	}
+}
+
+func TestReservoir(t *testing.T) {
+	r := newReservoir(100, 1)
+	for i := 0; i < 10000; i++ {
+		r.add(float64(i))
+	}
+	if len(r.values()) != 100 {
+		t.Fatalf("reservoir holds %d, want 100", len(r.values()))
+	}
+	// Uniformity: the mean of the sample should be near 5000.
+	mean := 0.0
+	for _, v := range r.values() {
+		mean += v
+	}
+	mean /= 100
+	if mean < 3500 || mean > 6500 {
+		t.Errorf("reservoir mean = %.0f, want ~5000", mean)
+	}
+	if r.quantile(0.5) <= 0 {
+		t.Error("median should be positive")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Tau != time.Hour || o.Days != 7 || o.MinGapSeconds != 1 || o.MaxSamples <= 0 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"time"
+
+	"mcloud/internal/trace"
+)
+
+// Stratum names for the engagement analyses (Fig 8/9).
+const (
+	StratumOneDevice   = "1-mobile-device"
+	StratumMultiDevice = ">1-mobile-device"
+	StratumThreePlus   = ">2-mobile-device"
+	StratumMobileAndPC = "mobile-and-pc"
+)
+
+// EngagementResult carries Fig 8 (return day) and Fig 9 (retrieval
+// after day-one uploads).
+type EngagementResult struct {
+	// Day0Users is the number of users active on the first day, per
+	// stratum (the paper's 233,225 users, scaled).
+	Day0Users map[string]int
+	// ReturnDay[stratum][d] is the fraction of the stratum's day-0
+	// users whose next activity after day 0 lands on day d (1..Days-1);
+	// index 0 holds the fraction that never return ("> 6" in Fig 8 is
+	// the complement story: users either return soon or not at all).
+	ReturnDay map[string][]float64
+	// NeverReturn is the fraction of day-0 users with no activity on
+	// days 1..Days-1, per stratum.
+	NeverReturn map[string]float64
+
+	// Fig 9: of users who uploaded on day 0, the cumulative fraction
+	// with at least one retrieval operation on day <= d (day 0
+	// included: same-day sync).
+	RetrievalByDay map[string][]float64
+	// NeverRetrieve is the complement at the end of the window.
+	NeverRetrieve map[string]float64
+	Day0Uploaders map[string]int
+}
+
+// stratumOf buckets a user by its observed devices.
+func stratumOf(u *userAcc) string {
+	mobile, pc := 0, false
+	for _, d := range u.devices {
+		if d.Mobile() {
+			mobile++
+		} else {
+			pc = true
+		}
+	}
+	switch {
+	case pc && mobile > 0:
+		return StratumMobileAndPC
+	case pc:
+		return "pc-only"
+	case mobile > 2:
+		return StratumThreePlus
+	case mobile > 1:
+		return StratumMultiDevice
+	default:
+		return StratumOneDevice
+	}
+}
+
+func (a *Analyzer) engagement() EngagementResult {
+	days := a.opts.Days
+	anchor := a.anchorStart()
+	res := EngagementResult{
+		Day0Users:      map[string]int{},
+		ReturnDay:      map[string][]float64{},
+		NeverReturn:    map[string]float64{},
+		RetrievalByDay: map[string][]float64{},
+		NeverRetrieve:  map[string]float64{},
+		Day0Uploaders:  map[string]int{},
+	}
+
+	dayOf := func(t time.Time) int { return int(t.Sub(anchor) / (24 * time.Hour)) }
+
+	type agg struct {
+		day0          int
+		returnOn      []int // first return day counts, index 1..days-1
+		never         int
+		uploaders     int
+		retrieveBy    []int // first retrieval day counts (cumulated later)
+		neverRetrieve int
+	}
+	strata := map[string]*agg{}
+	get := func(s string) *agg {
+		v := strata[s]
+		if v == nil {
+			v = &agg{returnOn: make([]int, days), retrieveBy: make([]int, days)}
+			strata[s] = v
+		}
+		return v
+	}
+
+	for _, u := range a.byUser {
+		activeDay := make([]bool, days)
+		firstUpload := time.Time{}
+		firstRetrievalDay := -1
+		for _, l := range u.logs {
+			d := dayOf(l.Time)
+			if d < 0 || d >= days {
+				continue
+			}
+			activeDay[d] = true
+			if l.Type == trace.FileStore && d == 0 && (firstUpload.IsZero() || l.Time.Before(firstUpload)) {
+				firstUpload = l.Time
+			}
+		}
+		if !activeDay[0] {
+			continue
+		}
+		st := get(stratumOf(u))
+		st.day0++
+
+		// Fig 8: first return day after day 0.
+		ret := -1
+		for d := 1; d < days; d++ {
+			if activeDay[d] {
+				ret = d
+				break
+			}
+		}
+		if ret < 0 {
+			st.never++
+		} else {
+			st.returnOn[ret]++
+		}
+
+		// Fig 9: users who uploaded on day 0; first retrieval at or
+		// after the upload.
+		if !firstUpload.IsZero() {
+			st.uploaders++
+			for _, l := range u.logs {
+				if l.Type == trace.FileRetrieve && !l.Time.Before(firstUpload) {
+					d := dayOf(l.Time)
+					if d >= 0 && d < days {
+						firstRetrievalDay = d
+						break
+					}
+				}
+			}
+			if firstRetrievalDay < 0 {
+				st.neverRetrieve++
+			} else {
+				st.retrieveBy[firstRetrievalDay]++
+			}
+		}
+	}
+
+	for name, st := range strata {
+		res.Day0Users[name] = st.day0
+		if st.day0 > 0 {
+			frac := make([]float64, days)
+			for d := 1; d < days; d++ {
+				frac[d] = float64(st.returnOn[d]) / float64(st.day0)
+			}
+			res.ReturnDay[name] = frac
+			res.NeverReturn[name] = float64(st.never) / float64(st.day0)
+		}
+		res.Day0Uploaders[name] = st.uploaders
+		if st.uploaders > 0 {
+			cum := make([]float64, days)
+			acc := 0
+			for d := 0; d < days; d++ {
+				acc += st.retrieveBy[d]
+				cum[d] = float64(acc) / float64(st.uploaders)
+			}
+			res.RetrievalByDay[name] = cum
+			res.NeverRetrieve[name] = float64(st.neverRetrieve) / float64(st.uploaders)
+		}
+	}
+	return res
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"time"
+
+	"mcloud/internal/dist"
+	"mcloud/internal/tcpsim"
+	"mcloud/internal/trace"
+)
+
+// PerfResult carries the log-derived performance figures (Fig 12, 14,
+// 15). The packet-level figures (13, 16) come from IdleTimeStudy,
+// which drives the tcpsim substrate directly.
+type PerfResult struct {
+	// Fig 12: chunk transfer time CDFs (seconds) for full chunks.
+	UploadTime   map[trace.DeviceType]*dist.ECDF
+	DownloadTime map[trace.DeviceType]*dist.ECDF
+
+	// Fig 14: RTT sample (seconds).
+	RTT *dist.ECDF
+
+	// Fig 15: estimated average sending window for storage flows
+	// (bytes), swnd = reqsize * RTT / ttran.
+	SWnd *dist.ECDF
+
+	// UploadGapKS is the two-sample Kolmogorov-Smirnov test between
+	// the Android and iOS upload-time samples: the Fig 12 gap should
+	// be statistically unambiguous (tiny p-value).
+	UploadGapKS dist.KSResult
+}
+
+// MedianUpload returns the median chunk upload time for a device.
+func (p PerfResult) MedianUpload(d trace.DeviceType) time.Duration {
+	e := p.UploadTime[d]
+	if e == nil || e.N() == 0 {
+		return 0
+	}
+	return time.Duration(e.Quantile(0.5) * float64(time.Second))
+}
+
+// MedianDownload returns the median chunk download time for a device.
+func (p PerfResult) MedianDownload(d trace.DeviceType) time.Duration {
+	e := p.DownloadTime[d]
+	if e == nil || e.N() == 0 {
+		return 0
+	}
+	return time.Duration(e.Quantile(0.5) * float64(time.Second))
+}
+
+func (a *Analyzer) perf() PerfResult {
+	res := PerfResult{
+		UploadTime:   map[trace.DeviceType]*dist.ECDF{},
+		DownloadTime: map[trace.DeviceType]*dist.ECDF{},
+	}
+	for dev, r := range a.chunkUp {
+		res.UploadTime[dev] = dist.NewECDF(r.values())
+	}
+	for dev, r := range a.chunkDown {
+		res.DownloadTime[dev] = dist.NewECDF(r.values())
+	}
+	res.RTT = dist.NewECDF(a.rtts.values())
+	res.SWnd = dist.NewECDF(a.swnd.values())
+	if ks, err := dist.KSTwoSample(a.chunkUp[trace.Android].values(), a.chunkUp[trace.IOS].values()); err == nil {
+		res.UploadGapKS = ks
+	}
+	return res
+}
+
+// IdleTimeConfig parameterizes the Fig 13/16 packet-level study, which
+// replays upload and download flows through the TCP simulator for both
+// device profiles (substituting for the paper's 40,386 captured
+// flows and the authors' lab experiments).
+type IdleTimeConfig struct {
+	Flows     int           // flows per device/direction (default 200)
+	FileSize  int64         // bytes per flow (default 10 MB)
+	ChunkSize int64         // default 512 KB
+	RTT       time.Duration // default 100 ms
+	Seed      uint64
+	// NoSSAI disables slow-start restarts (the §4.3 what-if).
+	NoSSAI bool
+	// WindowScaling lifts the server's 64 KB clamp (the §4.3 what-if).
+	WindowScaling bool
+}
+
+func (c IdleTimeConfig) withDefaults() IdleTimeConfig {
+	if c.Flows <= 0 {
+		c.Flows = 200
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 10 << 20
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 512 << 10
+	}
+	if c.RTT <= 0 {
+		c.RTT = 100 * time.Millisecond
+	}
+	return c
+}
+
+// FlowClassStats summarizes one device × direction class (Fig 16).
+type FlowClassStats struct {
+	Tsrv        *dist.ECDF // seconds
+	Tclt        *dist.ECDF // seconds
+	IdleOverRTO *dist.ECDF
+	// RestartFrac is the fraction of inter-chunk idles that exceeded
+	// the RTO and restarted slow start.
+	RestartFrac float64
+	// MedianChunkTime is the median chunk transfer time (Fig 12 from
+	// the simulator side).
+	MedianChunkTime time.Duration
+	// MeanThroughput is the average goodput across flows, bytes/sec.
+	MeanThroughput float64
+}
+
+// IdleTimeResult is the Fig 13/16 study output.
+type IdleTimeResult struct {
+	// Classes maps "android"/"ios" × "storage"/"retrieval".
+	Classes map[string]FlowClassStats
+	// SampleFlows holds one representative storage flow per device for
+	// Fig 13 (sequence number and inflight over time).
+	SampleFlows map[string]tcpsim.FlowResult
+}
+
+// RunIdleTimeStudy replays flows through the simulator and dissects
+// the inter-chunk idle time exactly as §4.2 does with packet traces.
+func RunIdleTimeStudy(cfg IdleTimeConfig) (IdleTimeResult, error) {
+	cfg = cfg.withDefaults()
+	res := IdleTimeResult{
+		Classes:     map[string]FlowClassStats{},
+		SampleFlows: map[string]tcpsim.FlowResult{},
+	}
+	server := tcpsim.DefaultServer
+	server.WindowScaling = cfg.WindowScaling
+
+	for _, dev := range []tcpsim.DeviceProfile{tcpsim.AndroidProfile, tcpsim.IOSProfile} {
+		for _, dir := range []string{"storage", "retrieval"} {
+			var tsrv, tclt, ratios, chunkTimes []float64
+			var thr float64
+			restarts, gaps := 0, 0
+			for i := 0; i < cfg.Flows; i++ {
+				tc := tcpsim.TransferConfig{
+					Device:    dev,
+					Server:    server,
+					FileSize:  cfg.FileSize,
+					ChunkSize: cfg.ChunkSize,
+					RTT:       cfg.RTT,
+					NoSSAI:    cfg.NoSSAI,
+					Seed:      cfg.Seed + uint64(i)*7919,
+				}
+				var tr tcpsim.TransferResult
+				var err error
+				if dir == "storage" {
+					tr, err = tcpsim.SimulateUpload(tc)
+				} else {
+					tr, err = tcpsim.SimulateDownload(tc)
+				}
+				if err != nil {
+					return res, err
+				}
+				for _, g := range tr.Gaps {
+					tsrv = append(tsrv, g.Tsrv.Seconds())
+					tclt = append(tclt, g.Tclt.Seconds())
+				}
+				for ci, c := range tr.Flow.Chunks {
+					chunkTimes = append(chunkTimes, c.TransferTime.Seconds())
+					if ci > 0 {
+						gaps++
+						ratios = append(ratios, c.IdleOverRTO)
+						if c.Restarted {
+							restarts++
+						}
+					}
+				}
+				thr += tr.Flow.Throughput()
+				if i == 0 && dir == "storage" {
+					res.SampleFlows[dev.Name] = tr.Flow
+				}
+			}
+			st := FlowClassStats{
+				Tsrv:        dist.NewECDF(tsrv),
+				Tclt:        dist.NewECDF(tclt),
+				IdleOverRTO: dist.NewECDF(ratios),
+			}
+			if gaps > 0 {
+				st.RestartFrac = float64(restarts) / float64(gaps)
+			}
+			if len(chunkTimes) > 0 {
+				st.MedianChunkTime = time.Duration(dist.Median(dist.SortedCopy(chunkTimes)) * float64(time.Second))
+			}
+			st.MeanThroughput = thr / float64(cfg.Flows)
+			res.Classes[dev.Name+"/"+dir] = st
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mcloud/internal/dist"
+	"mcloud/internal/session"
+	"mcloud/internal/trace"
+)
+
+// Results is the complete output of one analysis pass.
+type Results struct {
+	Logs  int64
+	Users int
+
+	Workload   WorkloadResult   // Fig 1
+	InterOp    InterOpResult    // Fig 3
+	Sessions   SessionResult    // §3.1.1, Fig 4, Fig 5
+	FileSize   FileSizeResult   // Fig 6 / Table 2
+	Usage      UsageResult      // Fig 7 / Table 3
+	Engagement EngagementResult // Fig 8 / Fig 9
+	Activity   ActivityResult   // Fig 10
+	Perf       PerfResult       // Fig 12 / 14 / 15
+
+	// Warnings records engines that could not run (usually because the
+	// log set is too small or one-sided for a model fit); the other
+	// results remain valid.
+	Warnings []string
+}
+
+// Run executes every engine over the accumulated logs. Model-fitting
+// engines that fail on sparse input are recorded as warnings rather
+// than aborting the pass; the returned error is non-nil only when no
+// analysis was possible at all.
+func (a *Analyzer) Run() (Results, error) {
+	sessions := a.sessions()
+	res := Results{Logs: a.totalLogs, Users: len(a.byUser)}
+	if a.totalLogs == 0 {
+		return res, fmt.Errorf("core: no logs to analyze")
+	}
+	res.Workload = a.workload()
+	var err error
+	if res.InterOp, err = a.interOp(); err != nil {
+		res.Warnings = append(res.Warnings, fmt.Sprintf("inter-op analysis (Fig 3): %v", err))
+	}
+	res.Sessions = a.sessionAnalysis(sessions)
+	if res.FileSize, err = a.fileSize(sessions); err != nil {
+		res.Warnings = append(res.Warnings, fmt.Sprintf("file size analysis (Fig 6): %v", err))
+	}
+	res.Usage = a.usage()
+	res.Engagement = a.engagement()
+	if res.Activity, err = a.activity(); err != nil {
+		res.Warnings = append(res.Warnings, fmt.Sprintf("activity analysis (Fig 10): %v", err))
+	}
+	res.Perf = a.perf()
+	return res, nil
+}
+
+// --- Fig 1: workload temporal pattern ---------------------------------
+
+// HourPoint is one hour of the Fig 1 series.
+type HourPoint struct {
+	Hour       int // hours since observation start
+	StoreVol   int64
+	RetrVol    int64
+	StoreFiles int64
+	RetrFiles  int64
+}
+
+// WorkloadResult is the Fig 1 series plus headline aggregates.
+type WorkloadResult struct {
+	Hours          []HourPoint
+	TotalStoreVol  int64
+	TotalRetrVol   int64
+	TotalStoreFile int64
+	TotalRetrFile  int64
+	PeakHourOfDay  int     // modal local hour of total volume
+	PeakToTrough   float64 // peak/trough ratio of hourly volume by hour of day
+}
+
+// FileRatio returns stored files per retrieved file.
+func (w WorkloadResult) FileRatio() float64 {
+	if w.TotalRetrFile == 0 {
+		return math.Inf(1)
+	}
+	return float64(w.TotalStoreFile) / float64(w.TotalRetrFile)
+}
+
+// VolumeRatio returns retrieved volume per stored volume.
+func (w WorkloadResult) VolumeRatio() float64 {
+	if w.TotalStoreVol == 0 {
+		return math.Inf(1)
+	}
+	return float64(w.TotalRetrVol) / float64(w.TotalStoreVol)
+}
+
+func (a *Analyzer) workload() WorkloadResult {
+	var res WorkloadResult
+	maxHour := 0
+	for h := range a.hourlyStoreVol {
+		if h > maxHour {
+			maxHour = h
+		}
+	}
+	for h := range a.hourlyRetrVol {
+		if h > maxHour {
+			maxHour = h
+		}
+	}
+	res.Hours = make([]HourPoint, maxHour+1)
+	for h := range res.Hours {
+		res.Hours[h] = HourPoint{
+			Hour:       h,
+			StoreVol:   a.hourlyStoreVol[h],
+			RetrVol:    a.hourlyRetrVol[h],
+			StoreFiles: a.hourlyStoreFile[h],
+			RetrFiles:  a.hourlyRetrFile[h],
+		}
+		res.TotalStoreVol += a.hourlyStoreVol[h]
+		res.TotalRetrVol += a.hourlyRetrVol[h]
+		res.TotalStoreFile += a.hourlyStoreFile[h]
+		res.TotalRetrFile += a.hourlyRetrFile[h]
+	}
+
+	// Hour-of-day profile: anchor-local hours.
+	anchor := a.anchorStart()
+	var byHour [24]float64
+	for h, p := range res.Hours {
+		local := anchor.Add(time.Duration(h) * time.Hour).Hour()
+		byHour[local] += float64(p.StoreVol + p.RetrVol)
+	}
+	peak, trough := 0, 0
+	for h := range byHour {
+		if byHour[h] > byHour[peak] {
+			peak = h
+		}
+		if byHour[h] < byHour[trough] {
+			trough = h
+		}
+	}
+	res.PeakHourOfDay = peak
+	if byHour[trough] > 0 {
+		res.PeakToTrough = byHour[peak] / byHour[trough]
+	}
+	return res
+}
+
+// --- Fig 3: inter-operation time --------------------------------------
+
+// InterOpResult carries the Fig 3 histogram, the fitted mixture, and
+// the derived session threshold.
+type InterOpResult struct {
+	Gaps      int                  // gaps in the fitted sample
+	Hist      *dist.LogHistogram   // histogram over log10 seconds
+	Mixture   dist.GaussianMixture // 2-component fit on log10 seconds
+	ValleySec float64              // histogram valley between the modes
+	// TauSec is the suggested session threshold: the paper rounds the
+	// valley to one hour.
+	TauSec float64
+	// CrossoverSec is where the two components are equally likely.
+	CrossoverSec float64
+}
+
+// Fitted reports whether the mixture fit succeeded (enough gaps).
+func (r InterOpResult) Fitted() bool { return len(r.Mixture.Components) == 2 }
+
+// InSessionMeanSec returns 10^mean of the in-session component, or 0
+// when the fit did not run.
+func (r InterOpResult) InSessionMeanSec() float64 {
+	if !r.Fitted() {
+		return 0
+	}
+	return math.Pow(10, r.Mixture.Components[0].Mean)
+}
+
+// InterSessionMeanSec returns 10^mean of the inter-session component,
+// or 0 when the fit did not run.
+func (r InterOpResult) InterSessionMeanSec() float64 {
+	if !r.Fitted() {
+		return 0
+	}
+	return math.Pow(10, r.Mixture.Components[1].Mean)
+}
+
+func (a *Analyzer) interOp() (InterOpResult, error) {
+	var all []trace.Log
+	for _, u := range a.byUser {
+		for _, l := range u.logs {
+			if l.Type.FileOp() && l.Device.Mobile() {
+				all = append(all, l)
+			}
+		}
+	}
+	gaps := session.InterOpGaps(all)
+
+	res := InterOpResult{Hist: dist.NewLogHistogram(-1, 7, 96)}
+	var lg []float64
+	for _, g := range gaps {
+		res.Hist.Add(g)
+		if g >= a.opts.MinGapSeconds {
+			lg = append(lg, math.Log10(g))
+		}
+	}
+	res.Gaps = len(lg)
+	if len(lg) < 10 {
+		return res, fmt.Errorf("only %d usable gaps", len(lg))
+	}
+	m, err := dist.FitGaussianMixture(lg, 2, 0, 0)
+	if err != nil {
+		return res, err
+	}
+	res.Mixture = m
+	if v, err := res.Hist.ValleySeconds(
+		math.Pow(10, m.Components[0].Mean),
+		math.Pow(10, m.Components[1].Mean)); err == nil {
+		res.ValleySec = v
+	}
+	res.CrossoverSec = math.Pow(10, m.EquallyLikely(0, 1))
+	// The paper rounds the empirical valley to the hour mark.
+	res.TauSec = 3600
+	return res, nil
+}
+
+// --- §3.1.1 + Fig 4 + Fig 5: sessions ---------------------------------
+
+// SessionBin is one (#files → volume) bin of Fig 5b/5c.
+type SessionBin struct {
+	Files  int
+	N      int
+	MeanMB float64
+	MedMB  float64
+	P25MB  float64
+	P75MB  float64
+}
+
+// SessionResult groups the session-level findings.
+type SessionResult struct {
+	Stats session.Stats
+	// Fractions by class, Empty excluded (§3.1.1).
+	StoreOnlyFrac, RetrieveOnlyFrac, MixedFrac float64
+
+	// Fig 5a: operations per session.
+	POneOp     float64 // share of sessions with exactly one operation
+	POver20Ops float64
+
+	// Fig 4: CDF of normalized operating time for multi-op sessions,
+	// stratified as in the paper.
+	BurstAll    *dist.ECDF // #files > 1
+	BurstOver10 *dist.ECDF // #files > 10
+	BurstOver20 *dist.ECDF // #files > 20
+
+	// Fig 5b/5c: session volume by #files.
+	StoreBins    []SessionBin
+	RetrieveBins []SessionBin
+	// StoreSlopeMB is the linear coefficient of store-session volume
+	// against file count (the paper reads ~1.5 MB/file).
+	StoreSlopeMB float64
+	// OneFileRetrieveMeanMB is the average volume of single-file
+	// retrieve sessions (the paper reads ~70 MB).
+	OneFileRetrieveMeanMB float64
+}
+
+func (a *Analyzer) sessionAnalysis(sessions []session.Session) SessionResult {
+	var res SessionResult
+	res.Stats = session.Summarize(sessions)
+	res.StoreOnlyFrac = res.Stats.ClassFraction(session.StoreOnly)
+	res.RetrieveOnlyFrac = res.Stats.ClassFraction(session.RetrieveOnly)
+	res.MixedFrac = res.Stats.ClassFraction(session.Mixed)
+
+	var all, over10, over20 []float64
+	one, over20ops, nonEmpty := 0, 0, 0
+	type binAcc struct {
+		vols []float64
+	}
+	storeBins := map[int]*binAcc{}
+	retrBins := map[int]*binAcc{}
+	var oneFileRetr []float64
+
+	for i := range sessions {
+		s := &sessions[i]
+		if s.Class() == session.Empty {
+			continue
+		}
+		nonEmpty++
+		if s.FileOps == 1 {
+			one++
+		}
+		if s.FileOps > 20 {
+			over20ops++
+		}
+		if s.FileOps > 1 {
+			v := s.NormalizedOperatingTime()
+			all = append(all, v)
+			if s.FileOps > 10 {
+				over10 = append(over10, v)
+			}
+			if s.FileOps > 20 {
+				over20 = append(over20, v)
+			}
+		}
+		mb := float64(s.Volume()) / (1 << 20)
+		switch s.Class() {
+		case session.StoreOnly:
+			b := storeBins[s.FileOps]
+			if b == nil {
+				b = &binAcc{}
+				storeBins[s.FileOps] = b
+			}
+			b.vols = append(b.vols, mb)
+		case session.RetrieveOnly:
+			b := retrBins[s.FileOps]
+			if b == nil {
+				b = &binAcc{}
+				retrBins[s.FileOps] = b
+			}
+			b.vols = append(b.vols, mb)
+			if s.FileOps == 1 {
+				oneFileRetr = append(oneFileRetr, mb)
+			}
+		}
+	}
+	if nonEmpty > 0 {
+		res.POneOp = float64(one) / float64(nonEmpty)
+		res.POver20Ops = float64(over20ops) / float64(nonEmpty)
+	}
+	res.BurstAll = dist.NewECDF(all)
+	res.BurstOver10 = dist.NewECDF(over10)
+	res.BurstOver20 = dist.NewECDF(over20)
+
+	mkBins := func(m map[int]*binAcc) []SessionBin {
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		out := make([]SessionBin, 0, len(keys))
+		for _, k := range keys {
+			vols := dist.SortedCopy(m[k].vols)
+			out = append(out, SessionBin{
+				Files:  k,
+				N:      len(vols),
+				MeanMB: dist.Mean(vols),
+				MedMB:  dist.Median(vols),
+				P25MB:  dist.Quantile(vols, 0.25),
+				P75MB:  dist.Quantile(vols, 0.75),
+			})
+		}
+		return out
+	}
+	res.StoreBins = mkBins(storeBins)
+	res.RetrieveBins = mkBins(retrBins)
+
+	// Linear fit of median store volume against #files over the bins
+	// with enough support (Fig 5b's "linear coefficient ≈ 1.5 MB").
+	var xs, ys []float64
+	for _, b := range res.StoreBins {
+		if b.N >= 5 && b.Files <= 100 {
+			xs = append(xs, float64(b.Files))
+			ys = append(ys, b.MedMB)
+		}
+	}
+	res.StoreSlopeMB, _, _ = dist.LinearFit(xs, ys)
+	if len(oneFileRetr) > 0 {
+		res.OneFileRetrieveMeanMB = dist.Mean(oneFileRetr)
+	}
+	return res
+}
+
+// --- Fig 6 / Table 2: average file size -------------------------------
+
+// FileSizeResult holds the mixture fits over per-session average file
+// sizes, in MB.
+type FileSizeResult struct {
+	StoreMixture    dist.ExpMixture
+	RetrieveMixture dist.ExpMixture
+	StoreGOF        dist.GOFResult
+	RetrieveGOF     dist.GOFResult
+	StoreN          int
+	RetrieveN       int
+	StoreCCDF       *dist.ECDF
+	RetrieveCCDF    *dist.ECDF
+}
+
+func (a *Analyzer) fileSize(sessions []session.Session) (FileSizeResult, error) {
+	var res FileSizeResult
+	var store, retr []float64
+	for i := range sessions {
+		s := &sessions[i]
+		if s.FileOps == 0 || !s.Device.Mobile() {
+			continue
+		}
+		mb := s.AvgFileSize() / (1 << 20)
+		if mb <= 0 {
+			continue
+		}
+		switch s.Class() {
+		case session.StoreOnly:
+			store = append(store, mb)
+		case session.RetrieveOnly:
+			retr = append(retr, mb)
+		}
+	}
+	res.StoreN, res.RetrieveN = len(store), len(retr)
+	if len(store) < 20 || len(retr) < 20 {
+		return res, fmt.Errorf("too few sessions for the mixture fit (%d store, %d retrieve)", len(store), len(retr))
+	}
+	var err error
+	if res.StoreMixture, err = dist.SelectExpMixture(store, 3, 0.001); err != nil {
+		return res, err
+	}
+	if res.RetrieveMixture, err = dist.SelectExpMixture(retr, 3, 0.001); err != nil {
+		return res, err
+	}
+	res.StoreCCDF = dist.NewECDF(store)
+	res.RetrieveCCDF = dist.NewECDF(retr)
+	np := 2*len(res.StoreMixture.Components) - 1
+	res.StoreGOF, _ = dist.ChiSquareGOF(store, res.StoreMixture.CDF, np, 30)
+	np = 2*len(res.RetrieveMixture.Components) - 1
+	res.RetrieveGOF, _ = dist.ChiSquareGOF(retr, res.RetrieveMixture.CDF, np, 30)
+	return res, nil
+}
+
+// --- Fig 7 / Table 3: usage patterns ----------------------------------
+
+// UserClassRow is one cell block of Table 3.
+type UserClassRow struct {
+	Users     int
+	UserFrac  float64
+	StoreVol  int64
+	RetrVol   int64
+	StoreFrac float64 // of the category's total stored volume
+	RetrFrac  float64
+}
+
+// UsageResult carries Fig 7 and Table 3.
+type UsageResult struct {
+	// Ratios holds log10((stored+1)/(retrieved+1)) per user, by
+	// category, for the Fig 7 CDFs. Pure uploaders sit at +10 and pure
+	// downloaders at -10 (the paper's axis is clipped the same way).
+	RatiosMobileOnly  []float64
+	RatiosMobileAndPC []float64
+	RatiosPCOnly      []float64
+	RatiosByDevices   map[int][]float64 // mobile-only users by #devices (1, 2, 3+)
+
+	// Table 3: class → category → row.
+	Table3 map[string]map[string]UserClassRow
+}
+
+// classifyVolume applies the paper's thresholds (§3.2.1).
+func classifyVolume(storeVol, retrVol int64) string {
+	total := storeVol + retrVol
+	if total < 1<<20 {
+		return "occasional"
+	}
+	ratio := (float64(storeVol) + 1) / (float64(retrVol) + 1)
+	switch {
+	case ratio > 1e5:
+		return "upload-only"
+	case ratio < 1e-5:
+		return "download-only"
+	default:
+		return "mixed"
+	}
+}
+
+func (a *Analyzer) usage() UsageResult {
+	res := UsageResult{
+		RatiosByDevices: map[int][]float64{},
+		Table3:          map[string]map[string]UserClassRow{},
+	}
+	type catAgg struct {
+		users             int
+		storeVol, retrVol int64
+		classUsers        map[string]int
+		classStore        map[string]int64
+		classRetr         map[string]int64
+	}
+	cats := map[string]*catAgg{}
+
+	for id, u := range a.byUser {
+		mobile, pc := false, false
+		if a.opts.UserCategory != nil {
+			mobile, pc = a.opts.UserCategory(id)
+		} else {
+			for _, d := range u.devices {
+				if d.Mobile() {
+					mobile = true
+				} else {
+					pc = true
+				}
+			}
+		}
+		cat := "pc-only"
+		switch {
+		case mobile && pc:
+			cat = "mobile-and-pc"
+		case mobile:
+			cat = "mobile-only"
+		}
+
+		ratio := math.Log10((float64(u.storeVol) + 1) / (float64(u.retrVol) + 1))
+		if ratio > 10 {
+			ratio = 10
+		}
+		if ratio < -10 {
+			ratio = -10
+		}
+		switch cat {
+		case "mobile-only":
+			res.RatiosMobileOnly = append(res.RatiosMobileOnly, ratio)
+			nDev := 0
+			for _, d := range u.devices {
+				if d.Mobile() {
+					nDev++
+				}
+			}
+			if nDev > 3 {
+				nDev = 3
+			}
+			res.RatiosByDevices[nDev] = append(res.RatiosByDevices[nDev], ratio)
+		case "mobile-and-pc":
+			res.RatiosMobileAndPC = append(res.RatiosMobileAndPC, ratio)
+		default:
+			res.RatiosPCOnly = append(res.RatiosPCOnly, ratio)
+		}
+
+		ca := cats[cat]
+		if ca == nil {
+			ca = &catAgg{
+				classUsers: map[string]int{},
+				classStore: map[string]int64{},
+				classRetr:  map[string]int64{},
+			}
+			cats[cat] = ca
+		}
+		class := classifyVolume(u.storeVol, u.retrVol)
+		ca.users++
+		ca.storeVol += u.storeVol
+		ca.retrVol += u.retrVol
+		ca.classUsers[class]++
+		ca.classStore[class] += u.storeVol
+		ca.classRetr[class] += u.retrVol
+	}
+
+	for cat, ca := range cats {
+		for _, class := range []string{"upload-only", "download-only", "occasional", "mixed"} {
+			row := UserClassRow{
+				Users:    ca.classUsers[class],
+				StoreVol: ca.classStore[class],
+				RetrVol:  ca.classRetr[class],
+			}
+			if ca.users > 0 {
+				row.UserFrac = float64(row.Users) / float64(ca.users)
+			}
+			if ca.storeVol > 0 {
+				row.StoreFrac = float64(row.StoreVol) / float64(ca.storeVol)
+			}
+			if ca.retrVol > 0 {
+				row.RetrFrac = float64(row.RetrVol) / float64(ca.retrVol)
+			}
+			if res.Table3[class] == nil {
+				res.Table3[class] = map[string]UserClassRow{}
+			}
+			res.Table3[class][cat] = row
+		}
+	}
+	return res
+}

@@ -1,0 +1,318 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ExpComponent is one component of an exponential mixture: weight
+// Alpha and mean Mu (the paper's α_i and µ_i, Table 2).
+type ExpComponent struct {
+	Alpha float64
+	Mu    float64
+}
+
+// ExpMixture is a mixture of exponential distributions
+//
+//	f(x) = Σ α_i (1/µ_i) exp(-x/µ_i)
+//
+// as used by the paper to model average file sizes (§3.1.4).
+// Components are kept sorted by ascending mean.
+type ExpMixture struct {
+	Components []ExpComponent
+	LogLik     float64
+	Iters      int
+}
+
+func (m ExpMixture) String() string {
+	s := "ExpMix{"
+	for i, c := range m.Components {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("α=%.3f µ=%.4g", c.Alpha, c.Mu)
+	}
+	return s + "}"
+}
+
+// PDF evaluates the mixture density at x (0 for x < 0).
+func (m ExpMixture) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	p := 0.0
+	for _, c := range m.Components {
+		p += c.Alpha / c.Mu * math.Exp(-x/c.Mu)
+	}
+	return p
+}
+
+// CDF evaluates the mixture distribution function at x.
+func (m ExpMixture) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	p := 0.0
+	for _, c := range m.Components {
+		p += c.Alpha * (1 - math.Exp(-x/c.Mu))
+	}
+	return p
+}
+
+// CCDF evaluates P(X > x).
+func (m ExpMixture) CCDF(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	p := 0.0
+	for _, c := range m.Components {
+		p += c.Alpha * math.Exp(-x/c.Mu)
+	}
+	return p
+}
+
+// Mean returns the mixture mean Σ α_i µ_i.
+func (m ExpMixture) Mean() float64 {
+	mean := 0.0
+	for _, c := range m.Components {
+		mean += c.Alpha * c.Mu
+	}
+	return mean
+}
+
+// FitExpMixture fits a k-component exponential mixture to the
+// non-negative sample xs with expectation-maximization. Initial means
+// are placed at spread-out sample quantiles so the fit is
+// deterministic.
+func FitExpMixture(xs []float64, k, maxIter int, tol float64) (ExpMixture, error) {
+	if k < 1 {
+		return ExpMixture{}, errors.New("dist: mixture needs k >= 1")
+	}
+	if len(xs) < 2*k {
+		return ExpMixture{}, fmt.Errorf("dist: %d samples insufficient for %d components", len(xs), k)
+	}
+	for _, x := range xs {
+		if x < 0 {
+			return ExpMixture{}, errors.New("dist: exponential mixture requires non-negative samples")
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 5000
+	}
+	if tol <= 0 {
+		tol = 1e-13
+	}
+
+	comps := initExpComponents(xs, k)
+
+	// EM over exponential mixtures needs on the order of a thousand
+	// iterations when components overlap near zero (they always do),
+	// so the sample is first compressed into equal-count quantile bins
+	// and EM runs on the weighted bin means. With thousands of bins
+	// the compression loss is far below the Monte Carlo noise of any
+	// realistic sample, and the iteration cost drops by the ratio of
+	// sample size to bin count.
+	vals, weights := compressSample(xs, 4096)
+
+	n := float64(len(xs))
+	m := len(vals)
+	resp := make([][]float64, k)
+	for i := range resp {
+		resp[i] = make([]float64, m)
+	}
+
+	prevLL := math.Inf(-1)
+	var ll float64
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		ll = 0
+		for j, x := range vals {
+			total := 0.0
+			for i, c := range comps {
+				p := c.Alpha / c.Mu * math.Exp(-x/c.Mu)
+				resp[i][j] = p
+				total += p
+			}
+			if total <= 0 {
+				for i := range comps {
+					resp[i][j] = 1 / float64(k)
+				}
+				ll += weights[j] * math.Log(math.SmallestNonzeroFloat64)
+				continue
+			}
+			for i := range comps {
+				resp[i][j] /= total
+			}
+			ll += weights[j] * math.Log(total)
+		}
+
+		for i := range comps {
+			nk := 0.0
+			sum := 0.0
+			for j, x := range vals {
+				w := weights[j] * resp[i][j]
+				nk += w
+				sum += w * x
+			}
+			if nk < 1e-12 {
+				comps[i].Alpha = 1e-9
+				continue
+			}
+			mu := sum / nk
+			if mu <= 0 {
+				mu = 1e-12
+			}
+			comps[i] = ExpComponent{Alpha: nk / n, Mu: mu}
+		}
+
+		if math.Abs(ll-prevLL) < tol*(1+math.Abs(ll)) {
+			iter++
+			break
+		}
+		prevLL = ll
+	}
+
+	sort.Slice(comps, func(a, b int) bool { return comps[a].Mu < comps[b].Mu })
+	return ExpMixture{Components: comps, LogLik: ll, Iters: iter}, nil
+}
+
+// compressSample reduces xs to at most maxBins (value, weight) pairs
+// by equal-count binning of the sorted sample, each bin represented by
+// its mean. Samples smaller than 2*maxBins are passed through with
+// unit weights.
+func compressSample(xs []float64, maxBins int) (vals, weights []float64) {
+	if len(xs) <= 2*maxBins {
+		w := make([]float64, len(xs))
+		for i := range w {
+			w[i] = 1
+		}
+		return xs, w
+	}
+	sorted := SortedCopy(xs)
+	vals = make([]float64, 0, maxBins)
+	weights = make([]float64, 0, maxBins)
+	per := float64(len(sorted)) / float64(maxBins)
+	start := 0
+	for b := 0; b < maxBins; b++ {
+		end := int(float64(b+1) * per)
+		if b == maxBins-1 {
+			end = len(sorted)
+		}
+		if end <= start {
+			continue
+		}
+		sum := 0.0
+		for _, v := range sorted[start:end] {
+			sum += v
+		}
+		vals = append(vals, sum/float64(end-start))
+		weights = append(weights, float64(end-start))
+		start = end
+	}
+	return vals, weights
+}
+
+// initExpComponents seeds EM with scales log-spaced between a low and
+// a high sample quantile, then assigns each point to its nearest scale
+// (in log space) to obtain initial weights and means. Heavy-tailed
+// mixtures have components at very different scales, so a log-domain
+// partition lands close to the EM fixed point and avoids the slow
+// crawl EM exhibits from a flat start.
+func initExpComponents(xs []float64, k int) []ExpComponent {
+	sorted := SortedCopy(xs)
+	lo := Quantile(sorted, 0.10)
+	hi := Quantile(sorted, 0.995)
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	centers := make([]float64, k)
+	if k == 1 {
+		centers[0] = Mean(xs)
+	} else {
+		for i := range centers {
+			f := float64(i) / float64(k-1)
+			centers[i] = math.Exp(math.Log(lo) + f*(math.Log(hi)-math.Log(lo)))
+		}
+	}
+	counts := make([]float64, k)
+	sums := make([]float64, k)
+	for _, x := range xs {
+		best := 0
+		bestD := math.Inf(1)
+		lx := math.Log(math.Max(x, 1e-12))
+		for i, c := range centers {
+			d := math.Abs(lx - math.Log(c))
+			if d < bestD {
+				bestD = d
+				best = i
+			}
+		}
+		counts[best]++
+		sums[best] += x
+	}
+	comps := make([]ExpComponent, k)
+	n := float64(len(xs))
+	for i := range comps {
+		mu := centers[i]
+		if counts[i] > 0 && sums[i] > 0 {
+			mu = sums[i] / counts[i]
+		}
+		if mu <= 0 {
+			mu = 1e-9
+		}
+		alpha := counts[i] / n
+		if alpha <= 0 {
+			alpha = 1 / n
+		}
+		comps[i] = ExpComponent{Alpha: alpha, Mu: mu}
+	}
+	return comps
+}
+
+// SelectExpMixture applies the paper's model-selection rule (§3.1.4):
+// grow the number of exponential components starting from 1 and stop
+// when adding another component leaves some α_i below minAlpha
+// (the paper uses 0.001) or k reaches maxK. A component that merely
+// duplicates an existing scale (means within a factor of two) is also
+// treated as negligible, since EM on data with fewer true scales
+// splits one component's mass instead of driving a weight to zero.
+// It returns the selected mixture.
+func SelectExpMixture(xs []float64, maxK int, minAlpha float64) (ExpMixture, error) {
+	if maxK < 1 {
+		maxK = 1
+	}
+	if minAlpha <= 0 {
+		minAlpha = 0.001
+	}
+	best, err := FitExpMixture(xs, 1, 0, 0)
+	if err != nil {
+		return ExpMixture{}, err
+	}
+	for k := 2; k <= maxK; k++ {
+		m, err := FitExpMixture(xs, k, 0, 0)
+		if err != nil {
+			break
+		}
+		negligible := false
+		for i, c := range m.Components {
+			if c.Alpha < minAlpha {
+				negligible = true
+				break
+			}
+			if i > 0 && c.Mu < 2*m.Components[i-1].Mu {
+				negligible = true
+				break
+			}
+		}
+		if negligible {
+			break
+		}
+		best = m
+	}
+	return best, nil
+}

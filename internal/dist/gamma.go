@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"errors"
+	"math"
+)
+
+// regularizedGammaP computes P(a, x), the regularized lower incomplete
+// gamma function, via the series expansion for x < a+1 and the
+// continued fraction for x >= a+1 (Numerical Recipes approach).
+func regularizedGammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x < a+1:
+		return gammaPSeries(a, x)
+	default:
+		return 1 - gammaQContinued(a, x)
+	}
+}
+
+// regularizedGammaQ computes Q(a, x) = 1 - P(a, x).
+func regularizedGammaQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaPSeries(a, x)
+	default:
+		return gammaQContinued(a, x)
+	}
+}
+
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinued(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with k
+// degrees of freedom.
+func ChiSquareCDF(x float64, k int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regularizedGammaP(float64(k)/2, x/2)
+}
+
+// ChiSquareSurvival returns P(X > x) — the p-value of a chi-square
+// statistic x with k degrees of freedom.
+func ChiSquareSurvival(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(float64(k)/2, x/2)
+}
+
+// GOFResult reports a chi-square goodness-of-fit test.
+type GOFResult struct {
+	Stat   float64 // chi-square statistic
+	DF     int     // degrees of freedom
+	PValue float64
+	Bins   int // bins actually used after merging sparse ones
+}
+
+// Pass reports whether the fit is NOT rejected at significance level
+// alpha (the paper uses P0 = 5%).
+func (r GOFResult) Pass(alpha float64) bool { return r.PValue > alpha }
+
+// ChiSquareGOF tests the sample xs against a model CDF using
+// equal-probability bins under the model (so every bin has the same
+// expected count). nParams is the number of model parameters estimated
+// from the data (subtracted from the degrees of freedom). bins is a
+// suggestion; it is reduced if the sample is small so the expected
+// count per bin stays at least 5.
+//
+// Binning by model quantiles requires inverting the CDF, which is done
+// by bisection over the sample range extended by a factor of 10 on
+// each side.
+func ChiSquareGOF(xs []float64, cdf func(float64) float64, nParams, bins int) (GOFResult, error) {
+	n := len(xs)
+	if n < 10 {
+		return GOFResult{}, errors.New("dist: too few samples for a chi-square test")
+	}
+	if bins < 3 {
+		bins = 3
+	}
+	for n/bins < 5 && bins > 3 {
+		bins--
+	}
+
+	sorted := SortedCopy(xs)
+	lo := sorted[0]
+	hi := sorted[n-1]
+	span := hi - lo
+	if span <= 0 {
+		span = math.Abs(hi) + 1
+	}
+	searchLo := lo - 10*span
+	searchHi := hi + 10*span
+
+	invert := func(p float64) float64 {
+		a, b := searchLo, searchHi
+		for i := 0; i < 200; i++ {
+			mid := (a + b) / 2
+			if cdf(mid) < p {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		return (a + b) / 2
+	}
+
+	// Observed counts in equal-model-probability bins.
+	observed := make([]int, bins)
+	edges := make([]float64, bins-1)
+	for i := 1; i < bins; i++ {
+		edges[i-1] = invert(float64(i) / float64(bins))
+	}
+	for _, x := range xs {
+		b := 0
+		for b < bins-1 && x > edges[b] {
+			b++
+		}
+		observed[b]++
+	}
+
+	expected := float64(n) / float64(bins)
+	stat := 0.0
+	for _, o := range observed {
+		d := float64(o) - expected
+		stat += d * d / expected
+	}
+	df := bins - 1 - nParams
+	if df < 1 {
+		df = 1
+	}
+	return GOFResult{
+		Stat:   stat,
+		DF:     df,
+		PValue: ChiSquareSurvival(stat, df),
+		Bins:   bins,
+	}, nil
+}

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"mcloud/internal/randx"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{3.841, 1, 0.95},
+		{5.991, 2, 0.95},
+		{7.815, 3, 0.95},
+		{18.307, 10, 0.95},
+		{2.706, 1, 0.90},
+		{0.0158, 1, 0.10},
+		{4.605, 2, 0.90},
+	}
+	for _, c := range cases {
+		got := ChiSquareCDF(c.x, c.k)
+		if math.Abs(got-c.want) > 2e-3 {
+			t.Errorf("ChiSquareCDF(%v, %d) = %.5f, want %.3f", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareCDFWithExponentialIdentity(t *testing.T) {
+	// Chi-square with 2 dof is Exp(mean 2): CDF(x) = 1 - exp(-x/2).
+	for x := 0.1; x < 20; x += 0.7 {
+		want := 1 - math.Exp(-x/2)
+		got := ChiSquareCDF(x, 2)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("ChiSquareCDF(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalComplement(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 20, 100} {
+		for x := 0.5; x < 150; x *= 2 {
+			sum := ChiSquareCDF(x, k) + ChiSquareSurvival(x, k)
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("CDF+Survival = %v at x=%v k=%d", sum, x, k)
+			}
+		}
+	}
+}
+
+func TestChiSquareEdgeCases(t *testing.T) {
+	if ChiSquareCDF(0, 3) != 0 || ChiSquareCDF(-1, 3) != 0 {
+		t.Error("CDF at non-positive x should be 0")
+	}
+	if ChiSquareSurvival(0, 3) != 1 {
+		t.Error("survival at 0 should be 1")
+	}
+}
+
+func TestChiSquareGOFAcceptsTrueModel(t *testing.T) {
+	src := randx.New(200)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = src.Exp(2)
+	}
+	cdf := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/2)
+	}
+	res, err := ChiSquareGOF(xs, cdf, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass(0.05) {
+		t.Errorf("true model rejected: stat=%.2f df=%d p=%.4f", res.Stat, res.DF, res.PValue)
+	}
+}
+
+func TestChiSquareGOFRejectsWrongModel(t *testing.T) {
+	src := randx.New(201)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = src.Exp(2)
+	}
+	// Deliberately wrong model: exponential with mean 6.
+	cdf := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/6)
+	}
+	res, err := ChiSquareGOF(xs, cdf, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass(0.05) {
+		t.Errorf("wrong model accepted: stat=%.2f p=%.4f", res.Stat, res.PValue)
+	}
+}
+
+func TestChiSquareGOFTooFewSamples(t *testing.T) {
+	if _, err := ChiSquareGOF([]float64{1, 2}, func(x float64) float64 { return x }, 0, 10); err == nil {
+		t.Error("expected error for tiny sample")
+	}
+}
+
+func TestChiSquareGOFMixtureFitPassesLikePaper(t *testing.T) {
+	// The paper reports its Table 2 mixture fits pass chi-square at 5%.
+	src := randx.New(202)
+	alphas := []float64{0.91, 0.07, 0.02}
+	mus := []float64{1.5, 13.1, 77.4}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = src.MixtureExp(alphas, mus)
+	}
+	m, err := FitExpMixture(xs, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChiSquareGOF(xs, m.CDF, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass(0.05) {
+		t.Errorf("fitted mixture rejected: stat=%.2f df=%d p=%.4f", res.Stat, res.DF, res.PValue)
+	}
+}

@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GaussianComponent is one component of a one-dimensional Gaussian
+// mixture.
+type GaussianComponent struct {
+	Weight float64 // mixing proportion, in (0, 1]
+	Mean   float64
+	StdDev float64
+}
+
+// GaussianMixture is a one-dimensional mixture of Gaussians, fit with
+// expectation-maximization. Components are kept sorted by mean.
+type GaussianMixture struct {
+	Components []GaussianComponent
+	LogLik     float64 // final log-likelihood of the fit
+	Iters      int     // EM iterations performed
+}
+
+func (g GaussianMixture) String() string {
+	s := "GMM{"
+	for i, c := range g.Components {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("w=%.3f N(%.3f, %.3f)", c.Weight, c.Mean, c.StdDev)
+	}
+	return s + "}"
+}
+
+// PDF evaluates the mixture density at x.
+func (g GaussianMixture) PDF(x float64) float64 {
+	p := 0.0
+	for _, c := range g.Components {
+		p += c.Weight * normPDF(x, c.Mean, c.StdDev)
+	}
+	return p
+}
+
+// CDF evaluates the mixture distribution function at x.
+func (g GaussianMixture) CDF(x float64) float64 {
+	p := 0.0
+	for _, c := range g.Components {
+		p += c.Weight * normCDF(x, c.Mean, c.StdDev)
+	}
+	return p
+}
+
+// Responsibility returns the posterior probability that x was drawn
+// from component i.
+func (g GaussianMixture) Responsibility(i int, x float64) float64 {
+	total := g.PDF(x)
+	if total == 0 {
+		return 0
+	}
+	c := g.Components[i]
+	return c.Weight * normPDF(x, c.Mean, c.StdDev) / total
+}
+
+// EquallyLikely returns the point between the means of components i
+// and j at which both components have equal posterior probability —
+// the paper uses the 1-hour mark being "equally likely to be within
+// the two components" to validate the session threshold. The point is
+// found by bisection between the two component means.
+func (g GaussianMixture) EquallyLikely(i, j int) float64 {
+	ci, cj := g.Components[i], g.Components[j]
+	lo, hi := ci.Mean, cj.Mean
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	f := func(x float64) float64 {
+		return ci.Weight*normPDF(x, ci.Mean, ci.StdDev) - cj.Weight*normPDF(x, cj.Mean, cj.StdDev)
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 == (f(lo) > 0) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func normPDF(x, mean, sd float64) float64 {
+	if sd <= 0 {
+		return 0
+	}
+	z := (x - mean) / sd
+	return math.Exp(-0.5*z*z) / (sd * math.Sqrt(2*math.Pi))
+}
+
+func normCDF(x, mean, sd float64) float64 {
+	if sd <= 0 {
+		if x < mean {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mean)/(sd*math.Sqrt2))
+}
+
+// minGaussianSD floors component standard deviations to keep EM from
+// collapsing a component onto a single point.
+const minGaussianSD = 1e-6
+
+// FitGaussianMixture fits a k-component Gaussian mixture to xs using
+// expectation-maximization. Initial means are placed at evenly spaced
+// sample quantiles, which makes the fit deterministic. It returns an
+// error if the sample is smaller than 2k or k < 1.
+func FitGaussianMixture(xs []float64, k int, maxIter int, tol float64) (GaussianMixture, error) {
+	if k < 1 {
+		return GaussianMixture{}, errors.New("dist: mixture needs k >= 1")
+	}
+	if len(xs) < 2*k {
+		return GaussianMixture{}, fmt.Errorf("dist: %d samples insufficient for %d components", len(xs), k)
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+
+	sorted := SortedCopy(xs)
+	overall := NewECDF(nil) // placeholder to avoid nil checks below
+	_ = overall
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	sd := s.StdDev()
+	if sd < minGaussianSD {
+		sd = minGaussianSD
+	}
+
+	comps := make([]GaussianComponent, k)
+	for i := range comps {
+		q := (float64(i) + 0.5) / float64(k)
+		comps[i] = GaussianComponent{
+			Weight: 1 / float64(k),
+			Mean:   Quantile(sorted, q),
+			StdDev: sd / float64(k),
+		}
+	}
+
+	n := len(xs)
+	resp := make([][]float64, k)
+	for i := range resp {
+		resp[i] = make([]float64, n)
+	}
+
+	prevLL := math.Inf(-1)
+	var ll float64
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		// E-step.
+		ll = 0
+		for j, x := range xs {
+			total := 0.0
+			for i, c := range comps {
+				p := c.Weight * normPDF(x, c.Mean, c.StdDev)
+				resp[i][j] = p
+				total += p
+			}
+			if total <= 0 {
+				// Point is in the extreme tail of every component;
+				// assign it uniformly to keep EM well-defined.
+				for i := range comps {
+					resp[i][j] = 1 / float64(k)
+				}
+				ll += math.Log(math.SmallestNonzeroFloat64)
+				continue
+			}
+			for i := range comps {
+				resp[i][j] /= total
+			}
+			ll += math.Log(total)
+		}
+
+		// M-step.
+		for i := range comps {
+			nk := 0.0
+			for j := 0; j < n; j++ {
+				nk += resp[i][j]
+			}
+			if nk < 1e-12 {
+				// Dead component: re-seed at the overall mean.
+				comps[i] = GaussianComponent{Weight: 1e-6, Mean: s.Mean(), StdDev: sd}
+				continue
+			}
+			mean := 0.0
+			for j, x := range xs {
+				mean += resp[i][j] * x
+			}
+			mean /= nk
+			variance := 0.0
+			for j, x := range xs {
+				d := x - mean
+				variance += resp[i][j] * d * d
+			}
+			variance /= nk
+			if variance < minGaussianSD*minGaussianSD {
+				variance = minGaussianSD * minGaussianSD
+			}
+			comps[i] = GaussianComponent{
+				Weight: nk / float64(n),
+				Mean:   mean,
+				StdDev: math.Sqrt(variance),
+			}
+		}
+
+		if math.Abs(ll-prevLL) < tol*(1+math.Abs(ll)) {
+			iter++
+			break
+		}
+		prevLL = ll
+	}
+
+	sort.Slice(comps, func(a, b int) bool { return comps[a].Mean < comps[b].Mean })
+	return GaussianMixture{Components: comps, LogLik: ll, Iters: iter}, nil
+}

@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the
+// range are accumulated in underflow/overflow counters so that totals
+// are never lost.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int64
+	Underflow int64
+	Overflow  int64
+}
+
+// NewHistogram returns a histogram with bins equal-width bins spanning
+// [lo, hi). It panics if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("dist: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("dist: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Counts) { // guard against floating point edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the count of all observations, including out-of-range.
+func (h *Histogram) Total() int64 {
+	t := h.Underflow + h.Overflow
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// InRange returns the count of observations that landed in a bin.
+func (h *Histogram) InRange() int64 {
+	t := int64(0)
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the normalized density of bin i (so that the sum of
+// density*binwidth over bins equals the in-range fraction).
+func (h *Histogram) Density(i int) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(total) * h.BinWidth())
+}
+
+// Mode returns the center of the highest-count bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// ValleyBetween locates the lowest-count bin center strictly between
+// the two given x positions; it is used to find the natural session
+// cut between the two modes of the inter-operation time histogram.
+// It returns an error if the interval covers no bins.
+func (h *Histogram) ValleyBetween(a, b float64) (float64, error) {
+	if a > b {
+		a, b = b, a
+	}
+	lo := int((a - h.Lo) / h.BinWidth())
+	hi := int((b - h.Lo) / h.BinWidth())
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(h.Counts)-1 {
+		hi = len(h.Counts) - 1
+	}
+	if lo > hi {
+		return 0, fmt.Errorf("dist: valley interval [%g, %g] covers no bins", a, b)
+	}
+	best := lo
+	for i := lo; i <= hi; i++ {
+		if h.Counts[i] < h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best), nil
+}
+
+// LogHistogram bins positive values by their base-10 logarithm. It is
+// the natural shape for the paper's Figure 3 (inter-operation times
+// spanning seconds to days).
+type LogHistogram struct {
+	H *Histogram
+}
+
+// NewLogHistogram returns a histogram over log10 values spanning
+// [10^loExp, 10^hiExp) with the given number of bins.
+func NewLogHistogram(loExp, hiExp float64, bins int) *LogHistogram {
+	return &LogHistogram{H: NewHistogram(loExp, hiExp, bins)}
+}
+
+// Add records a positive observation; non-positive values count as
+// underflow.
+func (lh *LogHistogram) Add(x float64) {
+	if x <= 0 {
+		lh.H.Underflow++
+		return
+	}
+	lh.H.Add(math.Log10(x))
+}
+
+// ValleySeconds finds the histogram valley between two modes given in
+// seconds and returns it in seconds.
+func (lh *LogHistogram) ValleySeconds(a, b float64) (float64, error) {
+	v, err := lh.H.ValleyBetween(math.Log10(a), math.Log10(b))
+	if err != nil {
+		return 0, err
+	}
+	return math.Pow(10, v), nil
+}

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"mcloud/internal/randx"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 {
+		t.Errorf("underflow = %d, want 1", h.Underflow)
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow)
+	}
+	if h.Counts[0] != 2 {
+		t.Errorf("bin 0 = %d, want 2 (0 and 0.5)", h.Counts[0])
+	}
+	if h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("bins 5/9 = %d/%d, want 1/1", h.Counts[5], h.Counts[9])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+	if h.InRange() != 4 {
+		t.Errorf("in-range = %d, want 4", h.InRange())
+	}
+}
+
+func TestHistogramDensityIntegratesToInRangeFraction(t *testing.T) {
+	src := randx.New(5)
+	h := NewHistogram(-3, 3, 60)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		h.Add(src.NormFloat64())
+	}
+	integral := 0.0
+	for i := range h.Counts {
+		integral += h.Density(i) * h.BinWidth()
+	}
+	wantFrac := float64(h.InRange()) / float64(h.Total())
+	if math.Abs(integral-wantFrac) > 1e-9 {
+		t.Errorf("density integral = %v, want %v", integral, wantFrac)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	src := randx.New(6)
+	h := NewHistogram(0, 20, 40)
+	for i := 0; i < 20000; i++ {
+		h.Add(src.Normal(12, 1))
+	}
+	if m := h.Mode(); math.Abs(m-12) > 1 {
+		t.Errorf("mode = %v, want ~12", m)
+	}
+}
+
+func TestValleyBetween(t *testing.T) {
+	src := randx.New(7)
+	h := NewHistogram(0, 30, 60)
+	for i := 0; i < 30000; i++ {
+		if i%2 == 0 {
+			h.Add(src.Normal(5, 1.5))
+		} else {
+			h.Add(src.Normal(25, 1.5))
+		}
+	}
+	v, err := h.ValleyBetween(5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 10 || v > 20 {
+		t.Errorf("valley = %v, want within (10, 20)", v)
+	}
+}
+
+func TestValleyBetweenEmptyInterval(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if _, err := h.ValleyBetween(50, 60); err == nil {
+		t.Error("expected error for interval outside histogram")
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	lh := NewLogHistogram(-1, 6, 70)
+	lh.Add(0)    // underflow
+	lh.Add(-5)   // underflow
+	lh.Add(10)   // log10 = 1
+	lh.Add(1000) // log10 = 3
+	if lh.H.Underflow != 2 {
+		t.Errorf("underflow = %d, want 2", lh.H.Underflow)
+	}
+	if lh.H.InRange() != 2 {
+		t.Errorf("in-range = %d, want 2", lh.H.InRange())
+	}
+}
+
+func TestLogHistogramValleySeconds(t *testing.T) {
+	// Two log-normal modes at ~10s and ~1day, like the paper's Fig 3.
+	src := randx.New(8)
+	lh := NewLogHistogram(-1, 7, 80)
+	for i := 0; i < 40000; i++ {
+		if i%3 != 0 {
+			lh.Add(src.LogNormal(math.Log(10), 1.0))
+		} else {
+			lh.Add(src.LogNormal(math.Log(86400), 1.0))
+		}
+	}
+	v, err := lh.ValleySeconds(10, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The valley should be within an order of magnitude of one hour.
+	if v < 360 || v > 36000 {
+		t.Errorf("valley = %v s, want within [360, 36000]", v)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

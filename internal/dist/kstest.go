@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"errors"
+	"math"
+)
+
+// KSResult reports a one-sample Kolmogorov-Smirnov test of a sample
+// against a model CDF.
+type KSResult struct {
+	Stat   float64 // D_n: the supremum distance between ECDF and model
+	N      int
+	PValue float64 // asymptotic Kolmogorov distribution
+}
+
+// Pass reports whether the model is NOT rejected at level alpha.
+func (r KSResult) Pass(alpha float64) bool { return r.PValue > alpha }
+
+// KolmogorovSmirnov computes the one-sample KS statistic of xs against
+// cdf and the asymptotic p-value. It complements the chi-square test
+// for continuous fits: no binning choices, sensitive to the worst
+// pointwise deviation rather than average misfit.
+func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) (KSResult, error) {
+	n := len(xs)
+	if n < 5 {
+		return KSResult{}, errors.New("dist: too few samples for a KS test")
+	}
+	sorted := SortedCopy(xs)
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return KSResult{}, errors.New("dist: model CDF out of [0, 1]")
+		}
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if v := math.Abs(hi - f); v > d {
+			d = v
+		}
+		if v := math.Abs(f - lo); v > d {
+			d = v
+		}
+	}
+	return KSResult{Stat: d, N: n, PValue: ksPValue(d, n)}, nil
+}
+
+// ksPValue evaluates the asymptotic Kolmogorov distribution
+// Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²) at λ = D(√n + 0.12 +
+// 0.11/√n), the Stephens correction used by Numerical Recipes.
+func ksPValue(d float64, n int) float64 {
+	sq := math.Sqrt(float64(n))
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	if lambda < 1e-6 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum) {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// KSTwoSample computes the two-sample KS statistic between xs and ys
+// with the asymptotic p-value — used to compare device classes (e.g.
+// Android vs iOS chunk-time distributions in Fig 12 really do differ).
+func KSTwoSample(xs, ys []float64) (KSResult, error) {
+	if len(xs) < 5 || len(ys) < 5 {
+		return KSResult{}, errors.New("dist: too few samples for a KS test")
+	}
+	a := SortedCopy(xs)
+	b := SortedCopy(ys)
+	var i, j int
+	d := 0.0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if v := math.Abs(fa - fb); v > d {
+			d = v
+		}
+	}
+	ne := float64(len(a)) * float64(len(b)) / float64(len(a)+len(b))
+	return KSResult{
+		Stat:   d,
+		N:      len(a) + len(b),
+		PValue: ksPValue(d, int(math.Round(ne))),
+	}, nil
+}

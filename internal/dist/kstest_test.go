@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"mcloud/internal/randx"
+)
+
+func uniformCDF(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+func TestKSAcceptsTrueModel(t *testing.T) {
+	src := randx.New(400)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	res, err := KolmogorovSmirnov(xs, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass(0.05) {
+		t.Errorf("true model rejected: D=%.4f p=%.4f", res.Stat, res.PValue)
+	}
+}
+
+func TestKSRejectsWrongModel(t *testing.T) {
+	src := randx.New(401)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = src.Exp(1)
+	}
+	// Deliberately wrong: exponential with triple the mean.
+	cdf := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/3)
+	}
+	res, err := KolmogorovSmirnov(xs, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass(0.05) {
+		t.Errorf("wrong model accepted: D=%.4f p=%.4f", res.Stat, res.PValue)
+	}
+}
+
+func TestKSStatExactSmallSample(t *testing.T) {
+	// Sample {0.5}: ECDF jumps 0 -> 1 at 0.5; against U(0,1) the
+	// distance is max(|1-0.5|, |0.5-0|) = 0.5 for five copies shifted.
+	xs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	res, err := KolmogorovSmirnov(xs, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ECDF steps at exactly the right places: D = 0.1.
+	if math.Abs(res.Stat-0.1) > 1e-12 {
+		t.Errorf("D = %v, want 0.1", res.Stat)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KolmogorovSmirnov([]float64{1, 2}, uniformCDF); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	bad := func(float64) float64 { return 2 }
+	if _, err := KolmogorovSmirnov([]float64{1, 2, 3, 4, 5}, bad); err == nil {
+		t.Error("invalid CDF accepted")
+	}
+}
+
+func TestKSTwoSampleSameDistribution(t *testing.T) {
+	src := randx.New(402)
+	xs := make([]float64, 1500)
+	ys := make([]float64, 1500)
+	for i := range xs {
+		xs[i] = src.Normal(0, 1)
+		ys[i] = src.Normal(0, 1)
+	}
+	res, err := KSTwoSample(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass(0.01) {
+		t.Errorf("same distribution rejected: D=%.4f p=%.4f", res.Stat, res.PValue)
+	}
+}
+
+func TestKSTwoSampleDifferentDistributions(t *testing.T) {
+	// The Fig 12 situation: Android vs iOS chunk times are lognormals
+	// with different medians; the test must separate them.
+	src := randx.New(403)
+	android := make([]float64, 800)
+	ios := make([]float64, 800)
+	for i := range android {
+		android[i] = src.LogNormal(math.Log(4.1), 0.75)
+		ios[i] = src.LogNormal(math.Log(1.6), 0.70)
+	}
+	res, err := KSTwoSample(android, ios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass(0.001) {
+		t.Errorf("clearly different distributions accepted: D=%.4f p=%.4f", res.Stat, res.PValue)
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.0
+	for d := 0.01; d < 0.5; d += 0.01 {
+		p := ksPValue(d, 100)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not monotone at D=%.2f", d)
+		}
+		prev = p
+	}
+	if ksPValue(1e-9, 100) != 1 {
+		t.Error("tiny D should give p=1")
+	}
+}

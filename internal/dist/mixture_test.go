@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"mcloud/internal/randx"
+)
+
+func TestFitGaussianMixtureTwoWellSeparated(t *testing.T) {
+	src := randx.New(100)
+	xs := make([]float64, 0, 30000)
+	for i := 0; i < 30000; i++ {
+		if src.Bool(0.7) {
+			xs = append(xs, src.Normal(1.0, 0.6)) // "in-session" log10 s
+		} else {
+			xs = append(xs, src.Normal(4.9, 0.5)) // "inter-session"
+		}
+	}
+	m, err := FitGaussianMixture(xs, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Components) != 2 {
+		t.Fatalf("got %d components", len(m.Components))
+	}
+	c0, c1 := m.Components[0], m.Components[1]
+	if math.Abs(c0.Mean-1.0) > 0.05 {
+		t.Errorf("component 0 mean = %.4f, want ~1.0", c0.Mean)
+	}
+	if math.Abs(c1.Mean-4.9) > 0.05 {
+		t.Errorf("component 1 mean = %.4f, want ~4.9", c1.Mean)
+	}
+	if math.Abs(c0.Weight-0.7) > 0.02 {
+		t.Errorf("component 0 weight = %.4f, want ~0.7", c0.Weight)
+	}
+	if math.Abs(c0.StdDev-0.6) > 0.05 || math.Abs(c1.StdDev-0.5) > 0.05 {
+		t.Errorf("stddevs = %.4f/%.4f, want ~0.6/0.5", c0.StdDev, c1.StdDev)
+	}
+}
+
+func TestGaussianMixtureWeightsSumToOne(t *testing.T) {
+	src := randx.New(101)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = src.Normal(float64(i%3)*5, 1)
+	}
+	m, err := FitGaussianMixture(xs, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, c := range m.Components {
+		sum += c.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	// Components sorted by mean.
+	for i := 1; i < len(m.Components); i++ {
+		if m.Components[i].Mean < m.Components[i-1].Mean {
+			t.Error("components not sorted by mean")
+		}
+	}
+}
+
+func TestGaussianMixturePDFIntegratesToOne(t *testing.T) {
+	m := GaussianMixture{Components: []GaussianComponent{
+		{Weight: 0.3, Mean: -2, StdDev: 1},
+		{Weight: 0.7, Mean: 5, StdDev: 2},
+	}}
+	integral := 0.0
+	for x := -20.0; x <= 30; x += 0.01 {
+		integral += m.PDF(x) * 0.01
+	}
+	if math.Abs(integral-1) > 1e-3 {
+		t.Errorf("PDF integrates to %v", integral)
+	}
+	if math.Abs(m.CDF(30)-1) > 1e-6 || m.CDF(-20) > 1e-6 {
+		t.Error("CDF endpoints wrong")
+	}
+}
+
+func TestEquallyLikelyPoint(t *testing.T) {
+	m := GaussianMixture{Components: []GaussianComponent{
+		{Weight: 0.5, Mean: 0, StdDev: 1},
+		{Weight: 0.5, Mean: 10, StdDev: 1},
+	}}
+	x := m.EquallyLikely(0, 1)
+	if math.Abs(x-5) > 1e-6 {
+		t.Errorf("equally likely point = %v, want 5 by symmetry", x)
+	}
+	// Posterior responsibilities are equal there.
+	r0 := m.Responsibility(0, x)
+	if math.Abs(r0-0.5) > 1e-6 {
+		t.Errorf("responsibility at crossover = %v, want 0.5", r0)
+	}
+}
+
+func TestFitGaussianMixtureErrors(t *testing.T) {
+	if _, err := FitGaussianMixture([]float64{1, 2, 3}, 2, 0, 0); err == nil {
+		t.Error("expected error: sample too small")
+	}
+	if _, err := FitGaussianMixture([]float64{1, 2, 3}, 0, 0, 0); err == nil {
+		t.Error("expected error: k < 1")
+	}
+}
+
+func TestFitExpMixtureRecoversTable2Store(t *testing.T) {
+	// The paper's store-only parameters: α=(.91,.07,.02), µ=(1.5,13.1,77.4) MB.
+	src := randx.New(102)
+	alphas := []float64{0.91, 0.07, 0.02}
+	mus := []float64{1.5, 13.1, 77.4}
+	xs := make([]float64, 60000)
+	for i := range xs {
+		xs[i] = src.MixtureExp(alphas, mus)
+	}
+	m, err := FitExpMixture(xs, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Components) != 3 {
+		t.Fatalf("got %d components", len(m.Components))
+	}
+	wantAlpha := []float64{0.91, 0.07, 0.02}
+	wantMu := []float64{1.5, 13.1, 77.4}
+	for i, c := range m.Components {
+		if math.Abs(c.Alpha-wantAlpha[i]) > 0.04 {
+			t.Errorf("α[%d] = %.4f, want ~%.2f", i, c.Alpha, wantAlpha[i])
+		}
+		if math.Abs(c.Mu-wantMu[i])/wantMu[i] > 0.25 {
+			t.Errorf("µ[%d] = %.4f, want ~%.1f", i, c.Mu, wantMu[i])
+		}
+	}
+}
+
+func TestExpMixtureMoments(t *testing.T) {
+	m := ExpMixture{Components: []ExpComponent{
+		{Alpha: 0.5, Mu: 2},
+		{Alpha: 0.5, Mu: 8},
+	}}
+	if got := m.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := m.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := m.CCDF(0); got != 1 {
+		t.Errorf("CCDF(0) = %v", got)
+	}
+	// CDF + CCDF = 1 everywhere.
+	for x := 0.1; x < 50; x += 3.3 {
+		if math.Abs(m.CDF(x)+m.CCDF(x)-1) > 1e-12 {
+			t.Errorf("CDF+CCDF != 1 at %v", x)
+		}
+	}
+}
+
+func TestExpMixturePDFIntegratesToOne(t *testing.T) {
+	m := ExpMixture{Components: []ExpComponent{
+		{Alpha: 0.9, Mu: 1.5},
+		{Alpha: 0.1, Mu: 30},
+	}}
+	integral := 0.0
+	for x := 0.0005; x < 400; x += 0.001 {
+		integral += m.PDF(x) * 0.001
+	}
+	if math.Abs(integral-1) > 5e-3 {
+		t.Errorf("PDF integrates to %v", integral)
+	}
+}
+
+func TestFitExpMixtureRejectsNegatives(t *testing.T) {
+	if _, err := FitExpMixture([]float64{1, -1, 2, 3}, 1, 0, 0); err == nil {
+		t.Error("expected error for negative samples")
+	}
+}
+
+func TestSelectExpMixtureStopsAtNegligibleComponent(t *testing.T) {
+	// A single-exponential sample should select far fewer than maxK
+	// components (an extra component would get negligible weight).
+	src := randx.New(103)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = src.Exp(3)
+	}
+	m, err := SelectExpMixture(xs, 5, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Components) > 3 {
+		t.Errorf("selected %d components for single-exp data", len(m.Components))
+	}
+	if math.Abs(m.Mean()-3) > 0.15 {
+		t.Errorf("selected mixture mean = %v, want ~3", m.Mean())
+	}
+}
+
+func TestSelectExpMixtureFindsThreeComponents(t *testing.T) {
+	src := randx.New(104)
+	alphas := []float64{0.46, 0.26, 0.28}
+	mus := []float64{1.6, 29.8, 146.8}
+	xs := make([]float64, 60000)
+	for i := range xs {
+		xs[i] = src.MixtureExp(alphas, mus)
+	}
+	m, err := SelectExpMixture(xs, 4, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Components) < 3 {
+		t.Errorf("selected only %d components for 3-scale data", len(m.Components))
+	}
+}

@@ -1,0 +1,74 @@
+package dist
+
+import "math"
+
+// LinearFit performs ordinary least squares of ys on xs and returns
+// the slope, intercept, and coefficient of determination R². With
+// fewer than two points or zero x-variance it returns zeros.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx := sx / float64(n)
+	my := sy / float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	// R² = 1 - SSres/SStot.
+	ssRes := 0.0
+	for i := 0; i < n; i++ {
+		r := ys[i] - (slope*xs[i] + intercept)
+		ssRes += r * r
+	}
+	r2 = 1 - ssRes/syy
+	if r2 < 0 {
+		r2 = 0
+	}
+	return slope, intercept, r2
+}
+
+// PearsonR returns the Pearson correlation coefficient of xs and ys,
+// or 0 when undefined.
+func PearsonR(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	den := math.Sqrt(sxx * syy)
+	if den == 0 {
+		return 0
+	}
+	return sxy / den
+}

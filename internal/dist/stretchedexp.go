@@ -1,0 +1,239 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// StretchedExp models the paper's stretched-exponential (SE) user
+// activity distribution (§3.2.3):
+//
+//	P(X >= x) = exp(-(x/X0)^C)
+//
+// which is a Weibull survival function with shape C (the "stretch
+// factor") and scale X0. The rank-plot form is y_i^C = -A·log(i) + B
+// for the i-th ranked value y_i; A and B are derived from C, X0 and
+// the top-ranked value.
+type StretchedExp struct {
+	C  float64 // stretch factor (Weibull shape)
+	X0 float64 // scale
+	A  float64 // rank-plot slope (a = x0^c / adjusted by sample size)
+	B  float64 // rank-plot intercept (b = y_1^c)
+	R2 float64 // coefficient of determination of the log-y^c rank plot
+}
+
+// CCDF returns P(X >= x) under the model.
+func (se StretchedExp) CCDF(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp(-math.Pow(x/se.X0, se.C))
+}
+
+// CDF returns P(X < x) under the model.
+func (se StretchedExp) CDF(x float64) float64 { return 1 - se.CCDF(x) }
+
+// Quantile inverts the CDF: the value x with P(X < x) = q.
+func (se StretchedExp) Quantile(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return se.X0 * math.Pow(-math.Log(1-q), 1/se.C)
+}
+
+// FitStretchedExp fits the SE model to a positive sample by Weibull
+// maximum likelihood (Newton iteration on the shape), then evaluates
+// the rank-plot linearity (R² of y^c against log rank), mirroring how
+// the paper reports its fits (Figure 10). It returns an error for
+// samples smaller than 10 or with no positive spread.
+func FitStretchedExp(xs []float64) (StretchedExp, error) {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) < 10 {
+		return StretchedExp{}, errors.New("dist: too few positive samples for SE fit")
+	}
+
+	c, x0, err := weibullMLE(clean)
+	if err != nil {
+		return StretchedExp{}, err
+	}
+	se := StretchedExp{C: c, X0: x0}
+	se.A, se.B, se.R2 = se.rankPlotFit(clean)
+	return se, nil
+}
+
+// FitStretchedExpRank fits the SE model by choosing the stretch factor
+// c that maximizes the linearity (R²) of the y^c vs log-rank plot,
+// with the slope and intercept from least squares. This is the visual
+// criterion of the paper's Figure 10, and is more robust than MLE for
+// heavily discretized counts. The search is golden-section over
+// c in [cLo, cHi].
+func FitStretchedExpRank(xs []float64, cLo, cHi float64) (StretchedExp, error) {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) < 10 {
+		return StretchedExp{}, errors.New("dist: too few positive samples for SE fit")
+	}
+	if cLo <= 0 {
+		cLo = 0.01
+	}
+	if cHi <= cLo {
+		cHi = 1.5
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(clean)))
+
+	r2For := func(c float64) float64 {
+		_, _, r2 := rankPlot(clean, c)
+		return r2
+	}
+	// Golden-section maximization of r2For over [cLo, cHi].
+	const phi = 0.6180339887498949
+	a, b := cLo, cHi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := r2For(x1), r2For(x2)
+	for i := 0; i < 80; i++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = r2For(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = r2For(x1)
+		}
+	}
+	c := (a + b) / 2
+	slope, intercept, r2 := rankPlot(clean, c)
+	// From y^c = -A log i + B: B = y_1^c so X0 follows from the SE
+	// survival at rank 1: i/N = exp(-(y_i/x0)^c) gives x0 from A.
+	x0 := math.Pow(slope, 1/c)
+	return StretchedExp{C: c, X0: x0, A: slope, B: intercept, R2: r2}, nil
+}
+
+// rankPlotFit computes the rank-plot parameters for an already fit
+// model against the sample.
+func (se StretchedExp) rankPlotFit(xs []float64) (a, b, r2 float64) {
+	desc := SortedCopy(xs)
+	// reverse to descending
+	for i, j := 0, len(desc)-1; i < j; i, j = i+1, j-1 {
+		desc[i], desc[j] = desc[j], desc[i]
+	}
+	return rankPlot(desc, se.C)
+}
+
+// rankPlot regresses y_i^c on log(i) for descending-ranked data and
+// returns slope magnitude a (so y^c = -a log i + b), intercept b, and
+// R².
+func rankPlot(desc []float64, c float64) (a, b, r2 float64) {
+	n := len(desc)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, y := range desc {
+		xs[i] = math.Log(float64(i) + 1)
+		ys[i] = math.Pow(y, c)
+	}
+	slope, intercept, r2 := LinearFit(xs, ys)
+	return -slope, intercept, r2
+}
+
+// weibullMLE solves the Weibull maximum-likelihood equations by Newton
+// iteration on the shape parameter.
+func weibullMLE(xs []float64) (shape, scale float64, err error) {
+	n := float64(len(xs))
+	sumLog := 0.0
+	for _, x := range xs {
+		sumLog += math.Log(x)
+	}
+	meanLog := sumLog / n
+
+	// g(k) = S1(k)/S0(k) - 1/k - meanLog where
+	// S0 = Σ x^k, S1 = Σ x^k ln x, S2 = Σ x^k (ln x)^2.
+	g := func(k float64) (val, deriv float64) {
+		var s0, s1, s2 float64
+		for _, x := range xs {
+			lx := math.Log(x)
+			xk := math.Pow(x, k)
+			s0 += xk
+			s1 += xk * lx
+			s2 += xk * lx * lx
+		}
+		val = s1/s0 - 1/k - meanLog
+		deriv = (s2*s0-s1*s1)/(s0*s0) + 1/(k*k)
+		return val, deriv
+	}
+
+	k := 1.0
+	// A standard moment-based starting point.
+	var s Summary
+	for _, x := range xs {
+		s.Add(math.Log(x))
+	}
+	if sd := s.StdDev(); sd > 0 {
+		k = 1.2 / sd // Menon's estimator ~ pi/(sqrt(6)*sd)
+	}
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		k = 1
+	}
+
+	for i := 0; i < 200; i++ {
+		val, deriv := g(k)
+		if math.Abs(deriv) < 1e-300 {
+			break
+		}
+		next := k - val/deriv
+		if next <= 0 {
+			next = k / 2
+		}
+		if math.Abs(next-k) < 1e-12*(1+k) {
+			k = next
+			break
+		}
+		k = next
+	}
+	if math.IsNaN(k) || k <= 0 {
+		return 0, 0, errors.New("dist: Weibull MLE did not converge")
+	}
+	var s0 float64
+	for _, x := range xs {
+		s0 += math.Pow(x, k)
+	}
+	scale = math.Pow(s0/n, 1/k)
+	return k, scale, nil
+}
+
+// PowerLawRankR2 returns the R² of a pure power-law fit to the rank
+// plot (log y against log rank). The paper contrasts this with the SE
+// fit to argue the activity distribution is not a power law.
+func PowerLawRankR2(xs []float64) (alpha, r2 float64, err error) {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) < 10 {
+		return 0, 0, errors.New("dist: too few positive samples")
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(clean)))
+	lx := make([]float64, len(clean))
+	ly := make([]float64, len(clean))
+	for i, y := range clean {
+		lx[i] = math.Log(float64(i) + 1)
+		ly[i] = math.Log(y)
+	}
+	slope, _, r2 := LinearFit(lx, ly)
+	return -slope, r2, nil
+}

@@ -1,0 +1,160 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcloud/internal/randx"
+)
+
+func TestFitStretchedExpRecoversWeibull(t *testing.T) {
+	src := randx.New(300)
+	const wantC, wantX0 = 0.5, 40.0
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = src.Weibull(wantX0, wantC)
+	}
+	se, err := FitStretchedExp(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(se.C-wantC) > 0.02 {
+		t.Errorf("C = %.4f, want ~%.2f", se.C, wantC)
+	}
+	if math.Abs(se.X0-wantX0)/wantX0 > 0.05 {
+		t.Errorf("X0 = %.4f, want ~%.1f", se.X0, wantX0)
+	}
+	if se.R2 < 0.98 {
+		t.Errorf("rank-plot R² = %.4f, want > 0.98 for true SE data", se.R2)
+	}
+}
+
+func TestFitStretchedExpSmallShape(t *testing.T) {
+	// Shapes like the paper's c=0.2 produce extremely heavy tails.
+	src := randx.New(301)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = src.Weibull(1.0, 0.2)
+	}
+	se, err := FitStretchedExp(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(se.C-0.2) > 0.01 {
+		t.Errorf("C = %.4f, want ~0.20", se.C)
+	}
+}
+
+func TestStretchedExpQuantileInvertsCDF(t *testing.T) {
+	se := StretchedExp{C: 0.3, X0: 25}
+	if err := quick.Check(func(raw float64) bool {
+		q := math.Mod(math.Abs(raw), 0.98) + 0.01
+		x := se.Quantile(q)
+		return math.Abs(se.CDF(x)-q) < 1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStretchedExpCCDFBounds(t *testing.T) {
+	se := StretchedExp{C: 0.2, X0: 5}
+	if se.CCDF(0) != 1 || se.CCDF(-3) != 1 {
+		t.Error("CCDF at non-positive x should be 1")
+	}
+	prev := 1.0
+	for x := 0.1; x < 1e6; x *= 3 {
+		c := se.CCDF(x)
+		if c > prev || c < 0 {
+			t.Errorf("CCDF not monotone at %v", x)
+		}
+		prev = c
+	}
+}
+
+func TestFitStretchedExpRank(t *testing.T) {
+	src := randx.New(302)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		// Discretized activity counts, like "number of stored files".
+		v := src.Weibull(2.0, 0.25)
+		xs[i] = math.Ceil(v)
+	}
+	se, err := FitStretchedExpRank(xs, 0.05, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.C < 0.1 || se.C > 0.45 {
+		t.Errorf("rank-fit C = %.4f, want near 0.25", se.C)
+	}
+	// Ceiling discretization flattens the rank-plot tail, so the
+	// linearity is a little below what continuous SE data achieves.
+	if se.R2 < 0.94 {
+		t.Errorf("rank-fit R² = %.4f, want > 0.94", se.R2)
+	}
+}
+
+func TestSEBeatsPowerLawForSEData(t *testing.T) {
+	// The paper's argument: SE fits activity better than a power law.
+	src := randx.New(303)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Ceil(src.Weibull(1.5, 0.2))
+	}
+	se, err := FitStretchedExpRank(xs, 0.05, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plR2, err := PowerLawRankR2(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.R2 <= plR2 {
+		t.Errorf("SE R² (%.4f) should exceed power-law R² (%.4f) on SE data", se.R2, plR2)
+	}
+}
+
+func TestFitStretchedExpErrors(t *testing.T) {
+	if _, err := FitStretchedExp([]float64{1, 2, 3}); err == nil {
+		t.Error("expected error for tiny sample")
+	}
+	if _, err := FitStretchedExp(make([]float64, 100)); err == nil {
+		t.Error("expected error for all-zero sample")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit = %vx + %v, want 2x + 1", slope, intercept)
+	}
+	if r2 != 1 {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, i, r2 := LinearFit([]float64{1}, []float64{2}); s != 0 || i != 0 || r2 != 0 {
+		t.Error("single point should return zeros")
+	}
+	// Zero x-variance.
+	s, i, r2 := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if s != 0 || math.Abs(i-2) > 1e-12 || r2 != 0 {
+		t.Errorf("vertical data: got %v,%v,%v", s, i, r2)
+	}
+}
+
+func TestPearsonR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r := PearsonR(xs, []float64{2, 4, 6, 8}); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect positive r = %v", r)
+	}
+	if r := PearsonR(xs, []float64{8, 6, 4, 2}); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect negative r = %v", r)
+	}
+	if r := PearsonR(xs, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("constant y should give r = 0, got %v", r)
+	}
+}

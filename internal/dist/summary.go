@@ -1,0 +1,193 @@
+// Package dist implements the statistical machinery used by the
+// analyses in this repository: descriptive statistics, empirical
+// distribution functions, histograms, expectation-maximization fitting
+// for Gaussian and exponential mixtures, maximum-likelihood fitting of
+// stretched-exponential (Weibull) models, chi-square goodness-of-fit
+// testing, and simple regression.
+//
+// Everything is implemented from the standard library alone; the
+// special functions needed for the chi-square test (the regularized
+// incomplete gamma function) live in gamma.go.
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds streaming descriptive statistics over float64 samples.
+// The zero value is an empty summary ready to use.
+type Summary struct {
+	n                 int
+	mean, m2          float64
+	min, max          float64
+	sum               float64
+	initializedMinMax bool
+}
+
+// Add incorporates one observation (Welford's algorithm).
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.initializedMinMax || x < s.min {
+		s.min = x
+	}
+	if !s.initializedMinMax || x > s.max {
+		s.max = x
+	}
+	s.initializedMinMax = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Sum returns the running total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Variance returns the unbiased sample variance, or 0 for n < 2.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Merge combines another summary into s, as if all of other's
+// observations had been added to s.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n1, n2 := float64(s.n), float64(other.n)
+	delta := other.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += other.m2 + delta*delta*n1*n2/total
+	s.n += other.n
+	s.sum += other.sum
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of sorted using linear
+// interpolation between closest ranks. It panics if sorted is empty or
+// q is out of range. sorted must be in ascending order.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("dist: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("dist: quantile out of [0,1]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile of sorted (ascending).
+func Median(sorted []float64) float64 { return Quantile(sorted, 0.5) }
+
+// SortedCopy returns an ascending-sorted copy of xs.
+func SortedCopy(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}
+
+// Mean returns the arithmetic mean of xs, or 0 if empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (the input is copied and sorted).
+func NewECDF(xs []float64) *ECDF {
+	return &ECDF{sorted: SortedCopy(xs)}
+}
+
+// P returns the empirical P(X <= x).
+func (e *ECDF) P(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(e.sorted, x)
+	// Advance past equal values so P is right-continuous.
+	for idx < len(e.sorted) && e.sorted[idx] <= x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// CCDF returns the empirical P(X > x).
+func (e *ECDF) CCDF(x float64) float64 { return 1 - e.P(x) }
+
+// Quantile returns the q-quantile of the sample.
+func (e *ECDF) Quantile(q float64) float64 { return Quantile(e.sorted, q) }
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Points samples the ECDF at n evenly spaced probabilities and returns
+// (value, probability) pairs suitable for plotting a CDF curve.
+func (e *ECDF) Points(n int) (xs, ps []float64) {
+	if n < 2 || len(e.sorted) == 0 {
+		return nil, nil
+	}
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		xs[i] = Quantile(e.sorted, q)
+		ps[i] = q
+	}
+	return xs, ps
+}

@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcloud/internal/randx"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := randx.New(seed)
+		var all, a, b Summary
+		for i := 0; i < 200; i++ {
+			x := src.Normal(3, 7)
+			all.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(&b) // merging empty changes nothing
+	if a != before {
+		t.Error("merging an empty summary changed state")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Mean() != 2 || b.N() != 2 {
+		t.Error("merging into an empty summary did not copy")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty slice did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3, 10})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {10, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.P(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := e.CCDF(2); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("CCDF(2) = %v, want 0.4", got)
+	}
+}
+
+func TestECDFMonotonic(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := randx.New(seed)
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = src.Normal(0, 10)
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -30.0; x <= 30; x += 0.5 {
+			p := e.P(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	xs, ps := e.Points(11)
+	if len(xs) != 11 || len(ps) != 11 {
+		t.Fatalf("Points returned %d/%d values", len(xs), len(ps))
+	}
+	if ps[0] != 0 || ps[10] != 1 {
+		t.Error("probability endpoints should be 0 and 1")
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Error("ECDF points are not sorted")
+		}
+	}
+}

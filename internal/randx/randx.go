@@ -1,0 +1,312 @@
+// Package randx provides deterministic, splittable random number
+// streams and the samplers used throughout the workload generator and
+// the TCP simulator.
+//
+// All randomness in the repository flows through randx so that
+// datasets, simulations, tests and benchmarks are bit-reproducible
+// from a single seed. A Source is a SplitMix64 generator; Derive
+// produces statistically independent child streams from a parent seed
+// and a string label, which lets every user, device and flow own a
+// private stream whose identity is stable across runs regardless of
+// generation order.
+package randx
+
+import (
+	"math"
+)
+
+// Source is a deterministic pseudo-random number generator
+// (SplitMix64). The zero value is a valid generator seeded with 0.
+// Source is not safe for concurrent use; derive one per goroutine.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Derive returns a new Source whose stream is a deterministic function
+// of the parent seed and the label. Streams derived with different
+// labels are statistically independent.
+func Derive(seed uint64, label string) *Source {
+	h := fnv64(label)
+	// Mix the seed and label hash through one SplitMix64 round each so
+	// that similar labels do not produce correlated streams.
+	s := &Source{state: seed ^ 0x9e3779b97f4a7c15}
+	s.state += h
+	s.Uint64()
+	return s
+}
+
+// fnv64 hashes a string with FNV-1a.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split returns a child Source seeded from the parent stream. The
+// parent advances by one draw.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64()}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("randx: Int63n with non-positive n")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate using the
+// Marsaglia polar method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma)); mu and sigma parameterize the
+// underlying normal in natural-log space.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Exp returns an exponential variate with the given mean. It panics if
+// mean <= 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("randx: Exp with non-positive mean")
+	}
+	u := s.Float64()
+	// 1-u is in (0, 1], so the log is finite.
+	return -mean * math.Log(1-u)
+}
+
+// Pareto returns a Pareto (type I) variate with minimum xm and shape
+// alpha.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	u := s.Float64()
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Weibull returns a Weibull variate with scale lambda and shape k.
+// Its survival function is exp(-(x/lambda)^k) — the paper's stretched
+// exponential.
+func (s *Source) Weibull(lambda, k float64) float64 {
+	u := s.Float64()
+	return lambda * math.Pow(-math.Log(1-u), 1/k)
+}
+
+// Poisson returns a Poisson variate with the given mean, using
+// Knuth's method for small means and normal approximation above 500.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		v := s.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli trials with success probability p (support {0, 1, ...}).
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("randx: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := s.Float64()
+	return int(math.Log(1-u) / math.Log(1-p))
+}
+
+// Categorical draws an index with probability proportional to
+// weights[i]. It panics if weights is empty or sums to a non-positive
+// value.
+func (s *Source) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("randx: negative categorical weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("randx: empty or zero-mass categorical")
+	}
+	u := s.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// MixtureExp draws from a mixture of exponentials with component
+// weights alphas and means mus.
+func (s *Source) MixtureExp(alphas, mus []float64) float64 {
+	i := s.Categorical(alphas)
+	return s.Exp(mus[i])
+}
+
+// Zipf draws ranks in [1, n] with probability proportional to
+// 1/rank^exponent. The sampler precomputes nothing; it uses rejection
+// against the continuous envelope and is suitable for moderate n.
+type Zipf struct {
+	n        int
+	exponent float64
+	// hIntegral(n+0.5) and hIntegral(0.5) cached for inversion.
+	hx0, hn float64
+	src     *Source
+}
+
+// NewZipf returns a Zipf sampler over ranks [1, n] with the given
+// exponent (> 0, != 1 handled as well). It panics if n < 1 or
+// exponent <= 0.
+func NewZipf(src *Source, n int, exponent float64) *Zipf {
+	if n < 1 || exponent <= 0 {
+		panic("randx: invalid Zipf parameters")
+	}
+	z := &Zipf{n: n, exponent: exponent, src: src}
+	z.hx0 = z.hIntegral(0.5)
+	z.hn = z.hIntegral(float64(n) + 0.5)
+	return z
+}
+
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.exponent)*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.exponent * math.Log(x))
+}
+
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1 - z.exponent)
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a series expansion near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x/2 + x*x/3
+}
+
+// helper2 computes expm1(x)/x with a series expansion near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x/2 + x*x/6
+}
+
+// Draw returns the next Zipf-distributed rank in [1, n].
+// The algorithm is the rejection-inversion sampler of Hörmann and
+// Derflinger, the same approach used by math/rand's Zipf.
+func (z *Zipf) Draw() int {
+	for {
+		u := z.hn + z.src.Float64()*(z.hx0-z.hn)
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k)
+		}
+	}
+}
+
+// Shuffle permutes the first n indices in place via the provided swap
+// function, using the Fisher-Yates algorithm.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

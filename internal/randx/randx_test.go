@@ -1,0 +1,355 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(7, "user/1")
+	b := Derive(7, "user/2")
+	c := Derive(7, "user/1")
+	if a.Uint64() != c.Uint64() {
+		t.Fatal("Derive with identical labels should agree")
+	}
+	a2 := Derive(7, "user/1")
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("derived streams with different labels matched %d times", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			f := s.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// meanAndVar computes the sample mean and variance of draws from f.
+func meanAndVar(n int, f func() float64) (mean, variance float64) {
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := f()
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(11)
+	mean, v := meanAndVar(200000, func() float64 { return s.Normal(5, 2) })
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("normal mean = %.4f, want ~5", mean)
+	}
+	if math.Abs(v-4) > 0.15 {
+		t.Errorf("normal variance = %.4f, want ~4", v)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(12)
+	mean, v := meanAndVar(200000, func() float64 { return s.Exp(3) })
+	if math.Abs(mean-3) > 0.06 {
+		t.Errorf("exp mean = %.4f, want ~3", mean)
+	}
+	if math.Abs(v-9) > 0.6 {
+		t.Errorf("exp variance = %.4f, want ~9", v)
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			if s.Exp(1.5) < 0 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(13)
+	n := 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormal(2, 0.5)
+	}
+	below := 0
+	want := math.Exp(2.0)
+	for _, v := range vals {
+		if v < want {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction below exp(mu) = %.4f, want ~0.5", frac)
+	}
+}
+
+func TestWeibullSurvival(t *testing.T) {
+	// P(X > lambda) = exp(-1) for any shape.
+	s := New(14)
+	const n = 100000
+	for _, k := range []float64{0.15, 0.5, 1, 2} {
+		above := 0
+		for i := 0; i < n; i++ {
+			if s.Weibull(10, k) > 10 {
+				above++
+			}
+		}
+		frac := float64(above) / float64(n)
+		if math.Abs(frac-math.Exp(-1)) > 0.01 {
+			t.Errorf("shape %.2f: P(X>lambda) = %.4f, want %.4f", k, frac, math.Exp(-1))
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(15)
+	for _, mean := range []float64{0.5, 4, 60, 700} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %.3f", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroOrNegativeMean(t *testing.T) {
+	s := New(16)
+	if s.Poisson(0) != 0 || s.Poisson(-3) != 0 {
+		t.Error("Poisson with non-positive mean should be 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(17)
+	p := 0.25
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(p))
+	}
+	got := sum / n
+	want := (1 - p) / p
+	if math.Abs(got-want) > 0.06 {
+		t.Errorf("Geometric(%v) mean = %.3f, want %.3f", p, got, want)
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	s := New(18)
+	w := []float64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical(w)]++
+	}
+	for i, c := range counts {
+		want := w[i] / 10
+		got := float64(c) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency = %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty categorical did not panic")
+		}
+	}()
+	New(1).Categorical(nil)
+}
+
+func TestMixtureExpMean(t *testing.T) {
+	s := New(19)
+	alphas := []float64{0.7, 0.3}
+	mus := []float64{1, 10}
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.MixtureExp(alphas, mus)
+	}
+	got := sum / n
+	want := 0.7*1 + 0.3*10
+	if math.Abs(got-want) > 0.08 {
+		t.Errorf("mixture mean = %.4f, want %.4f", got, want)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	s := New(20)
+	z := NewZipf(s, 1000, 1.2)
+	for i := 0; i < 10000; i++ {
+		r := z.Draw()
+		if r < 1 || r > 1000 {
+			t.Fatalf("Zipf rank %d out of [1,1000]", r)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(21)
+	z := NewZipf(s, 100, 1.5)
+	counts := make([]int, 101)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	// Rank 1 should be about 2^1.5 ~ 2.83 times as frequent as rank 2.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 2.3 || ratio > 3.4 {
+		t.Errorf("rank1/rank2 ratio = %.3f, want ~2.83", ratio)
+	}
+	if counts[1] <= counts[10] || counts[10] <= counts[100] {
+		t.Error("Zipf counts are not monotonically decreasing across decades")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		p := s.Perm(30)
+		seen := make([]bool, 30)
+		for _, v := range p {
+			if v < 0 || v >= 30 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("parent and split child matched %d times", matches)
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// Coarse uniformity check on 16 buckets of Float64.
+	s := New(1234)
+	const n = 160000
+	buckets := make([]int, 16)
+	for i := 0; i < n; i++ {
+		buckets[int(s.Float64()*16)]++
+	}
+	expected := float64(n) / 16
+	chi2 := 0.0
+	for _, o := range buckets {
+		d := float64(o) - expected
+		chi2 += d * d / expected
+	}
+	// 15 dof: critical value at p=0.001 is 37.7.
+	if chi2 > 37.7 {
+		t.Errorf("chi-square uniformity = %.2f, exceeds 37.7", chi2)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Normal(0, 1)
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	s := New(1)
+	z := NewZipf(s, 1<<20, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Draw()
+	}
+}

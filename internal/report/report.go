@@ -1,0 +1,257 @@
+// Package report assembles the paper-versus-measured comparison for
+// every experiment: each Row pairs a quantity the paper reports with
+// the value this reproduction measures, plus a tolerance band that
+// encodes "the shape holds". The mcsrepro binary renders the rows into
+// EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"mcloud/internal/core"
+	"mcloud/internal/trace"
+)
+
+// Row is one paper-vs-measured comparison.
+type Row struct {
+	Experiment string  // e.g. "Fig 3"
+	Quantity   string  // what is compared
+	Paper      string  // the paper's reported value (as text)
+	Measured   string  // our value (as text)
+	Value      float64 // numeric measured value
+	Lo, Hi     float64 // acceptance band for Value
+	Unitless   bool
+}
+
+// OK reports whether the measured value falls in the acceptance band.
+func (r Row) OK() bool {
+	if math.IsNaN(r.Value) {
+		return false
+	}
+	return r.Value >= r.Lo && r.Value <= r.Hi
+}
+
+// Status renders PASS/FAIL.
+func (r Row) Status() string {
+	if r.OK() {
+		return "ok"
+	}
+	return "DEVIATES"
+}
+
+// Compare derives the full row set from an analysis result and an idle
+// time study.
+func Compare(res core.Results, idle core.IdleTimeResult) []Row {
+	var rows []Row
+	add := func(exp, quantity, paper string, value, lo, hi float64, format string) {
+		rows = append(rows, Row{
+			Experiment: exp,
+			Quantity:   quantity,
+			Paper:      paper,
+			Measured:   fmt.Sprintf(format, value),
+			Value:      value,
+			Lo:         lo,
+			Hi:         hi,
+		})
+	}
+
+	// Fig 1.
+	w := res.Workload
+	add("Fig 1a", "retrieved/stored volume ratio", "~1.3-1.5 (retrievals dominate volume)",
+		w.VolumeRatio(), 1.0, 2.6, "%.2f")
+	add("Fig 1b", "stored/retrieved file-count ratio", "over 2x",
+		w.FileRatio(), 1.7, 3.6, "%.2f")
+	add("Fig 1", "peak hour of day (local)", "surge around 23:00",
+		float64(w.PeakHourOfDay), 20, 24, "%.0f")
+
+	// Fig 3 (rows only when the mixture fit had enough gaps).
+	if io := res.InterOp; io.Fitted() {
+		add("Fig 3", "in-session component mean (s)", "~10 s",
+			io.InSessionMeanSec(), 0.5, 30, "%.1f")
+		add("Fig 3", "inter-session component mean (s)", "~1 day (86 400 s)",
+			io.InterSessionMeanSec(), 10000, 400000, "%.0f")
+		add("Fig 3", "histogram valley (s)", "~1 hour (3600 s)",
+			io.ValleySec, 300, 5*3600, "%.0f")
+	}
+
+	// §3.1.1.
+	s := res.Sessions
+	add("§3.1.1", "store-only session share", "68.2 %", s.StoreOnlyFrac, 0.60, 0.76, "%.3f")
+	add("§3.1.1", "retrieve-only session share", "29.9 %", s.RetrieveOnlyFrac, 0.22, 0.38, "%.3f")
+	add("§3.1.1", "mixed session share", "~2 %", s.MixedFrac, 0.0, 0.06, "%.3f")
+
+	// Fig 4.
+	add("Fig 4", "P(normalized op time < 0.1), >1 op", "> 0.8",
+		s.BurstAll.P(0.1), 0.60, 1.0, "%.3f")
+	add("Fig 4", "median normalized op time, >20 ops", "~0.03",
+		s.BurstOver20.Quantile(0.5), 0, 0.06, "%.4f")
+
+	// Fig 5.
+	add("Fig 5a", "share of single-operation sessions", "~40 %", s.POneOp, 0.30, 0.60, "%.3f")
+	add("Fig 5a", "share of sessions with > 20 ops", "~10 %", s.POver20Ops, 0.05, 0.18, "%.3f")
+	add("Fig 5b", "store volume slope (MB/file)", "~1.5", s.StoreSlopeMB, 0.8, 2.6, "%.2f")
+	add("Fig 5c", "mean volume of 1-file retrieve sessions (MB)", "~70",
+		s.OneFileRetrieveMeanMB, 25, 130, "%.1f")
+
+	// Fig 6 / Table 2 (rows only when both mixtures were fitted).
+	f := res.FileSize
+	if len(f.StoreMixture.Components) > 0 && len(f.RetrieveMixture.Components) > 0 {
+		var wSmall, mSmall float64
+		for _, c := range f.StoreMixture.Components {
+			if c.Mu < 3 {
+				wSmall += c.Alpha
+				mSmall += c.Alpha * c.Mu
+			}
+		}
+		add("Table 2", "store photo-component weight", "α1 = 0.91", wSmall, 0.80, 1.0, "%.3f")
+		if wSmall > 0 {
+			add("Table 2", "store photo-component mean (MB)", "µ1 = 1.5", mSmall/wSmall, 0.9, 2.2, "%.2f")
+		}
+		rt := f.RetrieveMixture.Components[len(f.RetrieveMixture.Components)-1]
+		add("Table 2", "retrieve large-file component mean (MB)", "µ3 = 146.8", rt.Mu, 90, 260, "%.1f")
+		add("Table 2", "retrieve large-file component weight", "α3 = 0.28", rt.Alpha, 0.14, 0.42, "%.3f")
+	}
+
+	// Table 3.
+	u := res.Usage
+	mo := func(class string) core.UserClassRow { return u.Table3[class]["mobile-only"] }
+	add("Table 3", "mobile-only upload-only user share", "51.5 %", mo("upload-only").UserFrac, 0.44, 0.60, "%.3f")
+	add("Table 3", "mobile-only download-only user share", "17.3 %", mo("download-only").UserFrac, 0.11, 0.24, "%.3f")
+	add("Table 3", "mobile-only occasional user share", "23.9 %", mo("occasional").UserFrac, 0.17, 0.31, "%.3f")
+	add("Table 3", "mobile-only mixed user share", "7.2 %", mo("mixed").UserFrac, 0.03, 0.13, "%.3f")
+	add("Table 3", "upload-only share of stored volume", "86.6 %", mo("upload-only").StoreFrac, 0.70, 1.0, "%.3f")
+	add("Table 3", "pc-only upload-only user share", "31.6 % (more even than mobile)",
+		u.Table3["upload-only"]["pc-only"].UserFrac, 0.24, 0.44, "%.3f")
+	add("Table 3", "mobile+pc mixed user share", "18.0 %",
+		u.Table3["mixed"]["mobile-and-pc"].UserFrac, 0.10, 0.26, "%.3f")
+
+	// Fig 8.
+	e := res.Engagement
+	add("Fig 8", "1-device never-return fraction", "~50 %",
+		e.NeverReturn[core.StratumOneDevice], 0.38, 0.72, "%.3f")
+	add("Fig 8", "multi-device never-return fraction", "< 20 %",
+		e.NeverReturn[core.StratumMultiDevice], 0, 0.40, "%.3f")
+
+	// Fig 9.
+	if v, ok := e.NeverRetrieve[core.StratumOneDevice]; ok {
+		add("Fig 9", "mobile-only (1 dev) never-retrieve after day-0 upload", "> 80 %",
+			v, 0.80, 1.0, "%.3f")
+	}
+	if mp, ok := e.RetrievalByDay[core.StratumMobileAndPC]; ok && len(mp) > 0 {
+		add("Fig 9", "mobile+pc day-0 retrieval fraction", "highest among strata, same-day sync",
+			mp[0], 0.02, 1.0, "%.3f")
+	}
+
+	// Fig 10 (rows only when the SE fits ran).
+	if act := res.Activity; act.StoreSE.C > 0 && act.RetrieveSE.C > 0 {
+		add("Fig 10a", "storage SE stretch factor c", "0.20", act.StoreSE.C, 0.12, 0.45, "%.3f")
+		add("Fig 10b", "retrieval SE stretch factor c", "0.15", act.RetrieveSE.C, 0.04, 0.30, "%.3f")
+		add("Fig 10a", "storage SE rank-plot R²", "0.9992", act.StoreSE.R2, 0.95, 1.0, "%.4f")
+		add("Fig 10b", "retrieval SE rank-plot R²", "0.9990", act.RetrieveSE.R2, 0.93, 1.0, "%.4f")
+	}
+
+	// Fig 12.
+	p := res.Perf
+	add("Fig 12a", "median Android chunk upload (s)", "4.1 s",
+		p.MedianUpload(trace.Android).Seconds(), 3.2, 5.2, "%.2f")
+	add("Fig 12a", "median iOS chunk upload (s)", "1.6 s",
+		p.MedianUpload(trace.IOS).Seconds(), 1.1, 2.3, "%.2f")
+	add("Fig 12a", "Android-vs-iOS KS distance", "distributions clearly separated",
+		p.UploadGapKS.Stat, 0.2, 1.0, "%.3f")
+
+	// Fig 14.
+	add("Fig 14", "median RTT (ms)", "~100 ms",
+		p.RTT.Quantile(0.5)*1000, 60, 170, "%.0f")
+
+	// Fig 15.
+	add("Fig 15", "P(estimated swnd <= 64 KB)", "concentration at 64 KB",
+		p.SWnd.P(66*1024), 0.85, 1.0, "%.3f")
+
+	// Fig 16 (from the idle-time study).
+	if as, ok := idle.Classes["android/storage"]; ok {
+		is := idle.Classes["ios/storage"]
+		add("Fig 16c", "Android storage idle>RTO fraction", "~60 %", as.RestartFrac, 0.45, 0.75, "%.3f")
+		add("Fig 16c", "iOS storage idle>RTO fraction", "~18 %", is.RestartFrac, 0.08, 0.30, "%.3f")
+		add("Fig 16a", "Android storage median Tclt - iOS (ms)", "~90 ms more",
+			(as.Tclt.Quantile(0.5)-is.Tclt.Quantile(0.5))*1000, 50, 250, "%.0f")
+		add("Fig 16a/b", "median Tsrv (ms)", "~100 ms regardless of device",
+			as.Tsrv.Quantile(0.5)*1000, 60, 160, "%.0f")
+		ar := idle.Classes["android/retrieval"]
+		ir := idle.Classes["ios/retrieval"]
+		add("Fig 16b", "Android retrieval 90th-pct Tclt (s)", "~1 s",
+			ar.Tclt.Quantile(0.9), 0.4, 3.0, "%.2f")
+		add("Fig 16b", "iOS retrieval 90th-pct Tclt (s)", "~0.1 s (order of magnitude below Android)",
+			ir.Tclt.Quantile(0.9), 0.0, 0.4, "%.2f")
+		add("Fig 13", "Android median chunk time / iOS (simulator)", "clearly slower",
+			float64(as.MedianChunkTime)/float64(is.MedianChunkTime), 1.3, 10, "%.2f")
+	}
+	return rows
+}
+
+// Markdown renders rows as an EXPERIMENTS.md table body.
+func Markdown(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("| Experiment | Quantity | Paper | Measured | Status |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			r.Experiment, r.Quantity, r.Paper, r.Measured, r.Status())
+	}
+	return b.String()
+}
+
+// Text renders rows as an aligned console table.
+func Text(rows []Row) string {
+	var b strings.Builder
+	expW, qW, pW, mW := 10, 20, 20, 10
+	for _, r := range rows {
+		if len(r.Experiment) > expW {
+			expW = len(r.Experiment)
+		}
+		if len(r.Quantity) > qW {
+			qW = len(r.Quantity)
+		}
+		if len(r.Paper) > pW {
+			pW = len(r.Paper)
+		}
+		if len(r.Measured) > mW {
+			mW = len(r.Measured)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-*s  %-*s  %-*s  %s\n", expW, "Experiment", qW, "Quantity", pW, "Paper", mW, "Measured", "Status")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", expW+qW+pW+mW+16))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %-*s  %-*s  %-*s  %s\n", expW, r.Experiment, qW, r.Quantity, pW, r.Paper, mW, r.Measured, r.Status())
+	}
+	return b.String()
+}
+
+// Summary counts passing rows.
+func Summary(rows []Row) (ok, total int) {
+	for _, r := range rows {
+		if r.OK() {
+			ok++
+		}
+	}
+	return ok, len(rows)
+}
+
+// RunHeader describes a reproduction run for the report preamble.
+type RunHeader struct {
+	Users     int
+	PCUsers   int
+	Seed      uint64
+	Logs      int64
+	Started   time.Time
+	Elapsed   time.Duration
+	IdleFlows int
+}
+
+// HeaderText renders the run header.
+func HeaderText(h RunHeader) string {
+	return fmt.Sprintf("population: %d mobile users + %d pc-only users (seed %d)\nlogs analyzed: %d\nidle-time study: %d flows per class\nelapsed: %v\n",
+		h.Users, h.PCUsers, h.Seed, h.Logs, h.IdleFlows, h.Elapsed.Round(time.Millisecond))
+}

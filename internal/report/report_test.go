@@ -1,0 +1,87 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mcloud/internal/core"
+	"mcloud/internal/workload"
+)
+
+func TestRowOK(t *testing.T) {
+	r := Row{Value: 5, Lo: 1, Hi: 10}
+	if !r.OK() || r.Status() != "ok" {
+		t.Error("in-band row should pass")
+	}
+	r.Value = 11
+	if r.OK() || r.Status() != "DEVIATES" {
+		t.Error("out-of-band row should fail")
+	}
+	r.Value = math.NaN()
+	if r.OK() {
+		t.Error("NaN should fail")
+	}
+}
+
+func TestCompareProducesFullRowSet(t *testing.T) {
+	g, err := workload.New(workload.Config{Users: 1500, PCOnlyUsers: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAnalyzer(core.Options{Start: g.Config().Start, Days: g.Config().Days})
+	a.AddStream(g.Stream())
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := core.RunIdleTimeStudy(core.IdleTimeConfig{Flows: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Compare(res, idle)
+	if len(rows) < 30 {
+		t.Fatalf("only %d comparison rows; every figure/table needs coverage", len(rows))
+	}
+	// Each major experiment must appear.
+	want := []string{"Fig 1", "Fig 3", "§3.1.1", "Fig 4", "Fig 5", "Table 2",
+		"Table 3", "Fig 8", "Fig 9", "Fig 10", "Fig 12", "Fig 14", "Fig 15", "Fig 16", "Fig 13"}
+	joined := ""
+	for _, r := range rows {
+		joined += r.Experiment + "\n"
+	}
+	for _, w := range want {
+		if !strings.Contains(joined, w) {
+			t.Errorf("experiment %q missing from comparison", w)
+		}
+	}
+	// At this scale the vast majority of rows must land in-band.
+	ok, total := Summary(rows)
+	if float64(ok) < 0.85*float64(total) {
+		for _, r := range rows {
+			if !r.OK() {
+				t.Logf("deviates: %s %s = %s (band [%g, %g])", r.Experiment, r.Quantity, r.Measured, r.Lo, r.Hi)
+			}
+		}
+		t.Errorf("only %d/%d rows in band", ok, total)
+	}
+
+	md := Markdown(rows)
+	if !strings.Contains(md, "| Experiment |") || strings.Count(md, "\n") < len(rows) {
+		t.Error("markdown rendering incomplete")
+	}
+	txt := Text(rows)
+	if !strings.Contains(txt, "Status") {
+		t.Error("text rendering incomplete")
+	}
+}
+
+func TestHeaderText(t *testing.T) {
+	h := RunHeader{Users: 100, PCUsers: 50, Seed: 3, Logs: 1234, IdleFlows: 10}
+	out := HeaderText(h)
+	for _, want := range []string{"100", "50", "1234", "seed 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("header missing %q: %s", want, out)
+		}
+	}
+}

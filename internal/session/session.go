@@ -1,0 +1,277 @@
+// Package session implements the paper's session identification
+// methodology (§3.1.1): a user's request stream is cut into sessions
+// wherever the gap between consecutive *file operations* exceeds a
+// threshold τ, empirically one hour (the valley between the two
+// components of the inter-operation time distribution). Chunk requests
+// belong to the session of the file operation that precedes them.
+//
+// The package also computes per-session attributes used throughout
+// §3.1: class (store-only / retrieve-only / mixed), size, operation
+// count, user operating time and session length.
+package session
+
+import (
+	"sort"
+	"time"
+
+	"mcloud/internal/trace"
+)
+
+// DefaultTau is the paper's session threshold.
+const DefaultTau = time.Hour
+
+// Session is one identified session of a user.
+type Session struct {
+	UserID   uint64
+	DeviceID uint64 // device of the first operation
+	Device   trace.DeviceType
+
+	Start time.Time // first file operation
+	End   time.Time // last request (operation or chunk)
+
+	FileOps   int // number of file operations
+	StoreOps  int
+	RetrOps   int
+	LastOp    time.Time // time of the last file operation
+	StoreVol  int64     // bytes uploaded (chunk-store volume)
+	RetrVol   int64     // bytes downloaded
+	ChunkReqs int
+}
+
+// Class is the paper's session classification.
+type Class uint8
+
+// Session classes (§3.1.1).
+const (
+	StoreOnly Class = iota
+	RetrieveOnly
+	Mixed
+	// Empty marks sessions whose logs contain no file operations
+	// (possible in truncated traces); the paper's analysis drops them.
+	Empty
+)
+
+var classNames = [...]string{"store-only", "retrieve-only", "mixed", "empty"}
+
+func (c Class) String() string { return classNames[c] }
+
+// Class returns the session class.
+func (s *Session) Class() Class {
+	switch {
+	case s.StoreOps > 0 && s.RetrOps > 0:
+		return Mixed
+	case s.StoreOps > 0:
+		return StoreOnly
+	case s.RetrOps > 0:
+		return RetrieveOnly
+	default:
+		return Empty
+	}
+}
+
+// Length is the session length per Figure 2: first file operation to
+// the last request.
+func (s *Session) Length() time.Duration { return s.End.Sub(s.Start) }
+
+// OperatingTime is the user operating time (Fig 4): the span between
+// the first and last file operation requests.
+func (s *Session) OperatingTime() time.Duration { return s.LastOp.Sub(s.Start) }
+
+// NormalizedOperatingTime is the operating time divided by the session
+// length; 0 when the session has no measurable length.
+func (s *Session) NormalizedOperatingTime() float64 {
+	l := s.Length()
+	if l <= 0 {
+		return 0
+	}
+	return float64(s.OperatingTime()) / float64(l)
+}
+
+// Volume returns the total bytes moved.
+func (s *Session) Volume() int64 { return s.StoreVol + s.RetrVol }
+
+// AvgFileSize is the session data volume divided by the number of
+// file operations (§3.1.4), 0 for operation-less sessions.
+func (s *Session) AvgFileSize() float64 {
+	if s.FileOps == 0 {
+		return 0
+	}
+	return float64(s.Volume()) / float64(s.FileOps)
+}
+
+// Identifier incrementally cuts per-user request streams into
+// sessions. Feed it logs in any order grouped however they arrive;
+// it orders each user's requests internally on Close.
+type Identifier struct {
+	tau    time.Duration
+	byUser map[uint64][]trace.Log
+}
+
+// NewIdentifier returns an Identifier with threshold tau (DefaultTau
+// if zero).
+func NewIdentifier(tau time.Duration) *Identifier {
+	if tau <= 0 {
+		tau = DefaultTau
+	}
+	return &Identifier{tau: tau, byUser: make(map[uint64][]trace.Log)}
+}
+
+// Add buffers one log entry.
+func (id *Identifier) Add(l trace.Log) {
+	id.byUser[l.UserID] = append(id.byUser[l.UserID], l)
+}
+
+// Sessions cuts every user's stream and returns all sessions, ordered
+// by (user, start time).
+func (id *Identifier) Sessions() []Session {
+	users := make([]uint64, 0, len(id.byUser))
+	for u := range id.byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+
+	var out []Session
+	for _, u := range users {
+		out = append(out, CutUser(id.byUser[u], id.tau)...)
+	}
+	return out
+}
+
+// CutUser identifies the sessions in one user's logs (sorted
+// internally). The session boundary rule follows the paper exactly:
+// a file operation more than τ after the previous file operation of
+// the same user begins a new session. Chunk requests extend the
+// current session regardless of their gap, since chunk transfers of
+// large files legitimately span long periods.
+func CutUser(logs []trace.Log, tau time.Duration) []Session {
+	if len(logs) == 0 {
+		return nil
+	}
+	if tau <= 0 {
+		tau = DefaultTau
+	}
+	sorted := make([]trace.Log, len(logs))
+	copy(sorted, logs)
+	trace.SortByTime(sorted)
+
+	var out []Session
+	var cur *Session
+	var lastOp time.Time
+	haveOp := false
+
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+
+	for _, l := range sorted {
+		if l.Type.FileOp() {
+			if !haveOp || l.Time.Sub(lastOp) > tau {
+				flush()
+				cur = &Session{
+					UserID:   l.UserID,
+					DeviceID: l.DeviceID,
+					Device:   l.Device,
+					Start:    l.Time,
+					End:      l.Time,
+				}
+			}
+			lastOp = l.Time
+			haveOp = true
+			cur.FileOps++
+			cur.LastOp = l.Time
+			if l.Type.Store() {
+				cur.StoreOps++
+			} else {
+				cur.RetrOps++
+			}
+			if l.Time.After(cur.End) {
+				cur.End = l.Time
+			}
+			continue
+		}
+
+		// Chunk request: attach to the current session; chunk traffic
+		// before any file operation (trace truncation) opens an Empty
+		// session so no volume is lost.
+		if cur == nil {
+			cur = &Session{
+				UserID:   l.UserID,
+				DeviceID: l.DeviceID,
+				Device:   l.Device,
+				Start:    l.Time,
+				End:      l.Time,
+				LastOp:   l.Time,
+			}
+		}
+		cur.ChunkReqs++
+		if l.Type.Store() {
+			cur.StoreVol += l.Bytes
+		} else {
+			cur.RetrVol += l.Bytes
+		}
+		if l.Time.After(cur.End) {
+			cur.End = l.Time
+		}
+	}
+	flush()
+	return out
+}
+
+// Stats summarizes a session set.
+type Stats struct {
+	Total    int
+	ByClass  [4]int // indexed by Class
+	TotalOps int
+	StoreVol int64
+	RetrVol  int64
+}
+
+// Summarize tallies a session list.
+func Summarize(sessions []Session) Stats {
+	var st Stats
+	for i := range sessions {
+		s := &sessions[i]
+		st.Total++
+		st.ByClass[s.Class()]++
+		st.TotalOps += s.FileOps
+		st.StoreVol += s.StoreVol
+		st.RetrVol += s.RetrVol
+	}
+	return st
+}
+
+// ClassFraction returns the share of sessions in class c (Empty
+// sessions are excluded from the denominator, as in the paper).
+func (st Stats) ClassFraction(c Class) float64 {
+	denom := st.Total - st.ByClass[Empty]
+	if denom == 0 {
+		return 0
+	}
+	return float64(st.ByClass[c]) / float64(denom)
+}
+
+// InterOpGaps returns every same-user gap between consecutive file
+// operations, in seconds — the sample behind Figure 3. Logs may be in
+// any order; they are grouped and sorted internally.
+func InterOpGaps(logs []trace.Log) []float64 {
+	byUser := make(map[uint64][]trace.Log)
+	for _, l := range logs {
+		if l.Type.FileOp() {
+			byUser[l.UserID] = append(byUser[l.UserID], l)
+		}
+	}
+	var gaps []float64
+	for _, ls := range byUser {
+		trace.SortByTime(ls)
+		for i := 1; i < len(ls); i++ {
+			gap := ls[i].Time.Sub(ls[i-1].Time).Seconds()
+			if gap > 0 {
+				gaps = append(gaps, gap)
+			}
+		}
+	}
+	return gaps
+}

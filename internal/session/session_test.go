@@ -1,0 +1,276 @@
+package session
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcloud/internal/randx"
+	"mcloud/internal/trace"
+)
+
+var t0 = time.Date(2015, 8, 3, 12, 0, 0, 0, time.UTC)
+
+// op returns a file operation log at t0+offset.
+func op(user uint64, offset time.Duration, store bool) trace.Log {
+	typ := trace.FileRetrieve
+	if store {
+		typ = trace.FileStore
+	}
+	return trace.Log{Time: t0.Add(offset), UserID: user, Type: typ}
+}
+
+// chunk returns a chunk request log at t0+offset.
+func chunk(user uint64, offset time.Duration, store bool, bytes int64) trace.Log {
+	typ := trace.ChunkRetrieve
+	if store {
+		typ = trace.ChunkStore
+	}
+	return trace.Log{Time: t0.Add(offset), UserID: user, Type: typ, Bytes: bytes}
+}
+
+func TestCutUserSingleSession(t *testing.T) {
+	logs := []trace.Log{
+		op(1, 0, true),
+		chunk(1, 2*time.Second, true, 512<<10),
+		op(1, 10*time.Second, true),
+		chunk(1, 14*time.Second, true, 100<<10),
+	}
+	sessions := CutUser(logs, time.Hour)
+	if len(sessions) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(sessions))
+	}
+	s := sessions[0]
+	if s.FileOps != 2 || s.StoreOps != 2 || s.RetrOps != 0 {
+		t.Errorf("ops = %d/%d/%d", s.FileOps, s.StoreOps, s.RetrOps)
+	}
+	if s.StoreVol != 612<<10 {
+		t.Errorf("store volume = %d", s.StoreVol)
+	}
+	if s.Class() != StoreOnly {
+		t.Errorf("class = %v", s.Class())
+	}
+	if s.Length() != 14*time.Second {
+		t.Errorf("length = %v", s.Length())
+	}
+	if s.OperatingTime() != 10*time.Second {
+		t.Errorf("operating time = %v", s.OperatingTime())
+	}
+}
+
+func TestCutUserSplitsAtTau(t *testing.T) {
+	logs := []trace.Log{
+		op(1, 0, true),
+		op(1, 30*time.Minute, true), // same session (< 1h)
+		op(1, 2*time.Hour, false),   // new session (90m gap)
+		op(1, 2*time.Hour+time.Minute, false),
+	}
+	sessions := CutUser(logs, time.Hour)
+	if len(sessions) != 2 {
+		t.Fatalf("got %d sessions, want 2", len(sessions))
+	}
+	if sessions[0].Class() != StoreOnly || sessions[1].Class() != RetrieveOnly {
+		t.Errorf("classes = %v/%v", sessions[0].Class(), sessions[1].Class())
+	}
+}
+
+func TestCutUserBoundaryExactlyTau(t *testing.T) {
+	// A gap of exactly tau does NOT split (the rule is T > tau).
+	logs := []trace.Log{
+		op(1, 0, true),
+		op(1, time.Hour, true),
+	}
+	if got := len(CutUser(logs, time.Hour)); got != 1 {
+		t.Errorf("gap == tau produced %d sessions, want 1", got)
+	}
+	logs[1] = op(1, time.Hour+time.Nanosecond, true)
+	if got := len(CutUser(logs, time.Hour)); got != 2 {
+		t.Errorf("gap just over tau produced %d sessions, want 2", got)
+	}
+}
+
+func TestChunkGapsDoNotSplit(t *testing.T) {
+	// A long transfer keeps its chunks in the session even when chunk
+	// gaps exceed tau.
+	logs := []trace.Log{
+		op(1, 0, false),
+		chunk(1, 30*time.Minute, false, 512<<10),
+		chunk(1, 100*time.Minute, false, 512<<10),
+		chunk(1, 170*time.Minute, false, 512<<10),
+	}
+	sessions := CutUser(logs, time.Hour)
+	if len(sessions) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(sessions))
+	}
+	if sessions[0].ChunkReqs != 3 {
+		t.Errorf("chunks = %d", sessions[0].ChunkReqs)
+	}
+	if sessions[0].Length() != 170*time.Minute {
+		t.Errorf("length = %v", sessions[0].Length())
+	}
+}
+
+func TestMixedSession(t *testing.T) {
+	logs := []trace.Log{
+		op(1, 0, true),
+		chunk(1, time.Second, true, 100),
+		op(1, time.Minute, false),
+		chunk(1, 2*time.Minute, false, 200),
+	}
+	sessions := CutUser(logs, time.Hour)
+	if len(sessions) != 1 {
+		t.Fatalf("got %d sessions", len(sessions))
+	}
+	s := sessions[0]
+	if s.Class() != Mixed {
+		t.Errorf("class = %v", s.Class())
+	}
+	if s.Volume() != 300 {
+		t.Errorf("volume = %d", s.Volume())
+	}
+	if s.AvgFileSize() != 150 {
+		t.Errorf("avg file size = %v", s.AvgFileSize())
+	}
+}
+
+func TestOrphanChunksOpenEmptySession(t *testing.T) {
+	logs := []trace.Log{
+		chunk(1, 0, true, 512<<10),
+		chunk(1, time.Second, true, 512<<10),
+	}
+	sessions := CutUser(logs, time.Hour)
+	if len(sessions) != 1 {
+		t.Fatalf("got %d sessions", len(sessions))
+	}
+	if sessions[0].Class() != Empty {
+		t.Errorf("class = %v, want empty", sessions[0].Class())
+	}
+	if sessions[0].StoreVol != 1<<20 {
+		t.Errorf("volume = %d (orphan chunk volume must be preserved)", sessions[0].StoreVol)
+	}
+}
+
+func TestCutUserEmptyInput(t *testing.T) {
+	if got := CutUser(nil, time.Hour); got != nil {
+		t.Errorf("empty input produced %v", got)
+	}
+}
+
+func TestCutUserUnsortedInput(t *testing.T) {
+	logs := []trace.Log{
+		op(1, 2*time.Hour, false),
+		op(1, 0, true),
+		chunk(1, time.Second, true, 100),
+	}
+	sessions := CutUser(logs, time.Hour)
+	if len(sessions) != 2 {
+		t.Fatalf("got %d sessions, want 2 (input should be sorted internally)", len(sessions))
+	}
+	if sessions[0].Class() != StoreOnly {
+		t.Errorf("first session class = %v", sessions[0].Class())
+	}
+}
+
+func TestIdentifierGroupsByUser(t *testing.T) {
+	id := NewIdentifier(time.Hour)
+	id.Add(op(2, 0, false))
+	id.Add(op(1, 0, true))
+	id.Add(op(1, 10*time.Second, true))
+	id.Add(op(2, 2*time.Hour, false))
+	sessions := id.Sessions()
+	if len(sessions) != 3 {
+		t.Fatalf("got %d sessions, want 3", len(sessions))
+	}
+	// Ordered by user then time.
+	if sessions[0].UserID != 1 || sessions[1].UserID != 2 || sessions[2].UserID != 2 {
+		t.Errorf("session order: %d, %d, %d", sessions[0].UserID, sessions[1].UserID, sessions[2].UserID)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sessions := []Session{
+		{StoreOps: 2, FileOps: 2, StoreVol: 100},
+		{RetrOps: 1, FileOps: 1, RetrVol: 50},
+		{StoreOps: 1, RetrOps: 1, FileOps: 2},
+		{}, // empty
+	}
+	st := Summarize(sessions)
+	if st.Total != 4 {
+		t.Errorf("total = %d", st.Total)
+	}
+	if st.ByClass[StoreOnly] != 1 || st.ByClass[RetrieveOnly] != 1 || st.ByClass[Mixed] != 1 || st.ByClass[Empty] != 1 {
+		t.Errorf("class counts = %v", st.ByClass)
+	}
+	// Empty excluded from fractions: 1/3 each.
+	if f := st.ClassFraction(StoreOnly); f != 1.0/3 {
+		t.Errorf("store fraction = %v", f)
+	}
+	if st.StoreVol != 100 || st.RetrVol != 50 {
+		t.Errorf("volumes = %d/%d", st.StoreVol, st.RetrVol)
+	}
+}
+
+func TestNormalizedOperatingTimeBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := randx.New(seed)
+		var logs []trace.Log
+		off := time.Duration(0)
+		for i := 0; i < 10; i++ {
+			off += time.Duration(src.Int63n(int64(time.Minute)))
+			if src.Bool(0.5) {
+				logs = append(logs, op(1, off, true))
+			} else {
+				logs = append(logs, chunk(1, off, true, 100))
+			}
+		}
+		for _, s := range CutUser(logs, time.Hour) {
+			v := s.NormalizedOperatingTime()
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterOpGaps(t *testing.T) {
+	logs := []trace.Log{
+		op(1, 0, true),
+		chunk(1, time.Second, true, 100), // chunks do not contribute gaps
+		op(1, 10*time.Second, true),
+		op(1, 70*time.Second, false),
+		op(2, 0, true), // single op, no gap
+	}
+	gaps := InterOpGaps(logs)
+	if len(gaps) != 2 {
+		t.Fatalf("got %d gaps, want 2", len(gaps))
+	}
+	want := map[float64]bool{10: true, 60: true}
+	for _, g := range gaps {
+		if !want[g] {
+			t.Errorf("unexpected gap %v", g)
+		}
+	}
+}
+
+func TestDefaultTauApplied(t *testing.T) {
+	id := NewIdentifier(0)
+	id.Add(op(1, 0, true))
+	id.Add(op(1, 59*time.Minute, true)) // < 1h: same session
+	id.Add(op(1, 3*time.Hour, true))    // > 1h gap: new session
+	if got := len(id.Sessions()); got != 2 {
+		t.Errorf("got %d sessions with default tau, want 2", got)
+	}
+}
+
+func TestSessionDeviceAttribution(t *testing.T) {
+	l := op(1, 0, true)
+	l.Device = trace.IOS
+	l.DeviceID = 42
+	sessions := CutUser([]trace.Log{l}, time.Hour)
+	if sessions[0].Device != trace.IOS || sessions[0].DeviceID != 42 {
+		t.Error("session does not carry the first operation's device")
+	}
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CachedStore wraps a backing ChunkStore with a fixed-capacity LRU
+// byte cache on the read path. It models the web-cache-proxy
+// deployment the paper suggests for popular downloads (§3.1.4: "if a
+// handful of popular files dominate the downloads, web cache proxies
+// can reduce server workload").
+type CachedStore struct {
+	backing ChunkStore
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[Sum]*list.Element
+
+	hits, misses int64
+	hitBytes     int64
+	missBytes    int64
+}
+
+type cacheEntry struct {
+	sum  Sum
+	data []byte
+}
+
+// NewCachedStore wraps backing with an LRU cache of capacity bytes.
+func NewCachedStore(backing ChunkStore, capacity int64) *CachedStore {
+	return &CachedStore{
+		backing:  backing,
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Sum]*list.Element),
+	}
+}
+
+// Put writes through to the backing store; fresh content is not
+// admitted to the cache (the workload is read-skewed, and uploads are
+// rarely re-read — the paper's key observation).
+func (c *CachedStore) Put(sum Sum, data []byte) error {
+	return c.backing.Put(sum, data)
+}
+
+// Get serves from the cache when possible, falling back to the
+// backing store and admitting the result.
+func (c *CachedStore) Get(sum Sum) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.items[sum]; ok {
+		c.ll.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.hits++
+		c.hitBytes += int64(len(data))
+		c.mu.Unlock()
+		return data, nil
+	}
+	c.mu.Unlock()
+
+	data, err := c.backing.Get(sum)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.misses++
+	c.missBytes += int64(len(data))
+	c.admit(sum, data)
+	c.mu.Unlock()
+	return data, nil
+}
+
+// admit inserts (caller holds mu), evicting LRU entries as needed.
+func (c *CachedStore) admit(sum Sum, data []byte) {
+	if int64(len(data)) > c.capacity {
+		return
+	}
+	if _, ok := c.items[sum]; ok {
+		return
+	}
+	for c.used+int64(len(data)) > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ev.sum)
+		c.used -= int64(len(ev.data))
+	}
+	c.items[sum] = c.ll.PushFront(&cacheEntry{sum: sum, data: data})
+	c.used += int64(len(data))
+}
+
+// Has implements ChunkStore.
+func (c *CachedStore) Has(sum Sum) bool {
+	c.mu.Lock()
+	_, ok := c.items[sum]
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	return c.backing.Has(sum)
+}
+
+// Stats implements ChunkStore (backing store counters).
+func (c *CachedStore) Stats() StoreStats { return c.backing.Stats() }
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits, Misses        int64
+	HitBytes, MissBytes int64
+	Used, Capacity      int64
+	Entries             int
+}
+
+// HitRate returns the request hit fraction.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// ByteHitRate returns the byte hit fraction — the origin offload.
+func (s CacheStats) ByteHitRate() float64 {
+	total := s.HitBytes + s.MissBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.HitBytes) / float64(total)
+}
+
+// CacheStats returns a snapshot.
+func (c *CachedStore) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		HitBytes: c.hitBytes, MissBytes: c.missBytes,
+		Used: c.used, Capacity: c.capacity,
+		Entries: len(c.items),
+	}
+}

@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"sync"
+)
+
+// ChunkStore is a content-addressed store of fixed-size chunks.
+// Implementations must be safe for concurrent use.
+type ChunkStore interface {
+	// Put stores data under its digest. Storing content that already
+	// exists is not an error; it increments the dedup counter.
+	Put(sum Sum, data []byte) error
+	// Get returns the chunk bytes, or ErrNotFound.
+	Get(sum Sum) ([]byte, error)
+	// Has reports whether the chunk exists.
+	Has(sum Sum) bool
+	// Stats returns a snapshot of store counters.
+	Stats() StoreStats
+}
+
+// StoreStats reports chunk store occupancy and dedup effectiveness.
+type StoreStats struct {
+	Chunks      int   // unique chunks held
+	Bytes       int64 // unique bytes held
+	Puts        int64 // total Put calls
+	DedupHits   int64 // Puts that found existing content
+	BytesStored int64 // total bytes offered across all Puts
+}
+
+// DedupRatio returns the fraction of offered bytes that deduplication
+// avoided storing.
+func (s StoreStats) DedupRatio() float64 {
+	if s.BytesStored == 0 {
+		return 0
+	}
+	return 1 - float64(s.Bytes)/float64(s.BytesStored)
+}
+
+// MemStore is an in-memory ChunkStore.
+type MemStore struct {
+	mu     sync.RWMutex
+	chunks map[Sum][]byte
+	stats  StoreStats
+}
+
+// NewMemStore returns an empty in-memory chunk store.
+func NewMemStore() *MemStore {
+	return &MemStore{chunks: make(map[Sum][]byte)}
+}
+
+// Put implements ChunkStore. The data slice is copied.
+func (m *MemStore) Put(sum Sum, data []byte) error {
+	if SumBytes(data) != sum {
+		return errBadDigest
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Puts++
+	m.stats.BytesStored += int64(len(data))
+	if _, ok := m.chunks[sum]; ok {
+		m.stats.DedupHits++
+		return nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.chunks[sum] = cp
+	m.stats.Chunks++
+	m.stats.Bytes += int64(len(data))
+	return nil
+}
+
+// Get implements ChunkStore.
+func (m *MemStore) Get(sum Sum) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.chunks[sum]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// Has implements ChunkStore.
+func (m *MemStore) Has(sum Sum) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.chunks[sum]
+	return ok
+}
+
+// Stats implements ChunkStore.
+func (m *MemStore) Stats() StoreStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// Delete removes a chunk, freeing its space (used by the garbage
+// collector once the last referencing file is gone).
+func (m *MemStore) Delete(sum Sum) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.chunks[sum]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(m.chunks, sum)
+	m.stats.Chunks--
+	m.stats.Bytes -= int64(len(data))
+	return nil
+}

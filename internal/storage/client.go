@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mcloud/internal/trace"
+)
+
+// Client is the device-side implementation of the store/retrieve
+// protocol: it talks to the metadata server first, then to the
+// assigned front-end, chunk by chunk, exactly as §2.1 describes.
+type Client struct {
+	MetaURL  string // base URL of the metadata server
+	UserID   uint64
+	DeviceID uint64
+	Device   trace.DeviceType
+	// SimRTT, when nonzero, is reported to the front-end as the
+	// connection's average RTT (the simulated path latency).
+	SimRTT time.Duration
+	// Proxied marks requests as relayed via an HTTP proxy.
+	Proxied bool
+	// HTTP is the underlying client (defaults to http.DefaultClient).
+	HTTP *http.Client
+	// InterChunkDelay, when set, is called between consecutive chunk
+	// requests and the client sleeps for the returned duration. It
+	// models the client processing time Tclt that §4 shows dominates
+	// inter-chunk idle gaps.
+	InterChunkDelay func() time.Duration
+	// SimClock, when set, stamps every request with a virtual
+	// timestamp (X-Sim-Time) that the front-end logs instead of the
+	// wall clock — used to replay pre-generated traces through the
+	// live service in compressed time.
+	SimClock func() time.Time
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// setIdentity attaches the identity headers the front-end logs.
+func (c *Client) setIdentity(req *http.Request) {
+	req.Header.Set("X-Device-Type", c.Device.String())
+	req.Header.Set("X-Device-ID", strconv.FormatUint(c.DeviceID, 10))
+	req.Header.Set("X-User-ID", strconv.FormatUint(c.UserID, 10))
+	if c.SimRTT > 0 {
+		req.Header.Set("X-Sim-RTT", strconv.FormatInt(int64(c.SimRTT), 10))
+	}
+	if c.Proxied {
+		req.Header.Set("X-Forwarded-For", "10.0.0.1")
+	}
+	if c.SimClock != nil {
+		req.Header.Set("X-Sim-Time", strconv.FormatInt(c.SimClock().UnixNano(), 10))
+	}
+}
+
+// postJSON performs a JSON request/response round trip.
+func (c *Client) postJSON(url string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.setIdentity(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("storage: server: %s (status %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("storage: server returned status %d", resp.StatusCode)
+}
+
+// StoreResult reports the outcome of a file upload.
+type StoreResult struct {
+	URL          string // the file's service URL
+	Deduplicated bool   // content was already stored; nothing uploaded
+	ChunksSent   int
+	BytesSent    int64
+}
+
+// StoreFile uploads one file: dedup check at the metadata server, then
+// a file storage operation request and chunk storage requests at the
+// front-end.
+func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
+	fileSum := SumBytes(data)
+	var check StoreCheckResponse
+	err := c.postJSON(c.MetaURL+"/meta/store-check", StoreCheckRequest{
+		UserID:  c.UserID,
+		Name:    name,
+		Size:    int64(len(data)),
+		FileMD5: fileSum.String(),
+	}, &check)
+	if err != nil {
+		return StoreResult{}, err
+	}
+	if check.Duplicate {
+		return StoreResult{URL: check.URL, Deduplicated: true}, nil
+	}
+	if check.FrontEnd == "" {
+		return StoreResult{}, fmt.Errorf("storage: metadata server assigned no front-end")
+	}
+
+	chunkSums := SplitSums(data)
+	chunkStrs := make([]string, len(chunkSums))
+	for i, s := range chunkSums {
+		chunkStrs[i] = s.String()
+	}
+	var opResp FileOpResponse
+	err = c.postJSON(check.FrontEnd+"/op/store?url="+check.URL, FileOpRequest{
+		UserID:    c.UserID,
+		DeviceID:  c.DeviceID,
+		Device:    c.Device.String(),
+		Name:      name,
+		Size:      int64(len(data)),
+		FileMD5:   fileSum.String(),
+		ChunkMD5s: chunkStrs,
+	}, &opResp)
+	if err != nil {
+		return StoreResult{}, err
+	}
+
+	res := StoreResult{URL: check.URL}
+	for i, sum := range chunkSums {
+		if i > 0 && c.InterChunkDelay != nil {
+			time.Sleep(c.InterChunkDelay())
+		}
+		lo := i * ChunkSize
+		hi := lo + ChunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if err := c.putChunk(check.FrontEnd, check.URL, sum, data[lo:hi]); err != nil {
+			return res, fmt.Errorf("chunk %d: %w", i, err)
+		}
+		res.ChunksSent++
+		res.BytesSent += int64(hi - lo)
+	}
+	return res, nil
+}
+
+func (c *Client) putChunk(frontend, url string, sum Sum, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/chunk/%s?url=%s", frontend, sum, url), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	c.setIdentity(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// RetrieveFile downloads the file behind a service URL and returns its
+// contents: URL resolution at the metadata server, a file retrieval
+// operation request, then sequential chunk retrieval requests.
+func (c *Client) RetrieveFile(url string) ([]byte, error) {
+	var res ResolveResponse
+	err := c.postJSON(c.MetaURL+"/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res)
+	if err != nil {
+		return nil, err
+	}
+	if res.FrontEnd == "" {
+		return nil, fmt.Errorf("storage: metadata server assigned no front-end")
+	}
+
+	var op FileOpResponse
+	err = c.postJSON(res.FrontEnd+"/op/retrieve", FileOpRequest{
+		UserID:   c.UserID,
+		DeviceID: c.DeviceID,
+		Device:   c.Device.String(),
+		FileMD5:  res.FileMD5,
+		Size:     res.Size,
+	}, &op)
+	if err != nil {
+		return nil, err
+	}
+
+	buf := make([]byte, 0, res.Size)
+	for i, s := range op.ChunkMD5s {
+		if i > 0 && c.InterChunkDelay != nil {
+			time.Sleep(c.InterChunkDelay())
+		}
+		sum, err := ParseSum(s)
+		if err != nil {
+			return nil, err
+		}
+		data, err := c.getChunk(res.FrontEnd, sum)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", i, err)
+		}
+		buf = append(buf, data...)
+	}
+	if got := SumBytes(buf); got.String() != res.FileMD5 {
+		return nil, fmt.Errorf("storage: retrieved content hash mismatch")
+	}
+	return buf, nil
+}
+
+func (c *Client) getChunk(frontend string, sum Sum) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/chunk/%s", frontend, sum), nil)
+	if err != nil {
+		return nil, err
+	}
+	c.setIdentity(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,14 @@
+package storage
+
+import "errors"
+
+var (
+	errBadDigest = errors.New("storage: malformed MD5 digest")
+
+	// ErrNotFound reports a missing chunk or file.
+	ErrNotFound = errors.New("storage: not found")
+
+	// ErrExists reports a duplicate chunk insert (not fatal; the
+	// chunk store deduplicates by content).
+	ErrExists = errors.New("storage: already stored")
+)

@@ -1,0 +1,337 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mcloud/internal/trace"
+)
+
+// LogSink receives the request logs emitted by a front-end, one per
+// file operation and chunk request (Table 1). Implementations must be
+// safe for concurrent use.
+type LogSink interface {
+	Record(trace.Log)
+}
+
+// Collector is an in-memory LogSink.
+type Collector struct {
+	mu   sync.Mutex
+	logs []trace.Log
+}
+
+// Record implements LogSink.
+func (c *Collector) Record(l trace.Log) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logs = append(c.logs, l)
+}
+
+// Logs returns a copy of the collected entries.
+func (c *Collector) Logs() []trace.Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]trace.Log, len(c.logs))
+	copy(out, c.logs)
+	return out
+}
+
+// WriterSink streams logs to a trace.Writer.
+type WriterSink struct {
+	mu sync.Mutex
+	w  *trace.Writer
+}
+
+// NewWriterSink wraps w.
+func NewWriterSink(w *trace.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Record implements LogSink.
+func (s *WriterSink) Record(l trace.Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(l) // best effort; errors surface at Flush
+}
+
+// Flush flushes the underlying writer.
+func (s *WriterSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// FrontEndOptions tunes a front-end server.
+type FrontEndOptions struct {
+	// UpstreamDelay samples the upstream storage-server processing
+	// time Tsrv recorded in each log. Nil means zero.
+	UpstreamDelay func() time.Duration
+	// SleepUpstream, when true, actually sleeps for the sampled delay
+	// (live-service realism); tests leave it false.
+	SleepUpstream bool
+	// Now supplies timestamps (defaults to time.Now); tests and the
+	// workload player override it to generate logs on simulated time.
+	Now func() time.Time
+}
+
+// FrontEnd is one storage front-end server: it accepts file operation
+// requests and chunk transfers, persists chunks, commits uploads to
+// the metadata server, and logs every request.
+type FrontEnd struct {
+	store ChunkStore
+	meta  *Metadata
+	sink  LogSink
+	opts  FrontEndOptions
+
+	mu      sync.Mutex
+	pending map[string]*pendingUpload
+}
+
+type pendingUpload struct {
+	url      string
+	expected []Sum
+	got      map[Sum]bool
+}
+
+// NewFrontEnd returns a front-end backed by the given chunk store and
+// metadata server, logging into sink (which may be nil to discard).
+func NewFrontEnd(store ChunkStore, meta *Metadata, sink LogSink, opts FrontEndOptions) *FrontEnd {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &FrontEnd{
+		store:   store,
+		meta:    meta,
+		sink:    sink,
+		opts:    opts,
+		pending: make(map[string]*pendingUpload),
+	}
+}
+
+// reqIdentity extracts the client identity headers.
+func reqIdentity(r *http.Request) (dev trace.DeviceType, devID, userID uint64, rtt time.Duration, proxied bool) {
+	dev, _ = trace.ParseDeviceType(r.Header.Get("X-Device-Type"))
+	devID, _ = strconv.ParseUint(r.Header.Get("X-Device-ID"), 10, 64)
+	userID, _ = strconv.ParseUint(r.Header.Get("X-User-ID"), 10, 64)
+	if v := r.Header.Get("X-Sim-RTT"); v != "" {
+		if ns, err := strconv.ParseInt(v, 10, 64); err == nil {
+			rtt = time.Duration(ns)
+		}
+	}
+	proxied = r.Header.Get("X-Forwarded-For") != ""
+	return dev, devID, userID, rtt, proxied
+}
+
+// simTime reads the client's virtual timestamp header, used when a
+// pre-generated trace is replayed through the live service in
+// compressed wall time: the front-end logs the trace's simulated
+// clock instead of time.Now, so session analysis of the replayed logs
+// matches the source trace. Zero when absent.
+func simTime(r *http.Request) time.Time {
+	v := r.Header.Get("X-Sim-Time")
+	if v == "" {
+		return time.Time{}
+	}
+	ns, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// record emits one log entry. A replayed request's virtual timestamp
+// (X-Sim-Time) takes precedence over the wall clock.
+func (f *FrontEnd) record(r *http.Request, typ trace.ReqType, bytes int64, started time.Time, tsrv time.Duration) {
+	if f.sink == nil {
+		return
+	}
+	logTime := started
+	if st := simTime(r); !st.IsZero() {
+		logTime = st
+	}
+	dev, devID, userID, rtt, proxied := reqIdentity(r)
+	f.sink.Record(trace.Log{
+		Time:     logTime,
+		Device:   dev,
+		DeviceID: devID,
+		UserID:   userID,
+		Type:     typ,
+		Bytes:    bytes,
+		Proc:     f.opts.Now().Sub(started) + tsrv,
+		Server:   tsrv,
+		RTT:      rtt,
+		Proxied:  proxied,
+	})
+}
+
+// upstream samples (and optionally performs) the upstream delay.
+func (f *FrontEnd) upstream() time.Duration {
+	if f.opts.UpstreamDelay == nil {
+		return 0
+	}
+	d := f.opts.UpstreamDelay()
+	if f.opts.SleepUpstream && d > 0 {
+		time.Sleep(d)
+	}
+	return d
+}
+
+// Handler returns the front-end HTTP API:
+//
+//	POST /op/store      file storage operation request
+//	POST /op/retrieve   file retrieval operation request
+//	PUT  /chunk/{md5}   chunk storage request
+//	GET  /chunk/{md5}   chunk retrieval request
+func (f *FrontEnd) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/op/store", f.handleStoreOp)
+	mux.HandleFunc("/op/retrieve", f.handleRetrieveOp)
+	mux.HandleFunc("/chunk/", f.handleChunk)
+	return mux
+}
+
+func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
+	started := f.opts.Now()
+	var req FileOpRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("storage: missing url parameter"))
+		return
+	}
+	expected := make([]Sum, 0, len(req.ChunkMD5s))
+	for _, s := range req.ChunkMD5s {
+		sum, err := ParseSum(s)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		expected = append(expected, sum)
+	}
+	if len(expected) == 0 {
+		// Zero-byte files carry no chunks; commit immediately.
+		if err := f.meta.Commit(url, nil); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+	} else {
+		f.mu.Lock()
+		f.pending[url] = &pendingUpload{url: url, expected: expected, got: make(map[Sum]bool)}
+		f.mu.Unlock()
+	}
+
+	tsrv := f.upstream()
+	f.record(r, trace.FileStore, 0, started, tsrv)
+	writeJSON(w, FileOpResponse{OK: true})
+}
+
+func (f *FrontEnd) handleRetrieveOp(w http.ResponseWriter, r *http.Request) {
+	started := f.opts.Now()
+	var req FileOpRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sum, err := ParseSum(req.FileMD5)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	meta, err := f.meta.Lookup(sum)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	chunkStrs := make([]string, len(meta.ChunkMD5s))
+	for i, c := range meta.ChunkMD5s {
+		chunkStrs[i] = c.String()
+	}
+	tsrv := f.upstream()
+	f.record(r, trace.FileRetrieve, 0, started, tsrv)
+	writeJSON(w, FileOpResponse{OK: true, ChunkMD5s: chunkStrs, Size: meta.Size})
+}
+
+func (f *FrontEnd) handleChunk(w http.ResponseWriter, r *http.Request) {
+	started := f.opts.Now()
+	digest := strings.TrimPrefix(r.URL.Path, "/chunk/")
+	sum, err := ParseSum(digest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		f.putChunk(w, r, sum, started)
+	case http.MethodGet:
+		f.getChunk(w, r, sum, started)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method))
+	}
+}
+
+func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, ChunkSize+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(data) > ChunkSize {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("storage: chunk exceeds %d bytes", ChunkSize))
+		return
+	}
+	if err := f.store.Put(sum, data); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tsrv := f.upstream()
+
+	// Track upload completion for the owning file, if any.
+	url := r.URL.Query().Get("url")
+	if url != "" {
+		f.mu.Lock()
+		if p, ok := f.pending[url]; ok {
+			p.got[sum] = true
+			if f.completeLocked(p) {
+				delete(f.pending, url)
+				f.mu.Unlock()
+				if err := f.meta.Commit(url, p.expected); err != nil {
+					writeError(w, http.StatusInternalServerError, err)
+					return
+				}
+			} else {
+				f.mu.Unlock()
+			}
+		} else {
+			f.mu.Unlock()
+		}
+	}
+
+	f.record(r, trace.ChunkStore, int64(len(data)), started, tsrv)
+	writeJSON(w, FileOpResponse{OK: true})
+}
+
+// completeLocked reports whether every expected chunk has arrived.
+func (f *FrontEnd) completeLocked(p *pendingUpload) bool {
+	for _, s := range p.expected {
+		if !p.got[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *FrontEnd) getChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
+	data, err := f.store.Get(sum)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	tsrv := f.upstream()
+	f.record(r, trace.ChunkRetrieve, int64(len(data)), started, tsrv)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}

@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"sync"
+)
+
+// RefCounter tracks how many committed files reference each chunk, so
+// unreferenced chunks can be garbage collected. The measured service
+// supports file deletion (it bypasses the front-ends, §2.1), which
+// means a production chunk store needs exactly this: deduplicated
+// chunks may be shared by many files and can only be reclaimed when
+// the last referencing file goes away.
+type RefCounter struct {
+	mu   sync.Mutex
+	refs map[Sum]int
+}
+
+// NewRefCounter returns an empty reference tracker.
+func NewRefCounter() *RefCounter {
+	return &RefCounter{refs: make(map[Sum]int)}
+}
+
+// Acquire increments every chunk's reference count (a file commit).
+func (rc *RefCounter) Acquire(sums []Sum) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, s := range sums {
+		rc.refs[s]++
+	}
+}
+
+// Release decrements the chunks' counts (a file deletion) and returns
+// the chunks that reached zero — candidates for collection.
+func (rc *RefCounter) Release(sums []Sum) []Sum {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var dead []Sum
+	for _, s := range sums {
+		if rc.refs[s] <= 0 {
+			continue // over-release is ignored, never negative
+		}
+		rc.refs[s]--
+		if rc.refs[s] == 0 {
+			delete(rc.refs, s)
+			dead = append(dead, s)
+		}
+	}
+	return dead
+}
+
+// Refs returns the current count for a chunk.
+func (rc *RefCounter) Refs(sum Sum) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.refs[sum]
+}
+
+// Live returns the number of referenced chunks.
+func (rc *RefCounter) Live() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.refs)
+}
+
+// Deleter is the optional ChunkStore extension for reclaiming space.
+type Deleter interface {
+	Delete(sum Sum) error
+}
+
+// Collect removes the given chunks from store if it supports deletion,
+// returning how many were reclaimed. Stores without Delete (e.g. the
+// cached wrapper) report zero reclaimed without error.
+func Collect(store ChunkStore, dead []Sum) (int, error) {
+	d, ok := store.(Deleter)
+	if !ok {
+		return 0, nil
+	}
+	n := 0
+	for _, s := range dead {
+		switch err := d.Delete(s); err {
+		case nil:
+			n++
+		case ErrNotFound:
+			// Already gone; fine.
+		default:
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// DeleteFile removes a file from a user's namespace in the metadata
+// server, releases its chunk references, and collects newly
+// unreferenced chunks from the store. It returns the number of chunks
+// reclaimed. The file's catalog entry survives while other users still
+// link it (content-addressed sharing).
+func DeleteFile(m *Metadata, rc *RefCounter, store ChunkStore, user uint64, url string) (int, error) {
+	chunks, lastRef, err := m.Unlink(user, url)
+	if err != nil {
+		return 0, err
+	}
+	if !lastRef {
+		return 0, nil
+	}
+	dead := rc.Release(chunks)
+	return Collect(store, dead)
+}

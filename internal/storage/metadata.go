@@ -1,0 +1,274 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// FileMeta is the metadata server's record of one stored file version.
+type FileMeta struct {
+	Name      string
+	Size      int64
+	FileMD5   Sum
+	ChunkMD5s []Sum
+	URL       string
+}
+
+// Metadata is the metadata service (§2.1): it owns user namespaces,
+// performs file-level deduplication, maps URLs to content hashes, and
+// assigns storage front-ends. It is safe for concurrent use.
+type Metadata struct {
+	mu        sync.RWMutex
+	byMD5     map[Sum]*FileMeta               // content catalog
+	byURL     map[string]*FileMeta            // URL resolution
+	users     map[uint64]map[string]*FileMeta // user namespace: URL -> file
+	links     map[string]int                  // URL -> number of user namespaces linking it
+	frontends []string
+	nextFE    int
+	urlSeq    int64
+
+	dedupHits int64 // uploads avoided entirely by file-level dedup
+	checks    int64
+}
+
+// NewMetadata returns a metadata server that will direct clients to
+// the given front-end base URLs (round-robin; the measured service
+// picks "the closest front-end", which degenerates to round-robin on a
+// single site).
+func NewMetadata(frontends ...string) *Metadata {
+	return &Metadata{
+		byMD5:     make(map[Sum]*FileMeta),
+		byURL:     make(map[string]*FileMeta),
+		users:     make(map[uint64]map[string]*FileMeta),
+		links:     make(map[string]int),
+		frontends: frontends,
+	}
+}
+
+// AddFrontEnd registers another front-end.
+func (m *Metadata) AddFrontEnd(baseURL string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frontends = append(m.frontends, baseURL)
+}
+
+// pickFrontEnd returns the next front-end (caller holds mu).
+func (m *Metadata) pickFrontEnd() string {
+	if len(m.frontends) == 0 {
+		return ""
+	}
+	fe := m.frontends[m.nextFE%len(m.frontends)]
+	m.nextFE++
+	return fe
+}
+
+// StoreCheck implements the dedup handshake: if the content is known,
+// it links the file into the user's namespace and reports Duplicate.
+// Otherwise it reserves a URL and directs the client to a front-end.
+func (m *Metadata) StoreCheck(req StoreCheckRequest) (StoreCheckResponse, error) {
+	sum, err := ParseSum(req.FileMD5)
+	if err != nil {
+		return StoreCheckResponse{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checks++
+	if f, ok := m.byMD5[sum]; ok {
+		m.dedupHits++
+		m.linkLocked(req.UserID, f)
+		return StoreCheckResponse{Duplicate: true, URL: f.URL}, nil
+	}
+	m.urlSeq++
+	url := fmt.Sprintf("/f/%x/%d", sum[:4], m.urlSeq)
+	f := &FileMeta{Name: req.Name, Size: req.Size, FileMD5: sum, URL: url}
+	// The record is provisional until Commit; store it under URL so
+	// the URL is reserved, but not under MD5 until chunks land.
+	m.byURL[url] = f
+	m.linkLocked(req.UserID, f)
+	return StoreCheckResponse{FrontEnd: m.pickFrontEnd(), URL: url}, nil
+}
+
+// linkLocked adds the file to a user's namespace (caller holds mu).
+func (m *Metadata) linkLocked(user uint64, f *FileMeta) {
+	ns, ok := m.users[user]
+	if !ok {
+		ns = make(map[string]*FileMeta)
+		m.users[user] = ns
+	}
+	if _, already := ns[f.URL]; !already {
+		m.links[f.URL]++
+	}
+	ns[f.URL] = f
+}
+
+// Unlink removes a file from one user's namespace. When the last
+// namespace reference goes away, the catalog entry is dropped and the
+// file's chunk digests are returned with lastRef = true so the caller
+// can release chunk references (see DeleteFile). Deduplicated content
+// linked by other users survives.
+func (m *Metadata) Unlink(user uint64, url string) (chunks []Sum, lastRef bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns, ok := m.users[user]
+	if !ok {
+		return nil, false, ErrNotFound
+	}
+	f, ok := ns[url]
+	if !ok {
+		return nil, false, ErrNotFound
+	}
+	delete(ns, url)
+	if len(ns) == 0 {
+		delete(m.users, user)
+	}
+	m.links[url]--
+	if m.links[url] > 0 {
+		return f.ChunkMD5s, false, nil
+	}
+	delete(m.links, url)
+	delete(m.byURL, url)
+	delete(m.byMD5, f.FileMD5)
+	return f.ChunkMD5s, true, nil
+}
+
+// Commit finalizes a file upload: the front-end calls it after all
+// chunks are stored, making the content available for dedup and
+// retrieval.
+func (m *Metadata) Commit(url string, chunkMD5s []Sum) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.byURL[url]
+	if !ok {
+		return ErrNotFound
+	}
+	f.ChunkMD5s = chunkMD5s
+	m.byMD5[f.FileMD5] = f
+	return nil
+}
+
+// Resolve maps a file URL to its content hash and a front-end, for
+// retrievals.
+func (m *Metadata) Resolve(req ResolveRequest) (ResolveResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.byURL[req.URL]
+	if !ok {
+		return ResolveResponse{}, ErrNotFound
+	}
+	return ResolveResponse{
+		FileMD5:  f.FileMD5.String(),
+		Size:     f.Size,
+		FrontEnd: m.pickFrontEnd(),
+	}, nil
+}
+
+// Lookup returns the file record for a content hash.
+func (m *Metadata) Lookup(sum Sum) (FileMeta, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f, ok := m.byMD5[sum]
+	if !ok {
+		return FileMeta{}, ErrNotFound
+	}
+	return *f, nil
+}
+
+// LookupURL returns the file record behind a URL even before commit.
+func (m *Metadata) LookupURL(url string) (FileMeta, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f, ok := m.byURL[url]
+	if !ok {
+		return FileMeta{}, ErrNotFound
+	}
+	return *f, nil
+}
+
+// UserFiles lists the URLs in a user's namespace.
+func (m *Metadata) UserFiles(user uint64) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var urls []string
+	for u := range m.users[user] {
+		urls = append(urls, u)
+	}
+	return urls
+}
+
+// MetaStats reports metadata server counters.
+type MetaStats struct {
+	Files     int
+	Users     int
+	Checks    int64
+	DedupHits int64
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Metadata) Stats() MetaStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return MetaStats{
+		Files:     len(m.byURL),
+		Users:     len(m.users),
+		Checks:    m.checks,
+		DedupHits: m.dedupHits,
+	}
+}
+
+// Handler returns the metadata server's HTTP API:
+//
+//	POST /meta/store-check  StoreCheckRequest -> StoreCheckResponse
+//	POST /meta/resolve      ResolveRequest -> ResolveResponse
+func (m *Metadata) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/meta/store-check", func(w http.ResponseWriter, r *http.Request) {
+		var req StoreCheckRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := m.StoreCheck(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/meta/resolve", func(w http.ResponseWriter, r *http.Request) {
+		var req ResolveRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := m.Resolve(req)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method))
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// metaSnapshot is the JSON form of the metadata server's durable
+// state. Front-end assignment and counters are runtime state and are
+// not persisted.
+type metaSnapshot struct {
+	Version int            `json:"version"`
+	URLSeq  int64          `json:"url_seq"`
+	Files   []fileSnapshot `json:"files"`
+	Users   []userSnapshot `json:"users"`
+}
+
+type fileSnapshot struct {
+	URL       string   `json:"url"`
+	Name      string   `json:"name"`
+	Size      int64    `json:"size"`
+	FileMD5   string   `json:"file_md5"`
+	ChunkMD5s []string `json:"chunk_md5s"`
+	Committed bool     `json:"committed"`
+}
+
+type userSnapshot struct {
+	UserID uint64   `json:"user_id"`
+	URLs   []string `json:"urls"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the catalog and user namespaces to w.
+func (m *Metadata) Snapshot(w io.Writer) error {
+	m.mu.RLock()
+	snap := metaSnapshot{Version: snapshotVersion, URLSeq: m.urlSeq}
+	for url, f := range m.byURL {
+		_, committed := m.byMD5[f.FileMD5]
+		fs := fileSnapshot{
+			URL:       url,
+			Name:      f.Name,
+			Size:      f.Size,
+			FileMD5:   f.FileMD5.String(),
+			Committed: committed,
+		}
+		for _, c := range f.ChunkMD5s {
+			fs.ChunkMD5s = append(fs.ChunkMD5s, c.String())
+		}
+		snap.Files = append(snap.Files, fs)
+	}
+	for uid, ns := range m.users {
+		us := userSnapshot{UserID: uid}
+		for url := range ns {
+			us.URLs = append(us.URLs, url)
+		}
+		snap.Users = append(snap.Users, us)
+	}
+	m.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Restore loads a snapshot into an empty metadata server. Restoring
+// into a non-empty server is an error (merge semantics would be
+// ambiguous).
+func (m *Metadata) Restore(r io.Reader) error {
+	var snap metaSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("storage: restore: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("storage: restore: unsupported snapshot version %d", snap.Version)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.byURL) != 0 || len(m.users) != 0 {
+		return fmt.Errorf("storage: restore into non-empty metadata server")
+	}
+	m.urlSeq = snap.URLSeq
+	for _, fs := range snap.Files {
+		sum, err := ParseSum(fs.FileMD5)
+		if err != nil {
+			return fmt.Errorf("storage: restore file %q: %w", fs.URL, err)
+		}
+		f := &FileMeta{Name: fs.Name, Size: fs.Size, FileMD5: sum, URL: fs.URL}
+		for _, c := range fs.ChunkMD5s {
+			cs, err := ParseSum(c)
+			if err != nil {
+				return fmt.Errorf("storage: restore chunk of %q: %w", fs.URL, err)
+			}
+			f.ChunkMD5s = append(f.ChunkMD5s, cs)
+		}
+		m.byURL[fs.URL] = f
+		if fs.Committed {
+			m.byMD5[sum] = f
+		}
+	}
+	for _, us := range snap.Users {
+		for _, url := range us.URLs {
+			f, ok := m.byURL[url]
+			if !ok {
+				return fmt.Errorf("storage: restore: user %d links unknown URL %q", us.UserID, url)
+			}
+			m.linkLocked(us.UserID, f)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot atomically (temp file + rename).
+func (m *Metadata) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".meta-*")
+	if err != nil {
+		return err
+	}
+	if err := m.Snapshot(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile restores from a snapshot file; a missing file is not an
+// error (fresh start).
+func (m *Metadata) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Restore(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

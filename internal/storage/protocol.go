@@ -1,0 +1,126 @@
+// Package storage implements the mobile cloud storage service that the
+// paper measures: a metadata server that performs file-level
+// deduplication and front-end assignment, storage front-end servers
+// that move 512 KB chunks over HTTP and emit the Table 1 request logs,
+// a content-addressed chunk store, and the client used by mobile apps
+// and PC clients.
+//
+// The store/retrieve protocol follows §2.1 of the paper:
+//
+//   - To store, a client sends the file metadata (name, size, MD5) to
+//     the metadata server. If the content is already known, the server
+//     links it into the user's namespace and the upload is skipped
+//     (deduplication). Otherwise the client is directed to a front-end
+//     and sends a file storage operation request followed by chunk
+//     storage requests, one per 512 KB chunk.
+//   - To retrieve, a client resolves a file URL at the metadata server
+//     to the file's MD5, issues a file retrieval operation request to
+//     a front-end, then requests each chunk in sequence.
+package storage
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+)
+
+// ChunkSize is the fixed transfer unit of the service (§2.1).
+const ChunkSize = 512 << 10
+
+// Sum is a content hash (MD5, as in the measured service).
+type Sum [md5.Size]byte
+
+// SumBytes hashes a byte slice.
+func SumBytes(b []byte) Sum { return md5.Sum(b) }
+
+// ParseSum decodes a hex digest.
+func ParseSum(s string) (Sum, error) {
+	var out Sum
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return out, err
+	}
+	if len(b) != md5.Size {
+		return out, errBadDigest
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+func (s Sum) String() string { return hex.EncodeToString(s[:]) }
+
+// SplitSums hashes each ChunkSize-sized piece of data and returns the
+// per-chunk digests, mirroring what the mobile app computes before a
+// file storage operation request.
+func SplitSums(data []byte) []Sum {
+	n := (len(data) + ChunkSize - 1) / ChunkSize
+	if n == 0 {
+		return nil
+	}
+	sums := make([]Sum, 0, n)
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		sums = append(sums, SumBytes(data[off:end]))
+	}
+	return sums
+}
+
+// StoreCheckRequest asks the metadata server whether a file's content
+// is already stored.
+type StoreCheckRequest struct {
+	UserID  uint64 `json:"user_id"`
+	Name    string `json:"name"`
+	Size    int64  `json:"size"`
+	FileMD5 string `json:"file_md5"`
+}
+
+// StoreCheckResponse carries the dedup verdict and, when an upload is
+// needed, the front-end to contact.
+type StoreCheckResponse struct {
+	Duplicate bool   `json:"duplicate"`          // content already stored; no upload needed
+	FrontEnd  string `json:"frontend,omitempty"` // base URL of the assigned front-end
+	URL       string `json:"url"`                // the file's service URL
+}
+
+// ResolveRequest asks the metadata server for the MD5 behind a file
+// URL (the first step of a retrieval, §2.1).
+type ResolveRequest struct {
+	UserID uint64 `json:"user_id"`
+	URL    string `json:"url"`
+}
+
+// ResolveResponse returns the file hash and a front-end that can serve
+// it.
+type ResolveResponse struct {
+	FileMD5  string `json:"file_md5"`
+	Size     int64  `json:"size"`
+	FrontEnd string `json:"frontend"`
+}
+
+// FileOpRequest is the file storage/retrieval operation request sent
+// to a front-end before chunks move. For storage it carries the chunk
+// digests; for retrieval the front-end returns them.
+type FileOpRequest struct {
+	UserID    uint64   `json:"user_id"`
+	DeviceID  uint64   `json:"device_id"`
+	Device    string   `json:"device"` // "android", "ios", "pc"
+	Name      string   `json:"name,omitempty"`
+	Size      int64    `json:"size"`
+	FileMD5   string   `json:"file_md5"`
+	ChunkMD5s []string `json:"chunk_md5s,omitempty"`
+}
+
+// FileOpResponse acknowledges a file operation. For retrievals it
+// lists the chunk digests to fetch.
+type FileOpResponse struct {
+	OK        bool     `json:"ok"`
+	ChunkMD5s []string `json:"chunk_md5s,omitempty"`
+	Size      int64    `json:"size,omitempty"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

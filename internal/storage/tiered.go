@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"sync"
+	"time"
+)
+
+// TieredStore implements the cold/warm split the paper recommends for
+// a backup-dominated workload (§3.2.2, citing Facebook's f4): objects
+// land in the hot tier and migrate to a cheaper cold tier once they
+// have not been read for ColdAfter; a read of a cold chunk promotes it
+// back. The store tracks the byte-hours spent in each tier so the
+// cost benefit can be quantified against per-tier prices.
+type TieredStore struct {
+	hot, cold ChunkStore
+	coldAfter time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	lastRead  map[Sum]time.Time
+	placedHot map[Sum]bool
+	sizes     map[Sum]int64
+
+	tstats TierStats
+}
+
+// TierStats reports tiering behaviour and accumulated occupancy.
+type TierStats struct {
+	Demotions  int64
+	Promotions int64
+	ColdReads  int64
+	HotReads   int64
+	// Byte-hours accumulated by chunks resident in each tier; cost is
+	// byteHours x per-tier price. Updated on Migrate and on reads.
+	HotByteHours  float64
+	ColdByteHours float64
+}
+
+// NewTieredStore combines a hot and a cold store. coldAfter is the
+// idle period after which a chunk is demoted (the paper's finding —
+// over 80% of uploads unread after a week — makes even 1-2 days
+// effective).
+func NewTieredStore(hot, cold ChunkStore, coldAfter time.Duration, now func() time.Time) *TieredStore {
+	if now == nil {
+		now = time.Now
+	}
+	return &TieredStore{
+		hot: hot, cold: cold,
+		coldAfter: coldAfter,
+		now:       now,
+		lastRead:  make(map[Sum]time.Time),
+		placedHot: make(map[Sum]bool),
+		sizes:     make(map[Sum]int64),
+	}
+}
+
+// Put stores into the hot tier.
+func (t *TieredStore) Put(sum Sum, data []byte) error {
+	if err := t.hot.Put(sum, data); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if _, ok := t.sizes[sum]; !ok {
+		t.sizes[sum] = int64(len(data))
+		t.lastRead[sum] = t.now()
+		t.placedHot[sum] = true
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// Get reads from whichever tier holds the chunk, promoting cold hits.
+func (t *TieredStore) Get(sum Sum) ([]byte, error) {
+	t.mu.Lock()
+	hot, known := t.placedHot[sum], true
+	if _, ok := t.sizes[sum]; !ok {
+		known = false
+	}
+	t.mu.Unlock()
+	if !known {
+		return nil, ErrNotFound
+	}
+
+	if hot {
+		data, err := t.hot.Get(sum)
+		if err != nil {
+			return nil, err
+		}
+		t.mu.Lock()
+		t.tstats.HotReads++
+		t.lastRead[sum] = t.now()
+		t.mu.Unlock()
+		return data, nil
+	}
+
+	data, err := t.cold.Get(sum)
+	if err != nil {
+		return nil, err
+	}
+	// Promote: the user is active on this content again.
+	if err := t.hot.Put(sum, data); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.tstats.ColdReads++
+	t.tstats.Promotions++
+	t.placedHot[sum] = true
+	t.lastRead[sum] = t.now()
+	t.mu.Unlock()
+	return data, nil
+}
+
+// Has implements ChunkStore.
+func (t *TieredStore) Has(sum Sum) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.sizes[sum]
+	return ok
+}
+
+// Stats returns the hot tier's counters (ingest accounting).
+func (t *TieredStore) Stats() StoreStats { return t.hot.Stats() }
+
+// Migrate demotes every hot chunk idle for longer than coldAfter and
+// accrues tier byte-hours up to now. Call it periodically (the service
+// would run it as a background job). It returns the number demoted.
+func (t *TieredStore) Migrate() (int, error) {
+	t.mu.Lock()
+	now := t.now()
+	var demote []Sum
+	for sum, hot := range t.placedHot {
+		if hot && now.Sub(t.lastRead[sum]) > t.coldAfter {
+			demote = append(demote, sum)
+		}
+	}
+	t.mu.Unlock()
+
+	for _, sum := range demote {
+		data, err := t.hot.Get(sum)
+		if err != nil {
+			return 0, err
+		}
+		if err := t.cold.Put(sum, data); err != nil {
+			return 0, err
+		}
+		if d, ok := t.hot.(interface{ Delete(Sum) error }); ok {
+			if err := d.Delete(sum); err != nil && err != ErrNotFound {
+				return 0, err
+			}
+		}
+		t.mu.Lock()
+		t.placedHot[sum] = false
+		t.tstats.Demotions++
+		t.mu.Unlock()
+	}
+	return len(demote), nil
+}
+
+// AccrueOccupancy adds dt of residency to the tier byte-hour counters
+// for every chunk (the simulation clock advances in steps).
+func (t *TieredStore) AccrueOccupancy(dt time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hours := dt.Hours()
+	for sum, hot := range t.placedHot {
+		bh := float64(t.sizes[sum]) * hours
+		if hot {
+			t.tstats.HotByteHours += bh
+		} else {
+			t.tstats.ColdByteHours += bh
+		}
+	}
+}
+
+// TierStats returns a snapshot.
+func (t *TieredStore) TierStats() TierStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tstats
+}
+
+// Cost evaluates storage cost given per-tier prices in arbitrary
+// units per byte-hour.
+func (s TierStats) Cost(hotPrice, coldPrice float64) float64 {
+	return s.HotByteHours*hotPrice + s.ColdByteHours*coldPrice
+}
+
+// HotOnlyCost is the counterfactual of keeping everything hot.
+func (s TierStats) HotOnlyCost(hotPrice float64) float64 {
+	return (s.HotByteHours + s.ColdByteHours) * hotPrice
+}

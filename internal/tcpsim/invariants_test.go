@@ -1,0 +1,111 @@
+package tcpsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSeqMonotoneAndComplete: sequence numbers never decrease and the
+// final sequence number equals the bytes offered, for arbitrary
+// parameters.
+func TestSeqMonotoneAndComplete(t *testing.T) {
+	if err := quick.Check(func(seed uint64, sizeRaw uint32, rttMS uint16, loss uint8) bool {
+		size := int64(sizeRaw%(8<<20)) + 1
+		rtt := time.Duration(rttMS%900+10) * time.Millisecond
+		p := Params{
+			RTT:      rtt,
+			Seed:     seed,
+			LossProb: float64(loss%50) / 100,
+			RWnd:     64 << 10,
+		}
+		res, err := Simulate(p, []Chunk{{Size: size}})
+		if err != nil {
+			return false
+		}
+		prev := int64(0)
+		for _, s := range res.Samples {
+			if s.Seq < prev || s.Inflight <= 0 {
+				return false
+			}
+			prev = s.Seq
+		}
+		return prev == size
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDurationMonotoneInIdle: adding idle time never makes a flow
+// finish earlier.
+func TestDurationMonotoneInIdle(t *testing.T) {
+	if err := quick.Check(func(seed uint64, idleMSRaw uint16) bool {
+		idle := time.Duration(idleMSRaw%5000) * time.Millisecond
+		mk := func(gap time.Duration) time.Duration {
+			res, err := Simulate(Params{RTT: 100 * time.Millisecond, RWnd: 64 << 10, SSAI: true, Seed: seed},
+				[]Chunk{{Size: 512 << 10}, {Idle: gap, Size: 512 << 10}})
+			if err != nil {
+				return -1
+			}
+			return res.Duration
+		}
+		short := mk(0)
+		long := mk(idle)
+		return short >= 0 && long >= short
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChunkCountPreserved: every chunk produces exactly one ChunkStat.
+func TestChunkCountPreserved(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		count := int(n%30) + 1
+		chunks := make([]Chunk, count)
+		for i := range chunks {
+			chunks[i] = Chunk{Size: 256 << 10, Idle: time.Duration(i) * 100 * time.Millisecond}
+		}
+		res, err := Simulate(Params{RTT: 50 * time.Millisecond, SSAI: true, Seed: seed}, chunks)
+		return err == nil && len(res.Chunks) == count
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIdleOverRTOConsistent: chunks whose idle exceeded the RTO are
+// exactly the restarted ones under SSAI.
+func TestIdleOverRTOConsistent(t *testing.T) {
+	res, err := Simulate(Params{RTT: 100 * time.Millisecond, SSAI: true},
+		[]Chunk{
+			{Size: 512 << 10},
+			{Idle: 100 * time.Millisecond, Size: 512 << 10}, // below RTO (300ms)
+			{Idle: 400 * time.Millisecond, Size: 512 << 10}, // above RTO
+			{Idle: 299 * time.Millisecond, Size: 512 << 10}, // just below
+			{Idle: 301 * time.Millisecond, Size: 512 << 10}, // just above
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRestart := []bool{false, false, true, false, true}
+	for i, c := range res.Chunks {
+		if c.Restarted != wantRestart[i] {
+			t.Errorf("chunk %d restarted=%v, want %v (idle %v)", i, c.Restarted, wantRestart[i], c.Idle)
+		}
+		if (c.IdleOverRTO > 1) != wantRestart[i] {
+			t.Errorf("chunk %d IdleOverRTO=%.3f inconsistent with restart=%v", i, c.IdleOverRTO, c.Restarted)
+		}
+	}
+}
+
+// TestThroughputMatchesDurationAccounting verifies the Throughput
+// helper against first principles.
+func TestThroughputMatchesDurationAccounting(t *testing.T) {
+	res, err := Simulate(Params{RTT: 100 * time.Millisecond}, []Chunk{{Size: 2 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(2<<20) / res.Duration.Seconds()
+	if got := res.Throughput(); got != want {
+		t.Errorf("throughput = %v, want %v", got, want)
+	}
+}

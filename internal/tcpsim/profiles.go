@@ -1,0 +1,236 @@
+package tcpsim
+
+import (
+	"math"
+	"time"
+
+	"mcloud/internal/randx"
+)
+
+// LogNormal parameterizes a lognormal sampler by its median and the
+// sigma of the underlying normal (in natural-log space). It is the
+// shape used for processing-time distributions throughout: positive,
+// right-skewed, with a controllable tail.
+type LogNormal struct {
+	Median time.Duration
+	Sigma  float64
+}
+
+// Sample draws one duration.
+func (ln LogNormal) Sample(src *randx.Source) time.Duration {
+	if ln.Median <= 0 {
+		return 0
+	}
+	mu := math.Log(float64(ln.Median))
+	return time.Duration(src.LogNormal(mu, ln.Sigma))
+}
+
+// Quantile returns the q-quantile of the distribution.
+func (ln LogNormal) Quantile(q float64) time.Duration {
+	if ln.Median <= 0 {
+		return 0
+	}
+	mu := math.Log(float64(ln.Median))
+	return time.Duration(math.Exp(mu + ln.Sigma*normQuantile(q)))
+}
+
+// normQuantile is the standard normal quantile (Acklam's rational
+// approximation, accurate to ~1e-9 over (0,1)).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// DeviceProfile captures the client-side behaviour that differs
+// between Android and iOS in the paper's measurements (Figure 16):
+// the client processing time Tclt between consecutive chunks, and the
+// receive window the client advertises when downloading.
+type DeviceProfile struct {
+	Name string
+	// StoreClt is the time the client spends preparing the next chunk
+	// during uploads (reading, hashing, HTTP assembly).
+	StoreClt LogNormal
+	// RetrieveClt is the time the client spends consuming a downloaded
+	// chunk before requesting the next one.
+	RetrieveClt LogNormal
+	// RWnd is the client's advertised receive window during downloads;
+	// both platforms negotiate window scaling, so it is large.
+	RWnd int64
+}
+
+// ServerProfile captures the front-end server's behaviour: upstream
+// processing time Tsrv and the advertised receive window during
+// uploads (the paper's servers do not negotiate window scaling, so
+// uploads are clamped at 64 KB).
+type ServerProfile struct {
+	Proc LogNormal // Tsrv, ~100 ms regardless of device or direction
+	// RWnd is the window advertised to uploading clients.
+	RWnd int64
+	// WindowScaling, when true, lifts the 64 KB ceiling (the §4.3
+	// remediation experiment).
+	WindowScaling bool
+}
+
+// EffectiveRWnd returns the upload window limit imposed by the server.
+func (sp ServerProfile) EffectiveRWnd() int64 {
+	if sp.WindowScaling {
+		return sp.RWnd << 7 // scaled far beyond the path BDP
+	}
+	if sp.RWnd == 0 {
+		return 64 << 10
+	}
+	return sp.RWnd
+}
+
+// Calibrated profiles. The constants reproduce Figure 16: Tsrv around
+// 100 ms for every flow class; Android storage Tclt ~90 ms above iOS;
+// Android retrieval Tclt with a heavy tail reaching ~1 s at the 90th
+// percentile versus ~0.1 s for iOS. With RTT ≈ 100 ms (RTO ≈ 300 ms)
+// these gaps make ~60 % of Android storage idles exceed the RTO
+// versus ~18 % on iOS (Figure 16c).
+var (
+	// AndroidProfile models the Android client app.
+	AndroidProfile = DeviceProfile{
+		Name:        "android",
+		StoreClt:    LogNormal{Median: 235 * time.Millisecond, Sigma: 0.85},
+		RetrieveClt: LogNormal{Median: 120 * time.Millisecond, Sigma: 1.65},
+		RWnd:        4 << 20, // 4 MB observed on the Samsung Pad
+	}
+	// IOSProfile models the iOS client app.
+	IOSProfile = DeviceProfile{
+		Name:        "ios",
+		StoreClt:    LogNormal{Median: 105 * time.Millisecond, Sigma: 0.75},
+		RetrieveClt: LogNormal{Median: 90 * time.Millisecond, Sigma: 0.45},
+		RWnd:        2 << 20, // 2 MB observed on the iPad Air 2
+	}
+	// DefaultServer models the production front-end.
+	DefaultServer = ServerProfile{
+		Proc: LogNormal{Median: 100 * time.Millisecond, Sigma: 0.45},
+		RWnd: 64 << 10,
+	}
+)
+
+// Gap is the decomposition of one inter-chunk idle interval.
+type Gap struct {
+	Tsrv, Tclt time.Duration
+}
+
+// Idle returns the total sender-idle time of the gap.
+func (g Gap) Idle() time.Duration { return g.Tsrv + g.Tclt }
+
+// TransferResult couples a flow simulation with the per-gap
+// decomposition that a packet-level trace would reveal.
+type TransferResult struct {
+	Flow FlowResult
+	Gaps []Gap
+}
+
+// TransferConfig describes one file transfer to simulate.
+type TransferConfig struct {
+	Device    DeviceProfile
+	Server    ServerProfile
+	FileSize  int64
+	ChunkSize int64 // default 512 KB
+	RTT       time.Duration
+	RTTJitter float64
+	Rate      int64 // bottleneck bytes/sec (0 = unlimited)
+	SSAI      bool  // default true in deployed stacks
+	NoSSAI    bool  // set to disable slow-start-after-idle explicitly
+	LossProb  float64
+	Seed      uint64
+}
+
+func (c TransferConfig) chunkSize() int64 {
+	if c.ChunkSize <= 0 {
+		return 512 << 10
+	}
+	return c.ChunkSize
+}
+
+func (c TransferConfig) ssai() bool { return !c.NoSSAI }
+
+// SimulateUpload models a storage flow: the mobile device is the TCP
+// sender, the server's (unscaled) receive window clamps the sending
+// window, and each inter-chunk gap is the server's application-level
+// acknowledgment time plus the client's preparation time.
+func SimulateUpload(c TransferConfig) (TransferResult, error) {
+	src := randx.Derive(c.Seed, "tcpsim/upload")
+	var gaps []Gap
+	chunks := SplitChunks(c.FileSize, c.chunkSize(), func() time.Duration {
+		g := Gap{
+			Tsrv: c.Server.Proc.Sample(src),
+			Tclt: c.Device.StoreClt.Sample(src),
+		}
+		gaps = append(gaps, g)
+		return g.Idle()
+	})
+	p := Params{
+		RWnd:      c.Server.EffectiveRWnd(),
+		RTT:       c.RTT,
+		RTTJitter: c.RTTJitter,
+		Rate:      c.Rate,
+		SSAI:      c.ssai(),
+		LossProb:  c.LossProb,
+		Seed:      src.Uint64(),
+	}
+	flow, err := Simulate(p, chunks)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	return TransferResult{Flow: flow, Gaps: gaps}, nil
+}
+
+// SimulateDownload models a retrieval flow: the server is the TCP
+// sender, the client's scaled receive window is effectively unlimited,
+// and each inter-chunk gap is the server's content preparation time
+// plus the client's consumption time before the next chunk request.
+func SimulateDownload(c TransferConfig) (TransferResult, error) {
+	src := randx.Derive(c.Seed, "tcpsim/download")
+	var gaps []Gap
+	chunks := SplitChunks(c.FileSize, c.chunkSize(), func() time.Duration {
+		g := Gap{
+			Tsrv: c.Server.Proc.Sample(src),
+			Tclt: c.Device.RetrieveClt.Sample(src),
+		}
+		gaps = append(gaps, g)
+		return g.Idle()
+	})
+	p := Params{
+		RWnd:      c.Device.RWnd,
+		RTT:       c.RTT,
+		RTTJitter: c.RTTJitter,
+		Rate:      c.Rate,
+		SSAI:      c.ssai(),
+		LossProb:  c.LossProb,
+		Seed:      src.Uint64(),
+	}
+	flow, err := Simulate(p, chunks)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	return TransferResult{Flow: flow, Gaps: gaps}, nil
+}

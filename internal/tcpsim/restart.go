@@ -1,0 +1,134 @@
+package tcpsim
+
+import (
+	"time"
+
+	"mcloud/internal/randx"
+)
+
+// RestartPolicy selects how the sender treats the congestion window
+// after an application-limited idle longer than the RTO. The paper's
+// §4.3 weighs three options:
+//
+//   - RestartSlowStart (deployed behaviour, RFC 5681 §4.1): collapse
+//     cwnd to the restart window. Safe but slow — the cause of the
+//     Android performance gap.
+//   - KeepWindow (SSAI disabled): keep cwnd. Fast, but "the connection
+//     is likely allowed to send out a large burst after the idle
+//     period", risking tail loss and an expensive timeout recovery.
+//   - PacedRestart (Visweswaraiah & Heidemann): keep cwnd but pace the
+//     first post-idle window out over roughly one RTT until the ACK
+//     clock restarts — most of KeepWindow's speed without the burst.
+type RestartPolicy uint8
+
+// Restart policies for idle periods exceeding the RTO.
+const (
+	RestartSlowStart RestartPolicy = iota
+	KeepWindow
+	PacedRestart
+)
+
+var restartNames = [...]string{"slow-start", "keep-window", "paced"}
+
+func (p RestartPolicy) String() string { return restartNames[p] }
+
+// BurstParams models the §4.3 caveat against simply disabling SSAI:
+// dumping a full window into the path after an idle can overflow the
+// bottleneck queue; losses at the tail of the burst need a
+// retransmission timeout to recover.
+type BurstParams struct {
+	// SafeBurst is the largest post-idle burst the path absorbs
+	// without loss, in bytes (think bottleneck buffer). Zero disables
+	// burst-loss modelling.
+	SafeBurst int64
+	// LossProb is the probability that a burst exceeding SafeBurst
+	// loses its tail.
+	LossProb float64
+	// RecoveryRTOs is the timeout cost of a tail loss, in RTO units
+	// (tail losses cannot be recovered by fast retransmit; RFC 6298
+	// timeout, as the paper notes citing Flach et al.).
+	RecoveryRTOs float64
+}
+
+// DefaultBurst reflects a modest bottleneck buffer on a mobile path.
+var DefaultBurst = BurstParams{
+	SafeBurst:    32 << 10,
+	LossProb:     0.5,
+	RecoveryRTOs: 1,
+}
+
+// PolicyResult summarizes one flow under a restart policy.
+type PolicyResult struct {
+	Policy      RestartPolicy
+	Duration    time.Duration
+	Throughput  float64 // bytes/sec
+	Restarts    int     // slow-start restarts taken
+	PacedIdles  int     // idles absorbed by pacing
+	BurstLosses int     // tail-loss events from unpaced post-idle bursts
+}
+
+// SimulateUploadPolicy runs an upload flow under the given restart
+// policy and burst model. It reuses the transfer configuration of
+// SimulateUpload; cfg.NoSSAI is ignored (the policy decides). For a
+// fixed seed the idle-gap sequence is identical across policies, so
+// comparisons are paired.
+func SimulateUploadPolicy(cfg TransferConfig, policy RestartPolicy, burst BurstParams) (PolicyResult, error) {
+	gapSrc := randx.Derive(cfg.Seed, "tcpsim/policy/gaps")
+	coinSrc := randx.Derive(cfg.Seed+uint64(policy)*1000003, "tcpsim/policy/coins")
+	var gaps []Gap
+	chunks := SplitChunks(cfg.FileSize, cfg.chunkSize(), func() time.Duration {
+		g := Gap{
+			Tsrv: cfg.Server.Proc.Sample(gapSrc),
+			Tclt: cfg.Device.StoreClt.Sample(gapSrc),
+		}
+		gaps = append(gaps, g)
+		return g.Idle()
+	})
+
+	p := Params{
+		RWnd:      cfg.Server.EffectiveRWnd(),
+		RTT:       cfg.RTT,
+		RTTJitter: cfg.RTTJitter,
+		Rate:      cfg.Rate,
+		SSAI:      policy == RestartSlowStart,
+		LossProb:  cfg.LossProb,
+		Seed:      gapSrc.Uint64(),
+	}
+	flow, err := Simulate(p, chunks)
+	if err != nil {
+		return PolicyResult{}, err
+	}
+
+	res := PolicyResult{Policy: policy, Restarts: flow.Restarts}
+	duration := flow.Duration
+	rto := RTO(cfg.RTT)
+
+	// Post-process the idles the base simulator did not slow down.
+	if policy != RestartSlowStart {
+		for _, c := range flow.Chunks {
+			if c.IdleOverRTO <= 1 {
+				continue
+			}
+			switch policy {
+			case PacedRestart:
+				// Pacing spreads the first window over one extra RTT.
+				duration += cfg.RTT
+				res.PacedIdles++
+			case KeepWindow:
+				// The whole preserved window leaves at line rate; if it
+				// exceeds what the path absorbs, the tail is lost and a
+				// timeout recovers it.
+				if burst.SafeBurst > 0 && c.StartCwnd > burst.SafeBurst && coinSrc.Bool(burst.LossProb) {
+					duration += time.Duration(burst.RecoveryRTOs * float64(rto))
+					res.BurstLosses++
+				}
+			}
+		}
+	}
+
+	res.Duration = duration
+	if duration > 0 {
+		res.Throughput = float64(cfg.FileSize) / duration.Seconds()
+	}
+	return res, nil
+}

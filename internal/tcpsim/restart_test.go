@@ -1,0 +1,117 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+)
+
+func policyRun(t *testing.T, policy RestartPolicy, burst BurstParams, flows int) (mean PolicyResult) {
+	t.Helper()
+	var totalDur time.Duration
+	for i := 0; i < flows; i++ {
+		res, err := SimulateUploadPolicy(TransferConfig{
+			Device:   AndroidProfile,
+			Server:   DefaultServer,
+			FileSize: 10 << 20,
+			RTT:      100 * time.Millisecond,
+			Seed:     uint64(i),
+		}, policy, burst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalDur += res.Duration
+		mean.Restarts += res.Restarts
+		mean.PacedIdles += res.PacedIdles
+		mean.BurstLosses += res.BurstLosses
+	}
+	mean.Policy = policy
+	mean.Duration = totalDur / time.Duration(flows)
+	mean.Throughput = float64(10<<20) / mean.Duration.Seconds()
+	return mean
+}
+
+func TestRestartPolicyOrdering(t *testing.T) {
+	const flows = 40
+	ss := policyRun(t, RestartSlowStart, DefaultBurst, flows)
+	keep := policyRun(t, KeepWindow, DefaultBurst, flows)
+	paced := policyRun(t, PacedRestart, DefaultBurst, flows)
+
+	// Slow-start restart is the slowest; both mitigations beat it.
+	if keep.Duration >= ss.Duration {
+		t.Errorf("keep-window (%v) should beat slow-start (%v)", keep.Duration, ss.Duration)
+	}
+	if paced.Duration >= ss.Duration {
+		t.Errorf("paced (%v) should beat slow-start (%v)", paced.Duration, ss.Duration)
+	}
+	// Pacing costs about one RTT per long idle — cheaper than a full
+	// slow-start climb, pricier than an unpaced burst that gets lucky.
+	if paced.PacedIdles == 0 {
+		t.Error("paced policy absorbed no idles")
+	}
+	if ss.Restarts == 0 {
+		t.Error("slow-start policy took no restarts")
+	}
+	if keep.Restarts != 0 || paced.Restarts != 0 {
+		t.Error("mitigation policies must not restart slow start")
+	}
+}
+
+func TestKeepWindowSuffersBurstLosses(t *testing.T) {
+	// With a harsh burst model, blindly keeping the window loses its
+	// advantage — the paper's argument for not just disabling SSAI.
+	harsh := BurstParams{SafeBurst: 16 << 10, LossProb: 1, RecoveryRTOs: 4}
+	keep := policyRun(t, KeepWindow, harsh, 30)
+	paced := policyRun(t, PacedRestart, harsh, 30)
+	if keep.BurstLosses == 0 {
+		t.Fatal("harsh burst model produced no losses")
+	}
+	if paced.BurstLosses != 0 {
+		t.Error("pacing must avoid burst losses")
+	}
+	if keep.Duration <= paced.Duration {
+		t.Errorf("under harsh bursts, keep-window (%v) should lose to pacing (%v)",
+			keep.Duration, paced.Duration)
+	}
+}
+
+func TestKeepWindowNoBurstModel(t *testing.T) {
+	// With burst modelling disabled, keep-window is a pure win.
+	res := policyRun(t, KeepWindow, BurstParams{}, 20)
+	if res.BurstLosses != 0 {
+		t.Error("burst losses recorded with modelling disabled")
+	}
+}
+
+func TestPolicyPairing(t *testing.T) {
+	// Same seed => identical gap sequences: the slow-start run's
+	// restart count equals the paced run's paced-idle count.
+	for seed := uint64(0); seed < 10; seed++ {
+		cfg := TransferConfig{
+			Device:   AndroidProfile,
+			Server:   DefaultServer,
+			FileSize: 5 << 20,
+			RTT:      100 * time.Millisecond,
+			Seed:     seed,
+		}
+		ss, err := SimulateUploadPolicy(cfg, RestartSlowStart, DefaultBurst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paced, err := SimulateUploadPolicy(cfg, PacedRestart, DefaultBurst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Restarts != paced.PacedIdles {
+			t.Errorf("seed %d: restarts (%d) != paced idles (%d) — gap sequences diverged",
+				seed, ss.Restarts, paced.PacedIdles)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RestartSlowStart.String() != "slow-start" ||
+		KeepWindow.String() != "keep-window" ||
+		PacedRestart.String() != "paced" {
+		t.Error("policy names wrong")
+	}
+}

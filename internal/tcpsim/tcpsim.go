@@ -1,0 +1,286 @@
+// Package tcpsim is a discrete-event model of a TCP connection
+// carrying sequential HTTP chunk transfers, built to reproduce the
+// data-transmission findings of the paper's §4: the restart of TCP
+// slow-start after long inter-chunk idle times (RFC 5681 §4.1), the
+// 64 KB receive-window clamp of servers that do not negotiate window
+// scaling (RFC 7323), and the resulting device-type performance gap.
+//
+// The simulator advances in RTT-sized rounds ("fluid" TCP model): each
+// round the sender transmits min(cwnd, rwnd, rate·RTT, remaining)
+// bytes, then grows cwnd by slow start below ssthresh and congestion
+// avoidance above it. Between chunks the sender is idle for the
+// application-level gap Tsrv + Tclt (server processing plus client
+// processing, Figure 11); when the gap exceeds the retransmission
+// timeout and slow-start-after-idle is enabled, cwnd collapses back to
+// the restart window.
+package tcpsim
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"mcloud/internal/randx"
+)
+
+// DefaultMSS is the maximum segment size assumed by the simulator.
+const DefaultMSS = 1460
+
+// Params configures one simulated TCP connection.
+type Params struct {
+	MSS       int           // segment size in bytes (default 1460)
+	InitCwnd  int           // initial window in segments (default 2, per the paper's observed ramp)
+	RWnd      int64         // receiver advertised window in bytes (0 = unlimited)
+	RTT       time.Duration // base round-trip time
+	RTTJitter float64       // multiplicative jitter stddev on per-round RTT (e.g. 0.1)
+	Rate      int64         // bottleneck rate in bytes/second (0 = unlimited)
+	SSAI      bool          // apply slow-start-after-idle (RFC 5681 §4.1)
+	LossProb  float64       // probability of a loss event per round
+	Seed      uint64        // RNG seed for jitter and loss
+}
+
+// withDefaults fills zero fields with defaults and validates.
+func (p Params) withDefaults() (Params, error) {
+	if p.MSS == 0 {
+		p.MSS = DefaultMSS
+	}
+	if p.MSS < 1 {
+		return p, errors.New("tcpsim: MSS must be positive")
+	}
+	if p.InitCwnd == 0 {
+		p.InitCwnd = 2
+	}
+	if p.InitCwnd < 1 {
+		return p, errors.New("tcpsim: InitCwnd must be positive")
+	}
+	if p.RTT <= 0 {
+		return p, errors.New("tcpsim: RTT must be positive")
+	}
+	if p.LossProb < 0 || p.LossProb >= 1 {
+		return p, errors.New("tcpsim: LossProb must be in [0, 1)")
+	}
+	return p, nil
+}
+
+// RTO returns the simulator's retransmission timeout estimate for a
+// connection with the given smoothed RTT, following the approximation
+// the paper uses for RFC 6298 implementations:
+//
+//	RTO ≈ SRTT + max(200 ms, 4·RTTVAR) ≈ RTT + max(200 ms, 2·RTT)
+func RTO(rtt time.Duration) time.Duration {
+	v := 2 * rtt
+	if v < 200*time.Millisecond {
+		v = 200 * time.Millisecond
+	}
+	return rtt + v
+}
+
+// Chunk describes one application-level transfer unit: Idle is the
+// sender-silent gap before the chunk begins (zero for the first chunk
+// of a connection), Size is the chunk payload.
+type Chunk struct {
+	Idle time.Duration
+	Size int64
+}
+
+// Sample is one point of the flow time series: the moment a round's
+// data has been handed to the network, the cumulative sequence number,
+// and the bytes in flight during that round.
+type Sample struct {
+	At       time.Duration
+	Seq      int64
+	Inflight int64
+}
+
+// ChunkStat reports the fate of one chunk within a flow.
+type ChunkStat struct {
+	Start        time.Duration // when the chunk's first byte was sent
+	TransferTime time.Duration // first byte sent to last byte acked
+	Idle         time.Duration // application gap before the chunk
+	IdleOverRTO  float64       // idle / RTO at the time of the gap
+	Restarted    bool          // slow start was re-entered for this chunk
+	StartCwnd    int64         // cwnd at the chunk's first round
+}
+
+// FlowResult is the outcome of simulating one connection.
+type FlowResult struct {
+	Chunks   []ChunkStat
+	Samples  []Sample
+	Duration time.Duration // total connection time including idles
+	Restarts int           // number of slow-start restarts
+	Rounds   int           // total RTT rounds consumed
+	MeanRTT  time.Duration // average of the per-round RTTs drawn
+}
+
+// Throughput returns mean goodput in bytes/second over the whole flow
+// including idle gaps.
+func (r FlowResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	var total int64
+	if n := len(r.Samples); n > 0 {
+		total = r.Samples[n-1].Seq
+	}
+	return float64(total) / r.Duration.Seconds()
+}
+
+// flow carries the evolving connection state.
+type flow struct {
+	p        Params
+	src      *randx.Source
+	now      time.Duration
+	seq      int64
+	cwnd     int64 // bytes
+	ssthresh int64 // bytes
+	res      *FlowResult
+	rttSum   time.Duration
+	rttN     int
+}
+
+// Simulate runs the connection through the given chunks and returns
+// per-chunk statistics and the flow time series.
+func Simulate(p Params, chunks []Chunk) (FlowResult, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return FlowResult{}, err
+	}
+	f := &flow{
+		p:        p,
+		src:      randx.New(p.Seed),
+		cwnd:     int64(p.InitCwnd * p.MSS),
+		ssthresh: math.MaxInt64 / 4,
+		res:      &FlowResult{},
+	}
+	for _, c := range chunks {
+		if c.Size < 0 {
+			return FlowResult{}, errors.New("tcpsim: negative chunk size")
+		}
+		f.transfer(c)
+	}
+	f.res.Duration = f.now
+	if f.rttN > 0 {
+		f.res.MeanRTT = f.rttSum / time.Duration(f.rttN)
+	}
+	return *f.res, nil
+}
+
+// roundRTT draws the RTT for one round.
+func (f *flow) roundRTT() time.Duration {
+	rtt := f.p.RTT
+	if f.p.RTTJitter > 0 {
+		m := 1 + f.p.RTTJitter*f.src.NormFloat64()
+		if m < 0.3 {
+			m = 0.3
+		}
+		rtt = time.Duration(float64(rtt) * m)
+	}
+	f.rttSum += rtt
+	f.rttN++
+	return rtt
+}
+
+// transfer moves one chunk through the connection.
+func (f *flow) transfer(c Chunk) {
+	stat := ChunkStat{Idle: c.Idle}
+
+	if c.Idle > 0 {
+		rto := RTO(f.p.RTT)
+		stat.IdleOverRTO = float64(c.Idle) / float64(rto)
+		f.now += c.Idle
+		if f.p.SSAI && c.Idle > rto {
+			// RFC 5681 §4.1: restart window = min(IW, cwnd).
+			rw := int64(f.p.InitCwnd * f.p.MSS)
+			if f.cwnd > rw {
+				f.cwnd = rw
+			}
+			stat.Restarted = true
+			f.res.Restarts++
+		}
+	}
+
+	stat.Start = f.now
+	stat.StartCwnd = f.cwnd
+	remaining := c.Size
+
+	if remaining == 0 {
+		// A zero-byte chunk still costs a request-response round trip.
+		f.now += f.roundRTT()
+		f.res.Rounds++
+		f.res.Chunks = append(f.res.Chunks, stat)
+		return
+	}
+
+	for remaining > 0 {
+		send := f.cwnd
+		if f.p.RWnd > 0 && send > f.p.RWnd {
+			send = f.p.RWnd
+		}
+		rtt := f.roundRTT()
+		if f.p.Rate > 0 {
+			cap := int64(float64(f.p.Rate) * rtt.Seconds())
+			if cap < int64(f.p.MSS) {
+				cap = int64(f.p.MSS)
+			}
+			if send > cap {
+				send = cap
+			}
+		}
+		if send > remaining {
+			send = remaining
+		}
+		f.seq += send
+		remaining -= send
+		f.now += rtt
+		f.res.Rounds++
+		f.res.Samples = append(f.res.Samples, Sample{At: f.now, Seq: f.seq, Inflight: send})
+
+		if f.p.LossProb > 0 && f.src.Bool(f.p.LossProb) {
+			// Fast-recovery approximation: halve the window.
+			f.ssthresh = f.cwnd / 2
+			if min := int64(2 * f.p.MSS); f.ssthresh < min {
+				f.ssthresh = min
+			}
+			f.cwnd = f.ssthresh
+			continue
+		}
+
+		if f.cwnd < f.ssthresh {
+			// Slow start: cwnd doubles per RTT (one MSS per ACK).
+			f.cwnd *= 2
+			if f.cwnd > f.ssthresh {
+				f.cwnd = f.ssthresh
+			}
+		} else {
+			// Congestion avoidance: one MSS per RTT.
+			f.cwnd += int64(f.p.MSS)
+		}
+	}
+
+	stat.TransferTime = f.now - stat.Start
+	f.res.Chunks = append(f.res.Chunks, stat)
+}
+
+// SplitChunks cuts a file of fileSize bytes into chunkSize-sized
+// chunks (the last chunk carries the remainder) with per-chunk idle
+// gaps drawn from idle; the first chunk has no idle. idle may be nil
+// for back-to-back transfers.
+func SplitChunks(fileSize, chunkSize int64, idle func() time.Duration) []Chunk {
+	if fileSize <= 0 || chunkSize <= 0 {
+		return nil
+	}
+	n := (fileSize + chunkSize - 1) / chunkSize
+	chunks := make([]Chunk, 0, n)
+	for off := int64(0); off < fileSize; off += chunkSize {
+		size := chunkSize
+		if off+size > fileSize {
+			size = fileSize - off
+		}
+		var gap time.Duration
+		if off > 0 && idle != nil {
+			gap = idle()
+		}
+		chunks = append(chunks, Chunk{Idle: gap, Size: size})
+	}
+	return chunks
+}

@@ -1,0 +1,443 @@
+package tcpsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcloud/internal/randx"
+)
+
+func TestRTO(t *testing.T) {
+	cases := []struct {
+		rtt, want time.Duration
+	}{
+		{50 * time.Millisecond, 250 * time.Millisecond},  // 50 + max(200, 100)
+		{100 * time.Millisecond, 300 * time.Millisecond}, // 100 + max(200, 200)
+		{300 * time.Millisecond, 900 * time.Millisecond}, // 300 + max(200, 600)
+		{1000 * time.Millisecond, 3 * time.Second},       // 1000 + 2000
+	}
+	for _, c := range cases {
+		if got := RTO(c.rtt); got != c.want {
+			t.Errorf("RTO(%v) = %v, want %v", c.rtt, got, c.want)
+		}
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	valid := Params{RTT: 100 * time.Millisecond}
+	if _, err := Simulate(valid, nil); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{},                  // no RTT
+		{RTT: -time.Second}, // negative RTT
+		{RTT: time.Second, MSS: -1},
+		{RTT: time.Second, InitCwnd: -2},
+		{RTT: time.Second, LossProb: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := Simulate(p, nil); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestNegativeChunkRejected(t *testing.T) {
+	p := Params{RTT: 100 * time.Millisecond}
+	if _, err := Simulate(p, []Chunk{{Size: -1}}); err == nil {
+		t.Error("negative chunk size accepted")
+	}
+}
+
+func TestAllBytesDelivered(t *testing.T) {
+	if err := quick.Check(func(seed uint64, sizes []uint32) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 20 {
+			sizes = sizes[:20]
+		}
+		var chunks []Chunk
+		var total int64
+		for _, s := range sizes {
+			sz := int64(s % (4 << 20))
+			chunks = append(chunks, Chunk{Size: sz})
+			total += sz
+		}
+		res, err := Simulate(Params{RTT: 80 * time.Millisecond, Seed: seed, LossProb: 0.02}, chunks)
+		if err != nil {
+			return false
+		}
+		var sent int64
+		if n := len(res.Samples); n > 0 {
+			sent = res.Samples[n-1].Seq
+		}
+		return sent == total
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlowStartRampIsExponential(t *testing.T) {
+	// With a 2-segment IW and no rwnd clamp, inflight should double
+	// each round until the chunk is drained.
+	res, err := Simulate(Params{RTT: 100 * time.Millisecond, InitCwnd: 2}, []Chunk{{Size: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Samples)-1; i++ {
+		ratio := float64(res.Samples[i].Inflight) / float64(res.Samples[i-1].Inflight)
+		if math.Abs(ratio-2) > 1e-9 {
+			t.Fatalf("round %d inflight ratio = %.3f, want 2 (slow start)", i, ratio)
+		}
+	}
+}
+
+func TestRWndClampsInflight(t *testing.T) {
+	const rwnd = 64 << 10
+	res, err := Simulate(Params{RTT: 100 * time.Millisecond, RWnd: rwnd},
+		[]Chunk{{Size: 10 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxInflight := int64(0)
+	for _, s := range res.Samples {
+		if s.Inflight > maxInflight {
+			maxInflight = s.Inflight
+		}
+	}
+	if maxInflight > rwnd {
+		t.Errorf("inflight %d exceeded rwnd %d", maxInflight, rwnd)
+	}
+	// A 10 MB transfer must eventually saturate the window.
+	if maxInflight != rwnd {
+		t.Errorf("inflight peaked at %d, want %d (clamp reached)", maxInflight, rwnd)
+	}
+}
+
+func TestFiveRTTRampToRwndLikePaper(t *testing.T) {
+	// The paper: with IW=2 segments and RTT=100 ms, reaching a 64 KB
+	// window costs about 5 extra RTTs (~0.5 s).
+	res, err := Simulate(Params{RTT: 100 * time.Millisecond, InitCwnd: 2, RWnd: 64 << 10},
+		[]Chunk{{Size: 4 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for _, s := range res.Samples {
+		rounds++
+		if s.Inflight >= 64<<10 {
+			break
+		}
+	}
+	// 2*1460 doubling: 2920, 5840, ..., reaches 65536 within 5-6 rounds.
+	if rounds < 5 || rounds > 7 {
+		t.Errorf("rounds to reach 64 KB window = %d, want 5-7", rounds)
+	}
+}
+
+func TestSSAIRestartsAfterLongIdle(t *testing.T) {
+	long := 2 * time.Second
+	chunks := []Chunk{{Size: 512 << 10}, {Idle: long, Size: 512 << 10}}
+	withSSAI, err := Simulate(Params{RTT: 100 * time.Millisecond, RWnd: 64 << 10, SSAI: true}, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutSSAI, err := Simulate(Params{RTT: 100 * time.Millisecond, RWnd: 64 << 10, SSAI: false}, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSSAI.Restarts != 1 {
+		t.Errorf("SSAI restarts = %d, want 1", withSSAI.Restarts)
+	}
+	if withoutSSAI.Restarts != 0 {
+		t.Errorf("non-SSAI restarts = %d, want 0", withoutSSAI.Restarts)
+	}
+	if !withSSAI.Chunks[1].Restarted {
+		t.Error("second chunk should be marked restarted")
+	}
+	// The restarted chunk must be slower than its non-restarted twin.
+	if withSSAI.Chunks[1].TransferTime <= withoutSSAI.Chunks[1].TransferTime {
+		t.Errorf("restart did not slow the chunk: %v vs %v",
+			withSSAI.Chunks[1].TransferTime, withoutSSAI.Chunks[1].TransferTime)
+	}
+}
+
+func TestShortIdleDoesNotRestart(t *testing.T) {
+	chunks := []Chunk{{Size: 512 << 10}, {Idle: 150 * time.Millisecond, Size: 512 << 10}}
+	res, err := Simulate(Params{RTT: 100 * time.Millisecond, SSAI: true}, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 0 {
+		t.Errorf("idle below RTO should not restart, got %d", res.Restarts)
+	}
+	if r := res.Chunks[1].IdleOverRTO; r <= 0 || r >= 1 {
+		t.Errorf("IdleOverRTO = %.3f, want in (0, 1)", r)
+	}
+}
+
+func TestRateCap(t *testing.T) {
+	// 1 MB/s bottleneck, 100 ms RTT: at most ~100 KB per round.
+	res, err := Simulate(Params{RTT: 100 * time.Millisecond, Rate: 1 << 20},
+		[]Chunk{{Size: 8 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if s.Inflight > 150<<10 {
+			t.Fatalf("inflight %d far above rate*RTT", s.Inflight)
+		}
+	}
+	if thr := res.Throughput(); thr > 1.2*(1<<20) {
+		t.Errorf("throughput %.0f B/s exceeds the 1 MB/s bottleneck", thr)
+	}
+}
+
+func TestLossReducesThroughput(t *testing.T) {
+	// Averaged over seeds: loss events halve the window, so the mean
+	// lossy duration must exceed the clean duration.
+	var cleanTotal, lossyTotal time.Duration
+	for seed := uint64(0); seed < 50; seed++ {
+		clean, err := Simulate(Params{RTT: 50 * time.Millisecond, Seed: seed}, []Chunk{{Size: 20 << 20}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossy, err := Simulate(Params{RTT: 50 * time.Millisecond, Seed: seed, LossProb: 0.2}, []Chunk{{Size: 20 << 20}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleanTotal += clean.Duration
+		lossyTotal += lossy.Duration
+	}
+	if lossyTotal <= cleanTotal {
+		t.Errorf("mean lossy duration (%v) not above clean (%v)", lossyTotal/50, cleanTotal/50)
+	}
+}
+
+func TestZeroByteChunkCostsOneRound(t *testing.T) {
+	res, err := Simulate(Params{RTT: 100 * time.Millisecond}, []Chunk{{Size: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	if len(res.Chunks) != 1 {
+		t.Errorf("chunks = %d, want 1", len(res.Chunks))
+	}
+}
+
+func TestSplitChunks(t *testing.T) {
+	chunks := SplitChunks(1500<<10, 512<<10, nil)
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+	if chunks[0].Size != 512<<10 || chunks[1].Size != 512<<10 {
+		t.Error("full chunks should be 512 KB")
+	}
+	if chunks[2].Size != 476<<10 {
+		t.Errorf("last chunk = %d, want %d", chunks[2].Size, 476<<10)
+	}
+	if chunks[0].Idle != 0 {
+		t.Error("first chunk must have no idle")
+	}
+	if SplitChunks(0, 512<<10, nil) != nil {
+		t.Error("zero-size file should produce no chunks")
+	}
+}
+
+func TestSplitChunksIdleSampling(t *testing.T) {
+	n := 0
+	chunks := SplitChunks(5<<20, 1<<20, func() time.Duration {
+		n++
+		return time.Duration(n) * time.Millisecond
+	})
+	if len(chunks) != 5 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	if n != 4 {
+		t.Errorf("idle sampled %d times, want 4 (not for the first chunk)", n)
+	}
+	for i := 1; i < 5; i++ {
+		if chunks[i].Idle != time.Duration(i)*time.Millisecond {
+			t.Errorf("chunk %d idle = %v", i, chunks[i].Idle)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	p := Params{RTT: 90 * time.Millisecond, RTTJitter: 0.2, LossProb: 0.05, Seed: 77}
+	chunks := []Chunk{{Size: 3 << 20}, {Idle: time.Second, Size: 3 << 20}}
+	a, err := Simulate(p, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.Restarts != b.Restarts || len(a.Samples) != len(b.Samples) {
+		t.Error("simulation is not deterministic for a fixed seed")
+	}
+}
+
+// uploadRestartFraction runs many uploads for a device profile and
+// returns the fraction of inter-chunk idles that exceeded the RTO.
+func uploadRestartFraction(t *testing.T, dev DeviceProfile, flows int) float64 {
+	t.Helper()
+	restarts, gaps := 0, 0
+	for i := 0; i < flows; i++ {
+		res, err := SimulateUpload(TransferConfig{
+			Device:   dev,
+			Server:   DefaultServer,
+			FileSize: 10 << 20, // 20 chunks
+			RTT:      100 * time.Millisecond,
+			Seed:     uint64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Flow.Chunks[1:] {
+			gaps++
+			if c.Restarted {
+				restarts++
+			}
+		}
+	}
+	return float64(restarts) / float64(gaps)
+}
+
+func TestFigure16cRestartGap(t *testing.T) {
+	android := uploadRestartFraction(t, AndroidProfile, 60)
+	ios := uploadRestartFraction(t, IOSProfile, 60)
+	// Paper: ~60% of Android storage idles restart slow start vs ~18%
+	// for iOS.
+	if android < 0.50 || android > 0.70 {
+		t.Errorf("Android restart fraction = %.3f, want ~0.60", android)
+	}
+	if ios < 0.10 || ios > 0.28 {
+		t.Errorf("iOS restart fraction = %.3f, want ~0.18", ios)
+	}
+	if android <= ios+0.2 {
+		t.Errorf("Android (%.2f) should restart far more than iOS (%.2f)", android, ios)
+	}
+}
+
+func TestFigure12UploadTimeGap(t *testing.T) {
+	// Median chunk upload time: ~4.1 s Android vs ~1.6 s iOS in the
+	// paper. The shape to preserve: Android at least 1.5x slower.
+	medianChunkTime := func(dev DeviceProfile) time.Duration {
+		var times []float64
+		for i := 0; i < 40; i++ {
+			res, err := SimulateUpload(TransferConfig{
+				Device:   dev,
+				Server:   DefaultServer,
+				FileSize: 8 << 20,
+				RTT:      100 * time.Millisecond,
+				Seed:     uint64(1000 + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range res.Flow.Chunks {
+				times = append(times, c.TransferTime.Seconds())
+			}
+		}
+		sortFloats(times)
+		return time.Duration(times[len(times)/2] * float64(time.Second))
+	}
+	android := medianChunkTime(AndroidProfile)
+	ios := medianChunkTime(IOSProfile)
+	if float64(android) < 1.3*float64(ios) {
+		t.Errorf("Android median chunk time (%v) should clearly exceed iOS (%v)", android, ios)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestLogNormalQuantile(t *testing.T) {
+	ln := LogNormal{Median: 100 * time.Millisecond, Sigma: 0.5}
+	if got := ln.Quantile(0.5); math.Abs(float64(got-100*time.Millisecond)) > float64(time.Millisecond) {
+		t.Errorf("median quantile = %v", got)
+	}
+	src := randx.New(5)
+	// Empirical q90 should match the analytic quantile.
+	var xs []float64
+	for i := 0; i < 100000; i++ {
+		xs = append(xs, float64(ln.Sample(src)))
+	}
+	sortFloats(xs)
+	q90 := xs[int(0.9*float64(len(xs)))]
+	want := float64(ln.Quantile(0.9))
+	if math.Abs(q90-want)/want > 0.03 {
+		t.Errorf("empirical q90 = %v, analytic %v", time.Duration(q90), time.Duration(want))
+	}
+}
+
+func TestNormQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		if math.Abs(normQuantile(p)+normQuantile(1-p)) > 1e-6 {
+			t.Errorf("normQuantile not symmetric at %v", p)
+		}
+	}
+	if math.Abs(normQuantile(0.975)-1.959964) > 1e-4 {
+		t.Errorf("normQuantile(0.975) = %v, want 1.96", normQuantile(0.975))
+	}
+}
+
+func TestWindowScalingLiftsClamp(t *testing.T) {
+	scaled := DefaultServer
+	scaled.WindowScaling = true
+	if scaled.EffectiveRWnd() <= DefaultServer.EffectiveRWnd() {
+		t.Error("window scaling should raise the effective rwnd")
+	}
+}
+
+func TestDownloadFasterThanUploadAtSameSize(t *testing.T) {
+	// Downloads are not clamped to 64 KB, so with ample bandwidth the
+	// same file moves faster than an upload for the same device.
+	cfg := TransferConfig{
+		Device:   IOSProfile,
+		Server:   DefaultServer,
+		FileSize: 20 << 20,
+		RTT:      100 * time.Millisecond,
+		Seed:     42,
+	}
+	up, err := SimulateUpload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := SimulateDownload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Flow.Duration >= up.Flow.Duration {
+		t.Errorf("download (%v) should be faster than clamped upload (%v)",
+			down.Flow.Duration, up.Flow.Duration)
+	}
+}
+
+func BenchmarkSimulateUpload(b *testing.B) {
+	cfg := TransferConfig{
+		Device:   AndroidProfile,
+		Server:   DefaultServer,
+		FileSize: 10 << 20,
+		RTT:      100 * time.Millisecond,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := SimulateUpload(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package textplot renders small ASCII charts — line series, CDFs and
+// histograms — so the reproduction binaries can show each figure's
+// shape directly in the terminal next to the numbers.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	LogX   bool
+	Title  string
+	XLabel string
+	YLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the series into a text block.
+func Render(opts Options, series ...Series) string {
+	opts = opts.withDefaults()
+	w, h := opts.Width, opts.Height
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.Xs {
+			x := s.Xs[i]
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			y := s.Ys[i]
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if math.IsInf(minX, 1) || minX == maxX && minY == maxY {
+		return "(no data)\n"
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.Xs {
+			x := s.Xs[i]
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			col := int((x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((s.Ys[i]-minY)/(maxY-minY)*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yLo, yHi := formatTick(minY), formatTick(maxY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yHi)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	xLo, xHi := minX, maxX
+	if opts.LogX {
+		fmt.Fprintf(&b, "%s  10^%s%s10^%s", strings.Repeat(" ", pad),
+			formatTick(xLo), strings.Repeat(" ", max(1, w-8-len(formatTick(xLo))-len(formatTick(xHi)))), formatTick(xHi))
+	} else {
+		fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", pad),
+			formatTick(xLo), strings.Repeat(" ", max(1, w-len(formatTick(xLo))-len(formatTick(xHi)))), formatTick(xHi))
+	}
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", opts.XLabel)
+	}
+	b.WriteByte('\n')
+	if len(series) > 1 || series[0].Name != "" {
+		for si, s := range series {
+			if s.Name != "" {
+				fmt.Fprintf(&b, "  %c %s", seriesMarks[si%len(seriesMarks)], s.Name)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CDF renders an empirical CDF from (value, probability) pairs.
+func CDF(title, xlabel string, logX bool, series ...Series) string {
+	return Render(Options{Title: title, XLabel: xlabel, LogX: logX}, series...)
+}
+
+// Histogram renders bin counts as a bar chart.
+func Histogram(title string, centers []float64, counts []int64, width, height int) string {
+	if len(centers) == 0 {
+		return "(no data)\n"
+	}
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 12
+	}
+	// Downsample bins into columns.
+	cols := make([]float64, width)
+	maxC := 0.0
+	for i, c := range counts {
+		col := i * width / len(counts)
+		cols[col] += float64(c)
+		if cols[col] > maxC {
+			maxC = cols[col]
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r := 0; r < height; r++ {
+		level := float64(height-r) / float64(height)
+		line := make([]byte, width)
+		for c := range cols {
+			if maxC > 0 && cols[c]/maxC >= level {
+				line[c] = '#'
+			} else {
+				line[c] = ' '
+			}
+		}
+		fmt.Fprintf(&b, " |%s|\n", string(line))
+	}
+	fmt.Fprintf(&b, "  %s%s%s\n", formatTick(centers[0]),
+		strings.Repeat(" ", max(1, width-len(formatTick(centers[0]))-len(formatTick(centers[len(centers)-1])))),
+		formatTick(centers[len(centers)-1]))
+	return b.String()
+}
+
+// Table renders rows with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicLine(t *testing.T) {
+	s := Series{Name: "line", Xs: []float64{0, 1, 2, 3}, Ys: []float64{0, 1, 2, 3}}
+	out := Render(Options{Width: 20, Height: 8, Title: "t"}, s)
+	if !strings.Contains(out, "t\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing data marks")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Errorf("only %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(Options{}, Series{})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("expected no-data message, got %q", out)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	s := Series{Xs: []float64{1, 10, 100, 1000}, Ys: []float64{1, 2, 3, 4}}
+	out := Render(Options{LogX: true, Width: 30, Height: 6}, s)
+	if !strings.Contains(out, "10^") {
+		t.Error("log axis labels missing")
+	}
+	// Non-positive x values must be skipped, not crash.
+	s2 := Series{Xs: []float64{-1, 0, 10}, Ys: []float64{1, 2, 3}}
+	_ = Render(Options{LogX: true}, s2)
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	a := Series{Name: "a", Xs: []float64{0, 1}, Ys: []float64{0, 1}}
+	b := Series{Name: "b", Xs: []float64{0, 1}, Ys: []float64{1, 0}}
+	out := Render(Options{Width: 20, Height: 6}, a, b)
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := Series{Xs: []float64{1, 2, 3}, Ys: []float64{5, 5, 5}}
+	out := Render(Options{Width: 10, Height: 4}, s)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("constant series rendered badly: %q", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	centers := []float64{1, 2, 3, 4, 5}
+	counts := []int64{1, 5, 10, 5, 1}
+	out := Histogram("h", centers, counts, 20, 6)
+	if !strings.Contains(out, "#") {
+		t.Error("histogram bars missing")
+	}
+	if Histogram("h", nil, nil, 10, 5) != "(no data)\n" {
+		t.Error("empty histogram should say no data")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"col1", "c2"}, [][]string{{"a", "bbbb"}, {"cc", "d"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "col1") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("separator missing")
+	}
+	// Alignment: all rows same display width for first column.
+	if len(lines[2]) < len("col1  bbbb") {
+		t.Error("rows not padded")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500000: "1.5e+06",
+		150:     "150",
+		1.5:     "1.5",
+		0.25:    "0.250",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

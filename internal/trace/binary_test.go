@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mcloud/internal/randx"
+)
+
+func TestBinaryRoundTripSingle(t *testing.T) {
+	l := sampleLog()
+	l.Proxied = true
+	var buf bytes.Buffer
+	if err := WriteAllBinary(&buf, []Log{l}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], l) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		src := randx.New(seed)
+		logs := make([]Log, int(n%40)+1)
+		for i := range logs {
+			logs[i] = randomLog(src)
+		}
+		var buf bytes.Buffer
+		if err := WriteAllBinary(&buf, logs); err != nil {
+			return false
+		}
+		got, err := ReadAllBinary(&buf)
+		return err == nil && reflect.DeepEqual(got, logs)
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryTimestampDeltas(t *testing.T) {
+	// Out-of-order timestamps (negative deltas) must survive.
+	src := randx.New(21)
+	a := randomLog(src)
+	b := a
+	b.Time = a.Time.Add(-3 * 1e9) // 3 s earlier
+	var buf bytes.Buffer
+	if err := WriteAllBinary(&buf, []Log{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[1].Time.Equal(b.Time) {
+		t.Errorf("negative delta decoded to %v, want %v", got[1].Time, b.Time)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	src := randx.New(22)
+	logs := make([]Log, 2000)
+	for i := range logs {
+		logs[i] = randomLog(src)
+	}
+	SortByTime(logs)
+	var text, bin bytes.Buffer
+	if err := WriteAll(&text, logs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAllBinary(&bin, logs); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bin.Len()) / float64(text.Len())
+	if ratio > 0.55 {
+		t.Errorf("binary format only %.0f%% smaller than text (%d vs %d bytes)",
+			100*(1-ratio), bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryRejectsTextInput(t *testing.T) {
+	l := sampleLog()
+	text := string(l.AppendText(nil))
+	if _, err := ReadAllBinary(strings.NewReader(text)); err == nil {
+		t.Error("text stream accepted as binary")
+	}
+}
+
+func TestBinaryTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllBinary(&buf, []Log{sampleLog(), sampleLog()}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	_, err := ReadAllBinary(bytes.NewReader(cut))
+	if err == nil {
+		t.Error("truncated stream read without error")
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	got, err := ReadAllBinary(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %v, %d records", err, len(got))
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	src := randx.New(23)
+	logs := make([]Log, 1000)
+	for i := range logs {
+		logs[i] = randomLog(src)
+	}
+	SortByTime(logs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteAllBinary(&buf, logs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	src := randx.New(24)
+	logs := make([]Log, 1000)
+	for i := range logs {
+		logs[i] = randomLog(src)
+	}
+	var buf bytes.Buffer
+	if err := WriteAllBinary(&buf, logs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAllBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

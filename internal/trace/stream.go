@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+)
+
+// Stream is a pull-based source of time-ordered log entries. Next
+// returns false when the stream is exhausted.
+type Stream interface {
+	Next() (Log, bool)
+}
+
+// SliceStream adapts a slice of logs to a Stream. The slice is
+// consumed in order; sort it by time first if order matters.
+type SliceStream struct {
+	logs []Log
+	pos  int
+}
+
+// NewSliceStream returns a Stream over logs.
+func NewSliceStream(logs []Log) *SliceStream { return &SliceStream{logs: logs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Log, bool) {
+	if s.pos >= len(s.logs) {
+		return Log{}, false
+	}
+	l := s.logs[s.pos]
+	s.pos++
+	return l, true
+}
+
+// SortByTime sorts logs chronologically in place, with ties broken by
+// user then request type for determinism.
+func SortByTime(logs []Log) {
+	sort.SliceStable(logs, func(i, j int) bool {
+		if !logs[i].Time.Equal(logs[j].Time) {
+			return logs[i].Time.Before(logs[j].Time)
+		}
+		if logs[i].UserID != logs[j].UserID {
+			return logs[i].UserID < logs[j].UserID
+		}
+		return logs[i].Type < logs[j].Type
+	})
+}
+
+// mergeItem is one source in the merge heap.
+type mergeItem struct {
+	log Log
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if !h[i].log.Time.Equal(h[j].log.Time) {
+		return h[i].log.Time.Before(h[j].log.Time)
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Merge combines several individually time-ordered streams into one
+// time-ordered stream using a k-way heap merge.
+type Merge struct {
+	sources []Stream
+	h       mergeHeap
+	primed  bool
+}
+
+// NewMerge returns a merging Stream over the given sources. Each
+// source must itself be time-ordered.
+func NewMerge(sources ...Stream) *Merge {
+	return &Merge{sources: sources}
+}
+
+// Next implements Stream.
+func (m *Merge) Next() (Log, bool) {
+	if !m.primed {
+		m.h = make(mergeHeap, 0, len(m.sources))
+		for i, s := range m.sources {
+			if l, ok := s.Next(); ok {
+				m.h = append(m.h, mergeItem{log: l, src: i})
+			}
+		}
+		heap.Init(&m.h)
+		m.primed = true
+	}
+	if len(m.h) == 0 {
+		return Log{}, false
+	}
+	top := m.h[0]
+	if l, ok := m.sources[top.src].Next(); ok {
+		m.h[0] = mergeItem{log: l, src: top.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.log, true
+}
+
+// Filter wraps a stream, passing through only entries for which keep
+// returns true.
+type Filter struct {
+	src  Stream
+	keep func(Log) bool
+}
+
+// NewFilter returns a filtering Stream.
+func NewFilter(src Stream, keep func(Log) bool) *Filter {
+	return &Filter{src: src, keep: keep}
+}
+
+// Next implements Stream.
+func (f *Filter) Next() (Log, bool) {
+	for {
+		l, ok := f.src.Next()
+		if !ok {
+			return Log{}, false
+		}
+		if f.keep(l) {
+			return l, true
+		}
+	}
+}
+
+// Drain consumes a stream into a slice.
+func Drain(s Stream) []Log {
+	var out []Log
+	for {
+		l, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, l)
+	}
+}
+
+// MobileOnly keeps only mobile-device entries.
+func MobileOnly(l Log) bool { return l.Device.Mobile() }
+
+// Unproxied keeps only entries not relayed through an HTTP proxy; the
+// paper's §4 performance analysis filters proxied requests out.
+func Unproxied(l Log) bool { return !l.Proxied }
+
+// Within returns a predicate keeping entries in [from, to).
+func Within(from, to time.Time) func(Log) bool {
+	return func(l Log) bool {
+		return !l.Time.Before(from) && l.Time.Before(to)
+	}
+}

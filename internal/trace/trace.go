@@ -1,0 +1,312 @@
+// Package trace defines the HTTP request log record produced by the
+// storage front-end servers — the exact schema of Table 1 in the paper
+// — together with a compact streaming text codec, filters, and
+// time-ordered merging.
+//
+// A log entry is written for every file operation request (the request
+// that opens a file store or retrieve and carries the file metadata)
+// and for every chunk request (the transfer of one 512 KB chunk).
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DeviceType identifies the client platform.
+type DeviceType uint8
+
+// Device types. The paper's mobile dataset contains Android and iOS;
+// PC covers the desktop-client logs used in §3.2.
+const (
+	Android DeviceType = iota
+	IOS
+	PC
+)
+
+var deviceNames = [...]string{"android", "ios", "pc"}
+
+func (d DeviceType) String() string {
+	if int(d) < len(deviceNames) {
+		return deviceNames[d]
+	}
+	return fmt.Sprintf("device(%d)", uint8(d))
+}
+
+// Mobile reports whether the device is a mobile terminal.
+func (d DeviceType) Mobile() bool { return d == Android || d == IOS }
+
+// ParseDeviceType parses the textual device type.
+func ParseDeviceType(s string) (DeviceType, error) {
+	for i, n := range deviceNames {
+		if s == n {
+			return DeviceType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown device type %q", s)
+}
+
+// ReqType identifies the request: file operation vs chunk request,
+// crossed with transfer direction.
+type ReqType uint8
+
+// Request types, following the paper's terminology: a "file operation"
+// opens a store or retrieve of one file; a "chunk request" moves one
+// chunk.
+const (
+	FileStore ReqType = iota
+	FileRetrieve
+	ChunkStore
+	ChunkRetrieve
+)
+
+var reqNames = [...]string{"file-store", "file-retrieve", "chunk-store", "chunk-retrieve"}
+
+func (r ReqType) String() string {
+	if int(r) < len(reqNames) {
+		return reqNames[r]
+	}
+	return fmt.Sprintf("req(%d)", uint8(r))
+}
+
+// ParseReqType parses the textual request type.
+func ParseReqType(s string) (ReqType, error) {
+	for i, n := range reqNames {
+		if s == n {
+			return ReqType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown request type %q", s)
+}
+
+// FileOp reports whether the request is a file operation (the begin of
+// a store/retrieve), as opposed to a chunk transfer.
+func (r ReqType) FileOp() bool { return r == FileStore || r == FileRetrieve }
+
+// Chunk reports whether the request is a chunk transfer.
+func (r ReqType) Chunk() bool { return r == ChunkStore || r == ChunkRetrieve }
+
+// Store reports whether the request belongs to an upload.
+func (r ReqType) Store() bool { return r == FileStore || r == ChunkStore }
+
+// Retrieve reports whether the request belongs to a download.
+func (r ReqType) Retrieve() bool { return r == FileRetrieve || r == ChunkRetrieve }
+
+// Log is one HTTP request log entry with the fields of Table 1 plus
+// the upstream processing time used by the §4 performance analysis.
+type Log struct {
+	Time     time.Time     // request timestamp
+	Device   DeviceType    // android / ios / pc
+	DeviceID uint64        // anonymized device identifier
+	UserID   uint64        // anonymized account identifier
+	Type     ReqType       // file operation or chunk request × direction
+	Bytes    int64         // data volume moved by a chunk request
+	Proc     time.Duration // Tchunk: first byte in to last byte out at the front-end
+	Server   time.Duration // Tsrv: upstream storage-server processing time
+	RTT      time.Duration // average RTT of the carrying TCP connection
+	Proxied  bool          // via HTTP proxy (X-FORWARDED-FOR present)
+}
+
+// TransferTime returns the paper's ttran = Tchunk - Tsrv, the
+// user-perceived chunk transfer time. It is never negative.
+func (l Log) TransferTime() time.Duration {
+	t := l.Proc - l.Server
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// fieldCount is the number of tab-separated fields in the text format.
+const fieldCount = 10
+
+// AppendText appends the log entry to dst in the tab-separated text
+// format: unix-nanos, device, deviceID, userID, reqtype, bytes,
+// proc-ns, server-ns, rtt-ns, proxied.
+func (l Log) AppendText(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, l.Time.UnixNano(), 10)
+	dst = append(dst, '\t')
+	dst = append(dst, l.Device.String()...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendUint(dst, l.DeviceID, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendUint(dst, l.UserID, 10)
+	dst = append(dst, '\t')
+	dst = append(dst, l.Type.String()...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, l.Bytes, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(l.Proc), 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(l.Server), 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(l.RTT), 10)
+	dst = append(dst, '\t')
+	if l.Proxied {
+		dst = append(dst, '1')
+	} else {
+		dst = append(dst, '0')
+	}
+	dst = append(dst, '\n')
+	return dst
+}
+
+// ParseLine parses one text-format line (without requiring the
+// trailing newline).
+func ParseLine(line string) (Log, error) {
+	line = strings.TrimSuffix(line, "\n")
+	fields := strings.Split(line, "\t")
+	if len(fields) != fieldCount {
+		return Log{}, fmt.Errorf("trace: %d fields, want %d", len(fields), fieldCount)
+	}
+	var l Log
+	ns, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Log{}, fmt.Errorf("trace: bad timestamp: %v", err)
+	}
+	l.Time = time.Unix(0, ns).UTC()
+	if l.Device, err = ParseDeviceType(fields[1]); err != nil {
+		return Log{}, err
+	}
+	if l.DeviceID, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+		return Log{}, fmt.Errorf("trace: bad device id: %v", err)
+	}
+	if l.UserID, err = strconv.ParseUint(fields[3], 10, 64); err != nil {
+		return Log{}, fmt.Errorf("trace: bad user id: %v", err)
+	}
+	if l.Type, err = ParseReqType(fields[4]); err != nil {
+		return Log{}, err
+	}
+	if l.Bytes, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+		return Log{}, fmt.Errorf("trace: bad byte count: %v", err)
+	}
+	proc, err := strconv.ParseInt(fields[6], 10, 64)
+	if err != nil {
+		return Log{}, fmt.Errorf("trace: bad processing time: %v", err)
+	}
+	l.Proc = time.Duration(proc)
+	srv, err := strconv.ParseInt(fields[7], 10, 64)
+	if err != nil {
+		return Log{}, fmt.Errorf("trace: bad server time: %v", err)
+	}
+	l.Server = time.Duration(srv)
+	rtt, err := strconv.ParseInt(fields[8], 10, 64)
+	if err != nil {
+		return Log{}, fmt.Errorf("trace: bad rtt: %v", err)
+	}
+	l.RTT = time.Duration(rtt)
+	switch fields[9] {
+	case "0":
+		l.Proxied = false
+	case "1":
+		l.Proxied = true
+	default:
+		return Log{}, fmt.Errorf("trace: bad proxied flag %q", fields[9])
+	}
+	return l, nil
+}
+
+// Writer writes log entries in the text format, buffered.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+	n   int64
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one log entry.
+func (w *Writer) Write(l Log) error {
+	w.buf = l.AppendText(w.buf[:0])
+	w.n++
+	_, err := w.bw.Write(w.buf)
+	return err
+}
+
+// Count returns the number of entries written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader reads log entries from the text format.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next entry, or io.EOF at end of stream.
+func (r *Reader) Read() (Log, error) {
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			return Log{}, err
+		}
+		return Log{}, io.EOF
+	}
+	r.line++
+	l, err := ParseLine(r.sc.Text())
+	if err != nil {
+		return Log{}, fmt.Errorf("line %d: %w", r.line, err)
+	}
+	return l, nil
+}
+
+// ForEach streams every entry from r to fn, stopping on the first
+// error. fn may return ErrStop to end iteration early without error.
+func ForEach(r io.Reader, fn func(Log) error) error {
+	tr := NewReader(r)
+	for {
+		l, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(l); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// ErrStop signals early termination of ForEach without error.
+var ErrStop = errors.New("trace: stop iteration")
+
+// ReadAll slurps every entry; intended for tests and small inputs.
+func ReadAll(r io.Reader) ([]Log, error) {
+	var out []Log
+	err := ForEach(r, func(l Log) error {
+		out = append(out, l)
+		return nil
+	})
+	return out, err
+}
+
+// WriteAll writes all entries and flushes.
+func WriteAll(w io.Writer, logs []Log) error {
+	tw := NewWriter(w)
+	for _, l := range logs {
+		if err := tw.Write(l); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

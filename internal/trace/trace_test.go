@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcloud/internal/randx"
+)
+
+func sampleLog() Log {
+	return Log{
+		Time:     time.Date(2015, 8, 4, 19, 10, 1, 0, time.UTC),
+		Device:   Android,
+		DeviceID: 0x33ab8c95437f,
+		UserID:   1355653977,
+		Type:     ChunkStore,
+		Bytes:    512 << 10,
+		Proc:     4398 * time.Millisecond,
+		Server:   100 * time.Millisecond,
+		RTT:      89238 * time.Microsecond,
+		Proxied:  true,
+	}
+}
+
+func TestRoundTripSingle(t *testing.T) {
+	l := sampleLog()
+	line := string(l.AppendText(nil))
+	got, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func randomLog(src *randx.Source) Log {
+	base := time.Date(2015, 8, 3, 0, 0, 0, 0, time.UTC)
+	return Log{
+		Time:     base.Add(time.Duration(src.Int63n(7 * 24 * int64(time.Hour)))),
+		Device:   DeviceType(src.Intn(3)),
+		DeviceID: src.Uint64() >> 16,
+		UserID:   src.Uint64() >> 32,
+		Type:     ReqType(src.Intn(4)),
+		Bytes:    src.Int63n(1 << 30),
+		Proc:     time.Duration(src.Int63n(int64(time.Minute))),
+		Server:   time.Duration(src.Int63n(int64(time.Second))),
+		RTT:      time.Duration(src.Int63n(int64(2 * time.Second))),
+		Proxied:  src.Bool(0.5),
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := randx.New(seed)
+		l := randomLog(src)
+		got, err := ParseLine(string(l.AppendText(nil)))
+		return err == nil && reflect.DeepEqual(got, l)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	src := randx.New(9)
+	var logs []Log
+	for i := 0; i < 1000; i++ {
+		logs = append(logs, randomLog(src))
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, logs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, logs) {
+		t.Error("bulk round trip mismatch")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 7; i++ {
+		if err := w.Write(sampleLog()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 7 {
+		t.Errorf("Count = %d, want 7", w.Count())
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	good := string(sampleLog().AppendText(nil))
+	bad := []string{
+		"",
+		"1\t2\t3",
+		strings.Replace(good, "android", "blackberry", 1),
+		strings.Replace(good, "chunk-store", "chunk-query", 1),
+		"x" + good,
+		strings.TrimSuffix(good, "1\n") + "7\n", // bad proxied flag
+	}
+	for i, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, line)
+		}
+	}
+}
+
+func TestForEachStop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []Log{sampleLog(), sampleLog(), sampleLog()}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err := ForEach(&buf, func(Log) error {
+		n++
+		if n == 2 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("visited %d entries, want 2", n)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("not a log line\n")
+	if err := ForEach(&buf, func(Log) error { return nil }); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestReqTypePredicates(t *testing.T) {
+	cases := []struct {
+		r                              ReqType
+		fileOp, chunk, store, retrieve bool
+	}{
+		{FileStore, true, false, true, false},
+		{FileRetrieve, true, false, false, true},
+		{ChunkStore, false, true, true, false},
+		{ChunkRetrieve, false, true, false, true},
+	}
+	for _, c := range cases {
+		if c.r.FileOp() != c.fileOp || c.r.Chunk() != c.chunk ||
+			c.r.Store() != c.store || c.r.Retrieve() != c.retrieve {
+			t.Errorf("%v predicates wrong", c.r)
+		}
+	}
+}
+
+func TestDeviceTypeMobile(t *testing.T) {
+	if !Android.Mobile() || !IOS.Mobile() || PC.Mobile() {
+		t.Error("Mobile() predicate wrong")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := Log{Proc: 5 * time.Second, Server: time.Second}
+	if got := l.TransferTime(); got != 4*time.Second {
+		t.Errorf("TransferTime = %v, want 4s", got)
+	}
+	l = Log{Proc: time.Second, Server: 2 * time.Second}
+	if got := l.TransferTime(); got != 0 {
+		t.Errorf("negative transfer time should clamp to 0, got %v", got)
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	src := randx.New(10)
+	var logs []Log
+	for i := 0; i < 500; i++ {
+		logs = append(logs, randomLog(src))
+	}
+	SortByTime(logs)
+	for i := 1; i < len(logs); i++ {
+		if logs[i].Time.Before(logs[i-1].Time) {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestMergePreservesOrder(t *testing.T) {
+	src := randx.New(11)
+	var a, b, c []Log
+	for i := 0; i < 300; i++ {
+		l := randomLog(src)
+		switch i % 3 {
+		case 0:
+			a = append(a, l)
+		case 1:
+			b = append(b, l)
+		default:
+			c = append(c, l)
+		}
+	}
+	SortByTime(a)
+	SortByTime(b)
+	SortByTime(c)
+	m := NewMerge(NewSliceStream(a), NewSliceStream(b), NewSliceStream(c))
+	out := Drain(m)
+	if len(out) != 300 {
+		t.Fatalf("merged %d entries, want 300", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time.Before(out[i-1].Time) {
+			t.Fatal("merge output not time-ordered")
+		}
+	}
+}
+
+func TestMergeEmptySources(t *testing.T) {
+	m := NewMerge(NewSliceStream(nil), NewSliceStream(nil))
+	if _, ok := m.Next(); ok {
+		t.Error("merge of empty sources should be empty")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	logs := []Log{
+		{Device: Android, Proxied: true},
+		{Device: PC},
+		{Device: IOS},
+	}
+	got := Drain(NewFilter(NewSliceStream(logs), MobileOnly))
+	if len(got) != 2 {
+		t.Errorf("MobileOnly kept %d, want 2", len(got))
+	}
+	got = Drain(NewFilter(NewSliceStream(logs), Unproxied))
+	if len(got) != 2 {
+		t.Errorf("Unproxied kept %d, want 2", len(got))
+	}
+}
+
+func TestWithin(t *testing.T) {
+	t0 := time.Date(2015, 8, 3, 0, 0, 0, 0, time.UTC)
+	pred := Within(t0, t0.Add(time.Hour))
+	if !pred(Log{Time: t0}) {
+		t.Error("inclusive lower bound failed")
+	}
+	if pred(Log{Time: t0.Add(time.Hour)}) {
+		t.Error("exclusive upper bound failed")
+	}
+	if pred(Log{Time: t0.Add(-time.Nanosecond)}) {
+		t.Error("below range accepted")
+	}
+}
+
+func BenchmarkAppendText(b *testing.B) {
+	l := sampleLog()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = l.AppendText(buf[:0])
+	}
+}
+
+func BenchmarkParseLine(b *testing.B) {
+	line := string(sampleLog().AppendText(nil))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

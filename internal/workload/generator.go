@@ -1,0 +1,329 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcloud/internal/randx"
+	"mcloud/internal/trace"
+)
+
+// Config sizes a synthetic population. All statistical targets are
+// per-user, so the emitted distributions are scale-free in Users.
+type Config struct {
+	// Users is the number of mobile users (mobile-only plus
+	// mobile-and-PC, split per §2.2).
+	Users int
+	// PCOnlyUsers adds a PC-only population for the §3.2 comparisons;
+	// the paper extracts >2 million PC users, roughly 2x its mobile
+	// population. Zero is valid.
+	PCOnlyUsers int
+	// Seed makes the dataset reproducible.
+	Seed uint64
+	// Start anchors the observation window; zero means the paper's
+	// week (2015-08-03, UTC+8).
+	Start time.Time
+	// Days is the window length; zero means 7.
+	Days int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Users < 0 || c.PCOnlyUsers < 0 {
+		return c, fmt.Errorf("workload: negative population")
+	}
+	if c.Users == 0 && c.PCOnlyUsers == 0 {
+		return c, fmt.Errorf("workload: empty population")
+	}
+	if c.Start.IsZero() {
+		c.Start = ObservationStart
+	}
+	if c.Days == 0 {
+		c.Days = ObservationDays
+	}
+	if c.Days < 0 {
+		return c, fmt.Errorf("workload: negative window")
+	}
+	return c, nil
+}
+
+// End returns the end of the observation window.
+func (c Config) End() time.Time {
+	cc, _ := c.withDefaults()
+	return cc.Start.AddDate(0, 0, cc.Days)
+}
+
+// Generator produces the population and its log stream.
+type Generator struct {
+	cfg Config
+}
+
+// New returns a Generator for the given configuration.
+func New(cfg Config) (*Generator, error) {
+	cc, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cc}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// User materializes the static profile of user i (0 <= i <
+// Users+PCOnlyUsers). Mobile users come first; their category is
+// mobile-and-PC with probability MobileAndPCShare.
+func (g *Generator) User(i int) *User {
+	id := uint64(i) + 1
+	if i >= g.cfg.Users {
+		return sampleUser(g.cfg.Seed, id, PCOnly)
+	}
+	src := randx.Derive(g.cfg.Seed, fmt.Sprintf("usercat/%d", id))
+	cat := MobileOnly
+	if src.Bool(intendedMobileAndPCShare) {
+		cat = MobileAndPC
+	}
+	return sampleUser(g.cfg.Seed, id, cat)
+}
+
+// Population returns the total number of users.
+func (g *Generator) Population() int { return g.cfg.Users + g.cfg.PCOnlyUsers }
+
+// userWeek generates the complete, time-ordered log slice of one user
+// for the observation window.
+func (g *Generator) userWeek(u *User) []trace.Log {
+	src := randx.Derive(g.cfg.Seed, fmt.Sprintf("userweek/%d", u.ID))
+	end := g.cfg.End()
+	windowDays := g.cfg.Days
+
+	// Expected sessions this week; the user's first session lands on a
+	// uniformly chosen day (diurnal time-of-day), later sessions
+	// follow inter-session gaps until churn or window end. Session
+	// counts feel the activity skew only within a clamp — the skew's
+	// full strength goes into batch sizes — and multi-device users run
+	// more sessions (cross-device sync).
+	si := u.Intensity
+	if si < sessionIntensityFloor {
+		si = sessionIntensityFloor
+	}
+	if si > sessionIntensityCeil {
+		si = sessionIntensityCeil
+	}
+	target := meanSessions(u.Class) * si
+	if len(u.Devices) > 1 {
+		// Multi-terminal users (extra mobile devices or a PC) run more
+		// sessions: cross-device synchronization (Fig 8).
+		target *= multiDeviceSessionBoost
+	}
+	nominal := 1 + src.Poisson(target-1) // at least one session: all users are active
+	if u.Class == Occasional {
+		// Occasional users stay under their 1 MB weekly budget
+		// (§3.2.1): one tiny session, no returns.
+		nominal = 1
+	}
+
+	day := src.Intn(windowDays)
+	start := g.cfg.Start.AddDate(0, 0, day)
+	start = start.Add(diurnalTimeOfDay(src, start.Weekday()))
+
+	var logs []trace.Log
+	sessions := 0
+	pendingPCSync := false
+	usedPC := false
+	for start.Before(end) && sessions < 4*nominal+8 {
+		// A mobile+PC user who has not yet touched the PC runs the
+		// second session from it — both installed clients get used,
+		// so the log-based category identification (§2.2) sees them.
+		forcePC := u.Category == MobileAndPC && sessions == 1 && !usedPC
+		device, typ := g.pickSessionShape(src, u, pendingPCSync, forcePC)
+		pendingPCSync = false
+		if device.Type == trace.PC {
+			usedPC = true
+		}
+		plan := planSession(src, u, device, typ, start)
+		sess := plan.emit(src, u)
+		logs = append(logs, sess...)
+		sessions++
+
+		// Mixed-class mobile+PC users sync fresh uploads from the PC
+		// soon after storing (Fig 9 day-0 effect).
+		if typ == StoreOnly && u.Class == Mixed && u.Category == MobileAndPC &&
+			device.Type.Mobile() && src.Bool(pcSyncProb) {
+			pendingPCSync = true
+		}
+
+		// Continue or churn.
+		if sessions >= nominal && !pendingPCSync {
+			break
+		}
+		if !pendingPCSync && src.Bool(u.Churn) {
+			break
+		}
+		last := plan.end(sess)
+		var gap time.Duration
+		if pendingPCSync {
+			gap = log10Normal(src, pcSyncDelayMeanLog10, pcSyncDelaySigmaLog10)
+		} else {
+			gap = log10Normal(src, interSessionGapMeanLog10, interSessionGapSigmaLog10)
+			if gap < 2*time.Hour {
+				gap = 2 * time.Hour
+			}
+		}
+		start = last.Add(gap)
+		if !pendingPCSync && gap > 12*time.Hour {
+			// Long returns land at a diurnally plausible hour.
+			dayStart := start.Truncate(24 * time.Hour)
+			start = dayStart.Add(diurnalTimeOfDay(src, start.Weekday()))
+			if !start.After(last) {
+				start = last.Add(2 * time.Hour)
+			}
+		}
+	}
+
+	// Trim anything past the window (sessions near the boundary can
+	// spill chunk requests over).
+	trimmed := logs[:0]
+	for _, l := range logs {
+		if l.Time.Before(end) {
+			trimmed = append(trimmed, l)
+		}
+	}
+	logs = trimmed
+	trace.SortByTime(logs)
+	return logs
+}
+
+// pickSessionShape chooses the device and session type for the next
+// session.
+func (g *Generator) pickSessionShape(src *randx.Source, u *User, pcSync, forcePC bool) (Device, SessionType) {
+	if pcSync {
+		if pc, ok := u.PCDevice(); ok {
+			return pc, RetrieveOnly
+		}
+	}
+	// Device: uniformly among the user's devices, with the PC used for
+	// a substantial share of a mobile+PC user's sessions.
+	var device Device
+	mobile := u.MobileDevices()
+	pc, hasPC := u.PCDevice()
+	switch {
+	case len(mobile) == 0:
+		device = pc
+	case hasPC && (forcePC || src.Bool(pcSessionShare)):
+		device = pc
+	default:
+		device = mobile[src.Intn(len(mobile))]
+	}
+
+	var typ SessionType
+	switch u.Class {
+	case UploadOnly:
+		typ = StoreOnly
+	case DownloadOnly:
+		typ = RetrieveOnly
+	case Occasional:
+		if src.Bool(occasionalStoreShare) {
+			typ = StoreOnly
+		} else {
+			typ = RetrieveOnly
+		}
+	default: // Mixed
+		typ = SessionType(src.Categorical(mixedSessionWeights))
+	}
+	return device, typ
+}
+
+// userStream lazily yields one user's week.
+type userStream struct {
+	g    *Generator
+	idx  int
+	logs []trace.Log
+	pos  int
+}
+
+func (s *userStream) prime() {
+	if s.logs == nil {
+		s.logs = s.g.userWeek(s.g.User(s.idx))
+	}
+}
+
+func (s *userStream) Next() (trace.Log, bool) {
+	s.prime()
+	if s.pos >= len(s.logs) {
+		return trace.Log{}, false
+	}
+	l := s.logs[s.pos]
+	s.pos++
+	return l, true
+}
+
+// peek returns the first timestamp without consuming, generating the
+// user's week on first use.
+func (s *userStream) peek() (time.Time, bool) {
+	s.prime()
+	if s.pos >= len(s.logs) {
+		return time.Time{}, false
+	}
+	return s.logs[s.pos].Time, true
+}
+
+// Stream returns the population's merged, time-ordered log stream.
+// Per-user weeks are generated on all cores up front (generation is
+// per-user deterministic, so parallelism does not affect the output),
+// then merged with a k-way heap. Memory holds every user's week at
+// once; for very large populations prefer GenerateTo with sharding.
+func (g *Generator) Stream() trace.Stream {
+	users := make([]*userStream, g.Population())
+	streams := make([]trace.Stream, g.Population())
+	for i := range streams {
+		users[i] = &userStream{g: g, idx: i}
+		streams[i] = users[i]
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && g.Population() > 64 {
+		var wg sync.WaitGroup
+		next := int64(-1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(users) {
+						return
+					}
+					users[i].prime()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return trace.NewMerge(streams...)
+}
+
+// Generate materializes the full dataset in memory (tests,
+// small-scale runs).
+func (g *Generator) Generate() []trace.Log {
+	return trace.Drain(g.Stream())
+}
+
+// GenerateTo streams the dataset to w in the trace text format and
+// returns the number of records written.
+func (g *Generator) GenerateTo(w io.Writer) (int64, error) {
+	tw := trace.NewWriter(w)
+	s := g.Stream()
+	for {
+		l, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(l); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"mcloud/internal/trace"
+)
+
+// TestScaleFreeStatistics verifies that per-user statistics are stable
+// across population sizes (the scale knob of DESIGN.md): doubling the
+// population should not move the per-user log rate or the session
+// class mix beyond sampling noise.
+func TestScaleFreeStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	rate := func(users int) (logsPerUser float64, storeShare float64) {
+		g, err := New(Config{Users: users, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.Stream()
+		var logs, storeChunks, chunks int64
+		for {
+			l, ok := s.Next()
+			if !ok {
+				break
+			}
+			logs++
+			if l.Type.Chunk() {
+				chunks++
+				if l.Type == trace.ChunkStore {
+					storeChunks++
+				}
+			}
+		}
+		return float64(logs) / float64(users), float64(storeChunks) / float64(chunks)
+	}
+	small, smallShare := rate(1500)
+	large, largeShare := rate(6000)
+	if ratio := large / small; ratio < 0.85 || ratio > 1.18 {
+		t.Errorf("logs/user moved from %.1f to %.1f across scales", small, large)
+	}
+	if diff := largeShare - smallShare; diff > 0.06 || diff < -0.06 {
+		t.Errorf("store chunk share moved from %.3f to %.3f", smallShare, largeShare)
+	}
+}
+
+// TestStreamOrderedFromFirstRecord checks the merged stream yields
+// time-ordered output immediately and can be abandoned early.
+func TestStreamOrderedFromFirstRecord(t *testing.T) {
+	g, err := New(Config{Users: 2000, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stream()
+	var prev trace.Log
+	for i := 0; i < 500; i++ {
+		l, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended after %d records", i)
+		}
+		if i > 0 && l.Time.Before(prev.Time) {
+			t.Fatal("stream not time-ordered")
+		}
+		prev = l
+	}
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"time"
+
+	"mcloud/internal/randx"
+	"mcloud/internal/trace"
+)
+
+// SessionType classifies a planned session.
+type SessionType uint8
+
+// Session types (§3.1.1).
+const (
+	StoreOnly SessionType = iota
+	RetrieveOnly
+	MixedSession
+)
+
+var sessionTypeNames = [...]string{"store-only", "retrieve-only", "mixed"}
+
+func (t SessionType) String() string { return sessionTypeNames[t] }
+
+// plannedFile is one file transfer within a session.
+type plannedFile struct {
+	store bool
+	size  int64
+}
+
+// sessionPlan is a fully sampled session before log emission.
+type sessionPlan struct {
+	start   time.Time
+	device  Device
+	typ     SessionType
+	files   []plannedFile
+	batched bool // operations issued app-paced rather than user-paced
+}
+
+// planSession samples the content of one session for a user.
+func planSession(src *randx.Source, u *User, device Device, typ SessionType, start time.Time) sessionPlan {
+	p := sessionPlan{start: start, device: device, typ: typ}
+
+	switch typ {
+	case StoreOnly, RetrieveOnly:
+		store := typ == StoreOnly
+		if u.Class == Occasional {
+			// One tiny file, total below 1 MB (§3.2.1). The size is
+			// the photo component of the Table 2 mixture truncated to
+			// the occasional budget, so these sessions reinforce
+			// rather than distort the Fig 6 mixture shape.
+			mu := StoreSizeMus[0]
+			if !store {
+				mu = RetrieveSizeMus[0]
+			}
+			size := int64(4 << 10)
+			for try := 0; try < 64; try++ {
+				v := src.Exp(mu * float64(1<<20))
+				if v < occasionalMaxBytes {
+					if v > 4<<10 {
+						size = int64(v)
+					}
+					break
+				}
+			}
+			p.files = []plannedFile{{store: store, size: size}}
+			return p
+		}
+		// The session syncs one kind of content: pick the size
+		// component first, then the batch size appropriate to it and
+		// the per-file sizes around the session average.
+		component := sampleSizeComponent(src, store)
+		n := sampleOpCount(src, store, component, u.Intensity)
+		avg := sampleSessionAvgSize(src, store, component)
+		sizes := spreadFileSizes(src, avg, n)
+		p.files = make([]plannedFile, n)
+		for i, s := range sizes {
+			p.files[i] = plannedFile{store: store, size: s}
+		}
+		p.batched = n > batchThreshold
+	default: // MixedSession
+		nStore := 1 + src.Intn(3)
+		nRet := 1 + src.Intn(3)
+		storeAvg := sampleSessionAvgSize(src, true, sampleSizeComponent(src, true))
+		retAvg := sampleSessionAvgSize(src, false, sampleSizeComponent(src, false))
+		for _, s := range spreadFileSizes(src, storeAvg, nStore) {
+			p.files = append(p.files, plannedFile{store: true, size: s})
+		}
+		for _, s := range spreadFileSizes(src, retAvg, nRet) {
+			p.files = append(p.files, plannedFile{store: false, size: s})
+		}
+		// Interleave deterministically via shuffle.
+		src.Shuffle(len(p.files), func(i, j int) { p.files[i], p.files[j] = p.files[j], p.files[i] })
+	}
+	return p
+}
+
+// emit expands a session plan into its log records: one file operation
+// per file, issued in a burst at the session head (Fig 4), followed by
+// the sequential chunk requests of each file.
+func (p sessionPlan) emit(src *randx.Source, u *User) []trace.Log {
+	logs := make([]trace.Log, 0, p.totalChunks()+len(p.files))
+
+	// File operation requests: the first at session start, the rest
+	// separated by in-session gaps (batch-paced or user-paced).
+	opTimes := make([]time.Time, len(p.files))
+	t := p.start
+	appPaced := p.batched || (len(p.files) > 1 && src.Bool(multiSelectShare))
+	for i := range p.files {
+		if i > 0 {
+			var gap time.Duration
+			switch {
+			case appPaced:
+				m, s := batchGap(len(p.files))
+				gap = log10Normal(src, m, s)
+			case src.Bool(quickGapShare):
+				gap = log10Normal(src, quickGapMeanLog10, quickGapSigmaLog10)
+			default:
+				gap = log10Normal(src, slowGapMeanLog10, slowGapSigmaLog10)
+			}
+			if gap > sessionGapCeiling {
+				gap = sessionGapCeiling
+			}
+			t = t.Add(gap)
+		}
+		opTimes[i] = t
+	}
+
+	for i, f := range p.files {
+		typ := trace.FileRetrieve
+		if f.store {
+			typ = trace.FileStore
+		}
+		logs = append(logs, trace.Log{
+			Time:     opTimes[i],
+			Device:   p.device.Type,
+			DeviceID: p.device.ID,
+			UserID:   u.ID,
+			Type:     typ,
+			Bytes:    0,
+			Proc:     sampleTsrv(src) + time.Duration(src.Int63n(int64(50*time.Millisecond))),
+			Server:   0,
+			RTT:      jitterRTT(src, u.RTT),
+			Proxied:  u.Proxied,
+		})
+	}
+
+	// Chunk requests: files transfer sequentially on the connection,
+	// starting right after their operation request (or after the
+	// previous file finishes, whichever is later).
+	cursor := opTimes[0]
+	for i, f := range p.files {
+		if opTimes[i].After(cursor) {
+			cursor = opTimes[i]
+		}
+		typ := trace.ChunkRetrieve
+		if f.store {
+			typ = trace.ChunkStore
+		}
+		remaining := f.size
+		for remaining > 0 {
+			size := ChunkSize
+			if size > remaining {
+				size = remaining
+			}
+			remaining -= size
+			tsrv := sampleTsrv(src)
+			ttran := sampleChunkTransfer(src, p.device.Type, f.store, size)
+			cursor = cursor.Add(ttran + tsrv)
+			logs = append(logs, trace.Log{
+				Time:     cursor,
+				Device:   p.device.Type,
+				DeviceID: p.device.ID,
+				UserID:   u.ID,
+				Type:     typ,
+				Bytes:    size,
+				Proc:     ttran + tsrv,
+				Server:   tsrv,
+				RTT:      jitterRTT(src, u.RTT),
+				Proxied:  u.Proxied,
+			})
+		}
+	}
+	return logs
+}
+
+// end returns the timestamp of the session's last emitted record.
+func (p sessionPlan) end(logs []trace.Log) time.Time {
+	if len(logs) == 0 {
+		return p.start
+	}
+	return logs[len(logs)-1].Time
+}
+
+// jitterRTT perturbs the user's base RTT per request.
+func jitterRTT(src *randx.Source, base time.Duration) time.Duration {
+	m := 1 + 0.15*src.NormFloat64()
+	if m < 0.4 {
+		m = 0.4
+	}
+	d := time.Duration(float64(base) * m)
+	if d < rttFloor {
+		d = rttFloor
+	}
+	if d > rttCeil {
+		d = rttCeil
+	}
+	return d
+}
+
+func (p sessionPlan) totalChunks() int {
+	n := 0
+	for _, f := range p.files {
+		n += int((f.size + ChunkSize - 1) / ChunkSize)
+	}
+	return n
+}

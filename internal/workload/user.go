@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcloud/internal/randx"
+	"mcloud/internal/trace"
+)
+
+// Device is one client terminal owned by a user.
+type Device struct {
+	ID   uint64
+	Type trace.DeviceType
+}
+
+// User is one sampled account with all the static attributes that
+// shape its week of activity.
+type User struct {
+	ID       uint64
+	Category Category
+	Class    UserClass
+	Devices  []Device // mobile devices first; PC last when present
+
+	// Intensity is the per-user activity multiplier drawn from the
+	// stretched-exponential prior; it scales session counts and batch
+	// sizes (Fig 10).
+	Intensity float64
+	// Churn is the per-session probability of abandoning the service
+	// for the rest of the week (Fig 8).
+	Churn float64
+	// RTT is the user's path latency to the front-ends (Fig 14).
+	RTT time.Duration
+	// Proxied marks a user behind an HTTP proxy.
+	Proxied bool
+}
+
+// MobileDevices returns the user's mobile terminals.
+func (u *User) MobileDevices() []Device {
+	var out []Device
+	for _, d := range u.Devices {
+		if d.Type.Mobile() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// PCDevice returns the PC terminal and whether the user has one.
+func (u *User) PCDevice() (Device, bool) {
+	for _, d := range u.Devices {
+		if d.Type == trace.PC {
+			return d, true
+		}
+	}
+	return Device{}, false
+}
+
+// sampleUser draws the static profile of user id for the given
+// population category.
+func sampleUser(seed uint64, id uint64, cat Category) *User {
+	src := randx.Derive(seed, fmt.Sprintf("user/%d", id))
+	u := &User{ID: id, Category: cat}
+	u.Class = UserClass(src.Categorical(classMix(cat)))
+
+	// Devices.
+	devSeq := id << 8
+	if cat != PCOnly {
+		n := 1
+		if src.Bool(multiDeviceProb(u.Class)) {
+			n = 2 + src.Categorical(extraDeviceWeights)
+		}
+		for i := 0; i < n; i++ {
+			typ := trace.IOS
+			if src.Bool(AndroidShare) {
+				typ = trace.Android
+			}
+			u.Devices = append(u.Devices, Device{ID: devSeq, Type: typ})
+			devSeq++
+		}
+	}
+	if cat != MobileOnly {
+		u.Devices = append(u.Devices, Device{ID: devSeq, Type: trace.PC})
+	}
+
+	// Activity intensity: Weibull-tailed multiplier, normalized to
+	// unit mean so population-level rates stay at their calibrated
+	// values.
+	shape := intensityShapeStore
+	if u.Class == DownloadOnly {
+		shape = intensityShapeRetrieve
+	}
+	mean := math.Gamma(1 + 1/shape)
+	u.Intensity = src.Weibull(1, shape) / mean
+	if u.Intensity < 0.05 {
+		u.Intensity = 0.05
+	}
+
+	u.Churn = churnProb(cat, len(u.MobileDevices()))
+	u.RTT = sampleRTT(src)
+	u.Proxied = src.Bool(proxiedShare)
+	return u
+}
+
+// sampleRTT draws a per-user connection RTT (Fig 14).
+func sampleRTT(src *randx.Source) time.Duration {
+	mu := math.Log(float64(rttMedian))
+	d := time.Duration(src.LogNormal(mu, rttSigma))
+	if d < rttFloor {
+		d = rttFloor
+	}
+	if d > rttCeil {
+		d = rttCeil
+	}
+	return d
+}
+
+// sampleTsrv draws one upstream processing time (Fig 16).
+func sampleTsrv(src *randx.Source) time.Duration {
+	mu := math.Log(float64(tsrvMedian))
+	return time.Duration(src.LogNormal(mu, tsrvSigma))
+}
+
+// sampleChunkTransfer draws the user-perceived transfer time of one
+// chunk (Fig 12), ttran = Tchunk − Tsrv.
+func sampleChunkTransfer(src *randx.Source, dev trace.DeviceType, store bool, size int64) time.Duration {
+	p := chunkTime(dev, store)
+	mu := math.Log(float64(p.median))
+	d := time.Duration(src.LogNormal(mu, p.sigma))
+	if size < ChunkSize {
+		// Tail chunks scale roughly with their size, floored so the
+		// per-request overhead never vanishes.
+		f := float64(size) / float64(ChunkSize)
+		if f < 0.3 {
+			f = 0.3
+		}
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 400*time.Millisecond {
+		d = 400 * time.Millisecond
+	}
+	return d
+}
+
+// log10Normal draws 10^N(mean, sigma) seconds as a duration.
+func log10Normal(src *randx.Source, mean, sigma float64) time.Duration {
+	secs := math.Pow(10, src.Normal(mean, sigma))
+	return time.Duration(secs * float64(time.Second))
+}
+
+// sampleOpCount draws the number of file operations in a session for
+// a direction and size component, scaled by the user's intensity for
+// batch buckets.
+func sampleOpCount(src *randx.Source, store bool, component int, intensity float64) int {
+	buckets := opCountBuckets(store, component)
+	weights := make([]float64, len(buckets))
+	for i, b := range buckets {
+		weights[i] = b.prob
+	}
+	b := buckets[src.Categorical(weights)]
+	if b.lo == b.hi {
+		return b.lo
+	}
+	// Log-uniform within the bucket, scaled by user intensity for the
+	// big-batch bucket — this is where the stretched-exponential
+	// activity tail (Fig 10) comes from.
+	lo, hi := float64(b.lo), float64(b.hi)
+	v := math.Exp(src.Float64()*(math.Log(hi)-math.Log(lo)) + math.Log(lo))
+	if intensity > 1 && b.lo > 20 {
+		v *= math.Min(intensity, 8)
+	}
+	n := int(v + 0.5)
+	if n < b.lo {
+		n = b.lo
+	}
+	if n > 8*b.hi {
+		n = 8 * b.hi
+	}
+	return n
+}
+
+// sampleSizeComponent picks the session's Table 2 size component.
+func sampleSizeComponent(src *randx.Source, store bool) int {
+	if store {
+		return src.Categorical(StoreSizeAlphas)
+	}
+	return src.Categorical(RetrieveSizeAlphas)
+}
+
+// sampleSessionAvgSize draws the session's average file size in bytes
+// from the selected exponential component, so the per-session average
+// follows the paper's mixture-exponential model (Fig 6) exactly.
+func sampleSessionAvgSize(src *randx.Source, store bool, component int) float64 {
+	mus := RetrieveSizeMus
+	if store {
+		mus = StoreSizeMus
+	}
+	v := src.Exp(mus[component] * float64(1<<20))
+	if v < 8<<10 {
+		v = 8 << 10 // floor: 8 KB
+	}
+	if v > 4<<30 {
+		v = 4 << 30 // service cap: 4 GB
+	}
+	return v
+}
+
+// spreadFileSizes produces n per-file sizes whose mean is exactly avg:
+// lognormal jitter around the session average, renormalized. Files in
+// one session are the same kind of content, so their sizes cluster.
+func spreadFileSizes(src *randx.Source, avg float64, n int) []int64 {
+	sizes := make([]int64, n)
+	if n == 1 {
+		sizes[0] = int64(avg)
+		return sizes
+	}
+	jitter := make([]float64, n)
+	total := 0.0
+	for i := range jitter {
+		jitter[i] = src.LogNormal(0, 0.25)
+		total += jitter[i]
+	}
+	for i := range sizes {
+		v := avg * float64(n) * jitter[i] / total
+		if v < 4<<10 {
+			v = 4 << 10
+		}
+		sizes[i] = int64(v)
+	}
+	return sizes
+}
+
+// diurnalTimeOfDay samples a time-of-day offset following the Fig 1
+// intensity profile for the given weekday.
+func diurnalTimeOfDay(src *randx.Source, weekday time.Weekday) time.Duration {
+	w := diurnalWeights
+	if weekday == time.Saturday || weekday == time.Sunday {
+		for h := 10; h <= 16; h++ {
+			w[h] *= weekendMiddayBoost
+		}
+	}
+	hour := src.Categorical(w[:])
+	return time.Duration(hour)*time.Hour + time.Duration(src.Int63n(int64(time.Hour)))
+}

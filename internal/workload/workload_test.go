@@ -1,0 +1,766 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"mcloud/internal/dist"
+	"mcloud/internal/randx"
+	"mcloud/internal/session"
+	"mcloud/internal/trace"
+)
+
+// testLogs generates a moderately sized population once and shares it
+// across the statistical tests (generation is deterministic).
+var testGen = func() *Generator {
+	g, err := New(Config{Users: 4000, PCOnlyUsers: 1500, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}()
+
+var testLogs = testGen.Generate()
+
+func mobileLogs() []trace.Log {
+	var out []trace.Log
+	for _, l := range testLogs {
+		if l.Device.Mobile() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty population accepted")
+	}
+	if _, err := New(Config{Users: -1}); err == nil {
+		t.Error("negative population accepted")
+	}
+	if _, err := New(Config{Users: 10, Days: -2}); err == nil {
+		t.Error("negative window accepted")
+	}
+	g, err := New(Config{Users: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Config().Days != ObservationDays {
+		t.Error("default window not applied")
+	}
+	if !g.Config().Start.Equal(ObservationStart) {
+		t.Error("default start not applied")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := New(Config{Users: 50, Seed: 9})
+	g2, _ := New(Config{Users: 50, Seed: 9})
+	a := g1.Generate()
+	b := g2.Generate()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	g3, _ := New(Config{Users: 50, Seed: 10})
+	c := g3.Generate()
+	if len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestStreamIsTimeOrdered(t *testing.T) {
+	for i := 1; i < len(testLogs); i++ {
+		if testLogs[i].Time.Before(testLogs[i-1].Time) {
+			t.Fatalf("log %d out of order", i)
+		}
+	}
+}
+
+func TestAllLogsWithinWindow(t *testing.T) {
+	start := testGen.Config().Start
+	end := testGen.Config().End()
+	for _, l := range testLogs {
+		if l.Time.Before(start) || !l.Time.Before(end) {
+			t.Fatalf("log at %v outside [%v, %v)", l.Time, start, end)
+		}
+	}
+}
+
+func TestEveryUserIsActive(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for _, l := range testLogs {
+		seen[l.UserID] = true
+	}
+	if got, want := len(seen), testGen.Population(); got != want {
+		t.Errorf("%d active users, want %d (all users active)", got, want)
+	}
+}
+
+func TestLogInternalConsistency(t *testing.T) {
+	for _, l := range testLogs {
+		if l.Type.Chunk() {
+			if l.Bytes <= 0 || l.Bytes > int64(ChunkSize) {
+				t.Fatalf("chunk bytes %d out of (0, 512K]", l.Bytes)
+			}
+		} else if l.Bytes != 0 {
+			t.Fatalf("file operation carries %d bytes", l.Bytes)
+		}
+		if l.Proc < l.Server {
+			t.Fatalf("Proc %v below Server %v", l.Proc, l.Server)
+		}
+		if l.RTT < rttFloor || l.RTT > rttCeil {
+			t.Fatalf("RTT %v out of bounds", l.RTT)
+		}
+	}
+}
+
+func TestDeviceMix(t *testing.T) {
+	counts := map[trace.DeviceType]int{}
+	for _, l := range testLogs {
+		counts[l.Device]++
+	}
+	mob := counts[trace.Android] + counts[trace.IOS]
+	androidShare := float64(counts[trace.Android]) / float64(mob)
+	// §2.2: 78.4 % of accesses from Android.
+	if math.Abs(androidShare-AndroidShare) > 0.05 {
+		t.Errorf("Android access share = %.3f, want ~%.3f", androidShare, AndroidShare)
+	}
+	if counts[trace.PC] == 0 {
+		t.Error("no PC traffic generated")
+	}
+}
+
+func TestSessionClassMix(t *testing.T) {
+	// §3.1.1: 68.2 % store-only, 29.9 % retrieve-only, ~2 % mixed.
+	id := session.NewIdentifier(0)
+	for _, l := range mobileLogs() {
+		id.Add(l)
+	}
+	st := session.Summarize(id.Sessions())
+	if f := st.ClassFraction(session.StoreOnly); f < 0.62 || f > 0.74 {
+		t.Errorf("store-only fraction = %.3f, want ~0.68", f)
+	}
+	if f := st.ClassFraction(session.RetrieveOnly); f < 0.24 || f > 0.36 {
+		t.Errorf("retrieve-only fraction = %.3f, want ~0.30", f)
+	}
+	if f := st.ClassFraction(session.Mixed); f < 0.005 || f > 0.06 {
+		t.Errorf("mixed fraction = %.3f, want ~0.02", f)
+	}
+}
+
+func TestFileCountAndVolumeShape(t *testing.T) {
+	// §2.4 / Fig 1: stored files outnumber retrieved about 2:1 while
+	// retrieval carries more volume than storage.
+	var storeFiles, retrFiles int
+	var storeVol, retrVol int64
+	for _, l := range mobileLogs() {
+		switch l.Type {
+		case trace.FileStore:
+			storeFiles++
+		case trace.FileRetrieve:
+			retrFiles++
+		case trace.ChunkStore:
+			storeVol += l.Bytes
+		case trace.ChunkRetrieve:
+			retrVol += l.Bytes
+		}
+	}
+	fileRatio := float64(storeFiles) / float64(retrFiles)
+	if fileRatio < 1.8 || fileRatio > 3.4 {
+		t.Errorf("stored/retrieved file ratio = %.2f, want ~2-3", fileRatio)
+	}
+	volRatio := float64(retrVol) / float64(storeVol)
+	if volRatio < 1.15 || volRatio > 2.4 {
+		t.Errorf("retrieve/store volume ratio = %.2f, want > 1 (retrievals dominate volume)", volRatio)
+	}
+}
+
+func TestInterOpGapGMM(t *testing.T) {
+	// Fig 3: two-component structure with an in-session component at
+	// seconds scale and an inter-session component near a day, with
+	// the 1-hour mark between them.
+	gaps := session.InterOpGaps(mobileLogs())
+	var lg []float64
+	for _, g := range gaps {
+		if g >= 1 { // the paper's histogram domain starts at 1 s
+			lg = append(lg, math.Log10(g))
+		}
+	}
+	m, err := dist.FitGaussianMixture(lg, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := m.Components[0], m.Components[1]
+	if c0.Mean < -0.3 || c0.Mean > 1.4 {
+		t.Errorf("in-session component mean = 10^%.2f s, want seconds scale", c0.Mean)
+	}
+	if c1.Mean < 4.0 || c1.Mean > 5.6 {
+		t.Errorf("inter-session component mean = 10^%.2f s, want ~1 day", c1.Mean)
+	}
+	// τ = 1 h (log10 ≈ 3.56) must lie between the components.
+	tau := math.Log10(3600)
+	if !(c0.Mean < tau && tau < c1.Mean) {
+		t.Errorf("1-hour mark not between components (%.2f, %.2f)", c0.Mean, c1.Mean)
+	}
+}
+
+func TestOpsPerSession(t *testing.T) {
+	// Fig 5a: ~40 % single-operation sessions, ~10 % above 20.
+	id := session.NewIdentifier(0)
+	for _, l := range mobileLogs() {
+		id.Add(l)
+	}
+	sessions := id.Sessions()
+	one, over20 := 0, 0
+	for i := range sessions {
+		if sessions[i].FileOps == 1 {
+			one++
+		}
+		if sessions[i].FileOps > 20 {
+			over20++
+		}
+	}
+	p1 := float64(one) / float64(len(sessions))
+	p20 := float64(over20) / float64(len(sessions))
+	if p1 < 0.35 || p1 > 0.58 {
+		t.Errorf("P(1 op) = %.3f, want ~0.4-0.5", p1)
+	}
+	if p20 < 0.06 || p20 > 0.16 {
+		t.Errorf("P(>20 ops) = %.3f, want ~0.10", p20)
+	}
+}
+
+func TestBurstiness(t *testing.T) {
+	// Fig 4: most multi-op sessions issue every operation within the
+	// first tenth of the session; large sessions are even more
+	// front-loaded.
+	id := session.NewIdentifier(0)
+	for _, l := range mobileLogs() {
+		id.Add(l)
+	}
+	var all, big []float64
+	for _, s := range id.Sessions() {
+		if s.FileOps <= 1 {
+			continue
+		}
+		v := s.NormalizedOperatingTime()
+		all = append(all, v)
+		if s.FileOps > 20 {
+			big = append(big, v)
+		}
+	}
+	e := dist.NewECDF(all)
+	if p := e.P(0.1); p < 0.65 || p > 0.95 {
+		t.Errorf("P(normalized op time < 0.1) = %.3f, want ~0.8", p)
+	}
+	eb := dist.NewECDF(big)
+	if p := eb.P(0.1); p < 0.9 {
+		t.Errorf("P(< 0.1 | >20 ops) = %.3f, want near 1 (batch issuance)", p)
+	}
+	if med := eb.Quantile(0.5); med > 0.06 {
+		t.Errorf("median normalized op time for >20-op sessions = %.3f, want < 0.06", med)
+	}
+}
+
+func TestAvgFileSizeMixture(t *testing.T) {
+	// Fig 6 / Table 2 shape: the dominant store component sits near
+	// 1.5 MB with most of the weight; the retrieve mixture has a fat
+	// ~150 MB tail component.
+	id := session.NewIdentifier(0)
+	for _, l := range mobileLogs() {
+		id.Add(l)
+	}
+	var store, retr []float64
+	for _, s := range id.Sessions() {
+		if s.FileOps == 0 {
+			continue
+		}
+		mb := s.AvgFileSize() / (1 << 20)
+		switch s.Class() {
+		case session.StoreOnly:
+			store = append(store, mb)
+		case session.RetrieveOnly:
+			retr = append(retr, mb)
+		}
+	}
+	sm, err := dist.FitExpMixture(store, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := dist.FitExpMixture(retr, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Store: components below 3 MB (the photo mass) must carry >= 0.85
+	// weight with a weighted mean near 1.5 MB.
+	var wSmall, meanSmall float64
+	for _, c := range sm.Components {
+		if c.Mu < 3 {
+			wSmall += c.Alpha
+			meanSmall += c.Alpha * c.Mu
+		}
+	}
+	if wSmall < 0.85 {
+		t.Errorf("store small-component weight = %.3f, want >= 0.85 (paper: 0.91)", wSmall)
+	}
+	if m := meanSmall / wSmall; m < 1.0 || m > 2.0 {
+		t.Errorf("store small-component mean = %.2f MB, want ~1.5", m)
+	}
+	tail := sm.Components[len(sm.Components)-1]
+	if tail.Mu < 20 || tail.Mu > 110 {
+		t.Errorf("store tail component µ = %.1f MB, want tens of MB", tail.Mu)
+	}
+
+	// Retrieve: a heavy large-file component near 150 MB with weight
+	// around 0.28, and a photo component near 1.6 MB.
+	rTail := rm.Components[len(rm.Components)-1]
+	if rTail.Mu < 90 || rTail.Mu > 260 {
+		t.Errorf("retrieve tail µ = %.1f MB, want ~150", rTail.Mu)
+	}
+	if rTail.Alpha < 0.15 || rTail.Alpha > 0.40 {
+		t.Errorf("retrieve tail α = %.3f, want ~0.28", rTail.Alpha)
+	}
+	if c := rm.Components[0]; c.Mu > 3.0 {
+		t.Errorf("retrieve photo component µ = %.2f MB, want ~1.6", c.Mu)
+	}
+	// The retrieve mixture mean far exceeds the store mixture mean.
+	if rm.Mean() < 2*sm.Mean() {
+		t.Errorf("retrieve mean (%.1f) should dwarf store mean (%.1f)", rm.Mean(), sm.Mean())
+	}
+}
+
+func TestUserClassVolumes(t *testing.T) {
+	// Table 3 structure: upload-only users store and never retrieve;
+	// download-only the reverse; occasional users move < 1 MB.
+	storeVol := map[uint64]int64{}
+	retrVol := map[uint64]int64{}
+	for _, l := range testLogs {
+		if l.Type == trace.ChunkStore {
+			storeVol[l.UserID] += l.Bytes
+		}
+		if l.Type == trace.ChunkRetrieve {
+			retrVol[l.UserID] += l.Bytes
+		}
+	}
+	for i := 0; i < testGen.Population(); i++ {
+		u := testGen.User(i)
+		switch u.Class {
+		case UploadOnly:
+			if retrVol[u.ID] > 0 {
+				t.Fatalf("upload-only user %d retrieved %d bytes", u.ID, retrVol[u.ID])
+			}
+			if storeVol[u.ID] == 0 {
+				t.Fatalf("upload-only user %d stored nothing", u.ID)
+			}
+		case DownloadOnly:
+			if storeVol[u.ID] > 0 {
+				t.Fatalf("download-only user %d stored %d bytes", u.ID, storeVol[u.ID])
+			}
+		case Occasional:
+			if tot := storeVol[u.ID] + retrVol[u.ID]; tot >= 1<<20 {
+				t.Fatalf("occasional user %d moved %d bytes, want < 1 MB", u.ID, tot)
+			}
+		}
+	}
+}
+
+func TestUserClassSharesMatchTable3(t *testing.T) {
+	// Apply the paper's volume-based classification (§3.2.1) to the
+	// generated week and compare the observed shares with Table 3.
+	storeVol := map[uint64]int64{}
+	retrVol := map[uint64]int64{}
+	for _, l := range testLogs {
+		if l.Type == trace.ChunkStore {
+			storeVol[l.UserID] += l.Bytes
+		}
+		if l.Type == trace.ChunkRetrieve {
+			retrVol[l.UserID] += l.Bytes
+		}
+	}
+	classify := func(s, r int64) string {
+		if s+r < 1<<20 {
+			return "occasional"
+		}
+		ratio := (float64(s) + 1) / (float64(r) + 1)
+		switch {
+		case ratio > 1e5:
+			return "upload-only"
+		case ratio < 1e-5:
+			return "download-only"
+		default:
+			return "mixed"
+		}
+	}
+	counts := map[Category]map[string]int{}
+	totals := map[Category]int{}
+	for i := 0; i < testGen.Population(); i++ {
+		u := testGen.User(i)
+		if counts[u.Category] == nil {
+			counts[u.Category] = map[string]int{}
+		}
+		counts[u.Category][classify(storeVol[u.ID], retrVol[u.ID])]++
+		totals[u.Category]++
+	}
+	check := func(cat Category, class string, want float64) {
+		got := float64(counts[cat][class]) / float64(totals[cat])
+		if math.Abs(got-want) > 0.06 {
+			t.Errorf("%v/%s observed share = %.3f, want %.3f (Table 3)", cat, class, got, want)
+		}
+	}
+	check(MobileOnly, "upload-only", 0.515)
+	check(MobileOnly, "download-only", 0.173)
+	check(MobileOnly, "occasional", 0.239)
+	check(MobileOnly, "mixed", 0.072)
+	check(MobileAndPC, "upload-only", 0.537)
+	check(MobileAndPC, "mixed", 0.180)
+	check(PCOnly, "upload-only", 0.316)
+	check(PCOnly, "occasional", 0.341)
+}
+
+func TestStretchedExponentialActivity(t *testing.T) {
+	// Fig 10: per-user stored and retrieved file counts follow a
+	// stretched exponential; retrieval is the more skewed (smaller c),
+	// and the SE fit beats a power law.
+	storeCount := map[uint64]float64{}
+	retrCount := map[uint64]float64{}
+	for _, l := range testLogs {
+		if l.Type == trace.FileStore {
+			storeCount[l.UserID]++
+		}
+		if l.Type == trace.FileRetrieve {
+			retrCount[l.UserID]++
+		}
+	}
+	collect := func(m map[uint64]float64) []float64 {
+		var out []float64
+		for _, v := range m {
+			out = append(out, v)
+		}
+		return out
+	}
+	seS, err := dist.FitStretchedExpRank(collect(storeCount), 0.05, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seR, err := dist.FitStretchedExpRank(collect(retrCount), 0.05, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seS.C < 0.12 || seS.C > 0.45 {
+		t.Errorf("store SE c = %.3f, want ~0.2", seS.C)
+	}
+	if seR.C < 0.04 || seR.C > 0.30 {
+		t.Errorf("retrieve SE c = %.3f, want ~0.15", seR.C)
+	}
+	if seR.C >= seS.C {
+		t.Errorf("retrieval (c=%.3f) should be more skewed than storage (c=%.3f)", seR.C, seS.C)
+	}
+	if seS.R2 < 0.95 || seR.R2 < 0.93 {
+		t.Errorf("SE fits R² = %.4f/%.4f, want near 1", seS.R2, seR.R2)
+	}
+	_, plR2, err := dist.PowerLawRankR2(collect(storeCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seS.R2 <= plR2 {
+		t.Errorf("SE (R²=%.4f) should beat power law (R²=%.4f)", seS.R2, plR2)
+	}
+}
+
+// engagement computes day-0 user return fractions by stratum.
+func engagementByStratum(t *testing.T) map[string]float64 {
+	t.Helper()
+	start := testGen.Config().Start
+	activeDays := map[uint64]map[int]bool{}
+	for _, l := range testLogs {
+		d := int(l.Time.Sub(start).Hours() / 24)
+		if activeDays[l.UserID] == nil {
+			activeDays[l.UserID] = map[int]bool{}
+		}
+		activeDays[l.UserID][d] = true
+	}
+	type agg struct{ total, ret int }
+	res := map[string]*agg{}
+	for i := 0; i < testGen.Population(); i++ {
+		u := testGen.User(i)
+		if !activeDays[u.ID][0] {
+			continue
+		}
+		key := "pc-only"
+		switch {
+		case u.Category == MobileAndPC:
+			key = "mobile+pc"
+		case u.Category == MobileOnly && len(u.MobileDevices()) > 1:
+			key = "multi-dev"
+		case u.Category == MobileOnly:
+			key = "1-dev"
+		}
+		a := res[key]
+		if a == nil {
+			a = &agg{}
+			res[key] = a
+		}
+		a.total++
+		for d := 1; d < ObservationDays; d++ {
+			if activeDays[u.ID][d] {
+				a.ret++
+				break
+			}
+		}
+	}
+	out := map[string]float64{}
+	for k, v := range res {
+		if v.total > 0 {
+			out[k] = float64(v.ret) / float64(v.total)
+		}
+	}
+	return out
+}
+
+func TestEngagementStrata(t *testing.T) {
+	// Fig 8: about half of one-device users never return; multi-device
+	// and mobile+PC users return far more often.
+	e := engagementByStratum(t)
+	if v := e["1-dev"]; v < 0.30 || v > 0.60 {
+		t.Errorf("1-device return fraction = %.3f, want ~0.4-0.5", v)
+	}
+	if v := e["multi-dev"]; v < 0.60 {
+		t.Errorf("multi-device return fraction = %.3f, want > 0.6", v)
+	}
+	if v := e["mobile+pc"]; v < 0.60 {
+		t.Errorf("mobile+pc return fraction = %.3f, want > 0.6", v)
+	}
+	if e["multi-dev"] <= e["1-dev"] || e["mobile+pc"] <= e["1-dev"] {
+		t.Error("multi-terminal users should out-return single-device users")
+	}
+}
+
+func TestRetrievalAfterUpload(t *testing.T) {
+	// Fig 9: over 80 % of mobile-only users that upload on day one
+	// never retrieve during the week; mobile+PC users retrieve far
+	// more often.
+	start := testGen.Config().Start
+	uploadedDay0 := map[uint64]bool{}
+	retrievedLater := map[uint64]bool{}
+	var firstUpload = map[uint64]time.Time{}
+	for _, l := range testLogs {
+		d := int(l.Time.Sub(start).Hours() / 24)
+		if l.Type == trace.FileStore && d == 0 && l.Device.Mobile() {
+			uploadedDay0[l.UserID] = true
+			if firstUpload[l.UserID].IsZero() {
+				firstUpload[l.UserID] = l.Time
+			}
+		}
+	}
+	for _, l := range testLogs {
+		if l.Type == trace.FileRetrieve && uploadedDay0[l.UserID] && l.Time.After(firstUpload[l.UserID]) {
+			retrievedLater[l.UserID] = true
+		}
+	}
+	var moTotal, moRet, mpTotal, mpRet int
+	for i := 0; i < testGen.Population(); i++ {
+		u := testGen.User(i)
+		if !uploadedDay0[u.ID] {
+			continue
+		}
+		switch u.Category {
+		case MobileOnly:
+			moTotal++
+			if retrievedLater[u.ID] {
+				moRet++
+			}
+		case MobileAndPC:
+			mpTotal++
+			if retrievedLater[u.ID] {
+				mpRet++
+			}
+		}
+	}
+	if moTotal == 0 || mpTotal == 0 {
+		t.Fatal("no day-0 uploaders found")
+	}
+	moFrac := float64(moRet) / float64(moTotal)
+	mpFrac := float64(mpRet) / float64(mpTotal)
+	if moFrac > 0.20 {
+		t.Errorf("mobile-only retrieval-after-upload = %.3f, want <= 0.20 (paper: >80%% never retrieve)", moFrac)
+	}
+	if mpFrac <= moFrac {
+		t.Errorf("mobile+pc (%.3f) should retrieve more than mobile-only (%.3f)", mpFrac, moFrac)
+	}
+}
+
+func TestDiurnalPattern(t *testing.T) {
+	// Fig 1: clear diurnal cycle with the peak in the late evening and
+	// the trough before dawn.
+	loc := testGen.Config().Start.Location()
+	hours := make([]float64, 24)
+	for _, l := range testLogs {
+		hours[l.Time.In(loc).Hour()]++
+	}
+	peak, trough := 0, 0
+	for h := range hours {
+		if hours[h] > hours[peak] {
+			peak = h
+		}
+		if hours[h] < hours[trough] {
+			trough = h
+		}
+	}
+	if peak < 20 && peak != 0 { // wrap-past-midnight spill is fine
+		t.Errorf("peak hour = %d, want late evening", peak)
+	}
+	if trough < 1 || trough > 7 {
+		t.Errorf("trough hour = %d, want pre-dawn", trough)
+	}
+	if hours[peak] < 2.2*hours[trough] {
+		t.Errorf("peak/trough ratio = %.2f, want > 2.2", hours[peak]/hours[trough])
+	}
+}
+
+func TestRTTDistribution(t *testing.T) {
+	// Fig 14: median RTT ≈ 100 ms with a heavy tail.
+	var rtts []float64
+	for _, l := range mobileLogs() {
+		rtts = append(rtts, float64(l.RTT)/float64(time.Millisecond))
+	}
+	e := dist.NewECDF(rtts)
+	if med := e.Quantile(0.5); med < 60 || med > 170 {
+		t.Errorf("median RTT = %.0f ms, want ~100", med)
+	}
+	if q99 := e.Quantile(0.99); q99 < 400 {
+		t.Errorf("99th percentile RTT = %.0f ms, want a heavy tail", q99)
+	}
+}
+
+func TestChunkTransferTimesByDevice(t *testing.T) {
+	// Fig 12: median chunk upload ~4.1 s Android vs ~1.6 s iOS.
+	var android, ios []float64
+	for _, l := range mobileLogs() {
+		if l.Type != trace.ChunkStore || l.Bytes < int64(ChunkSize) {
+			continue
+		}
+		tt := l.TransferTime().Seconds()
+		if l.Device == trace.Android {
+			android = append(android, tt)
+		} else {
+			ios = append(ios, tt)
+		}
+	}
+	am := dist.Median(dist.SortedCopy(android))
+	im := dist.Median(dist.SortedCopy(ios))
+	if am < 3.2 || am > 5.2 {
+		t.Errorf("Android median chunk upload = %.2f s, want ~4.1", am)
+	}
+	if im < 1.1 || im > 2.2 {
+		t.Errorf("iOS median chunk upload = %.2f s, want ~1.6", im)
+	}
+	if am < 1.5*im {
+		t.Errorf("Android (%.2f) should be much slower than iOS (%.2f)", am, im)
+	}
+}
+
+func TestProxiedShare(t *testing.T) {
+	prox := 0
+	for _, l := range testLogs {
+		if l.Proxied {
+			prox++
+		}
+	}
+	share := float64(prox) / float64(len(testLogs))
+	if share < 0.02 || share > 0.25 {
+		t.Errorf("proxied share = %.3f, want a small minority", share)
+	}
+}
+
+func TestGenerateToRoundTrip(t *testing.T) {
+	g, _ := New(Config{Users: 30, Seed: 4})
+	var buf bytes.Buffer
+	n, err := g.GenerateTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(logs)) != n {
+		t.Errorf("wrote %d, read %d", n, len(logs))
+	}
+	direct := g.Generate()
+	if len(direct) != len(logs) {
+		t.Errorf("GenerateTo (%d) and Generate (%d) differ", len(logs), len(direct))
+	}
+}
+
+func TestUserProfileDeterminism(t *testing.T) {
+	a := testGen.User(17)
+	b := testGen.User(17)
+	if a.ID != b.ID || a.Class != b.Class || a.Intensity != b.Intensity || len(a.Devices) != len(b.Devices) {
+		t.Error("User(i) is not deterministic")
+	}
+}
+
+func TestPCOnlyUsersHaveNoMobileDevices(t *testing.T) {
+	g, _ := New(Config{Users: 10, PCOnlyUsers: 10, Seed: 2})
+	for i := 10; i < 20; i++ {
+		u := g.User(i)
+		if u.Category != PCOnly {
+			t.Fatalf("user %d category = %v, want pc-only", i, u.Category)
+		}
+		if len(u.MobileDevices()) != 0 {
+			t.Fatalf("pc-only user %d has mobile devices", i)
+		}
+		if _, ok := u.PCDevice(); !ok {
+			t.Fatalf("pc-only user %d has no PC", i)
+		}
+	}
+}
+
+func TestSessionsDoNotStraddleTau(t *testing.T) {
+	// Generated in-session gaps are capped below τ so the identifier
+	// recovers the generator's session structure.
+	src := randx.New(3)
+	u := sampleUser(3, 900001, MobileOnly)
+	u.Class = UploadOnly
+	plan := planSession(src, u, u.Devices[0], StoreOnly, ObservationStart)
+	logs := plan.emit(src, u)
+	var prevOp time.Time
+	first := true
+	for _, l := range logs {
+		if !l.Type.FileOp() {
+			continue
+		}
+		if !first && l.Time.Sub(prevOp) > session.DefaultTau {
+			t.Fatalf("in-session op gap %v exceeds tau", l.Time.Sub(prevOp))
+		}
+		prevOp = l.Time
+		first = false
+	}
+}
+
+func BenchmarkGenerateUserWeek(b *testing.B) {
+	g, _ := New(Config{Users: 1000, Seed: 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := g.User(i % 1000)
+		_ = g.userWeek(u)
+	}
+}

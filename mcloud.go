@@ -1,0 +1,151 @@
+// Package mcloud reproduces "An Empirical Analysis of a Large-scale
+// Mobile Cloud Storage Service" (IMC 2016): a calibrated synthetic
+// workload standing in for the paper's proprietary 349-million-entry
+// log dataset, a runnable mobile cloud storage service, a TCP flow
+// simulator for the packet-level performance study, and the full
+// analysis pipeline that regenerates every table and figure in the
+// paper's evaluation.
+//
+// The package is a thin facade over the internal engines:
+//
+//   - Generate produces a week of front-end request logs for a
+//     population of mobile (and optionally PC) users whose behaviour
+//     follows the paper's fitted models.
+//   - Analyze runs the paper's complete §2-§3 analysis over any log
+//     stream in the Table 1 schema.
+//   - StudyIdleTime runs the §4 packet-level study on the TCP
+//     simulator, reproducing the slow-start-after-idle findings.
+//   - Reproduce does all of the above and emits a paper-vs-measured
+//     comparison row per table and figure.
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// recorded results.
+package mcloud
+
+import (
+	"io"
+	"time"
+
+	"mcloud/internal/core"
+	"mcloud/internal/report"
+	"mcloud/internal/trace"
+	"mcloud/internal/workload"
+)
+
+// DatasetConfig sizes a synthetic dataset. It mirrors
+// workload.Config; see that package for the calibration constants.
+type DatasetConfig struct {
+	Users       int    // mobile users (default 2000)
+	PCOnlyUsers int    // additional PC-only population (default Users/2)
+	Seed        uint64 // dataset seed
+	Days        int    // observation window (default 7)
+}
+
+func (c DatasetConfig) workload() workload.Config {
+	if c.Users == 0 {
+		c.Users = 2000
+	}
+	if c.PCOnlyUsers == 0 {
+		c.PCOnlyUsers = c.Users / 2
+	}
+	return workload.Config{
+		Users:       c.Users,
+		PCOnlyUsers: c.PCOnlyUsers,
+		Seed:        c.Seed,
+		Days:        c.Days,
+	}
+}
+
+// Generate materializes a dataset in memory.
+func Generate(cfg DatasetConfig) ([]trace.Log, error) {
+	g, err := workload.New(cfg.workload())
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(), nil
+}
+
+// GenerateTo streams a dataset to w in the text log format and returns
+// the number of records written.
+func GenerateTo(cfg DatasetConfig, w io.Writer) (int64, error) {
+	g, err := workload.New(cfg.workload())
+	if err != nil {
+		return 0, err
+	}
+	return g.GenerateTo(w)
+}
+
+// Results is the full analysis output; it aliases the internal type.
+type Results = core.Results
+
+// AnalyzeLogs runs the paper's analyses over an in-memory log set.
+func AnalyzeLogs(logs []trace.Log, start time.Time, days int) (Results, error) {
+	a := core.NewAnalyzer(core.Options{Start: start, Days: days})
+	for _, l := range logs {
+		a.Add(l)
+	}
+	return a.Run()
+}
+
+// AnalyzeReader runs the analyses over a text-format log stream.
+func AnalyzeReader(r io.Reader, start time.Time, days int) (Results, error) {
+	a := core.NewAnalyzer(core.Options{Start: start, Days: days})
+	if err := trace.ForEach(r, func(l trace.Log) error {
+		a.Add(l)
+		return nil
+	}); err != nil {
+		return Results{}, err
+	}
+	return a.Run()
+}
+
+// IdleTimeResult aliases the §4 study output.
+type IdleTimeResult = core.IdleTimeResult
+
+// StudyIdleTime runs the §4.2 idle-time dissection on the TCP
+// simulator with flows flows per device/direction class.
+func StudyIdleTime(flows int, seed uint64) (IdleTimeResult, error) {
+	return core.RunIdleTimeStudy(core.IdleTimeConfig{Flows: flows, Seed: seed})
+}
+
+// Reproduction bundles a full run: the analysis results, the idle-time
+// study, and the paper-vs-measured comparison rows.
+type Reproduction struct {
+	Results Results
+	Idle    IdleTimeResult
+	Rows    []report.Row
+}
+
+// Passed returns how many comparison rows landed inside their
+// acceptance band.
+func (r Reproduction) Passed() (ok, total int) { return report.Summary(r.Rows) }
+
+// Reproduce generates a dataset, analyzes it, runs the idle-time
+// study, and compares everything against the paper's reported values.
+func Reproduce(cfg DatasetConfig, idleFlows int) (Reproduction, error) {
+	g, err := workload.New(cfg.workload())
+	if err != nil {
+		return Reproduction{}, err
+	}
+	a := core.NewAnalyzer(core.Options{
+		Start: g.Config().Start,
+		Days:  g.Config().Days,
+	})
+	a.AddStream(g.Stream())
+	res, err := a.Run()
+	if err != nil {
+		return Reproduction{}, err
+	}
+	if idleFlows <= 0 {
+		idleFlows = 100
+	}
+	idle, err := core.RunIdleTimeStudy(core.IdleTimeConfig{Flows: idleFlows, Seed: cfg.Seed + 1})
+	if err != nil {
+		return Reproduction{}, err
+	}
+	return Reproduction{
+		Results: res,
+		Idle:    idle,
+		Rows:    report.Compare(res, idle),
+	}, nil
+}

@@ -1,0 +1,85 @@
+package mcloud_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mcloud"
+)
+
+func TestGenerateAndAnalyzeRoundTrip(t *testing.T) {
+	cfg := mcloud.DatasetConfig{Users: 400, Seed: 5}
+	logs, err := mcloud.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) == 0 {
+		t.Fatal("empty dataset")
+	}
+	res, err := mcloud.AnalyzeLogs(logs, logs[0].Time, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Logs != int64(len(logs)) {
+		t.Errorf("analyzed %d of %d logs", res.Logs, len(logs))
+	}
+	if res.Sessions.Stats.Total == 0 {
+		t.Error("no sessions identified")
+	}
+}
+
+func TestGenerateToAndAnalyzeReader(t *testing.T) {
+	cfg := mcloud.DatasetConfig{Users: 200, Seed: 6}
+	var buf bytes.Buffer
+	n, err := mcloud.GenerateTo(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero start means "anchor on the first log seen".
+	res, err := mcloud.AnalyzeReader(&buf, time.Time{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Logs != n {
+		t.Errorf("reader analyzed %d of %d", res.Logs, n)
+	}
+}
+
+func TestStudyIdleTime(t *testing.T) {
+	res, err := mcloud.StudyIdleTime(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 4 {
+		t.Errorf("expected 4 flow classes, got %d", len(res.Classes))
+	}
+}
+
+func TestReproduceSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction is slow")
+	}
+	rep, err := mcloud.Reproduce(mcloud.DatasetConfig{Users: 2500, PCOnlyUsers: 900, Seed: 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, total := rep.Passed()
+	if total < 30 {
+		t.Fatalf("only %d comparison rows", total)
+	}
+	if float64(ok) < 0.85*float64(total) {
+		for _, r := range rep.Rows {
+			if !r.OK() {
+				t.Logf("deviates: %s %s = %s", r.Experiment, r.Quantity, r.Measured)
+			}
+		}
+		t.Errorf("%d/%d rows in band; want >= 85%%", ok, total)
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := mcloud.Generate(mcloud.DatasetConfig{Users: -5}); err == nil {
+		t.Error("negative population accepted")
+	}
+}
