@@ -7,13 +7,17 @@
 package mcloud_test
 
 import (
+	"bytes"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"mcloud/internal/core"
 	"mcloud/internal/dist"
+	"mcloud/internal/metrics"
 	"mcloud/internal/randx"
 	"mcloud/internal/report"
 	"mcloud/internal/session"
@@ -633,6 +637,62 @@ func BenchmarkAblationDedup(b *testing.B) {
 	b.ReportMetric(mobileRatio, "mobileBytesSaved")
 	b.ReportMetric(pcRatio, "pcBytesSaved")
 }
+
+// --- Observability overhead ------------------------------------------
+
+// BenchmarkMetricsHotPath measures the raw cost of the per-request
+// instrumentation: one counter increment plus one histogram
+// observation. This is the number the "<100 ns of overhead" claim in
+// README's Observability section rests on.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("bench_requests_total", "bench")
+	h := reg.Histogram("bench_seconds", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+// benchFrontEndChunkPut drives PUT /chunk/{md5} directly against the
+// front-end handler (no sockets), with or without metrics attached.
+func benchFrontEndChunkPut(b *testing.B, instrumented bool) {
+	var opts storage.FrontEndOptions
+	if instrumented {
+		opts.Metrics = storage.NewFrontEndMetrics(metrics.NewRegistry())
+	}
+	fe := storage.NewFrontEnd(storage.NewMemStore(), storage.NewMetadata("http://fe"), nil, opts)
+	handler := fe.Handler()
+	data := make([]byte, 4<<10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	path := "/chunk/" + storage.SumBytes(data).String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPut, path, bytes.NewReader(data))
+		req.Header.Set("X-Device-Type", "android")
+		req.Header.Set("X-Device-ID", "42")
+		req.Header.Set("X-User-ID", "1042")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkFrontEndUninstrumented is the baseline for the pair; the
+// delta to BenchmarkFrontEndInstrumented is the full per-request
+// instrumentation cost on the chunk hot path.
+func BenchmarkFrontEndUninstrumented(b *testing.B) { benchFrontEndChunkPut(b, false) }
+
+// BenchmarkFrontEndInstrumented is the same request path with the
+// counter + histogram instrumentation attached.
+func BenchmarkFrontEndInstrumented(b *testing.B) { benchFrontEndChunkPut(b, true) }
 
 // dedupRun pushes n 64 KB chunk uploads into a fresh store; each
 // upload duplicates one of 8 shared contents with probability dupProb.

@@ -12,12 +12,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
+	"net/http"
 	"os"
 	"sync"
 	"time"
 
+	"mcloud/internal/metrics"
 	"mcloud/internal/randx"
 	"mcloud/internal/storage"
+	"mcloud/internal/textplot"
 	"mcloud/internal/trace"
 	"mcloud/internal/workload"
 )
@@ -30,8 +34,15 @@ func main() {
 		retr    = flag.Float64("retrieve", 0.3, "fraction of stored files retrieved back")
 		dup     = flag.Float64("dup", 0.2, "probability a file duplicates another device's content")
 		seed    = flag.Uint64("seed", 1, "workload seed")
+		opsURL  = flag.String("ops", "", "mcsserver ops base URL (e.g. http://127.0.0.1:8090); polls /metrics and shows a live dashboard")
+		dash    = flag.Duration("dash", time.Second, "dashboard poll interval when -ops is set")
 	)
 	flag.Parse()
+
+	var dashboard *opsDashboard
+	if *opsURL != "" {
+		dashboard = startDashboard(*opsURL, *dash)
+	}
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -114,8 +125,137 @@ func main() {
 	}
 	wg.Wait()
 
+	if dashboard != nil {
+		dashboard.stop()
+	}
 	fmt.Printf("mcsload: stored %d files (%d deduplicated server-side), uploaded %.1f MB\n",
 		stored, deduped, float64(bytesUp)/(1<<20))
 	fmt.Printf("mcsload: retrieved %d files, downloaded %.1f MB\n", retrieved, float64(bytesDown)/(1<<20))
 	fmt.Printf("mcsload: elapsed %v\n", time.Since(start).Round(time.Millisecond))
+	if dashboard != nil {
+		dashboard.render(os.Stdout)
+	}
+}
+
+// opsDashboard polls the mcsserver ops listener's /metrics endpoint
+// during the run, prints a live status line per tick, and renders the
+// collected time series as textplot charts afterwards.
+type opsDashboard struct {
+	url      string
+	interval time.Duration
+	done     chan struct{}
+	finished chan struct{}
+
+	mu      sync.Mutex
+	times   []float64 // seconds since start
+	rps     []float64
+	p99ms   []float64
+	hitRate []float64 // cache hit fraction, NaN when no cache
+}
+
+func startDashboard(opsURL string, interval time.Duration) *opsDashboard {
+	d := &opsDashboard{
+		url:      opsURL,
+		interval: interval,
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+func (d *opsDashboard) loop() {
+	defer close(d.finished)
+	start := time.Now()
+	tick := time.NewTicker(d.interval)
+	defer tick.Stop()
+	var prevReqs, prevT float64
+	first := true
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-tick.C:
+		}
+		vals, err := d.scrape()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsload: ops poll: %v\n", err)
+			continue
+		}
+		t := time.Since(start).Seconds()
+		var reqs float64
+		for _, op := range []string{"file-store", "file-retrieve", "chunk-store", "chunk-retrieve"} {
+			reqs += vals[metrics.Key("mcs_frontend_requests_total", "op", op)]
+		}
+		rps := 0.0
+		if !first && t > prevT {
+			rps = (reqs - prevReqs) / (t - prevT)
+		}
+		prevReqs, prevT, first = reqs, t, false
+
+		p99 := vals[metrics.Key("mcs_frontend_chunk_seconds", "dir", "store", "device", "all", "quantile", "0.99")]
+		hit := math.NaN()
+		hits, okH := vals[metrics.Key("mcs_cache_hits_total")]
+		misses, okM := vals[metrics.Key("mcs_cache_misses_total")]
+		if okH && okM && hits+misses > 0 {
+			hit = hits / (hits + misses)
+		}
+
+		d.mu.Lock()
+		d.times = append(d.times, t)
+		d.rps = append(d.rps, rps)
+		d.p99ms = append(d.p99ms, p99*1000)
+		d.hitRate = append(d.hitRate, hit)
+		d.mu.Unlock()
+
+		line := fmt.Sprintf("mcsload: [dash] t=%5.1fs rps=%7.1f upload_p99=%7.1fms", t, rps, p99*1000)
+		if !math.IsNaN(hit) {
+			line += fmt.Sprintf(" cache_hit=%5.1f%%", 100*hit)
+		}
+		fmt.Println(line)
+	}
+}
+
+func (d *opsDashboard) scrape() (map[string]float64, error) {
+	resp, err := http.Get(d.url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics returned status %d", resp.StatusCode)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+func (d *opsDashboard) stop() {
+	close(d.done)
+	<-d.finished
+}
+
+// render draws the collected series as ASCII charts.
+func (d *opsDashboard) render(w *os.File) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.times) < 2 {
+		return
+	}
+	opts := textplot.Options{Width: 64, Height: 10, XLabel: "s since start"}
+	plot := func(title string, ys []float64, scale float64) {
+		var xs, vs []float64
+		for i, v := range ys {
+			if !math.IsNaN(v) {
+				xs = append(xs, d.times[i])
+				vs = append(vs, v*scale)
+			}
+		}
+		if len(xs) < 2 {
+			return
+		}
+		opts.Title = title
+		fmt.Fprint(w, textplot.Render(opts, textplot.Series{Xs: xs, Ys: vs}))
+	}
+	plot("requests/s at the front-ends", d.rps, 1)
+	plot("p99 chunk upload latency (ms)", d.p99ms, 1)
+	plot("cache hit rate (%)", d.hitRate, 100)
 }

@@ -1,14 +1,17 @@
 // Command mcsserver runs the mobile cloud storage service on real TCP
 // sockets: one metadata server and N storage front-ends, each logging
 // every request in the Table 1 schema to a log file that mcsanalyze
-// can consume directly.
+// can consume directly. An optional ops listener exposes Prometheus
+// metrics, health/readiness probes, expvar, and pprof for the whole
+// process.
 //
 // Usage:
 //
-//	mcsserver -meta :8070 -frontends :8081,:8082 -log service.log
+//	mcsserver -meta :8070 -frontends :8081,:8082 -log service.log -ops :8090
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net"
@@ -16,11 +19,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"flag"
 
+	"mcloud/internal/metrics"
 	"mcloud/internal/randx"
 	"mcloud/internal/storage"
 	"mcloud/internal/trace"
@@ -33,6 +38,9 @@ func main() {
 		logPath  = flag.String("log", "service.log", "request log output path")
 		tsrvMS   = flag.Int("tsrv", 0, "simulated upstream processing median (ms); 0 disables the extra delay")
 		metaSnap = flag.String("metasnap", "", "metadata snapshot file: loaded at startup, saved at shutdown")
+		opsAddr  = flag.String("ops", ":8090", "ops listener address for /metrics, /healthz, /readyz, /debug/vars, /debug/pprof (empty disables)")
+		cacheMB  = flag.Int("cache", 0, "read-path LRU chunk cache size in MB (0 disables)")
+		drain    = flag.Duration("drain", 15*time.Second, "max time to wait for in-flight requests at shutdown")
 	)
 	flag.Parse()
 
@@ -43,8 +51,21 @@ func main() {
 	defer logFile.Close()
 	sink := storage.NewWriterSink(trace.NewWriter(logFile))
 
-	store := storage.NewMemStore()
+	reg := metrics.NewRegistry()
+	health := &metrics.Health{}
+
+	memStore := storage.NewMemStore()
+	memStore.Instrument(reg)
+	var store storage.ChunkStore = memStore
+	var cached *storage.CachedStore
+	if *cacheMB > 0 {
+		cached = storage.NewCachedStore(memStore, int64(*cacheMB)<<20)
+		cached.Instrument(reg)
+		store = cached
+	}
+
 	meta := storage.NewMetadata()
+	meta.Instrument(reg)
 	if *metaSnap != "" {
 		if err := meta.LoadFile(*metaSnap); err != nil {
 			fatal(err)
@@ -54,7 +75,7 @@ func main() {
 		}
 	}
 
-	var opts storage.FrontEndOptions
+	opts := storage.FrontEndOptions{Metrics: storage.NewFrontEndMetrics(reg)}
 	if *tsrvMS > 0 {
 		src := randx.New(uint64(time.Now().UnixNano()))
 		median := float64(*tsrvMS) * float64(time.Millisecond)
@@ -86,17 +107,46 @@ func main() {
 	}
 	metaSrv := &http.Server{Handler: meta.Handler()}
 	go metaSrv.Serve(metaLn)
+	servers = append(servers, metaSrv)
 	fmt.Printf("mcsserver: metadata server on http://%s\n", hostify(metaLn.Addr().String()))
 	fmt.Printf("mcsserver: logging requests to %s\n", *logPath)
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		metrics.PublishExpvar("mcs", reg)
+		opsSrv = &http.Server{Handler: metrics.OpsMux(reg, health)}
+		go opsSrv.Serve(opsLn)
+		fmt.Printf("mcsserver: ops listener on http://%s (/metrics /healthz /readyz /debug/vars /debug/pprof)\n",
+			hostify(opsLn.Addr().String()))
+	}
+	health.SetReady(true)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 
+	// Graceful drain: stop accepting, let in-flight uploads finish so
+	// their log records land before the sink is flushed, then flush and
+	// snapshot. The ops listener stays up through the drain so the final
+	// state remains scrapable; /readyz flips to 503 immediately.
+	health.SetReady(false)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	var wg sync.WaitGroup
 	for _, s := range servers {
-		s.Close()
+		wg.Add(1)
+		go func(s *http.Server) {
+			defer wg.Done()
+			if err := s.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "mcsserver: shutdown:", err)
+			}
+		}(s)
 	}
-	metaSrv.Close()
+	wg.Wait()
+	cancel()
 	if err := sink.Flush(); err != nil {
 		fatal(err)
 	}
@@ -106,10 +156,18 @@ func main() {
 		}
 		fmt.Printf("mcsserver: metadata snapshot saved to %s\n", *metaSnap)
 	}
+	if opsSrv != nil {
+		opsSrv.Close()
+	}
 	st := store.Stats()
 	ms := meta.Stats()
 	fmt.Printf("\nmcsserver: %d chunks (%0.2f MB unique), dedup ratio %.3f; %d files, %d users, %d dedup hits\n",
 		st.Chunks, float64(st.Bytes)/(1<<20), st.DedupRatio(), ms.Files, ms.Users, ms.DedupHits)
+	if cached != nil {
+		cs := cached.CacheStats()
+		fmt.Printf("mcsserver: cache %.1f%% hit rate (%d hits / %d misses), %0.2f MB used of %0.2f MB\n",
+			100*cs.HitRate(), cs.Hits, cs.Misses, float64(cs.Used)/(1<<20), float64(cs.Capacity)/(1<<20))
+	}
 }
 
 // hostify rewrites a wildcard listen address into a dialable one.

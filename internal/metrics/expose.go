@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// quantiles are the precomputed summary quantiles every histogram
+// exports.
+var quantiles = []float64{0.5, 0.9, 0.99}
+
+// WriteText renders every registered series in the Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order, series within a family likewise.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, fam := range r.fams {
+		if fam.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.name, strings.ReplaceAll(fam.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind.promType())
+		for _, s := range fam.series {
+			switch fam.kind {
+			case kindCounter:
+				writeSample(bw, fam.name, s.labels, float64(s.c.Value()))
+			case kindGauge:
+				writeSample(bw, fam.name, s.labels, float64(s.g.Value()))
+			case kindCounterFunc, kindGaugeFunc:
+				v := 0.0
+				if s.f != nil {
+					v = s.f()
+				}
+				writeSample(bw, fam.name, s.labels, v)
+			case kindHistogram:
+				for _, q := range quantiles {
+					kv := append(append([]string(nil), s.labels...),
+						"quantile", strconv.FormatFloat(q, 'g', -1, 64))
+					writeSample(bw, fam.name, kv, s.h.Quantile(q))
+				}
+				writeSample(bw, fam.name+"_sum", s.labels, s.h.Sum())
+				writeSample(bw, fam.name+"_count", s.labels, float64(s.h.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w io.Writer, name string, labels []string, v float64) {
+	fmt.Fprintf(w, "%s %s\n", Key(name, labels...), strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Handler returns an http.Handler serving the text exposition — mount
+// it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// ParseText parses a Prometheus text exposition into a map from
+// canonical series identifier (see Key — labels sorted by name) to
+// value. Comment and blank lines are skipped; malformed lines are an
+// error. It understands exactly what WriteText produces plus any
+// exposition using the same subset of the format.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("metrics: malformed sample line %q", line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: bad value in %q: %v", line, err)
+		}
+		id := strings.TrimSpace(line[:sp])
+		name, kv, err := parseSeriesID(id)
+		if err != nil {
+			return nil, err
+		}
+		out[Key(name, kv...)] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSeriesID splits `name{k="v",...}` into the name and the label
+// pairs, handling escaped quotes and backslashes in values.
+func parseSeriesID(id string) (string, []string, error) {
+	brace := strings.IndexByte(id, '{')
+	if brace < 0 {
+		return id, nil, nil
+	}
+	if !strings.HasSuffix(id, "}") {
+		return "", nil, fmt.Errorf("metrics: unterminated label set in %q", id)
+	}
+	name := id[:brace]
+	body := id[brace+1 : len(id)-1]
+	var kv []string
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			return "", nil, fmt.Errorf("metrics: malformed label in %q", id)
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return "", nil, fmt.Errorf("metrics: unterminated label value in %q", id)
+		}
+		kv = append(kv, key, val.String())
+		body = rest[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return name, kv, nil
+}

@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeConcurrent hammers counters and gauges from many
+// goroutines; run under -race this also proves the primitives are
+// data-race free.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_counter_total", "test")
+	g := reg.Gauge("t_gauge", "test")
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				g.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per*2 {
+		t.Errorf("gauge = %d, want %d", got, workers*per*2)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// and checks the count and sum are exact.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_seconds", "test")
+	const workers, per = 16, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := int64(workers * per)
+	if got := h.Count(); got != n {
+		t.Errorf("count = %d, want %d", got, n)
+	}
+	want := float64(n) * float64(n-1) / 2 * 1e-6
+	if got := h.Sum(); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramQuantiles compares the log-bucketed quantile estimates
+// against the exact quantiles of a sorted reference sample across
+// several orders of magnitude. The bucket geometry guarantees ≲4.5 %
+// relative error; assert 10 %.
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_q_seconds", "test")
+	// Deterministic log-uniform sample over [100 µs, 10 s].
+	var vals []float64
+	x := uint64(88172645463325252)
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		u := float64(x%1e9) / 1e9
+		v := 1e-4 * math.Pow(1e5, u)
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		want := sorted[idx]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("q%.2f = %g, reference %g (rel err %.1f%%)", q, got, want, 100*rel)
+		}
+	}
+}
+
+func TestHistogramEmptyAndEdge(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 0 {
+		t.Error("NaN observation should be ignored")
+	}
+	h.Observe(-1) // clamped to zero bucket
+	h.Observe(0)
+	h.Observe(1e12) // clamped to last bucket
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if q := h.Quantile(0.01); q != histMin {
+		t.Errorf("bottom quantile = %g, want %g", q, histMin)
+	}
+}
+
+// TestExpositionRoundTrip renders a registry and parses it back.
+func TestExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_requests_total", "requests", "op", "store").Add(7)
+	reg.Gauge("rt_depth", "queue depth").Set(-3)
+	reg.GaugeFunc("rt_level", "sampled level", func() float64 { return 2.5 })
+	reg.CounterFunc("rt_ticks_total", "sampled ticks", func() float64 { return 42 })
+	h := reg.Histogram("rt_lat_seconds", "latency", "dir", "up", "device", "ios")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE rt_requests_total counter",
+		"# TYPE rt_depth gauge",
+		"# TYPE rt_ticks_total counter",
+		"# TYPE rt_lat_seconds summary",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	vals, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		Key("rt_requests_total", "op", "store"): 0,
+		Key("rt_depth"):                         -3,
+		Key("rt_level"):                         2.5,
+		Key("rt_ticks_total"):                   42,
+		Key("rt_lat_seconds_count", "dir", "up", "device", "ios"): 100,
+	}
+	checks[Key("rt_requests_total", "op", "store")] = 7
+	for k, want := range checks {
+		got, ok := vals[k]
+		if !ok {
+			t.Errorf("parsed exposition missing %s", k)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %g, want %g", k, got, want)
+		}
+	}
+	// The p50 of 1..100 ms should be ~50 ms within bucket resolution.
+	p50 := vals[Key("rt_lat_seconds", "dir", "up", "device", "ios", "quantile", "0.5")]
+	if p50 < 0.045 || p50 > 0.055 {
+		t.Errorf("parsed p50 = %g, want ≈0.050", p50)
+	}
+}
+
+func TestKeySortsLabels(t *testing.T) {
+	a := Key("m", "zone", "us", "device", "ios")
+	b := Key("m", "device", "ios", "zone", "us")
+	if a != b {
+		t.Errorf("Key not canonical: %q vs %q", a, b)
+	}
+	if want := `m{device="ios",zone="us"}`; a != want {
+		t.Errorf("Key = %q, want %q", a, want)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("kind_clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	reg.Gauge("kind_clash", "")
+}
+
+// TestOpsMux exercises the full ops surface over HTTP.
+func TestOpsMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_requests_total", "test").Add(3)
+	health := &Health{}
+	srv := httptest.NewServer(OpsMux(reg, health))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != 503 {
+		t.Errorf("/readyz before ready = %d, want 503", code)
+	}
+	health.SetReady(true)
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("/readyz after ready = %d, want 200", code)
+	}
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	vals, err := ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
+	if vals[Key("ops_requests_total")] != 3 {
+		t.Errorf("ops_requests_total = %g, want 3", vals[Key("ops_requests_total")])
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d, memstats present = %v", code, strings.Contains(body, "memstats"))
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}

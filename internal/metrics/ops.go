@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Health tracks process liveness and readiness for the ops endpoints.
+// Liveness is implicit (the process answers); readiness is flipped by
+// the server around startup and drain so load balancers stop sending
+// traffic before in-flight requests are drained.
+type Health struct {
+	ready atomic.Bool
+}
+
+// SetReady marks the service ready (true) or draining (false).
+func (h *Health) SetReady(v bool) { h.ready.Store(v) }
+
+// Ready reports the current readiness.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// OpsMux returns the operational HTTP surface:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       200 while the process is up
+//	/readyz        200 when health is ready, 503 while draining
+//	/debug/vars    expvar JSON (memstats, cmdline, published registries)
+//	/debug/pprof/  the standard runtime profiles
+//
+// health may be nil, in which case /readyz always reports ready.
+func OpsMux(reg *Registry, health *Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil && !health.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var (
+	publishMu   sync.Mutex
+	publishSeen = make(map[string]bool)
+)
+
+// PublishExpvar exposes the registry's current values under the given
+// expvar name at /debug/vars as a flat {series: value} object.
+// Publishing the same name twice is a no-op (expvar itself panics on
+// duplicates).
+func PublishExpvar(name string, reg *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishSeen[name] {
+		return
+	}
+	publishSeen[name] = true
+	expvar.Publish(name, expvar.Func(func() interface{} {
+		out := make(map[string]float64)
+		put := func(k string, v float64) {
+			// NaN (e.g. the quantile of an empty histogram) is not
+			// representable in JSON; drop the entry instead of
+			// breaking the whole /debug/vars document.
+			if v == v {
+				out[k] = v
+			}
+		}
+		reg.mu.Lock()
+		defer reg.mu.Unlock()
+		for _, fam := range reg.fams {
+			for _, s := range fam.series {
+				switch fam.kind {
+				case kindCounter:
+					put(Key(fam.name, s.labels...), float64(s.c.Value()))
+				case kindGauge:
+					put(Key(fam.name, s.labels...), float64(s.g.Value()))
+				case kindCounterFunc, kindGaugeFunc:
+					if s.f != nil {
+						put(Key(fam.name, s.labels...), s.f())
+					}
+				case kindHistogram:
+					put(Key(fam.name+"_count", s.labels...), float64(s.h.Count()))
+					put(Key(fam.name+"_sum", s.labels...), s.h.Sum())
+					put(Key(fam.name+"_p99", s.labels...), s.h.Quantile(0.99))
+				}
+			}
+		}
+		return out
+	}))
+}

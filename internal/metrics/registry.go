@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// kind discriminates the metric families a Registry can hold.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// promType maps a kind to its Prometheus TYPE keyword. Histograms are
+// exported as summaries: precomputed quantiles plus _sum and _count.
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+type series struct {
+	labels []string // alternating key, value, as registered
+	key    string   // canonical sorted label rendering
+	c      *Counter
+	g      *Gauge
+	f      func() float64
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds metric families in registration order. All methods
+// are safe for concurrent use; the intended pattern is to register
+// everything at startup and keep the returned handles, so the serving
+// hot path never touches the registry's lock.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter returns the counter for name and the given alternating
+// label key/value pairs, creating it on first use. Registering the
+// same name with a different metric kind panics (a programming
+// error, caught at startup).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.series(name, help, kindCounter, labels).c
+}
+
+// Gauge returns the gauge for name and labels, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.series(name, help, kindGauge, labels).g
+}
+
+// Histogram returns the histogram for name and labels, creating it on
+// first use.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.series(name, help, kindHistogram, labels).h
+}
+
+// CounterFunc registers a monotonic value sampled by calling f at
+// exposition time — for components that already keep their own
+// counters under a lock. f must not call back into the registry.
+func (r *Registry) CounterFunc(name, help string, f func() float64, labels ...string) {
+	s := r.series(name, help, kindCounterFunc, labels)
+	if s.f == nil {
+		s.f = f
+	}
+}
+
+// GaugeFunc registers a level sampled by calling f at exposition
+// time. f must not call back into the registry.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...string) {
+	s := r.series(name, help, kindGaugeFunc, labels)
+	if s.f == nil {
+		s.f = f
+	}
+}
+
+func (r *Registry) series(name, help string, k kind, labels []string) *series {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label list for %s", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.byName[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: k, byKey: make(map[string]*series)}
+		r.byName[name] = fam
+		r.fams = append(r.fams, fam)
+	} else if fam.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, fam.kind.promType(), k.promType()))
+	}
+	key := labelKey(labels)
+	if s := fam.byKey[key]; s != nil {
+		return s
+	}
+	s := &series{labels: append([]string(nil), labels...), key: key}
+	switch k {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = &Histogram{}
+	}
+	fam.byKey[key] = s
+	fam.series = append(fam.series, s)
+	return s
+}
+
+// labelKey renders alternating key/value pairs as the canonical
+// sorted `k="v",...` string used to identify a series.
+func labelKey(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// Key renders the canonical series identifier used both in the text
+// exposition and as the map key returned by ParseText: the metric
+// name followed by its sorted label set.
+func Key(name string, kv ...string) string {
+	lk := labelKey(kv)
+	if lk == "" {
+		return name
+	}
+	return name + "{" + lk + "}"
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -22,6 +22,7 @@ type CachedStore struct {
 	hits, misses int64
 	hitBytes     int64
 	missBytes    int64
+	evictions    int64
 }
 
 type cacheEntry struct {
@@ -89,6 +90,7 @@ func (c *CachedStore) admit(sum Sum, data []byte) {
 		c.ll.Remove(back)
 		delete(c.items, ev.sum)
 		c.used -= int64(len(ev.data))
+		c.evictions++
 	}
 	c.items[sum] = c.ll.PushFront(&cacheEntry{sum: sum, data: data})
 	c.used += int64(len(data))
@@ -112,6 +114,7 @@ func (c *CachedStore) Stats() StoreStats { return c.backing.Stats() }
 type CacheStats struct {
 	Hits, Misses        int64
 	HitBytes, MissBytes int64
+	Evictions           int64
 	Used, Capacity      int64
 	Entries             int
 }
@@ -141,7 +144,8 @@ func (c *CachedStore) CacheStats() CacheStats {
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses,
 		HitBytes: c.hitBytes, MissBytes: c.missBytes,
-		Used: c.used, Capacity: c.capacity,
+		Evictions: c.evictions,
+		Used:      c.used, Capacity: c.capacity,
 		Entries: len(c.items),
 	}
 }

@@ -43,24 +43,38 @@ func (c *Collector) Logs() []trace.Log {
 
 // WriterSink streams logs to a trace.Writer.
 type WriterSink struct {
-	mu sync.Mutex
-	w  *trace.Writer
+	mu      sync.Mutex
+	w       *trace.Writer
+	err     error // first write error, latched
+	dropped int64 // records recorded after the first error
 }
 
 // NewWriterSink wraps w.
 func NewWriterSink(w *trace.Writer) *WriterSink { return &WriterSink{w: w} }
 
-// Record implements LogSink.
+// Record implements LogSink. The first write error is latched and
+// reported by Flush, together with how many records were recorded
+// after it (and therefore possibly lost).
 func (s *WriterSink) Record(l trace.Log) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.w.Write(l) // best effort; errors surface at Flush
+	if s.err != nil {
+		s.dropped++
+		return
+	}
+	if err := s.w.Write(l); err != nil {
+		s.err = err
+	}
 }
 
-// Flush flushes the underlying writer.
+// Flush flushes the underlying writer. If any Record failed, Flush
+// reports that first error instead of silently dropping log records.
 func (s *WriterSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.err != nil {
+		return fmt.Errorf("storage: request log write failed (%d later records dropped): %w", s.dropped, s.err)
+	}
 	return s.w.Flush()
 }
 
@@ -75,6 +89,10 @@ type FrontEndOptions struct {
 	// Now supplies timestamps (defaults to time.Now); tests and the
 	// workload player override it to generate logs on simulated time.
 	Now func() time.Time
+	// Metrics, when non-nil, receives per-request counters and latency
+	// observations (see NewFrontEndMetrics). One instance may be
+	// shared across front-ends for service-level totals.
+	Metrics *FrontEndMetrics
 }
 
 // FrontEnd is one storage front-end server: it accepts file operation
@@ -142,9 +160,20 @@ func simTime(r *http.Request) time.Time {
 	return time.Unix(0, ns).UTC()
 }
 
-// record emits one log entry. A replayed request's virtual timestamp
-// (X-Sim-Time) takes precedence over the wall clock.
+// record emits one log entry and the matching metric observations. A
+// replayed request's virtual timestamp (X-Sim-Time) takes precedence
+// over the wall clock.
 func (f *FrontEnd) record(r *http.Request, typ trace.ReqType, bytes int64, started time.Time, tsrv time.Duration) {
+	if f.sink == nil && f.opts.Metrics == nil {
+		return
+	}
+	dev, devID, userID, rtt, proxied := reqIdentity(r)
+	elapsed := f.opts.Now().Sub(started)
+	if fm := f.opts.Metrics; fm != nil {
+		// elapsed equals the log's TransferTime (Proc - Server), so the
+		// scraped histogram matches what mcsanalyze computes from the log.
+		fm.observe(typ, dev, bytes, elapsed)
+	}
 	if f.sink == nil {
 		return
 	}
@@ -152,7 +181,6 @@ func (f *FrontEnd) record(r *http.Request, typ trace.ReqType, bytes int64, start
 	if st := simTime(r); !st.IsZero() {
 		logTime = st
 	}
-	dev, devID, userID, rtt, proxied := reqIdentity(r)
 	f.sink.Record(trace.Log{
 		Time:     logTime,
 		Device:   dev,
@@ -160,11 +188,24 @@ func (f *FrontEnd) record(r *http.Request, typ trace.ReqType, bytes int64, start
 		UserID:   userID,
 		Type:     typ,
 		Bytes:    bytes,
-		Proc:     f.opts.Now().Sub(started) + tsrv,
+		Proc:     elapsed + tsrv,
 		Server:   tsrv,
 		RTT:      rtt,
 		Proxied:  proxied,
 	})
+}
+
+// countErr bumps the error counter for a request type.
+func (f *FrontEnd) countErr(typ trace.ReqType) {
+	if fm := f.opts.Metrics; fm != nil {
+		fm.errors[typ].Inc()
+	}
+}
+
+// fail counts and writes one error response.
+func (f *FrontEnd) fail(w http.ResponseWriter, code int, err error, typ trace.ReqType) {
+	f.countErr(typ)
+	writeError(w, code, err)
 }
 
 // upstream samples (and optionally performs) the upstream delay.
@@ -197,18 +238,19 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	started := f.opts.Now()
 	var req FileOpRequest
 	if !decodeJSON(w, r, &req) {
+		f.countErr(trace.FileStore)
 		return
 	}
 	url := r.URL.Query().Get("url")
 	if url == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("storage: missing url parameter"))
+		f.fail(w, http.StatusBadRequest, fmt.Errorf("storage: missing url parameter"), trace.FileStore)
 		return
 	}
 	expected := make([]Sum, 0, len(req.ChunkMD5s))
 	for _, s := range req.ChunkMD5s {
 		sum, err := ParseSum(s)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			f.fail(w, http.StatusBadRequest, err, trace.FileStore)
 			return
 		}
 		expected = append(expected, sum)
@@ -216,13 +258,16 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	if len(expected) == 0 {
 		// Zero-byte files carry no chunks; commit immediately.
 		if err := f.meta.Commit(url, nil); err != nil {
-			writeError(w, http.StatusNotFound, err)
+			f.fail(w, http.StatusNotFound, err, trace.FileStore)
 			return
 		}
 	} else {
 		f.mu.Lock()
 		f.pending[url] = &pendingUpload{url: url, expected: expected, got: make(map[Sum]bool)}
 		f.mu.Unlock()
+		if fm := f.opts.Metrics; fm != nil {
+			fm.pending.Inc()
+		}
 	}
 
 	tsrv := f.upstream()
@@ -234,16 +279,17 @@ func (f *FrontEnd) handleRetrieveOp(w http.ResponseWriter, r *http.Request) {
 	started := f.opts.Now()
 	var req FileOpRequest
 	if !decodeJSON(w, r, &req) {
+		f.countErr(trace.FileRetrieve)
 		return
 	}
 	sum, err := ParseSum(req.FileMD5)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		f.fail(w, http.StatusBadRequest, err, trace.FileRetrieve)
 		return
 	}
 	meta, err := f.meta.Lookup(sum)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		f.fail(w, http.StatusNotFound, err, trace.FileRetrieve)
 		return
 	}
 	chunkStrs := make([]string, len(meta.ChunkMD5s))
@@ -257,10 +303,15 @@ func (f *FrontEnd) handleRetrieveOp(w http.ResponseWriter, r *http.Request) {
 
 func (f *FrontEnd) handleChunk(w http.ResponseWriter, r *http.Request) {
 	started := f.opts.Now()
+	// Attribute pre-dispatch errors to the direction the method implies.
+	typ := trace.ChunkRetrieve
+	if r.Method == http.MethodPut {
+		typ = trace.ChunkStore
+	}
 	digest := strings.TrimPrefix(r.URL.Path, "/chunk/")
 	sum, err := ParseSum(digest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		f.fail(w, http.StatusBadRequest, err, typ)
 		return
 	}
 	switch r.Method {
@@ -269,22 +320,22 @@ func (f *FrontEnd) handleChunk(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		f.getChunk(w, r, sum, started)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method))
+		f.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method), typ)
 	}
 }
 
 func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
 	data, err := io.ReadAll(io.LimitReader(r.Body, ChunkSize+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		f.fail(w, http.StatusBadRequest, err, trace.ChunkStore)
 		return
 	}
 	if len(data) > ChunkSize {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("storage: chunk exceeds %d bytes", ChunkSize))
+		f.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("storage: chunk exceeds %d bytes", ChunkSize), trace.ChunkStore)
 		return
 	}
 	if err := f.store.Put(sum, data); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		f.fail(w, http.StatusBadRequest, err, trace.ChunkStore)
 		return
 	}
 	tsrv := f.upstream()
@@ -298,8 +349,11 @@ func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, sta
 			if f.completeLocked(p) {
 				delete(f.pending, url)
 				f.mu.Unlock()
+				if fm := f.opts.Metrics; fm != nil {
+					fm.pending.Dec()
+				}
 				if err := f.meta.Commit(url, p.expected); err != nil {
-					writeError(w, http.StatusInternalServerError, err)
+					f.fail(w, http.StatusInternalServerError, err, trace.ChunkStore)
 					return
 				}
 			} else {
@@ -327,7 +381,7 @@ func (f *FrontEnd) completeLocked(p *pendingUpload) bool {
 func (f *FrontEnd) getChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
 	data, err := f.store.Get(sum)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		f.fail(w, http.StatusNotFound, err, trace.ChunkRetrieve)
 		return
 	}
 	tsrv := f.upstream()

@@ -2,6 +2,9 @@ package storage
 
 import (
 	"sync"
+	"time"
+
+	"mcloud/internal/metrics"
 )
 
 // RefCounter tracks how many committed files reference each chunk, so
@@ -89,19 +92,50 @@ func Collect(store ChunkStore, dead []Sum) (int, error) {
 	return n, nil
 }
 
+// GCMetrics holds the garbage-collection series: how many delete
+// sweeps ran, how long each took, and how many chunks they reclaimed.
+type GCMetrics struct {
+	Deletes   *metrics.Counter
+	Reclaimed *metrics.Counter
+	Sweep     *metrics.Histogram
+}
+
+// NewGCMetrics registers the GC series in reg.
+func NewGCMetrics(reg *metrics.Registry) *GCMetrics {
+	return &GCMetrics{
+		Deletes:   reg.Counter("mcs_gc_deletes_total", "File delete sweeps processed."),
+		Reclaimed: reg.Counter("mcs_gc_chunks_reclaimed_total", "Chunks freed by garbage collection."),
+		Sweep:     reg.Histogram("mcs_gc_sweep_seconds", "Duration of one delete sweep (unlink, release, collect)."),
+	}
+}
+
 // DeleteFile removes a file from a user's namespace in the metadata
 // server, releases its chunk references, and collects newly
 // unreferenced chunks from the store. It returns the number of chunks
 // reclaimed. The file's catalog entry survives while other users still
 // link it (content-addressed sharing).
 func DeleteFile(m *Metadata, rc *RefCounter, store ChunkStore, user uint64, url string) (int, error) {
+	return DeleteFileObserved(nil, m, rc, store, user, url)
+}
+
+// DeleteFileObserved is DeleteFile with sweep instrumentation: when
+// gm is non-nil it records the sweep duration and the number of
+// chunks reclaimed.
+func DeleteFileObserved(gm *GCMetrics, m *Metadata, rc *RefCounter, store ChunkStore, user uint64, url string) (int, error) {
+	start := time.Now()
 	chunks, lastRef, err := m.Unlink(user, url)
 	if err != nil {
 		return 0, err
 	}
-	if !lastRef {
-		return 0, nil
+	n := 0
+	if lastRef {
+		dead := rc.Release(chunks)
+		n, err = Collect(store, dead)
 	}
-	dead := rc.Release(chunks)
-	return Collect(store, dead)
+	if gm != nil {
+		gm.Deletes.Inc()
+		gm.Reclaimed.Add(int64(n))
+		gm.Sweep.ObserveSince(start)
+	}
+	return n, err
 }

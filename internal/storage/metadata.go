@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
+
+	"mcloud/internal/metrics"
 )
 
 // FileMeta is the metadata server's record of one stored file version.
@@ -31,6 +34,35 @@ type Metadata struct {
 
 	dedupHits int64 // uploads avoided entirely by file-level dedup
 	checks    int64
+
+	met *metadataMetrics // nil until Instrument; set before serving
+}
+
+// metadataMetrics holds the pre-resolved latency histograms for the
+// metadata operations.
+type metadataMetrics struct {
+	storeCheck, resolve, commit, lookup *metrics.Histogram
+}
+
+// Instrument registers the metadata server's gauges and latency
+// histograms. Call it once, before the server starts handling
+// requests.
+func (m *Metadata) Instrument(reg *metrics.Registry) {
+	reg.GaugeFunc("mcs_meta_files", "File records (committed or reserved URLs).",
+		func() float64 { return float64(m.Stats().Files) })
+	reg.GaugeFunc("mcs_meta_users", "User namespaces holding at least one file.",
+		func() float64 { return float64(m.Stats().Users) })
+	reg.CounterFunc("mcs_meta_checks_total", "Dedup store-check requests handled.",
+		func() float64 { return float64(m.Stats().Checks) })
+	reg.CounterFunc("mcs_meta_dedup_hits_total", "Uploads avoided entirely by file-level dedup.",
+		func() float64 { return float64(m.Stats().DedupHits) })
+	help := "Metadata operation latency by operation."
+	m.met = &metadataMetrics{
+		storeCheck: reg.Histogram("mcs_meta_op_seconds", help, "op", "store_check"),
+		resolve:    reg.Histogram("mcs_meta_op_seconds", help, "op", "resolve"),
+		commit:     reg.Histogram("mcs_meta_op_seconds", help, "op", "commit"),
+		lookup:     reg.Histogram("mcs_meta_op_seconds", help, "op", "lookup"),
+	}
 }
 
 // NewMetadata returns a metadata server that will direct clients to
@@ -68,6 +100,9 @@ func (m *Metadata) pickFrontEnd() string {
 // it links the file into the user's namespace and reports Duplicate.
 // Otherwise it reserves a URL and directs the client to a front-end.
 func (m *Metadata) StoreCheck(req StoreCheckRequest) (StoreCheckResponse, error) {
+	if met := m.met; met != nil {
+		defer met.storeCheck.ObserveSince(time.Now())
+	}
 	sum, err := ParseSum(req.FileMD5)
 	if err != nil {
 		return StoreCheckResponse{}, err
@@ -137,6 +172,9 @@ func (m *Metadata) Unlink(user uint64, url string) (chunks []Sum, lastRef bool, 
 // chunks are stored, making the content available for dedup and
 // retrieval.
 func (m *Metadata) Commit(url string, chunkMD5s []Sum) error {
+	if met := m.met; met != nil {
+		defer met.commit.ObserveSince(time.Now())
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	f, ok := m.byURL[url]
@@ -151,6 +189,9 @@ func (m *Metadata) Commit(url string, chunkMD5s []Sum) error {
 // Resolve maps a file URL to its content hash and a front-end, for
 // retrievals.
 func (m *Metadata) Resolve(req ResolveRequest) (ResolveResponse, error) {
+	if met := m.met; met != nil {
+		defer met.resolve.ObserveSince(time.Now())
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	f, ok := m.byURL[req.URL]
@@ -166,6 +207,9 @@ func (m *Metadata) Resolve(req ResolveRequest) (ResolveResponse, error) {
 
 // Lookup returns the file record for a content hash.
 func (m *Metadata) Lookup(sum Sum) (FileMeta, error) {
+	if met := m.met; met != nil {
+		defer met.lookup.ObserveSince(time.Now())
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	f, ok := m.byMD5[sum]
