@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"mcloud/internal/faults"
 	"mcloud/internal/metrics"
 	"mcloud/internal/randx"
 	"mcloud/internal/storage"
@@ -36,17 +37,35 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		opsURL  = flag.String("ops", "", "mcsserver ops base URL (e.g. http://127.0.0.1:8090); polls /metrics and shows a live dashboard")
 		dash    = flag.Duration("dash", time.Second, "dashboard poll interval when -ops is set")
+		chaos   = flag.String("chaos", "", `client-side fault scenario, e.g. "mixed10,seed=42": faults are injected into the loaders' own transports (see internal/faults)`)
+		maxFail = flag.Float64("maxfail", 0, "tolerated operation failure rate before a non-zero exit")
+		verify  = flag.Bool("verify", true, "after the run, retrieve every acknowledged store and verify it byte-identical")
 	)
 	flag.Parse()
+
+	scenario, err := faults.ParseScenario(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsload:", err)
+		os.Exit(2)
+	}
 
 	var dashboard *opsDashboard
 	if *opsURL != "" {
 		dashboard = startDashboard(*opsURL, *dash)
 	}
 
+	reg := metrics.NewRegistry()
+	cm := storage.NewClientMetrics(reg)
+
+	// acked remembers every store the service acknowledged, with the
+	// content hash the client computed, for the post-run verification
+	// sweep: url -> hex MD5.
+	acked := make(map[string]string)
+
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var stored, deduped, retrieved int
+	var storeFails, retrFails int
 	var bytesUp, bytesDown int64
 	start := time.Now()
 
@@ -60,11 +79,21 @@ func main() {
 				dev = trace.IOS
 			}
 			client := &storage.Client{
-				MetaURL:  *metaURL,
-				UserID:   uint64(1000 + d),
-				DeviceID: uint64(d),
-				Device:   dev,
-				SimRTT:   100 * time.Millisecond,
+				MetaURL:   *metaURL,
+				UserID:    uint64(1000 + d),
+				DeviceID:  uint64(d),
+				Device:    dev,
+				SimRTT:    100 * time.Millisecond,
+				RetrySeed: *seed,
+				Metrics:   cm,
+			}
+			if scenario.Enabled() {
+				// Each device owns a derived fault stream, so the fault
+				// sequence a device sees is reproducible regardless of
+				// goroutine interleaving.
+				client.HTTP = &http.Client{
+					Transport: faults.NewTransport(scenario.Derive(fmt.Sprintf("loader/%d", d)), nil),
+				}
 			}
 			var urls []string
 			for i := 0; i < *files; i++ {
@@ -96,7 +125,10 @@ func main() {
 				res, err := client.StoreFile(fmt.Sprintf("d%d-f%d.bin", d, i), data)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "mcsload: store: %v\n", err)
-					return
+					mu.Lock()
+					storeFails++
+					mu.Unlock()
+					continue
 				}
 				mu.Lock()
 				stored++
@@ -104,6 +136,7 @@ func main() {
 					deduped++
 				}
 				bytesUp += res.BytesSent
+				acked[res.URL] = storage.SumBytes(data).String()
 				mu.Unlock()
 				urls = append(urls, res.URL)
 			}
@@ -114,7 +147,10 @@ func main() {
 				data, err := client.RetrieveFile(u)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "mcsload: retrieve: %v\n", err)
-					return
+					mu.Lock()
+					retrFails++
+					mu.Unlock()
+					continue
 				}
 				mu.Lock()
 				retrieved++
@@ -131,9 +167,55 @@ func main() {
 	fmt.Printf("mcsload: stored %d files (%d deduplicated server-side), uploaded %.1f MB\n",
 		stored, deduped, float64(bytesUp)/(1<<20))
 	fmt.Printf("mcsload: retrieved %d files, downloaded %.1f MB\n", retrieved, float64(bytesDown)/(1<<20))
+	if storeFails+retrFails > 0 {
+		fmt.Printf("mcsload: FAILED %d stores, %d retrieves\n", storeFails, retrFails)
+	}
+	if rs := cm.Stats(); rs.Retries > 0 || scenario.Enabled() {
+		ratio := 0.0
+		if rs.Retries > 0 {
+			ratio = float64(rs.RetrySuccess) / float64(rs.Retries)
+		}
+		fmt.Printf("mcsload: resilience: %d retries (%.0f%% recovered), %d give-ups, %d upload resumes, %d chunk re-fetches\n",
+			rs.Retries, 100*ratio, rs.GiveUps, rs.Resumes, rs.Refetches)
+	}
 	fmt.Printf("mcsload: elapsed %v\n", time.Since(start).Round(time.Millisecond))
+
+	// The headline invariant: everything the service acknowledged must
+	// come back byte-identical, over a clean (fault-free) connection.
+	lost, corrupt := 0, 0
+	if *verify && len(acked) > 0 {
+		verifier := &storage.Client{MetaURL: *metaURL, UserID: 999, DeviceID: 999, Device: trace.PC, Metrics: cm}
+		for url, md5 := range acked {
+			data, err := verifier.RetrieveFile(url)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcsload: verify %s: %v\n", url, err)
+				lost++
+				continue
+			}
+			if storage.SumBytes(data).String() != md5 {
+				fmt.Fprintf(os.Stderr, "mcsload: verify %s: content mismatch\n", url)
+				corrupt++
+			}
+		}
+		fmt.Printf("mcsload: verified %d acknowledged files: %d lost, %d corrupted\n", len(acked), lost, corrupt)
+	}
+
 	if dashboard != nil {
 		dashboard.render(os.Stdout)
+	}
+
+	ops := stored + retrieved + storeFails + retrFails
+	failRate := 0.0
+	if ops > 0 {
+		failRate = float64(storeFails+retrFails) / float64(ops)
+	}
+	if lost > 0 || corrupt > 0 {
+		fmt.Fprintf(os.Stderr, "mcsload: INVARIANT VIOLATED: %d lost, %d corrupted acknowledged files\n", lost, corrupt)
+		os.Exit(1)
+	}
+	if failRate > *maxFail {
+		fmt.Fprintf(os.Stderr, "mcsload: failure rate %.3f exceeds -maxfail %.3f\n", failRate, *maxFail)
+		os.Exit(1)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"flag"
 
+	"mcloud/internal/faults"
 	"mcloud/internal/metrics"
 	"mcloud/internal/randx"
 	"mcloud/internal/storage"
@@ -41,8 +42,16 @@ func main() {
 		opsAddr  = flag.String("ops", ":8090", "ops listener address for /metrics, /healthz, /readyz, /debug/vars, /debug/pprof (empty disables)")
 		cacheMB  = flag.Int("cache", 0, "read-path LRU chunk cache size in MB (0 disables)")
 		drain    = flag.Duration("drain", 15*time.Second, "max time to wait for in-flight requests at shutdown")
+		chaos    = flag.String("chaos", "", `fault-injection scenario, e.g. "mixed10,seed=42" or "error=0.05,reset=0.02" (empty disables; see internal/faults)`)
+		maxInfl  = flag.Int("maxinflight", 0, "shed load with 503 + Retry-After beyond this many in-flight front-end requests (0 disables)")
+		readTO   = flag.Duration("readtimeout", time.Minute, "per-connection request read deadline (0 disables)")
 	)
 	flag.Parse()
+
+	scenario, err := faults.ParseScenario(*chaos)
+	if err != nil {
+		fatal(err)
+	}
 
 	logFile, err := os.Create(*logPath)
 	if err != nil {
@@ -85,6 +94,34 @@ func main() {
 		opts.SleepUpstream = true
 	}
 
+	// Overload protection: one process-wide limiter shared by every
+	// front-end listener, so the bound covers total in-flight load.
+	var shedder *storage.Shedder
+	if *maxInfl > 0 {
+		shedder = storage.NewShedder(*maxInfl)
+		shedder.Instrument(reg, "frontend")
+		fmt.Printf("mcsserver: shedding load beyond %d in-flight front-end requests\n", *maxInfl)
+	}
+
+	// Fault injection: independent deterministic streams for the
+	// front-end and metadata paths, derived from the scenario seed.
+	var injFE, injMeta *faults.Injector
+	if scenario.Enabled() {
+		injFE = faults.New(scenario.Derive("frontend"))
+		injFE.Instrument(reg, "frontend")
+		injMeta = faults.New(scenario.Derive("meta"))
+		injMeta.Instrument(reg, "meta")
+		fmt.Printf("mcsserver: chaos scenario %q\n", scenario)
+	}
+
+	newServer := func(h http.Handler) *http.Server {
+		return &http.Server{
+			Handler:           h,
+			ReadTimeout:       *readTO,
+			ReadHeaderTimeout: *readTO,
+		}
+	}
+
 	var servers []*http.Server
 	for _, addr := range strings.Split(*feAddrs, ",") {
 		addr = strings.TrimSpace(addr)
@@ -93,7 +130,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv := &http.Server{Handler: fe.Handler()}
+		h := fe.Handler()
+		if injFE != nil {
+			h = injFE.Middleware(h)
+		}
+		if shedder != nil {
+			h = shedder.Wrap(h)
+		}
+		srv := newServer(h)
 		go srv.Serve(ln)
 		base := "http://" + hostify(ln.Addr().String())
 		meta.AddFrontEnd(base)
@@ -105,7 +149,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	metaSrv := &http.Server{Handler: meta.Handler()}
+	metaH := meta.Handler()
+	if injMeta != nil {
+		metaH = injMeta.Middleware(metaH)
+	}
+	metaSrv := newServer(metaH)
 	go metaSrv.Serve(metaLn)
 	servers = append(servers, metaSrv)
 	fmt.Printf("mcsserver: metadata server on http://%s\n", hostify(metaLn.Addr().String()))
@@ -167,6 +215,14 @@ func main() {
 		cs := cached.CacheStats()
 		fmt.Printf("mcsserver: cache %.1f%% hit rate (%d hits / %d misses), %0.2f MB used of %0.2f MB\n",
 			100*cs.HitRate(), cs.Hits, cs.Misses, float64(cs.Used)/(1<<20), float64(cs.Capacity)/(1<<20))
+	}
+	if injFE != nil {
+		fmt.Printf("mcsserver: chaos injected %d front-end + %d metadata faults across %d requests\n",
+			injFE.Injected(), injMeta.Injected(), injFE.Requests()+injMeta.Requests())
+	}
+	if shedder != nil {
+		ss := shedder.Stats()
+		fmt.Printf("mcsserver: overload shed %d of %d requests\n", ss.Sheds, ss.Sheds+ss.Admitted)
 	}
 }
 

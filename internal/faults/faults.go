@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcloud/internal/metrics"
+	"mcloud/internal/randx"
+)
+
+// Kind identifies the fault injected into one request.
+type Kind uint8
+
+// Fault kinds, in the order the cumulative-rate draw checks them.
+const (
+	None      Kind = iota // request served untouched
+	Error                 // replaced by an ErrorCode response
+	Reset                 // connection aborted before any response
+	Truncate              // partial body delivered, then connection killed
+	Latency               // request stalled, then served normally
+	OutageHit             // rejected inside an outage window
+	numKinds
+)
+
+var kindNames = [...]string{"none", "error", "reset", "truncate", "latency", "outage"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Decision is one per-request verdict from the seeded stream.
+type Decision struct {
+	N     int64 // zero-based request index
+	Kind  Kind
+	Delay time.Duration // nonzero only for Latency
+}
+
+// chooser turns the seeded stream into per-request decisions. The
+// decision for request N is a pure function of (scenario, N): exactly
+// one uniform draw per request selects the kind, and a second draw is
+// consumed only when that kind is Latency. Callers must serialize
+// access.
+type chooser struct {
+	sc  Scenario
+	src *randx.Source
+	n   int64
+}
+
+func newChooser(sc Scenario) chooser {
+	return chooser{sc: sc, src: randx.New(sc.Seed)}
+}
+
+func (c *chooser) next(path string) Decision {
+	d := Decision{N: c.n}
+	c.n++
+	// Always consume the base draw so the stream stays aligned with
+	// the request index even across outage windows and filtered paths.
+	u := c.src.Float64()
+	if c.sc.PathPrefix != "" && !pathMatch(path, c.sc.PathPrefix) {
+		return d
+	}
+	for _, o := range c.sc.Outages {
+		if d.N >= o.After && d.N < o.After+o.Length {
+			d.Kind = OutageHit
+			return d
+		}
+	}
+	cum := c.sc.ErrorRate
+	if u < cum {
+		d.Kind = Error
+		return d
+	}
+	cum += c.sc.ResetRate
+	if u < cum {
+		d.Kind = Reset
+		return d
+	}
+	cum += c.sc.TruncateRate
+	if u < cum {
+		d.Kind = Truncate
+		return d
+	}
+	cum += c.sc.LatencyRate
+	if u < cum {
+		d.Kind = Latency
+		span := c.sc.LatencyMax - c.sc.LatencyMin
+		d.Delay = c.sc.LatencyMin
+		if span > 0 {
+			d.Delay += time.Duration(c.src.Float64() * float64(span))
+		}
+	}
+	return d
+}
+
+func pathMatch(path, prefix string) bool {
+	return len(path) >= len(prefix) && path[:len(prefix)] == prefix
+}
+
+// Injector applies a Scenario to a server as net/http middleware. It
+// is safe for concurrent use: decisions are drawn under a mutex in
+// request-arrival order, so a serialized client sees a bit-identical
+// fault sequence for a given seed, and concurrent runs reproduce the
+// same decision-by-index sequence.
+type Injector struct {
+	mu sync.Mutex
+	ch chooser
+
+	counts [numKinds]atomic.Int64
+
+	// OnDecision, when set, observes every per-request decision
+	// (including None) in draw order — used by reproducibility checks.
+	// It is called with the injector's mutex held; keep it cheap.
+	OnDecision func(Decision)
+}
+
+// New returns an injector for the scenario.
+func New(sc Scenario) *Injector {
+	return &Injector{ch: newChooser(sc)}
+}
+
+// Scenario returns the injector's configuration.
+func (in *Injector) Scenario() Scenario { return in.ch.sc }
+
+// decide draws the verdict for the next request.
+func (in *Injector) decide(path string) Decision {
+	in.mu.Lock()
+	d := in.ch.next(path)
+	if in.OnDecision != nil {
+		in.OnDecision(d)
+	}
+	in.mu.Unlock()
+	in.counts[d.Kind].Add(1)
+	return d
+}
+
+// Requests returns how many requests the injector has decided.
+func (in *Injector) Requests() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ch.n
+}
+
+// Count returns how many requests received the given fault kind.
+func (in *Injector) Count(k Kind) int64 { return in.counts[k].Load() }
+
+// Injected returns the total number of disrupted requests (everything
+// except None and Latency — latency-only requests still complete).
+func (in *Injector) Injected() int64 {
+	return in.Count(Error) + in.Count(Reset) + in.Count(Truncate) + in.Count(OutageHit)
+}
+
+// Instrument registers the injector's counters, labeled with the
+// scope (e.g. "frontend", "meta") so one process can expose several
+// injectors side by side.
+func (in *Injector) Instrument(reg *metrics.Registry, scope string) {
+	for k := Kind(1); k < numKinds; k++ {
+		k := k
+		reg.CounterFunc("mcs_faults_injected_total",
+			"Faults injected by the chaos middleware, by kind.",
+			func() float64 { return float64(in.Count(k)) },
+			"scope", scope, "kind", k.String())
+	}
+	reg.CounterFunc("mcs_faults_requests_total",
+		"Requests that passed through the chaos middleware.",
+		func() float64 { return float64(in.Requests()) }, "scope", scope)
+}
+
+// Middleware wraps next with the injector. Injected errors carry the
+// scenario's status code as a JSON error body (plus Retry-After for
+// 503s); resets and truncations abort the client connection via
+// http.ErrAbortHandler, which net/http turns into a closed socket.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.decide(r.URL.Path)
+		switch d.Kind {
+		case None:
+			next.ServeHTTP(w, r)
+		case Latency:
+			time.Sleep(d.Delay)
+			next.ServeHTTP(w, r)
+		case Error, OutageHit:
+			writeInjectedError(w, in.ch.sc.errorCode(), d.Kind)
+		case Reset:
+			panic(http.ErrAbortHandler)
+		case Truncate:
+			tw := &truncatingWriter{ResponseWriter: w, remaining: in.ch.sc.truncateAfter()}
+			next.ServeHTTP(tw, r)
+			// Kill the connection so the client cannot mistake the
+			// partial body for a complete response.
+			panic(http.ErrAbortHandler)
+		}
+	})
+}
+
+func writeInjectedError(w http.ResponseWriter, code int, kind Kind) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, `{"error":"faults: injected %s"}`+"\n", kind)
+}
+
+// truncatingWriter forwards at most remaining body bytes, flushing
+// them so they reach the wire before the connection is aborted, and
+// silently swallows the rest.
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if t.remaining <= 0 {
+		return n, nil // pretend success; the abort comes after the handler
+	}
+	if len(p) > t.remaining {
+		p = p[:t.remaining]
+	}
+	written, err := t.ResponseWriter.Write(p)
+	t.remaining -= written
+	if t.remaining <= 0 {
+		if f, ok := t.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	if err != nil {
+		return written, err
+	}
+	return n, nil
+}

@@ -1,0 +1,333 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mcloud/internal/metrics"
+)
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario("seed=42,error=0.05,code=500,reset=0.02,truncate=0.03:4096,latency=0.1:5ms-50ms,outage=500+100,path=/chunk/,name=run7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Scenario{
+		Name: "run7", Seed: 42,
+		ErrorRate: 0.05, ErrorCode: 500,
+		ResetRate:    0.02,
+		TruncateRate: 0.03, TruncateAfter: 4096,
+		LatencyRate: 0.1, LatencyMin: 5 * time.Millisecond, LatencyMax: 50 * time.Millisecond,
+		Outages:    []Outage{{After: 500, Length: 100}},
+		PathPrefix: "/chunk/",
+	}
+	if sc.Name != want.Name || sc.Seed != want.Seed || sc.ErrorRate != want.ErrorRate ||
+		sc.ErrorCode != want.ErrorCode || sc.ResetRate != want.ResetRate ||
+		sc.TruncateRate != want.TruncateRate || sc.TruncateAfter != want.TruncateAfter ||
+		sc.LatencyRate != want.LatencyRate || sc.LatencyMin != want.LatencyMin ||
+		sc.LatencyMax != want.LatencyMax || sc.PathPrefix != want.PathPrefix ||
+		len(sc.Outages) != 1 || sc.Outages[0] != want.Outages[0] {
+		t.Errorf("parsed %+v, want %+v", sc, want)
+	}
+
+	// String() must round-trip through ParseScenario.
+	back, err := ParseScenario(sc.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", sc.String(), err)
+	}
+	if back.String() != sc.String() {
+		t.Errorf("round trip: %q != %q", back.String(), sc.String())
+	}
+}
+
+func TestParseScenarioPresetWithOverride(t *testing.T) {
+	sc, err := ParseScenario("mixed10,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 7 || sc.ErrorRate != 0.04 || sc.FaultRate() != 0.08 {
+		t.Errorf("preset override: %+v", sc)
+	}
+	if off, err := ParseScenario("off"); err != nil || off.Enabled() {
+		t.Errorf("off: %+v, %v", off, err)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nosuchpreset", "error=1.5", "error=x", "code=200", "latency=0.1:50ms",
+		"outage=10", "outage=-1+5", "frobnicate=1", "seed",
+	} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDecisionDeterminism is the reproducibility contract: the fault
+// decision for request N is a pure function of (seed, N).
+func TestDecisionDeterminism(t *testing.T) {
+	sc, err := ParseScenario("mixed10,seed=42,outage=50+10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []Decision {
+		ch := newChooser(sc)
+		out := make([]Decision, 0, 1000)
+		for i := 0; i < 1000; i++ {
+			out = append(out, ch.next("/chunk/x"))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	var injected int
+	for _, d := range a {
+		if d.Kind == Error || d.Kind == Reset || d.Kind == Truncate || d.Kind == OutageHit {
+			injected++
+		}
+	}
+	// mixed10 disrupts ~8% of requests plus the 10-request outage.
+	if injected < 40 || injected > 180 {
+		t.Errorf("injected %d/1000 faults, want around 90", injected)
+	}
+
+	other := sc
+	other.Seed = 43
+	ch := newChooser(other)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if ch.next("/chunk/x") != a[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}
+
+func TestOutageWindowAndPathFilter(t *testing.T) {
+	ch := newChooser(Scenario{Outages: []Outage{{After: 2, Length: 3}}})
+	var kinds []Kind
+	for i := 0; i < 6; i++ {
+		kinds = append(kinds, ch.next("/x").Kind)
+	}
+	want := []Kind{None, None, OutageHit, OutageHit, OutageHit, None}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("request %d: kind %v, want %v (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+
+	filtered := newChooser(Scenario{ErrorRate: 1, PathPrefix: "/chunk/"})
+	if d := filtered.next("/meta/store-check"); d.Kind != None {
+		t.Errorf("filtered path injected %v", d.Kind)
+	}
+	if d := filtered.next("/chunk/abc"); d.Kind != Error {
+		t.Errorf("matching path got %v, want Error", d.Kind)
+	}
+}
+
+func okHandler(body []byte) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(body)
+	})
+}
+
+func TestMiddlewareInjectedError(t *testing.T) {
+	in := New(Scenario{ErrorRate: 1})
+	srv := httptest.NewServer(in.Middleware(okHandler([]byte("ok"))))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Error("503 missing Retry-After")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "injected error") {
+		t.Errorf("body = %q", body)
+	}
+	if in.Count(Error) != 1 || in.Injected() != 1 {
+		t.Errorf("counters: error=%d injected=%d", in.Count(Error), in.Injected())
+	}
+}
+
+func TestMiddlewareReset(t *testing.T) {
+	in := New(Scenario{ResetRate: 1})
+	srv := httptest.NewServer(in.Middleware(okHandler([]byte("ok"))))
+	defer srv.Close()
+
+	if _, err := http.Get(srv.URL + "/x"); err == nil {
+		t.Fatal("reset request succeeded")
+	}
+	if in.Count(Reset) != 1 {
+		t.Errorf("reset count = %d", in.Count(Reset))
+	}
+}
+
+func TestMiddlewareTruncate(t *testing.T) {
+	big := bytes.Repeat([]byte("t"), 64<<10)
+	in := New(Scenario{TruncateRate: 1, TruncateAfter: 1024})
+	srv := httptest.NewServer(in.Middleware(okHandler(big)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil && len(got) == len(big) {
+		t.Fatal("truncated response arrived complete")
+	}
+	if len(got) > 1024 {
+		t.Errorf("read %d bytes past the 1024-byte cut", len(got))
+	}
+}
+
+func TestMiddlewareLatency(t *testing.T) {
+	in := New(Scenario{LatencyRate: 1, LatencyMin: 20 * time.Millisecond, LatencyMax: 20 * time.Millisecond})
+	srv := httptest.NewServer(in.Middleware(okHandler([]byte("ok"))))
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("latency fault finished in %v", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("latency fault changed status to %d", resp.StatusCode)
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	big := bytes.Repeat([]byte("b"), 8<<10)
+	srv := httptest.NewServer(okHandler(big))
+	defer srv.Close()
+
+	// Injected error: never reaches the server.
+	tr := NewTransport(Scenario{ErrorRate: 1}, nil)
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "injected") {
+		t.Errorf("synthetic error: status %d body %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Error("synthetic 503 missing Retry-After")
+	}
+
+	// Reset: transport-level error.
+	client.Transport = NewTransport(Scenario{ResetRate: 1}, nil)
+	if _, err := client.Get(srv.URL + "/x"); err == nil {
+		t.Error("injected reset round trip succeeded")
+	}
+
+	// Truncation: body read fails partway.
+	client.Transport = NewTransport(Scenario{TruncateRate: 1, TruncateAfter: 100}, nil)
+	resp, err = client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated read error = %v, want unexpected EOF", err)
+	}
+	if len(got) > 100 {
+		t.Errorf("read %d bytes past the cut", len(got))
+	}
+}
+
+func TestTransportDeterministicAcrossRuns(t *testing.T) {
+	srv := httptest.NewServer(okHandler([]byte("ok")))
+	defer srv.Close()
+	sc := Scenario{Seed: 9, ErrorRate: 0.3}
+
+	run := func() []int {
+		client := &http.Client{Transport: NewTransport(sc, nil)}
+		var codes []int
+		for i := 0; i < 50; i++ {
+			resp, err := client.Get(srv.URL + "/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes = append(codes, resp.StatusCode)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round trip %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	base := Scenario{Seed: 1, ErrorRate: 0.5}
+	a, b := base.Derive("fe/0"), base.Derive("fe/1")
+	if a.Seed == b.Seed {
+		t.Fatal("derived scenarios share a seed")
+	}
+	if again := base.Derive("fe/0"); again.Seed != a.Seed {
+		t.Error("Derive is not stable")
+	}
+}
+
+func TestInjectorInstrument(t *testing.T) {
+	in := New(Scenario{ErrorRate: 1})
+	reg := metrics.NewRegistry()
+	in.Instrument(reg, "frontend")
+	srv := httptest.NewServer(in.Middleware(okHandler([]byte("ok"))))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := metrics.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := vals[metrics.Key("mcs_faults_injected_total", "scope", "frontend", "kind", "error")]; v != 1 {
+		t.Errorf("injected error counter = %v, want 1", v)
+	}
+	if v := vals[metrics.Key("mcs_faults_requests_total", "scope", "frontend")]; v != 1 {
+		t.Errorf("requests counter = %v, want 1", v)
+	}
+}

@@ -1,0 +1,292 @@
+// Package faults is the deterministic fault-injection layer used to
+// test the storage service under the failure regime the paper's
+// production front-ends lived in: flaky mobile links, interrupted
+// transfers, overloaded servers. A Scenario describes *what* goes
+// wrong and how often; an Injector applies it to a server as net/http
+// middleware, and a Transport applies it client-side as an
+// http.RoundTripper. All randomness flows through randx, so a chaos
+// run is reproducible from its seed: the decision for the N-th request
+// is a pure function of (seed, N).
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcloud/internal/randx"
+)
+
+// Outage is a window of total unavailability, expressed in request
+// counts rather than wall time so that a scenario replays identically
+// regardless of machine speed: requests [After, After+Length) are
+// rejected with the scenario's error code.
+type Outage struct {
+	After  int64 // requests served before the outage begins
+	Length int64 // requests rejected during the outage
+}
+
+// Scenario configures a fault injector. The zero value injects
+// nothing. Rates are per-request probabilities; at most one fault is
+// injected per request, chosen by a single uniform draw against the
+// cumulative rates (error, reset, truncate, latency — in that order).
+type Scenario struct {
+	Name string // label for logs and metrics; free-form
+	Seed uint64 // randx seed driving every decision
+
+	ErrorRate float64 // respond with ErrorCode instead of serving
+	ErrorCode int     // status for injected errors; 0 means 503
+
+	ResetRate float64 // abort the connection before any response
+
+	TruncateRate  float64 // serve a partial body, then kill the connection
+	TruncateAfter int     // body bytes delivered before the cut; 0 means 1024
+
+	LatencyRate float64       // stall the request before serving it
+	LatencyMin  time.Duration // stall duration bounds (uniform)
+	LatencyMax  time.Duration
+
+	Outages []Outage // request-count windows of total unavailability
+
+	PathPrefix string // only inject on matching URL paths; "" means all
+}
+
+// Enabled reports whether the scenario can inject anything.
+func (s Scenario) Enabled() bool {
+	return s.ErrorRate > 0 || s.ResetRate > 0 || s.TruncateRate > 0 ||
+		s.LatencyRate > 0 || len(s.Outages) > 0
+}
+
+// FaultRate is the total per-request probability of a disruptive
+// fault (everything except added latency), outside outage windows.
+func (s Scenario) FaultRate() float64 {
+	return s.ErrorRate + s.ResetRate + s.TruncateRate
+}
+
+// Derive returns a copy of the scenario whose seed is a deterministic
+// function of the parent seed and label, so independent components
+// (each front-end, each simulated device) draw statistically
+// independent fault streams that are still reproducible together.
+func (s Scenario) Derive(label string) Scenario {
+	out := s
+	out.Seed = randx.Derive(s.Seed, "faults/"+label).Uint64()
+	if s.Name != "" {
+		out.Name = s.Name + "/" + label
+	} else {
+		out.Name = label
+	}
+	return out
+}
+
+func (s Scenario) errorCode() int {
+	if s.ErrorCode == 0 {
+		return 503
+	}
+	return s.ErrorCode
+}
+
+func (s Scenario) truncateAfter() int {
+	if s.TruncateAfter <= 0 {
+		return 1024
+	}
+	return s.TruncateAfter
+}
+
+// presets are named scenarios accepted by ParseScenario. "mixed10" is
+// the canonical ~10% chaos mix used by the README, the e2e chaos test
+// and the CI smoke job.
+var presets = map[string]Scenario{
+	"mixed10": {
+		Name:         "mixed10",
+		Seed:         1,
+		ErrorRate:    0.04,
+		ResetRate:    0.02,
+		TruncateRate: 0.02,
+		LatencyRate:  0.02,
+		LatencyMin:   5 * time.Millisecond,
+		LatencyMax:   50 * time.Millisecond,
+	},
+}
+
+// ParseScenario parses a -chaos flag value. The spec is either a
+// preset name ("mixed10"), optionally followed by comma-separated
+// overrides, or a bare list of key=value pairs:
+//
+//	seed=42            decision-stream seed
+//	error=0.05         5xx injection rate
+//	code=500           status used for injected errors (default 503)
+//	reset=0.02         connection-abort rate
+//	truncate=0.02      truncated-body rate
+//	truncate=0.02:4096 ... cutting after 4096 body bytes
+//	latency=0.1:5ms-50ms  added-latency rate and uniform bounds
+//	outage=500+100     total outage for requests [500, 600); repeatable
+//	path=/chunk/       restrict injection to matching URL paths
+//	name=run7          label for logs/metrics
+//
+// An empty spec or "off" yields a disabled scenario.
+func ParseScenario(spec string) (Scenario, error) {
+	var sc Scenario
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return sc, nil
+	}
+	parts := strings.Split(spec, ",")
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if i == 0 && !strings.Contains(part, "=") {
+			p, ok := presets[part]
+			if !ok {
+				return sc, fmt.Errorf("faults: unknown scenario preset %q (have: %s)", part, presetNames())
+			}
+			sc = p
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return sc, fmt.Errorf("faults: malformed scenario term %q (want key=value)", part)
+		}
+		if err := sc.set(k, v); err != nil {
+			return sc, err
+		}
+	}
+	return sc, nil
+}
+
+func presetNames() string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func (s *Scenario) set(k, v string) error {
+	switch k {
+	case "name":
+		s.Name = v
+	case "path":
+		s.PathPrefix = v
+	case "seed":
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faults: seed %q: %w", v, err)
+		}
+		s.Seed = n
+	case "code":
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 400 || n > 599 {
+			return fmt.Errorf("faults: error code %q must be a 4xx/5xx status", v)
+		}
+		s.ErrorCode = n
+	case "error":
+		return parseRate(v, &s.ErrorRate)
+	case "reset":
+		return parseRate(v, &s.ResetRate)
+	case "truncate":
+		rate, extra, hasExtra := strings.Cut(v, ":")
+		if err := parseRate(rate, &s.TruncateRate); err != nil {
+			return err
+		}
+		if hasExtra {
+			n, err := strconv.Atoi(extra)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("faults: truncate byte count %q", extra)
+			}
+			s.TruncateAfter = n
+		}
+	case "latency":
+		rate, bounds, hasBounds := strings.Cut(v, ":")
+		if err := parseRate(rate, &s.LatencyRate); err != nil {
+			return err
+		}
+		if hasBounds {
+			lo, hi, ok := strings.Cut(bounds, "-")
+			if !ok {
+				return fmt.Errorf("faults: latency bounds %q (want min-max)", bounds)
+			}
+			dlo, err := time.ParseDuration(lo)
+			if err != nil {
+				return fmt.Errorf("faults: latency min %q: %w", lo, err)
+			}
+			dhi, err := time.ParseDuration(hi)
+			if err != nil {
+				return fmt.Errorf("faults: latency max %q: %w", hi, err)
+			}
+			if dlo < 0 || dhi < dlo {
+				return fmt.Errorf("faults: latency bounds %q out of order", bounds)
+			}
+			s.LatencyMin, s.LatencyMax = dlo, dhi
+		}
+	case "outage":
+		after, length, ok := strings.Cut(v, "+")
+		if !ok {
+			return fmt.Errorf("faults: outage %q (want after+length)", v)
+		}
+		a, err := strconv.ParseInt(after, 10, 64)
+		if err != nil || a < 0 {
+			return fmt.Errorf("faults: outage start %q", after)
+		}
+		l, err := strconv.ParseInt(length, 10, 64)
+		if err != nil || l <= 0 {
+			return fmt.Errorf("faults: outage length %q", length)
+		}
+		s.Outages = append(s.Outages, Outage{After: a, Length: l})
+	default:
+		return fmt.Errorf("faults: unknown scenario key %q", k)
+	}
+	return nil
+}
+
+func parseRate(v string, dst *float64) error {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 || f > 1 {
+		return fmt.Errorf("faults: rate %q must be in [0, 1]", v)
+	}
+	*dst = f
+	return nil
+}
+
+// String renders the scenario as a spec that ParseScenario accepts.
+func (s Scenario) String() string {
+	if !s.Enabled() {
+		return "off"
+	}
+	var terms []string
+	add := func(f string, args ...interface{}) { terms = append(terms, fmt.Sprintf(f, args...)) }
+	if s.Name != "" {
+		add("name=%s", s.Name)
+	}
+	add("seed=%d", s.Seed)
+	if s.ErrorRate > 0 {
+		add("error=%g", s.ErrorRate)
+	}
+	if s.ErrorCode != 0 {
+		add("code=%d", s.ErrorCode)
+	}
+	if s.ResetRate > 0 {
+		add("reset=%g", s.ResetRate)
+	}
+	if s.TruncateRate > 0 {
+		if s.TruncateAfter > 0 {
+			add("truncate=%g:%d", s.TruncateRate, s.TruncateAfter)
+		} else {
+			add("truncate=%g", s.TruncateRate)
+		}
+	}
+	if s.LatencyRate > 0 {
+		add("latency=%g:%s-%s", s.LatencyRate, s.LatencyMin, s.LatencyMax)
+	}
+	for _, o := range s.Outages {
+		add("outage=%d+%d", o.After, o.Length)
+	}
+	if s.PathPrefix != "" {
+		add("path=%s", s.PathPrefix)
+	}
+	return strings.Join(terms, ",")
+}

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is returned by a Transport in place of a response
+// when the scenario resets the connection. Clients should treat it
+// like any transport-level network error (retryable).
+var ErrInjectedReset = errors.New("faults: injected connection reset")
+
+// Transport applies a Scenario on the client side of the wire, as an
+// http.RoundTripper wrapper. It lets a load generator exercise client
+// resilience against any server — injected 5xx responses and resets
+// never reach the network; truncations corrupt the response body on
+// the way back. Decisions are drawn in round-trip order from the same
+// deterministic stream an Injector uses.
+type Transport struct {
+	base http.RoundTripper
+
+	mu sync.Mutex
+	ch chooser
+
+	counts [numKinds]atomic.Int64
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with the
+// scenario.
+func NewTransport(sc Scenario, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, ch: newChooser(sc)}
+}
+
+// Count returns how many round trips received the given fault kind.
+func (t *Transport) Count(k Kind) int64 { return t.counts[k].Load() }
+
+// Injected returns the total number of disrupted round trips.
+func (t *Transport) Injected() int64 {
+	return t.Count(Error) + t.Count(Reset) + t.Count(Truncate) + t.Count(OutageHit)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	d := t.ch.next(req.URL.Path)
+	t.mu.Unlock()
+	t.counts[d.Kind].Add(1)
+
+	switch d.Kind {
+	case Error, OutageHit:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return t.syntheticError(req, d.Kind), nil
+	case Reset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrInjectedReset
+	case Latency:
+		time.Sleep(d.Delay)
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || d.Kind != Truncate {
+		return resp, err
+	}
+	resp.Body = &truncatingBody{rc: resp.Body, remaining: t.ch.sc.truncateAfter()}
+	resp.ContentLength = -1
+	return resp, nil
+}
+
+// syntheticError fabricates the response an injecting server would
+// have produced, without touching the network.
+func (t *Transport) syntheticError(req *http.Request, kind Kind) *http.Response {
+	code := t.ch.sc.errorCode()
+	body := `{"error":"faults: injected ` + kind.String() + `"}` + "\n"
+	header := make(http.Header)
+	header.Set("Content-Type", "application/json")
+	if code == http.StatusServiceUnavailable {
+		header.Set("Retry-After", "1")
+	}
+	return &http.Response{
+		Status:        http.StatusText(code),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        header,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatingBody delivers at most remaining bytes of the real body and
+// then fails the read, mimicking a connection dropped mid-transfer.
+type truncatingBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == io.EOF || (err == nil && b.remaining <= 0) {
+		// Even a short body ends in failure: the cut must be
+		// indistinguishable from a dropped connection.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatingBody) Close() error { return b.rc.Close() }

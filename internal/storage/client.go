@@ -7,14 +7,24 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
+	"mcloud/internal/randx"
 	"mcloud/internal/trace"
 )
 
 // Client is the device-side implementation of the store/retrieve
 // protocol: it talks to the metadata server first, then to the
 // assigned front-end, chunk by chunk, exactly as §2.1 describes.
+//
+// The client is built for the network the paper measured — cellular
+// links that stall, reset and corrupt transfers. Every request runs
+// under a deadline and retries transient failures with exponential
+// backoff (see RetryPolicy); chunk uploads are idempotent re-PUTs;
+// interrupted uploads resume from the front-end's missing-chunk set
+// instead of restarting the file; downloads verify each chunk's MD5
+// and re-fetch corrupted ones.
 type Client struct {
 	MetaURL  string // base URL of the metadata server
 	UserID   uint64
@@ -25,8 +35,20 @@ type Client struct {
 	SimRTT time.Duration
 	// Proxied marks requests as relayed via an HTTP proxy.
 	Proxied bool
-	// HTTP is the underlying client (defaults to http.DefaultClient).
+	// HTTP is the underlying client. Nil means a shared internal
+	// client with connection reuse and a cap timeout (never the
+	// timeoutless http.DefaultClient).
 	HTTP *http.Client
+	// Retry tunes resilience; nil means DefaultRetry.
+	Retry *RetryPolicy
+	// RetrySeed seeds the deterministic backoff jitter stream.
+	RetrySeed uint64
+	// MaxResumes bounds how many times one upload re-queries the
+	// missing-chunk set after mid-file failures; 0 means 3.
+	MaxResumes int
+	// Metrics, when non-nil, receives retry/resume/refetch counters
+	// (see NewClientMetrics). May be shared across clients.
+	Metrics *ClientMetrics
 	// InterChunkDelay, when set, is called between consecutive chunk
 	// requests and the client sleeps for the returned duration. It
 	// models the client processing time Tclt that §4 shows dominates
@@ -37,13 +59,37 @@ type Client struct {
 	// wall clock — used to replay pre-generated traces through the
 	// live service in compressed time.
 	SimClock func() time.Time
+
+	rngMu sync.Mutex
+	rng   *randx.Source
+}
+
+// Clone returns an independent client with the same configuration and
+// a fresh backoff-jitter stream. Client holds internal locked state,
+// so it must not be copied by value; retarget a Clone instead.
+func (c *Client) Clone() *Client {
+	return &Client{
+		MetaURL:         c.MetaURL,
+		UserID:          c.UserID,
+		DeviceID:        c.DeviceID,
+		Device:          c.Device,
+		SimRTT:          c.SimRTT,
+		Proxied:         c.Proxied,
+		HTTP:            c.HTTP,
+		Retry:           c.Retry,
+		RetrySeed:       c.RetrySeed,
+		MaxResumes:      c.MaxResumes,
+		Metrics:         c.Metrics,
+		InterChunkDelay: c.InterChunkDelay,
+		SimClock:        c.SimClock,
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 // setIdentity attaches the identity headers the front-end logs.
@@ -62,35 +108,43 @@ func (c *Client) setIdentity(req *http.Request) {
 	}
 }
 
-// postJSON performs a JSON request/response round trip.
-func (c *Client) postJSON(url string, in, out interface{}) error {
+// postJSON performs a JSON request/response round trip with retries.
+func (c *Client) postJSON(url string, in, out interface{}, budget *retryBudget) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	c.setIdentity(req)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.doRetry(budget,
+		func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			c.setIdentity(req)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return decodeError(resp)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				// A JSON body cut off mid-stream means the connection
+				// died under us; the request is safe to retry.
+				return &corruptError{err: err}
+			}
+			return nil
+		})
 }
 
 func decodeError(resp *http.Response) error {
+	se := &serverError{Status: resp.StatusCode}
 	var e errorResponse
-	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-		return fmt.Errorf("storage: server: %s (status %d)", e.Error, resp.StatusCode)
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil {
+		se.Msg = e.Error
 	}
-	return fmt.Errorf("storage: server returned status %d", resp.StatusCode)
+	return se
 }
 
 // StoreResult reports the outcome of a file upload.
@@ -99,12 +153,16 @@ type StoreResult struct {
 	Deduplicated bool   // content was already stored; nothing uploaded
 	ChunksSent   int
 	BytesSent    int64
+	Resumes      int // times the upload re-queried the missing-chunk set
 }
 
 // StoreFile uploads one file: dedup check at the metadata server, then
 // a file storage operation request and chunk storage requests at the
-// front-end.
+// front-end. A mid-file failure does not restart the upload — the
+// client re-issues the file operation request, learns which chunks the
+// front-end is still missing, and sends only those.
 func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
+	budget := c.newBudget()
 	fileSum := SumBytes(data)
 	var check StoreCheckResponse
 	err := c.postJSON(c.MetaURL+"/meta/store-check", StoreCheckRequest{
@@ -112,7 +170,7 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 		Name:    name,
 		Size:    int64(len(data)),
 		FileMD5: fileSum.String(),
-	}, &check)
+	}, &check, budget)
 	if err != nil {
 		return StoreResult{}, err
 	}
@@ -125,11 +183,14 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 
 	chunkSums := SplitSums(data)
 	chunkStrs := make([]string, len(chunkSums))
+	byDigest := make(map[string]int, len(chunkSums))
 	for i, s := range chunkSums {
 		chunkStrs[i] = s.String()
+		if _, ok := byDigest[chunkStrs[i]]; !ok {
+			byDigest[chunkStrs[i]] = i
+		}
 	}
-	var opResp FileOpResponse
-	err = c.postJSON(check.FrontEnd+"/op/store?url="+check.URL, FileOpRequest{
+	opReq := FileOpRequest{
 		UserID:    c.UserID,
 		DeviceID:  c.DeviceID,
 		Device:    c.Device.String(),
@@ -137,55 +198,98 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 		Size:      int64(len(data)),
 		FileMD5:   fileSum.String(),
 		ChunkMD5s: chunkStrs,
-	}, &opResp)
-	if err != nil {
-		return StoreResult{}, err
 	}
 
-	res := StoreResult{URL: check.URL}
-	for i, sum := range chunkSums {
-		if i > 0 && c.InterChunkDelay != nil {
-			time.Sleep(c.InterChunkDelay())
-		}
-		lo := i * ChunkSize
-		hi := lo + ChunkSize
-		if hi > len(data) {
-			hi = len(data)
-		}
-		if err := c.putChunk(check.FrontEnd, check.URL, sum, data[lo:hi]); err != nil {
-			return res, fmt.Errorf("chunk %d: %w", i, err)
-		}
-		res.ChunksSent++
-		res.BytesSent += int64(hi - lo)
+	maxResumes := c.MaxResumes
+	if maxResumes <= 0 {
+		maxResumes = 3
 	}
-	return res, nil
+	res := StoreResult{URL: check.URL}
+	var lastErr error
+	for pass := 0; pass <= maxResumes; pass++ {
+		if pass > 0 {
+			res.Resumes++
+			c.Metrics.resume()
+		}
+		var opResp FileOpResponse
+		err = c.postJSON(check.FrontEnd+"/op/store?url="+check.URL, opReq, &opResp, budget)
+		if err != nil {
+			return res, err
+		}
+		// A resumable front-end reports exactly which chunks it still
+		// needs (possibly none: the upload is already complete). Older
+		// servers expect everything.
+		todo := chunkStrs
+		if opResp.Resumable {
+			todo = opResp.MissingMD5s
+		}
+		if len(todo) == 0 {
+			return res, nil
+		}
+
+		lastErr = nil
+		for j, digest := range todo {
+			if j > 0 && c.InterChunkDelay != nil {
+				time.Sleep(c.InterChunkDelay())
+			}
+			i, ok := byDigest[digest]
+			if !ok {
+				return res, fmt.Errorf("storage: front-end wants unknown chunk %s", digest)
+			}
+			lo := i * ChunkSize
+			hi := lo + ChunkSize
+			if hi > len(data) {
+				hi = len(data)
+			}
+			if err := c.putChunk(check.FrontEnd, check.URL, chunkSums[i], data[lo:hi], budget); err != nil {
+				lastErr = fmt.Errorf("chunk %d: %w", i, err)
+				break
+			}
+			res.ChunksSent++
+			res.BytesSent += int64(hi - lo)
+		}
+		if lastErr == nil {
+			return res, nil
+		}
+		if !retryable(lastErr) || !opResp.Resumable {
+			break
+		}
+	}
+	return res, lastErr
 }
 
-func (c *Client) putChunk(frontend, url string, sum Sum, data []byte) error {
-	req, err := http.NewRequest(http.MethodPut,
-		fmt.Sprintf("%s/chunk/%s?url=%s", frontend, sum, url), bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	c.setIdentity(req)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	io.Copy(io.Discard, resp.Body)
-	return nil
+// putChunk uploads one chunk. The PUT is idempotent — the chunk store
+// deduplicates by content — so retries simply re-send the same bytes.
+func (c *Client) putChunk(frontend, url string, sum Sum, data []byte, budget *retryBudget) error {
+	target := fmt.Sprintf("%s/chunk/%s?url=%s", frontend, sum, url)
+	return c.doRetry(budget,
+		func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPut, target, bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			c.setIdentity(req)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return decodeError(resp)
+			}
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		})
 }
 
 // RetrieveFile downloads the file behind a service URL and returns its
 // contents: URL resolution at the metadata server, a file retrieval
-// operation request, then sequential chunk retrieval requests.
+// operation request, then sequential chunk retrieval requests. Each
+// chunk is verified against its digest and re-fetched on corruption;
+// the assembled file is verified against the file hash.
 func (c *Client) RetrieveFile(url string) ([]byte, error) {
+	budget := c.newBudget()
 	var res ResolveResponse
-	err := c.postJSON(c.MetaURL+"/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res)
+	err := c.postJSON(c.MetaURL+"/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +304,7 @@ func (c *Client) RetrieveFile(url string) ([]byte, error) {
 		Device:   c.Device.String(),
 		FileMD5:  res.FileMD5,
 		Size:     res.Size,
-	}, &op)
+	}, &op, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +318,7 @@ func (c *Client) RetrieveFile(url string) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		data, err := c.getChunk(res.FrontEnd, sum)
+		data, err := c.getChunk(res.FrontEnd, sum, budget)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", i, err)
 		}
@@ -226,19 +330,35 @@ func (c *Client) RetrieveFile(url string) ([]byte, error) {
 	return buf, nil
 }
 
-func (c *Client) getChunk(frontend string, sum Sum) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/chunk/%s", frontend, sum), nil)
-	if err != nil {
-		return nil, err
-	}
-	c.setIdentity(req)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
-	return io.ReadAll(resp.Body)
+// getChunk downloads and verifies one chunk; truncated or corrupted
+// bodies count as transient failures and are re-fetched.
+func (c *Client) getChunk(frontend string, sum Sum, budget *retryBudget) ([]byte, error) {
+	var out []byte
+	err := c.doRetry(budget,
+		func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/chunk/%s", frontend, sum), nil)
+			if err != nil {
+				return nil, err
+			}
+			c.setIdentity(req)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return decodeError(resp)
+			}
+			data, err := io.ReadAll(io.LimitReader(resp.Body, ChunkSize+1))
+			if err != nil {
+				c.Metrics.refetch()
+				return &corruptError{err: err}
+			}
+			if SumBytes(data) != sum {
+				c.Metrics.refetch()
+				return &corruptError{err: fmt.Errorf("chunk digest mismatch (%d bytes)", len(data))}
+			}
+			out = data
+			return nil
+		})
+	return out, err
 }

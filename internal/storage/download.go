@@ -23,8 +23,9 @@ type Download struct {
 // NewDownload resolves url and issues the file retrieval operation
 // request, returning a Download ready to Resume.
 func (c *Client) NewDownload(url string) (*Download, error) {
+	budget := c.newBudget()
 	var res ResolveResponse
-	if err := c.postJSON(c.MetaURL+"/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res); err != nil {
+	if err := c.postJSON(c.MetaURL+"/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget); err != nil {
 		return nil, err
 	}
 	if res.FrontEnd == "" {
@@ -37,7 +38,7 @@ func (c *Client) NewDownload(url string) (*Download, error) {
 		Device:   c.Device.String(),
 		FileMD5:  res.FileMD5,
 		Size:     res.Size,
-	}, &op)
+	}, &op, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +68,10 @@ func (d *Download) Complete() bool { return d.done == len(d.sums) }
 
 // Resume fetches the remaining chunks sequentially, stopping at the
 // first error; already-fetched chunks are never re-transferred. Call
-// it again after a failure to continue where it left off.
+// it again after a failure to continue where it left off. Each Resume
+// gets a fresh retry budget.
 func (d *Download) Resume() error {
+	budget := d.c.newBudget()
 	for i := range d.sums {
 		if d.chunks[i] != nil {
 			continue
@@ -76,7 +79,7 @@ func (d *Download) Resume() error {
 		if d.done > 0 && d.c.InterChunkDelay != nil {
 			time.Sleep(d.c.InterChunkDelay())
 		}
-		data, err := d.c.getChunk(d.frontend, d.sums[i])
+		data, err := d.c.getChunk(d.frontend, d.sums[i], budget)
 		if err != nil {
 			return fmt.Errorf("chunk %d/%d: %w", i+1, len(d.sums), err)
 		}

@@ -114,6 +114,20 @@ type pendingUpload struct {
 	got      map[Sum]bool
 }
 
+// missingLocked lists the expected chunks that have not arrived, in
+// upload order without duplicates (caller holds mu).
+func (p *pendingUpload) missingLocked() []Sum {
+	var missing []Sum
+	seen := make(map[Sum]bool, len(p.expected))
+	for _, s := range p.expected {
+		if !p.got[s] && !seen[s] {
+			seen[s] = true
+			missing = append(missing, s)
+		}
+	}
+	return missing
+}
+
 // NewFrontEnd returns a front-end backed by the given chunk store and
 // metadata server, logging into sink (which may be nil to discard).
 func NewFrontEnd(store ChunkStore, meta *Metadata, sink LogSink, opts FrontEndOptions) *FrontEnd {
@@ -261,18 +275,73 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 			f.fail(w, http.StatusNotFound, err, trace.FileStore)
 			return
 		}
-	} else {
-		f.mu.Lock()
-		f.pending[url] = &pendingUpload{url: url, expected: expected, got: make(map[Sum]bool)}
-		f.mu.Unlock()
+		tsrv := f.upstream()
+		f.record(r, trace.FileStore, 0, started, tsrv)
+		writeJSON(w, FileOpResponse{OK: true, Resumable: true})
+		return
+	}
+
+	// Re-issuing the operation for an in-flight URL resumes it: the
+	// upload's progress survives, and the response tells the client
+	// which chunks are still needed. Chunks the store already holds —
+	// from an interrupted earlier attempt or shared with another file —
+	// are counted as arrived, so clients never re-send stored bytes.
+	f.mu.Lock()
+	p, ok := f.pending[url]
+	if !ok {
+		p = &pendingUpload{url: url, expected: expected, got: make(map[Sum]bool)}
+		for _, s := range expected {
+			if f.store.Has(s) {
+				p.got[s] = true
+			}
+		}
+		f.pending[url] = p
 		if fm := f.opts.Metrics; fm != nil {
 			fm.pending.Inc()
+		}
+	} else {
+		p.expected = expected
+	}
+	missing := p.missingLocked()
+	var snapshot []Sum
+	if len(missing) == 0 {
+		snapshot = append([]Sum(nil), p.expected...)
+	}
+	f.mu.Unlock()
+
+	if len(missing) == 0 {
+		if err := f.commitUpload(url, snapshot); err != nil {
+			f.fail(w, http.StatusInternalServerError, err, trace.FileStore)
+			return
 		}
 	}
 
 	tsrv := f.upstream()
 	f.record(r, trace.FileStore, 0, started, tsrv)
-	writeJSON(w, FileOpResponse{OK: true})
+	missStrs := make([]string, len(missing))
+	for i, s := range missing {
+		missStrs[i] = s.String()
+	}
+	writeJSON(w, FileOpResponse{OK: true, Resumable: true, MissingMD5s: missStrs})
+}
+
+// commitUpload finalizes a completed upload at the metadata server and
+// only then drops the pending record, so a failed commit remains
+// retryable by the client (via op re-issue or chunk re-PUT).
+func (f *FrontEnd) commitUpload(url string, expected []Sum) error {
+	if err := f.meta.Commit(url, expected); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	_, ok := f.pending[url]
+	delete(f.pending, url)
+	f.mu.Unlock()
+	if ok {
+		if fm := f.opts.Metrics; fm != nil {
+			fm.pending.Dec()
+		}
+	}
+	return nil
 }
 
 func (f *FrontEnd) handleRetrieveOp(w http.ResponseWriter, r *http.Request) {
@@ -344,23 +413,19 @@ func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, sta
 	url := r.URL.Query().Get("url")
 	if url != "" {
 		f.mu.Lock()
+		var snapshot []Sum
 		if p, ok := f.pending[url]; ok {
 			p.got[sum] = true
 			if f.completeLocked(p) {
-				delete(f.pending, url)
-				f.mu.Unlock()
-				if fm := f.opts.Metrics; fm != nil {
-					fm.pending.Dec()
-				}
-				if err := f.meta.Commit(url, p.expected); err != nil {
-					f.fail(w, http.StatusInternalServerError, err, trace.ChunkStore)
-					return
-				}
-			} else {
-				f.mu.Unlock()
+				snapshot = append([]Sum(nil), p.expected...)
 			}
-		} else {
-			f.mu.Unlock()
+		}
+		f.mu.Unlock()
+		if snapshot != nil {
+			if err := f.commitUpload(url, snapshot); err != nil {
+				f.fail(w, http.StatusInternalServerError, err, trace.ChunkStore)
+				return
+			}
 		}
 	}
 

@@ -112,7 +112,13 @@ func (m *Metadata) Restore(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes a snapshot atomically (temp file + rename).
+// renameSnapshot is swapped out by crash-safety tests to simulate a
+// failure between the temp-file write and the atomic rename.
+var renameSnapshot = os.Rename
+
+// SaveFile writes a snapshot atomically (temp file + fsync + rename),
+// so a crash at any point leaves either the previous snapshot or the
+// new one — never a torn file.
 func (m *Metadata) SaveFile(path string) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".meta-*")
 	if err != nil {
@@ -123,11 +129,20 @@ func (m *Metadata) SaveFile(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := renameSnapshot(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // LoadFile restores from a snapshot file; a missing file is not an

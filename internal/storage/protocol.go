@@ -113,11 +113,19 @@ type FileOpRequest struct {
 }
 
 // FileOpResponse acknowledges a file operation. For retrievals it
-// lists the chunk digests to fetch.
+// lists the chunk digests to fetch. For stores on a resumable
+// front-end it lists the chunks the server still needs — an empty set
+// means the upload is already complete (all chunks present, file
+// committed), which is how an interrupted client resumes without
+// re-sending data.
 type FileOpResponse struct {
 	OK        bool     `json:"ok"`
 	ChunkMD5s []string `json:"chunk_md5s,omitempty"`
 	Size      int64    `json:"size,omitempty"`
+	// Resumable marks a server that reports MissingMD5s; clients fall
+	// back to sending every chunk when it is false.
+	Resumable   bool     `json:"resumable,omitempty"`
+	MissingMD5s []string `json:"missing_md5s,omitempty"`
 }
 
 // errorResponse is the uniform error body.

@@ -1,0 +1,329 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mcloud/internal/metrics"
+	"mcloud/internal/randx"
+)
+
+// RetryPolicy controls how the client survives the failures the
+// paper's mobile population lived with: flaky links, overloaded
+// front-ends, interrupted transfers. The zero value means "use
+// DefaultRetry". Every request gets its own deadline; failed attempts
+// back off exponentially with jitter; a per-file-operation budget
+// bounds the total retry work so a persistent outage fails fast
+// instead of retrying forever.
+type RetryPolicy struct {
+	// MaxAttempts is the per-request attempt cap (first try included).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter is the fraction of the backoff randomized away (0..1):
+	// the actual sleep is uniform in [d*(1-Jitter), d].
+	Jitter float64
+	// Budget caps the total retries spent on one file operation
+	// (StoreFile/RetrieveFile), across all its requests.
+	Budget int
+	// RequestTimeout is the per-attempt deadline.
+	RequestTimeout time.Duration
+}
+
+// DefaultRetry is the policy used when Client.Retry is nil.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts:    4,
+	BaseDelay:      25 * time.Millisecond,
+	MaxDelay:       2 * time.Second,
+	Multiplier:     2,
+	Jitter:         0.5,
+	Budget:         32,
+	RequestTimeout: 30 * time.Second,
+}
+
+// NoRetry disables retries while keeping the per-request deadline —
+// useful to observe raw failure behavior.
+var NoRetry = RetryPolicy{
+	MaxAttempts:    1,
+	Budget:         0,
+	RequestTimeout: 30 * time.Second,
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p = DefaultRetry
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetry.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultRetry.Multiplier
+	}
+	if p.RequestTimeout <= 0 {
+		p.RequestTimeout = DefaultRetry.RequestTimeout
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number n (1-based); u is a
+// uniform [0,1) draw supplying the jitter.
+func (p RetryPolicy) backoff(n int, u float64) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+// retryBudget tracks the retries remaining for one file operation.
+type retryBudget struct{ remaining int }
+
+func (b *retryBudget) take() bool {
+	if b.remaining <= 0 {
+		return false
+	}
+	b.remaining--
+	return true
+}
+
+// serverError is a non-2xx response decoded into an error; the status
+// decides retryability.
+type serverError struct {
+	Status int
+	Msg    string
+}
+
+func (e *serverError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("storage: server: %s (status %d)", e.Msg, e.Status)
+	}
+	return fmt.Sprintf("storage: server returned status %d", e.Status)
+}
+
+// corruptError marks a response whose payload failed verification
+// (truncated or checksum-mismatched body); always worth a re-fetch.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string { return "storage: corrupt response: " + e.err.Error() }
+func (e *corruptError) Unwrap() error { return e.err }
+
+// retryable classifies an attempt failure. Transport-level errors
+// (resets, timeouts) and body corruption are transient by nature;
+// server statuses are retryable for 5xx and 429 (overload), while
+// other 4xx are the client's own fault and retrying cannot help.
+func retryable(err error) bool {
+	var se *serverError
+	if errors.As(err, &se) {
+		return se.Status >= 500 || se.Status == http.StatusTooManyRequests
+	}
+	var ce *corruptError
+	if errors.As(err, &ce) {
+		return true
+	}
+	// Everything else that reaches the retry loop is a transport or
+	// body-read failure.
+	return true
+}
+
+// parseRetryAfter reads a Retry-After header (seconds form), zero when
+// absent or malformed.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// ClientMetrics aggregates the resilience counters across any number
+// of Clients; all methods are safe on a nil receiver so the hot path
+// needs no guards.
+type ClientMetrics struct {
+	retries      *metrics.Counter // retry attempts issued
+	retrySuccess *metrics.Counter // requests that succeeded after >=1 retry
+	giveups      *metrics.Counter // requests abandoned after exhausting retries
+	resumes      *metrics.Counter // uploads resumed from the missing-chunk set
+	refetches    *metrics.Counter // chunk downloads re-fetched after corruption
+}
+
+// NewClientMetrics registers the client resilience series:
+//
+//	mcs_client_retries_total        retry attempts issued
+//	mcs_client_retry_success_total  requests recovered by retrying
+//	mcs_client_giveups_total        requests abandoned after retries
+//	mcs_client_resumes_total        uploads resumed mid-file
+//	mcs_client_refetches_total      corrupted chunk downloads re-fetched
+//	mcs_client_retry_success_ratio  recovered / retried requests
+func NewClientMetrics(reg *metrics.Registry) *ClientMetrics {
+	m := &ClientMetrics{
+		retries:      reg.Counter("mcs_client_retries_total", "Retry attempts issued by resilient clients."),
+		retrySuccess: reg.Counter("mcs_client_retry_success_total", "Requests that succeeded after at least one retry."),
+		giveups:      reg.Counter("mcs_client_giveups_total", "Requests abandoned after exhausting retries or budget."),
+		resumes:      reg.Counter("mcs_client_resumes_total", "Uploads resumed from the server's missing-chunk set."),
+		refetches:    reg.Counter("mcs_client_refetches_total", "Chunk downloads re-fetched after checksum or read failures."),
+	}
+	reg.GaugeFunc("mcs_client_retry_success_ratio",
+		"Fraction of retried requests that eventually succeeded.",
+		func() float64 {
+			r := m.retries.Value()
+			if r == 0 {
+				return 0
+			}
+			return float64(m.retrySuccess.Value()) / float64(r)
+		})
+	return m
+}
+
+// ClientRetryStats is a snapshot of the counters, for summaries.
+type ClientRetryStats struct {
+	Retries, RetrySuccess, GiveUps, Resumes, Refetches int64
+}
+
+// Stats returns the current counter values (zero on nil).
+func (m *ClientMetrics) Stats() ClientRetryStats {
+	if m == nil {
+		return ClientRetryStats{}
+	}
+	return ClientRetryStats{
+		Retries:      m.retries.Value(),
+		RetrySuccess: m.retrySuccess.Value(),
+		GiveUps:      m.giveups.Value(),
+		Resumes:      m.resumes.Value(),
+		Refetches:    m.refetches.Value(),
+	}
+}
+
+func (m *ClientMetrics) retry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+func (m *ClientMetrics) recovered() {
+	if m != nil {
+		m.retrySuccess.Inc()
+	}
+}
+func (m *ClientMetrics) giveup() {
+	if m != nil {
+		m.giveups.Inc()
+	}
+}
+func (m *ClientMetrics) resume() {
+	if m != nil {
+		m.resumes.Inc()
+	}
+}
+func (m *ClientMetrics) refetch() {
+	if m != nil {
+		m.refetches.Inc()
+	}
+}
+
+// defaultHTTPClient replaces the old http.DefaultClient fallback: a
+// shared client with connection reuse sized for chunk traffic and a
+// generous overall timeout as the last line of defense (per-request
+// deadlines from the RetryPolicy fire first).
+var defaultHTTPClient = &http.Client{
+	Timeout: 2 * time.Minute,
+	Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// doRetry runs one logical request with retries: build must return a
+// fresh request per attempt (bodies are rebuilt, so PUT retries are
+// idempotent re-sends), handle consumes the response and reports
+// success or a classified failure. The call respects the per-attempt
+// deadline, exponential backoff with jitter, Retry-After hints, and
+// the operation's retry budget.
+func (c *Client) doRetry(budget *retryBudget, build func() (*http.Request, error), handle func(*http.Response) error) error {
+	pol := c.policy()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(req.Context(), pol.RequestTimeout)
+		resp, err := c.httpClient().Do(req.WithContext(ctx))
+		var retryAfter time.Duration
+		if err == nil {
+			retryAfter = parseRetryAfter(resp.Header)
+			err = handle(resp)
+		}
+		cancel()
+		if err == nil {
+			if attempt > 1 {
+				c.Metrics.recovered()
+			}
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+		if attempt >= pol.MaxAttempts || !budget.take() {
+			c.Metrics.giveup()
+			return fmt.Errorf("storage: giving up after %d attempts: %w", attempt, lastErr)
+		}
+		c.Metrics.retry()
+		d := pol.backoff(attempt, c.jitterDraw())
+		if retryAfter > d {
+			d = retryAfter
+		}
+		if d > pol.MaxDelay {
+			d = pol.MaxDelay
+		}
+		time.Sleep(d)
+	}
+}
+
+// policy resolves the effective retry policy.
+func (c *Client) policy() RetryPolicy {
+	if c.Retry != nil {
+		return c.Retry.withDefaults()
+	}
+	return DefaultRetry
+}
+
+// newBudget returns the retry budget for one file operation.
+func (c *Client) newBudget() *retryBudget {
+	return &retryBudget{remaining: c.policy().Budget}
+}
+
+// jitterDraw returns the next uniform draw from the client's jitter
+// stream, created on first use from RetrySeed so backoff sequences
+// are reproducible per client.
+func (c *Client) jitterDraw() float64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	if c.rng == nil {
+		c.rng = randx.Derive(c.RetrySeed, fmt.Sprintf("client/%d/%d", c.UserID, c.DeviceID))
+	}
+	return c.rng.Float64()
+}

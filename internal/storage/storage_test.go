@@ -323,7 +323,7 @@ func TestEndToEndDeduplication(t *testing.T) {
 
 	// A different user uploading identical content should not move any
 	// bytes.
-	other := *client
+	other := client.Clone()
 	other.UserID = 77
 	second, err := other.StoreFile("b.bin", data)
 	if err != nil {
@@ -401,7 +401,7 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			c := *client
+			c := client.Clone()
 			c.UserID = uint64(100 + g)
 			c.DeviceID = uint64(g)
 			src := randx.New(uint64(g))
@@ -461,7 +461,7 @@ func TestChunkTooLargeRejected(t *testing.T) {
 	big := make([]byte, ChunkSize+1)
 	sum := SumBytes(big)
 	client := &Client{MetaURL: srv.URL}
-	if err := client.putChunk(srv.URL, "/f/x/1", sum, big); err == nil {
+	if err := client.putChunk(srv.URL, "/f/x/1", sum, big, client.newBudget()); err == nil {
 		t.Error("oversized chunk accepted")
 	}
 }

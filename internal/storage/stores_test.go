@@ -371,7 +371,7 @@ func TestDownloadResume(t *testing.T) {
 
 	// Download with a transport that dies mid-transfer.
 	flaky := &flakyTransport{}
-	dlClient := *client
+	dlClient := client.Clone()
 	dlClient.HTTP = &http.Client{Transport: flaky}
 
 	dl, err := dlClient.NewDownload(res.URL)
