@@ -14,12 +14,14 @@ package main
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -31,12 +33,16 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("i", "-", "input log file (- for stdin)")
-		figure = flag.String("figure", "all", "which experiment to print: all, 1, 3, sessions, 4, 5, 6, 7, table3, 8, 9, 10, 12, 14, 15, 16, whatif")
-		days   = flag.Int("days", 7, "observation window in days")
-		flows  = flag.Int("idleflows", 120, "flows per class for the Fig 13/16 simulator study")
+		in      = flag.String("i", "-", "input log file (- for stdin)")
+		figure  = flag.String("figure", "all", "which experiment to print: all, 1, 3, sessions, 4, 5, 6, 7, table3, 8, 9, 10, 12, 14, 15, 16, whatif")
+		days    = flag.Int("days", 7, "observation window in days")
+		flows   = flag.Int("idleflows", 120, "flows per class for the Fig 13/16 simulator study")
+		workers = flag.Int("workers", 0, "analysis worker goroutines, sharded by user (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	// Tag the whole pass so /debug/pprof profiles attribute the fold.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("component", "analyzer")))
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -56,7 +62,7 @@ func main() {
 		}
 	}
 
-	a := core.NewAnalyzer(core.Options{Days: *days})
+	a := core.NewParallelAnalyzer(core.Options{Days: *days}, *workers)
 	start := time.Now()
 	badLines := 0
 	br := bufio.NewReaderSize(r, 1<<16)
@@ -92,12 +98,12 @@ func main() {
 	if badLines > 0 {
 		fmt.Fprintf(os.Stderr, "mcsanalyze: skipped %d malformed lines\n", badLines)
 	}
-	res, err := a.Run()
+	res, err := a.Finish().Run()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("analyzed %d logs from %d users in %v\n",
-		res.Logs, res.Users, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("analyzed %d logs from %d users in %v (%d workers)\n",
+		res.Logs, res.Users, time.Since(start).Round(time.Millisecond), a.Workers())
 	for _, w := range res.Warnings {
 		fmt.Fprintf(os.Stderr, "mcsanalyze: warning: %s\n", w)
 	}

@@ -1,0 +1,306 @@
+// Command mcsbench measures how the four parallelized hot paths scale
+// with worker count — sharded chunk-store writes, pipelined chunk
+// transfers over a live in-process service, bounded-memory workload
+// generation, and user-sharded analysis — and writes the results to a
+// JSON report (BENCH_pipeline.json by default).
+//
+// The report records GOMAXPROCS and NumCPU alongside every timing:
+// the store, generation, and analysis paths are CPU-bound, so their
+// scaling is limited by available cores, while the transfer path is
+// latency-bound (it overlaps simulated upstream processing delays)
+// and scales with the in-flight window even on one core.
+//
+// Usage:
+//
+//	mcsbench                # full run, writes BENCH_pipeline.json
+//	mcsbench -quick         # reduced sizes for CI smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcloud/internal/core"
+	"mcloud/internal/randx"
+	"mcloud/internal/storage"
+	"mcloud/internal/trace"
+	"mcloud/internal/workload"
+)
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// pathReport is one hot path's scaling measurement.
+type pathReport struct {
+	// SecondsByWorkers maps worker count to wall-clock seconds.
+	SecondsByWorkers map[string]float64 `json:"seconds_by_workers"`
+	// SpeedupAt8 is t(1 worker) / t(8 workers).
+	SpeedupAt8 float64 `json:"speedup_at_8"`
+	Notes      string  `json:"notes,omitempty"`
+}
+
+type report struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Quick      bool   `json:"quick"`
+	Timestamp  string `json:"timestamp"`
+
+	Paths map[string]pathReport `json:"paths"`
+	// AggregateSpeedupAt8 is the geometric mean of the per-path
+	// 8-worker speedups.
+	AggregateSpeedupAt8 float64 `json:"aggregate_speedup_at_8"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_pipeline.json", "report output path")
+		quick = flag.Bool("quick", false, "reduced problem sizes for CI smoke runs")
+	)
+	flag.Parse()
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      *quick,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Paths:      map[string]pathReport{},
+	}
+	fmt.Printf("mcsbench: GOMAXPROCS=%d NumCPU=%d quick=%v\n", rep.GOMAXPROCS, rep.NumCPU, *quick)
+
+	paths := []struct {
+		name  string
+		notes string
+		run   func(workers int, quick bool) float64
+	}{
+		{"store", "CPU/lock-bound: concurrent Put into the sharded chunk store", benchStore},
+		{"transfer", "latency-bound: pipelined chunk PUT+GET against a live front-end with a 20ms median simulated upstream delay", benchTransfer},
+		{"generate", "CPU-bound: bounded-memory workload generation via StreamP", benchGenerate},
+		{"analyze", "CPU-bound: user-sharded fold + merge via ParallelAnalyzer", benchAnalyze},
+	}
+
+	speedups := make([]float64, 0, len(paths))
+	for _, p := range paths {
+		pr := pathReport{SecondsByWorkers: map[string]float64{}, Notes: p.notes}
+		var t1, t8 float64
+		for _, w := range workerCounts {
+			// Settle allocator debt from setup/previous runs so one
+			// timing doesn't pay another's GC bill.
+			runtime.GC()
+			secs := p.run(w, *quick)
+			pr.SecondsByWorkers[fmt.Sprint(w)] = secs
+			fmt.Printf("mcsbench: %-8s workers=%d  %8.3fs\n", p.name, w, secs)
+			if w == 1 {
+				t1 = secs
+			}
+			if w == 8 {
+				t8 = secs
+			}
+		}
+		if t8 > 0 {
+			pr.SpeedupAt8 = t1 / t8
+		}
+		fmt.Printf("mcsbench: %-8s speedup at 8 workers: %.2fx\n", p.name, pr.SpeedupAt8)
+		rep.Paths[p.name] = pr
+		speedups = append(speedups, pr.SpeedupAt8)
+	}
+
+	logSum := 0.0
+	for _, s := range speedups {
+		logSum += math.Log(math.Max(s, 1e-9))
+	}
+	rep.AggregateSpeedupAt8 = math.Exp(logSum / float64(len(speedups)))
+	fmt.Printf("mcsbench: aggregate speedup at 8 workers: %.2fx (geometric mean)\n", rep.AggregateSpeedupAt8)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mcsbench: wrote %s\n", *out)
+}
+
+// benchStore times W goroutines putting pre-hashed chunks into one
+// sharded MemStore — the pure store write path, no HTTP.
+func benchStore(workers int, quick bool) float64 {
+	chunks, size := 4096, 64<<10
+	if quick {
+		chunks, size = 512, 16<<10
+	}
+	data := make([][]byte, chunks)
+	sums := make([]storage.Sum, chunks)
+	src := randx.New(1)
+	for i := range data {
+		buf := make([]byte, size)
+		for j := 0; j < size; j += 8 {
+			v := src.Uint64()
+			for k := 0; k < 8 && j+k < size; k++ {
+				buf[j+k] = byte(v >> (8 * k))
+			}
+		}
+		data[i] = buf
+		sums[i] = storage.SumBytes(buf)
+	}
+
+	store := storage.NewMemStore()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= chunks {
+					return
+				}
+				if err := store.Put(sums[i], data[i]); err != nil {
+					fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start).Seconds()
+}
+
+// benchTransfer times storing and retrieving files through a live
+// in-process front-end whose upstream delay is a ~2 ms lognormal,
+// with the client keeping `workers` chunk requests in flight.
+func benchTransfer(workers int, quick bool) float64 {
+	files, chunksPerFile := 4, 16
+	if quick {
+		files, chunksPerFile = 2, 8
+	}
+
+	// The paper's service sees upstream processing times (Tsrv) of
+	// tens to hundreds of milliseconds; 20 ms keeps the run short
+	// while still dominating per-chunk CPU work.
+	delaySrc := randx.New(99)
+	var delayMu sync.Mutex
+	median := float64(20 * time.Millisecond)
+	opts := storage.FrontEndOptions{
+		SleepUpstream: true,
+		UpstreamDelay: func() time.Duration {
+			delayMu.Lock()
+			defer delayMu.Unlock()
+			return time.Duration(delaySrc.LogNormal(math.Log(median), 0.45))
+		},
+	}
+	store := storage.NewMemStore()
+	meta := storage.NewMetadata()
+	fe := storage.NewFrontEnd(store, meta, &storage.Collector{}, opts)
+	feSrv := httptest.NewServer(fe.Handler())
+	defer feSrv.Close()
+	metaSrv := httptest.NewServer(meta.Handler())
+	defer metaSrv.Close()
+	meta.AddFrontEnd(feSrv.URL)
+
+	client := &storage.Client{
+		MetaURL:  metaSrv.URL,
+		UserID:   1,
+		DeviceID: 1,
+		Device:   trace.Android,
+		Parallel: workers,
+	}
+
+	payloads := make([][]byte, files)
+	src := randx.New(7)
+	for i := range payloads {
+		buf := make([]byte, chunksPerFile*storage.ChunkSize)
+		for j := 0; j < len(buf); j += 4096 {
+			v := src.Uint64()
+			buf[j] = byte(v)
+			buf[j+1] = byte(v >> 8)
+		}
+		payloads[i] = buf
+	}
+
+	start := time.Now()
+	for i, p := range payloads {
+		res, err := client.StoreFile(fmt.Sprintf("bench-%d-%d.bin", workers, i), p)
+		if err != nil {
+			fatal(err)
+		}
+		got, err := client.RetrieveFile(res.URL)
+		if err != nil {
+			fatal(err)
+		}
+		if len(got) != len(p) {
+			fatal(fmt.Errorf("transfer bench: got %d bytes, want %d", len(got), len(p)))
+		}
+	}
+	return time.Since(start).Seconds()
+}
+
+// benchGenerate times draining the bounded-memory workload stream
+// with `workers` generation goroutines.
+func benchGenerate(workers int, quick bool) float64 {
+	users := 4000
+	if quick {
+		users = 800
+	}
+	g, err := workload.New(workload.Config{Users: users, PCOnlyUsers: users / 8, Seed: 5})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	s := g.StreamP(workers)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		fatal(fmt.Errorf("generate bench: empty stream"))
+	}
+	return time.Since(start).Seconds()
+}
+
+// analyzeLogs caches the generated trace shared by every analysis
+// timing so each worker count folds identical input.
+var analyzeLogs struct {
+	once sync.Once
+	logs []trace.Log
+}
+
+// benchAnalyze times the user-sharded analysis fold and merge.
+func benchAnalyze(workers int, quick bool) float64 {
+	analyzeLogs.once.Do(func() {
+		users := 4000
+		if quick {
+			users = 800
+		}
+		g, err := workload.New(workload.Config{Users: users, PCOnlyUsers: users / 8, Seed: 6})
+		if err != nil {
+			fatal(err)
+		}
+		analyzeLogs.logs = trace.Drain(g.StreamP(0))
+	})
+	start := time.Now()
+	a := core.NewParallelAnalyzer(core.Options{}, workers)
+	for _, l := range analyzeLogs.logs {
+		a.Add(l)
+	}
+	final := a.Finish()
+	if final.TotalLogs() != int64(len(analyzeLogs.logs)) {
+		fatal(fmt.Errorf("analyze bench: folded %d logs, want %d", final.TotalLogs(), len(analyzeLogs.logs)))
+	}
+	return time.Since(start).Seconds()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsbench:", err)
+	os.Exit(1)
+}

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -29,19 +32,22 @@ import (
 
 func main() {
 	var (
-		metaURL = flag.String("meta", "http://127.0.0.1:8070", "metadata server base URL")
-		devices = flag.Int("devices", 4, "concurrent simulated devices")
-		files   = flag.Int("files", 20, "files stored per device")
-		retr    = flag.Float64("retrieve", 0.3, "fraction of stored files retrieved back")
-		dup     = flag.Float64("dup", 0.2, "probability a file duplicates another device's content")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		opsURL  = flag.String("ops", "", "mcsserver ops base URL (e.g. http://127.0.0.1:8090); polls /metrics and shows a live dashboard")
-		dash    = flag.Duration("dash", time.Second, "dashboard poll interval when -ops is set")
-		chaos   = flag.String("chaos", "", `client-side fault scenario, e.g. "mixed10,seed=42": faults are injected into the loaders' own transports (see internal/faults)`)
-		maxFail = flag.Float64("maxfail", 0, "tolerated operation failure rate before a non-zero exit")
-		verify  = flag.Bool("verify", true, "after the run, retrieve every acknowledged store and verify it byte-identical")
+		metaURL  = flag.String("meta", "http://127.0.0.1:8070", "metadata server base URL")
+		devices  = flag.Int("devices", 4, "concurrent simulated devices")
+		files    = flag.Int("files", 20, "files stored per device")
+		retr     = flag.Float64("retrieve", 0.3, "fraction of stored files retrieved back")
+		dup      = flag.Float64("dup", 0.2, "probability a file duplicates another device's content")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		opsURL   = flag.String("ops", "", "mcsserver ops base URL (e.g. http://127.0.0.1:8090); polls /metrics and shows a live dashboard")
+		dash     = flag.Duration("dash", time.Second, "dashboard poll interval when -ops is set")
+		chaos    = flag.String("chaos", "", `client-side fault scenario, e.g. "mixed10,seed=42": faults are injected into the loaders' own transports (see internal/faults)`)
+		maxFail  = flag.Float64("maxfail", 0, "tolerated operation failure rate before a non-zero exit")
+		verify   = flag.Bool("verify", true, "after the run, retrieve every acknowledged store and verify it byte-identical")
+		parallel = flag.Int("parallel", storage.DefaultParallel, "chunk requests kept in flight per transfer (1 = sequential)")
 	)
 	flag.Parse()
+	fmt.Printf("mcsload: GOMAXPROCS=%d, %d chunk requests in flight per transfer\n",
+		runtime.GOMAXPROCS(0), *parallel)
 
 	scenario, err := faults.ParseScenario(*chaos)
 	if err != nil {
@@ -73,6 +79,10 @@ func main() {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
+			// Tag the loader goroutines (and the chunk-window goroutines
+			// they spawn) so CPU profiles split client from server work.
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("component", "client")))
 			src := randx.Derive(*seed, fmt.Sprintf("loader/%d", d))
 			dev := trace.Android
 			if src.Bool(1 - workload.AndroidShare) {
@@ -86,6 +96,7 @@ func main() {
 				SimRTT:    100 * time.Millisecond,
 				RetrySeed: *seed,
 				Metrics:   cm,
+				Parallel:  *parallel,
 			}
 			if scenario.Enabled() {
 				// Each device owns a derived fault stream, so the fault
@@ -184,7 +195,7 @@ func main() {
 	// come back byte-identical, over a clean (fault-free) connection.
 	lost, corrupt := 0, 0
 	if *verify && len(acked) > 0 {
-		verifier := &storage.Client{MetaURL: *metaURL, UserID: 999, DeviceID: 999, Device: trace.PC, Metrics: cm}
+		verifier := &storage.Client{MetaURL: *metaURL, UserID: 999, DeviceID: 999, Device: trace.PC, Metrics: cm, Parallel: *parallel}
 		for url, md5 := range acked {
 			data, err := verifier.RetrieveFile(url)
 			if err != nil {

@@ -18,6 +18,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -45,8 +47,10 @@ func main() {
 		chaos    = flag.String("chaos", "", `fault-injection scenario, e.g. "mixed10,seed=42" or "error=0.05,reset=0.02" (empty disables; see internal/faults)`)
 		maxInfl  = flag.Int("maxinflight", 0, "shed load with 503 + Retry-After beyond this many in-flight front-end requests (0 disables)")
 		readTO   = flag.Duration("readtimeout", time.Minute, "per-connection request read deadline (0 disables)")
+		shards   = flag.Int("shards", 0, "chunk store lock shards, rounded up to a power of two (0 = 4x GOMAXPROCS)")
 	)
 	flag.Parse()
+	fmt.Printf("mcsserver: GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
 
 	scenario, err := faults.ParseScenario(*chaos)
 	if err != nil {
@@ -63,8 +67,9 @@ func main() {
 	reg := metrics.NewRegistry()
 	health := &metrics.Health{}
 
-	memStore := storage.NewMemStore()
+	memStore := storage.NewMemStoreShards(*shards)
 	memStore.Instrument(reg)
+	fmt.Printf("mcsserver: chunk store sharded %d ways\n", memStore.Shards())
 	var store storage.ChunkStore = memStore
 	var cached *storage.CachedStore
 	if *cacheMB > 0 {
@@ -122,6 +127,16 @@ func main() {
 		}
 	}
 
+	// labeled tags request-serving goroutines so CPU profiles from
+	// /debug/pprof split by component.
+	labeled := func(component string, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			pprof.Do(r.Context(), pprof.Labels("component", component), func(ctx context.Context) {
+				h.ServeHTTP(w, r.WithContext(ctx))
+			})
+		})
+	}
+
 	var servers []*http.Server
 	for _, addr := range strings.Split(*feAddrs, ",") {
 		addr = strings.TrimSpace(addr)
@@ -137,7 +152,7 @@ func main() {
 		if shedder != nil {
 			h = shedder.Wrap(h)
 		}
-		srv := newServer(h)
+		srv := newServer(labeled("frontend", h))
 		go srv.Serve(ln)
 		base := "http://" + hostify(ln.Addr().String())
 		meta.AddFrontEnd(base)
@@ -153,7 +168,7 @@ func main() {
 	if injMeta != nil {
 		metaH = injMeta.Middleware(metaH)
 	}
-	metaSrv := newServer(metaH)
+	metaSrv := newServer(labeled("meta", metaH))
 	go metaSrv.Serve(metaLn)
 	servers = append(servers, metaSrv)
 	fmt.Printf("mcsserver: metadata server on http://%s\n", hostify(metaLn.Addr().String()))

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mcloud/internal/trace"
+	"mcloud/internal/workload"
+)
+
+var benchTrace struct {
+	once sync.Once
+	logs []trace.Log
+}
+
+func benchLogs(b *testing.B) []trace.Log {
+	b.Helper()
+	benchTrace.once.Do(func() {
+		g, err := workload.New(workload.Config{Users: 1000, PCOnlyUsers: 125, Seed: 6})
+		if err != nil {
+			panic(err)
+		}
+		benchTrace.logs = trace.Drain(g.Stream())
+	})
+	return benchTrace.logs
+}
+
+// BenchmarkParallelAnalyzer measures the user-sharded analysis fold
+// and merge at several worker counts.
+func BenchmarkParallelAnalyzer(b *testing.B) {
+	logs := benchLogs(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := NewParallelAnalyzer(Options{}, workers)
+				for _, l := range logs {
+					a.Add(l)
+				}
+				if got := a.Finish().TotalLogs(); got != int64(len(logs)) {
+					b.Fatalf("folded %d logs, want %d", got, len(logs))
+				}
+			}
+		})
+	}
+}

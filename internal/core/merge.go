@@ -1,0 +1,118 @@
+package core
+
+import (
+	"mcloud/internal/trace"
+)
+
+// Merge folds other into a, so an analysis can shard its input across
+// workers and combine the partial states: counters add, per-user
+// accumulations union, the window extends to cover both, and sample
+// reservoirs merge by weighted re-sampling. other must not be used
+// afterwards (its state may be absorbed by reference).
+//
+// When the input was sharded by user (every user's logs in exactly
+// one partial — what ParallelAnalyzer does), the merged analyzer
+// reproduces a sequential pass exactly, except for reservoirs that
+// overflowed their capacity, which remain uniform samples and agree
+// within sampling tolerance.
+func (a *Analyzer) Merge(other *Analyzer) {
+	if other == nil || other.totalLogs == 0 {
+		return
+	}
+	a.totalLogs += other.totalLogs
+	if a.start.IsZero() || other.start.Before(a.start) {
+		a.start = other.start
+	}
+	if other.end.After(a.end) {
+		a.end = other.end
+	}
+
+	for id, ou := range other.byUser {
+		u := a.byUser[id]
+		if u == nil {
+			a.byUser[id] = ou
+			continue
+		}
+		// The same user in both partials (not the user-sharded case,
+		// but Merge stays general): interleave the log history back
+		// into time order.
+		u.logs = append(u.logs, ou.logs...)
+		trace.SortByTime(u.logs)
+		u.storeVol += ou.storeVol
+		u.retrVol += ou.retrVol
+		u.storeFiles += ou.storeFiles
+		u.retrFiles += ou.retrFiles
+		for d, typ := range ou.devices {
+			u.devices[d] = typ
+		}
+		if ou.firstSeen.Before(u.firstSeen) {
+			u.firstSeen = ou.firstSeen
+		}
+	}
+
+	a.rtts.merge(other.rtts)
+	for d, r := range other.chunkUp {
+		a.chunkUp[d].merge(r)
+	}
+	for d, r := range other.chunkDown {
+		a.chunkDown[d].merge(r)
+	}
+	a.swnd.merge(other.swnd)
+}
+
+// float returns a uniform [0,1) draw from the reservoir's RNG.
+func (r *reservoir) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// merge folds o into r so that r remains a uniform sample of the
+// combined underlying population. While the combined samples fit the
+// capacity this is plain concatenation — exact, no information lost.
+// Past capacity, each output slot draws from r's or o's sample with
+// probability proportional to the population each represents
+// (weighted re-sampling without replacement, using r's deterministic
+// RNG), which keeps every underlying value equally likely to appear.
+func (r *reservoir) merge(o *reservoir) {
+	if o == nil || o.seen == 0 {
+		return
+	}
+	if r.seen == 0 {
+		r.data = append(r.data, o.data...)
+		r.seen = o.seen
+		return
+	}
+	if len(r.data)+len(o.data) <= r.cap {
+		r.data = append(r.data, o.data...)
+		r.seen += o.seen
+		return
+	}
+
+	shuffle := func(xs []float64) {
+		for i := len(xs) - 1; i > 0; i-- {
+			j := int(r.next() % uint64(i+1))
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+	// Both inputs are uniform samples, so after a shuffle, walking
+	// each sequentially is equivalent to repeated uniform draws
+	// without replacement.
+	A := r.data
+	B := append([]float64(nil), o.data...)
+	shuffle(A)
+	shuffle(B)
+	pA := float64(r.seen) / float64(r.seen+o.seen)
+	out := make([]float64, 0, r.cap)
+	ai, bi := 0, 0
+	for len(out) < r.cap {
+		takeA := bi >= len(B) || (ai < len(A) && r.float() < pA)
+		if takeA {
+			out = append(out, A[ai])
+			ai++
+		} else {
+			out = append(out, B[bi])
+			bi++
+		}
+	}
+	r.data = out
+	r.seen += o.seen
+}

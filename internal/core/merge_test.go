@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mcloud/internal/trace"
+	"mcloud/internal/workload"
+)
+
+func genLogs(t *testing.T, cfg workload.Config) []trace.Log {
+	t.Helper()
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Drain(g.Stream())
+}
+
+func runOver(t *testing.T, a *Analyzer) Results {
+	t.Helper()
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// compareExact checks the analysis outputs that must be bit-identical
+// between a sequential pass and a user-sharded parallel pass (or a
+// Merge of partials): counters, integer series, count-ratio fractions,
+// and sorted sample sets.
+func compareExact(t *testing.T, want, got Results) {
+	t.Helper()
+	if got.Logs != want.Logs {
+		t.Errorf("Logs = %d, want %d", got.Logs, want.Logs)
+	}
+	if got.Users != want.Users {
+		t.Errorf("Users = %d, want %d", got.Users, want.Users)
+	}
+	if !reflect.DeepEqual(got.Workload, want.Workload) {
+		t.Errorf("Workload differs:\n got  %+v\n want %+v", got.Workload, want.Workload)
+	}
+	if !reflect.DeepEqual(got.Engagement, want.Engagement) {
+		t.Errorf("Engagement differs:\n got  %+v\n want %+v", got.Engagement, want.Engagement)
+	}
+	if !reflect.DeepEqual(got.Usage.Table3, want.Usage.Table3) {
+		t.Errorf("Usage.Table3 differs:\n got  %+v\n want %+v", got.Usage.Table3, want.Usage.Table3)
+	}
+	// Ratio slices are per-user in map iteration order; compare as sets.
+	ratioSets := []struct {
+		name      string
+		got, want []float64
+	}{
+		{"RatiosMobileOnly", got.Usage.RatiosMobileOnly, want.Usage.RatiosMobileOnly},
+		{"RatiosMobileAndPC", got.Usage.RatiosMobileAndPC, want.Usage.RatiosMobileAndPC},
+		{"RatiosPCOnly", got.Usage.RatiosPCOnly, want.Usage.RatiosPCOnly},
+	}
+	for _, rs := range ratioSets {
+		if !reflect.DeepEqual(sortedCopy(rs.got), sortedCopy(rs.want)) {
+			t.Errorf("Usage.%s differs as a multiset (%d vs %d values)",
+				rs.name, len(rs.got), len(rs.want))
+		}
+	}
+	// Session classification fractions are ratios of counts.
+	if got.Sessions.Stats.Total != want.Sessions.Stats.Total {
+		t.Errorf("session count = %d, want %d", got.Sessions.Stats.Total, want.Sessions.Stats.Total)
+	}
+	fracs := []struct {
+		name      string
+		got, want float64
+	}{
+		{"StoreOnlyFrac", got.Sessions.StoreOnlyFrac, want.Sessions.StoreOnlyFrac},
+		{"RetrieveOnlyFrac", got.Sessions.RetrieveOnlyFrac, want.Sessions.RetrieveOnlyFrac},
+		{"MixedFrac", got.Sessions.MixedFrac, want.Sessions.MixedFrac},
+		{"POneOp", got.Sessions.POneOp, want.Sessions.POneOp},
+		{"POver20Ops", got.Sessions.POver20Ops, want.Sessions.POver20Ops},
+	}
+	for _, f := range fracs {
+		if f.got != f.want {
+			t.Errorf("Sessions.%s = %v, want %v", f.name, f.got, f.want)
+		}
+	}
+}
+
+// comparePerfQuantiles checks the reservoir-backed performance ECDFs
+// at several quantiles within a relative tolerance (0 = exact).
+func comparePerfQuantiles(t *testing.T, want, got Results, relTol float64, qs ...float64) {
+	t.Helper()
+	if len(qs) == 0 {
+		qs = []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	}
+	type named struct {
+		name      string
+		got, want interface {
+			Quantile(float64) float64
+			N() int
+		}
+	}
+	pairs := []named{
+		{"RTT", got.Perf.RTT, want.Perf.RTT},
+		{"SWnd", got.Perf.SWnd, want.Perf.SWnd},
+	}
+	for _, dev := range []trace.DeviceType{trace.Android, trace.IOS} {
+		pairs = append(pairs,
+			named{"UploadTime/" + dev.String(), got.Perf.UploadTime[dev], want.Perf.UploadTime[dev]},
+			named{"DownloadTime/" + dev.String(), got.Perf.DownloadTime[dev], want.Perf.DownloadTime[dev]},
+		)
+	}
+	for _, p := range pairs {
+		if p.want.N() == 0 {
+			t.Fatalf("Perf.%s: reference ECDF is empty; workload too small for the test", p.name)
+		}
+		for _, q := range qs {
+			w, g := p.want.Quantile(q), p.got.Quantile(q)
+			if relTol == 0 {
+				if g != w {
+					t.Errorf("Perf.%s q%.2f = %v, want exactly %v", p.name, q, g, w)
+				}
+				continue
+			}
+			if diff := math.Abs(g - w); diff > relTol*math.Abs(w) {
+				t.Errorf("Perf.%s q%.2f = %v, want %v within %.0f%%", p.name, q, g, w, relTol*100)
+			}
+		}
+	}
+}
+
+// TestParallelAnalyzerMatchesSequential is the tentpole equivalence
+// check: user-sharded analysis across 4 workers must reproduce the
+// sequential pass — exactly while the sample reservoirs stay within
+// capacity (merge is then plain concatenation of disjoint per-shard
+// samples, and every ECDF sorts before use).
+func TestParallelAnalyzerMatchesSequential(t *testing.T) {
+	logs := genLogs(t, workload.Config{Users: 900, PCOnlyUsers: 250, Seed: 20260806})
+
+	seq := NewAnalyzer(Options{})
+	for _, l := range logs {
+		seq.Add(l)
+	}
+	want := runOver(t, seq)
+
+	par := NewParallelAnalyzer(Options{}, 4)
+	for _, l := range logs {
+		par.Add(l)
+	}
+	got := runOver(t, par.Finish())
+
+	compareExact(t, want, got)
+	comparePerfQuantiles(t, want, got, 0)
+}
+
+// TestParallelAnalyzerCappedReservoirs forces every reservoir to
+// overflow so Finish must re-sample on merge; the distributional
+// summaries then agree only statistically, within a quantile
+// tolerance.
+func TestParallelAnalyzerCappedReservoirs(t *testing.T) {
+	logs := genLogs(t, workload.Config{Users: 1200, PCOnlyUsers: 100, Seed: 99})
+	opts := Options{MaxSamples: 1000}
+
+	seq := NewAnalyzer(opts)
+	for _, l := range logs {
+		seq.Add(l)
+	}
+	want := runOver(t, seq)
+	if n := want.Perf.RTT.N(); n != 1000 {
+		t.Fatalf("RTT reservoir holds %d samples, want it saturated at 1000", n)
+	}
+
+	par := NewParallelAnalyzer(opts, 4)
+	for _, l := range logs {
+		par.Add(l)
+	}
+	got := runOver(t, par.Finish())
+
+	// Counters stay exact regardless of reservoir capacity. The
+	// distributional summaries are two independent 1000-draw samples;
+	// central quantiles of the heavy-tailed transfer times agree to a
+	// few percent, tail quantiles are too noisy to pin down.
+	compareExact(t, want, got)
+	comparePerfQuantiles(t, want, got, 0.20, 0.25, 0.5, 0.75)
+}
+
+// TestMergeOverlappingUsers splits one trace at its time midpoint, so
+// the same users appear in both partials, and checks that Merge
+// re-interleaves their histories correctly.
+func TestMergeOverlappingUsers(t *testing.T) {
+	logs := genLogs(t, workload.Config{Users: 500, PCOnlyUsers: 120, Seed: 7})
+
+	seq := NewAnalyzer(Options{})
+	for _, l := range logs {
+		seq.Add(l)
+	}
+	want := runOver(t, seq)
+
+	mid := len(logs) / 2
+	a, b := NewAnalyzer(Options{}), NewAnalyzer(Options{})
+	for _, l := range logs[:mid] {
+		a.Add(l)
+	}
+	for _, l := range logs[mid:] {
+		b.Add(l)
+	}
+	a.Merge(b)
+	got := runOver(t, a)
+
+	compareExact(t, want, got)
+	comparePerfQuantiles(t, want, got, 0)
+}
+
+// TestReservoirMergeWeighting feeds two reservoirs populations of very
+// different sizes and ranges, merges, and checks the combined sample
+// still weights each population by how many values it represents.
+func TestReservoirMergeWeighting(t *testing.T) {
+	big := newReservoir(300, 1)
+	rng := newReservoir(0, 42) // RNG only
+	for i := 0; i < 20000; i++ {
+		big.add(float64(rng.next()>>11) / (1 << 53)) // uniform [0,1)
+	}
+	small := newReservoir(300, 2)
+	for i := 0; i < 5000; i++ {
+		small.add(2 + float64(rng.next()>>11)/(1<<53)) // uniform [2,3)
+	}
+
+	big.merge(small)
+	if big.seen != 25000 {
+		t.Fatalf("merged seen = %d, want 25000", big.seen)
+	}
+	if len(big.data) != 300 {
+		t.Fatalf("merged sample size = %d, want 300", len(big.data))
+	}
+	hi := 0
+	for _, x := range big.data {
+		if x > 1.5 {
+			hi++
+		}
+	}
+	// The [2,3) population is 20% of the total; its share of a uniform
+	// 300-sample has stddev ~2.3%, so ±7% is a >3σ band.
+	frac := float64(hi) / float64(len(big.data))
+	if math.Abs(frac-0.2) > 0.07 {
+		t.Errorf("high-population share of merged sample = %.3f, want 0.20 +/- 0.07", frac)
+	}
+}

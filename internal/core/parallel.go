@@ -1,0 +1,120 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"mcloud/internal/trace"
+)
+
+// parallelBatch is how many routed logs accumulate per shard before
+// being handed to its worker — large enough that channel traffic is
+// negligible next to the per-log fold.
+const parallelBatch = 512
+
+// ParallelAnalyzer shards the analysis fold by user across worker
+// goroutines: logs route to a worker by a hash of their user ID, each
+// worker folds into a private Analyzer, and Finish merges the partial
+// states (see Analyzer.Merge). Because one user's logs always land on
+// the same worker in arrival order, per-user sequences — sessions,
+// gaps, engagement — are identical to a sequential pass.
+//
+// Add and AddStream must be called from a single goroutine; the
+// parallelism is internal.
+type ParallelAnalyzer struct {
+	workers int
+	shards  []*Analyzer
+	chans   []chan []trace.Log
+	bufs    [][]trace.Log
+	wg      sync.WaitGroup
+}
+
+// NewParallelAnalyzer returns an analyzer fanning out across the
+// given worker count (<= 0 means GOMAXPROCS). One worker degrades to
+// a plain sequential Analyzer with no channel hop.
+func NewParallelAnalyzer(opts Options, workers int) *ParallelAnalyzer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelAnalyzer{workers: workers}
+	if workers == 1 {
+		p.shards = []*Analyzer{NewAnalyzer(opts)}
+		return p
+	}
+	for i := 0; i < workers; i++ {
+		a := NewAnalyzer(opts)
+		ch := make(chan []trace.Log, 4)
+		p.shards = append(p.shards, a)
+		p.chans = append(p.chans, ch)
+		p.bufs = append(p.bufs, make([]trace.Log, 0, parallelBatch))
+		p.wg.Add(1)
+		go func(a *Analyzer, ch chan []trace.Log) {
+			defer p.wg.Done()
+			for batch := range ch {
+				for _, l := range batch {
+					a.Add(l)
+				}
+			}
+		}(a, ch)
+	}
+	return p
+}
+
+// Workers reports the fan-out width.
+func (p *ParallelAnalyzer) Workers() int { return p.workers }
+
+func (p *ParallelAnalyzer) route(userID uint64) int {
+	// User IDs are typically sequential, so mix before reducing.
+	h := userID * 0x9e3779b97f4a7c15
+	return int((h >> 32) % uint64(p.workers))
+}
+
+// Add routes one log entry to its user's shard.
+func (p *ParallelAnalyzer) Add(l trace.Log) {
+	if p.chans == nil {
+		p.shards[0].Add(l)
+		return
+	}
+	s := p.route(l.UserID)
+	p.bufs[s] = append(p.bufs[s], l)
+	if len(p.bufs[s]) == parallelBatch {
+		p.chans[s] <- p.bufs[s]
+		p.bufs[s] = make([]trace.Log, 0, parallelBatch)
+	}
+}
+
+// AddStream drains a trace.Stream through Add.
+func (p *ParallelAnalyzer) AddStream(s trace.Stream) {
+	for {
+		l, ok := s.Next()
+		if !ok {
+			return
+		}
+		p.Add(l)
+	}
+}
+
+// Finish flushes the remaining batches, waits for the workers, and
+// merges the shard states into one Analyzer ready for Run. The
+// ParallelAnalyzer must not be used afterwards.
+func (p *ParallelAnalyzer) Finish() *Analyzer {
+	if p.chans != nil {
+		for i, b := range p.bufs {
+			if len(b) > 0 {
+				p.chans[i] <- b
+			}
+			p.bufs[i] = nil
+		}
+		for _, ch := range p.chans {
+			close(ch)
+		}
+		p.wg.Wait()
+		p.chans = nil
+	}
+	root := p.shards[0]
+	for _, sh := range p.shards[1:] {
+		root.Merge(sh)
+	}
+	p.shards = p.shards[:1]
+	return root
+}

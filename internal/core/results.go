@@ -98,14 +98,38 @@ func (w WorkloadResult) VolumeRatio() float64 {
 }
 
 func (a *Analyzer) workload() WorkloadResult {
+	// The hourly fold happens here, against the final anchor, so
+	// analyzers merged from user shards bucket identically to a
+	// sequential pass.
+	anchor := a.anchorStart()
+	hourlyStoreVol := make(map[int]int64)
+	hourlyRetrVol := make(map[int]int64)
+	hourlyStoreFile := make(map[int]int64)
+	hourlyRetrFile := make(map[int]int64)
+	for _, u := range a.byUser {
+		for _, l := range u.logs {
+			hour := int(l.Time.Sub(anchor) / time.Hour)
+			switch l.Type {
+			case trace.FileStore:
+				hourlyStoreFile[hour]++
+			case trace.FileRetrieve:
+				hourlyRetrFile[hour]++
+			case trace.ChunkStore:
+				hourlyStoreVol[hour] += l.Bytes
+			case trace.ChunkRetrieve:
+				hourlyRetrVol[hour] += l.Bytes
+			}
+		}
+	}
+
 	var res WorkloadResult
 	maxHour := 0
-	for h := range a.hourlyStoreVol {
+	for h := range hourlyStoreVol {
 		if h > maxHour {
 			maxHour = h
 		}
 	}
-	for h := range a.hourlyRetrVol {
+	for h := range hourlyRetrVol {
 		if h > maxHour {
 			maxHour = h
 		}
@@ -114,19 +138,18 @@ func (a *Analyzer) workload() WorkloadResult {
 	for h := range res.Hours {
 		res.Hours[h] = HourPoint{
 			Hour:       h,
-			StoreVol:   a.hourlyStoreVol[h],
-			RetrVol:    a.hourlyRetrVol[h],
-			StoreFiles: a.hourlyStoreFile[h],
-			RetrFiles:  a.hourlyRetrFile[h],
+			StoreVol:   hourlyStoreVol[h],
+			RetrVol:    hourlyRetrVol[h],
+			StoreFiles: hourlyStoreFile[h],
+			RetrFiles:  hourlyRetrFile[h],
 		}
-		res.TotalStoreVol += a.hourlyStoreVol[h]
-		res.TotalRetrVol += a.hourlyRetrVol[h]
-		res.TotalStoreFile += a.hourlyStoreFile[h]
-		res.TotalRetrFile += a.hourlyRetrFile[h]
+		res.TotalStoreVol += hourlyStoreVol[h]
+		res.TotalRetrVol += hourlyRetrVol[h]
+		res.TotalStoreFile += hourlyStoreFile[h]
+		res.TotalRetrFile += hourlyRetrFile[h]
 	}
 
 	// Hour-of-day profile: anchor-local hours.
-	anchor := a.anchorStart()
 	var byHour [24]float64
 	for h, p := range res.Hours {
 		local := anchor.Add(time.Duration(h) * time.Hour).Hour()

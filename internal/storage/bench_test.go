@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcloud/internal/randx"
+	"mcloud/internal/trace"
+)
+
+// benchChunks builds pre-hashed chunk payloads so the timed loop
+// exercises only the store, not content generation.
+func benchChunks(n, size int) ([]Sum, [][]byte) {
+	src := randx.New(1)
+	sums := make([]Sum, n)
+	data := make([][]byte, n)
+	for i := range data {
+		buf := make([]byte, size)
+		for j := 0; j+8 <= size; j += 8 {
+			v := src.Uint64()
+			for k := 0; k < 8; k++ {
+				buf[j+k] = byte(v >> (8 * k))
+			}
+		}
+		data[i] = buf
+		sums[i] = SumBytes(buf)
+	}
+	return sums, data
+}
+
+// BenchmarkShardedStorePut measures concurrent Put throughput into
+// the sharded MemStore at several goroutine counts.
+func BenchmarkShardedStorePut(b *testing.B) {
+	const chunks, size = 1024, 16 << 10
+	sums, data := benchChunks(chunks, size)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(chunks) * int64(size))
+			for i := 0; i < b.N; i++ {
+				store := NewMemStore()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							j := int(next.Add(1)) - 1
+							if j >= chunks {
+								return
+							}
+							if err := store.Put(sums[j], data[j]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkTransferWindow measures a full store+retrieve of one
+// multi-chunk file through a live front-end whose upstream delay is a
+// ~2 ms lognormal, at several in-flight window sizes. The path is
+// latency-bound, so wider windows win even on one core.
+func BenchmarkTransferWindow(b *testing.B) {
+	const chunksPerFile = 8
+	delaySrc := randx.New(9)
+	var delayMu sync.Mutex
+	opts := FrontEndOptions{
+		SleepUpstream: true,
+		UpstreamDelay: func() time.Duration {
+			delayMu.Lock()
+			defer delayMu.Unlock()
+			return time.Duration(delaySrc.LogNormal(math.Log(float64(2*time.Millisecond)), 0.45))
+		},
+	}
+	store := NewMemStore()
+	meta := NewMetadata()
+	fe := NewFrontEnd(store, meta, &Collector{}, opts)
+	feSrv := httptest.NewServer(fe.Handler())
+	defer feSrv.Close()
+	metaSrv := httptest.NewServer(meta.Handler())
+	defer metaSrv.Close()
+	meta.AddFrontEnd(feSrv.URL)
+
+	src := randx.New(3)
+	payload := make([]byte, chunksPerFile*ChunkSize)
+	for j := 0; j < len(payload); j += 4096 {
+		payload[j] = byte(src.Uint64())
+	}
+
+	for _, window := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			client := &Client{
+				MetaURL:  metaSrv.URL,
+				UserID:   1,
+				DeviceID: 1,
+				Device:   trace.Android,
+				Parallel: window,
+			}
+			b.SetBytes(int64(len(payload)) * 2)
+			for i := 0; i < b.N; i++ {
+				res, err := client.StoreFile(fmt.Sprintf("bench-w%d-%d.bin", window, i), payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := client.RetrieveFile(res.URL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"encoding/binary"
 	"sync"
 )
 
@@ -10,9 +11,18 @@ import (
 // deployment the paper suggests for popular downloads (§3.1.4: "if a
 // handful of popular files dominate the downloads, web cache proxies
 // can reduce server workload").
+//
+// Large caches are split into independent LRU shards (each holding at
+// least 64 chunks) so read hits on distinct chunks do not serialize
+// on one lock; small caches keep a single exact LRU.
 type CachedStore struct {
-	backing ChunkStore
+	backing  ChunkStore
+	capacity int64
+	shards   []cacheShard
+	mask     uint32
+}
 
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
@@ -30,14 +40,42 @@ type cacheEntry struct {
 	data []byte
 }
 
-// NewCachedStore wraps backing with an LRU cache of capacity bytes.
+// NewCachedStore wraps backing with an LRU cache of capacity bytes,
+// sharded when the capacity is large enough that the split cannot
+// distort eviction (>= 64 chunks per shard).
 func NewCachedStore(backing ChunkStore, capacity int64) *CachedStore {
-	return &CachedStore{
+	n := int(capacity / (64 * ChunkSize))
+	if d := defaultShards(); n > d {
+		n = d
+	}
+	return NewCachedStoreShards(backing, capacity, n)
+}
+
+// NewCachedStoreShards is NewCachedStore with an explicit shard count
+// (rounded up to a power of two; values < 1 mean one shard, the exact
+// single-LRU behaviour).
+func NewCachedStoreShards(backing ChunkStore, capacity int64, n int) *CachedStore {
+	if n < 1 {
+		n = 1
+	}
+	n = nextPow2(n)
+	c := &CachedStore{
 		backing:  backing,
 		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[Sum]*list.Element),
+		shards:   make([]cacheShard, n),
+		mask:     uint32(n - 1),
 	}
+	per := capacity / int64(n)
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[Sum]*list.Element)
+	}
+	return c
+}
+
+func (c *CachedStore) shard(sum Sum) *cacheShard {
+	return &c.shards[binary.LittleEndian.Uint32(sum[:4])&c.mask]
 }
 
 // Put writes through to the backing store; fresh content is not
@@ -50,57 +88,59 @@ func (c *CachedStore) Put(sum Sum, data []byte) error {
 // Get serves from the cache when possible, falling back to the
 // backing store and admitting the result.
 func (c *CachedStore) Get(sum Sum) ([]byte, error) {
-	c.mu.Lock()
-	if el, ok := c.items[sum]; ok {
-		c.ll.MoveToFront(el)
+	s := c.shard(sum)
+	s.mu.Lock()
+	if el, ok := s.items[sum]; ok {
+		s.ll.MoveToFront(el)
 		data := el.Value.(*cacheEntry).data
-		c.hits++
-		c.hitBytes += int64(len(data))
-		c.mu.Unlock()
+		s.hits++
+		s.hitBytes += int64(len(data))
+		s.mu.Unlock()
 		return data, nil
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 
 	data, err := c.backing.Get(sum)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.misses++
-	c.missBytes += int64(len(data))
-	c.admit(sum, data)
-	c.mu.Unlock()
+	s.mu.Lock()
+	s.misses++
+	s.missBytes += int64(len(data))
+	s.admit(sum, data)
+	s.mu.Unlock()
 	return data, nil
 }
 
-// admit inserts (caller holds mu), evicting LRU entries as needed.
-func (c *CachedStore) admit(sum Sum, data []byte) {
-	if int64(len(data)) > c.capacity {
+// admit inserts (caller holds s.mu), evicting LRU entries as needed.
+func (s *cacheShard) admit(sum Sum, data []byte) {
+	if int64(len(data)) > s.capacity {
 		return
 	}
-	if _, ok := c.items[sum]; ok {
+	if _, ok := s.items[sum]; ok {
 		return
 	}
-	for c.used+int64(len(data)) > c.capacity {
-		back := c.ll.Back()
+	for s.used+int64(len(data)) > s.capacity {
+		back := s.ll.Back()
 		if back == nil {
 			break
 		}
 		ev := back.Value.(*cacheEntry)
-		c.ll.Remove(back)
-		delete(c.items, ev.sum)
-		c.used -= int64(len(ev.data))
-		c.evictions++
+		s.ll.Remove(back)
+		delete(s.items, ev.sum)
+		s.used -= int64(len(ev.data))
+		s.evictions++
 	}
-	c.items[sum] = c.ll.PushFront(&cacheEntry{sum: sum, data: data})
-	c.used += int64(len(data))
+	s.items[sum] = s.ll.PushFront(&cacheEntry{sum: sum, data: data})
+	s.used += int64(len(data))
 }
 
 // Has implements ChunkStore.
 func (c *CachedStore) Has(sum Sum) bool {
-	c.mu.Lock()
-	_, ok := c.items[sum]
-	c.mu.Unlock()
+	s := c.shard(sum)
+	s.mu.Lock()
+	_, ok := s.items[sum]
+	s.mu.Unlock()
 	if ok {
 		return true
 	}
@@ -109,6 +149,9 @@ func (c *CachedStore) Has(sum Sum) bool {
 
 // Stats implements ChunkStore (backing store counters).
 func (c *CachedStore) Stats() StoreStats { return c.backing.Stats() }
+
+// Shards reports the shard count (for startup logging).
+func (c *CachedStore) Shards() int { return len(c.shards) }
 
 // CacheStats reports cache effectiveness.
 type CacheStats struct {
@@ -137,15 +180,20 @@ func (s CacheStats) ByteHitRate() float64 {
 	return float64(s.HitBytes) / float64(total)
 }
 
-// CacheStats returns a snapshot.
+// CacheStats returns a snapshot aggregated across shards.
 func (c *CachedStore) CacheStats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits: c.hits, Misses: c.misses,
-		HitBytes: c.hitBytes, MissBytes: c.missBytes,
-		Evictions: c.evictions,
-		Used:      c.used, Capacity: c.capacity,
-		Entries: len(c.items),
+	st := CacheStats{Capacity: c.capacity}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.HitBytes += s.hitBytes
+		st.MissBytes += s.missBytes
+		st.Evictions += s.evictions
+		st.Used += s.used
+		st.Entries += len(s.items)
+		s.mu.Unlock()
 	}
+	return st
 }

@@ -62,7 +62,11 @@ func chaosService(t *testing.T, sc faults.Scenario, reg *metrics.Registry) (*Cli
 		Retry:      &pol,
 		RetrySeed:  sc.Seed,
 		MaxResumes: 6,
-		HTTP:       &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		// Sequential transfers: the deterministic-fault-sequence test
+		// needs a reproducible server-side request order. Concurrency
+		// is chaos-tested separately (see chaos_parallel_test.go).
+		Parallel: 1,
+		HTTP:     &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
 	}
 	cleanup := func() {
 		feSrv.Close()

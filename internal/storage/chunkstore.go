@@ -1,7 +1,10 @@
 package storage
 
 import (
+	"encoding/binary"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ChunkStore is a content-addressed store of fixed-size chunks.
@@ -36,16 +39,69 @@ func (s StoreStats) DedupRatio() float64 {
 	return 1 - float64(s.Bytes)/float64(s.BytesStored)
 }
 
-// MemStore is an in-memory ChunkStore.
-type MemStore struct {
-	mu     sync.RWMutex
-	chunks map[Sum][]byte
-	stats  StoreStats
+// defaultShards is next-pow2(GOMAXPROCS·4): enough shards that a
+// fully loaded machine rarely lands two cores on the same lock, at a
+// fixed footprint of a few dozen map headers.
+func defaultShards() int {
+	return nextPow2(runtime.GOMAXPROCS(0) * 4)
 }
 
-// NewMemStore returns an empty in-memory chunk store.
-func NewMemStore() *MemStore {
-	return &MemStore{chunks: make(map[Sum][]byte)}
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// MemStore is an in-memory ChunkStore. The key space is split across
+// power-of-two shards selected by the leading bytes of the MD5 digest
+// — MD5 output is uniform, so shards stay balanced with no rehashing
+// — and each shard has its own lock, so concurrent Puts and Gets of
+// distinct chunks do not contend. Counters are atomics; Stats is a
+// near-point-in-time snapshot rather than a fully consistent one.
+type MemStore struct {
+	shards []memShard
+	mask   uint32
+
+	puts        atomic.Int64
+	dedupHits   atomic.Int64
+	bytesStored atomic.Int64
+	chunks      atomic.Int64
+	bytes       atomic.Int64
+}
+
+// memShard is padded out to a cache line so neighbouring shard locks
+// do not false-share under write-heavy load.
+type memShard struct {
+	mu     sync.RWMutex
+	chunks map[Sum][]byte
+	_      [64 - 32]byte
+}
+
+// NewMemStore returns an empty in-memory chunk store with the default
+// shard count.
+func NewMemStore() *MemStore { return NewMemStoreShards(0) }
+
+// NewMemStoreShards returns an empty store with n shards, rounded up
+// to a power of two. n <= 0 selects next-pow2(GOMAXPROCS·4).
+func NewMemStoreShards(n int) *MemStore {
+	if n <= 0 {
+		n = defaultShards()
+	}
+	n = nextPow2(n)
+	m := &MemStore{shards: make([]memShard, n), mask: uint32(n - 1)}
+	for i := range m.shards {
+		m.shards[i].chunks = make(map[Sum][]byte)
+	}
+	return m
+}
+
+// Shards reports the shard count (for startup logging).
+func (m *MemStore) Shards() int { return len(m.shards) }
+
+func (m *MemStore) shard(sum Sum) *memShard {
+	return &m.shards[binary.LittleEndian.Uint32(sum[:4])&m.mask]
 }
 
 // Put implements ChunkStore. The data slice is copied.
@@ -53,27 +109,30 @@ func (m *MemStore) Put(sum Sum, data []byte) error {
 	if SumBytes(data) != sum {
 		return errBadDigest
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.Puts++
-	m.stats.BytesStored += int64(len(data))
-	if _, ok := m.chunks[sum]; ok {
-		m.stats.DedupHits++
+	m.puts.Add(1)
+	m.bytesStored.Add(int64(len(data)))
+	sh := m.shard(sum)
+	sh.mu.Lock()
+	if _, ok := sh.chunks[sum]; ok {
+		sh.mu.Unlock()
+		m.dedupHits.Add(1)
 		return nil
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	m.chunks[sum] = cp
-	m.stats.Chunks++
-	m.stats.Bytes += int64(len(data))
+	sh.chunks[sum] = cp
+	sh.mu.Unlock()
+	m.chunks.Add(1)
+	m.bytes.Add(int64(len(data)))
 	return nil
 }
 
 // Get implements ChunkStore.
 func (m *MemStore) Get(sum Sum) ([]byte, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	data, ok := m.chunks[sum]
+	sh := m.shard(sum)
+	sh.mu.RLock()
+	data, ok := sh.chunks[sum]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -82,30 +141,37 @@ func (m *MemStore) Get(sum Sum) ([]byte, error) {
 
 // Has implements ChunkStore.
 func (m *MemStore) Has(sum Sum) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	_, ok := m.chunks[sum]
+	sh := m.shard(sum)
+	sh.mu.RLock()
+	_, ok := sh.chunks[sum]
+	sh.mu.RUnlock()
 	return ok
 }
 
 // Stats implements ChunkStore.
 func (m *MemStore) Stats() StoreStats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.stats
+	return StoreStats{
+		Chunks:      int(m.chunks.Load()),
+		Bytes:       m.bytes.Load(),
+		Puts:        m.puts.Load(),
+		DedupHits:   m.dedupHits.Load(),
+		BytesStored: m.bytesStored.Load(),
+	}
 }
 
 // Delete removes a chunk, freeing its space (used by the garbage
 // collector once the last referencing file is gone).
 func (m *MemStore) Delete(sum Sum) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	data, ok := m.chunks[sum]
+	sh := m.shard(sum)
+	sh.mu.Lock()
+	data, ok := sh.chunks[sum]
 	if !ok {
+		sh.mu.Unlock()
 		return ErrNotFound
 	}
-	delete(m.chunks, sum)
-	m.stats.Chunks--
-	m.stats.Bytes -= int64(len(data))
+	delete(sh.chunks, sum)
+	sh.mu.Unlock()
+	m.chunks.Add(-1)
+	m.bytes.Add(-int64(len(data)))
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcloud/internal/randx"
@@ -46,6 +47,12 @@ type Client struct {
 	// MaxResumes bounds how many times one upload re-queries the
 	// missing-chunk set after mid-file failures; 0 means 3.
 	MaxResumes int
+	// Parallel is the chunk-transfer window: how many chunk PUTs/GETs
+	// one file operation keeps in flight. 0 means DefaultParallel; 1
+	// restores strictly sequential transfers. When InterChunkDelay is
+	// set the client always transfers sequentially, since the delay
+	// models the sequential inter-chunk gaps of §4.
+	Parallel int
 	// Metrics, when non-nil, receives retry/resume/refetch counters
 	// (see NewClientMetrics). May be shared across clients.
 	Metrics *ClientMetrics
@@ -79,6 +86,7 @@ func (c *Client) Clone() *Client {
 		Retry:           c.Retry,
 		RetrySeed:       c.RetrySeed,
 		MaxResumes:      c.MaxResumes,
+		Parallel:        c.Parallel,
 		Metrics:         c.Metrics,
 		InterChunkDelay: c.InterChunkDelay,
 		SimClock:        c.SimClock,
@@ -227,27 +235,7 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 			return res, nil
 		}
 
-		lastErr = nil
-		for j, digest := range todo {
-			if j > 0 && c.InterChunkDelay != nil {
-				time.Sleep(c.InterChunkDelay())
-			}
-			i, ok := byDigest[digest]
-			if !ok {
-				return res, fmt.Errorf("storage: front-end wants unknown chunk %s", digest)
-			}
-			lo := i * ChunkSize
-			hi := lo + ChunkSize
-			if hi > len(data) {
-				hi = len(data)
-			}
-			if err := c.putChunk(check.FrontEnd, check.URL, chunkSums[i], data[lo:hi], budget); err != nil {
-				lastErr = fmt.Errorf("chunk %d: %w", i, err)
-				break
-			}
-			res.ChunksSent++
-			res.BytesSent += int64(hi - lo)
-		}
+		lastErr = c.sendChunks(check.FrontEnd, check.URL, todo, byDigest, chunkSums, data, budget, &res)
 		if lastErr == nil {
 			return res, nil
 		}
@@ -256,6 +244,107 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 		}
 	}
 	return res, lastErr
+}
+
+// DefaultParallel is the chunk-transfer window used when
+// Client.Parallel is zero.
+const DefaultParallel = 4
+
+// window resolves the effective in-flight window for an operation of
+// the given chunk count.
+func (c *Client) window(chunks int) int {
+	w := c.Parallel
+	if w == 0 {
+		w = DefaultParallel
+	}
+	if w < 1 || c.InterChunkDelay != nil {
+		w = 1
+	}
+	if w > chunks {
+		w = chunks
+	}
+	return w
+}
+
+// sendChunks uploads the chunks the front-end reported missing,
+// keeping up to the configured window in flight. Success counters
+// fold into res; the returned error is the one from the lowest chunk
+// position, so reporting does not depend on goroutine interleaving.
+func (c *Client) sendChunks(frontend, url string, todo []string, byDigest map[string]int, chunkSums []Sum, data []byte, budget *retryBudget, res *StoreResult) error {
+	var sent, sentBytes int64
+	send := func(j int) error {
+		i, ok := byDigest[todo[j]]
+		if !ok {
+			return fmt.Errorf("storage: front-end wants unknown chunk %s", todo[j])
+		}
+		lo := i * ChunkSize
+		hi := lo + ChunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if err := c.putChunk(frontend, url, chunkSums[i], data[lo:hi], budget); err != nil {
+			return fmt.Errorf("chunk %d: %w", i, err)
+		}
+		atomic.AddInt64(&sent, 1)
+		atomic.AddInt64(&sentBytes, int64(hi-lo))
+		return nil
+	}
+
+	var err error
+	if w := c.window(len(todo)); w <= 1 {
+		for j := range todo {
+			if j > 0 && c.InterChunkDelay != nil {
+				time.Sleep(c.InterChunkDelay())
+			}
+			if err = send(j); err != nil {
+				break
+			}
+		}
+	} else {
+		err = runWindow(w, len(todo), send)
+	}
+	res.ChunksSent += int(sent)
+	res.BytesSent += sentBytes
+	return err
+}
+
+// runWindow runs fn(0..n-1) on w goroutines, keeping at most w calls
+// in flight. On failure the remaining indices are abandoned (calls
+// already in flight complete, and their side effects count) and the
+// error from the lowest failing index is returned.
+func runWindow(w, n int, fn func(int) error) error {
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		minJ   int
+		minErr error
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				j := int(next.Add(1))
+				if j >= n {
+					return
+				}
+				if err := fn(j); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if minErr == nil || j < minJ {
+						minJ, minErr = j, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return minErr
 }
 
 // putChunk uploads one chunk. The PUT is idempotent — the chunk store
@@ -309,20 +398,53 @@ func (c *Client) RetrieveFile(url string) ([]byte, error) {
 		return nil, err
 	}
 
-	buf := make([]byte, 0, res.Size)
+	sums := make([]Sum, len(op.ChunkMD5s))
 	for i, s := range op.ChunkMD5s {
-		if i > 0 && c.InterChunkDelay != nil {
-			time.Sleep(c.InterChunkDelay())
+		if sums[i], err = ParseSum(s); err != nil {
+			return nil, err
 		}
-		sum, err := ParseSum(s)
+	}
+
+	var buf []byte
+	if w := c.window(len(sums)); w <= 1 {
+		buf = make([]byte, 0, res.Size)
+		for i, sum := range sums {
+			if i > 0 && c.InterChunkDelay != nil {
+				time.Sleep(c.InterChunkDelay())
+			}
+			data, err := c.getChunk(res.FrontEnd, sum, budget, nil)
+			if err != nil {
+				return nil, fmt.Errorf("chunk %d: %w", i, err)
+			}
+			buf = append(buf, data...)
+		}
+	} else {
+		// Concurrent chunks assemble at fixed offsets: every chunk but
+		// the last is exactly ChunkSize by construction (SplitSums), so
+		// the layout is known up front from the metadata size.
+		n := int64(len(sums))
+		if res.Size <= (n-1)*ChunkSize || res.Size > n*ChunkSize {
+			return nil, fmt.Errorf("storage: metadata size %d inconsistent with %d chunks", res.Size, n)
+		}
+		buf = make([]byte, res.Size)
+		err = runWindow(w, len(sums), func(i int) error {
+			lo := int64(i) * ChunkSize
+			hi := lo + ChunkSize
+			if hi > res.Size {
+				hi = res.Size
+			}
+			data, err := c.getChunk(res.FrontEnd, sums[i], budget, buf[lo:lo:hi])
+			if err != nil {
+				return fmt.Errorf("chunk %d: %w", i, err)
+			}
+			if int64(len(data)) != hi-lo {
+				return fmt.Errorf("chunk %d: storage: chunk length %d does not fit file layout", i, len(data))
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		data, err := c.getChunk(res.FrontEnd, sum, budget)
-		if err != nil {
-			return nil, fmt.Errorf("chunk %d: %w", i, err)
-		}
-		buf = append(buf, data...)
 	}
 	if got := SumBytes(buf); got.String() != res.FileMD5 {
 		return nil, fmt.Errorf("storage: retrieved content hash mismatch")
@@ -331,8 +453,12 @@ func (c *Client) RetrieveFile(url string) ([]byte, error) {
 }
 
 // getChunk downloads and verifies one chunk; truncated or corrupted
-// bodies count as transient failures and are re-fetched.
-func (c *Client) getChunk(frontend string, sum Sum, budget *retryBudget) ([]byte, error) {
+// bodies count as transient failures and are re-fetched. The body is
+// read into a pooled scratch buffer and the verified bytes are
+// appended into dst (in place when dst has the capacity — the
+// concurrent download path passes the chunk's slot in the assembled
+// file, making the steady-state read allocation-free).
+func (c *Client) getChunk(frontend string, sum Sum, budget *retryBudget, dst []byte) ([]byte, error) {
 	var out []byte
 	err := c.doRetry(budget,
 		func() (*http.Request, error) {
@@ -348,16 +474,19 @@ func (c *Client) getChunk(frontend string, sum Sum, budget *retryBudget) ([]byte
 			if resp.StatusCode != http.StatusOK {
 				return decodeError(resp)
 			}
-			data, err := io.ReadAll(io.LimitReader(resp.Body, ChunkSize+1))
+			scratch := getChunkBuf()
+			defer putChunkBuf(scratch)
+			n, overflow, err := readBody(resp.Body, *scratch)
 			if err != nil {
 				c.Metrics.refetch()
 				return &corruptError{err: err}
 			}
-			if SumBytes(data) != sum {
+			data := (*scratch)[:n]
+			if overflow || SumBytes(data) != sum {
 				c.Metrics.refetch()
-				return &corruptError{err: fmt.Errorf("chunk digest mismatch (%d bytes)", len(data))}
+				return &corruptError{err: fmt.Errorf("chunk digest mismatch (%d bytes)", n)}
 			}
-			out = data
+			out = append(dst[:0], data...)
 			return nil
 		})
 	return out, err

@@ -79,7 +79,7 @@ func (d *Download) Resume() error {
 		if d.done > 0 && d.c.InterChunkDelay != nil {
 			time.Sleep(d.c.InterChunkDelay())
 		}
-		data, err := d.c.getChunk(d.frontend, d.sums[i], budget)
+		data, err := d.c.getChunk(d.frontend, d.sums[i], budget, nil)
 		if err != nil {
 			return fmt.Errorf("chunk %d/%d: %w", i+1, len(d.sums), err)
 		}

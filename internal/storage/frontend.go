@@ -2,7 +2,6 @@ package storage
 
 import (
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -394,12 +393,17 @@ func (f *FrontEnd) handleChunk(w http.ResponseWriter, r *http.Request) {
 }
 
 func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
-	data, err := io.ReadAll(io.LimitReader(r.Body, ChunkSize+1))
+	// The body lands in a pooled chunk-sized buffer: the store copies
+	// what it keeps, so the hot upload path allocates only that copy.
+	scratch := getChunkBuf()
+	defer putChunkBuf(scratch)
+	n, overflow, err := readBody(r.Body, *scratch)
 	if err != nil {
 		f.fail(w, http.StatusBadRequest, err, trace.ChunkStore)
 		return
 	}
-	if len(data) > ChunkSize {
+	data := (*scratch)[:n]
+	if overflow || len(data) > ChunkSize {
 		f.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("storage: chunk exceeds %d bytes", ChunkSize), trace.ChunkStore)
 		return
 	}

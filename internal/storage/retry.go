@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"mcloud/internal/metrics"
@@ -95,14 +96,20 @@ func (p RetryPolicy) backoff(n int, u float64) time.Duration {
 }
 
 // retryBudget tracks the retries remaining for one file operation.
-type retryBudget struct{ remaining int }
+// Concurrent chunk requests of one operation share it, so the counter
+// is atomic.
+type retryBudget struct{ remaining atomic.Int64 }
 
 func (b *retryBudget) take() bool {
-	if b.remaining <= 0 {
-		return false
+	for {
+		v := b.remaining.Load()
+		if v <= 0 {
+			return false
+		}
+		if b.remaining.CompareAndSwap(v, v-1) {
+			return true
+		}
 	}
-	b.remaining--
-	return true
 }
 
 // serverError is a non-2xx response decoded into an error; the status
@@ -313,7 +320,9 @@ func (c *Client) policy() RetryPolicy {
 
 // newBudget returns the retry budget for one file operation.
 func (c *Client) newBudget() *retryBudget {
-	return &retryBudget{remaining: c.policy().Budget}
+	b := &retryBudget{}
+	b.remaining.Store(int64(c.policy().Budget))
+	return b
 }
 
 // jitterDraw returns the next uniform draw from the client's jitter

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"sync"
 	"time"
 )
@@ -11,17 +12,24 @@ import (
 // have not been read for ColdAfter; a read of a cold chunk promotes it
 // back. The store tracks the byte-hours spent in each tier so the
 // cost benefit can be quantified against per-tier prices.
+//
+// Placement state is sharded by digest like MemStore, so tier
+// bookkeeping does not serialize concurrent chunk traffic.
 type TieredStore struct {
 	hot, cold ChunkStore
 	coldAfter time.Duration
 	now       func() time.Time
 
+	shards []tierShard
+	mask   uint32
+}
+
+type tierShard struct {
 	mu        sync.Mutex
 	lastRead  map[Sum]time.Time
 	placedHot map[Sum]bool
 	sizes     map[Sum]int64
-
-	tstats TierStats
+	tstats    TierStats
 }
 
 // TierStats reports tiering behaviour and accumulated occupancy.
@@ -44,14 +52,24 @@ func NewTieredStore(hot, cold ChunkStore, coldAfter time.Duration, now func() ti
 	if now == nil {
 		now = time.Now
 	}
-	return &TieredStore{
+	n := defaultShards()
+	t := &TieredStore{
 		hot: hot, cold: cold,
 		coldAfter: coldAfter,
 		now:       now,
-		lastRead:  make(map[Sum]time.Time),
-		placedHot: make(map[Sum]bool),
-		sizes:     make(map[Sum]int64),
+		shards:    make([]tierShard, n),
+		mask:      uint32(n - 1),
 	}
+	for i := range t.shards {
+		t.shards[i].lastRead = make(map[Sum]time.Time)
+		t.shards[i].placedHot = make(map[Sum]bool)
+		t.shards[i].sizes = make(map[Sum]int64)
+	}
+	return t
+}
+
+func (t *TieredStore) shard(sum Sum) *tierShard {
+	return &t.shards[binary.LittleEndian.Uint32(sum[:4])&t.mask]
 }
 
 // Put stores into the hot tier.
@@ -59,24 +77,24 @@ func (t *TieredStore) Put(sum Sum, data []byte) error {
 	if err := t.hot.Put(sum, data); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	if _, ok := t.sizes[sum]; !ok {
-		t.sizes[sum] = int64(len(data))
-		t.lastRead[sum] = t.now()
-		t.placedHot[sum] = true
+	s := t.shard(sum)
+	s.mu.Lock()
+	if _, ok := s.sizes[sum]; !ok {
+		s.sizes[sum] = int64(len(data))
+		s.lastRead[sum] = t.now()
+		s.placedHot[sum] = true
 	}
-	t.mu.Unlock()
+	s.mu.Unlock()
 	return nil
 }
 
 // Get reads from whichever tier holds the chunk, promoting cold hits.
 func (t *TieredStore) Get(sum Sum) ([]byte, error) {
-	t.mu.Lock()
-	hot, known := t.placedHot[sum], true
-	if _, ok := t.sizes[sum]; !ok {
-		known = false
-	}
-	t.mu.Unlock()
+	s := t.shard(sum)
+	s.mu.Lock()
+	hot := s.placedHot[sum]
+	_, known := s.sizes[sum]
+	s.mu.Unlock()
 	if !known {
 		return nil, ErrNotFound
 	}
@@ -86,10 +104,10 @@ func (t *TieredStore) Get(sum Sum) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.mu.Lock()
-		t.tstats.HotReads++
-		t.lastRead[sum] = t.now()
-		t.mu.Unlock()
+		s.mu.Lock()
+		s.tstats.HotReads++
+		s.lastRead[sum] = t.now()
+		s.mu.Unlock()
 		return data, nil
 	}
 
@@ -101,20 +119,21 @@ func (t *TieredStore) Get(sum Sum) ([]byte, error) {
 	if err := t.hot.Put(sum, data); err != nil {
 		return nil, err
 	}
-	t.mu.Lock()
-	t.tstats.ColdReads++
-	t.tstats.Promotions++
-	t.placedHot[sum] = true
-	t.lastRead[sum] = t.now()
-	t.mu.Unlock()
+	s.mu.Lock()
+	s.tstats.ColdReads++
+	s.tstats.Promotions++
+	s.placedHot[sum] = true
+	s.lastRead[sum] = t.now()
+	s.mu.Unlock()
 	return data, nil
 }
 
 // Has implements ChunkStore.
 func (t *TieredStore) Has(sum Sum) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, ok := t.sizes[sum]
+	s := t.shard(sum)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sizes[sum]
 	return ok
 }
 
@@ -125,58 +144,76 @@ func (t *TieredStore) Stats() StoreStats { return t.hot.Stats() }
 // accrues tier byte-hours up to now. Call it periodically (the service
 // would run it as a background job). It returns the number demoted.
 func (t *TieredStore) Migrate() (int, error) {
-	t.mu.Lock()
 	now := t.now()
-	var demote []Sum
-	for sum, hot := range t.placedHot {
-		if hot && now.Sub(t.lastRead[sum]) > t.coldAfter {
-			demote = append(demote, sum)
-		}
-	}
-	t.mu.Unlock()
-
-	for _, sum := range demote {
-		data, err := t.hot.Get(sum)
-		if err != nil {
-			return 0, err
-		}
-		if err := t.cold.Put(sum, data); err != nil {
-			return 0, err
-		}
-		if d, ok := t.hot.(interface{ Delete(Sum) error }); ok {
-			if err := d.Delete(sum); err != nil && err != ErrNotFound {
-				return 0, err
+	demoted := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		var demote []Sum
+		for sum, hot := range s.placedHot {
+			if hot && now.Sub(s.lastRead[sum]) > t.coldAfter {
+				demote = append(demote, sum)
 			}
 		}
-		t.mu.Lock()
-		t.placedHot[sum] = false
-		t.tstats.Demotions++
-		t.mu.Unlock()
+		s.mu.Unlock()
+
+		for _, sum := range demote {
+			data, err := t.hot.Get(sum)
+			if err != nil {
+				return demoted, err
+			}
+			if err := t.cold.Put(sum, data); err != nil {
+				return demoted, err
+			}
+			if d, ok := t.hot.(interface{ Delete(Sum) error }); ok {
+				if err := d.Delete(sum); err != nil && err != ErrNotFound {
+					return demoted, err
+				}
+			}
+			s.mu.Lock()
+			s.placedHot[sum] = false
+			s.tstats.Demotions++
+			s.mu.Unlock()
+			demoted++
+		}
 	}
-	return len(demote), nil
+	return demoted, nil
 }
 
 // AccrueOccupancy adds dt of residency to the tier byte-hour counters
 // for every chunk (the simulation clock advances in steps).
 func (t *TieredStore) AccrueOccupancy(dt time.Duration) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	hours := dt.Hours()
-	for sum, hot := range t.placedHot {
-		bh := float64(t.sizes[sum]) * hours
-		if hot {
-			t.tstats.HotByteHours += bh
-		} else {
-			t.tstats.ColdByteHours += bh
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for sum, hot := range s.placedHot {
+			bh := float64(s.sizes[sum]) * hours
+			if hot {
+				s.tstats.HotByteHours += bh
+			} else {
+				s.tstats.ColdByteHours += bh
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
-// TierStats returns a snapshot.
+// TierStats returns a snapshot aggregated across shards.
 func (t *TieredStore) TierStats() TierStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.tstats
+	var st TierStats
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		st.Demotions += s.tstats.Demotions
+		st.Promotions += s.tstats.Promotions
+		st.ColdReads += s.tstats.ColdReads
+		st.HotReads += s.tstats.HotReads
+		st.HotByteHours += s.tstats.HotByteHours
+		st.ColdByteHours += s.tstats.ColdByteHours
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // Cost evaluates storage cost given per-tier prices in arbitrary

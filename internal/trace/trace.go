@@ -125,10 +125,20 @@ func (l Log) TransferTime() time.Duration {
 // fieldCount is the number of tab-separated fields in the text format.
 const fieldCount = 10
 
+// lineSizeHint is an upper bound on one encoded entry: six 20-digit
+// numerics, two enum names, tabs and the flag. Growing dst once up
+// front keeps AppendText to at most a single allocation.
+const lineSizeHint = 160
+
 // AppendText appends the log entry to dst in the tab-separated text
 // format: unix-nanos, device, deviceID, userID, reqtype, bytes,
 // proc-ns, server-ns, rtt-ns, proxied.
 func (l Log) AppendText(dst []byte) []byte {
+	if cap(dst)-len(dst) < lineSizeHint {
+		grown := make([]byte, len(dst), cap(dst)+lineSizeHint)
+		copy(grown, dst)
+		dst = grown
+	}
 	dst = strconv.AppendInt(dst, l.Time.UnixNano(), 10)
 	dst = append(dst, '\t')
 	dst = append(dst, l.Device.String()...)
@@ -160,10 +170,24 @@ func (l Log) AppendText(dst []byte) []byte {
 // trailing newline).
 func ParseLine(line string) (Log, error) {
 	line = strings.TrimSuffix(line, "\n")
-	fields := strings.Split(line, "\t")
-	if len(fields) != fieldCount {
-		return Log{}, fmt.Errorf("trace: %d fields, want %d", len(fields), fieldCount)
+	// Cut the fields into a stack-resident array rather than
+	// strings.Split: the Reader calls this once per record, and the
+	// per-line []string header + backing array dominated its garbage.
+	var fields [fieldCount]string
+	rest := line
+	for i := 0; i < fieldCount-1; i++ {
+		j := strings.IndexByte(rest, '\t')
+		if j < 0 {
+			return Log{}, fmt.Errorf("trace: %d fields, want %d", i+1, fieldCount)
+		}
+		fields[i] = rest[:j]
+		rest = rest[j+1:]
 	}
+	if strings.IndexByte(rest, '\t') >= 0 {
+		return Log{}, fmt.Errorf("trace: %d fields, want %d",
+			fieldCount+strings.Count(rest, "\t"), fieldCount)
+	}
+	fields[fieldCount-1] = rest
 	var l Log
 	ns, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {

@@ -278,6 +278,7 @@ func BenchmarkAppendText(b *testing.B) {
 func BenchmarkParseLine(b *testing.B) {
 	line := string(sampleLog().AppendText(nil))
 	b.ReportAllocs()
+	b.SetBytes(int64(len(line)))
 	for i := 0; i < b.N; i++ {
 		if _, err := ParseLine(line); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStreamP measures draining the bounded-memory workload
+// stream at several generation worker counts.
+func BenchmarkStreamP(b *testing.B) {
+	g, err := New(Config{Users: 1000, PCOnlyUsers: 125, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := g.StreamP(workers)
+				n := 0
+				for {
+					if _, ok := s.Next(); !ok {
+						break
+					}
+					n++
+				}
+				if n == 0 {
+					b.Fatal("empty stream")
+				}
+			}
+		})
+	}
+}

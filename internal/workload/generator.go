@@ -3,9 +3,6 @@ package workload
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"mcloud/internal/randx"
@@ -92,13 +89,13 @@ func (g *Generator) User(i int) *User {
 // Population returns the total number of users.
 func (g *Generator) Population() int { return g.cfg.Users + g.cfg.PCOnlyUsers }
 
-// userWeek generates the complete, time-ordered log slice of one user
-// for the observation window.
-func (g *Generator) userWeek(u *User) []trace.Log {
-	src := randx.Derive(g.cfg.Seed, fmt.Sprintf("userweek/%d", u.ID))
-	end := g.cfg.End()
-	windowDays := g.cfg.Days
-
+// weekPrefix performs the draws that precede session emission on src
+// and returns the nominal session count and the first session's start
+// time. userWeek continues on the same source, so splitting the
+// prefix out cannot change the generated stream; firstLogTime uses
+// the prefix alone to learn a user's first record time at a fraction
+// of the cost of generating the week.
+func (g *Generator) weekPrefix(u *User, src *randx.Source) (nominal int, start time.Time) {
 	// Expected sessions this week; the user's first session lands on a
 	// uniformly chosen day (diurnal time-of-day), later sessions
 	// follow inter-session gaps until churn or window end. Session
@@ -118,16 +115,37 @@ func (g *Generator) userWeek(u *User) []trace.Log {
 		// sessions: cross-device synchronization (Fig 8).
 		target *= multiDeviceSessionBoost
 	}
-	nominal := 1 + src.Poisson(target-1) // at least one session: all users are active
+	nominal = 1 + src.Poisson(target-1) // at least one session: all users are active
 	if u.Class == Occasional {
 		// Occasional users stay under their 1 MB weekly budget
 		// (§3.2.1): one tiny session, no returns.
 		nominal = 1
 	}
 
-	day := src.Intn(windowDays)
-	start := g.cfg.Start.AddDate(0, 0, day)
+	day := src.Intn(g.cfg.Days)
+	start = g.cfg.Start.AddDate(0, 0, day)
 	start = start.Add(diurnalTimeOfDay(src, start.Weekday()))
+	return nominal, start
+}
+
+// firstLogTime returns the timestamp of user i's first log record
+// without generating the week: a session's first file-operation log
+// is emitted exactly at the session start (see planSession), and
+// later sessions only move forward in time, so the first session's
+// start is the first record's time.
+func (g *Generator) firstLogTime(i int) time.Time {
+	u := g.User(i)
+	src := randx.Derive(g.cfg.Seed, fmt.Sprintf("userweek/%d", u.ID))
+	_, start := g.weekPrefix(u, src)
+	return start
+}
+
+// userWeek generates the complete, time-ordered log slice of one user
+// for the observation window.
+func (g *Generator) userWeek(u *User) []trace.Log {
+	src := randx.Derive(g.cfg.Seed, fmt.Sprintf("userweek/%d", u.ID))
+	end := g.cfg.End()
+	nominal, start := g.weekPrefix(u, src)
 
 	var logs []trace.Log
 	sessions := 0
@@ -236,74 +254,10 @@ func (g *Generator) pickSessionShape(src *randx.Source, u *User, pcSync, forcePC
 	return device, typ
 }
 
-// userStream lazily yields one user's week.
-type userStream struct {
-	g    *Generator
-	idx  int
-	logs []trace.Log
-	pos  int
-}
-
-func (s *userStream) prime() {
-	if s.logs == nil {
-		s.logs = s.g.userWeek(s.g.User(s.idx))
-	}
-}
-
-func (s *userStream) Next() (trace.Log, bool) {
-	s.prime()
-	if s.pos >= len(s.logs) {
-		return trace.Log{}, false
-	}
-	l := s.logs[s.pos]
-	s.pos++
-	return l, true
-}
-
-// peek returns the first timestamp without consuming, generating the
-// user's week on first use.
-func (s *userStream) peek() (time.Time, bool) {
-	s.prime()
-	if s.pos >= len(s.logs) {
-		return time.Time{}, false
-	}
-	return s.logs[s.pos].Time, true
-}
-
-// Stream returns the population's merged, time-ordered log stream.
-// Per-user weeks are generated on all cores up front (generation is
-// per-user deterministic, so parallelism does not affect the output),
-// then merged with a k-way heap. Memory holds every user's week at
-// once; for very large populations prefer GenerateTo with sharding.
-func (g *Generator) Stream() trace.Stream {
-	users := make([]*userStream, g.Population())
-	streams := make([]trace.Stream, g.Population())
-	for i := range streams {
-		users[i] = &userStream{g: g, idx: i}
-		streams[i] = users[i]
-	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 1 && g.Population() > 64 {
-		var wg sync.WaitGroup
-		next := int64(-1)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt64(&next, 1))
-					if i >= len(users) {
-						return
-					}
-					users[i].prime()
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	return trace.NewMerge(streams...)
-}
+// Stream returns the population's merged, time-ordered log stream
+// with default (per-core) generation parallelism; see StreamP for the
+// mechanics and memory bound.
+func (g *Generator) Stream() trace.Stream { return g.StreamP(0) }
 
 // Generate materializes the full dataset in memory (tests,
 // small-scale runs).

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"container/heap"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcloud/internal/trace"
+)
+
+// StreamP returns the population's merged, time-ordered log stream
+// with the given generation parallelism (workers <= 0 means
+// GOMAXPROCS).
+//
+// Unlike a naive k-way merge over all user weeks, the stream is
+// bounded-memory: users are sorted by the time of their first record
+// — computable from a cheap RNG-prefix replay, without emitting any
+// sessions — and a user's week is only generated (on a fork-join
+// worker batch) once the merge clock reaches their first record. A
+// fully consumed week is released immediately. Resident state is
+// therefore O(concurrently active users + one generation batch), not
+// O(population), so million-user populations stream in steady memory.
+//
+// The output is identical to eagerly merging every user week: the
+// heap breaks timestamp ties by user index, exactly like trace.Merge
+// over per-user streams in user order, and per-user generation is
+// seed-deterministic, so worker count and batching cannot reorder or
+// alter records.
+func (g *Generator) StreamP(workers int) trace.Stream {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.Population()
+
+	// First-record time of every user, computed in parallel: the
+	// prefix replay is ~50x cheaper than generating a week.
+	starts := make([]time.Time, n)
+	if workers > 1 && n > 64 {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					starts[i] = g.firstLogTime(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range starts {
+			starts[i] = g.firstLogTime(i)
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := starts[order[a]], starts[order[b]]
+		if !ta.Equal(tb) {
+			return ta.Before(tb)
+		}
+		return order[a] < order[b]
+	})
+	sortedStarts := make([]time.Time, n)
+	for pos, idx := range order {
+		sortedStarts[pos] = starts[idx]
+	}
+
+	batch := workers * 8
+	if batch < 16 {
+		batch = 16
+	}
+	return &boundedStream{
+		g:       g,
+		workers: workers,
+		order:   order,
+		starts:  sortedStarts,
+		batch:   batch,
+	}
+}
+
+// boundedStream is the lazily-generating merge behind StreamP.
+type boundedStream struct {
+	g       *Generator
+	workers int
+	order   []int       // user indices sorted by first-record time
+	starts  []time.Time // first-record time per order position
+	nextPos int         // next order position not yet ingested
+	batch   int         // generation batch size
+	queue   [][]trace.Log
+	heads   cursorHeap
+
+	maxResident int // high-water mark of resident weeks (for tests)
+}
+
+type userCursor struct {
+	userIdx int
+	logs    []trace.Log
+	pos     int
+}
+
+// cursorHeap orders active users by (head record time, user index) —
+// the same tie-break trace.Merge applies to per-user streams passed
+// in user order, which keeps StreamP's output bit-identical to the
+// eager merge.
+type cursorHeap []*userCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(a, b int) bool {
+	ta, tb := h[a].logs[h[a].pos].Time, h[b].logs[h[b].pos].Time
+	if !ta.Equal(tb) {
+		return ta.Before(tb)
+	}
+	return h[a].userIdx < h[b].userIdx
+}
+func (h cursorHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(*userCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// takeNext returns the week of the user at order position nextPos,
+// generating the next batch of weeks on the worker pool when the
+// queue runs dry. Generation is fork-join per batch — no goroutine
+// outlives the call — so an abandoned stream leaks nothing.
+func (s *boundedStream) takeNext() []trace.Log {
+	if len(s.queue) == 0 {
+		lo, hi := s.nextPos, s.nextPos+s.batch
+		if hi > len(s.order) {
+			hi = len(s.order)
+		}
+		s.queue = s.generateBatch(lo, hi)
+	}
+	w := s.queue[0]
+	s.queue[0] = nil
+	s.queue = s.queue[1:]
+	return w
+}
+
+func (s *boundedStream) generateBatch(lo, hi int) [][]trace.Log {
+	out := make([][]trace.Log, hi-lo)
+	gen := func(k int) {
+		idx := s.order[k]
+		out[k-lo] = s.g.userWeek(s.g.User(idx))
+	}
+	w := s.workers
+	if w > hi-lo {
+		w = hi - lo
+	}
+	if w <= 1 {
+		for k := lo; k < hi; k++ {
+			gen(k)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(int64(lo - 1))
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1))
+				if k >= hi {
+					return
+				}
+				gen(k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Next implements trace.Stream.
+func (s *boundedStream) Next() (trace.Log, bool) {
+	// Ingest every user whose first record is due at or before the
+	// current merge minimum; on ties the ingested user may itself be
+	// the minimum, which is why the comparison is "not after".
+	for s.nextPos < len(s.order) &&
+		(len(s.heads) == 0 || !s.starts[s.nextPos].After(s.heads[0].logs[s.heads[0].pos].Time)) {
+		logs := s.takeNext()
+		idx := s.order[s.nextPos]
+		s.nextPos++
+		if len(logs) > 0 {
+			heap.Push(&s.heads, &userCursor{userIdx: idx, logs: logs})
+		}
+	}
+	if resident := len(s.heads) + len(s.queue); resident > s.maxResident {
+		s.maxResident = resident
+	}
+	if len(s.heads) == 0 {
+		return trace.Log{}, false
+	}
+	cur := s.heads[0]
+	l := cur.logs[cur.pos]
+	cur.pos++
+	if cur.pos >= len(cur.logs) {
+		heap.Pop(&s.heads) // week fully consumed: release it
+	} else {
+		heap.Fix(&s.heads, 0)
+	}
+	return l, true
+}

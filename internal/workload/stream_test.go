@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"testing"
+
+	"mcloud/internal/trace"
+)
+
+// eagerMerge is the reference semantics StreamP must reproduce: every
+// user week materialized, then k-way merged in user order (ties by
+// stream index).
+func eagerMerge(t *testing.T, g *Generator) []trace.Log {
+	t.Helper()
+	streams := make([]trace.Stream, g.Population())
+	for i := range streams {
+		streams[i] = trace.NewSliceStream(g.userWeek(g.User(i)))
+	}
+	return trace.Drain(trace.NewMerge(streams...))
+}
+
+func TestStreamMatchesEagerMerge(t *testing.T) {
+	g, err := New(Config{Users: 1500, PCOnlyUsers: 400, Seed: 424242})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eagerMerge(t, g)
+	for _, workers := range []int{1, 4} {
+		got := trace.Drain(g.StreamP(workers))
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: record %d differs:\n got  %+v\n want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamBoundedResidency(t *testing.T) {
+	g, err := New(Config{Users: 4000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.StreamP(4)
+	n := trace.Drain(s)
+	if len(n) == 0 {
+		t.Fatal("empty stream")
+	}
+	bs := s.(*boundedStream)
+	// The whole point: the week-long window never needs anywhere near
+	// the full population resident. The bound is loose (sessions
+	// cluster within the window) but must be far below Population.
+	if limit := g.Population() / 2; bs.maxResident > limit {
+		t.Errorf("peak resident user-weeks = %d, want <= %d (population %d)",
+			bs.maxResident, limit, g.Population())
+	}
+	if bs.maxResident == 0 {
+		t.Error("residency accounting inert")
+	}
+	t.Logf("peak resident user-weeks: %d of %d users", bs.maxResident, g.Population())
+}
