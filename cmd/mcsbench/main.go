@@ -80,6 +80,7 @@ func main() {
 		run   func(workers int, quick bool) float64
 	}{
 		{"store", "CPU/lock-bound: concurrent Put into the sharded chunk store", benchStore},
+		{"disk", "fsync-bound: concurrent durable Put into the segment store; group commit amortizes fsyncs across writers", benchDisk},
 		{"transfer", "latency-bound: pipelined chunk PUT+GET against a live front-end with a 20ms median simulated upstream delay", benchTransfer},
 		{"generate", "CPU-bound: bounded-memory workload generation via StreamP", benchGenerate},
 		{"analyze", "CPU-bound: user-sharded fold + merge via ParallelAnalyzer", benchAnalyze},
@@ -171,6 +172,67 @@ func benchStore(workers int, quick bool) float64 {
 	}
 	wg.Wait()
 	return time.Since(start).Seconds()
+}
+
+// benchDisk times W goroutines putting pre-hashed chunks into a
+// DiskStore with full durability (every acknowledged Put is
+// fsync-covered). Unlike the RAM path this is fsync-bound, so the
+// scaling it measures is the group commit: more concurrent writers
+// share each fsync instead of issuing their own.
+func benchDisk(workers int, quick bool) float64 {
+	chunks, size := 1024, 64<<10
+	if quick {
+		chunks, size = 128, 16<<10
+	}
+	data := make([][]byte, chunks)
+	sums := make([]storage.Sum, chunks)
+	src := randx.New(11)
+	for i := range data {
+		buf := make([]byte, size)
+		for j := 0; j < size; j += 8 {
+			v := src.Uint64()
+			for k := 0; k < 8 && j+k < size; k++ {
+				buf[j+k] = byte(v >> (8 * k))
+			}
+		}
+		data[i] = buf
+		sums[i] = storage.SumBytes(buf)
+	}
+
+	dir, err := os.MkdirTemp("", "mcsbench-disk-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := storage.OpenDiskStore(dir, storage.DiskStoreOptions{SegmentSize: 16 << 20})
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= chunks {
+					return
+				}
+				if err := store.Put(sums[i], data[i]); err != nil {
+					fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	st := store.DiskStats()
+	fmt.Printf("mcsbench: disk     workers=%d  %d puts / %d fsyncs\n", workers, chunks, st.Fsyncs)
+	return elapsed
 }
 
 // benchTransfer times storing and retrieving files through a live

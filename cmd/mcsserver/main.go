@@ -48,6 +48,11 @@ func main() {
 		maxInfl  = flag.Int("maxinflight", 0, "shed load with 503 + Retry-After beyond this many in-flight front-end requests (0 disables)")
 		readTO   = flag.Duration("readtimeout", time.Minute, "per-connection request read deadline (0 disables)")
 		shards   = flag.Int("shards", 0, "chunk store lock shards, rounded up to a power of two (0 = 4x GOMAXPROCS)")
+		dataDir  = flag.String("data", "", "durable chunk store directory: segment files with crash recovery (empty keeps chunks in RAM)")
+		segSize  = flag.Int64("segsize", 64<<20, "segment file size in bytes before rotation (with -data)")
+		compact  = flag.Float64("compactbelow", 0.5, "rewrite sealed segments whose live-byte ratio falls below this (with -data)")
+		compEvry = flag.Duration("compactevery", 30*time.Second, "background compaction sweep interval (with -data; 0 disables)")
+		coldAftr = flag.Duration("coldafter", 0, "demote chunks idle this long from RAM to the disk cold tier (needs -data; 0 serves everything from disk)")
 	)
 	flag.Parse()
 	fmt.Printf("mcsserver: GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
@@ -67,13 +72,54 @@ func main() {
 	reg := metrics.NewRegistry()
 	health := &metrics.Health{}
 
-	memStore := storage.NewMemStoreShards(*shards)
-	memStore.Instrument(reg)
-	fmt.Printf("mcsserver: chunk store sharded %d ways\n", memStore.Shards())
-	var store storage.ChunkStore = memStore
+	// Chunk store stack, bottom up: RAM shards, or durable segments
+	// (-data), optionally split hot-RAM/cold-disk (-coldafter), with a
+	// read-path LRU (-cache) on top of whichever base was chosen.
+	var store storage.ChunkStore
+	var disk *storage.DiskStore
+	var tiered *storage.TieredStore
+	if *dataDir != "" {
+		var err error
+		disk, err = storage.OpenDiskStore(*dataDir, storage.DiskStoreOptions{
+			SegmentSize:  *segSize,
+			CompactBelow: *compact,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		disk.Instrument(reg)
+		dst := disk.DiskStats()
+		fmt.Printf("mcsserver: durable store %s: %d chunks across %d segments recovered in %v",
+			*dataDir, disk.Stats().Chunks, dst.Segments, dst.Recovery.Round(time.Millisecond))
+		if dst.Truncated > 0 {
+			fmt.Printf(" (%d torn-tail bytes truncated)", dst.Truncated)
+		}
+		fmt.Println()
+		store = disk
+		if *coldAftr > 0 {
+			hot := storage.NewMemStoreShards(*shards)
+			tiered = storage.NewTieredStore(hot, disk, *coldAftr, nil)
+			tiered.Instrument(reg)
+			// Chunks recovered from disk start cold; a read promotes.
+			adopted := 0
+			disk.Range(func(sum storage.Sum, size int64) bool {
+				tiered.AdoptCold(sum, size)
+				adopted++
+				return true
+			})
+			store = tiered
+			fmt.Printf("mcsserver: tiering RAM-hot chunks to disk after %v idle (%d recovered chunks adopted cold)\n",
+				*coldAftr, adopted)
+		}
+	} else {
+		memStore := storage.NewMemStoreShards(*shards)
+		fmt.Printf("mcsserver: chunk store sharded %d ways\n", memStore.Shards())
+		store = memStore
+	}
+	storage.InstrumentStore(reg, store)
 	var cached *storage.CachedStore
 	if *cacheMB > 0 {
-		cached = storage.NewCachedStore(memStore, int64(*cacheMB)<<20)
+		cached = storage.NewCachedStore(store, int64(*cacheMB)<<20)
 		cached.Instrument(reg)
 		store = cached
 	}
@@ -188,6 +234,54 @@ func main() {
 	}
 	health.SetReady(true)
 
+	// Background maintenance: demote idle chunks to the cold tier and
+	// reclaim dead segment space. Both loops stop at shutdown so the
+	// final fsync in Close is the last write.
+	maintDone := make(chan struct{})
+	var maintWG sync.WaitGroup
+	if tiered != nil {
+		every := *coldAftr / 4
+		if every < time.Second {
+			every = time.Second
+		}
+		maintWG.Add(1)
+		go func() {
+			defer maintWG.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-maintDone:
+					return
+				case <-tick.C:
+					if n, err := tiered.Migrate(); err != nil {
+						fmt.Fprintln(os.Stderr, "mcsserver: tier migrate:", err)
+					} else if n > 0 {
+						tiered.AccrueOccupancy(every)
+					}
+				}
+			}
+		}()
+	}
+	if disk != nil && *compEvry > 0 {
+		maintWG.Add(1)
+		go func() {
+			defer maintWG.Done()
+			tick := time.NewTicker(*compEvry)
+			defer tick.Stop()
+			for {
+				select {
+				case <-maintDone:
+					return
+				case <-tick.C:
+					if _, err := disk.Compact(); err != nil {
+						fmt.Fprintln(os.Stderr, "mcsserver: compact:", err)
+					}
+				}
+			}
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
@@ -210,8 +304,24 @@ func main() {
 	}
 	wg.Wait()
 	cancel()
+	close(maintDone)
+	maintWG.Wait()
+	if tiered != nil {
+		// The hot tier is RAM: anything acknowledged but not yet
+		// demoted must reach the durable cold tier before it closes.
+		n, err := tiered.FlushHot()
+		if err != nil {
+			fatal(fmt.Errorf("flushing hot tier: %w", err))
+		}
+		fmt.Printf("mcsserver: flushed %d hot chunks to the cold tier\n", n)
+	}
 	if err := sink.Flush(); err != nil {
 		fatal(err)
+	}
+	if disk != nil {
+		if err := disk.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *metaSnap != "" {
 		if err := meta.SaveFile(*metaSnap); err != nil {
@@ -230,6 +340,16 @@ func main() {
 		cs := cached.CacheStats()
 		fmt.Printf("mcsserver: cache %.1f%% hit rate (%d hits / %d misses), %0.2f MB used of %0.2f MB\n",
 			100*cs.HitRate(), cs.Hits, cs.Misses, float64(cs.Used)/(1<<20), float64(cs.Capacity)/(1<<20))
+	}
+	if disk != nil {
+		dst := disk.DiskStats()
+		fmt.Printf("mcsserver: disk store %d segments, %0.2f MB live / %0.2f MB dead, %d fsyncs, %d compactions\n",
+			dst.Segments, float64(dst.LiveBytes)/(1<<20), float64(dst.DeadBytes)/(1<<20), dst.Fsyncs, dst.Compactions)
+	}
+	if tiered != nil {
+		ti := tiered.TierStats()
+		fmt.Printf("mcsserver: tiering %d demotions, %d promotions, %d hot / %d cold reads\n",
+			ti.Demotions, ti.Promotions, ti.HotReads, ti.ColdReads)
 	}
 	if injFE != nil {
 		fmt.Printf("mcsserver: chaos injected %d front-end + %d metadata faults across %d requests\n",

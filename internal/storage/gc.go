@@ -70,6 +70,14 @@ type Deleter interface {
 	Delete(sum Sum) error
 }
 
+// Compactor is the optional ChunkStore extension for stores whose
+// deletes only tombstone (e.g. DiskStore): Compact rewrites storage
+// whose live ratio has dropped and returns how many units (segments)
+// it reclaimed.
+type Compactor interface {
+	Compact() (int, error)
+}
+
 // Collect removes the given chunks from store if it supports deletion,
 // returning how many were reclaimed. Stores without Delete (e.g. the
 // cached wrapper) report zero reclaimed without error.
@@ -131,6 +139,14 @@ func DeleteFileObserved(gm *GCMetrics, m *Metadata, rc *RefCounter, store ChunkS
 	if lastRef {
 		dead := rc.Release(chunks)
 		n, err = Collect(store, dead)
+		if err == nil && n > 0 {
+			// Deletes against a log-structured store only tombstone;
+			// give its compactor a chance to reclaim segment space.
+			// Compact no-ops unless a segment crossed its threshold.
+			if c, ok := store.(Compactor); ok {
+				_, err = c.Compact()
+			}
+		}
 	}
 	if gm != nil {
 		gm.Deletes.Inc()

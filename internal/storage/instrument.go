@@ -93,20 +93,47 @@ func (fm *FrontEndMetrics) observe(typ trace.ReqType, dev trace.DeviceType, byte
 	}
 }
 
-// Instrument exposes the in-memory chunk store's occupancy and dedup
-// counters. Values are sampled from Stats() at scrape time, so the
-// store's hot path is untouched.
-func (m *MemStore) Instrument(reg *metrics.Registry) {
+// InstrumentStore exposes any chunk store's occupancy and dedup
+// counters as the mcs_store_* series. Values are sampled from Stats()
+// at scrape time, so the store's hot path is untouched. Register the
+// top-level store only (the one the front-ends serve from): tier- and
+// engine-specific series (mcs_tier_*, mcs_disk_*) have their own
+// Instrument methods.
+func InstrumentStore(reg *metrics.Registry, s ChunkStore) {
 	reg.GaugeFunc("mcs_store_chunks", "Unique chunks resident in the store.",
-		func() float64 { return float64(m.Stats().Chunks) })
+		func() float64 { return float64(s.Stats().Chunks) })
 	reg.GaugeFunc("mcs_store_bytes", "Unique bytes resident in the store.",
-		func() float64 { return float64(m.Stats().Bytes) })
+		func() float64 { return float64(s.Stats().Bytes) })
 	reg.CounterFunc("mcs_store_puts_total", "Chunk Put operations offered to the store.",
-		func() float64 { return float64(m.Stats().Puts) })
+		func() float64 { return float64(s.Stats().Puts) })
 	reg.CounterFunc("mcs_store_dedup_hits_total", "Puts that found their content already stored.",
-		func() float64 { return float64(m.Stats().DedupHits) })
+		func() float64 { return float64(s.Stats().DedupHits) })
 	reg.CounterFunc("mcs_store_bytes_offered_total", "Total bytes offered across all Puts.",
-		func() float64 { return float64(m.Stats().BytesStored) })
+		func() float64 { return float64(s.Stats().BytesStored) })
+}
+
+// Instrument exposes the in-memory chunk store's occupancy and dedup
+// counters.
+func (m *MemStore) Instrument(reg *metrics.Registry) { InstrumentStore(reg, m) }
+
+// Instrument exposes the durable segment store's on-disk accounting
+// as the mcs_disk_* series (alongside whatever mcs_store_* series the
+// top-level store registers).
+func (ds *DiskStore) Instrument(reg *metrics.Registry) {
+	reg.GaugeFunc("mcs_disk_segments", "Segment files on disk.",
+		func() float64 { return float64(ds.DiskStats().Segments) })
+	reg.GaugeFunc("mcs_disk_live_bytes", "Record bytes still addressed by the index.",
+		func() float64 { return float64(ds.DiskStats().LiveBytes) })
+	reg.GaugeFunc("mcs_disk_dead_bytes", "Record bytes awaiting compaction (tombstoned or superseded).",
+		func() float64 { return float64(ds.DiskStats().DeadBytes) })
+	reg.CounterFunc("mcs_disk_fsyncs_total", "fsync syscalls issued (group-committed across writers).",
+		func() float64 { return float64(ds.DiskStats().Fsyncs) })
+	reg.CounterFunc("mcs_disk_compactions_total", "Segments rewritten and reclaimed by the compactor.",
+		func() float64 { return float64(ds.DiskStats().Compactions) })
+	reg.GaugeFunc("mcs_disk_recovery_seconds", "Index rebuild time at the last open.",
+		func() float64 { return ds.DiskStats().Recovery.Seconds() })
+	reg.GaugeFunc("mcs_disk_truncated_bytes", "Torn-tail bytes discarded at the last open.",
+		func() float64 { return float64(ds.DiskStats().Truncated) })
 }
 
 // Instrument exposes the read cache's effectiveness and occupancy.

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,6 +23,15 @@ type TieredStore struct {
 
 	shards []tierShard
 	mask   uint32
+
+	// Ingest accounting owned by the tiered view itself, so Stats()
+	// reflects the logical store across both tiers and is not skewed
+	// by migration traffic hitting the per-tier counters.
+	puts        atomic.Int64
+	dedupHits   atomic.Int64
+	bytesStored atomic.Int64
+	chunks      atomic.Int64
+	bytes       atomic.Int64
 }
 
 type tierShard struct {
@@ -68,21 +78,47 @@ func NewTieredStore(hot, cold ChunkStore, coldAfter time.Duration, now func() ti
 	return t
 }
 
-func (t *TieredStore) shard(sum Sum) *tierShard {
-	return &t.shards[binary.LittleEndian.Uint32(sum[:4])&t.mask]
+func (t *TieredStore) shardIndex(sum Sum) uint32 {
+	return binary.LittleEndian.Uint32(sum[:4]) & t.mask
 }
 
-// Put stores into the hot tier.
+func (t *TieredStore) shard(sum Sum) *tierShard {
+	return &t.shards[t.shardIndex(sum)]
+}
+
+// Put stores into the hot tier. A Put whose content is already known
+// to either tier is a dedup hit and touches neither backing store, so
+// re-uploading a demoted chunk does not resurrect an unaccounted hot
+// copy.
 func (t *TieredStore) Put(sum Sum, data []byte) error {
+	if SumBytes(data) != sum {
+		return errBadDigest
+	}
+	t.puts.Add(1)
+	t.bytesStored.Add(int64(len(data)))
+
+	s := t.shard(sum)
+	s.mu.Lock()
+	_, known := s.sizes[sum]
+	s.mu.Unlock()
+	if known {
+		t.dedupHits.Add(1)
+		return nil
+	}
+
 	if err := t.hot.Put(sum, data); err != nil {
 		return err
 	}
-	s := t.shard(sum)
 	s.mu.Lock()
 	if _, ok := s.sizes[sum]; !ok {
 		s.sizes[sum] = int64(len(data))
 		s.lastRead[sum] = t.now()
 		s.placedHot[sum] = true
+		t.chunks.Add(1)
+		t.bytes.Add(int64(len(data)))
+	} else {
+		// Raced with an identical Put that registered first.
+		t.dedupHits.Add(1)
 	}
 	s.mu.Unlock()
 	return nil
@@ -101,14 +137,18 @@ func (t *TieredStore) Get(sum Sum) ([]byte, error) {
 
 	if hot {
 		data, err := t.hot.Get(sum)
-		if err != nil {
+		if err == nil {
+			s.mu.Lock()
+			s.tstats.HotReads++
+			s.lastRead[sum] = t.now()
+			s.mu.Unlock()
+			return data, nil
+		}
+		if err != ErrNotFound {
 			return nil, err
 		}
-		s.mu.Lock()
-		s.tstats.HotReads++
-		s.lastRead[sum] = t.now()
-		s.mu.Unlock()
-		return data, nil
+		// A concurrent Migrate demoted the chunk between our placement
+		// check and the hot read; fall through to the cold tier.
 	}
 
 	data, err := t.cold.Get(sum)
@@ -137,12 +177,32 @@ func (t *TieredStore) Has(sum Sum) bool {
 	return ok
 }
 
-// Stats returns the hot tier's counters (ingest accounting).
-func (t *TieredStore) Stats() StoreStats { return t.hot.Stats() }
+// Stats aggregates the logical store across both tiers: unique chunks
+// and bytes are whatever the placement maps track (each chunk counts
+// once, whichever tier holds it), and the Put counters are the tiered
+// store's own ingest accounting — migration and promotion copies do
+// not inflate them.
+func (t *TieredStore) Stats() StoreStats {
+	return StoreStats{
+		Chunks:      int(t.chunks.Load()),
+		Bytes:       t.bytes.Load(),
+		Puts:        t.puts.Load(),
+		DedupHits:   t.dedupHits.Load(),
+		BytesStored: t.bytesStored.Load(),
+	}
+}
 
 // Migrate demotes every hot chunk idle for longer than coldAfter and
 // accrues tier byte-hours up to now. Call it periodically (the service
 // would run it as a background job). It returns the number demoted.
+//
+// Each demotion is atomic with respect to the shard state: the idle
+// check is re-run under the shard lock (a concurrent Get may have
+// refreshed lastRead since the candidate scan), and the copy to cold,
+// hot delete, and placement flip happen with the lock held, so a
+// failure leaves the chunk either fully hot (cold.Put failed — no
+// state changed) or fully cold (placement flipped only after the cold
+// copy succeeded).
 func (t *TieredStore) Migrate() (int, error) {
 	now := t.now()
 	demoted := 0
@@ -158,26 +218,136 @@ func (t *TieredStore) Migrate() (int, error) {
 		s.mu.Unlock()
 
 		for _, sum := range demote {
-			data, err := t.hot.Get(sum)
+			ok, err := t.demoteOne(s, sum, func() bool {
+				// Re-check under the lock: a read since the scan keeps
+				// the chunk hot, and a delete removes it from play.
+				return s.placedHot[sum] && now.Sub(s.lastRead[sum]) > t.coldAfter
+			})
+			if ok {
+				demoted++
+			}
 			if err != nil {
 				return demoted, err
 			}
-			if err := t.cold.Put(sum, data); err != nil {
-				return demoted, err
-			}
-			if d, ok := t.hot.(interface{ Delete(Sum) error }); ok {
-				if err := d.Delete(sum); err != nil && err != ErrNotFound {
-					return demoted, err
-				}
-			}
-			s.mu.Lock()
-			s.placedHot[sum] = false
-			s.tstats.Demotions++
-			s.mu.Unlock()
-			demoted++
 		}
 	}
 	return demoted, nil
+}
+
+// demoteOne moves a single chunk from hot to cold with the shard lock
+// held across the copy, delete, and placement flip. eligible runs
+// under the lock and aborts the demotion when it returns false. A
+// cold.Put failure leaves the chunk fully hot — placement, sizes, and
+// tier stats untouched; a hot delete failure after a successful cold
+// copy still flips placement (the cold copy is authoritative, the hot
+// copy lingers until its store reclaims it) and reports the error.
+func (t *TieredStore) demoteOne(s *tierShard, sum Sum, eligible func() bool) (bool, error) {
+	s.mu.Lock()
+	if !eligible() {
+		s.mu.Unlock()
+		return false, nil
+	}
+	data, err := t.hot.Get(sum)
+	if err != nil {
+		s.mu.Unlock()
+		if err == ErrNotFound {
+			return false, nil // deleted concurrently; nothing to demote
+		}
+		return false, err
+	}
+	if err := t.cold.Put(sum, data); err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	var deleteErr error
+	if d, ok := t.hot.(Deleter); ok {
+		if err := d.Delete(sum); err != nil && err != ErrNotFound {
+			deleteErr = err
+		}
+	}
+	s.placedHot[sum] = false
+	s.tstats.Demotions++
+	s.mu.Unlock()
+	return true, deleteErr
+}
+
+// FlushHot demotes every hot-placed chunk to the cold tier regardless
+// of idle time. When the hot tier is volatile (the server's RAM tier
+// over a durable disk tier), a graceful shutdown must call this before
+// closing the cold store, or acknowledged chunks that never sat idle
+// long enough for Migrate would be lost with the process.
+func (t *TieredStore) FlushHot() (int, error) {
+	flushed := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		var demote []Sum
+		for sum, hot := range s.placedHot {
+			if hot {
+				demote = append(demote, sum)
+			}
+		}
+		s.mu.Unlock()
+
+		for _, sum := range demote {
+			ok, err := t.demoteOne(s, sum, func() bool {
+				return s.placedHot[sum]
+			})
+			if ok {
+				flushed++
+			}
+			if err != nil {
+				return flushed, err
+			}
+		}
+	}
+	return flushed, nil
+}
+
+// AdoptCold registers a chunk already resident in the cold store —
+// typically one recovered from disk after a restart, when the
+// in-memory placement maps start empty — as cold-placed. A chunk the
+// store already tracks is left untouched.
+func (t *TieredStore) AdoptCold(sum Sum, size int64) {
+	s := t.shard(sum)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sizes[sum]; ok {
+		return
+	}
+	s.sizes[sum] = size
+	s.placedHot[sum] = false
+	s.lastRead[sum] = t.now()
+	t.chunks.Add(1)
+	t.bytes.Add(size)
+}
+
+// Delete removes a chunk from whichever tiers hold it and from the
+// placement maps, so the garbage collector reclaims tiered space like
+// any other store's.
+func (t *TieredStore) Delete(sum Sum) error {
+	s := t.shard(sum)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size, ok := s.sizes[sum]
+	if !ok {
+		return ErrNotFound
+	}
+	// Both tiers may hold bytes (a promoted chunk leaves its cold copy
+	// behind); try each and tolerate the one that never had it.
+	for _, tier := range []ChunkStore{t.hot, t.cold} {
+		if d, ok := tier.(Deleter); ok {
+			if err := d.Delete(sum); err != nil && err != ErrNotFound {
+				return err
+			}
+		}
+	}
+	delete(s.sizes, sum)
+	delete(s.placedHot, sum)
+	delete(s.lastRead, sum)
+	t.chunks.Add(-1)
+	t.bytes.Add(-size)
+	return nil
 }
 
 // AccrueOccupancy adds dt of residency to the tier byte-hour counters
