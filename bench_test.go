@@ -659,11 +659,13 @@ func BenchmarkMetricsHotPath(b *testing.B) {
 // benchFrontEndChunkPut drives PUT /chunk/{md5} directly against the
 // front-end handler (no sockets), with or without metrics attached.
 func benchFrontEndChunkPut(b *testing.B, instrumented bool) {
-	var opts storage.FrontEndOptions
+	var cfg storage.FrontEndConfig
 	if instrumented {
-		opts.Metrics = storage.NewFrontEndMetrics(metrics.NewRegistry())
+		cfg.Metrics = storage.NewFrontEndMetrics(metrics.NewRegistry())
 	}
-	fe := storage.NewFrontEnd(storage.NewMemStore(), storage.NewMetadata("http://fe"), nil, opts)
+	cfg.Store = storage.NewMemStore()
+	cfg.Meta = storage.NewMetadata("http://fe")
+	fe := storage.NewFrontEnd(cfg)
 	handler := fe.Handler()
 	data := make([]byte, 4<<10)
 	for i := range data {

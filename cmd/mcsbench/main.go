@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -82,6 +84,7 @@ func main() {
 		{"store", "CPU/lock-bound: concurrent Put into the sharded chunk store", benchStore},
 		{"disk", "fsync-bound: concurrent durable Put into the segment store; group commit amortizes fsyncs across writers", benchDisk},
 		{"transfer", "latency-bound: pipelined chunk PUT+GET against a live front-end with a 20ms median simulated upstream delay", benchTransfer},
+		{"cluster", "same workload as transfer, but through a 3-node N=3/W=2 replicated cluster on loopback; the delta vs transfer is the replication fan-out and one-hop forwarding overhead", benchCluster},
 		{"generate", "CPU-bound: bounded-memory workload generation via StreamP", benchGenerate},
 		{"analyze", "CPU-bound: user-sharded fold + merge via ParallelAnalyzer", benchAnalyze},
 	}
@@ -250,17 +253,19 @@ func benchTransfer(workers int, quick bool) float64 {
 	delaySrc := randx.New(99)
 	var delayMu sync.Mutex
 	median := float64(20 * time.Millisecond)
-	opts := storage.FrontEndOptions{
+	store := storage.NewMemStore()
+	meta := storage.NewMetadata()
+	fe := storage.NewFrontEnd(storage.FrontEndConfig{
+		Store:         store,
+		Meta:          meta,
+		Sink:          &storage.Collector{},
 		SleepUpstream: true,
 		UpstreamDelay: func() time.Duration {
 			delayMu.Lock()
 			defer delayMu.Unlock()
 			return time.Duration(delaySrc.LogNormal(math.Log(median), 0.45))
 		},
-	}
-	store := storage.NewMemStore()
-	meta := storage.NewMetadata()
-	fe := storage.NewFrontEnd(store, meta, &storage.Collector{}, opts)
+	})
 	feSrv := httptest.NewServer(fe.Handler())
 	defer feSrv.Close()
 	metaSrv := httptest.NewServer(meta.Handler())
@@ -299,6 +304,110 @@ func benchTransfer(workers int, quick bool) float64 {
 		}
 		if len(got) != len(p) {
 			fatal(fmt.Errorf("transfer bench: got %d bytes, want %d", len(got), len(p)))
+		}
+	}
+	return time.Since(start).Seconds()
+}
+
+// benchCluster is benchTransfer through a 3-node replicated cluster:
+// every chunk PUT fans out to its ring owners (quorum W=2 of N=3) and
+// GETs may forward one hop to a replica. Comparing its timings with
+// the single-node transfer path isolates the replication overhead.
+func benchCluster(workers int, quick bool) float64 {
+	files, chunksPerFile := 4, 16
+	if quick {
+		files, chunksPerFile = 2, 8
+	}
+
+	delaySrc := randx.New(99)
+	var delayMu sync.Mutex
+	median := float64(20 * time.Millisecond)
+	upstream := func() time.Duration {
+		delayMu.Lock()
+		defer delayMu.Unlock()
+		return time.Duration(delaySrc.LogNormal(math.Log(median), 0.45))
+	}
+
+	// Listeners first: the membership URLs must exist before the
+	// replicated stores that reference them.
+	const nodes = 3
+	lns := make([]net.Listener, nodes)
+	peers := make([]string, nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = "http://" + ln.Addr().String()
+	}
+	meta := storage.NewMetadata()
+	var servers []*http.Server
+	for i := range lns {
+		rs, err := storage.NewReplicatedStore(storage.ReplicatedConfig{
+			Self:        peers[i],
+			Peers:       peers,
+			Replicas:    3,
+			WriteQuorum: 2,
+			Local:       storage.NewMemStore(),
+			RepairEvery: -1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer rs.Close()
+		fe := storage.NewFrontEnd(storage.FrontEndConfig{
+			Store:         rs,
+			Meta:          meta,
+			Sink:          &storage.Collector{},
+			SleepUpstream: true,
+			UpstreamDelay: upstream,
+		})
+		srv := &http.Server{Handler: fe.Handler()}
+		go srv.Serve(lns[i])
+		servers = append(servers, srv)
+		meta.AddFrontEnd(peers[i])
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	metaSrv := httptest.NewServer(meta.Handler())
+	defer metaSrv.Close()
+
+	client := storage.NewClient(storage.ClientConfig{
+		MetaURL:  metaSrv.URL,
+		UserID:   2,
+		DeviceID: 2,
+		Device:   trace.Android,
+		Parallel: workers,
+	})
+
+	payloads := make([][]byte, files)
+	src := randx.New(7)
+	for i := range payloads {
+		buf := make([]byte, chunksPerFile*storage.ChunkSize)
+		for j := 0; j < len(buf); j += 4096 {
+			v := src.Uint64()
+			buf[j] = byte(v)
+			buf[j+1] = byte(v >> 8)
+		}
+		payloads[i] = buf
+	}
+
+	start := time.Now()
+	for i, p := range payloads {
+		res, err := client.StoreFile(fmt.Sprintf("clbench-%d-%d.bin", workers, i), p)
+		if err != nil {
+			fatal(err)
+		}
+		got, err := client.RetrieveFile(res.URL)
+		if err != nil {
+			fatal(err)
+		}
+		if len(got) != len(p) {
+			fatal(fmt.Errorf("cluster bench: got %d bytes, want %d", len(got), len(p)))
 		}
 	}
 	return time.Since(start).Seconds()

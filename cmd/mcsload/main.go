@@ -44,6 +44,7 @@ func main() {
 		maxFail  = flag.Float64("maxfail", 0, "tolerated operation failure rate before a non-zero exit")
 		verify   = flag.Bool("verify", true, "after the run, retrieve every acknowledged store and verify it byte-identical")
 		parallel = flag.Int("parallel", storage.DefaultParallel, "chunk requests kept in flight per transfer (1 = sequential)")
+		waitRep  = flag.Duration("waitrepair", 0, "poll -ops /metrics after the run until mcs_cluster_underreplicated drops to 0, failing at this timeout")
 	)
 	flag.Parse()
 	fmt.Printf("mcsload: GOMAXPROCS=%d, %d chunk requests in flight per transfer\n",
@@ -88,7 +89,7 @@ func main() {
 			if src.Bool(1 - workload.AndroidShare) {
 				dev = trace.IOS
 			}
-			client := &storage.Client{
+			cfg := storage.ClientConfig{
 				MetaURL:   *metaURL,
 				UserID:    uint64(1000 + d),
 				DeviceID:  uint64(d),
@@ -102,10 +103,11 @@ func main() {
 				// Each device owns a derived fault stream, so the fault
 				// sequence a device sees is reproducible regardless of
 				// goroutine interleaving.
-				client.HTTP = &http.Client{
+				cfg.HTTP = &http.Client{
 					Transport: faults.NewTransport(scenario.Derive(fmt.Sprintf("loader/%d", d)), nil),
 				}
 			}
+			client := storage.NewClient(cfg)
 			var urls []string
 			for i := 0; i < *files; i++ {
 				// Duplicated content: a fixed-size, fixed-content file
@@ -195,7 +197,7 @@ func main() {
 	// come back byte-identical, over a clean (fault-free) connection.
 	lost, corrupt := 0, 0
 	if *verify && len(acked) > 0 {
-		verifier := &storage.Client{MetaURL: *metaURL, UserID: 999, DeviceID: 999, Device: trace.PC, Metrics: cm, Parallel: *parallel}
+		verifier := storage.NewClient(storage.ClientConfig{MetaURL: *metaURL, UserID: 999, DeviceID: 999, Device: trace.PC, Metrics: cm, Parallel: *parallel})
 		for url, md5 := range acked {
 			data, err := verifier.RetrieveFile(url)
 			if err != nil {
@@ -213,6 +215,33 @@ func main() {
 
 	if dashboard != nil {
 		dashboard.render(os.Stdout)
+	}
+
+	// Cluster runs: wait for the repair loop to drain the
+	// under-replication left behind by injected outages.
+	if *waitRep > 0 {
+		if *opsURL == "" {
+			fmt.Fprintln(os.Stderr, "mcsload: -waitrepair needs -ops to scrape /metrics")
+			os.Exit(2)
+		}
+		probe := &opsDashboard{url: *opsURL}
+		deadline := time.Now().Add(*waitRep)
+		for {
+			vals, err := probe.scrape()
+			if err == nil && vals[metrics.Key("mcs_cluster_underreplicated")] == 0 {
+				fmt.Println("mcsload: cluster fully replicated (mcs_cluster_underreplicated = 0)")
+				break
+			}
+			if time.Now().After(deadline) {
+				under := math.NaN()
+				if err == nil {
+					under = vals[metrics.Key("mcs_cluster_underreplicated")]
+				}
+				fmt.Fprintf(os.Stderr, "mcsload: repair did not drain within %v (underreplicated=%v, err=%v)\n", *waitRep, under, err)
+				os.Exit(1)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
 	}
 
 	ops := stored + retrieved + storeFails + retrFails

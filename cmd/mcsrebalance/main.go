@@ -1,0 +1,72 @@
+// Command mcsrebalance restores the cluster's placement invariant:
+// every chunk on exactly its N ring owners. It discovers the
+// membership from any live node, takes a census of which node holds
+// which chunks, streams missing owner copies from surviving replicas,
+// and (with -prune) removes copies from nodes the ring does not
+// assign — only after a batched stat confirms every owner holds the
+// chunk.
+//
+// Run it after replacing a node's disk, changing the membership, or
+// whenever mcs_cluster_underreplicated stays above zero (the online
+// repair queue only heals failures the writing node itself observed).
+//
+// Usage:
+//
+//	mcsrebalance -node http://10.0.0.1:8080            # heal missing replicas
+//	mcsrebalance -node http://10.0.0.1:8080 -prune     # also drop misplaced copies
+//	mcsrebalance -node http://10.0.0.1:8080 -dry-run -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcloud/internal/storage"
+)
+
+func main() {
+	var (
+		node   = flag.String("node", "", "base URL of any live cluster node (required)")
+		prune  = flag.Bool("prune", false, "delete misplaced copies once all owners are confirmed")
+		dryRun = flag.Bool("dry-run", false, "report planned moves without transferring bytes")
+		verb   = flag.Bool("v", false, "log every copy and prune")
+	)
+	flag.Parse()
+	if *node == "" {
+		fmt.Fprintln(os.Stderr, "mcsrebalance: -node is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rb := &storage.Rebalancer{
+		Seed:   *node,
+		Prune:  *prune,
+		DryRun: *dryRun,
+	}
+	if *verb {
+		rb.Logf = func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	rep, err := rb.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsrebalance:", err)
+		os.Exit(1)
+	}
+	mode := ""
+	if *dryRun {
+		mode = " (dry run)"
+	}
+	fmt.Printf("mcsrebalance%s: %d nodes, N=%d\n", mode, rep.Nodes, rep.Replicas)
+	fmt.Printf("  chunks     %d (%d copies, %d misplaced)\n", rep.Chunks, rep.Copies, rep.Misplaced)
+	fmt.Printf("  replicated %d\n", rep.Replicated)
+	fmt.Printf("  pruned     %d\n", rep.Pruned)
+	if rep.Unlistable > 0 {
+		fmt.Printf("  unlistable %d node(s) — census incomplete, pruning disabled\n", rep.Unlistable)
+	}
+	if rep.Errors > 0 {
+		fmt.Printf("  errors     %d\n", rep.Errors)
+		os.Exit(1)
+	}
+}

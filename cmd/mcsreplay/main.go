@@ -50,7 +50,7 @@ func main() {
 	store := storage.NewMemStore()
 	meta := storage.NewMetadata()
 	collector := &storage.Collector{}
-	fe := storage.NewFrontEnd(store, meta, collector, storage.FrontEndOptions{})
+	fe := storage.NewFrontEnd(storage.FrontEndConfig{Store: store, Meta: meta, Sink: collector})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)

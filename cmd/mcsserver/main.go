@@ -53,6 +53,11 @@ func main() {
 		compact  = flag.Float64("compactbelow", 0.5, "rewrite sealed segments whose live-byte ratio falls below this (with -data)")
 		compEvry = flag.Duration("compactevery", 30*time.Second, "background compaction sweep interval (with -data; 0 disables)")
 		coldAftr = flag.Duration("coldafter", 0, "demote chunks idle this long from RAM to the disk cold tier (needs -data; 0 serves everything from disk)")
+		nodeURL  = flag.String("node", "", "this node's advertised base URL in a cluster (default: first front-end listener)")
+		peerList = flag.String("peers", "", "comma-separated base URLs of every cluster node, self included (empty = single node, no replication)")
+		replicas = flag.Int("replicas", 3, "replica owners per chunk in a cluster (N)")
+		quorum   = flag.Int("quorum", 2, "owner acks required before a chunk PUT is acknowledged (W)")
+		metaURL  = flag.String("metaurl", "", "remote metadata service base URL; when set this node serves no metadata itself")
 	)
 	flag.Parse()
 	fmt.Printf("mcsserver: GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
@@ -124,25 +129,36 @@ func main() {
 		store = cached
 	}
 
-	meta := storage.NewMetadata()
-	meta.Instrument(reg)
-	if *metaSnap != "" {
-		if err := meta.LoadFile(*metaSnap); err != nil {
-			fatal(err)
+	// Metadata: served in-process by default; in a cluster, non-meta
+	// nodes point -metaurl at the node that does and commit uploads
+	// over the wire instead.
+	var meta *storage.Metadata
+	var metaSvc storage.MetaService
+	if *metaURL != "" {
+		metaSvc = storage.NewRemoteMeta(*metaURL, nil)
+		fmt.Printf("mcsserver: using remote metadata at %s\n", *metaURL)
+	} else {
+		meta = storage.NewMetadata()
+		meta.Instrument(reg)
+		if *metaSnap != "" {
+			if err := meta.LoadFile(*metaSnap); err != nil {
+				fatal(err)
+			}
+			if n := meta.Stats().Files; n > 0 {
+				fmt.Printf("mcsserver: restored %d files from %s\n", n, *metaSnap)
+			}
 		}
-		if n := meta.Stats().Files; n > 0 {
-			fmt.Printf("mcsserver: restored %d files from %s\n", n, *metaSnap)
-		}
+		metaSvc = meta
 	}
 
-	opts := storage.FrontEndOptions{Metrics: storage.NewFrontEndMetrics(reg)}
+	cfg := storage.FrontEndConfig{Meta: metaSvc, Sink: sink, Metrics: storage.NewFrontEndMetrics(reg)}
 	if *tsrvMS > 0 {
 		src := randx.New(uint64(time.Now().UnixNano()))
 		median := float64(*tsrvMS) * float64(time.Millisecond)
-		opts.UpstreamDelay = func() time.Duration {
+		cfg.UpstreamDelay = func() time.Duration {
 			return time.Duration(src.LogNormal(math.Log(median), 0.45))
 		}
-		opts.SleepUpstream = true
+		cfg.SleepUpstream = true
 	}
 
 	// Overload protection: one process-wide limiter shared by every
@@ -154,8 +170,33 @@ func main() {
 		fmt.Printf("mcsserver: shedding load beyond %d in-flight front-end requests\n", *maxInfl)
 	}
 
+	// Front-end listeners come up before the serving stack: in a
+	// cluster the node's advertised URL (first listener unless -node
+	// overrides it) keys both ring placement and per-node chaos gating.
+	type feListener struct {
+		ln   net.Listener
+		base string
+	}
+	var feLns []feListener
+	for _, addr := range strings.Split(*feAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fatal(err)
+		}
+		feLns = append(feLns, feListener{ln: ln, base: "http://" + hostify(ln.Addr().String())})
+	}
+	selfNode := *nodeURL
+	if selfNode == "" {
+		selfNode = feLns[0].base
+	}
+
 	// Fault injection: independent deterministic streams for the
-	// front-end and metadata paths, derived from the scenario seed.
+	// front-end and metadata paths, derived from the scenario seed. A
+	// scenario naming a node (node=...) fires only on that node, so a
+	// whole cluster can share one -chaos spec and lose exactly one
+	// replica.
+	scenario = scenario.ForNode(selfNode)
 	var injFE, injMeta *faults.Injector
 	if scenario.Enabled() {
 		injFE = faults.New(scenario.Derive("frontend"))
@@ -164,6 +205,36 @@ func main() {
 		injMeta.Instrument(reg, "meta")
 		fmt.Printf("mcsserver: chaos scenario %q\n", scenario)
 	}
+
+	// Replication: with -peers, every chunk maps onto N ring owners
+	// and this node fans writes out / fails reads over among them; the
+	// local store stack serves replica-internal traffic directly.
+	serveStore := store
+	var repl *storage.ReplicatedStore
+	if *peerList != "" {
+		peers := strings.Split(*peerList, ",")
+		for i := range peers {
+			peers[i] = strings.TrimSpace(peers[i])
+		}
+		var err error
+		repl, err = storage.NewReplicatedStore(storage.ReplicatedConfig{
+			Self:        selfNode,
+			Peers:       peers,
+			Replicas:    *replicas,
+			WriteQuorum: *quorum,
+			Local:       store,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		repl.Instrument(reg)
+		serveStore = repl
+		info := repl.Info()
+		fmt.Printf("mcsserver: cluster node %s (%d peers, N=%d W=%d)\n",
+			selfNode, len(info.Peers), info.Replicas, info.Quorum)
+	}
+	cfg.Store = serveStore
+	cfg.Local = store
 
 	newServer := func(h http.Handler) *http.Server {
 		return &http.Server{
@@ -184,13 +255,8 @@ func main() {
 	}
 
 	var servers []*http.Server
-	for _, addr := range strings.Split(*feAddrs, ",") {
-		addr = strings.TrimSpace(addr)
-		fe := storage.NewFrontEnd(store, meta, sink, opts)
-		ln, err := net.Listen("tcp", addr)
-		if err != nil {
-			fatal(err)
-		}
+	for _, fl := range feLns {
+		fe := storage.NewFrontEnd(cfg)
 		h := fe.Handler()
 		if injFE != nil {
 			h = injFE.Middleware(h)
@@ -199,25 +265,35 @@ func main() {
 			h = shedder.Wrap(h)
 		}
 		srv := newServer(labeled("frontend", h))
-		go srv.Serve(ln)
-		base := "http://" + hostify(ln.Addr().String())
-		meta.AddFrontEnd(base)
+		go srv.Serve(fl.ln)
 		servers = append(servers, srv)
-		fmt.Printf("mcsserver: front-end on %s\n", base)
+		fmt.Printf("mcsserver: front-end on %s\n", fl.base)
 	}
-
-	metaLn, err := net.Listen("tcp", *metaAddr)
-	if err != nil {
-		fatal(err)
+	if meta != nil {
+		// The metadata server assigns front-ends to clients: every
+		// peer node in a cluster, otherwise this process's listeners.
+		if repl != nil {
+			for _, p := range repl.Info().Peers {
+				meta.AddFrontEnd(p)
+			}
+		} else {
+			for _, fl := range feLns {
+				meta.AddFrontEnd(fl.base)
+			}
+		}
+		metaLn, err := net.Listen("tcp", *metaAddr)
+		if err != nil {
+			fatal(err)
+		}
+		metaH := meta.Handler()
+		if injMeta != nil {
+			metaH = injMeta.Middleware(metaH)
+		}
+		metaSrv := newServer(labeled("meta", metaH))
+		go metaSrv.Serve(metaLn)
+		servers = append(servers, metaSrv)
+		fmt.Printf("mcsserver: metadata server on http://%s\n", hostify(metaLn.Addr().String()))
 	}
-	metaH := meta.Handler()
-	if injMeta != nil {
-		metaH = injMeta.Middleware(metaH)
-	}
-	metaSrv := newServer(labeled("meta", metaH))
-	go metaSrv.Serve(metaLn)
-	servers = append(servers, metaSrv)
-	fmt.Printf("mcsserver: metadata server on http://%s\n", hostify(metaLn.Addr().String()))
 	fmt.Printf("mcsserver: logging requests to %s\n", *logPath)
 
 	var opsSrv *http.Server
@@ -306,6 +382,9 @@ func main() {
 	cancel()
 	close(maintDone)
 	maintWG.Wait()
+	if repl != nil {
+		repl.Close()
+	}
 	if tiered != nil {
 		// The hot tier is RAM: anything acknowledged but not yet
 		// demoted must reach the durable cold tier before it closes.
@@ -323,7 +402,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *metaSnap != "" {
+	if meta != nil && *metaSnap != "" {
 		if err := meta.SaveFile(*metaSnap); err != nil {
 			fatal(err)
 		}
@@ -333,9 +412,15 @@ func main() {
 		opsSrv.Close()
 	}
 	st := store.Stats()
-	ms := meta.Stats()
-	fmt.Printf("\nmcsserver: %d chunks (%0.2f MB unique), dedup ratio %.3f; %d files, %d users, %d dedup hits\n",
-		st.Chunks, float64(st.Bytes)/(1<<20), st.DedupRatio(), ms.Files, ms.Users, ms.DedupHits)
+	fmt.Printf("\nmcsserver: %d chunks (%0.2f MB unique), dedup ratio %.3f\n",
+		st.Chunks, float64(st.Bytes)/(1<<20), st.DedupRatio())
+	if meta != nil {
+		ms := meta.Stats()
+		fmt.Printf("mcsserver: %d files, %d users, %d dedup hits\n", ms.Files, ms.Users, ms.DedupHits)
+	}
+	if repl != nil {
+		fmt.Printf("mcsserver: cluster under-replicated chunks at exit: %d\n", repl.Underreplicated())
+	}
 	if cached != nil {
 		cs := cached.CacheStats()
 		fmt.Printf("mcsserver: cache %.1f%% hit rate (%d hits / %d misses), %0.2f MB used of %0.2f MB\n",

@@ -28,7 +28,10 @@ func main() {
 
 	var servers []*http.Server
 	for i := 0; i < 2; i++ {
-		fe := storage.NewFrontEnd(store, meta, collector, storage.FrontEndOptions{
+		fe := storage.NewFrontEnd(storage.FrontEndConfig{
+			Store:         store,
+			Meta:          meta,
+			Sink:          collector,
 			UpstreamDelay: func() time.Duration { return 2 * time.Millisecond },
 		})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Health tracks which cluster members are currently answering. It is
+// a simple per-node circuit breaker: Threshold consecutive failures
+// mark a node down for Cooldown, after which it is probed again (the
+// next caller gets to try it). Successes reset the streak. The zero
+// value is not usable; call NewHealth.
+//
+// Liveness here is an optimization, not a correctness input: a node
+// wrongly considered alive costs one failed sub-request before the
+// caller fails over, and a node wrongly considered down is simply
+// skipped until its cooldown lapses. Placement never depends on it.
+type Health struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu    sync.Mutex
+	state map[string]*nodeHealth
+}
+
+type nodeHealth struct {
+	failures  int       // consecutive failures
+	downUntil time.Time // zero when up
+}
+
+// NewHealth returns a tracker marking nodes down after threshold
+// consecutive failures (default 3) for cooldown (default 2s).
+func NewHealth(threshold int, cooldown time.Duration) *Health {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Health{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		state:     make(map[string]*nodeHealth),
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (h *Health) SetClock(now func() time.Time) { h.now = now }
+
+func (h *Health) get(node string) *nodeHealth {
+	s, ok := h.state[node]
+	if !ok {
+		s = &nodeHealth{}
+		h.state[node] = s
+	}
+	return s
+}
+
+// ReportSuccess records a successful exchange with node.
+func (h *Health) ReportSuccess(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.get(node)
+	s.failures = 0
+	s.downUntil = time.Time{}
+}
+
+// ReportFailure records a failed exchange; it returns true when this
+// failure tripped the breaker (the node just transitioned to down).
+func (h *Health) ReportFailure(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.get(node)
+	s.failures++
+	if s.failures >= h.threshold && s.downUntil.IsZero() {
+		s.downUntil = h.now().Add(h.cooldown)
+		return true
+	}
+	if !s.downUntil.IsZero() {
+		// Still failing during/after a down window: extend it.
+		s.downUntil = h.now().Add(h.cooldown)
+	}
+	return false
+}
+
+// Alive reports whether node should be tried. A node past its
+// cooldown is considered alive again (half-open probe).
+func (h *Health) Alive(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.state[node]
+	if !ok || s.downUntil.IsZero() {
+		return true
+	}
+	return !h.now().Before(s.downUntil)
+}
+
+// Down counts members currently inside a down window.
+func (h *Health) Down() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	t := h.now()
+	for _, s := range h.state {
+		if !s.downUntil.IsZero() && t.Before(s.downUntil) {
+			n++
+		}
+	}
+	return n
+}
+
+// Order partitions owners into alive-first order, preserving the
+// relative (ring) order within each partition — the caller tries the
+// nearest live replica first but still falls back to "down" nodes
+// last, since the breaker can be stale.
+func (h *Health) Order(owners []string) []string {
+	out := make([]string, 0, len(owners))
+	var down []string
+	for _, o := range owners {
+		if h.Alive(o) {
+			out = append(out, o)
+		} else {
+			down = append(down, o)
+		}
+	}
+	return append(out, down...)
+}

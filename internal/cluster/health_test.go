@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthBreaker(t *testing.T) {
+	h := NewHealth(3, 2*time.Second)
+	now := time.Unix(1000, 0)
+	h.SetClock(func() time.Time { return now })
+
+	const node = "http://a:1"
+	if !h.Alive(node) {
+		t.Fatal("unknown node should be alive")
+	}
+	if h.ReportFailure(node) {
+		t.Fatal("breaker tripped before threshold")
+	}
+	h.ReportFailure(node)
+	if !h.Alive(node) {
+		t.Fatal("node below threshold marked down")
+	}
+	if !h.ReportFailure(node) {
+		t.Fatal("third consecutive failure should trip the breaker")
+	}
+	if h.Alive(node) {
+		t.Fatal("tripped node still alive")
+	}
+	if h.Down() != 1 {
+		t.Fatalf("Down() = %d, want 1", h.Down())
+	}
+
+	// Cooldown lapses: half-open, the node is probed again.
+	now = now.Add(3 * time.Second)
+	if !h.Alive(node) {
+		t.Fatal("node past cooldown should be probe-able")
+	}
+	if h.Down() != 0 {
+		t.Fatalf("Down() = %d after cooldown, want 0", h.Down())
+	}
+
+	// A failure during the probe re-extends the window immediately.
+	h.ReportFailure(node)
+	if h.Alive(node) {
+		t.Fatal("failed probe should re-close the breaker")
+	}
+
+	// Success resets everything.
+	now = now.Add(5 * time.Second)
+	h.ReportSuccess(node)
+	if !h.Alive(node) {
+		t.Fatal("node alive after success")
+	}
+	if h.ReportFailure(node) {
+		t.Fatal("streak should restart after a success")
+	}
+}
+
+func TestHealthOrder(t *testing.T) {
+	h := NewHealth(1, time.Minute)
+	now := time.Unix(1000, 0)
+	h.SetClock(func() time.Time { return now })
+
+	owners := []string{"a", "b", "c"}
+	h.ReportFailure("a") // threshold 1: down immediately
+
+	got := h.Order(owners)
+	want := []string{"b", "c", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", got, want)
+		}
+	}
+	if len(h.Order(nil)) != 0 {
+		t.Fatal("Order(nil) should be empty")
+	}
+}

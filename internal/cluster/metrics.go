@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"time"
+
+	"mcloud/internal/metrics"
+)
+
+// Metrics aggregates the cluster-layer series. All methods are safe
+// on a nil receiver so single-node deployments pay nothing.
+type Metrics struct {
+	forwardsPut     *metrics.Counter
+	forwardsGet     *metrics.Counter
+	fanout          *metrics.Histogram
+	repairs         *metrics.Counter
+	replicaErrors   *metrics.Counter
+	getFailovers    *metrics.Counter
+	underreplicated *metrics.Gauge
+}
+
+// NewMetrics registers the cluster series:
+//
+//	mcs_cluster_forwards_total{dir}     replica sub-requests sent to peers
+//	mcs_cluster_fanout_seconds          PUT replication time to write quorum
+//	mcs_cluster_repairs_total           chunk replicas re-created (read repair + background)
+//	mcs_cluster_replica_errors_total    failed replica sub-requests
+//	mcs_cluster_get_failovers_total     GETs served by a non-primary replica
+//	mcs_cluster_underreplicated         chunks currently below full replication
+//	mcs_cluster_nodes                   configured membership size
+//	mcs_cluster_nodes_down              members inside a breaker down-window
+func NewMetrics(reg *metrics.Registry, ring *Ring, health *Health) *Metrics {
+	m := &Metrics{
+		forwardsPut: reg.Counter("mcs_cluster_forwards_total",
+			"Replica sub-requests this node sent to peers.", "dir", "put"),
+		forwardsGet: reg.Counter("mcs_cluster_forwards_total",
+			"Replica sub-requests this node sent to peers.", "dir", "get"),
+		fanout: reg.Histogram("mcs_cluster_fanout_seconds",
+			"Time for a replicated PUT to reach its write quorum."),
+		repairs: reg.Counter("mcs_cluster_repairs_total",
+			"Chunk replicas re-created by read repair or the background repair loop."),
+		replicaErrors: reg.Counter("mcs_cluster_replica_errors_total",
+			"Replica sub-requests that failed."),
+		getFailovers: reg.Counter("mcs_cluster_get_failovers_total",
+			"Chunk reads served by a replica other than the primary."),
+		underreplicated: reg.Gauge("mcs_cluster_underreplicated",
+			"Chunks acknowledged below full replication and awaiting repair."),
+	}
+	if ring != nil {
+		reg.GaugeFunc("mcs_cluster_nodes", "Configured cluster membership size.",
+			func() float64 { return float64(ring.Size()) })
+	}
+	if health != nil {
+		reg.GaugeFunc("mcs_cluster_nodes_down", "Members currently inside a breaker down-window.",
+			func() float64 { return float64(health.Down()) })
+	}
+	return m
+}
+
+// ForwardPut counts one replica PUT sent to a peer.
+func (m *Metrics) ForwardPut() {
+	if m != nil {
+		m.forwardsPut.Inc()
+	}
+}
+
+// ForwardGet counts one replica GET sent to a peer.
+func (m *Metrics) ForwardGet() {
+	if m != nil {
+		m.forwardsGet.Inc()
+	}
+}
+
+// ObserveFanout records the time a replicated PUT took to reach its
+// write quorum.
+func (m *Metrics) ObserveFanout(d time.Duration) {
+	if m != nil {
+		m.fanout.ObserveDuration(d)
+	}
+}
+
+// Repair counts one replica re-created.
+func (m *Metrics) Repair() {
+	if m != nil {
+		m.repairs.Inc()
+	}
+}
+
+// ReplicaError counts one failed replica sub-request.
+func (m *Metrics) ReplicaError() {
+	if m != nil {
+		m.replicaErrors.Inc()
+	}
+}
+
+// GetFailover counts one read served away from the primary.
+func (m *Metrics) GetFailover() {
+	if m != nil {
+		m.getFailovers.Inc()
+	}
+}
+
+// SetUnderreplicated publishes the current repair-queue depth.
+func (m *Metrics) SetUnderreplicated(n int) {
+	if m != nil {
+		m.underreplicated.Set(int64(n))
+	}
+}

@@ -1,0 +1,144 @@
+// Package cluster provides the placement and membership substrate for
+// running the storage service across multiple front-end nodes, the way
+// the paper's production deployment spreads one logical namespace over
+// many independently-logging front-ends (§2). A Ring maps every chunk
+// digest onto an ordered replica set drawn from a static membership
+// list via consistent hashing with virtual nodes; Health tracks which
+// members are currently answering; Metrics exposes the mcs_cluster_*
+// series. The package is deliberately storage-agnostic: keys are raw
+// MD5 digests, members are opaque base-URL strings, and all decisions
+// are pure functions of (membership, key) so a placement computed by
+// any node — or by an offline rebalance pass — agrees with every
+// other.
+package cluster
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the number of virtual nodes each member projects
+// onto the ring. 64 keeps the per-member load spread within a few
+// percent for small clusters while the ring stays tiny (a 3-node ring
+// is 192 points).
+const DefaultVNodes = 64
+
+// Key is a chunk content digest (MD5, as everywhere in the service).
+type Key [md5.Size]byte
+
+// point is one virtual node: a position on the 64-bit ring and the
+// member that owns it.
+type point struct {
+	pos  uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring over a static membership
+// list. Construct a new Ring on membership change; lookups are
+// read-only and safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	points []point
+}
+
+// NewRing builds a ring over the given member base URLs. vnodes <= 0
+// selects DefaultVNodes. Duplicate and empty members are rejected so
+// a mistyped -peers list fails loudly instead of double-weighting one
+// node.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{
+		nodes:  append([]string(nil), nodes...),
+		points: make([]point, 0, len(nodes)*vnodes),
+	}
+	for i, n := range r.nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty member at position %d", i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", n)
+		}
+		seen[n] = true
+		for v := 0; v < vnodes; v++ {
+			sum := md5.Sum([]byte(fmt.Sprintf("%s#%d", n, v)))
+			r.points = append(r.points, point{pos: binary.BigEndian.Uint64(sum[:8]), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// Tie-break on member order so equal hash points (vanishingly
+		// rare) still sort deterministically everywhere.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Nodes returns the membership list in construction order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Contains reports whether node is a member.
+func (r *Ring) Contains(node string) bool {
+	for _, n := range r.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// keyPos places a chunk digest on the ring. The digest is already a
+// uniform hash, so its leading 8 bytes are the position directly — the
+// placement is literally keyed by the chunk MD5.
+func keyPos(key Key) uint64 { return binary.BigEndian.Uint64(key[:8]) }
+
+// Owners returns the first n distinct members clockwise from the
+// key's position — the chunk's replica set, primary first. n is
+// clamped to the membership size.
+func (r *Ring) Owners(key Key, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	pos := keyPos(key)
+	// First point at or after pos, wrapping.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	owners := make([]string, 0, n)
+	taken := make(map[int]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(owners) < n; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if taken[p.node] {
+			continue
+		}
+		taken[p.node] = true
+		owners = append(owners, r.nodes[p.node])
+	}
+	return owners
+}
+
+// Primary returns the first owner.
+func (r *Ring) Primary(key Key) string { return r.Owners(key, 1)[0] }
+
+// IsOwner reports whether node is among the key's n owners.
+func (r *Ring) IsOwner(key Key, n int, node string) bool {
+	for _, o := range r.Owners(key, n) {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}

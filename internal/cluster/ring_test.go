@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"crypto/md5"
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key(md5.Sum([]byte(fmt.Sprintf("chunk-%d", i))))
+	}
+	return keys
+}
+
+func nodeList(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node%d:8081", i)
+	}
+	return out
+}
+
+func TestRingOwnersDeterministicAndDistinct(t *testing.T) {
+	r1, err := NewRing(nodeList(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership in a different declaration order must place
+	// chunks identically: placement is a function of the member names.
+	shuffled := []string{"http://node3:8081", "http://node0:8081", "http://node4:8081", "http://node1:8081", "http://node2:8081"}
+	r2, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		o1 := r1.Owners(k, 3)
+		o2 := r2.Owners(k, 3)
+		if len(o1) != 3 {
+			t.Fatalf("want 3 owners, got %v", o1)
+		}
+		seen := map[string]bool{}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("placement depends on declaration order: %v vs %v", o1, o2)
+			}
+			if seen[o1[i]] {
+				t.Fatalf("duplicate owner in %v", o1)
+			}
+			seen[o1[i]] = true
+		}
+	}
+}
+
+func TestRingOwnersClampedToMembership(t *testing.T) {
+	r, err := NewRing(nodeList(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(50) {
+		if got := r.Owners(k, 3); len(got) != 2 {
+			t.Fatalf("owners on a 2-node ring: got %v", got)
+		}
+	}
+	if r.Owners(testKeys(1)[0], 0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := nodeList(5)
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(20000)
+	for _, k := range keys {
+		counts[r.Primary(k)]++
+	}
+	mean := float64(len(keys)) / float64(len(nodes))
+	for n, c := range counts {
+		ratio := float64(c) / mean
+		if ratio < 0.5 || ratio > 1.6 {
+			t.Errorf("node %s holds %.2fx the mean primary load (%d keys)", n, ratio, c)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnMembershipChange(t *testing.T) {
+	before, err := NewRing(nodeList(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(nodeList(5), 0) // one node added
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(5000)
+	moved := 0
+	for _, k := range keys {
+		if before.Primary(k) != after.Primary(k) {
+			moved++
+		}
+	}
+	// Consistent hashing should move roughly 1/5 of the primaries to
+	// the new node; naive mod-N hashing would move ~4/5.
+	frac := float64(moved) / float64(len(keys))
+	if frac > 0.35 {
+		t.Errorf("adding one node to four moved %.0f%% of primaries; want ~20%%", 100*frac)
+	}
+	if frac == 0 {
+		t.Error("adding a node moved nothing; ring is ignoring membership")
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty member accepted")
+	}
+}
+
+func TestRingIsOwner(t *testing.T) {
+	r, err := NewRing(nodeList(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(100) {
+		owners := r.Owners(k, 3)
+		for _, o := range owners {
+			if !r.IsOwner(k, 3, o) {
+				t.Fatalf("owner %s of %x not reported by IsOwner", o, k[:4])
+			}
+		}
+		nonOwners := 0
+		for _, n := range r.Nodes() {
+			if !r.IsOwner(k, 3, n) {
+				nonOwners++
+			}
+		}
+		if nonOwners != 2 {
+			t.Fatalf("want 2 non-owners on a 5-node ring with N=3, got %d", nonOwners)
+		}
+	}
+}

@@ -51,6 +51,24 @@ type Scenario struct {
 	Outages []Outage // request-count windows of total unavailability
 
 	PathPrefix string // only inject on matching URL paths; "" means all
+
+	// Node, when set, restricts the whole scenario to the named
+	// cluster node: every mcsserver in a cluster can be started with
+	// the same -chaos spec, and only the node whose -node value
+	// matches injects anything (see ForNode). This is how the smoke
+	// tests kill exactly one replica mid-load, deterministically.
+	Node string
+}
+
+// ForNode resolves per-node gating: a scenario naming a Node applies
+// only on that node; every other node gets a disabled scenario (the
+// seed and name survive, so logs still identify the run). Scenarios
+// without a Node apply everywhere.
+func (s Scenario) ForNode(name string) Scenario {
+	if s.Node == "" || s.Node == name {
+		return s
+	}
+	return Scenario{Name: s.Name, Seed: s.Seed, Node: s.Node}
 }
 
 // Enabled reports whether the scenario can inject anything.
@@ -172,6 +190,8 @@ func (s *Scenario) set(k, v string) error {
 		s.Name = v
 	case "path":
 		s.PathPrefix = v
+	case "node":
+		s.Node = v
 	case "seed":
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
@@ -287,6 +307,9 @@ func (s Scenario) String() string {
 	}
 	if s.PathPrefix != "" {
 		add("path=%s", s.PathPrefix)
+	}
+	if s.Node != "" {
+		add("node=%s", s.Node)
 	}
 	return strings.Join(terms, ",")
 }

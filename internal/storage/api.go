@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The service speaks two wire dialects:
+//
+//   - The versioned /v1 API: /v1/op/store, /v1/op/retrieve,
+//     /v1/op/stat, /v1/chunk/{md5}, plus the /v1/cluster/* admin
+//     endpoints. Errors are a typed JSON envelope
+//     {code, message, retryable} that maps onto the package's
+//     sentinel errors on both sides of the wire.
+//   - The legacy unversioned paths (/op/store, /op/retrieve,
+//     /chunk/{md5}), kept as thin aliases. Errors are the historical
+//     {"error": "..."} body.
+//
+// Negotiation rides on the X-MCS-API header: servers stamp every
+// response with "v1"; clients advertise "v1" on every request and
+// fall back to the legacy paths when a /v1 request comes back 404
+// without the header (which only an old server produces — a v1
+// server's 404s always carry it). A client that has fallen back
+// remembers the verdict per front-end, so negotiation costs one
+// round trip per host, once. Requests on a legacy alias that carry
+// the header still receive the typed envelope.
+
+// APIHeader is the version-negotiation header.
+const APIHeader = "X-MCS-API"
+
+// APIV1 is the current wire version tag.
+const APIV1 = "v1"
+
+// ReplicaHeader marks cluster-internal replica traffic: a chunk
+// request carrying it is served from (or written to) the node's local
+// store directly, never re-forwarded — this is what bounds the
+// forwarding depth of the replication fan-out to one hop.
+const ReplicaHeader = "X-MCS-Replica"
+
+// Error codes of the /v1 envelope. Each maps to a sentinel error (or
+// to nil for the generic codes); see APIError.Unwrap.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeBadDigest        = "bad_digest"
+	CodeNotFound         = "not_found"
+	CodeTooLarge         = "too_large"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeOverloaded       = "overloaded"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal"
+)
+
+// APIError is the typed /v1 error envelope. On the server it is
+// rendered as the response body; on the client it is decoded back and
+// unwraps to the matching sentinel, so errors.Is(err, ErrNotFound)
+// holds across the wire.
+type APIError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+	// Status is the HTTP status the envelope arrived with
+	// (client-side only; not serialized).
+	Status int `json:"-"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("storage: api error %s: %s", e.Code, e.Message)
+}
+
+// Unwrap maps the wire code back onto the package sentinel, so typed
+// error checks work identically against local and remote servers.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case CodeBadDigest:
+		return ErrBadDigest
+	case CodeNotFound:
+		return ErrNotFound
+	case CodeTooLarge:
+		return ErrTooLarge
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeUnavailable:
+		return ErrUnavailable
+	default:
+		return nil
+	}
+}
+
+// classifyAPIError derives the envelope for an error escaping a
+// handler with the given HTTP status.
+func classifyAPIError(status int, err error) APIError {
+	e := APIError{Message: err.Error(), Status: status}
+	switch {
+	case errors.Is(err, ErrBadDigest):
+		e.Code = CodeBadDigest
+	case errors.Is(err, ErrNotFound):
+		e.Code = CodeNotFound
+	case errors.Is(err, ErrTooLarge):
+		e.Code = CodeTooLarge
+	case errors.Is(err, ErrOverloaded):
+		e.Code, e.Retryable = CodeOverloaded, true
+	case errors.Is(err, ErrUnavailable):
+		e.Code, e.Retryable = CodeUnavailable, true
+	case status == http.StatusMethodNotAllowed:
+		e.Code = CodeMethodNotAllowed
+	case status == http.StatusServiceUnavailable, status == http.StatusTooManyRequests:
+		e.Code, e.Retryable = CodeOverloaded, true
+	case status >= 500:
+		e.Code, e.Retryable = CodeInternal, true
+	default:
+		e.Code = CodeBadRequest
+	}
+	return e
+}
+
+// wantsV1 reports whether the request asked for the typed envelope:
+// it arrived on a /v1 path, or it advertises v1 via X-MCS-API.
+func wantsV1(r *http.Request) bool {
+	if r == nil {
+		return false
+	}
+	return strings.HasPrefix(r.URL.Path, "/v1/") || r.Header.Get(APIHeader) == APIV1
+}
+
+// writeAPIError writes one error response in the dialect the request
+// speaks: the typed /v1 envelope, or the legacy {"error": ...} body.
+func writeAPIError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	if !wantsV1(r) {
+		writeError(w, status, err)
+		return
+	}
+	env := classifyAPIError(status, err)
+	if env.Code == CodeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSONBody(w, env)
+}
+
+// advertiseV1 wraps a handler so every response — success or error —
+// carries the X-MCS-API stamp clients negotiate against.
+func advertiseV1(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(APIHeader, APIV1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// registerBoth registers a handler under its legacy path and the /v1
+// alias, so negotiated and legacy clients land on the same code.
+func registerBoth(mux *http.ServeMux, path string, h http.HandlerFunc) {
+	mux.HandleFunc(path, h)
+	mux.HandleFunc("/v1"+path, h)
+}
+
+// isReplicaRequest reports cluster-internal replica traffic.
+func isReplicaRequest(r *http.Request) bool {
+	return r.Header.Get(ReplicaHeader) != ""
+}
+
+// trimChunkPath extracts the digest from either dialect's chunk path.
+func trimChunkPath(path string) string {
+	path = strings.TrimPrefix(path, "/v1")
+	return strings.TrimPrefix(path, "/chunk/")
+}

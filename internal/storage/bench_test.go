@@ -75,17 +75,19 @@ func BenchmarkTransferWindow(b *testing.B) {
 	const chunksPerFile = 8
 	delaySrc := randx.New(9)
 	var delayMu sync.Mutex
-	opts := FrontEndOptions{
+	store := NewMemStore()
+	meta := NewMetadata()
+	fe := NewFrontEnd(FrontEndConfig{
+		Store:         store,
+		Meta:          meta,
+		Sink:          &Collector{},
 		SleepUpstream: true,
 		UpstreamDelay: func() time.Duration {
 			delayMu.Lock()
 			defer delayMu.Unlock()
 			return time.Duration(delaySrc.LogNormal(math.Log(float64(2*time.Millisecond)), 0.45))
 		},
-	}
-	store := NewMemStore()
-	meta := NewMetadata()
-	fe := NewFrontEnd(store, meta, &Collector{}, opts)
+	})
 	feSrv := httptest.NewServer(fe.Handler())
 	defer feSrv.Close()
 	metaSrv := httptest.NewServer(meta.Handler())

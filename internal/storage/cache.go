@@ -150,6 +150,14 @@ func (c *CachedStore) Has(sum Sum) bool {
 // Stats implements ChunkStore (backing store counters).
 func (c *CachedStore) Stats() StoreStats { return c.backing.Stats() }
 
+// Range implements Ranger when the backing store does: the cache is a
+// read accelerator, so enumeration reflects the backing holdings.
+func (c *CachedStore) Range(f func(sum Sum, size int64) bool) {
+	if ranger, ok := c.backing.(Ranger); ok {
+		ranger.Range(f)
+	}
+}
+
 // Shards reports the shard count (for startup logging).
 func (c *CachedStore) Shards() int { return len(c.shards) }
 

@@ -39,7 +39,7 @@ func chaosService(t *testing.T, sc faults.Scenario, reg *metrics.Registry) (*Cli
 	store := NewMemStore()
 	col := &Collector{}
 	meta := NewMetadata()
-	fe := NewFrontEnd(store, meta, col, FrontEndOptions{})
+	fe := NewFrontEnd(FrontEndConfig{Store: store, Meta: meta, Sink: col})
 
 	injFE := faults.New(sc.Derive("frontend"))
 	injMeta := faults.New(sc.Derive("meta"))

@@ -21,6 +21,35 @@ type ChunkStore interface {
 	Stats() StoreStats
 }
 
+// MultiHaser is an optional ChunkStore extension answering many
+// existence checks in one call. On a replicated store each Has is a
+// network round trip; MultiHas batches the probes per replica owner.
+type MultiHaser interface {
+	// MultiHas reports, for each digest, whether the chunk exists.
+	MultiHas(sums []Sum) []bool
+}
+
+// multiHas answers a batch of existence checks, using the store's
+// batched path when it has one.
+func multiHas(s ChunkStore, sums []Sum) []bool {
+	if mh, ok := s.(MultiHaser); ok {
+		return mh.MultiHas(sums)
+	}
+	out := make([]bool, len(sums))
+	for i, sum := range sums {
+		out[i] = s.Has(sum)
+	}
+	return out
+}
+
+// Ranger is an optional ChunkStore extension enumerating held chunks,
+// used by the tiering migrator, the /v1/cluster/chunks listing and
+// the rebalancer.
+type Ranger interface {
+	// Range calls f for each chunk until f returns false.
+	Range(f func(sum Sum, size int64) bool)
+}
+
 // StoreStats reports chunk store occupancy and dedup effectiveness.
 type StoreStats struct {
 	Chunks      int   // unique chunks held
@@ -156,6 +185,34 @@ func (m *MemStore) Stats() StoreStats {
 		Puts:        m.puts.Load(),
 		DedupHits:   m.dedupHits.Load(),
 		BytesStored: m.bytesStored.Load(),
+	}
+}
+
+// Range implements Ranger: it visits every held chunk. The snapshot
+// is per-shard consistent; chunks inserted or deleted concurrently
+// may or may not be seen.
+func (m *MemStore) Range(f func(sum Sum, size int64) bool) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		// Copy the shard's keys so f runs without holding the lock
+		// (f may call back into the store).
+		entries := make([]struct {
+			sum  Sum
+			size int64
+		}, 0, len(sh.chunks))
+		for sum, data := range sh.chunks {
+			entries = append(entries, struct {
+				sum  Sum
+				size int64
+			}{sum, int64(len(data))})
+		}
+		sh.mu.RUnlock()
+		for _, e := range entries {
+			if !f(e.sum, e.size) {
+				return
+			}
+		}
 	}
 }
 

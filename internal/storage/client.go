@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcloud/internal/cluster"
 	"mcloud/internal/randx"
 	"mcloud/internal/trace"
 )
@@ -67,8 +69,193 @@ type Client struct {
 	// live service in compressed time.
 	SimClock func() time.Time
 
+	// LegacyAPI pins the client to the unversioned wire paths,
+	// skipping negotiation (used to exercise the compatibility path in
+	// tests).
+	LegacyAPI bool
+
 	rngMu sync.Mutex
 	rng   *randx.Source
+
+	// legacyHosts remembers front-ends that answered a /v1 request
+	// with a bare 404 (no X-MCS-API stamp) — the legacy-server
+	// signature. Negotiation then costs one round trip per host, once.
+	legacyMu    sync.Mutex
+	legacyHosts map[string]bool
+
+	// rings caches each front-end's cluster ring (nil: single-node or
+	// legacy), learned once per host from /v1/cluster/info.
+	ringMu sync.Mutex
+	rings  map[string]*cluster.Ring
+}
+
+// markLegacy records that base speaks only the unversioned API.
+func (c *Client) markLegacy(base string) {
+	c.legacyMu.Lock()
+	if c.legacyHosts == nil {
+		c.legacyHosts = make(map[string]bool)
+	}
+	c.legacyHosts[base] = true
+	c.legacyMu.Unlock()
+}
+
+// useV1 reports whether requests to base should take the /v1 paths.
+func (c *Client) useV1(base string) bool {
+	if c.LegacyAPI {
+		return false
+	}
+	c.legacyMu.Lock()
+	legacy := c.legacyHosts[base]
+	c.legacyMu.Unlock()
+	return !legacy
+}
+
+// apiPath joins base and path, inserting the /v1 prefix when the host
+// negotiates the versioned API.
+func (c *Client) apiPath(base, path string) string {
+	if c.useV1(base) {
+		return base + "/v1" + path
+	}
+	return base + path
+}
+
+// errLegacyRetry signals that the attempt hit a legacy server on a
+// /v1 path; the host has been marked and the request should be
+// rebuilt on the unversioned path immediately (no backoff, no
+// attempt consumed — nothing failed, the dialect was wrong).
+var errLegacyRetry = errors.New("storage: legacy server detected, retrying unversioned path")
+
+// checkLegacy classifies a 404: a v1 server stamps every response
+// with X-MCS-API, so a 404 without it on a /v1 request means the
+// server predates the versioned API.
+func (c *Client) checkLegacy(base string, resp *http.Response) bool {
+	if c.LegacyAPI || !c.useV1(base) {
+		return false
+	}
+	if resp.StatusCode == http.StatusNotFound && resp.Header.Get(APIHeader) == "" {
+		c.markLegacy(base)
+		return true
+	}
+	return false
+}
+
+// clusterRing returns the ring behind a front-end, fetched once from
+// /v1/cluster/info. Nil means route everything through the assigned
+// front-end: single-node deployments, legacy servers, or an info
+// fetch that failed (forwarding keeps working regardless — the ring
+// is a latency optimization, not a correctness requirement).
+func (c *Client) clusterRing(frontend string) *cluster.Ring {
+	c.ringMu.Lock()
+	ring, ok := c.rings[frontend]
+	c.ringMu.Unlock()
+	if ok {
+		return ring
+	}
+	ring = c.fetchRing(frontend)
+	c.ringMu.Lock()
+	if c.rings == nil {
+		c.rings = make(map[string]*cluster.Ring)
+	}
+	c.rings[frontend] = ring
+	c.ringMu.Unlock()
+	return ring
+}
+
+func (c *Client) fetchRing(frontend string) *cluster.Ring {
+	if !c.useV1(frontend) {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodGet, frontend+"/v1/cluster/info", nil)
+	if err != nil {
+		return nil
+	}
+	req.Header.Set(APIHeader, APIV1)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if c.checkLegacy(frontend, resp) || resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var info ClusterInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil || len(info.Peers) < 2 {
+		return nil
+	}
+	ring, err := cluster.NewRing(info.Peers, 0)
+	if err != nil {
+		return nil
+	}
+	return ring
+}
+
+// chunkTarget picks the host to address for one chunk: the chunk's
+// primary owner when the ring is known, else the assigned front-end.
+func (c *Client) chunkTarget(frontend string, sum Sum) string {
+	ring := c.clusterRing(frontend)
+	if ring == nil {
+		return frontend
+	}
+	return ring.Primary(cluster.Key(sum))
+}
+
+// StatChunks asks a front-end which of the given chunks it already
+// holds, in one batched /v1/op/stat round trip (the check the
+// resumable-upload path runs server-side). Legacy servers do not
+// speak it; the caller falls back to per-chunk behavior.
+func (c *Client) StatChunks(frontend string, chunkMD5s []string) (*StatResponse, error) {
+	if !c.useV1(frontend) {
+		return nil, fmt.Errorf("storage: %s does not speak /v1/op/stat", frontend)
+	}
+	var resp StatResponse
+	budget := c.newBudget()
+	if err := c.postJSON(frontend, "/op/stat", StatRequest{ChunkMD5s: chunkMD5s}, &resp, budget); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ClientConfig configures a client built with NewClient; the fields
+// mirror Client's (see their docs there). The options struct exists
+// so cluster-era knobs extend it without another signature break.
+type ClientConfig struct {
+	MetaURL         string
+	UserID          uint64
+	DeviceID        uint64
+	Device          trace.DeviceType
+	SimRTT          time.Duration
+	Proxied         bool
+	HTTP            *http.Client
+	Retry           *RetryPolicy
+	RetrySeed       uint64
+	MaxResumes      int
+	Parallel        int
+	Metrics         *ClientMetrics
+	InterChunkDelay func() time.Duration
+	SimClock        func() time.Time
+	LegacyAPI       bool
+}
+
+// NewClient returns a client built from cfg.
+func NewClient(cfg ClientConfig) *Client {
+	return &Client{
+		MetaURL:         cfg.MetaURL,
+		UserID:          cfg.UserID,
+		DeviceID:        cfg.DeviceID,
+		Device:          cfg.Device,
+		SimRTT:          cfg.SimRTT,
+		Proxied:         cfg.Proxied,
+		HTTP:            cfg.HTTP,
+		Retry:           cfg.Retry,
+		RetrySeed:       cfg.RetrySeed,
+		MaxResumes:      cfg.MaxResumes,
+		Parallel:        cfg.Parallel,
+		Metrics:         cfg.Metrics,
+		InterChunkDelay: cfg.InterChunkDelay,
+		SimClock:        cfg.SimClock,
+		LegacyAPI:       cfg.LegacyAPI,
+	}
 }
 
 // Clone returns an independent client with the same configuration and
@@ -90,6 +277,7 @@ func (c *Client) Clone() *Client {
 		Metrics:         c.Metrics,
 		InterChunkDelay: c.InterChunkDelay,
 		SimClock:        c.SimClock,
+		LegacyAPI:       c.LegacyAPI,
 	}
 }
 
@@ -117,23 +305,32 @@ func (c *Client) setIdentity(req *http.Request) {
 }
 
 // postJSON performs a JSON request/response round trip with retries.
-func (c *Client) postJSON(url string, in, out interface{}, budget *retryBudget) error {
+// The URL is rebuilt per attempt from base and path so the versioned
+// prefix tracks the host's negotiated dialect: a bare 404 (no
+// X-MCS-API stamp) on a /v1 path marks the host legacy and the next
+// attempt takes the unversioned path immediately.
+func (c *Client) postJSON(base, path string, in, out interface{}, budget *retryBudget) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
 	return c.doRetry(budget,
 		func() (*http.Request, error) {
-			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+			req, err := http.NewRequest(http.MethodPost, c.apiPath(base, path), bytes.NewReader(body))
 			if err != nil {
 				return nil, err
 			}
 			req.Header.Set("Content-Type", "application/json")
 			c.setIdentity(req)
+			c.setAPIVersion(req, base)
 			return req, nil
 		},
 		func(resp *http.Response) error {
 			defer resp.Body.Close()
+			if c.checkLegacy(base, resp) {
+				io.Copy(io.Discard, resp.Body)
+				return errLegacyRetry
+			}
 			if resp.StatusCode != http.StatusOK {
 				return decodeError(resp)
 			}
@@ -146,10 +343,29 @@ func (c *Client) postJSON(url string, in, out interface{}, budget *retryBudget) 
 		})
 }
 
+// setAPIVersion advertises v1 on requests to hosts not known legacy.
+func (c *Client) setAPIVersion(req *http.Request, base string) {
+	if c.useV1(base) {
+		req.Header.Set(APIHeader, APIV1)
+	}
+}
+
+// decodeError turns a non-2xx response into an error. A v1 server's
+// typed envelope decodes into an *APIError (which unwraps to the
+// package sentinels); anything else — including a legacy server's
+// {"error": ...} body — becomes a *serverError classified by status.
 func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if resp.Header.Get(APIHeader) == APIV1 {
+		var ae APIError
+		if err := json.Unmarshal(body, &ae); err == nil && ae.Code != "" {
+			ae.Status = resp.StatusCode
+			return &ae
+		}
+	}
 	se := &serverError{Status: resp.StatusCode}
 	var e errorResponse
-	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil {
+	if err := json.Unmarshal(body, &e); err == nil {
 		se.Msg = e.Error
 	}
 	return se
@@ -173,7 +389,7 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 	budget := c.newBudget()
 	fileSum := SumBytes(data)
 	var check StoreCheckResponse
-	err := c.postJSON(c.MetaURL+"/meta/store-check", StoreCheckRequest{
+	err := c.postJSON(c.MetaURL, "/meta/store-check", StoreCheckRequest{
 		UserID:  c.UserID,
 		Name:    name,
 		Size:    int64(len(data)),
@@ -220,7 +436,7 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 			c.Metrics.resume()
 		}
 		var opResp FileOpResponse
-		err = c.postJSON(check.FrontEnd+"/op/store?url="+check.URL, opReq, &opResp, budget)
+		err = c.postJSON(check.FrontEnd, "/op/store?url="+check.URL, opReq, &opResp, budget)
 		if err != nil {
 			return res, err
 		}
@@ -349,19 +565,27 @@ func runWindow(w, n int, fn func(int) error) error {
 
 // putChunk uploads one chunk. The PUT is idempotent — the chunk store
 // deduplicates by content — so retries simply re-send the same bytes.
+// Chunk PUTs always address the assigned front-end: it owns the
+// upload's completion bookkeeping and fans the bytes out to the
+// replica owners itself.
 func (c *Client) putChunk(frontend, url string, sum Sum, data []byte, budget *retryBudget) error {
-	target := fmt.Sprintf("%s/chunk/%s?url=%s", frontend, sum, url)
 	return c.doRetry(budget,
 		func() (*http.Request, error) {
+			target := c.apiPath(frontend, fmt.Sprintf("/chunk/%s?url=%s", sum, url))
 			req, err := http.NewRequest(http.MethodPut, target, bytes.NewReader(data))
 			if err != nil {
 				return nil, err
 			}
 			c.setIdentity(req)
+			c.setAPIVersion(req, frontend)
 			return req, nil
 		},
 		func(resp *http.Response) error {
 			defer resp.Body.Close()
+			if c.checkLegacy(frontend, resp) {
+				io.Copy(io.Discard, resp.Body)
+				return errLegacyRetry
+			}
 			if resp.StatusCode != http.StatusOK {
 				return decodeError(resp)
 			}
@@ -378,7 +602,7 @@ func (c *Client) putChunk(frontend, url string, sum Sum, data []byte, budget *re
 func (c *Client) RetrieveFile(url string) ([]byte, error) {
 	budget := c.newBudget()
 	var res ResolveResponse
-	err := c.postJSON(c.MetaURL+"/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
+	err := c.postJSON(c.MetaURL, "/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +611,7 @@ func (c *Client) RetrieveFile(url string) ([]byte, error) {
 	}
 
 	var op FileOpResponse
-	err = c.postJSON(res.FrontEnd+"/op/retrieve", FileOpRequest{
+	err = c.postJSON(res.FrontEnd, "/op/retrieve", FileOpRequest{
 		UserID:   c.UserID,
 		DeviceID: c.DeviceID,
 		Device:   c.Device.String(),
@@ -460,17 +684,32 @@ func (c *Client) RetrieveFile(url string) ([]byte, error) {
 // file, making the steady-state read allocation-free).
 func (c *Client) getChunk(frontend string, sum Sum, budget *retryBudget, dst []byte) ([]byte, error) {
 	var out []byte
+	tries, base := 0, frontend
 	err := c.doRetry(budget,
 		func() (*http.Request, error) {
-			req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/chunk/%s", frontend, sum), nil)
+			// The first attempt goes straight to the chunk's primary
+			// owner when the client knows the ring (saving the
+			// forwarding hop); retries fall back to the assigned
+			// front-end, which can serve from any live replica.
+			tries++
+			base = frontend
+			if tries == 1 {
+				base = c.chunkTarget(frontend, sum)
+			}
+			req, err := http.NewRequest(http.MethodGet, c.apiPath(base, "/chunk/"+sum.String()), nil)
 			if err != nil {
 				return nil, err
 			}
 			c.setIdentity(req)
+			c.setAPIVersion(req, base)
 			return req, nil
 		},
 		func(resp *http.Response) error {
 			defer resp.Body.Close()
+			if c.checkLegacy(base, resp) {
+				io.Copy(io.Discard, resp.Body)
+				return errLegacyRetry
+			}
 			if resp.StatusCode != http.StatusOK {
 				return decodeError(resp)
 			}

@@ -3,7 +3,8 @@ package storage
 import "errors"
 
 var (
-	errBadDigest = errors.New("storage: malformed MD5 digest")
+	// ErrBadDigest reports a malformed or mismatched MD5 digest.
+	ErrBadDigest = errors.New("storage: malformed MD5 digest")
 
 	// ErrNotFound reports a missing chunk or file.
 	ErrNotFound = errors.New("storage: not found")
@@ -11,4 +12,20 @@ var (
 	// ErrExists reports a duplicate chunk insert (not fatal; the
 	// chunk store deduplicates by content).
 	ErrExists = errors.New("storage: already stored")
+
+	// ErrTooLarge reports a chunk payload above ChunkSize.
+	ErrTooLarge = errors.New("storage: chunk too large")
+
+	// ErrOverloaded reports a request shed by the server's
+	// concurrency limiter; retry after backing off.
+	ErrOverloaded = errors.New("storage: server overloaded")
+
+	// ErrUnavailable reports a cluster operation that could not reach
+	// its write quorum or any live replica; retryable once the
+	// affected nodes recover.
+	ErrUnavailable = errors.New("storage: replicas unavailable")
 )
+
+// errBadDigest is the historical internal name; new code should use
+// the exported sentinel.
+var errBadDigest = ErrBadDigest

@@ -1,10 +1,10 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -77,8 +77,25 @@ func (s *WriterSink) Flush() error {
 	return s.w.Flush()
 }
 
-// FrontEndOptions tunes a front-end server.
-type FrontEndOptions struct {
+// FrontEndConfig configures a front-end server. It replaces the old
+// positional NewFrontEnd(store, meta, sink, opts) signature so that
+// cluster knobs — and whatever comes after them — extend the API
+// without another signature break.
+type FrontEndConfig struct {
+	// Store serves and persists chunks. In a cluster this is the
+	// node's ReplicatedStore; single-node deployments pass the local
+	// store directly.
+	Store ChunkStore
+	// Local, when set, serves cluster-internal replica requests
+	// (X-MCS-Replica) directly, bypassing any replication layer in
+	// Store so forwarded traffic never fans out again. Nil means:
+	// Store's local side if Store is a *ReplicatedStore, else Store.
+	Local ChunkStore
+	// Meta commits uploads and resolves retrievals. Use *Metadata
+	// in-process or RemoteMeta against another node.
+	Meta MetaService
+	// Sink receives the Table 1 request log (nil discards).
+	Sink LogSink
 	// UpstreamDelay samples the upstream storage-server processing
 	// time Tsrv recorded in each log. Nil means zero.
 	UpstreamDelay func() time.Duration
@@ -95,13 +112,15 @@ type FrontEndOptions struct {
 }
 
 // FrontEnd is one storage front-end server: it accepts file operation
-// requests and chunk transfers, persists chunks, commits uploads to
-// the metadata server, and logs every request.
+// requests and chunk transfers, persists chunks (replicating them
+// across the cluster when configured), commits uploads to the
+// metadata service, and logs every request.
 type FrontEnd struct {
 	store ChunkStore
-	meta  *Metadata
+	local ChunkStore // serves replica-internal traffic
+	meta  MetaService
 	sink  LogSink
-	opts  FrontEndOptions
+	cfg   FrontEndConfig
 
 	mu      sync.Mutex
 	pending map[string]*pendingUpload
@@ -127,17 +146,25 @@ func (p *pendingUpload) missingLocked() []Sum {
 	return missing
 }
 
-// NewFrontEnd returns a front-end backed by the given chunk store and
-// metadata server, logging into sink (which may be nil to discard).
-func NewFrontEnd(store ChunkStore, meta *Metadata, sink LogSink, opts FrontEndOptions) *FrontEnd {
-	if opts.Now == nil {
-		opts.Now = time.Now
+// NewFrontEnd returns a front-end built from cfg.
+func NewFrontEnd(cfg FrontEndConfig) *FrontEnd {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	local := cfg.Local
+	if local == nil {
+		if rs, ok := cfg.Store.(*ReplicatedStore); ok {
+			local = rs.Local()
+		} else {
+			local = cfg.Store
+		}
 	}
 	return &FrontEnd{
-		store:   store,
-		meta:    meta,
-		sink:    sink,
-		opts:    opts,
+		store:   cfg.Store,
+		local:   local,
+		meta:    cfg.Meta,
+		sink:    cfg.Sink,
+		cfg:     cfg,
 		pending: make(map[string]*pendingUpload),
 	}
 }
@@ -177,12 +204,12 @@ func simTime(r *http.Request) time.Time {
 // replayed request's virtual timestamp (X-Sim-Time) takes precedence
 // over the wall clock.
 func (f *FrontEnd) record(r *http.Request, typ trace.ReqType, bytes int64, started time.Time, tsrv time.Duration) {
-	if f.sink == nil && f.opts.Metrics == nil {
+	if f.sink == nil && f.cfg.Metrics == nil {
 		return
 	}
 	dev, devID, userID, rtt, proxied := reqIdentity(r)
-	elapsed := f.opts.Now().Sub(started)
-	if fm := f.opts.Metrics; fm != nil {
+	elapsed := f.cfg.Now().Sub(started)
+	if fm := f.cfg.Metrics; fm != nil {
 		// elapsed equals the log's TransferTime (Proc - Server), so the
 		// scraped histogram matches what mcsanalyze computes from the log.
 		fm.observe(typ, dev, bytes, elapsed)
@@ -210,45 +237,59 @@ func (f *FrontEnd) record(r *http.Request, typ trace.ReqType, bytes int64, start
 
 // countErr bumps the error counter for a request type.
 func (f *FrontEnd) countErr(typ trace.ReqType) {
-	if fm := f.opts.Metrics; fm != nil {
+	if fm := f.cfg.Metrics; fm != nil {
 		fm.errors[typ].Inc()
 	}
 }
 
-// fail counts and writes one error response.
-func (f *FrontEnd) fail(w http.ResponseWriter, code int, err error, typ trace.ReqType) {
+// fail counts and writes one error response in the dialect the
+// request speaks (typed /v1 envelope or legacy body).
+func (f *FrontEnd) fail(w http.ResponseWriter, r *http.Request, code int, err error, typ trace.ReqType) {
 	f.countErr(typ)
-	writeError(w, code, err)
+	writeAPIError(w, r, code, err)
 }
 
 // upstream samples (and optionally performs) the upstream delay.
 func (f *FrontEnd) upstream() time.Duration {
-	if f.opts.UpstreamDelay == nil {
+	if f.cfg.UpstreamDelay == nil {
 		return 0
 	}
-	d := f.opts.UpstreamDelay()
-	if f.opts.SleepUpstream && d > 0 {
+	d := f.cfg.UpstreamDelay()
+	if f.cfg.SleepUpstream && d > 0 {
 		time.Sleep(d)
 	}
 	return d
 }
 
-// Handler returns the front-end HTTP API:
+// Handler returns the front-end HTTP API. The versioned surface:
 //
-//	POST /op/store      file storage operation request
-//	POST /op/retrieve   file retrieval operation request
-//	PUT  /chunk/{md5}   chunk storage request
-//	GET  /chunk/{md5}   chunk retrieval request
+//	POST /v1/op/store        file storage operation request
+//	POST /v1/op/retrieve     file retrieval operation request
+//	POST /v1/op/stat         batched chunk existence check
+//	PUT  /v1/chunk/{md5}     chunk storage request
+//	GET  /v1/chunk/{md5}     chunk retrieval request
+//	GET  /v1/cluster/info    node's cluster configuration
+//	GET  /v1/cluster/chunks  locally-held chunk listing (rebalance)
+//
+// The legacy unversioned paths (/op/store, /op/retrieve, /chunk/)
+// remain as thin aliases onto the same handlers. Every response
+// carries X-MCS-API: v1; errors follow the request's dialect.
 func (f *FrontEnd) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/op/store", f.handleStoreOp)
 	mux.HandleFunc("/op/retrieve", f.handleRetrieveOp)
 	mux.HandleFunc("/chunk/", f.handleChunk)
-	return mux
+	mux.HandleFunc("/v1/op/store", f.handleStoreOp)
+	mux.HandleFunc("/v1/op/retrieve", f.handleRetrieveOp)
+	mux.HandleFunc("/v1/op/stat", f.handleStatOp)
+	mux.HandleFunc("/v1/chunk/", f.handleChunk)
+	mux.HandleFunc("/v1/cluster/info", f.handleClusterInfo)
+	mux.HandleFunc("/v1/cluster/chunks", f.handleClusterChunks)
+	return advertiseV1(mux)
 }
 
 func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
-	started := f.opts.Now()
+	started := f.cfg.Now()
 	var req FileOpRequest
 	if !decodeJSON(w, r, &req) {
 		f.countErr(trace.FileStore)
@@ -256,14 +297,14 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	}
 	url := r.URL.Query().Get("url")
 	if url == "" {
-		f.fail(w, http.StatusBadRequest, fmt.Errorf("storage: missing url parameter"), trace.FileStore)
+		f.fail(w, r, http.StatusBadRequest, fmt.Errorf("storage: missing url parameter"), trace.FileStore)
 		return
 	}
 	expected := make([]Sum, 0, len(req.ChunkMD5s))
 	for _, s := range req.ChunkMD5s {
 		sum, err := ParseSum(s)
 		if err != nil {
-			f.fail(w, http.StatusBadRequest, err, trace.FileStore)
+			f.fail(w, r, http.StatusBadRequest, err, trace.FileStore)
 			return
 		}
 		expected = append(expected, sum)
@@ -271,7 +312,7 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	if len(expected) == 0 {
 		// Zero-byte files carry no chunks; commit immediately.
 		if err := f.meta.Commit(url, nil); err != nil {
-			f.fail(w, http.StatusNotFound, err, trace.FileStore)
+			f.fail(w, r, http.StatusNotFound, err, trace.FileStore)
 			return
 		}
 		tsrv := f.upstream()
@@ -280,22 +321,29 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Probe which chunks the store already holds — from an interrupted
+	// earlier attempt or shared with another file — in one batched
+	// call, outside the pending-table lock: on a replicated store each
+	// Has is network I/O, and the batch collapses the per-chunk round
+	// trips to one per replica owner. Staleness is harmless: a chunk
+	// that lands between probe and registration is simply re-sent, and
+	// chunk PUTs are idempotent.
+	present := multiHas(f.store, expected)
+
 	// Re-issuing the operation for an in-flight URL resumes it: the
 	// upload's progress survives, and the response tells the client
-	// which chunks are still needed. Chunks the store already holds —
-	// from an interrupted earlier attempt or shared with another file —
-	// are counted as arrived, so clients never re-send stored bytes.
+	// which chunks are still needed.
 	f.mu.Lock()
 	p, ok := f.pending[url]
 	if !ok {
 		p = &pendingUpload{url: url, expected: expected, got: make(map[Sum]bool)}
-		for _, s := range expected {
-			if f.store.Has(s) {
+		for i, s := range expected {
+			if present[i] {
 				p.got[s] = true
 			}
 		}
 		f.pending[url] = p
-		if fm := f.opts.Metrics; fm != nil {
+		if fm := f.cfg.Metrics; fm != nil {
 			fm.pending.Inc()
 		}
 	} else {
@@ -310,18 +358,47 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 
 	if len(missing) == 0 {
 		if err := f.commitUpload(url, snapshot); err != nil {
-			f.fail(w, http.StatusInternalServerError, err, trace.FileStore)
+			f.fail(w, r, http.StatusInternalServerError, err, trace.FileStore)
 			return
 		}
 	}
 
 	tsrv := f.upstream()
 	f.record(r, trace.FileStore, 0, started, tsrv)
-	missStrs := make([]string, len(missing))
-	for i, s := range missing {
-		missStrs[i] = s.String()
+	writeJSON(w, FileOpResponse{OK: true, Resumable: true, MissingMD5s: sumStrings(missing)})
+}
+
+// handleStatOp answers the batched existence check: one round trip
+// for a whole file's worth of chunk digests. v1-only (no legacy
+// alias); stat requests are control-plane traffic and are not logged
+// in the Table 1 schema.
+func (f *FrontEnd) handleStatOp(w http.ResponseWriter, r *http.Request) {
+	var req StatRequest
+	if !decodeJSON(w, r, &req) {
+		return
 	}
-	writeJSON(w, FileOpResponse{OK: true, Resumable: true, MissingMD5s: missStrs})
+	sums, err := parseSums(req.ChunkMD5s)
+	if err != nil {
+		writeAPIError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	// Replica-internal stats answer for this node's local holdings
+	// only (the rebalancer and peer owners ask "do YOU have it", not
+	// "can the cluster find it").
+	store := f.store
+	if isReplicaRequest(r) {
+		store = f.local
+	}
+	present := multiHas(store, sums)
+	resp := StatResponse{}
+	for i, ok := range present {
+		if ok {
+			resp.Present++
+		} else {
+			resp.MissingMD5s = append(resp.MissingMD5s, req.ChunkMD5s[i])
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // commitUpload finalizes a completed upload at the metadata server and
@@ -336,7 +413,7 @@ func (f *FrontEnd) commitUpload(url string, expected []Sum) error {
 	delete(f.pending, url)
 	f.mu.Unlock()
 	if ok {
-		if fm := f.opts.Metrics; fm != nil {
+		if fm := f.cfg.Metrics; fm != nil {
 			fm.pending.Dec()
 		}
 	}
@@ -344,7 +421,7 @@ func (f *FrontEnd) commitUpload(url string, expected []Sum) error {
 }
 
 func (f *FrontEnd) handleRetrieveOp(w http.ResponseWriter, r *http.Request) {
-	started := f.opts.Now()
+	started := f.cfg.Now()
 	var req FileOpRequest
 	if !decodeJSON(w, r, &req) {
 		f.countErr(trace.FileRetrieve)
@@ -352,34 +429,38 @@ func (f *FrontEnd) handleRetrieveOp(w http.ResponseWriter, r *http.Request) {
 	}
 	sum, err := ParseSum(req.FileMD5)
 	if err != nil {
-		f.fail(w, http.StatusBadRequest, err, trace.FileRetrieve)
+		f.fail(w, r, http.StatusBadRequest, err, trace.FileRetrieve)
 		return
 	}
 	meta, err := f.meta.Lookup(sum)
 	if err != nil {
-		f.fail(w, http.StatusNotFound, err, trace.FileRetrieve)
+		f.fail(w, r, http.StatusNotFound, err, trace.FileRetrieve)
 		return
-	}
-	chunkStrs := make([]string, len(meta.ChunkMD5s))
-	for i, c := range meta.ChunkMD5s {
-		chunkStrs[i] = c.String()
 	}
 	tsrv := f.upstream()
 	f.record(r, trace.FileRetrieve, 0, started, tsrv)
-	writeJSON(w, FileOpResponse{OK: true, ChunkMD5s: chunkStrs, Size: meta.Size})
+	writeJSON(w, FileOpResponse{OK: true, ChunkMD5s: sumStrings(meta.ChunkMD5s), Size: meta.Size})
 }
 
 func (f *FrontEnd) handleChunk(w http.ResponseWriter, r *http.Request) {
-	started := f.opts.Now()
+	started := f.cfg.Now()
 	// Attribute pre-dispatch errors to the direction the method implies.
 	typ := trace.ChunkRetrieve
 	if r.Method == http.MethodPut {
 		typ = trace.ChunkStore
 	}
-	digest := strings.TrimPrefix(r.URL.Path, "/chunk/")
-	sum, err := ParseSum(digest)
+	sum, err := ParseSum(trimChunkPath(r.URL.Path))
 	if err != nil {
-		f.fail(w, http.StatusBadRequest, err, typ)
+		f.fail(w, r, http.StatusBadRequest, err, typ)
+		return
+	}
+	// Replica-internal traffic (PUT fan-out, GET failover, repair and
+	// rebalance streams) addresses this node's local store directly
+	// and is never re-forwarded, bounding the cluster's forwarding
+	// depth to one hop. It also bypasses upload tracking — the node
+	// that accepted the client's upload owns that bookkeeping.
+	if isReplicaRequest(r) {
+		f.handleReplicaChunk(w, r, sum)
 		return
 	}
 	switch r.Method {
@@ -388,8 +469,85 @@ func (f *FrontEnd) handleChunk(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		f.getChunk(w, r, sum, started)
 	default:
-		f.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method), typ)
+		f.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method), typ)
 	}
+}
+
+// handleReplicaChunk serves cluster-internal chunk traffic from the
+// local store: PUT stores, GET reads (404 when absent — the caller
+// fails over to the next replica), DELETE drops a misplaced copy
+// (used by mcsrebalance -prune).
+func (f *FrontEnd) handleReplicaChunk(w http.ResponseWriter, r *http.Request, sum Sum) {
+	switch r.Method {
+	case http.MethodPut:
+		scratch := getChunkBuf()
+		defer putChunkBuf(scratch)
+		n, overflow, err := readBody(r.Body, *scratch)
+		if err != nil {
+			writeAPIError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		data := (*scratch)[:n]
+		if overflow || len(data) > ChunkSize {
+			writeAPIError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%w: chunk exceeds %d bytes", ErrTooLarge, ChunkSize))
+			return
+		}
+		if err := f.local.Put(sum, data); err != nil {
+			writeAPIError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, FileOpResponse{OK: true})
+	case http.MethodGet:
+		data, err := f.local.Get(sum)
+		if err != nil {
+			writeAPIError(w, r, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case http.MethodDelete:
+		d, ok := f.local.(Deleter)
+		if !ok {
+			writeAPIError(w, r, http.StatusNotImplemented,
+				fmt.Errorf("storage: local store cannot delete"))
+			return
+		}
+		if err := d.Delete(sum); err != nil {
+			writeAPIError(w, r, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, FileOpResponse{OK: true})
+	default:
+		writeAPIError(w, r, http.StatusMethodNotAllowed,
+			fmt.Errorf("storage: method %s not allowed", r.Method))
+	}
+}
+
+// handleClusterInfo reports the node's placement configuration.
+func (f *FrontEnd) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	if rs, ok := f.store.(*ReplicatedStore); ok {
+		writeJSON(w, rs.Info())
+		return
+	}
+	writeJSON(w, ClusterInfo{Replicas: 1, Quorum: 1})
+}
+
+// handleClusterChunks streams the digests held by this node's local
+// store, for the rebalancer. Requires a store that supports Range.
+func (f *FrontEnd) handleClusterChunks(w http.ResponseWriter, r *http.Request) {
+	ranger, ok := f.local.(Ranger)
+	if !ok {
+		writeAPIError(w, r, http.StatusNotImplemented,
+			fmt.Errorf("storage: local store cannot enumerate chunks"))
+		return
+	}
+	var chunks []ChunkInfo
+	ranger.Range(func(sum Sum, size int64) bool {
+		chunks = append(chunks, ChunkInfo{MD5: sum.String(), Size: size})
+		return true
+	})
+	writeJSON(w, chunks)
 }
 
 func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
@@ -399,16 +557,21 @@ func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, sta
 	defer putChunkBuf(scratch)
 	n, overflow, err := readBody(r.Body, *scratch)
 	if err != nil {
-		f.fail(w, http.StatusBadRequest, err, trace.ChunkStore)
+		f.fail(w, r, http.StatusBadRequest, err, trace.ChunkStore)
 		return
 	}
 	data := (*scratch)[:n]
 	if overflow || len(data) > ChunkSize {
-		f.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("storage: chunk exceeds %d bytes", ChunkSize), trace.ChunkStore)
+		f.fail(w, r, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%w: chunk exceeds %d bytes", ErrTooLarge, ChunkSize), trace.ChunkStore)
 		return
 	}
 	if err := f.store.Put(sum, data); err != nil {
-		f.fail(w, http.StatusBadRequest, err, trace.ChunkStore)
+		code := http.StatusBadRequest
+		if IsUnavailable(err) {
+			code = http.StatusServiceUnavailable
+		}
+		f.fail(w, r, code, err, trace.ChunkStore)
 		return
 	}
 	tsrv := f.upstream()
@@ -427,7 +590,7 @@ func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, sta
 		f.mu.Unlock()
 		if snapshot != nil {
 			if err := f.commitUpload(url, snapshot); err != nil {
-				f.fail(w, http.StatusInternalServerError, err, trace.ChunkStore)
+				f.fail(w, r, http.StatusInternalServerError, err, trace.ChunkStore)
 				return
 			}
 		}
@@ -450,11 +613,21 @@ func (f *FrontEnd) completeLocked(p *pendingUpload) bool {
 func (f *FrontEnd) getChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
 	data, err := f.store.Get(sum)
 	if err != nil {
-		f.fail(w, http.StatusNotFound, err, trace.ChunkRetrieve)
+		code := http.StatusNotFound
+		if IsUnavailable(err) {
+			code = http.StatusServiceUnavailable
+		}
+		f.fail(w, r, code, err, trace.ChunkRetrieve)
 		return
 	}
 	tsrv := f.upstream()
 	f.record(r, trace.ChunkRetrieve, int64(len(data)), started, tsrv)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(data)
+}
+
+// IsUnavailable reports whether err is the cluster's "not enough live
+// replicas" condition, which maps to 503 rather than 404/400.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrUnavailable)
 }

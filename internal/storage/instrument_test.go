@@ -24,7 +24,7 @@ func TestInstrumentedServiceExposition(t *testing.T) {
 	meta.Instrument(reg)
 	fem := NewFrontEndMetrics(reg)
 
-	fe := NewFrontEnd(cached, meta, &Collector{}, FrontEndOptions{Metrics: fem})
+	fe := NewFrontEnd(FrontEndConfig{Store: cached, Meta: meta, Sink: &Collector{}, Metrics: fem})
 	feSrv := httptest.NewServer(fe.Handler())
 	defer feSrv.Close()
 	meta.AddFrontEnd(feSrv.URL)
@@ -108,7 +108,7 @@ func TestInstrumentedServiceExposition(t *testing.T) {
 func TestFrontEndErrorCounters(t *testing.T) {
 	reg := metrics.NewRegistry()
 	fem := NewFrontEndMetrics(reg)
-	fe := NewFrontEnd(NewMemStore(), NewMetadata(), nil, FrontEndOptions{Metrics: fem})
+	fe := NewFrontEnd(FrontEndConfig{Store: NewMemStore(), Meta: NewMetadata(), Metrics: fem})
 	srv := httptest.NewServer(fe.Handler())
 	defer srv.Close()
 

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// RemoteMeta implements MetaService against a metadata server running
+// in another process, so a clustered front-end node without a
+// colocated metadata server can still commit uploads and resolve
+// retrievals. It speaks the /meta/commit and /meta/lookup internal
+// endpoints and decodes the typed /v1 error envelope, so sentinel
+// checks (errors.Is(err, ErrNotFound)) behave exactly as with a local
+// *Metadata.
+type RemoteMeta struct {
+	base string
+	http *http.Client
+}
+
+// NewRemoteMeta returns a MetaService talking to the metadata server
+// at baseURL. httpc may be nil for a shared default with sane
+// timeouts.
+func NewRemoteMeta(baseURL string, httpc *http.Client) *RemoteMeta {
+	if httpc == nil {
+		httpc = defaultHTTPClient
+	}
+	return &RemoteMeta{base: baseURL, http: httpc}
+}
+
+// postJSON is a single-attempt JSON round trip; retries are the
+// caller's business (front-end commit failures surface to the client,
+// which re-issues the operation).
+func (m *RemoteMeta) postJSON(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, m.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(APIHeader, APIV1)
+	resp, err := m.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Commit implements MetaService.
+func (m *RemoteMeta) Commit(url string, chunkMD5s []Sum) error {
+	return m.postJSON("/meta/commit", CommitRequest{URL: url, ChunkMD5s: sumStrings(chunkMD5s)}, nil)
+}
+
+// Lookup implements MetaService.
+func (m *RemoteMeta) Lookup(sum Sum) (FileMeta, error) {
+	var resp LookupResponse
+	if err := m.postJSON("/meta/lookup", LookupRequest{FileMD5: sum.String()}, &resp); err != nil {
+		return FileMeta{}, err
+	}
+	fileSum, err := ParseSum(resp.FileMD5)
+	if err != nil {
+		return FileMeta{}, fmt.Errorf("storage: remote meta returned bad file digest: %w", err)
+	}
+	chunks, err := parseSums(resp.ChunkMD5s)
+	if err != nil {
+		return FileMeta{}, fmt.Errorf("storage: remote meta returned bad chunk digest: %w", err)
+	}
+	return FileMeta{
+		Name:      resp.Name,
+		Size:      resp.Size,
+		FileMD5:   fileSum,
+		ChunkMD5s: chunks,
+		URL:       resp.URL,
+	}, nil
+}

@@ -19,6 +19,19 @@ type FileMeta struct {
 	URL       string
 }
 
+// MetaService is the slice of the metadata server a storage front-end
+// depends on. A front-end colocated with the metadata server uses
+// *Metadata directly; a clustered front-end on another node uses
+// RemoteMeta, which speaks the same operations over HTTP — this is
+// what lets any node accept uploads while the namespace stays single.
+type MetaService interface {
+	// Commit finalizes a completed upload, making the content
+	// available for dedup and retrieval.
+	Commit(url string, chunkMD5s []Sum) error
+	// Lookup returns the file record for a content hash.
+	Lookup(sum Sum) (FileMeta, error)
+}
+
 // Metadata is the metadata service (§2.1): it owns user namespaces,
 // performs file-level deduplication, maps URLs to content hashes, and
 // assigns storage front-ends. It is safe for concurrent use.
@@ -261,46 +274,132 @@ func (m *Metadata) Stats() MetaStats {
 	}
 }
 
+// CommitRequest is the wire form of MetaService.Commit, used by
+// clustered front-ends without a colocated metadata server.
+type CommitRequest struct {
+	URL       string   `json:"url"`
+	ChunkMD5s []string `json:"chunk_md5s"`
+}
+
+// LookupRequest is the wire form of MetaService.Lookup.
+type LookupRequest struct {
+	FileMD5 string `json:"file_md5"`
+}
+
+// LookupResponse carries a FileMeta over the wire.
+type LookupResponse struct {
+	Name      string   `json:"name"`
+	Size      int64    `json:"size"`
+	FileMD5   string   `json:"file_md5"`
+	ChunkMD5s []string `json:"chunk_md5s"`
+	URL       string   `json:"url"`
+}
+
 // Handler returns the metadata server's HTTP API:
 //
 //	POST /meta/store-check  StoreCheckRequest -> StoreCheckResponse
 //	POST /meta/resolve      ResolveRequest -> ResolveResponse
+//	POST /meta/commit       CommitRequest (front-end internal)
+//	POST /meta/lookup       LookupRequest -> LookupResponse (front-end internal)
+//
+// Every response carries the X-MCS-API stamp; requests advertising v1
+// receive the typed error envelope.
 func (m *Metadata) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/meta/store-check", func(w http.ResponseWriter, r *http.Request) {
+	registerBoth(mux, "/meta/store-check", func(w http.ResponseWriter, r *http.Request) {
 		var req StoreCheckRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
 		resp, err := m.StoreCheck(req)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeAPIError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, resp)
 	})
-	mux.HandleFunc("/meta/resolve", func(w http.ResponseWriter, r *http.Request) {
+	registerBoth(mux, "/meta/resolve", func(w http.ResponseWriter, r *http.Request) {
 		var req ResolveRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
 		resp, err := m.Resolve(req)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeAPIError(w, r, http.StatusNotFound, err)
 			return
 		}
 		writeJSON(w, resp)
 	})
-	return mux
+	registerBoth(mux, "/meta/commit", func(w http.ResponseWriter, r *http.Request) {
+		var req CommitRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		sums, err := parseSums(req.ChunkMD5s)
+		if err != nil {
+			writeAPIError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		if err := m.Commit(req.URL, sums); err != nil {
+			writeAPIError(w, r, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, FileOpResponse{OK: true})
+	})
+	registerBoth(mux, "/meta/lookup", func(w http.ResponseWriter, r *http.Request) {
+		var req LookupRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		sum, err := ParseSum(req.FileMD5)
+		if err != nil {
+			writeAPIError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		f, err := m.Lookup(sum)
+		if err != nil {
+			writeAPIError(w, r, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, LookupResponse{
+			Name:      f.Name,
+			Size:      f.Size,
+			FileMD5:   f.FileMD5.String(),
+			ChunkMD5s: sumStrings(f.ChunkMD5s),
+			URL:       f.URL,
+		})
+	})
+	return advertiseV1(mux)
+}
+
+// parseSums decodes a list of hex digests.
+func parseSums(strs []string) ([]Sum, error) {
+	sums := make([]Sum, len(strs))
+	for i, s := range strs {
+		var err error
+		if sums[i], err = ParseSum(s); err != nil {
+			return nil, err
+		}
+	}
+	return sums, nil
+}
+
+// sumStrings renders digests as hex.
+func sumStrings(sums []Sum) []string {
+	strs := make([]string, len(sums))
+	for i, s := range sums {
+		strs[i] = s.String()
+	}
+	return strs
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method))
+		writeAPIError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method))
 		return false
 	}
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, r, http.StatusBadRequest, err)
 		return false
 	}
 	return true
@@ -308,6 +407,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v after headers/status are already committed.
+func writeJSONBody(w http.ResponseWriter, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 

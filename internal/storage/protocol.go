@@ -128,7 +128,38 @@ type FileOpResponse struct {
 	MissingMD5s []string `json:"missing_md5s,omitempty"`
 }
 
-// errorResponse is the uniform error body.
+// StatRequest is the batched existence check of /v1/op/stat: one
+// round trip answers "which of these chunks do you already hold?" for
+// a whole file, where the legacy protocol needed a per-chunk probe.
+// The resumable-upload path and the rebalancer both ride on it.
+type StatRequest struct {
+	ChunkMD5s []string `json:"chunk_md5s"`
+}
+
+// StatResponse lists the subset of the queried chunks the server does
+// NOT hold, in query order. Present = len(queried) - len(missing).
+type StatResponse struct {
+	MissingMD5s []string `json:"missing_md5s"`
+	Present     int      `json:"present"`
+}
+
+// ChunkInfo describes one locally-held chunk, as listed by the
+// /v1/cluster/chunks admin endpoint (consumed by mcsrebalance).
+type ChunkInfo struct {
+	MD5  string `json:"md5"`
+	Size int64  `json:"size"`
+}
+
+// ClusterInfo describes a node's cluster configuration, served by
+// /v1/cluster/info.
+type ClusterInfo struct {
+	Node     string   `json:"node"`     // this node's advertised base URL ("" when single-node)
+	Peers    []string `json:"peers"`    // full membership, including Node
+	Replicas int      `json:"replicas"` // N
+	Quorum   int      `json:"quorum"`   // W
+}
+
+// errorResponse is the uniform legacy error body.
 type errorResponse struct {
 	Error string `json:"error"`
 }

@@ -1,0 +1,331 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mcloud/internal/cluster"
+	"mcloud/internal/randx"
+)
+
+// switchHandler lets a test swap (or disable) a node's handler after
+// the server is already listening — membership URLs must exist before
+// the ReplicatedStores that reference them can be built, and a nil
+// handler simulates a node outage (503 on every request).
+type switchHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *switchHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node down", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type clusterNode struct {
+	url     string
+	local   *MemStore
+	rs      *ReplicatedStore
+	handler *switchHandler
+	fe      http.Handler
+}
+
+// down simulates an outage; up restores the node.
+func (n *clusterNode) down() { n.handler.set(nil) }
+func (n *clusterNode) up()   { n.handler.set(n.fe) }
+
+// newTestCluster boots n in-process nodes sharing one metadata server,
+// each running a ReplicatedStore over the full membership. The health
+// breaker trips on the first failure with a short cooldown so outage
+// tests don't wait on production timings.
+func newTestCluster(t *testing.T, n, replicas, quorum int) ([]*clusterNode, *Metadata) {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	peers := make([]string, n)
+	for i := range nodes {
+		h := &switchHandler{}
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		nodes[i] = &clusterNode{url: srv.URL, local: NewMemStore(), handler: h}
+		peers[i] = srv.URL
+	}
+	meta := NewMetadata()
+	for _, nd := range nodes {
+		rs, err := NewReplicatedStore(ReplicatedConfig{
+			Self:        nd.url,
+			Peers:       peers,
+			Replicas:    replicas,
+			WriteQuorum: quorum,
+			Local:       nd.local,
+			Health:      cluster.NewHealth(1, 50*time.Millisecond),
+			RepairEvery: -1, // tests drive RepairNow directly
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.rs = rs
+		t.Cleanup(func() { rs.Close() })
+		fe := NewFrontEnd(FrontEndConfig{Store: rs, Meta: meta})
+		nd.fe = fe.Handler()
+		nd.up()
+	}
+	return nodes, meta
+}
+
+func replChunk(seed uint64, n int) (Sum, []byte) {
+	src := randx.New(seed)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(src.Uint64())
+	}
+	return SumBytes(b), b
+}
+
+// nodeByURL maps an owner URL back to its test node.
+func nodeByURL(t *testing.T, nodes []*clusterNode, url string) *clusterNode {
+	t.Helper()
+	for _, nd := range nodes {
+		if nd.url == url {
+			return nd
+		}
+	}
+	t.Fatalf("no node for %s", url)
+	return nil
+}
+
+func TestReplicatedPutReachesAllOwners(t *testing.T) {
+	nodes, _ := newTestCluster(t, 3, 3, 2)
+	sum, data := replChunk(1, 32<<10)
+
+	if err := nodes[0].rs.Put(sum, data); err != nil {
+		t.Fatal(err)
+	}
+	// Quorum acks before the slowest replica lands; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := 0
+		for _, nd := range nodes {
+			if nd.local.Has(sum) {
+				n++
+			}
+		}
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chunk on %d/3 nodes after quorum put", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Every node serves the chunk, byte-identical.
+	for i, nd := range nodes {
+		got, err := nd.rs.Get(sum)
+		if err != nil {
+			t.Fatalf("node %d get: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("node %d returned different bytes", i)
+		}
+	}
+}
+
+func TestReplicatedGetForwardsAndFailsOver(t *testing.T) {
+	nodes, _ := newTestCluster(t, 3, 2, 2)
+	sum, data := replChunk(2, 16<<10)
+	owners := nodes[0].rs.Owners(sum)
+	if len(owners) != 2 {
+		t.Fatalf("owners = %d, want 2", len(owners))
+	}
+	// Find the one node that does NOT own the chunk.
+	var outsider *clusterNode
+	for _, nd := range nodes {
+		if nd.url != owners[0] && nd.url != owners[1] {
+			outsider = nd
+		}
+	}
+	if err := nodeByURL(t, nodes, owners[0]).rs.Put(sum, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-owner serves the chunk by forwarding to an owner.
+	got, err := outsider.rs.Get(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("forwarded get returned different bytes")
+	}
+
+	// Primary owner dies: the read fails over to the secondary.
+	nodeByURL(t, nodes, owners[0]).down()
+	got, err = outsider.rs.Get(sum)
+	if err != nil {
+		t.Fatalf("get with primary down: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover get returned different bytes")
+	}
+}
+
+func TestReplicatedReadRepair(t *testing.T) {
+	nodes, _ := newTestCluster(t, 3, 2, 2)
+	sum, data := replChunk(3, 8<<10)
+	owners := nodes[0].rs.Owners(sum)
+	first := nodeByURL(t, nodes, owners[0])
+	second := nodeByURL(t, nodes, owners[1])
+
+	// The chunk exists only on the secondary — as if the primary was
+	// down during the write.
+	if err := second.local.Put(sum, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := first.rs.Get(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read returned different bytes")
+	}
+	if !first.local.Has(sum) {
+		t.Fatal("read repair did not restore the primary's copy")
+	}
+}
+
+func TestReplicatedOutageQuorumAndRepair(t *testing.T) {
+	nodes, _ := newTestCluster(t, 3, 3, 2)
+	sum, data := replChunk(4, 8<<10)
+
+	// One replica down: W=2 of N=3 still acks the write.
+	nodes[2].down()
+	if err := nodes[0].rs.Put(sum, data); err != nil {
+		t.Fatalf("put with one node down: %v", err)
+	}
+	// The failed replica lands in the repair queue (possibly from the
+	// post-quorum straggler drain).
+	deadline := time.Now().Add(2 * time.Second)
+	for nodes[0].rs.Underreplicated() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("failed replica never queued for repair")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Node recovers; after the breaker cooldown a repair pass
+	// re-streams the chunk and drains the gauge.
+	nodes[2].up()
+	time.Sleep(60 * time.Millisecond) // breaker cooldown (50ms in tests)
+	deadline = time.Now().Add(2 * time.Second)
+	for nodes[0].rs.Underreplicated() > 0 {
+		nodes[0].rs.RepairNow()
+		if time.Now().After(deadline) {
+			t.Fatalf("underreplicated = %d after repair", nodes[0].rs.Underreplicated())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !nodes[2].local.Has(sum) {
+		t.Fatal("repair did not restore the missing replica")
+	}
+
+	// Two replicas down: the quorum is unreachable and the write fails
+	// with the retryable sentinel.
+	nodes[1].down()
+	nodes[2].down()
+	sum2, data2 := replChunk(5, 4<<10)
+	err := nodes[0].rs.Put(sum2, data2)
+	if err == nil {
+		t.Fatal("put succeeded with quorum unreachable")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("quorum failure = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestReplicatedMultiHasBatches(t *testing.T) {
+	nodes, _ := newTestCluster(t, 3, 2, 2)
+
+	// Spread chunks directly into single nodes' local stores so only
+	// the batched remote stat can find them.
+	var sums []Sum
+	for i := 0; i < 9; i++ {
+		sum, data := replChunk(uint64(10+i), 4<<10)
+		owners := nodes[0].rs.Owners(sum)
+		if err := nodeByURL(t, nodes, owners[len(owners)-1]).local.Put(sum, data); err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, sum)
+	}
+	missing, _ := replChunk(99, 4<<10)
+	sums = append(sums, missing)
+
+	for i, nd := range nodes {
+		got := nd.rs.MultiHas(sums)
+		for j := range sums[:len(sums)-1] {
+			if !got[j] {
+				t.Errorf("node %d: chunk %d reported missing", i, j)
+			}
+		}
+		if got[len(sums)-1] {
+			t.Errorf("node %d: absent chunk reported present", i)
+		}
+	}
+}
+
+// TestClusterEndToEndOutage drives the real client protocol against a
+// 3-node cluster (node 0 is the advertised front-end; all three hold
+// replicas) and checks that a single-node outage mid-lifetime loses no
+// acknowledged data.
+func TestClusterEndToEndOutage(t *testing.T) {
+	nodes, meta := newTestCluster(t, 3, 2, 2)
+	metaSrv := httptest.NewServer(meta.Handler())
+	defer metaSrv.Close()
+	meta.AddFrontEnd(nodes[0].url)
+
+	pol := fastRetry
+	client := NewClient(ClientConfig{
+		MetaURL:  metaSrv.URL,
+		UserID:   1,
+		DeviceID: 1,
+		Retry:    &pol,
+	})
+
+	data := make([]byte, 3*ChunkSize+777)
+	src := randx.New(42)
+	for i := range data {
+		data[i] = byte(src.Uint64())
+	}
+	res, err := client.StoreFile("cluster.bin", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With N=2 over 3 nodes every chunk survives any single outage.
+	for kill := 1; kill < 3; kill++ {
+		nodes[kill].down()
+		got, err := client.RetrieveFile(res.URL)
+		if err != nil {
+			t.Fatalf("retrieve with node %d down: %v", kill, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("retrieve with node %d down returned different bytes", kill)
+		}
+		nodes[kill].up()
+		time.Sleep(60 * time.Millisecond) // let the breaker cooldown lapse
+	}
+}

@@ -33,7 +33,7 @@ func newFlakyService(t *testing.T, wrap func(http.Handler) http.Handler) (*Clien
 	t.Helper()
 	store := NewMemStore()
 	meta := NewMetadata()
-	fe := NewFrontEnd(store, meta, nil, FrontEndOptions{})
+	fe := NewFrontEnd(FrontEndConfig{Store: store, Meta: meta})
 	h := fe.Handler()
 	if wrap != nil {
 		h = wrap(h)
@@ -54,6 +54,12 @@ func newFlakyService(t *testing.T, wrap func(http.Handler) http.Handler) (*Clien
 		metaSrv.Close()
 	}
 	return client, store, cleanup
+}
+
+// isChunkReq matches chunk requests in either API dialect
+// ("/chunk/{md5}" or "/v1/chunk/{md5}").
+func isChunkReq(r *http.Request) bool {
+	return strings.HasPrefix(strings.TrimPrefix(r.URL.Path, "/v1"), "/chunk/")
 }
 
 func chunkedData(t *testing.T, seed uint64, n int) []byte {
@@ -161,7 +167,7 @@ func TestDownloadTruncationRefetched(t *testing.T) {
 	wrap := func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			mu.Lock()
-			hit := r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/chunk/") && !truncated
+			hit := r.Method == http.MethodGet && isChunkReq(r) && !truncated
 			if hit {
 				truncated = true
 			}
@@ -217,7 +223,7 @@ func TestUploadConnectionResetRecovered(t *testing.T) {
 	wrap := func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			mu.Lock()
-			hit := r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/chunk/") && !reset
+			hit := r.Method == http.MethodPut && isChunkReq(r) && !reset
 			if hit {
 				reset = true
 			}
@@ -262,12 +268,12 @@ func TestStoreResumeSendsOnlyMissing(t *testing.T) {
 	putsByDigest := map[string]int{}
 	wrap := func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/chunk/") {
+			if r.Method == http.MethodPut && isChunkReq(r) {
 				mu.Lock()
 				putAttempts++
 				fail := putAttempts == 2
 				if !fail {
-					putsByDigest[strings.TrimPrefix(r.URL.Path, "/chunk/")]++
+					putsByDigest[trimChunkPath(r.URL.Path)]++
 				}
 				mu.Unlock()
 				if fail {
@@ -329,7 +335,7 @@ func TestStoreOpReportsMissingAfterPartialUpload(t *testing.T) {
 	budget := client.newBudget()
 
 	var check StoreCheckResponse
-	err := client.postJSON(client.MetaURL+"/meta/store-check", StoreCheckRequest{
+	err := client.postJSON(client.MetaURL, "/meta/store-check", StoreCheckRequest{
 		UserID: client.UserID, Name: "p.bin", Size: int64(len(data)), FileMD5: SumBytes(data).String(),
 	}, &check, budget)
 	if err != nil {
@@ -342,7 +348,7 @@ func TestStoreOpReportsMissingAfterPartialUpload(t *testing.T) {
 	op := FileOpRequest{UserID: client.UserID, Name: "p.bin", Size: int64(len(data)), FileMD5: SumBytes(data).String(), ChunkMD5s: strs}
 
 	var resp FileOpResponse
-	if err := client.postJSON(check.FrontEnd+"/op/store?url="+check.URL, op, &resp, budget); err != nil {
+	if err := client.postJSON(check.FrontEnd, "/op/store?url="+check.URL, op, &resp, budget); err != nil {
 		t.Fatal(err)
 	}
 	if !resp.Resumable || len(resp.MissingMD5s) != 3 {
@@ -353,7 +359,7 @@ func TestStoreOpReportsMissingAfterPartialUpload(t *testing.T) {
 	if err := client.putChunk(check.FrontEnd, check.URL, sums[0], data[:ChunkSize], budget); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.postJSON(check.FrontEnd+"/op/store?url="+check.URL, op, &resp, budget); err != nil {
+	if err := client.postJSON(check.FrontEnd, "/op/store?url="+check.URL, op, &resp, budget); err != nil {
 		t.Fatal(err)
 	}
 	if len(resp.MissingMD5s) != 2 {

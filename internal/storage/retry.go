@@ -138,6 +138,12 @@ func (e *corruptError) Unwrap() error { return e.err }
 // server statuses are retryable for 5xx and 429 (overload), while
 // other 4xx are the client's own fault and retrying cannot help.
 func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		// The v1 envelope states retryability explicitly — the server
+		// knows better than a status heuristic.
+		return ae.Retryable
+	}
 	var se *serverError
 	if errors.As(err, &se) {
 		return se.Status >= 500 || se.Status == http.StatusTooManyRequests
@@ -289,6 +295,14 @@ func (c *Client) doRetry(budget *retryBudget, build func() (*http.Request, error
 				c.Metrics.recovered()
 			}
 			return nil
+		}
+		if errors.Is(err, errLegacyRetry) {
+			// Dialect probe, not a failure: the host is now marked
+			// legacy, so the rebuilt request takes the unversioned
+			// path. No backoff, no attempt consumed — and no loop,
+			// because the mark flips the path choice permanently.
+			attempt--
+			continue
 		}
 		lastErr = err
 		if !retryable(err) {

@@ -224,7 +224,10 @@ func newTestService(t *testing.T) (*Client, *Collector, *MemStore, *Metadata, fu
 	store := NewMemStore()
 	col := &Collector{}
 	meta := NewMetadata()
-	fe := NewFrontEnd(store, meta, col, FrontEndOptions{
+	fe := NewFrontEnd(FrontEndConfig{
+		Store:         store,
+		Meta:          meta,
+		Sink:          col,
 		UpstreamDelay: func() time.Duration { return 100 * time.Millisecond },
 	})
 	feSrv := httptest.NewServer(fe.Handler())
@@ -453,7 +456,7 @@ func TestWriterSink(t *testing.T) {
 func TestChunkTooLargeRejected(t *testing.T) {
 	store := NewMemStore()
 	meta := NewMetadata()
-	fe := NewFrontEnd(store, meta, nil, FrontEndOptions{})
+	fe := NewFrontEnd(FrontEndConfig{Store: store, Meta: meta})
 	srv := httptest.NewServer(fe.Handler())
 	defer srv.Close()
 	meta.AddFrontEnd(srv.URL)

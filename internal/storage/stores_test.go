@@ -434,7 +434,7 @@ func TestFrontEndWithFileStoreBacking(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta := NewMetadata()
-	fe := NewFrontEnd(fs, meta, nil, FrontEndOptions{})
+	fe := NewFrontEnd(FrontEndConfig{Store: fs, Meta: meta})
 	srv := httptest.NewServer(fe.Handler())
 	defer srv.Close()
 	metaSrv := httptest.NewServer(meta.Handler())

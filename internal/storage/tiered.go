@@ -350,6 +350,32 @@ func (t *TieredStore) Delete(sum Sum) error {
 	return nil
 }
 
+// Range implements Ranger across both tiers: the sizes maps track the
+// logical store, so every chunk is visited exactly once regardless of
+// its current placement.
+func (t *TieredStore) Range(f func(sum Sum, size int64) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		entries := make([]struct {
+			sum  Sum
+			size int64
+		}, 0, len(s.sizes))
+		for sum, size := range s.sizes {
+			entries = append(entries, struct {
+				sum  Sum
+				size int64
+			}{sum, size})
+		}
+		s.mu.Unlock()
+		for _, e := range entries {
+			if !f(e.sum, e.size) {
+				return
+			}
+		}
+	}
+}
+
 // AccrueOccupancy adds dt of residency to the tier byte-hour counters
 // for every chunk (the simulation clock advances in steps).
 func (t *TieredStore) AccrueOccupancy(dt time.Duration) {
