@@ -34,6 +34,7 @@ import (
 	"mcloud/internal/randx"
 	"mcloud/internal/storage"
 	"mcloud/internal/trace"
+	"mcloud/internal/tracing"
 	"mcloud/internal/workload"
 )
 
@@ -58,6 +59,9 @@ type report struct {
 	// AggregateSpeedupAt8 is the geometric mean of the per-path
 	// 8-worker speedups.
 	AggregateSpeedupAt8 float64 `json:"aggregate_speedup_at_8"`
+	// TracedOverheadAt8 is t(transfer_traced, 8w) / t(transfer, 8w) - 1:
+	// the fraction of transfer time added by tracing every operation.
+	TracedOverheadAt8 float64 `json:"traced_overhead_at_8"`
 }
 
 func main() {
@@ -84,6 +88,7 @@ func main() {
 		{"store", "CPU/lock-bound: concurrent Put into the sharded chunk store", benchStore},
 		{"disk", "fsync-bound: concurrent durable Put into the segment store; group commit amortizes fsyncs across writers", benchDisk},
 		{"transfer", "latency-bound: pipelined chunk PUT+GET against a live front-end with a 20ms median simulated upstream delay", benchTransfer},
+		{"transfer_traced", "the transfer path with distributed tracing on and every operation sampled; the delta vs transfer is the tracing overhead", benchTransferTraced},
 		{"cluster", "same workload as transfer, but through a 3-node N=3/W=2 replicated cluster on loopback; the delta vs transfer is the replication fan-out and one-hop forwarding overhead", benchCluster},
 		{"generate", "CPU-bound: bounded-memory workload generation via StreamP", benchGenerate},
 		{"analyze", "CPU-bound: user-sharded fold + merge via ParallelAnalyzer", benchAnalyze},
@@ -121,6 +126,11 @@ func main() {
 	}
 	rep.AggregateSpeedupAt8 = math.Exp(logSum / float64(len(speedups)))
 	fmt.Printf("mcsbench: aggregate speedup at 8 workers: %.2fx (geometric mean)\n", rep.AggregateSpeedupAt8)
+
+	if plain, traced := rep.Paths["transfer"].SecondsByWorkers["8"], rep.Paths["transfer_traced"].SecondsByWorkers["8"]; plain > 0 {
+		rep.TracedOverheadAt8 = traced/plain - 1
+		fmt.Printf("mcsbench: tracing overhead on the transfer path at 8 workers: %+.1f%%\n", 100*rep.TracedOverheadAt8)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -242,6 +252,17 @@ func benchDisk(workers int, quick bool) float64 {
 // in-process front-end whose upstream delay is a ~2 ms lognormal,
 // with the client keeping `workers` chunk requests in flight.
 func benchTransfer(workers int, quick bool) float64 {
+	return benchTransferWith(workers, quick, nil)
+}
+
+// benchTransferTraced is the identical workload with a tracer on both
+// sides and every operation sampled — the worst case for tracing
+// overhead on the wire path.
+func benchTransferTraced(workers int, quick bool) float64 {
+	return benchTransferWith(workers, quick, tracing.New(tracing.Config{Node: "bench", Sample: 1}))
+}
+
+func benchTransferWith(workers int, quick bool, tracer *tracing.Tracer) float64 {
 	files, chunksPerFile := 4, 16
 	if quick {
 		files, chunksPerFile = 2, 8
@@ -265,6 +286,7 @@ func benchTransfer(workers int, quick bool) float64 {
 			defer delayMu.Unlock()
 			return time.Duration(delaySrc.LogNormal(math.Log(median), 0.45))
 		},
+		Tracer: tracer,
 	})
 	feSrv := httptest.NewServer(fe.Handler())
 	defer feSrv.Close()
@@ -278,6 +300,7 @@ func benchTransfer(workers int, quick bool) float64 {
 		DeviceID: 1,
 		Device:   trace.Android,
 		Parallel: workers,
+		Tracer:   tracer,
 	}
 
 	payloads := make([][]byte, files)

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -27,6 +28,7 @@ import (
 	"mcloud/internal/storage"
 	"mcloud/internal/textplot"
 	"mcloud/internal/trace"
+	"mcloud/internal/tracing"
 	"mcloud/internal/workload"
 )
 
@@ -45,6 +47,8 @@ func main() {
 		verify   = flag.Bool("verify", true, "after the run, retrieve every acknowledged store and verify it byte-identical")
 		parallel = flag.Int("parallel", storage.DefaultParallel, "chunk requests kept in flight per transfer (1 = sequential)")
 		waitRep  = flag.Duration("waitrepair", 0, "poll -ops /metrics after the run until mcs_cluster_underreplicated drops to 0, failing at this timeout")
+		traceOut = flag.String("tracedump", "", "record client-side trace spans and write them to this file as Export JSON (joinable by mcstrace)")
+		traceSmp = flag.Int("tracesample", 1, "with -tracedump, trace every Nth file operation")
 	)
 	flag.Parse()
 	fmt.Printf("mcsload: GOMAXPROCS=%d, %d chunk requests in flight per transfer\n",
@@ -63,6 +67,14 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	cm := storage.NewClientMetrics(reg)
+
+	// The loader is the trace root: client spans carry the sampling
+	// decision, servers record every continued trace, and mcstrace
+	// joins this dump with the nodes' /debug/traces exports.
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.Config{Node: "loadgen", Sample: *traceSmp})
+	}
 
 	// acked remembers every store the service acknowledged, with the
 	// content hash the client computed, for the post-run verification
@@ -98,6 +110,7 @@ func main() {
 				RetrySeed: *seed,
 				Metrics:   cm,
 				Parallel:  *parallel,
+				Tracer:    tracer,
 			}
 			if scenario.Enabled() {
 				// Each device owns a derived fault stream, so the fault
@@ -217,6 +230,24 @@ func main() {
 		dashboard.render(os.Stdout)
 	}
 
+	if tracer != nil {
+		spans := tracer.Snapshot(tracing.Filter{})
+		ex := tracing.Export{Node: tracer.Node(), Stats: tracer.TracerStats(), Spans: spans}
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = json.NewEncoder(f).Encode(ex)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsload: tracedump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mcsload: tracedump: wrote %d spans (%d traces pinned) to %s\n",
+			len(spans), ex.Stats.Pinned, *traceOut)
+	}
+
 	// Cluster runs: wait for the repair loop to drain the
 	// under-replication left behind by injected outages.
 	if *waitRep > 0 {
@@ -273,6 +304,8 @@ type opsDashboard struct {
 	rps     []float64
 	p99ms   []float64
 	hitRate []float64 // cache hit fraction, NaN when no cache
+	under   []float64 // mcs_cluster_underreplicated gauge
+	sheds   []float64 // cumulative overload sheds across scopes
 }
 
 func startDashboard(opsURL string, interval time.Duration) *opsDashboard {
@@ -322,18 +355,25 @@ func (d *opsDashboard) loop() {
 		if okH && okM && hits+misses > 0 {
 			hit = hits / (hits + misses)
 		}
+		// Cluster health: without these two a degraded cluster (replicas
+		// missing, requests bounced at the door) looks healthy live.
+		under := vals[metrics.Key("mcs_cluster_underreplicated")]
+		sheds := sumPrefix(vals, "mcs_overload_sheds_total")
 
 		d.mu.Lock()
 		d.times = append(d.times, t)
 		d.rps = append(d.rps, rps)
 		d.p99ms = append(d.p99ms, p99*1000)
 		d.hitRate = append(d.hitRate, hit)
+		d.under = append(d.under, under)
+		d.sheds = append(d.sheds, sheds)
 		d.mu.Unlock()
 
 		line := fmt.Sprintf("mcsload: [dash] t=%5.1fs rps=%7.1f upload_p99=%7.1fms", t, rps, p99*1000)
 		if !math.IsNaN(hit) {
 			line += fmt.Sprintf(" cache_hit=%5.1f%%", 100*hit)
 		}
+		line += fmt.Sprintf(" under=%d sheds=%d", int64(under), int64(sheds))
 		fmt.Println(line)
 	}
 }
@@ -380,4 +420,32 @@ func (d *opsDashboard) render(w *os.File) {
 	plot("requests/s at the front-ends", d.rps, 1)
 	plot("p99 chunk upload latency (ms)", d.p99ms, 1)
 	plot("cache hit rate (%)", d.hitRate, 100)
+	if peak(d.under) > 0 {
+		plot("under-replicated chunks", d.under, 1)
+	}
+	if peak(d.sheds) > 0 {
+		plot("overload sheds (cumulative)", d.sheds, 1)
+	}
+}
+
+// sumPrefix totals every series of a metric across its label sets
+// (e.g. mcs_overload_sheds_total{scope="frontend"} + {scope="meta"}).
+func sumPrefix(vals map[string]float64, name string) float64 {
+	var sum float64
+	for k, v := range vals {
+		if k == name || (len(k) > len(name) && k[:len(name)] == name && k[len(name)] == '{') {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func peak(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }

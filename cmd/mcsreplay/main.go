@@ -27,14 +27,16 @@ import (
 	"mcloud/internal/session"
 	"mcloud/internal/storage"
 	"mcloud/internal/trace"
+	"mcloud/internal/tracing"
 	"mcloud/internal/workload"
 )
 
 func main() {
 	var (
-		users = flag.Int("users", 40, "mobile users in the replayed week")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		scale = flag.Int64("scale", 64, "divide file sizes by this factor for the replay")
+		users    = flag.Int("users", 40, "mobile users in the replayed week")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		scale    = flag.Int64("scale", 64, "divide file sizes by this factor for the replay")
+		traceSmp = flag.Int("tracesample", 8, "trace every Nth replayed operation and report the slowest (0 disables tracing)")
 	)
 	flag.Parse()
 
@@ -50,7 +52,11 @@ func main() {
 	store := storage.NewMemStore()
 	meta := storage.NewMetadata()
 	collector := &storage.Collector{}
-	fe := storage.NewFrontEnd(storage.FrontEndConfig{Store: store, Meta: meta, Sink: collector})
+	var tracer *tracing.Tracer
+	if *traceSmp > 0 {
+		tracer = tracing.New(tracing.Config{Node: "replay", Sample: *traceSmp})
+	}
+	fe := storage.NewFrontEnd(storage.FrontEndConfig{Store: store, Meta: meta, Sink: collector, Tracer: tracer})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
@@ -114,6 +120,7 @@ func main() {
 			SimRTT:   op.log.RTT,
 			Proxied:  op.log.Proxied,
 			SimClock: func() time.Time { return virtual },
+			Tracer:   tracer,
 		}
 		size := op.bytes / *scale
 		if size < 4<<10 {
@@ -190,6 +197,28 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println("\nsession structure recovered from the live service's own request logs")
+
+	// 5. Latency diagnosis from the in-process traces: both sides of
+	//    every sampled operation were recorded by the same tracer, so a
+	//    single export joins end-to-end.
+	if tracer != nil {
+		ex := tracing.Export{Node: tracer.Node(), Stats: tracer.TracerStats(), Spans: tracer.Snapshot(tracing.Filter{})}
+		diag := tracing.Diagnose(tracing.Join([]tracing.Export{ex}))
+		complete := 0
+		for _, c := range diag.Chunks {
+			if c.Complete {
+				complete++
+			}
+		}
+		fmt.Printf("\ntraced 1-in-%d operations: %d traces, %d chunk transfers diagnosed (%d complete)\n",
+			*traceSmp, diag.Traces, len(diag.Chunks), complete)
+		for _, st := range tracing.StageQuantiles(diag.Chunks) {
+			fmt.Printf("  %-8s p99: total %v = queue %v + disk %v + fanout %v + network %v + retry %v (n=%d)\n",
+				st.Dir, st.P99["total"].Round(time.Microsecond), st.P99["queue"].Round(time.Microsecond),
+				st.P99["disk"].Round(time.Microsecond), st.P99["fanout"].Round(time.Microsecond),
+				st.P99["network"].Round(time.Microsecond), st.P99["retry"].Round(time.Microsecond), st.Count)
+		}
+	}
 }
 
 func fatal(err error) {

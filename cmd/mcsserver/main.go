@@ -32,6 +32,7 @@ import (
 	"mcloud/internal/randx"
 	"mcloud/internal/storage"
 	"mcloud/internal/trace"
+	"mcloud/internal/tracing"
 )
 
 func main() {
@@ -58,6 +59,8 @@ func main() {
 		replicas = flag.Int("replicas", 3, "replica owners per chunk in a cluster (N)")
 		quorum   = flag.Int("quorum", 2, "owner acks required before a chunk PUT is acknowledged (W)")
 		metaURL  = flag.String("metaurl", "", "remote metadata service base URL; when set this node serves no metadata itself")
+		traceBuf = flag.Int("tracebuf", 65536, "distributed-tracing span ring capacity per process (0 disables tracing)")
+		traceSmp = flag.Int("tracesample", 1, "record 1 in N locally-rooted traces (requests arriving with X-MCS-Trace are always recorded)")
 	)
 	flag.Parse()
 	fmt.Printf("mcsserver: GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
@@ -191,6 +194,17 @@ func main() {
 		selfNode = feLns[0].base
 	}
 
+	// Distributed tracing: one span ring for the whole process, shared
+	// by every front-end and the metadata handler. Client-rooted
+	// traces arriving with X-MCS-Trace are always recorded; locally
+	// rooted ones obey -tracesample.
+	var tracer *tracing.Tracer
+	if *traceBuf > 0 {
+		tracer = tracing.New(tracing.Config{Node: selfNode, Capacity: *traceBuf, Sample: *traceSmp})
+		fmt.Printf("mcsserver: tracing %d-span ring (sample 1/%d) at /debug/traces\n", *traceBuf, max(1, *traceSmp))
+	}
+	cfg.Tracer = tracer
+
 	// Fault injection: independent deterministic streams for the
 	// front-end and metadata paths, derived from the scenario seed. A
 	// scenario naming a node (node=...) fires only on that node, so a
@@ -285,7 +299,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		metaH := meta.Handler()
+		metaH := tracing.Middleware(tracer, tracing.CompMeta, nil, meta.Handler())
 		if injMeta != nil {
 			metaH = injMeta.Middleware(metaH)
 		}
@@ -303,9 +317,14 @@ func main() {
 			fatal(err)
 		}
 		metrics.PublishExpvar("mcs", reg)
-		opsSrv = &http.Server{Handler: metrics.OpsMux(reg, health)}
+		metrics.PublishBuildInfo(selfNode)
+		opsMux := metrics.OpsMux(reg, health)
+		if tracer != nil {
+			opsMux.Handle("/debug/traces", tracing.Handler(tracer))
+		}
+		opsSrv = &http.Server{Handler: opsMux}
 		go opsSrv.Serve(opsLn)
-		fmt.Printf("mcsserver: ops listener on http://%s (/metrics /healthz /readyz /debug/vars /debug/pprof)\n",
+		fmt.Printf("mcsserver: ops listener on http://%s (/metrics /healthz /readyz /debug/vars /debug/traces /debug/pprof)\n",
 			hostify(opsLn.Addr().String()))
 	}
 	health.SetReady(true)

@@ -1,0 +1,365 @@
+// Command mcstrace joins the distributed traces exported by a running
+// cluster and prints a chunk-level latency diagnosis in the style of
+// the paper's §4 performance analysis: every acknowledged chunk
+// transfer decomposed into additive queue / disk / fan-out / network /
+// retry stages with p50/p99 per stage, plus a critical-path summary
+// per file operation.
+//
+// Sources are ops listeners (fetched live from /debug/traces) and/or
+// Export JSON files written by mcsload -tracedump:
+//
+//	mcstrace -from http://127.0.0.1:8090,http://127.0.0.1:8091,client.json
+//
+// With -strict the exit status is non-zero when any acknowledged
+// transfer's trace failed to join end-to-end — the CI cluster smoke
+// uses this to prove header propagation covers every hop.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mcloud/internal/tracing"
+)
+
+func main() {
+	var (
+		from   = flag.String("from", "", "comma-separated trace sources: ops base URLs (read from /debug/traces) and/or Export JSON files")
+		min    = flag.Duration("min", 0, "only diagnose traces whose chunk transfer took at least this long")
+		only   = flag.String("trace", "", "only diagnose this trace ID (16 hex digits)")
+		top    = flag.Int("top", 5, "file operations shown in the critical-path table")
+		asJSON = flag.Bool("json", false, "emit the full diagnosis as JSON instead of tables")
+		strict = flag.Bool("strict", false, "exit non-zero when any acked transfer's trace is incomplete (or no transfers were found)")
+		tree   = flag.Bool("tree", false, "print the span tree of the slowest file operation")
+	)
+	flag.Parse()
+	if *from == "" {
+		fmt.Fprintln(os.Stderr, "mcstrace: -from is required (ops URLs and/or Export JSON files)")
+		os.Exit(2)
+	}
+
+	var exports []tracing.Export
+	var srcURLs, srcFiles int
+	for _, src := range strings.Split(*from, ",") {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			continue
+		}
+		ex, isURL, err := fetch(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcstrace: %s: %v\n", src, err)
+			os.Exit(1)
+		}
+		if isURL {
+			srcURLs++
+		} else {
+			srcFiles++
+		}
+		exports = append(exports, ex)
+	}
+
+	traces := tracing.Join(exports)
+	if *only != "" {
+		id := tracing.ParseTraceID(*only)
+		if id == 0 {
+			fmt.Fprintf(os.Stderr, "mcstrace: -trace %q: not a 16-hex-digit trace ID\n", *only)
+			os.Exit(2)
+		}
+		var kept []*tracing.Trace
+		for _, tr := range traces {
+			if tr.ID == id {
+				kept = append(kept, tr)
+			}
+		}
+		traces = kept
+	}
+	diag := tracing.Diagnose(traces)
+	if *min > 0 {
+		var kept []tracing.ChunkDiag
+		for _, c := range diag.Chunks {
+			if c.Total >= *min {
+				kept = append(kept, c)
+			}
+		}
+		diag.Chunks = kept
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diag); err != nil {
+			fmt.Fprintln(os.Stderr, "mcstrace:", err)
+			os.Exit(1)
+		}
+		os.Exit(exitCode(diag, *strict))
+	}
+
+	spans := 0
+	for _, tr := range traces {
+		spans += len(tr.Spans)
+	}
+	fmt.Printf("mcstrace: %d node(s) + %d file(s), %d spans, %d traces\n",
+		srcURLs, srcFiles, spans, diag.Traces)
+
+	complete, incomplete, failed := 0, 0, 0
+	for _, c := range diag.Chunks {
+		switch {
+		case c.Complete:
+			complete++
+		case c.Acked:
+			incomplete++
+		default:
+			failed++
+		}
+	}
+	fmt.Printf("mcstrace: %d chunk transfers (%d complete, %d acked-but-unjoined, %d failed), %d file ops\n",
+		complete+incomplete+failed, complete, incomplete, failed, len(diag.Ops))
+
+	printStages(diag.Chunks)
+	printOps(diag.Ops, *top)
+	if *tree {
+		printSlowestTree(traces, diag.Ops)
+	}
+
+	for _, c := range diag.Chunks {
+		if c.Acked && !c.Complete {
+			fmt.Printf("mcstrace: INCOMPLETE %s chunk=%s dir=%s: %s\n", c.Trace, short(c.Chunk), c.Dir, c.Missing)
+		}
+	}
+	os.Exit(exitCode(diag, *strict))
+}
+
+// exitCode implements -strict: every acknowledged transfer must have
+// joined end-to-end, and there must be something to check at all.
+func exitCode(diag tracing.Diagnosis, strict bool) int {
+	if !strict {
+		return 0
+	}
+	acked, bad := 0, 0
+	for _, c := range diag.Chunks {
+		if !c.Acked {
+			continue
+		}
+		acked++
+		if !c.Complete {
+			bad++
+		}
+	}
+	if acked == 0 {
+		fmt.Fprintln(os.Stderr, "mcstrace: STRICT: no acknowledged chunk transfers found in any trace")
+		return 1
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mcstrace: STRICT: %d/%d acked transfers have incomplete traces\n", bad, acked)
+		return 1
+	}
+	fmt.Printf("mcstrace: strict join check passed: %d/%d acked transfers fully joined\n", acked, acked)
+	return 0
+}
+
+func fetch(src string) (tracing.Export, bool, error) {
+	var ex tracing.Export
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		url := src
+		if !strings.Contains(url, "/debug/traces") {
+			url = strings.TrimRight(url, "/") + "/debug/traces"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return ex, true, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return ex, true, fmt.Errorf("/debug/traces returned status %d", resp.StatusCode)
+		}
+		return ex, true, json.NewDecoder(resp.Body).Decode(&ex)
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return ex, false, err
+	}
+	defer f.Close()
+	return ex, false, json.NewDecoder(f).Decode(&ex)
+}
+
+// printStages renders the per-stage quantile table per direction.
+func printStages(chunks []tracing.ChunkDiag) {
+	stats := tracing.StageQuantiles(chunks)
+	if len(stats) == 0 {
+		fmt.Println("\nmcstrace: no complete chunk transfers to decompose")
+		return
+	}
+	fmt.Println("\nper-chunk stage decomposition (complete transfers only):")
+	fmt.Printf("  %-9s %-4s %5s", "dir", "q", "n")
+	for _, st := range tracing.Stages {
+		fmt.Printf(" %9s", st)
+	}
+	fmt.Println()
+	for _, st := range stats {
+		for _, q := range []string{"p50", "p99"} {
+			vals := st.P50
+			if q == "p99" {
+				vals = st.P99
+			}
+			fmt.Printf("  %-9s %-4s %5d", st.Dir, q, st.Count)
+			for _, stage := range tracing.Stages {
+				fmt.Printf(" %9s", fmtDur(vals[stage]))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// printOps renders the critical-path summary of the slowest file
+// operations: wall time vs. the sum of chunk times (parallelism), and
+// the stage that bounded the slowest chunk.
+func printOps(ops []tracing.OpDiag, top int) {
+	if len(ops) == 0 {
+		return
+	}
+	sorted := append([]tracing.OpDiag(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total > sorted[j].Total })
+	if top > 0 && len(sorted) > top {
+		sorted = sorted[:top]
+	}
+	fmt.Printf("\ncritical path, %d slowest file operations (of %d):\n", len(sorted), len(ops))
+	fmt.Printf("  %-16s %-13s %-22s %6s %9s %9s %10s %13s  %s\n",
+		"trace", "op", "node", "chunks", "bytes", "total", "chunk-sum", "slowest", "bottleneck")
+	for _, op := range sorted {
+		stage, d := bottleneck(op.Slowest)
+		note := fmt.Sprintf("%s %s", stage, fmtDur(d))
+		if op.Dedup {
+			note = "dedup (no transfer)"
+		}
+		if !op.Complete {
+			note += " (incomplete)"
+		}
+		fmt.Printf("  %-16s %-13s %-22s %6d %9s %9s %10s %13s  %s\n",
+			op.Trace, op.Op, op.Node, op.Chunks, fmtBytes(op.Bytes),
+			fmtDur(op.Total), fmtDur(op.ChunkSum), fmtDur(op.Slowest.Total), note)
+	}
+}
+
+// bottleneck picks the dominant stage of a chunk decomposition.
+func bottleneck(c tracing.ChunkDiag) (string, time.Duration) {
+	best, bestD := "queue", time.Duration(-1)
+	for _, st := range tracing.Stages {
+		if st == "total" {
+			continue
+		}
+		if d := stageOf(c, st); d > bestD {
+			best, bestD = st, d
+		}
+	}
+	if bestD < 0 {
+		bestD = 0
+	}
+	return best, bestD
+}
+
+func stageOf(c tracing.ChunkDiag, name string) time.Duration {
+	switch name {
+	case "queue":
+		return c.Queue
+	case "disk":
+		return c.Disk
+	case "fanout":
+		return c.Fanout
+	case "network":
+		return c.Network
+	case "retry":
+		return c.Retry
+	}
+	return 0
+}
+
+// printSlowestTree dumps the span tree of the slowest op for eyeballs.
+func printSlowestTree(traces []*tracing.Trace, ops []tracing.OpDiag) {
+	if len(ops) == 0 {
+		return
+	}
+	slow := ops[0]
+	for _, op := range ops {
+		if op.Total > slow.Total {
+			slow = op
+		}
+	}
+	for _, tr := range traces {
+		if tr.ID != slow.Trace {
+			continue
+		}
+		fmt.Printf("\nspan tree of slowest op (trace %s):\n", tr.ID)
+		roots := 0
+		for _, sp := range tr.Spans {
+			if sp.Parent == 0 || lookup(tr, sp.Parent) == nil {
+				printSpan(tr, sp, 1)
+				roots++
+			}
+		}
+		if roots == 0 && len(tr.Spans) > 0 {
+			printSpan(tr, tr.Spans[0], 1)
+		}
+	}
+}
+
+func lookup(tr *tracing.Trace, id tracing.SpanID) *tracing.Span {
+	for _, sp := range tr.Spans {
+		if sp.ID == id {
+			return sp
+		}
+	}
+	return nil
+}
+
+func printSpan(tr *tracing.Trace, sp *tracing.Span, depth int) {
+	var kv []string
+	for _, a := range sp.Annots {
+		v := a.Value
+		if a.Key == "chunk" {
+			v = short(v)
+		}
+		kv = append(kv, a.Key+"="+v)
+	}
+	fmt.Printf("  %s%s/%s [%s] %s %s\n",
+		strings.Repeat("  ", depth), sp.Component, sp.Name, sp.Node, fmtDur(sp.Duration), strings.Join(kv, " "))
+	for _, kid := range tr.Children(sp.ID) {
+		printSpan(tr, kid, depth+1)
+	}
+}
+
+func short(hexsum string) string {
+	if len(hexsum) > 8 {
+		return hexsum[:8]
+	}
+	return hexsum
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d == 0:
+		return "0"
+	}
+	return d.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"expvar"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// PublishBuildInfo exposes the process's build identity under the
+// "mcs_build" expvar key on /debug/vars: module path and version, the
+// VCS revision when the binary was built from a checkout, the Go
+// toolchain version, GOMAXPROCS, and the node name this process
+// serves as. Before this existed there was no way to tell which build
+// a cluster node was running.
+//
+// Safe to call more than once (the later node name wins); the expvar
+// key is registered exactly once per process.
+func PublishBuildInfo(node string) {
+	buildInfoMu.Lock()
+	buildInfoNode = node
+	buildInfoMu.Unlock()
+	buildInfoOnce.Do(func() {
+		expvar.Publish("mcs_build", expvar.Func(func() interface{} {
+			buildInfoMu.Lock()
+			n := buildInfoNode
+			buildInfoMu.Unlock()
+			info := map[string]interface{}{
+				"go_version": runtime.Version(),
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+				"node":       n,
+			}
+			if bi, ok := debug.ReadBuildInfo(); ok {
+				info["module"] = bi.Main.Path
+				if bi.Main.Version != "" {
+					info["module_version"] = bi.Main.Version
+				}
+				for _, s := range bi.Settings {
+					switch s.Key {
+					case "vcs.revision":
+						info["vcs_revision"] = s.Value
+					case "vcs.time":
+						info["vcs_time"] = s.Value
+					case "vcs.modified":
+						info["vcs_modified"] = s.Value
+					}
+				}
+			}
+			return info
+		}))
+	})
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfoMu   sync.Mutex
+	buildInfoNode string
+)

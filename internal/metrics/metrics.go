@@ -70,6 +70,7 @@ const (
 type Histogram struct {
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	maxIdx  atomic.Int64 // highest bucket index observed so far
 	buckets [histSize]atomic.Int64
 }
 
@@ -104,8 +105,15 @@ func (h *Histogram) Observe(v float64) {
 	if v < 0 {
 		v = 0
 	}
-	h.buckets[bucketIndex(v)].Add(1)
+	idx := bucketIndex(v)
+	h.buckets[idx].Add(1)
 	h.count.Add(1)
+	for {
+		old := h.maxIdx.Load()
+		if int64(idx) <= old || h.maxIdx.CompareAndSwap(old, int64(idx)) {
+			break
+		}
+	}
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -113,6 +121,16 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// TopBucket reports whether v falls within the top `within` occupied
+// buckets of the distribution seen so far — the tail-based exemplar
+// test: an observation this close to the observed maximum is worth
+// keeping a trace for. Cheap enough for every observation (two atomic
+// loads), and self-scaling: as the distribution grows a new maximum
+// raises the bar.
+func (h *Histogram) TopBucket(v float64, within int) bool {
+	return int64(bucketIndex(v)) >= h.maxIdx.Load()-int64(within)
 }
 
 // ObserveSince records the seconds elapsed since start.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"mcloud/internal/tracing"
 )
 
 // The service speaks two wire dialects:
@@ -60,6 +62,10 @@ type APIError struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	Retryable bool   `json:"retryable"`
+	// TraceID echoes the request's X-MCS-Trace, when it carried one,
+	// so a client-side retry span can be joined to the server-side
+	// rejection that caused it.
+	TraceID string `json:"trace_id,omitempty"`
 	// Status is the HTTP status the envelope arrived with
 	// (client-side only; not serialized).
 	Status int `json:"-"`
@@ -124,17 +130,46 @@ func wantsV1(r *http.Request) bool {
 	return strings.HasPrefix(r.URL.Path, "/v1/") || r.Header.Get(APIHeader) == APIV1
 }
 
+// requestTraceID returns the trace the request runs under: the
+// context span when the tracing middleware admitted it, else the raw
+// X-MCS-Trace header (set even when this process records no spans —
+// e.g. a shed request rejected before the middleware).
+func requestTraceID(r *http.Request) string {
+	if r == nil {
+		return ""
+	}
+	if sp := tracing.FromContext(r.Context()); sp != nil {
+		return sp.Trace.String()
+	}
+	if tid := tracing.ParseTraceID(r.Header.Get(tracing.TraceHeader)); tid != 0 {
+		return tid.String()
+	}
+	return ""
+}
+
 // writeAPIError writes one error response in the dialect the request
 // speaks: the typed /v1 envelope, or the legacy {"error": ...} body.
+// Either way the response echoes the request's trace ID (header
+// always, envelope field on /v1) so failed attempts stay joinable.
 func writeAPIError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	tid := requestTraceID(r)
+	if tid != "" {
+		w.Header().Set(tracing.TraceHeader, tid)
+	}
 	if !wantsV1(r) {
 		writeError(w, status, err)
 		return
 	}
 	env := classifyAPIError(status, err)
+	env.TraceID = tid
 	if env.Code == CodeOverloaded {
 		w.Header().Set("Retry-After", "1")
 	}
+	// Stamp the dialect here, not just in advertiseV1: error writers
+	// that sit outside the mux (the shedder's 503 fast path) must still
+	// come back as a typed envelope, or the client degrades the error
+	// to the legacy body and loses the code and trace ID.
+	w.Header().Set(APIHeader, APIV1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	writeJSONBody(w, env)

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
 	"sync"
 )
@@ -85,9 +86,22 @@ func (c *CachedStore) Put(sum Sum, data []byte) error {
 	return c.backing.Put(sum, data)
 }
 
+// PutCtx implements CtxStore, forwarding the trace context through
+// the write-around path.
+func (c *CachedStore) PutCtx(ctx context.Context, sum Sum, data []byte) error {
+	return PutCtx(ctx, c.backing, sum, data)
+}
+
 // Get serves from the cache when possible, falling back to the
 // backing store and admitting the result.
 func (c *CachedStore) Get(sum Sum) ([]byte, error) {
+	return c.GetCtx(context.Background(), sum)
+}
+
+// GetCtx implements CtxStore: a cache hit records no span (it is a
+// map lookup), a miss forwards the context so the backing read's disk
+// time lands in the trace.
+func (c *CachedStore) GetCtx(ctx context.Context, sum Sum) ([]byte, error) {
 	s := c.shard(sum)
 	s.mu.Lock()
 	if el, ok := s.items[sum]; ok {
@@ -100,7 +114,7 @@ func (c *CachedStore) Get(sum Sum) ([]byte, error) {
 	}
 	s.mu.Unlock()
 
-	data, err := c.backing.Get(sum)
+	data, err := GetCtx(ctx, c.backing, sum)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"runtime"
 	"sync"
@@ -40,6 +41,37 @@ func multiHas(s ChunkStore, sums []Sum) []bool {
 		out[i] = s.Has(sum)
 	}
 	return out
+}
+
+// CtxStore is an optional ChunkStore extension for stores whose
+// operations are worth tracing: the context carries the request's
+// span (see internal/tracing) and the store records child spans for
+// the time it spends — replication fan-out, segment appends, fsync
+// waits, reads. Stores with nanosecond-scale operations (MemStore)
+// skip it; a span would cost more than the work it measures.
+type CtxStore interface {
+	// PutCtx is Put under the context's trace.
+	PutCtx(ctx context.Context, sum Sum, data []byte) error
+	// GetCtx is Get under the context's trace.
+	GetCtx(ctx context.Context, sum Sum) ([]byte, error)
+}
+
+// PutCtx stores through the context-aware path when the store has
+// one, falling back to the plain Put.
+func PutCtx(ctx context.Context, s ChunkStore, sum Sum, data []byte) error {
+	if cs, ok := s.(CtxStore); ok {
+		return cs.PutCtx(ctx, sum, data)
+	}
+	return s.Put(sum, data)
+}
+
+// GetCtx reads through the context-aware path when the store has one,
+// falling back to the plain Get.
+func GetCtx(ctx context.Context, s ChunkStore, sum Sum) ([]byte, error) {
+	if cs, ok := s.(CtxStore); ok {
+		return cs.GetCtx(ctx, sum)
+	}
+	return s.Get(sum)
 }
 
 // Ranger is an optional ChunkStore extension enumerating held chunks,

@@ -15,6 +15,7 @@ import (
 	"mcloud/internal/cluster"
 	"mcloud/internal/randx"
 	"mcloud/internal/trace"
+	"mcloud/internal/tracing"
 )
 
 // Client is the device-side implementation of the store/retrieve
@@ -68,6 +69,10 @@ type Client struct {
 	// wall clock — used to replay pre-generated traces through the
 	// live service in compressed time.
 	SimClock func() time.Time
+	// Tracer, when non-nil, roots a distributed trace per file
+	// operation (subject to the tracer's sampling rate) and
+	// propagates it on every request via X-MCS-Trace/X-MCS-Span.
+	Tracer *tracing.Tracer
 
 	// LegacyAPI pins the client to the unversioned wire paths,
 	// skipping negotiation (used to exercise the compatibility path in
@@ -234,6 +239,7 @@ type ClientConfig struct {
 	Metrics         *ClientMetrics
 	InterChunkDelay func() time.Duration
 	SimClock        func() time.Time
+	Tracer          *tracing.Tracer
 	LegacyAPI       bool
 }
 
@@ -254,6 +260,7 @@ func NewClient(cfg ClientConfig) *Client {
 		Metrics:         cfg.Metrics,
 		InterChunkDelay: cfg.InterChunkDelay,
 		SimClock:        cfg.SimClock,
+		Tracer:          cfg.Tracer,
 		LegacyAPI:       cfg.LegacyAPI,
 	}
 }
@@ -277,6 +284,7 @@ func (c *Client) Clone() *Client {
 		Metrics:         c.Metrics,
 		InterChunkDelay: c.InterChunkDelay,
 		SimClock:        c.SimClock,
+		Tracer:          c.Tracer,
 		LegacyAPI:       c.LegacyAPI,
 	}
 }
@@ -314,7 +322,7 @@ func (c *Client) postJSON(base, path string, in, out interface{}, budget *retryB
 	if err != nil {
 		return err
 	}
-	return c.doRetry(budget,
+	return c.doRetry(budget, budget.span,
 		func() (*http.Request, error) {
 			req, err := http.NewRequest(http.MethodPost, c.apiPath(base, path), bytes.NewReader(body))
 			if err != nil {
@@ -385,11 +393,14 @@ type StoreResult struct {
 // front-end. A mid-file failure does not restart the upload — the
 // client re-issues the file operation request, learns which chunks the
 // front-end is still missing, and sends only those.
-func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
+func (c *Client) StoreFile(name string, data []byte) (res StoreResult, err error) {
 	budget := c.newBudget()
+	budget.span = c.Tracer.StartRoot(tracing.CompClient, tracing.SpanStoreFile)
+	budget.span.AnnotateInt("bytes", int64(len(data)))
+	defer func() { budget.span.EndErr(err) }()
 	fileSum := SumBytes(data)
 	var check StoreCheckResponse
-	err := c.postJSON(c.MetaURL, "/meta/store-check", StoreCheckRequest{
+	err = c.postJSON(c.MetaURL, "/meta/store-check", StoreCheckRequest{
 		UserID:  c.UserID,
 		Name:    name,
 		Size:    int64(len(data)),
@@ -399,6 +410,7 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 		return StoreResult{}, err
 	}
 	if check.Duplicate {
+		budget.span.Annotate("dedup", "true")
 		return StoreResult{URL: check.URL, Deduplicated: true}, nil
 	}
 	if check.FrontEnd == "" {
@@ -428,7 +440,8 @@ func (c *Client) StoreFile(name string, data []byte) (StoreResult, error) {
 	if maxResumes <= 0 {
 		maxResumes = 3
 	}
-	res := StoreResult{URL: check.URL}
+	res = StoreResult{URL: check.URL}
+	budget.span.Annotate("url", check.URL)
 	var lastErr error
 	for pass := 0; pass <= maxResumes; pass++ {
 		if pass > 0 {
@@ -569,7 +582,10 @@ func runWindow(w, n int, fn func(int) error) error {
 // upload's completion bookkeeping and fans the bytes out to the
 // replica owners itself.
 func (c *Client) putChunk(frontend, url string, sum Sum, data []byte, budget *retryBudget) error {
-	return c.doRetry(budget,
+	sp := budget.span.StartChild(tracing.CompClient, tracing.SpanChunkPut)
+	sp.Annotate("chunk", sum.String())
+	sp.AnnotateInt("bytes", int64(len(data)))
+	err := c.doRetry(budget, sp,
 		func() (*http.Request, error) {
 			target := c.apiPath(frontend, fmt.Sprintf("/chunk/%s?url=%s", sum, url))
 			req, err := http.NewRequest(http.MethodPut, target, bytes.NewReader(data))
@@ -592,6 +608,8 @@ func (c *Client) putChunk(frontend, url string, sum Sum, data []byte, budget *re
 			io.Copy(io.Discard, resp.Body)
 			return nil
 		})
+	sp.EndErr(err)
+	return err
 }
 
 // RetrieveFile downloads the file behind a service URL and returns its
@@ -599,10 +617,16 @@ func (c *Client) putChunk(frontend, url string, sum Sum, data []byte, budget *re
 // operation request, then sequential chunk retrieval requests. Each
 // chunk is verified against its digest and re-fetched on corruption;
 // the assembled file is verified against the file hash.
-func (c *Client) RetrieveFile(url string) ([]byte, error) {
+func (c *Client) RetrieveFile(url string) (out []byte, err error) {
 	budget := c.newBudget()
+	budget.span = c.Tracer.StartRoot(tracing.CompClient, tracing.SpanRetrieveFile)
+	budget.span.Annotate("url", url)
+	defer func() {
+		budget.span.AnnotateInt("bytes", int64(len(out)))
+		budget.span.EndErr(err)
+	}()
 	var res ResolveResponse
-	err := c.postJSON(c.MetaURL, "/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
+	err = c.postJSON(c.MetaURL, "/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -685,7 +709,9 @@ func (c *Client) RetrieveFile(url string) ([]byte, error) {
 func (c *Client) getChunk(frontend string, sum Sum, budget *retryBudget, dst []byte) ([]byte, error) {
 	var out []byte
 	tries, base := 0, frontend
-	err := c.doRetry(budget,
+	sp := budget.span.StartChild(tracing.CompClient, tracing.SpanChunkGet)
+	sp.Annotate("chunk", sum.String())
+	err := c.doRetry(budget, sp,
 		func() (*http.Request, error) {
 			// The first attempt goes straight to the chunk's primary
 			// owner when the client knows the ring (saving the
@@ -728,5 +754,7 @@ func (c *Client) getChunk(frontend string, sum Sum, budget *retryBudget, dst []b
 			out = append(dst[:0], data...)
 			return nil
 		})
+	sp.AnnotateInt("bytes", int64(len(out)))
+	sp.EndErr(err)
 	return out, err
 }

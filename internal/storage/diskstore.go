@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mcloud/internal/tracing"
 )
 
 // DiskStore is a durable ChunkStore built from append-only segment
@@ -413,37 +416,62 @@ func (ds *DiskStore) syncTo(lsn int64) error {
 // Put implements ChunkStore. It returns only after the record is
 // fsync-covered, so an acknowledged chunk survives SIGKILL.
 func (ds *DiskStore) Put(sum Sum, data []byte) error {
+	return ds.PutCtx(context.Background(), sum, data)
+}
+
+// PutCtx implements CtxStore: the locked append and the group-commit
+// fsync wait are separate spans, so a slow write shows whether the
+// time went to lock contention / segment I/O or to riding someone
+// else's fsync group.
+func (ds *DiskStore) PutCtx(ctx context.Context, sum Sum, data []byte) error {
 	if SumBytes(data) != sum {
 		return errBadDigest
 	}
 	ds.puts.Add(1)
 	ds.bytesStored.Add(int64(len(data)))
 
+	app := tracing.ChildFromContext(ctx, tracing.CompDisk, tracing.SpanDiskAppend)
 	ds.mu.Lock()
 	if ds.closed {
 		ds.mu.Unlock()
+		app.End()
 		return fmt.Errorf("storage: diskstore: closed")
 	}
 	if _, ok := ds.index[sum]; ok {
 		ds.mu.Unlock()
+		app.End()
 		ds.dedupHits.Add(1)
 		return nil
 	}
 	loc, lsn, err := ds.appendLocked(sum, uint32(len(data)), data)
 	if err != nil {
 		ds.mu.Unlock()
+		app.EndErr(err)
 		return err
 	}
 	ds.index[sum] = loc
 	ds.segs[loc.seg].live += recordSize(loc.n)
 	ds.dataBytes += int64(len(data))
 	ds.mu.Unlock()
-	return ds.syncTo(lsn)
+	app.End()
+
+	fs := tracing.ChildFromContext(ctx, tracing.CompDisk, tracing.SpanDiskFsync)
+	err = ds.syncTo(lsn)
+	fs.EndErr(err)
+	return err
 }
 
 // Get implements ChunkStore, verifying the record checksum on the way
 // out so on-disk corruption is surfaced rather than served.
 func (ds *DiskStore) Get(sum Sum) ([]byte, error) {
+	return ds.GetCtx(context.Background(), sum)
+}
+
+// GetCtx implements CtxStore, recording the read as one span.
+func (ds *DiskStore) GetCtx(ctx context.Context, sum Sum) (_ []byte, err error) {
+	if sp := tracing.ChildFromContext(ctx, tracing.CompDisk, tracing.SpanDiskRead); sp != nil {
+		defer func() { sp.EndErr(err) }()
+	}
 	ds.mu.RLock()
 	loc, ok := ds.index[sum]
 	if !ok {

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"mcloud/internal/trace"
+	"mcloud/internal/tracing"
 )
 
 // LogSink receives the request logs emitted by a front-end, one per
@@ -109,6 +111,10 @@ type FrontEndConfig struct {
 	// observations (see NewFrontEndMetrics). One instance may be
 	// shared across front-ends for service-level totals.
 	Metrics *FrontEndMetrics
+	// Tracer, when non-nil, records a span per request (continuing
+	// the client's trace when the request carries X-MCS-Trace) and
+	// pins the traces behind top-bucket latency observations.
+	Tracer *tracing.Tracer
 }
 
 // FrontEnd is one storage front-end server: it accepts file operation
@@ -213,6 +219,12 @@ func (f *FrontEnd) record(r *http.Request, typ trace.ReqType, bytes int64, start
 		// elapsed equals the log's TransferTime (Proc - Server), so the
 		// scraped histogram matches what mcsanalyze computes from the log.
 		fm.observe(typ, dev, bytes, elapsed)
+		// Tail-based exemplar capture: an observation landing in the
+		// histogram's top buckets pins its trace, so the requests
+		// behind the p99 stay inspectable after the ring turns over.
+		if fm.slowExemplar(typ, elapsed.Seconds()) {
+			tracing.FromContext(r.Context()).Pin()
+		}
 	}
 	if f.sink == nil {
 		return
@@ -285,7 +297,25 @@ func (f *FrontEnd) Handler() http.Handler {
 	mux.HandleFunc("/v1/chunk/", f.handleChunk)
 	mux.HandleFunc("/v1/cluster/info", f.handleClusterInfo)
 	mux.HandleFunc("/v1/cluster/chunks", f.handleClusterChunks)
-	return advertiseV1(mux)
+	// The tracing middleware wraps the whole surface — legacy aliases
+	// included, so traces survive dialect fallback — and places the
+	// request span in the context for the store layers below.
+	return tracing.Middleware(f.cfg.Tracer, tracing.CompFrontEnd, spanName, advertiseV1(mux))
+}
+
+// spanName maps a request onto a low-cardinality span name: the
+// digest is stripped from chunk paths and the /v1 prefix is dropped
+// so both dialects trace identically. Replica-internal hops are
+// marked so fan-out spans are distinguishable from client requests.
+func spanName(r *http.Request) string {
+	p := strings.TrimPrefix(r.URL.Path, "/v1")
+	if strings.HasPrefix(p, "/chunk/") {
+		p = "/chunk"
+	}
+	if isReplicaRequest(r) {
+		p += " (replica)"
+	}
+	return r.Method + " " + p
 }
 
 func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
@@ -493,13 +523,13 @@ func (f *FrontEnd) handleReplicaChunk(w http.ResponseWriter, r *http.Request, su
 				fmt.Errorf("%w: chunk exceeds %d bytes", ErrTooLarge, ChunkSize))
 			return
 		}
-		if err := f.local.Put(sum, data); err != nil {
+		if err := PutCtx(r.Context(), f.local, sum, data); err != nil {
 			writeAPIError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, FileOpResponse{OK: true})
 	case http.MethodGet:
-		data, err := f.local.Get(sum)
+		data, err := GetCtx(r.Context(), f.local, sum)
 		if err != nil {
 			writeAPIError(w, r, http.StatusNotFound, err)
 			return
@@ -566,7 +596,7 @@ func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, sta
 			fmt.Errorf("%w: chunk exceeds %d bytes", ErrTooLarge, ChunkSize), trace.ChunkStore)
 		return
 	}
-	if err := f.store.Put(sum, data); err != nil {
+	if err := PutCtx(r.Context(), f.store, sum, data); err != nil {
 		code := http.StatusBadRequest
 		if IsUnavailable(err) {
 			code = http.StatusServiceUnavailable
@@ -611,7 +641,7 @@ func (f *FrontEnd) completeLocked(p *pendingUpload) bool {
 }
 
 func (f *FrontEnd) getChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
-	data, err := f.store.Get(sum)
+	data, err := GetCtx(r.Context(), f.store, sum)
 	if err != nil {
 		code := http.StatusNotFound
 		if IsUnavailable(err) {

@@ -93,6 +93,28 @@ func (fm *FrontEndMetrics) observe(typ trace.ReqType, dev trace.DeviceType, byte
 	}
 }
 
+// slowExemplarMinCount gates exemplar pinning until the direction's
+// histogram has seen enough traffic that "top bucket" means tail, not
+// warm-up noise (the first observation is always its own maximum).
+const slowExemplarMinCount = 64
+
+// slowExemplar reports whether a chunk observation belongs to the top
+// buckets of its direction's latency distribution — the tail-based
+// sampling trigger that pins the observation's trace (see
+// FrontEnd.record). Non-chunk request types never qualify.
+func (fm *FrontEndMetrics) slowExemplar(typ trace.ReqType, sec float64) bool {
+	var h *metrics.Histogram
+	switch typ {
+	case trace.ChunkStore:
+		h = fm.chunkLatAll[0]
+	case trace.ChunkRetrieve:
+		h = fm.chunkLatAll[1]
+	default:
+		return false
+	}
+	return h.Count() >= slowExemplarMinCount && h.TopBucket(sec, 2)
+}
+
 // InstrumentStore exposes any chunk store's occupancy and dedup
 // counters as the mcs_store_* series. Values are sampled from Stats()
 // at scrape time, so the store's hot path is untouched. Register the

@@ -80,10 +80,14 @@ func (s *Shedder) Wrap(next http.Handler) http.Handler {
 			}()
 			next.ServeHTTP(w, r)
 		default:
+			// The shedder sits outside the tracing middleware (a shed
+			// must stay cheap), so the envelope's trace ID comes from
+			// the request header via writeAPIError — enough for the
+			// client's failed-attempt span to name its rejection.
 			s.sheds.Add(1)
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable,
-				fmt.Errorf("storage: server overloaded (%d requests in flight)", s.Capacity()))
+			writeAPIError(w, r, http.StatusServiceUnavailable,
+				fmt.Errorf("%w: server overloaded (%d requests in flight)", ErrOverloaded, s.Capacity()))
 		}
 	})
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 
 	"mcloud/internal/cluster"
 	"mcloud/internal/metrics"
+	"mcloud/internal/tracing"
 )
 
 // ReplicatedStore spreads chunks across a cluster of front-end nodes
@@ -173,10 +175,23 @@ func (rs *ReplicatedStore) Close() error {
 // unreachable the error wraps ErrUnavailable (503 to the client,
 // which retries).
 func (rs *ReplicatedStore) Put(sum Sum, data []byte) error {
+	return rs.PutCtx(context.Background(), sum, data)
+}
+
+// PutCtx implements CtxStore: the fan-out runs under one barrier span
+// (child of the request's span) with a child span per remote replica
+// write, so stragglers and failed owners are visible in the trace.
+func (rs *ReplicatedStore) PutCtx(ctx context.Context, sum Sum, data []byte) (err error) {
 	owners := rs.Owners(sum)
 	if len(owners) == 1 && owners[0] == rs.self {
-		return rs.local.Put(sum, data)
+		return PutCtx(ctx, rs.local, sum, data)
 	}
+	fanout := tracing.ChildFromContext(ctx, tracing.CompReplicate, tracing.SpanFanout)
+	fanout.AnnotateInt("replicas", int64(len(owners)))
+	fanout.AnnotateInt("quorum", int64(rs.w))
+	defer func() { fanout.EndErr(err) }()
+	ctx = tracing.NewContext(ctx, fanout)
+
 	// Copy the payload: the caller may recycle its (pooled) buffer as
 	// soon as we return, but straggler replica sends — and the
 	// background drain after a quorum ack — keep reading it.
@@ -190,7 +205,7 @@ func (rs *ReplicatedStore) Put(sum Sum, data []byte) error {
 	}
 	results := make(chan result, len(owners))
 	for _, o := range owners {
-		go func(o string) { results <- result{o, rs.putReplica(o, sum, buf)} }(o)
+		go func(o string) { results <- result{o, rs.putReplica(ctx, o, sum, buf)} }(o)
 	}
 
 	needed := rs.w
@@ -233,6 +248,13 @@ func (rs *ReplicatedStore) Put(sum Sum, data []byte) error {
 // remote replica while the local node is an owner missing the bytes
 // triggers read repair.
 func (rs *ReplicatedStore) Get(sum Sum) ([]byte, error) {
+	return rs.GetCtx(context.Background(), sum)
+}
+
+// GetCtx implements CtxStore: each remote failover read is a span
+// (child of the request's span, annotated with the replica node), so
+// a retrieve that had to walk the owner list shows every hop.
+func (rs *ReplicatedStore) GetCtx(ctx context.Context, sum Sum) ([]byte, error) {
 	owners := rs.Owners(sum)
 	selfOwner := false
 	remote := make([]string, 0, len(owners))
@@ -244,13 +266,13 @@ func (rs *ReplicatedStore) Get(sum Sum) ([]byte, error) {
 		}
 	}
 	if selfOwner {
-		if data, err := rs.local.Get(sum); err == nil {
+		if data, err := GetCtx(ctx, rs.local, sum); err == nil {
 			return data, nil
 		}
 	}
 	var firstErr error
 	for _, o := range rs.health.Order(remote) {
-		data, err := rs.getReplica(o, sum)
+		data, err := rs.getReplica(ctx, o, sum)
 		if err == nil {
 			if o != owners[0] {
 				rs.met.GetFailover()
@@ -437,7 +459,7 @@ func (rs *ReplicatedStore) RepairNow() int {
 			if node == rs.self {
 				err = rs.local.Put(sum, data)
 			} else {
-				err = rs.putReplica(node, sum, data)
+				err = rs.putReplica(context.Background(), node, sum, data)
 			}
 			if err == nil {
 				rs.dropMissing(sum, node)
@@ -459,7 +481,7 @@ func (rs *ReplicatedStore) fetchAny(sum Sum) []byte {
 		if o == rs.self {
 			continue
 		}
-		if data, err := rs.getReplica(o, sum); err == nil {
+		if data, err := rs.getReplica(context.Background(), o, sum); err == nil {
 			return data
 		}
 	}
@@ -514,15 +536,22 @@ func (rs *ReplicatedStore) do(node string, req *http.Request) (*http.Response, e
 	return resp, nil
 }
 
-// putReplica writes one chunk to one owner (local or remote).
-func (rs *ReplicatedStore) putReplica(node string, sum Sum, data []byte) error {
+// putReplica writes one chunk to one owner. The local owner writes
+// through the context (disk spans land under the fan-out barrier);
+// a remote owner gets a replica-put span whose ID rides the request
+// headers, so the remote handler span joins as its child.
+func (rs *ReplicatedStore) putReplica(ctx context.Context, node string, sum Sum, data []byte) (err error) {
 	if node == rs.self {
-		return rs.local.Put(sum, data)
+		return PutCtx(ctx, rs.local, sum, data)
 	}
+	sp := tracing.ChildFromContext(ctx, tracing.CompReplicate, tracing.SpanReplicaPut)
+	sp.Annotate("node", node)
+	defer func() { sp.EndErr(err) }()
 	req, err := rs.replicaReq(http.MethodPut, node, "/v1/chunk/"+sum.String(), bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
+	sp.Inject(req.Header)
 	rs.met.ForwardPut()
 	resp, err := rs.do(node, req)
 	if err != nil {
@@ -538,11 +567,15 @@ func (rs *ReplicatedStore) putReplica(node string, sum Sum, data []byte) error {
 
 // getReplica reads one chunk from one remote owner, verifying the
 // digest so a corrupt replica is never propagated.
-func (rs *ReplicatedStore) getReplica(node string, sum Sum) ([]byte, error) {
+func (rs *ReplicatedStore) getReplica(ctx context.Context, node string, sum Sum) (_ []byte, err error) {
+	sp := tracing.ChildFromContext(ctx, tracing.CompReplicate, tracing.SpanReplicaGet)
+	sp.Annotate("node", node)
+	defer func() { sp.EndErr(err) }()
 	req, err := rs.replicaReq(http.MethodGet, node, "/v1/chunk/"+sum.String(), nil)
 	if err != nil {
 		return nil, err
 	}
+	sp.Inject(req.Header)
 	rs.met.ForwardGet()
 	resp, err := rs.do(node, req)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"mcloud/internal/metrics"
 	"mcloud/internal/randx"
+	"mcloud/internal/tracing"
 )
 
 // RetryPolicy controls how the client survives the failures the
@@ -97,8 +98,13 @@ func (p RetryPolicy) backoff(n int, u float64) time.Duration {
 
 // retryBudget tracks the retries remaining for one file operation.
 // Concurrent chunk requests of one operation share it, so the counter
-// is atomic.
-type retryBudget struct{ remaining atomic.Int64 }
+// is atomic. It also carries the operation's root span (nil when the
+// client is untraced or the trace was not sampled) so every request
+// of the operation lands in one trace.
+type retryBudget struct {
+	remaining atomic.Int64
+	span      *tracing.Span
+}
 
 func (b *retryBudget) take() bool {
 	for {
@@ -274,7 +280,12 @@ var defaultHTTPClient = &http.Client{
 // success or a classified failure. The call respects the per-attempt
 // deadline, exponential backoff with jitter, Retry-After hints, and
 // the operation's retry budget.
-func (c *Client) doRetry(budget *retryBudget, build func() (*http.Request, error), handle func(*http.Response) error) error {
+//
+// Under tracing, each attempt is a span (child of parent, annotated
+// with the attempt number and the fault observed on failure) and the
+// trace headers ride the request, so the server-side handler span
+// joins to exactly the attempt that reached it.
+func (c *Client) doRetry(budget *retryBudget, parent *tracing.Span, build func() (*http.Request, error), handle func(*http.Response) error) error {
 	pol := c.policy()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
@@ -282,6 +293,9 @@ func (c *Client) doRetry(budget *retryBudget, build func() (*http.Request, error
 		if err != nil {
 			return err
 		}
+		att := parent.StartChild(tracing.CompClient, tracing.SpanAttempt)
+		att.AnnotateInt("attempt", int64(attempt))
+		att.Inject(req.Header)
 		ctx, cancel := context.WithTimeout(req.Context(), pol.RequestTimeout)
 		resp, err := c.httpClient().Do(req.WithContext(ctx))
 		var retryAfter time.Duration
@@ -290,6 +304,10 @@ func (c *Client) doRetry(budget *retryBudget, build func() (*http.Request, error
 			err = handle(resp)
 		}
 		cancel()
+		if err != nil {
+			att.Annotate("fault", err.Error())
+		}
+		att.End()
 		if err == nil {
 			if attempt > 1 {
 				c.Metrics.recovered()

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,12 @@ func (t *TieredStore) shard(sum Sum) *tierShard {
 // re-uploading a demoted chunk does not resurrect an unaccounted hot
 // copy.
 func (t *TieredStore) Put(sum Sum, data []byte) error {
+	return t.PutCtx(context.Background(), sum, data)
+}
+
+// PutCtx implements CtxStore, forwarding the trace context to the
+// backing tier (the tier bookkeeping itself is memory-speed).
+func (t *TieredStore) PutCtx(ctx context.Context, sum Sum, data []byte) error {
 	if SumBytes(data) != sum {
 		return errBadDigest
 	}
@@ -106,7 +113,7 @@ func (t *TieredStore) Put(sum Sum, data []byte) error {
 		return nil
 	}
 
-	if err := t.hot.Put(sum, data); err != nil {
+	if err := PutCtx(ctx, t.hot, sum, data); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -126,6 +133,12 @@ func (t *TieredStore) Put(sum Sum, data []byte) error {
 
 // Get reads from whichever tier holds the chunk, promoting cold hits.
 func (t *TieredStore) Get(sum Sum) ([]byte, error) {
+	return t.GetCtx(context.Background(), sum)
+}
+
+// GetCtx implements CtxStore, forwarding the trace context to
+// whichever tier serves the read.
+func (t *TieredStore) GetCtx(ctx context.Context, sum Sum) ([]byte, error) {
 	s := t.shard(sum)
 	s.mu.Lock()
 	hot := s.placedHot[sum]
@@ -136,7 +149,7 @@ func (t *TieredStore) Get(sum Sum) ([]byte, error) {
 	}
 
 	if hot {
-		data, err := t.hot.Get(sum)
+		data, err := GetCtx(ctx, t.hot, sum)
 		if err == nil {
 			s.mu.Lock()
 			s.tstats.HotReads++
@@ -151,12 +164,12 @@ func (t *TieredStore) Get(sum Sum) ([]byte, error) {
 		// check and the hot read; fall through to the cold tier.
 	}
 
-	data, err := t.cold.Get(sum)
+	data, err := GetCtx(ctx, t.cold, sum)
 	if err != nil {
 		return nil, err
 	}
 	// Promote: the user is active on this content again.
-	if err := t.hot.Put(sum, data); err != nil {
+	if err := PutCtx(ctx, t.hot, sum, data); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()

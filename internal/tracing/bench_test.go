@@ -1,0 +1,68 @@
+package tracing
+
+import (
+	"net/http"
+	"testing"
+)
+
+// BenchmarkUnsampledRoot is the hot-path cost ceiling: a request that
+// loses the sampling coin flip must pay almost nothing (one atomic add
+// plus a modulo — tens of nanoseconds, no allocation).
+func BenchmarkUnsampledRoot(b *testing.B) {
+	tr := New(Config{Node: "bench", Sample: 1 << 30})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot("client", "op")
+		sp.Annotate("k", "v") // nil-safe no-ops on the unsampled path
+		sp.End()
+	}
+}
+
+// BenchmarkNilTracer is the disabled-tracing cost: call sites keep
+// their calls, the nil receiver eats them.
+func BenchmarkNilTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot("client", "op")
+		kid := sp.StartChild("disk", "append")
+		kid.End()
+		sp.End()
+	}
+}
+
+// BenchmarkRecordedSpan is the full record path: start, annotate,
+// end into the sharded ring.
+func BenchmarkRecordedSpan(b *testing.B) {
+	tr := New(Config{Node: "bench", Capacity: 1 << 16})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot("client", "op")
+		sp.AnnotateInt("bytes", 65536)
+		sp.End()
+	}
+}
+
+// BenchmarkRecordedSpanParallel measures ring contention across
+// goroutines — the sharding exists for this case.
+func BenchmarkRecordedSpanParallel(b *testing.B) {
+	tr := New(Config{Node: "bench", Capacity: 1 << 16})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := tr.StartRoot("client", "op")
+			sp.End()
+		}
+	})
+}
+
+// BenchmarkInject is the per-request wire cost of propagation.
+func BenchmarkInject(b *testing.B) {
+	tr := New(Config{Node: "bench"})
+	sp := tr.StartRoot("client", "op")
+	h := make(http.Header, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Inject(h)
+	}
+}

@@ -1,0 +1,130 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Export is the JSON document served at /debug/traces and consumed by
+// cmd/mcstrace. Spans carry the node name so exports from several
+// processes can be concatenated before joining.
+type Export struct {
+	Node  string `json:"node"`
+	Stats Stats  `json:"stats"`
+	Spans []Span `json:"spans"`
+}
+
+// Handler serves the tracer's ring as JSON. Query parameters:
+//
+//	min=DURATION   keep only traces containing a span >= DURATION
+//	               (Go duration syntax, e.g. min=50ms)
+//	component=C    keep only traces containing a span of component C
+//	trace=HEXID    keep only the given trace
+//
+// Filters match whole traces: a matching trace is returned with all
+// of its locally-known spans, so the output is always joinable.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var f Filter
+		q := r.URL.Query()
+		if v := q.Get("min"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "tracing: bad min duration: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.MinDuration = d
+		}
+		f.Component = q.Get("component")
+		if v := q.Get("trace"); v != "" {
+			f.Trace = ParseTraceID(v)
+			if f.Trace == 0 {
+				http.Error(w, "tracing: bad trace id", http.StatusBadRequest)
+				return
+			}
+		}
+		spans := t.Snapshot(f)
+		// Stable output order: by trace, then start time, helps both
+		// humans and tests.
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].Trace != spans[j].Trace {
+				return spans[i].Trace < spans[j].Trace
+			}
+			return spans[i].Start.Before(spans[j].Start)
+		})
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if strings.Contains(r.URL.RawQuery, "indent") {
+			enc.SetIndent("", "  ")
+		}
+		enc.Encode(Export{Node: t.Node(), Stats: t.TracerStats(), Spans: spans})
+	})
+}
+
+// Middleware wraps an HTTP handler so every request runs under a span:
+// requests arriving with X-MCS-Trace continue the remote trace,
+// others root a new one subject to the tracer's sampling rate. The
+// span is placed in the request context for the layers below, the
+// response echoes X-MCS-Trace so clients can quote the ID, and the
+// HTTP status is annotated on completion. name maps a request to the
+// span name (nil means "METHOD path").
+func Middleware(t *Tracer, component string, name func(*http.Request) string, next http.Handler) http.Handler {
+	if t == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := ""
+		if name != nil {
+			n = name(r)
+		}
+		if n == "" {
+			n = r.Method + " " + r.URL.Path
+		}
+		var sp *Span
+		if tid := ParseTraceID(r.Header.Get(TraceHeader)); tid != 0 {
+			sp = t.StartRemote(tid, ParseSpanID(r.Header.Get(SpanHeader)), component, n)
+		} else {
+			sp = t.StartRoot(component, n)
+		}
+		if sp == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set(TraceHeader, sp.Trace.String())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(NewContext(r.Context(), sp)))
+		sp.AnnotateInt("status", int64(sw.status))
+		sp.End()
+	})
+}
+
+// statusWriter records the response status for span annotation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards http.Flusher so streaming handlers keep working
+// under the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

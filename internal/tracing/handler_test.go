@@ -1,0 +1,129 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestMiddlewareContinuesRemoteTrace: a request carrying the wire
+// headers must produce a server span parented to the caller's span,
+// and the response must echo the trace ID.
+func TestMiddlewareContinuesRemoteTrace(t *testing.T) {
+	tr := New(Config{Node: "srv"})
+	var ctxSpan *Span
+	h := Middleware(tr, "frontend", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctxSpan = FromContext(r.Context())
+		w.WriteHeader(http.StatusCreated)
+	}))
+
+	client := New(Config{Node: "cli"})
+	parent := client.StartRoot("client", "attempt")
+	req := httptest.NewRequest(http.MethodPut, "/v1/chunk/abc", nil)
+	parent.Inject(req.Header)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	parent.End()
+
+	if rec.Header().Get(TraceHeader) != parent.Trace.String() {
+		t.Fatalf("response %s = %q, want %s", TraceHeader, rec.Header().Get(TraceHeader), parent.Trace)
+	}
+	if ctxSpan == nil {
+		t.Fatal("no span in request context")
+	}
+	if ctxSpan.Trace != parent.Trace || ctxSpan.Parent != parent.ID {
+		t.Fatalf("server span trace/parent = %s/%s, want %s/%s",
+			ctxSpan.Trace, ctxSpan.Parent, parent.Trace, parent.ID)
+	}
+	spans := tr.Snapshot(Filter{Trace: parent.Trace})
+	if len(spans) != 1 {
+		t.Fatalf("server recorded %d spans, want 1", len(spans))
+	}
+	if v, _ := spans[0].Annotation("status"); v != "201" {
+		t.Fatalf("status annotation = %q, want 201", v)
+	}
+}
+
+// TestMiddlewareRootsWhenNoHeaders: header-less requests root their
+// own trace under the server's sampling policy.
+func TestMiddlewareRootsWhenNoHeaders(t *testing.T) {
+	tr := New(Config{Node: "srv"})
+	h := Middleware(tr, "frontend", func(r *http.Request) string { return "named" }, http.NotFoundHandler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Header().Get(TraceHeader) == "" {
+		t.Fatal("rooted request did not echo a trace ID")
+	}
+	spans := tr.Snapshot(Filter{})
+	if len(spans) != 1 || spans[0].Name != "named" || spans[0].Parent != 0 {
+		t.Fatalf("rooted span = %+v, want one parentless span named %q", spans, "named")
+	}
+}
+
+// TestMiddlewareNilTracer: disabled tracing must pass the handler
+// through untouched.
+func TestMiddlewareNilTracer(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := Middleware(nil, "frontend", nil, inner); got == nil {
+		t.Fatal("nil tracer returned nil handler")
+	}
+	rec := httptest.NewRecorder()
+	Middleware(nil, "frontend", nil, inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Header().Get(TraceHeader) != "" {
+		t.Fatal("nil tracer stamped a trace header")
+	}
+}
+
+// TestDebugTracesHandler: /debug/traces serves the ring as an Export,
+// honoring min-duration and component filters per trace.
+func TestDebugTracesHandler(t *testing.T) {
+	tr := New(Config{Node: "srv"})
+	slow := tr.StartRoot("frontend", "slow")
+	time.Sleep(2 * time.Millisecond)
+	slow.End()
+	fast := tr.StartRoot("disk", "fast")
+	fast.End()
+
+	srv := httptest.NewServer(Handler(tr))
+	defer srv.Close()
+
+	get := func(query string) Export {
+		t.Helper()
+		resp, err := http.Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", query, resp.StatusCode)
+		}
+		var ex Export
+		if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+			t.Fatal(err)
+		}
+		return ex
+	}
+
+	if ex := get(""); len(ex.Spans) != 2 || ex.Node != "srv" {
+		t.Fatalf("unfiltered export = node %q, %d spans; want srv, 2", ex.Node, len(ex.Spans))
+	}
+	if ex := get("?min=1ms"); len(ex.Spans) != 1 || ex.Spans[0].Name != "slow" {
+		t.Fatalf("min filter kept %d spans, want just the slow trace", len(ex.Spans))
+	}
+	if ex := get("?component=disk"); len(ex.Spans) != 1 || ex.Spans[0].Name != "fast" {
+		t.Fatalf("component filter kept %d spans, want just the disk trace", len(ex.Spans))
+	}
+	if ex := get("?trace=" + slow.Trace.String()); len(ex.Spans) != 1 || ex.Spans[0].ID != slow.ID {
+		t.Fatalf("trace filter failed")
+	}
+	resp, err := http.Get(srv.URL + "?min=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad min duration: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,467 @@
+package tracing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Span vocabulary shared by the recording sites in internal/storage
+// and the join logic here. The stage decomposition keys off these
+// names, so they live in one place.
+const (
+	// Components.
+	CompClient    = "client"    // mcsload / storage.Client
+	CompFrontEnd  = "frontend"  // HTTP handler middleware
+	CompMeta      = "meta"      // metadata service handler
+	CompReplicate = "replicate" // ReplicatedStore fan-out / failover
+	CompDisk      = "disk"      // DiskStore append / fsync / read
+	CompStore     = "store"     // tier and cache layers
+
+	// Client-side span names.
+	SpanStoreFile    = "store-file"
+	SpanRetrieveFile = "retrieve-file"
+	SpanChunkPut     = "chunk-put"
+	SpanChunkGet     = "chunk-get"
+	SpanAttempt      = "attempt"
+
+	// Server-side span names.
+	SpanFanout     = "fanout"      // replication fan-out barrier (put)
+	SpanReplicaPut = "replica-put" // one remote replica write
+	SpanReplicaGet = "replica-get" // one remote failover read
+	SpanDiskAppend = "append"      // segment append under the store lock
+	SpanDiskFsync  = "fsync-wait"  // group-commit fsync wait
+	SpanDiskRead   = "read"        // segment read + verify
+)
+
+// Trace is one operation's spans joined across every exporting node.
+type Trace struct {
+	ID    TraceID
+	Spans []*Span
+
+	byID     map[SpanID]*Span
+	children map[SpanID][]*Span
+}
+
+// Join merges node exports into whole traces. Duplicate span IDs
+// (the same node exported twice, or a pinned span also in the ring)
+// collapse to one.
+func Join(exports []Export) []*Trace {
+	byTrace := map[TraceID]*Trace{}
+	for _, ex := range exports {
+		for i := range ex.Spans {
+			sp := ex.Spans[i]
+			if sp.Node == "" {
+				sp.Node = ex.Node
+			}
+			tr := byTrace[sp.Trace]
+			if tr == nil {
+				tr = &Trace{
+					ID:       sp.Trace,
+					byID:     map[SpanID]*Span{},
+					children: map[SpanID][]*Span{},
+				}
+				byTrace[sp.Trace] = tr
+			}
+			if _, dup := tr.byID[sp.ID]; dup {
+				continue
+			}
+			cp := sp
+			tr.byID[cp.ID] = &cp
+			tr.Spans = append(tr.Spans, &cp)
+		}
+	}
+	out := make([]*Trace, 0, len(byTrace))
+	for _, tr := range byTrace {
+		for _, sp := range tr.Spans {
+			if sp.Parent != 0 {
+				tr.children[sp.Parent] = append(tr.children[sp.Parent], sp)
+			}
+		}
+		for _, kids := range tr.children {
+			sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		}
+		sort.Slice(tr.Spans, func(i, j int) bool { return tr.Spans[i].Start.Before(tr.Spans[j].Start) })
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Children returns the direct children of a span, start-ordered.
+func (t *Trace) Children(id SpanID) []*Span { return t.children[id] }
+
+// Find returns the first span matching component and name ("" = any).
+func (t *Trace) Find(component, name string) *Span {
+	for _, sp := range t.Spans {
+		if (component == "" || sp.Component == component) && (name == "" || sp.Name == name) {
+			return sp
+		}
+	}
+	return nil
+}
+
+// descendantsOn collects all descendants of root with the given
+// component recorded on the given node. Cross-node edges are real
+// parent links (the remote handler span's parent is the local client
+// span), so the walk naturally crosses processes; the node filter is
+// what pins "local disk time" to the serving node.
+func (t *Trace) descendantsOn(root SpanID, component, node string, out *[]*Span) {
+	for _, kid := range t.children[root] {
+		if kid.Component == component && (node == "" || kid.Node == node) {
+			*out = append(*out, kid)
+		}
+		t.descendantsOn(kid.ID, component, node, out)
+	}
+}
+
+// ChunkDiag is the §4-style decomposition of one chunk transfer. The
+// five stages are additive: Total = Retry + Network + Queue + Fanout +
+// Disk (each clamped at zero against timer noise). All values come
+// from span durations and parent links only — never from comparing
+// timestamps across nodes — so the decomposition is clock-skew safe.
+type ChunkDiag struct {
+	Trace    TraceID       `json:"trace"`
+	Chunk    string        `json:"chunk"` // hex MD5
+	Dir      string        `json:"dir"`   // "store" | "retrieve"
+	Node     string        `json:"node"`  // serving front-end
+	Bytes    int64         `json:"bytes"`
+	Attempts int           `json:"attempts"`
+	Total    time.Duration `json:"total"`
+	Retry    time.Duration `json:"retry"`   // failed attempts + backoff before the acked one
+	Network  time.Duration `json:"network"` // acked attempt minus server handler time
+	Queue    time.Duration `json:"queue"`   // server handler time not in storage (decode, hash, commit, shed waits)
+	Fanout   time.Duration `json:"fanout"`  // replication wait beyond local disk (stragglers, failover reads)
+	Disk     time.Duration `json:"disk"`    // local segment append + fsync wait, or segment read
+	Acked    bool          `json:"acked"`   // the transfer succeeded at the client
+	Complete bool          `json:"complete"`
+	Missing  string        `json:"missing,omitempty"` // why the join is incomplete
+}
+
+// OpDiag summarizes one file operation (critical path view).
+type OpDiag struct {
+	Trace    TraceID       `json:"trace"`
+	Op       string        `json:"op"` // "store-file" | "retrieve-file"
+	Node     string        `json:"node,omitempty"`
+	Chunks   int           `json:"chunks"`
+	Bytes    int64         `json:"bytes"`
+	Total    time.Duration `json:"total"`     // wall time of the operation
+	ChunkSum time.Duration `json:"chunk_sum"` // sum of chunk transfer times (> Total under parallelism)
+	Slowest  ChunkDiag     `json:"slowest"`   // the chunk that bounded the critical path
+	Dedup    bool          `json:"dedup,omitempty"`
+	Complete bool          `json:"complete"`
+}
+
+// Diagnosis is the joined cluster-wide view mcstrace renders.
+type Diagnosis struct {
+	Traces int         `json:"traces"`
+	Chunks []ChunkDiag `json:"chunks"`
+	Ops    []OpDiag    `json:"ops"`
+}
+
+// Diagnose decomposes every chunk transfer and file operation found
+// in the joined traces.
+func Diagnose(traces []*Trace) Diagnosis {
+	var d Diagnosis
+	d.Traces = len(traces)
+	for _, tr := range traces {
+		ops := 0
+		for _, sp := range tr.Spans {
+			switch {
+			case sp.Component == CompClient && (sp.Name == SpanChunkPut || sp.Name == SpanChunkGet):
+				d.Chunks = append(d.Chunks, diagnoseChunk(tr, sp))
+			case sp.Component == CompClient && (sp.Name == SpanStoreFile || sp.Name == SpanRetrieveFile):
+				ops++
+			}
+		}
+		if ops > 0 {
+			for _, sp := range tr.Spans {
+				if sp.Component == CompClient && (sp.Name == SpanStoreFile || sp.Name == SpanRetrieveFile) {
+					d.Ops = append(d.Ops, diagnoseOp(tr, sp, d.Chunks))
+				}
+			}
+		}
+	}
+	return d
+}
+
+func clampDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// diagnoseChunk decomposes one client chunk span.
+//
+// Stage math (all from durations + parent links):
+//
+//	retry   = chunk total − acked attempt duration
+//	network = acked attempt − server handler span
+//	disk    = Σ local disk spans under the handler (append + fsync, or read)
+//	fanout  = fan-out span − local disk   (put: replication wait beyond
+//	          the local write; get: Σ remote failover reads)
+//	queue   = server handler − fan-out − non-fanout disk  (residual:
+//	          decode, digest verify, commit bookkeeping, lock waits)
+func diagnoseChunk(tr *Trace, chunk *Span) ChunkDiag {
+	diag := ChunkDiag{
+		Trace: tr.ID,
+		Chunk: firstAnnot(chunk, "chunk"),
+		Total: chunk.Duration,
+	}
+	if chunk.Name == SpanChunkPut {
+		diag.Dir = "store"
+	} else {
+		diag.Dir = "retrieve"
+	}
+	if v, ok := chunk.Annotation("bytes"); ok {
+		fmt.Sscan(v, &diag.Bytes)
+	}
+
+	attempts := tr.Children(chunk.ID)
+	var acked *Span
+	for _, a := range attempts {
+		if a.Name != SpanAttempt {
+			continue
+		}
+		diag.Attempts++
+		if _, failed := a.Annotation("fault"); !failed {
+			acked = a
+		}
+	}
+	if _, chunkFailed := chunk.Annotation("err"); chunkFailed {
+		diag.Missing = "chunk transfer failed (not acked)"
+		return diag
+	}
+	diag.Acked = true
+	if acked == nil {
+		diag.Missing = "no successful attempt span"
+		return diag
+	}
+	diag.Retry = clampDur(chunk.Duration - acked.Duration)
+
+	// The server handler span is the acked attempt's only child — it
+	// lives on whichever node served the request.
+	var server *Span
+	for _, kid := range tr.Children(acked.ID) {
+		if kid.Component == CompFrontEnd {
+			server = kid
+			break
+		}
+	}
+	if server == nil {
+		diag.Missing = "no server span joined to the acked attempt"
+		return diag
+	}
+	diag.Node = server.Node
+	diag.Network = clampDur(acked.Duration - server.Duration)
+
+	// Local storage time under the handler, on the serving node only:
+	// remote replicas' disk time is part of Fanout, not Disk.
+	var disk []*Span
+	tr.descendantsOn(server.ID, CompDisk, server.Node, &disk)
+	for _, dsp := range disk {
+		diag.Disk += dsp.Duration
+	}
+
+	var inFanout time.Duration
+	for _, kid := range tr.Children(server.ID) {
+		if kid.Component != CompReplicate {
+			continue
+		}
+		switch kid.Name {
+		case SpanFanout:
+			// Put: the barrier span covers local write + remote
+			// replicas in parallel; its excess over the local disk
+			// time is the pure replication wait.
+			diag.Fanout += clampDur(kid.Duration - diag.Disk)
+			inFanout = kid.Duration
+			// Completeness: every remote replica write that was
+			// acknowledged must have joined its server-side span.
+			for _, rep := range tr.Children(kid.ID) {
+				if rep.Name != SpanReplicaPut {
+					continue
+				}
+				if _, failed := rep.Annotation("err"); failed {
+					continue
+				}
+				if !hasChild(tr, rep.ID, CompFrontEnd) {
+					diag.Missing = "replica write on " + firstAnnot(rep, "node") + " not joined"
+				}
+			}
+		case SpanReplicaGet:
+			// Get: failover reads are sequential, so they sum.
+			diag.Fanout += kid.Duration
+			inFanout += kid.Duration
+			if _, failed := kid.Annotation("err"); !failed {
+				if !hasChild(tr, kid.ID, CompFrontEnd) {
+					diag.Missing = "replica read on " + firstAnnot(kid, "node") + " not joined"
+				}
+			}
+		}
+	}
+	// Queue is the handler residual. When replication is in play the
+	// local disk time is inside the fan-out barrier, so subtract the
+	// barrier (which already contains it) rather than both.
+	if inFanout > 0 {
+		diag.Queue = clampDur(server.Duration - inFanout - nonFanoutDisk(tr, server, diag.Disk))
+	} else {
+		diag.Queue = clampDur(server.Duration - diag.Disk)
+	}
+	if diag.Missing == "" {
+		diag.Complete = true
+	}
+	return diag
+}
+
+// nonFanoutDisk returns local disk time under the handler that is NOT
+// inside a fan-out barrier (e.g. a direct read on the retrieve path
+// next to failover replica-gets).
+func nonFanoutDisk(tr *Trace, server *Span, totalDisk time.Duration) time.Duration {
+	var under time.Duration
+	for _, kid := range tr.Children(server.ID) {
+		if kid.Component == CompReplicate && kid.Name == SpanFanout {
+			var disk []*Span
+			tr.descendantsOn(kid.ID, CompDisk, server.Node, &disk)
+			for _, dsp := range disk {
+				under += dsp.Duration
+			}
+		}
+	}
+	return clampDur(totalDisk - under)
+}
+
+func hasChild(tr *Trace, id SpanID, component string) bool {
+	for _, kid := range tr.Children(id) {
+		if kid.Component == component {
+			return true
+		}
+	}
+	return false
+}
+
+func firstAnnot(sp *Span, key string) string {
+	v, _ := sp.Annotation(key)
+	return v
+}
+
+// diagnoseOp builds the critical-path summary for one file operation
+// from the chunk diagnoses already computed for its trace.
+func diagnoseOp(tr *Trace, op *Span, chunks []ChunkDiag) OpDiag {
+	od := OpDiag{
+		Trace:    tr.ID,
+		Op:       op.Name,
+		Total:    op.Duration,
+		Complete: true,
+	}
+	if v, ok := op.Annotation("bytes"); ok {
+		fmt.Sscan(v, &od.Bytes)
+	}
+	for _, cd := range chunks {
+		if cd.Trace != tr.ID {
+			continue
+		}
+		od.Chunks++
+		od.ChunkSum += cd.Total
+		if cd.Total > od.Slowest.Total {
+			od.Slowest = cd
+		}
+		if !cd.Complete {
+			od.Complete = false
+		}
+		if od.Node == "" {
+			od.Node = cd.Node
+		}
+	}
+	if od.Chunks == 0 {
+		// A deduplicated store legitimately transfers nothing; every
+		// other zero-chunk op is missing its transfer spans.
+		if _, dedup := op.Annotation("dedup"); !dedup {
+			od.Complete = false
+		} else {
+			od.Dedup = true
+		}
+	}
+	if _, failed := op.Annotation("err"); failed {
+		od.Complete = false
+	}
+	return od
+}
+
+// StageStats holds per-stage quantiles for one direction.
+type StageStats struct {
+	Dir   string                   `json:"dir"`
+	Count int                      `json:"count"`
+	P50   map[string]time.Duration `json:"p50"`
+	P99   map[string]time.Duration `json:"p99"`
+}
+
+// Stages lists the decomposition columns in display order.
+var Stages = []string{"total", "queue", "disk", "fanout", "network", "retry"}
+
+func (c ChunkDiag) stage(name string) time.Duration {
+	switch name {
+	case "total":
+		return c.Total
+	case "queue":
+		return c.Queue
+	case "disk":
+		return c.Disk
+	case "fanout":
+		return c.Fanout
+	case "network":
+		return c.Network
+	case "retry":
+		return c.Retry
+	}
+	return 0
+}
+
+// StageQuantiles computes p50/p99 per stage per direction over the
+// complete chunk diagnoses.
+func StageQuantiles(chunks []ChunkDiag) []StageStats {
+	byDir := map[string][]ChunkDiag{}
+	for _, c := range chunks {
+		if c.Complete {
+			byDir[c.Dir] = append(byDir[c.Dir], c)
+		}
+	}
+	var out []StageStats
+	for _, dir := range []string{"store", "retrieve"} {
+		cs := byDir[dir]
+		if len(cs) == 0 {
+			continue
+		}
+		st := StageStats{Dir: dir, Count: len(cs),
+			P50: map[string]time.Duration{}, P99: map[string]time.Duration{}}
+		for _, stage := range Stages {
+			vals := make([]time.Duration, len(cs))
+			for i, c := range cs {
+				vals[i] = c.stage(stage)
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			st.P50[stage] = quantile(vals, 0.50)
+			st.P99[stage] = quantile(vals, 0.99)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// quantile picks the nearest-rank quantile from sorted values: the
+// smallest value with at least ceil(q*n) values at or below it, so
+// p99 of a small sample is its maximum rather than its minimum.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

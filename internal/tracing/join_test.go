@@ -1,0 +1,237 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+)
+
+var testBase = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+func mkSpan(trace TraceID, id, parent SpanID, comp, name, node string, dur time.Duration, kv ...string) Span {
+	sp := Span{
+		Trace: trace, ID: id, Parent: parent,
+		Component: comp, Name: name, Node: node,
+		Start:    testBase.Add(time.Duration(id) * time.Millisecond),
+		Duration: dur,
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		sp.Annots = append(sp.Annots, Annotation{Key: kv[i], Value: kv[i+1]})
+	}
+	return sp
+}
+
+// storeTraceSpans builds a synthetic put: two attempts (first faulted),
+// the acked one served on n1 with a replication fan-out that wrote one
+// remote replica on n2.
+func storeTraceSpans(tr TraceID) []Span {
+	ms := time.Millisecond
+	return []Span{
+		mkSpan(tr, 1, 0, CompClient, SpanChunkPut, "loadgen", 100*ms, "chunk", "00aabb", "bytes", "65536"),
+		mkSpan(tr, 2, 1, CompClient, SpanAttempt, "loadgen", 30*ms, "attempt", "1", "fault", "timeout"),
+		mkSpan(tr, 3, 1, CompClient, SpanAttempt, "loadgen", 60*ms, "attempt", "2"),
+		mkSpan(tr, 4, 3, CompFrontEnd, "PUT /chunk", "n1", 50*ms, "status", "201"),
+		mkSpan(tr, 5, 4, CompReplicate, SpanFanout, "n1", 40*ms, "replicas", "3", "quorum", "2"),
+		mkSpan(tr, 6, 5, CompDisk, SpanDiskAppend, "n1", 10*ms),
+		mkSpan(tr, 7, 5, CompDisk, SpanDiskFsync, "n1", 5*ms),
+		mkSpan(tr, 8, 5, CompReplicate, SpanReplicaPut, "n1", 35*ms, "node", "n2"),
+		mkSpan(tr, 9, 8, CompFrontEnd, "PUT /chunk (replica)", "n2", 30*ms),
+		mkSpan(tr, 10, 9, CompDisk, SpanDiskAppend, "n2", 8*ms),
+	}
+}
+
+// TestDiagnoseStoreDecomposition checks the additive stage math on the
+// put path: Total = Retry + Network + Queue + Fanout + Disk, with
+// remote replicas' disk time landing in Fanout, not Disk.
+func TestDiagnoseStoreDecomposition(t *testing.T) {
+	const trID = TraceID(0xabc)
+	traces := Join([]Export{{Node: "x", Spans: storeTraceSpans(trID)}})
+	d := Diagnose(traces)
+	if len(d.Chunks) != 1 {
+		t.Fatalf("diagnosed %d chunks, want 1", len(d.Chunks))
+	}
+	c := d.Chunks[0]
+	ms := time.Millisecond
+	if !c.Acked || !c.Complete {
+		t.Fatalf("acked/complete = %v/%v (%s), want true/true", c.Acked, c.Complete, c.Missing)
+	}
+	if c.Dir != "store" || c.Node != "n1" || c.Chunk != "00aabb" || c.Bytes != 65536 || c.Attempts != 2 {
+		t.Fatalf("identity fields wrong: %+v", c)
+	}
+	want := map[string]time.Duration{
+		"total": 100 * ms, "retry": 40 * ms, "network": 10 * ms,
+		"disk": 15 * ms, "fanout": 25 * ms, "queue": 10 * ms,
+	}
+	for stage, w := range want {
+		if got := c.stage(stage); got != w {
+			t.Errorf("%s = %v, want %v", stage, got, w)
+		}
+	}
+	if sum := c.Retry + c.Network + c.Queue + c.Fanout + c.Disk; sum != c.Total {
+		t.Errorf("stages sum to %v, want Total %v (decomposition must be additive)", sum, c.Total)
+	}
+}
+
+// TestDiagnoseRetrieveDecomposition: the get path with a failed local
+// read and a remote failover — failover time is Fanout.
+func TestDiagnoseRetrieveDecomposition(t *testing.T) {
+	const trID = TraceID(0xdef)
+	ms := time.Millisecond
+	spans := []Span{
+		mkSpan(trID, 21, 0, CompClient, SpanChunkGet, "loadgen", 50*ms, "chunk", "ffee00", "bytes", "4096"),
+		mkSpan(trID, 22, 21, CompClient, SpanAttempt, "loadgen", 45*ms, "attempt", "1"),
+		mkSpan(trID, 23, 22, CompFrontEnd, "GET /chunk", "n1", 40*ms),
+		mkSpan(trID, 24, 23, CompDisk, SpanDiskRead, "n1", 5*ms, "err", "not found"),
+		mkSpan(trID, 25, 23, CompReplicate, SpanReplicaGet, "n1", 20*ms, "node", "n2"),
+		mkSpan(trID, 26, 25, CompFrontEnd, "GET /chunk (replica)", "n2", 18*ms),
+	}
+	d := Diagnose(Join([]Export{{Node: "x", Spans: spans}}))
+	if len(d.Chunks) != 1 {
+		t.Fatalf("diagnosed %d chunks, want 1", len(d.Chunks))
+	}
+	c := d.Chunks[0]
+	if c.Dir != "retrieve" || !c.Complete {
+		t.Fatalf("dir/complete = %s/%v (%s)", c.Dir, c.Complete, c.Missing)
+	}
+	want := map[string]time.Duration{
+		"retry": 5 * ms, "network": 5 * ms, "disk": 5 * ms, "fanout": 20 * ms, "queue": 15 * ms,
+	}
+	for stage, w := range want {
+		if got := c.stage(stage); got != w {
+			t.Errorf("%s = %v, want %v", stage, got, w)
+		}
+	}
+}
+
+// TestDiagnoseDetectsUnjoinedReplica: an acked replica write whose
+// server-side span is missing must be flagged incomplete — that is
+// exactly the condition the CI strict check trips on.
+func TestDiagnoseDetectsUnjoinedReplica(t *testing.T) {
+	const trID = TraceID(0x123)
+	spans := storeTraceSpans(trID)[:8] // drop the remote n2 spans
+	d := Diagnose(Join([]Export{{Node: "x", Spans: spans}}))
+	c := d.Chunks[0]
+	if !c.Acked {
+		t.Fatal("chunk should still count as acked")
+	}
+	if c.Complete || c.Missing == "" {
+		t.Fatalf("complete = %v, missing = %q; want incomplete with reason", c.Complete, c.Missing)
+	}
+}
+
+// TestDiagnoseFailedChunkNotAcked: a chunk span that ended in error is
+// reported but neither acked nor complete — it must not trip the
+// strict join gate.
+func TestDiagnoseFailedChunkNotAcked(t *testing.T) {
+	const trID = TraceID(0x456)
+	ms := time.Millisecond
+	spans := []Span{
+		mkSpan(trID, 1, 0, CompClient, SpanChunkPut, "loadgen", 90*ms, "chunk", "aa", "err", "gave up"),
+		mkSpan(trID, 2, 1, CompClient, SpanAttempt, "loadgen", 30*ms, "fault", "conn reset"),
+	}
+	d := Diagnose(Join([]Export{{Node: "x", Spans: spans}}))
+	c := d.Chunks[0]
+	if c.Acked || c.Complete {
+		t.Fatalf("failed chunk acked/complete = %v/%v, want false/false", c.Acked, c.Complete)
+	}
+}
+
+// TestDiagnoseOpCriticalPath: the op summary must aggregate its chunk
+// diagnoses and point at the slowest one.
+func TestDiagnoseOpCriticalPath(t *testing.T) {
+	const trID = TraceID(0x789)
+	ms := time.Millisecond
+	spans := storeTraceSpans(trID)
+	spans = append(spans,
+		mkSpan(trID, 40, 0, CompClient, SpanStoreFile, "loadgen", 120*ms, "bytes", "131072"),
+		// A second, faster chunk under the same op.
+		mkSpan(trID, 41, 40, CompClient, SpanChunkPut, "loadgen", 20*ms, "chunk", "11ccdd", "bytes", "65536"),
+		mkSpan(trID, 42, 41, CompClient, SpanAttempt, "loadgen", 20*ms, "attempt", "1"),
+		mkSpan(trID, 43, 42, CompFrontEnd, "PUT /chunk", "n1", 15*ms),
+	)
+	d := Diagnose(Join([]Export{{Node: "x", Spans: spans}}))
+	if len(d.Ops) != 1 {
+		t.Fatalf("diagnosed %d ops, want 1", len(d.Ops))
+	}
+	op := d.Ops[0]
+	if op.Op != SpanStoreFile || op.Chunks != 2 || op.Bytes != 131072 {
+		t.Fatalf("op summary wrong: %+v", op)
+	}
+	if op.Total != 120*ms || op.ChunkSum != 120*ms {
+		t.Fatalf("total/chunksum = %v/%v, want 120ms/120ms", op.Total, op.ChunkSum)
+	}
+	if op.Slowest.Chunk != "00aabb" {
+		t.Fatalf("slowest chunk = %s, want 00aabb", op.Slowest.Chunk)
+	}
+	if !op.Complete {
+		t.Fatalf("op incomplete: %+v", op.Slowest)
+	}
+}
+
+// TestDiagnoseDedupAndFailedOps: a deduplicated store transfers no
+// chunks but is still complete; an op that ended in error is not.
+func TestDiagnoseDedupAndFailedOps(t *testing.T) {
+	ms := time.Millisecond
+	spans := []Span{
+		mkSpan(0x111, 1, 0, CompClient, SpanStoreFile, "loadgen", 3*ms, "dedup", "true"),
+		mkSpan(0x222, 2, 0, CompClient, SpanStoreFile, "loadgen", 9*ms, "err", "gave up"),
+	}
+	d := Diagnose(Join([]Export{{Node: "loadgen", Spans: spans}}))
+	if len(d.Ops) != 2 {
+		t.Fatalf("diagnosed %d ops, want 2", len(d.Ops))
+	}
+	for _, op := range d.Ops {
+		switch op.Trace {
+		case 0x111:
+			if !op.Dedup || !op.Complete || op.Chunks != 0 {
+				t.Errorf("dedup op = %+v, want complete with 0 chunks", op)
+			}
+		case 0x222:
+			if op.Complete {
+				t.Errorf("failed op diagnosed complete: %+v", op)
+			}
+		}
+	}
+}
+
+// TestJoinDedupsAcrossExports: the same span exported by two sources
+// (ring + pin, or a re-fetch) must collapse to one.
+func TestJoinDedupsAcrossExports(t *testing.T) {
+	const trID = TraceID(0x999)
+	spans := storeTraceSpans(trID)
+	traces := Join([]Export{
+		{Node: "a", Spans: spans[:6]},
+		{Node: "a", Spans: spans}, // overlaps the first export
+	})
+	if len(traces) != 1 {
+		t.Fatalf("joined %d traces, want 1", len(traces))
+	}
+	if len(traces[0].Spans) != len(spans) {
+		t.Fatalf("joined %d spans, want %d deduplicated", len(traces[0].Spans), len(spans))
+	}
+}
+
+// TestStageQuantiles: quantiles cover complete diagnoses only, split
+// by direction.
+func TestStageQuantiles(t *testing.T) {
+	ms := time.Millisecond
+	chunks := []ChunkDiag{
+		{Dir: "store", Complete: true, Acked: true, Total: 10 * ms, Disk: 4 * ms, Queue: 6 * ms},
+		{Dir: "store", Complete: true, Acked: true, Total: 30 * ms, Disk: 10 * ms, Queue: 20 * ms},
+		{Dir: "store", Acked: true, Total: 500 * ms}, // incomplete: excluded
+		{Dir: "retrieve", Complete: true, Acked: true, Total: 7 * ms, Disk: 7 * ms},
+	}
+	stats := StageQuantiles(chunks)
+	if len(stats) != 2 {
+		t.Fatalf("got %d directions, want 2", len(stats))
+	}
+	store := stats[0]
+	if store.Dir != "store" || store.Count != 2 {
+		t.Fatalf("store stats = %+v", store)
+	}
+	if store.P99["total"] != 30*ms {
+		t.Fatalf("store p99 total = %v, want 30ms (incomplete 500ms must be excluded)", store.P99["total"])
+	}
+	if stats[1].P50["disk"] != 7*ms {
+		t.Fatalf("retrieve p50 disk = %v, want 7ms", stats[1].P50["disk"])
+	}
+}

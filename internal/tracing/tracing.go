@@ -1,0 +1,540 @@
+// Package tracing provides the distributed request tracing that turns
+// the service's aggregate histograms into per-request causality: every
+// file operation opens a trace at the client, every HTTP request
+// carries the trace across the wire (X-MCS-Trace / X-MCS-Span), and
+// every layer that spends time on the request — front-end handler,
+// replication fan-out, segment append, group-commit fsync wait, retry
+// attempt — records a span into a bounded in-process ring buffer.
+// cmd/mcstrace later joins the rings of all nodes by trace ID and
+// decomposes each chunk transfer into queue / disk / fan-out /
+// network / retry stages, the live-cluster analogue of the paper's §4
+// chunk-level performance diagnosis.
+//
+// Design constraints, in order:
+//
+//   - The untraced hot path must cost nothing: a nil *Span and a nil
+//     *Tracer are fully usable no-ops, so call sites need no guards
+//     and an unsampled request never allocates.
+//   - Recording must be lock-light: finished spans land in a sharded
+//     ring (one mutex per shard, spans spread by span ID), so
+//     concurrent request goroutines rarely contend.
+//   - Memory is bounded: the ring holds a fixed number of spans and
+//     overwrites the oldest; slow exemplars survive eviction through
+//     an explicitly bounded pin set (see Pin).
+package tracing
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wire headers. Every traced request carries both; a server that sees
+// them continues the caller's trace instead of rooting its own.
+const (
+	// TraceHeader carries the 16-hex-digit trace ID.
+	TraceHeader = "X-MCS-Trace"
+	// SpanHeader carries the caller's span ID; the server's span is
+	// recorded as its child, which is what lets mcstrace join client
+	// attempt spans to server handler spans across processes.
+	SpanHeader = "X-MCS-Span"
+)
+
+// TraceID identifies one end-to-end operation across processes.
+type TraceID uint64
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+func (s SpanID) String() string  { return fmt.Sprintf("%016x", uint64(s)) }
+
+// ParseTraceID decodes the wire form; zero means invalid/absent.
+func ParseTraceID(s string) TraceID {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return TraceID(v)
+}
+
+// ParseSpanID decodes the wire form; zero means invalid/absent.
+func ParseSpanID(s string) SpanID {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return SpanID(v)
+}
+
+// Annotation is one key/value attached to a span (chunk MD5, byte
+// count, replica node, retry attempt, fault observed, ...).
+type Annotation struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one timed piece of work inside a trace. A span is owned by
+// the goroutine that started it until End; after End it is an
+// immutable record in the tracer's ring.
+type Span struct {
+	Trace     TraceID       `json:"trace"`
+	ID        SpanID        `json:"span"`
+	Parent    SpanID        `json:"parent,omitempty"`
+	Component string        `json:"component"`
+	Name      string        `json:"name"`
+	Node      string        `json:"node,omitempty"`
+	Start     time.Time     `json:"start"`
+	Duration  time.Duration `json:"duration_ns"`
+	Annots    []Annotation  `json:"kv,omitempty"`
+
+	tracer *Tracer
+}
+
+// id generation: splitmix64 over a process-unique atomic counter. IDs
+// must be unique across the processes of one cluster run, so the
+// stream is seeded from the wall clock and pid at init.
+var idCtr atomic.Uint64
+
+func init() {
+	idCtr.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32)
+}
+
+func nextID() uint64 {
+	x := idCtr.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// Config configures a Tracer.
+type Config struct {
+	// Node names this process in exported spans (a cluster node's
+	// advertised URL, or "client" for a load generator).
+	Node string
+	// Capacity bounds the span ring; 0 means 65536 spans (~16 MB at
+	// the observed mean span size). The ring overwrites oldest-first.
+	Capacity int
+	// Shards splits the ring to cut record contention; 0 means 8,
+	// values are rounded up to a power of two. Tests pin Shards to 1
+	// to get a deterministic global eviction order.
+	Shards int
+	// Sample records 1 in Sample locally-rooted traces; 0 and 1 both
+	// mean every trace. Requests arriving with trace headers are
+	// always recorded — the caller already paid for the decision.
+	Sample int
+}
+
+// Tracer records finished spans into a bounded sharded ring.
+// All methods are safe for concurrent use and safe on a nil receiver
+// (every operation becomes a no-op), so components hold a *Tracer
+// unconditionally.
+type Tracer struct {
+	node   string
+	sample uint64
+	ctr    atomic.Uint64 // root-trace counter for sampling
+
+	shards []ringShard
+	mask   uint64
+
+	pinMu     sync.Mutex
+	pinned    map[TraceID][]Span
+	pinOrder  []TraceID
+	pinLimit  int
+	pinActive atomic.Int64 // fast-path check: 0 = no pins, skip map lookup
+
+	recorded atomic.Int64
+	dropped  atomic.Int64 // spans overwritten before ever being read
+}
+
+type ringShard struct {
+	mu   sync.Mutex
+	buf  []Span
+	next uint64 // total spans ever recorded into this shard
+	_    [64 - 8]byte
+}
+
+// maxPinnedTraces bounds the slow-exemplar set; the oldest pin is
+// dropped when a new one arrives beyond the bound.
+const maxPinnedTraces = 64
+
+// maxPinnedSpans bounds one pinned trace's span list, so a pinned
+// trace that keeps accreting spans cannot grow without limit.
+const maxPinnedSpans = 512
+
+// New returns a tracer with the given config.
+func New(cfg Config) *Tracer {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 65536
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 8
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := (capacity + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	t := &Tracer{
+		node:     cfg.Node,
+		sample:   uint64(cfg.Sample),
+		shards:   make([]ringShard, n),
+		mask:     uint64(n - 1),
+		pinned:   make(map[TraceID][]Span),
+		pinLimit: maxPinnedTraces,
+	}
+	for i := range t.shards {
+		t.shards[i].buf = make([]Span, 0, per)
+	}
+	return t
+}
+
+// Node returns the tracer's node name ("" on nil).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// sampled decides whether a locally-rooted trace is recorded.
+func (t *Tracer) sampled() bool {
+	if t.sample <= 1 {
+		return true
+	}
+	return t.ctr.Add(1)%t.sample == 0
+}
+
+// StartRoot opens a new trace and returns its root span, or nil when
+// the tracer is nil or the sampling decision says skip — all Span
+// methods are nil-safe, so callers never check.
+func (t *Tracer) StartRoot(component, name string) *Span {
+	if t == nil || !t.sampled() {
+		return nil
+	}
+	return &Span{
+		Trace:     TraceID(nextID()),
+		ID:        SpanID(nextID()),
+		Component: component,
+		Name:      name,
+		Node:      t.node,
+		Start:     time.Now(),
+		tracer:    t,
+	}
+}
+
+// StartRemote opens a span continuing a trace that arrived over the
+// wire: trace is the caller's trace ID and parent the caller's span.
+// Remote continuations bypass sampling — the root already decided.
+func (t *Tracer) StartRemote(trace TraceID, parent SpanID, component, name string) *Span {
+	if t == nil || trace == 0 {
+		return nil
+	}
+	return &Span{
+		Trace:     trace,
+		ID:        SpanID(nextID()),
+		Parent:    parent,
+		Component: component,
+		Name:      name,
+		Node:      t.node,
+		Start:     time.Now(),
+		tracer:    t,
+	}
+}
+
+// StartChild opens a child span in the same trace (nil-safe: a nil
+// parent yields a nil child).
+func (s *Span) StartChild(component, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		Trace:     s.Trace,
+		ID:        SpanID(nextID()),
+		Parent:    s.ID,
+		Component: component,
+		Name:      name,
+		Node:      s.tracer.Node(),
+		Start:     time.Now(),
+		tracer:    s.tracer,
+	}
+}
+
+// Annotate attaches one key/value (nil-safe).
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Annots = append(s.Annots, Annotation{Key: key, Value: value})
+}
+
+// AnnotateInt attaches one integer-valued annotation (nil-safe).
+func (s *Span) AnnotateInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Annots = append(s.Annots, Annotation{Key: key, Value: strconv.FormatInt(v, 10)})
+}
+
+// Annotation returns the value of the first annotation with the key,
+// and whether it exists.
+func (s *Span) Annotation(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	for _, a := range s.Annots {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// End stamps the duration and records the span (nil-safe). A span
+// must be ended exactly once; annotating after End is a bug.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+	s.tracer.record(*s)
+}
+
+// EndErr is End, annotating the error first when err != nil.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.Annotate("err", err.Error())
+	}
+	s.End()
+}
+
+// Inject writes the trace headers for an outgoing request carrying
+// this span as the remote side's parent (nil-safe no-op).
+func (s *Span) Inject(h http.Header) {
+	if s == nil {
+		return
+	}
+	h.Set(TraceHeader, s.Trace.String())
+	h.Set(SpanHeader, s.ID.String())
+}
+
+// Pin protects this span's whole trace from ring eviction — called
+// when a latency observation lands in a histogram's top buckets, so
+// the traces behind the p99 tail remain inspectable long after the
+// ring has turned over (nil-safe).
+func (s *Span) Pin() {
+	if s == nil {
+		return
+	}
+	s.tracer.Pin(s.Trace)
+}
+
+// record appends one finished span to the ring, and to the pinned set
+// when its trace is pinned.
+func (t *Tracer) record(sp Span) {
+	if t == nil {
+		return
+	}
+	sp.tracer = nil
+	if t.pinActive.Load() > 0 {
+		t.pinMu.Lock()
+		if spans, ok := t.pinned[sp.Trace]; ok && len(spans) < maxPinnedSpans {
+			t.pinned[sp.Trace] = append(spans, sp)
+		}
+		t.pinMu.Unlock()
+	}
+	sh := &t.shards[uint64(sp.ID)&t.mask]
+	sh.mu.Lock()
+	if len(sh.buf) < cap(sh.buf) {
+		sh.buf = append(sh.buf, sp)
+	} else {
+		sh.buf[sh.next%uint64(cap(sh.buf))] = sp
+		t.dropped.Add(1)
+	}
+	sh.next++
+	sh.mu.Unlock()
+	t.recorded.Add(1)
+}
+
+// Pin marks a trace as protected from eviction: its spans currently
+// in the ring are copied aside, and spans recorded later are added as
+// they finish. At most maxPinnedTraces traces are pinned; beyond
+// that the oldest pin is dropped. Pinning an already-pinned trace is
+// a no-op.
+func (t *Tracer) Pin(trace TraceID) {
+	if t == nil || trace == 0 {
+		return
+	}
+	t.pinMu.Lock()
+	if _, ok := t.pinned[trace]; ok {
+		t.pinMu.Unlock()
+		return
+	}
+	for len(t.pinOrder) >= t.pinLimit {
+		oldest := t.pinOrder[0]
+		t.pinOrder = t.pinOrder[1:]
+		delete(t.pinned, oldest)
+	}
+	t.pinned[trace] = nil
+	t.pinOrder = append(t.pinOrder, trace)
+	t.pinActive.Store(int64(len(t.pinOrder)))
+	t.pinMu.Unlock()
+
+	// Copy what the ring already holds for this trace. Pinning is a
+	// rare tail event, so the O(capacity) scan is off the hot path.
+	var have []Span
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, sp := range sh.buf {
+			if sp.Trace == trace {
+				have = append(have, sp)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if len(have) > 0 {
+		t.pinMu.Lock()
+		if spans, ok := t.pinned[trace]; ok {
+			// Spans recorded between the two critical sections appear
+			// in both lists; Snapshot dedups by span ID.
+			if len(spans)+len(have) > maxPinnedSpans {
+				have = have[:maxPinnedSpans-len(spans)]
+			}
+			t.pinned[trace] = append(spans, have...)
+		}
+		t.pinMu.Unlock()
+	}
+}
+
+// Stats reports the tracer's record/drop counters.
+type Stats struct {
+	Recorded int64 // spans recorded since start
+	Dropped  int64 // spans overwritten by ring wrap-around
+	Pinned   int   // traces currently pinned
+}
+
+// TracerStats returns a snapshot of the counters (zero on nil).
+func (t *Tracer) TracerStats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.pinMu.Lock()
+	pins := len(t.pinOrder)
+	t.pinMu.Unlock()
+	return Stats{Recorded: t.recorded.Load(), Dropped: t.dropped.Load(), Pinned: pins}
+}
+
+// Filter selects spans for Snapshot; zero values mean "no constraint".
+type Filter struct {
+	// MinDuration drops spans shorter than this... but never drops a
+	// span whose trace has at least one qualifying span — filtering
+	// happens per trace, so a matched trace is returned whole.
+	MinDuration time.Duration
+	// Component keeps only traces containing a span of this component.
+	Component string
+	// Trace keeps only this trace.
+	Trace TraceID
+}
+
+// Snapshot returns the ring's current spans (plus pinned spans no
+// longer in the ring), whole traces only: a filter matches traces,
+// not spans, so a returned trace is complete as far as this process
+// knows. Spans are deduplicated by span ID.
+func (t *Tracer) Snapshot(f Filter) []Span {
+	if t == nil {
+		return nil
+	}
+	var all []Span
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.buf...)
+		sh.mu.Unlock()
+	}
+	t.pinMu.Lock()
+	for _, spans := range t.pinned {
+		all = append(all, spans...)
+	}
+	t.pinMu.Unlock()
+
+	seen := make(map[SpanID]bool, len(all))
+	dedup := all[:0]
+	for _, sp := range all {
+		if !seen[sp.ID] {
+			seen[sp.ID] = true
+			dedup = append(dedup, sp)
+		}
+	}
+	all = dedup
+
+	// Find qualifying traces, then keep those traces whole.
+	keep := make(map[TraceID]bool)
+	for _, sp := range all {
+		if f.Trace != 0 && sp.Trace != f.Trace {
+			continue
+		}
+		if f.Component != "" && sp.Component != f.Component {
+			continue
+		}
+		if sp.Duration < f.MinDuration {
+			continue
+		}
+		keep[sp.Trace] = true
+	}
+	out := make([]Span, 0, len(all))
+	for _, sp := range all {
+		if keep[sp.Trace] {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// --- context plumbing ---------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, nil when absent (and
+// on a nil ctx, so store layers can pass contexts through blindly).
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ChildFromContext starts a child of the context's span: the one call
+// store layers make on their hot paths. Nil context, absent span, or
+// untraced request all return nil at the cost of one context lookup.
+func ChildFromContext(ctx context.Context, component, name string) *Span {
+	return FromContext(ctx).StartChild(component, name)
+}

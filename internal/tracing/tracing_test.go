@@ -1,0 +1,209 @@
+package tracing
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRecording hammers one tracer from many goroutines —
+// the shape `go test -race` needs to certify the sharded ring. Every
+// span must be accounted for: recorded in the ring or counted dropped.
+func TestConcurrentRecording(t *testing.T) {
+	const workers, perWorker = 16, 200
+	tr := New(Config{Node: "n", Capacity: 1024})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.StartRoot("client", "op")
+				root.AnnotateInt("worker", int64(w))
+				kid := root.StartChild("disk", "append")
+				kid.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := tr.TracerStats()
+	want := int64(workers * perWorker * 2)
+	if st.Recorded != want {
+		t.Fatalf("recorded = %d, want %d", st.Recorded, want)
+	}
+	spans := tr.Snapshot(Filter{})
+	// The ring holds at most Capacity spans; whole-trace filtering can
+	// only shrink that set further.
+	if len(spans) == 0 || len(spans) > 1024 {
+		t.Fatalf("snapshot holds %d spans, want 1..1024", len(spans))
+	}
+	if got := st.Recorded - st.Dropped; int64(len(spans)) > got {
+		t.Fatalf("snapshot %d spans > %d retained", len(spans), got)
+	}
+}
+
+// TestRingEvictionOrder pins Shards to 1 so eviction order is global:
+// overflowing the ring must drop the oldest spans first and keep the
+// newest Capacity spans.
+func TestRingEvictionOrder(t *testing.T) {
+	const capacity, total = 8, 12
+	tr := New(Config{Node: "n", Capacity: capacity, Shards: 1})
+	for i := 0; i < total; i++ {
+		sp := tr.StartRoot("client", fmt.Sprintf("op-%d", i))
+		sp.End()
+	}
+	st := tr.TracerStats()
+	if st.Dropped != total-capacity {
+		t.Fatalf("dropped = %d, want %d", st.Dropped, total-capacity)
+	}
+	seen := map[string]bool{}
+	for _, sp := range tr.Snapshot(Filter{}) {
+		seen[sp.Name] = true
+	}
+	for i := 0; i < total; i++ {
+		name := fmt.Sprintf("op-%d", i)
+		wantKept := i >= total-capacity
+		if seen[name] != wantKept {
+			t.Errorf("span %s kept = %v, want %v (oldest must evict first)", name, seen[name], wantKept)
+		}
+	}
+}
+
+// TestSampling: 1-in-N roots recorded, remote continuations always.
+func TestSampling(t *testing.T) {
+	tr := New(Config{Node: "n", Sample: 4})
+	live := 0
+	for i := 0; i < 16; i++ {
+		if sp := tr.StartRoot("client", "op"); sp != nil {
+			live++
+			sp.End()
+		}
+	}
+	if live != 4 {
+		t.Fatalf("sampled %d of 16 roots, want 4", live)
+	}
+	// A trace that arrives over the wire was already sampled upstream.
+	for i := 0; i < 8; i++ {
+		sp := tr.StartRemote(TraceID(100+i), SpanID(1), "frontend", "h")
+		if sp == nil {
+			t.Fatal("remote continuation was sampled away")
+		}
+		sp.End()
+	}
+}
+
+// TestPinSurvivesEviction: a pinned trace's spans must remain readable
+// after the ring has completely turned over — the tail-exemplar
+// guarantee behind /debug/traces.
+func TestPinSurvivesEviction(t *testing.T) {
+	tr := New(Config{Node: "n", Capacity: 8, Shards: 1})
+	slow := tr.StartRoot("client", "slow-op")
+	slow.End()
+	slow.Pin()
+
+	for i := 0; i < 64; i++ {
+		sp := tr.StartRoot("client", "noise")
+		sp.End()
+	}
+	found := false
+	for _, sp := range tr.Snapshot(Filter{Trace: slow.Trace}) {
+		if sp.ID == slow.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pinned span evicted by ring wrap-around")
+	}
+	// Spans of a pinned trace recorded after the pin accrete too.
+	late := tr.StartRemote(slow.Trace, slow.ID, "frontend", "late")
+	late.End()
+	found = false
+	for _, sp := range tr.Snapshot(Filter{Trace: slow.Trace}) {
+		if sp.ID == late.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("span recorded after Pin not captured")
+	}
+}
+
+// TestPinBounds: the pin set must stay bounded no matter how many
+// traces qualify as exemplars.
+func TestPinBounds(t *testing.T) {
+	tr := New(Config{Node: "n", Capacity: 8})
+	for i := 0; i < maxPinnedTraces*3; i++ {
+		tr.Pin(TraceID(1000 + i))
+	}
+	if got := tr.TracerStats().Pinned; got != maxPinnedTraces {
+		t.Fatalf("pinned = %d, want bound %d", got, maxPinnedTraces)
+	}
+}
+
+// TestSnapshotWholeTraces: a filter matches traces, not spans — a
+// matching trace comes back complete.
+func TestSnapshotWholeTraces(t *testing.T) {
+	tr := New(Config{Node: "n"})
+	root := tr.StartRoot("client", "op")
+	fast := root.StartChild("disk", "append")
+	fast.End() // sub-microsecond
+	slowKid := root.StartChild("disk", "fsync-wait")
+	time.Sleep(2 * time.Millisecond)
+	slowKid.End()
+	root.End()
+
+	other := tr.StartRoot("client", "other")
+	other.End()
+
+	spans := tr.Snapshot(Filter{MinDuration: time.Millisecond})
+	ids := map[SpanID]bool{}
+	for _, sp := range spans {
+		if sp.Trace != root.Trace {
+			t.Fatalf("trace %s leaked through MinDuration filter", sp.Trace)
+		}
+		ids[sp.ID] = true
+	}
+	if !ids[fast.ID] || !ids[slowKid.ID] || !ids[root.ID] {
+		t.Fatalf("matched trace not returned whole: got %d spans", len(spans))
+	}
+}
+
+// TestNilSafety: every operation on nil tracer/span must be usable.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot("c", "n")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	kid := sp.StartChild("c", "n")
+	kid.Annotate("k", "v")
+	kid.AnnotateInt("k", 1)
+	kid.Inject(nil)
+	kid.Pin()
+	kid.EndErr(nil)
+	sp.End()
+	if tr.Snapshot(Filter{}) != nil || tr.Node() != "" {
+		t.Fatal("nil tracer snapshot not empty")
+	}
+	if (Stats{}) != tr.TracerStats() {
+		t.Fatal("nil tracer stats not zero")
+	}
+}
+
+// TestIDRoundTrip: wire form parses back to the same ID; garbage is 0.
+func TestIDRoundTrip(t *testing.T) {
+	id := TraceID(nextID())
+	if got := ParseTraceID(id.String()); got != id {
+		t.Fatalf("ParseTraceID(%q) = %v, want %v", id.String(), got, id)
+	}
+	sid := SpanID(nextID())
+	if got := ParseSpanID(sid.String()); got != sid {
+		t.Fatalf("ParseSpanID round trip = %v, want %v", got, sid)
+	}
+	if ParseTraceID("not-hex") != 0 || ParseSpanID("") != 0 {
+		t.Fatal("garbage must parse to 0")
+	}
+}

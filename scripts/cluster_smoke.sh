@@ -8,7 +8,10 @@
 #      (0 lost, 0 corrupted) — mcsload -verify exits non-zero otherwise;
 #   2. mcs_cluster_underreplicated returns to 0 on every node once the
 #      repair loop has re-streamed the replicas the outage missed;
-#   3. a follow-up mcsrebalance pass finds nothing left to move.
+#   3. a follow-up mcsrebalance pass finds nothing left to move;
+#   4. distributed tracing joins end-to-end: mcstrace -strict over the
+#      three nodes' /debug/traces plus the loader's trace dump must
+#      decompose every acknowledged chunk transfer completely.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +25,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$BIN" ./cmd/mcsserver ./cmd/mcsload ./cmd/mcsrebalance
+go build -o "$BIN" ./cmd/mcsserver ./cmd/mcsload ./cmd/mcsrebalance ./cmd/mcstrace
 
 N1=http://127.0.0.1:8081
 N2=http://127.0.0.1:8082
@@ -33,13 +36,18 @@ META=http://127.0.0.1:8070
 # other nodes share the spec but the node= gate disables it for them.
 CHAOS="name=smoke,seed=7,outage=30+200,node=$N3"
 
+# Each node gets a durable segment store so the traced disk stage
+# (append + fsync-wait spans) carries real time in the diagnosis.
 "$BIN/mcsserver" -meta :8070 -frontends :8081 -ops :8090 -log "$WORK/n1.log" \
+    -data "$WORK/d1" \
     -peers "$PEERS" -replicas 3 -quorum 2 -chaos "$CHAOS" >"$WORK/n1.out" 2>&1 &
 pids+=($!)
 "$BIN/mcsserver" -frontends :8082 -metaurl "$META" -ops :8091 -log "$WORK/n2.log" \
+    -data "$WORK/d2" \
     -peers "$PEERS" -replicas 3 -quorum 2 -chaos "$CHAOS" >"$WORK/n2.out" 2>&1 &
 pids+=($!)
 "$BIN/mcsserver" -frontends :8083 -metaurl "$META" -ops :8092 -log "$WORK/n3.log" \
+    -data "$WORK/d3" \
     -peers "$PEERS" -replicas 3 -quorum 2 -chaos "$CHAOS" >"$WORK/n3.out" 2>&1 &
 pids+=($!)
 
@@ -62,7 +70,8 @@ echo "cluster_smoke: 3 nodes up (N=3, W=2), node 3 will outage for 200 requests"
 # does not drain. The outage makes some operations fail outright —
 # that's expected and capped by -maxfail.
 "$BIN/mcsload" -meta "$META" -devices 4 -files 10 -retrieve 0.5 -seed 3 \
-    -ops http://127.0.0.1:8090 -waitrepair 60s -maxfail 0.5
+    -ops http://127.0.0.1:8090 -waitrepair 60s -maxfail 0.5 \
+    -tracedump "$WORK/client-traces.json"
 
 # Invariant 2 on the other nodes: their repair queues must drain too.
 gauge_zero() {
@@ -81,5 +90,11 @@ echo "cluster_smoke: under-replication drained to 0 on all nodes"
 # Invariant 3: placement is already correct, so the rebalancer is a
 # no-op (it exits non-zero on any transfer error).
 "$BIN/mcsrebalance" -node "$N1"
+
+# Invariant 4: join the loader's traces with every node's ring and
+# demand a complete stage decomposition for each acked transfer —
+# a single missed header propagation anywhere fails the run.
+"$BIN/mcstrace" -strict \
+    -from "http://127.0.0.1:8090,http://127.0.0.1:8091,http://127.0.0.1:8092,$WORK/client-traces.json"
 
 echo "cluster_smoke: PASS"
