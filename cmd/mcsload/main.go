@@ -306,6 +306,8 @@ type opsDashboard struct {
 	hitRate []float64 // cache hit fraction, NaN when no cache
 	under   []float64 // mcs_cluster_underreplicated gauge
 	sheds   []float64 // cumulative overload sheds across scopes
+	metaP99 []float64 // metadata commit p99 (ms), NaN before first commit
+	walP99  []float64 // metadata WAL fsync-wait p99 (ms), NaN when not durable
 }
 
 func startDashboard(opsURL string, interval time.Duration) *opsDashboard {
@@ -360,6 +362,17 @@ func (d *opsDashboard) loop() {
 		under := vals[metrics.Key("mcs_cluster_underreplicated")]
 		sheds := sumPrefix(vals, "mcs_overload_sheds_total")
 
+		// Metadata plane: commit latency is what every store waits on,
+		// and the WAL fsync wait is its durable floor.
+		metaP99 := math.NaN()
+		if v, ok := vals[metrics.Key("mcs_meta_op_seconds", "op", "commit", "quantile", "0.99")]; ok {
+			metaP99 = v * 1000
+		}
+		walP99 := math.NaN()
+		if v, ok := vals[metrics.Key("mcs_meta_wal_fsync_seconds", "quantile", "0.99")]; ok {
+			walP99 = v * 1000
+		}
+
 		d.mu.Lock()
 		d.times = append(d.times, t)
 		d.rps = append(d.rps, rps)
@@ -367,11 +380,19 @@ func (d *opsDashboard) loop() {
 		d.hitRate = append(d.hitRate, hit)
 		d.under = append(d.under, under)
 		d.sheds = append(d.sheds, sheds)
+		d.metaP99 = append(d.metaP99, metaP99)
+		d.walP99 = append(d.walP99, walP99)
 		d.mu.Unlock()
 
 		line := fmt.Sprintf("mcsload: [dash] t=%5.1fs rps=%7.1f upload_p99=%7.1fms", t, rps, p99*1000)
 		if !math.IsNaN(hit) {
 			line += fmt.Sprintf(" cache_hit=%5.1f%%", 100*hit)
+		}
+		if !math.IsNaN(metaP99) {
+			line += fmt.Sprintf(" meta_p99=%5.1fms", metaP99)
+		}
+		if !math.IsNaN(walP99) {
+			line += fmt.Sprintf(" fsync_p99=%5.1fms", walP99)
 		}
 		line += fmt.Sprintf(" under=%d sheds=%d", int64(under), int64(sheds))
 		fmt.Println(line)
@@ -420,6 +441,8 @@ func (d *opsDashboard) render(w *os.File) {
 	plot("requests/s at the front-ends", d.rps, 1)
 	plot("p99 chunk upload latency (ms)", d.p99ms, 1)
 	plot("cache hit rate (%)", d.hitRate, 100)
+	plot("p99 metadata commit latency (ms)", d.metaP99, 1)
+	plot("p99 metadata WAL fsync wait (ms)", d.walP99, 1)
 	if peak(d.under) > 0 {
 		plot("under-replicated chunks", d.under, 1)
 	}

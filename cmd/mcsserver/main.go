@@ -58,7 +58,11 @@ func main() {
 		peerList = flag.String("peers", "", "comma-separated base URLs of every cluster node, self included (empty = single node, no replication)")
 		replicas = flag.Int("replicas", 3, "replica owners per chunk in a cluster (N)")
 		quorum   = flag.Int("quorum", 2, "owner acks required before a chunk PUT is acknowledged (W)")
-		metaURL  = flag.String("metaurl", "", "remote metadata service base URL; when set this node serves no metadata itself")
+		metaURL  = flag.String("metaurl", "", "remote metadata service base URL(s), comma-separated primary-first; when set this node serves no metadata itself")
+		metaDir  = flag.String("metadata-dir", "", "durable metadata directory: WAL + checkpoint with crash recovery (empty keeps metadata in RAM; supersedes -metasnap)")
+		metaCkpt = flag.Duration("metacheckpoint", 30*time.Second, "periodic metadata checkpoint interval (with -metadata-dir; 0 disables)")
+		metaStby = flag.String("metastandby", "", "serve metadata as a read-only standby replicating from this primary base URL")
+		metaFEs  = flag.String("metafrontends", "", "comma-separated front-end base URLs the metadata server assigns to clients (default: cluster peers, else this process's listeners)")
 		traceBuf = flag.Int("tracebuf", 65536, "distributed-tracing span ring capacity per process (0 disables tracing)")
 		traceSmp = flag.Int("tracesample", 1, "record 1 in N locally-rooted traces (requests arriving with X-MCS-Trace are always recorded)")
 	)
@@ -141,17 +145,44 @@ func main() {
 		metaSvc = storage.NewRemoteMeta(*metaURL, nil)
 		fmt.Printf("mcsserver: using remote metadata at %s\n", *metaURL)
 	} else {
-		meta = storage.NewMetadata()
-		meta.Instrument(reg)
-		if *metaSnap != "" {
-			if err := meta.LoadFile(*metaSnap); err != nil {
+		if *metaDir != "" {
+			var err error
+			meta, err = storage.OpenDurableMetadata(*metaDir)
+			if err != nil {
 				fatal(err)
 			}
-			if n := meta.Stats().Files; n > 0 {
-				fmt.Printf("mcsserver: restored %d files from %s\n", n, *metaSnap)
+			ws := meta.WAL().Stats()
+			fmt.Printf("mcsserver: durable metadata %s: %d files recovered in %v (checkpoint seq %d, last seq %d)",
+				*metaDir, meta.Stats().Files, ws.Recovery.Round(time.Millisecond), ws.CheckpointSeq, meta.LastSeq())
+			if ws.Truncated > 0 {
+				fmt.Printf(" (%d torn-tail bytes truncated)", ws.Truncated)
+			}
+			fmt.Println()
+		} else {
+			meta = storage.NewMetadata()
+			if *metaSnap != "" {
+				if err := meta.LoadFile(*metaSnap); err != nil {
+					fatal(err)
+				}
+				if n := meta.Stats().Files; n > 0 {
+					fmt.Printf("mcsserver: restored %d files from %s\n", n, *metaSnap)
+				}
 			}
 		}
+		meta.Instrument(reg)
 		metaSvc = meta
+	}
+
+	// Standby mode: replicate the primary's WAL stream and reject
+	// direct writes with a retryable 503, so front-ends fail over.
+	var standby *storage.MetaStandby
+	if *metaStby != "" {
+		if meta == nil {
+			fatal(fmt.Errorf("-metastandby requires serving metadata locally (drop -metaurl)"))
+		}
+		standby = storage.NewMetaStandby(meta, *metaStby, nil, 0)
+		standby.Instrument(reg)
+		fmt.Printf("mcsserver: metadata standby replicating from %s\n", *metaStby)
 	}
 
 	cfg := storage.FrontEndConfig{Meta: metaSvc, Sink: sink, Metrics: storage.NewFrontEndMetrics(reg)}
@@ -183,15 +214,34 @@ func main() {
 	var feLns []feListener
 	for _, addr := range strings.Split(*feAddrs, ",") {
 		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue // -frontends "" runs a dedicated metadata node
+		}
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			fatal(err)
 		}
 		feLns = append(feLns, feListener{ln: ln, base: "http://" + hostify(ln.Addr().String())})
 	}
+	// The metadata listener comes up alongside the front-ends so a
+	// dedicated metadata node (no front-ends) still has an identity.
+	var metaLn net.Listener
+	if meta != nil {
+		var err error
+		metaLn, err = net.Listen("tcp", *metaAddr)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	selfNode := *nodeURL
-	if selfNode == "" {
+	switch {
+	case selfNode != "":
+	case len(feLns) > 0:
 		selfNode = feLns[0].base
+	case metaLn != nil:
+		selfNode = "http://" + hostify(metaLn.Addr().String())
+	default:
+		fatal(fmt.Errorf("no listeners: provide -frontends or serve metadata"))
 	}
 
 	// Distributed tracing: one span ring for the whole process, shared
@@ -284,9 +334,16 @@ func main() {
 		fmt.Printf("mcsserver: front-end on %s\n", fl.base)
 	}
 	if meta != nil {
-		// The metadata server assigns front-ends to clients: every
-		// peer node in a cluster, otherwise this process's listeners.
-		if repl != nil {
+		// The metadata server assigns front-ends to clients:
+		// -metafrontends when given (dedicated metadata nodes), else
+		// every peer node in a cluster, else this process's listeners.
+		if *metaFEs != "" {
+			for _, fe := range strings.Split(*metaFEs, ",") {
+				if fe = strings.TrimSpace(fe); fe != "" {
+					meta.AddFrontEnd(fe)
+				}
+			}
+		} else if repl != nil {
 			for _, p := range repl.Info().Peers {
 				meta.AddFrontEnd(p)
 			}
@@ -294,10 +351,6 @@ func main() {
 			for _, fl := range feLns {
 				meta.AddFrontEnd(fl.base)
 			}
-		}
-		metaLn, err := net.Listen("tcp", *metaAddr)
-		if err != nil {
-			fatal(err)
 		}
 		metaH := tracing.Middleware(tracer, tracing.CompMeta, nil, meta.Handler())
 		if injMeta != nil {
@@ -328,9 +381,13 @@ func main() {
 			hostify(opsLn.Addr().String()))
 	}
 	health.SetReady(true)
+	if standby != nil {
+		standby.Start()
+	}
 
-	// Background maintenance: demote idle chunks to the cold tier and
-	// reclaim dead segment space. Both loops stop at shutdown so the
+	// Background maintenance: demote idle chunks to the cold tier,
+	// reclaim dead segment space, and checkpoint the metadata WAL so
+	// recovery replay stays short. All loops stop at shutdown so the
 	// final fsync in Close is the last write.
 	maintDone := make(chan struct{})
 	var maintWG sync.WaitGroup
@@ -376,6 +433,24 @@ func main() {
 			}
 		}()
 	}
+	if meta != nil && meta.WAL() != nil && *metaCkpt > 0 {
+		maintWG.Add(1)
+		go func() {
+			defer maintWG.Done()
+			tick := time.NewTicker(*metaCkpt)
+			defer tick.Stop()
+			for {
+				select {
+				case <-maintDone:
+					return
+				case <-tick.C:
+					if err := meta.Checkpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "mcsserver: meta checkpoint:", err)
+					}
+				}
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -401,6 +476,9 @@ func main() {
 	cancel()
 	close(maintDone)
 	maintWG.Wait()
+	if standby != nil {
+		standby.Close()
+	}
 	if repl != nil {
 		repl.Close()
 	}
@@ -421,7 +499,13 @@ func main() {
 			fatal(err)
 		}
 	}
-	if meta != nil && *metaSnap != "" {
+	if meta != nil && meta.WAL() != nil {
+		// CloseWAL checkpoints first, so the next open replays nothing.
+		if err := meta.CloseWAL(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mcsserver: metadata checkpointed at seq %d in %s\n", meta.LastSeq(), *metaDir)
+	} else if meta != nil && *metaSnap != "" {
 		if err := meta.SaveFile(*metaSnap); err != nil {
 			fatal(err)
 		}
@@ -436,6 +520,11 @@ func main() {
 	if meta != nil {
 		ms := meta.Stats()
 		fmt.Printf("mcsserver: %d files, %d users, %d dedup hits\n", ms.Files, ms.Users, ms.DedupHits)
+		if w := meta.WAL(); w != nil {
+			ws := w.Stats()
+			fmt.Printf("mcsserver: metadata WAL %d appends (%0.2f KB), %d fsyncs, %d checkpoints\n",
+				ws.Appends, float64(ws.BytesLogged)/(1<<10), ws.Fsyncs, ws.Checkpoints)
+		}
 	}
 	if repl != nil {
 		fmt.Printf("mcsserver: cluster under-replicated chunks at exit: %d\n", repl.Underreplicated())

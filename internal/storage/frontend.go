@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -341,8 +342,8 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(expected) == 0 {
 		// Zero-byte files carry no chunks; commit immediately.
-		if err := f.meta.Commit(url, nil); err != nil {
-			f.fail(w, r, http.StatusNotFound, err, trace.FileStore)
+		if err := metaCommit(r.Context(), f.meta, url, nil); err != nil {
+			f.fail(w, r, metaErrStatus(err, http.StatusNotFound), err, trace.FileStore)
 			return
 		}
 		tsrv := f.upstream()
@@ -387,8 +388,8 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	f.mu.Unlock()
 
 	if len(missing) == 0 {
-		if err := f.commitUpload(url, snapshot); err != nil {
-			f.fail(w, r, http.StatusInternalServerError, err, trace.FileStore)
+		if err := f.commitUpload(r.Context(), url, snapshot); err != nil {
+			f.fail(w, r, metaErrStatus(err, http.StatusInternalServerError), err, trace.FileStore)
 			return
 		}
 	}
@@ -433,9 +434,11 @@ func (f *FrontEnd) handleStatOp(w http.ResponseWriter, r *http.Request) {
 
 // commitUpload finalizes a completed upload at the metadata server and
 // only then drops the pending record, so a failed commit remains
-// retryable by the client (via op re-issue or chunk re-PUT).
-func (f *FrontEnd) commitUpload(url string, expected []Sum) error {
-	if err := f.meta.Commit(url, expected); err != nil {
+// retryable by the client (via op re-issue or chunk re-PUT). The
+// request context rides along so the metadata server's WAL spans join
+// the caller's trace.
+func (f *FrontEnd) commitUpload(ctx context.Context, url string, expected []Sum) error {
+	if err := metaCommit(ctx, f.meta, url, expected); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -462,7 +465,7 @@ func (f *FrontEnd) handleRetrieveOp(w http.ResponseWriter, r *http.Request) {
 		f.fail(w, r, http.StatusBadRequest, err, trace.FileRetrieve)
 		return
 	}
-	meta, err := f.meta.Lookup(sum)
+	meta, err := metaLookup(r.Context(), f.meta, sum)
 	if err != nil {
 		f.fail(w, r, http.StatusNotFound, err, trace.FileRetrieve)
 		return
@@ -619,8 +622,8 @@ func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, sta
 		}
 		f.mu.Unlock()
 		if snapshot != nil {
-			if err := f.commitUpload(url, snapshot); err != nil {
-				f.fail(w, r, http.StatusInternalServerError, err, trace.ChunkStore)
+			if err := f.commitUpload(r.Context(), url, snapshot); err != nil {
+				f.fail(w, r, metaErrStatus(err, http.StatusInternalServerError), err, trace.ChunkStore)
 				return
 			}
 		}

@@ -2,9 +2,17 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mcloud/internal/cluster"
+	"mcloud/internal/randx"
+	"mcloud/internal/tracing"
 )
 
 // RemoteMeta implements MetaService against a metadata server running
@@ -14,58 +22,178 @@ import (
 // endpoints and decodes the typed /v1 error envelope, so sentinel
 // checks (errors.Is(err, ErrNotFound)) behave exactly as with a local
 // *Metadata.
+//
+// It is built to ride through a metadata-node kill: every request gets
+// a per-attempt deadline, failed attempts back off exponentially with
+// deterministic jitter and honor Retry-After, and when several
+// endpoints are configured (primary first, then standbys) attempts
+// rotate through them in circuit-breaker health order. A standby
+// answers reads and rejects writes with a retryable 503, so writes
+// keep cycling until the primary is back — the front-end never has to
+// know which node is which.
 type RemoteMeta struct {
-	base string
-	http *http.Client
+	endpoints []string // primary first; never empty
+	http      *http.Client
+	health    *cluster.Health
+	retry     RetryPolicy
+
+	rngMu sync.Mutex
+	rng   *randx.Source
 }
 
-// NewRemoteMeta returns a MetaService talking to the metadata server
-// at baseURL. httpc may be nil for a shared default with sane
-// timeouts.
+// DefaultMetaRetry shapes RemoteMeta's persistence: enough attempts
+// and delay headroom to span a metadata-node restart (a few seconds),
+// with short per-attempt deadlines so a dead node is detected fast.
+var DefaultMetaRetry = RetryPolicy{
+	MaxAttempts:    8,
+	BaseDelay:      50 * time.Millisecond,
+	MaxDelay:       2 * time.Second,
+	Multiplier:     2,
+	Jitter:         0.5,
+	RequestTimeout: 5 * time.Second,
+}
+
+// NewRemoteMeta returns a MetaService talking to the metadata servers
+// listed in baseURL — a comma-separated list, primary first, standbys
+// after. httpc may be nil for a shared default with sane timeouts.
 func NewRemoteMeta(baseURL string, httpc *http.Client) *RemoteMeta {
 	if httpc == nil {
 		httpc = defaultHTTPClient
 	}
-	return &RemoteMeta{base: baseURL, http: httpc}
+	var eps []string
+	for _, e := range strings.Split(baseURL, ",") {
+		e = strings.TrimRight(strings.TrimSpace(e), "/")
+		if e != "" {
+			eps = append(eps, e)
+		}
+	}
+	if len(eps) == 0 {
+		eps = []string{""}
+	}
+	return &RemoteMeta{
+		endpoints: eps,
+		http:      httpc,
+		health:    cluster.NewHealth(0, 0),
+		retry:     DefaultMetaRetry,
+		rng:       randx.Derive(0, "remotemeta"),
+	}
 }
 
-// postJSON is a single-attempt JSON round trip; retries are the
-// caller's business (front-end commit failures surface to the client,
-// which re-issues the operation).
-func (m *RemoteMeta) postJSON(path string, in, out interface{}) error {
+// SetRetry overrides the retry policy and jitter seed (tests, tuning).
+func (m *RemoteMeta) SetRetry(pol RetryPolicy, seed uint64) {
+	m.retry = pol.withDefaults()
+	m.rngMu.Lock()
+	m.rng = randx.Derive(seed, "remotemeta")
+	m.rngMu.Unlock()
+}
+
+// pick chooses the endpoint for a 1-based attempt: health-ordered
+// (alive before tripped, configured order inside each class), rotated
+// by attempt so consecutive retries try different nodes.
+func (m *RemoteMeta) pick(attempt int) string {
+	ordered := m.health.Order(m.endpoints)
+	if len(ordered) == 0 {
+		ordered = m.endpoints
+	}
+	return ordered[(attempt-1)%len(ordered)]
+}
+
+func (m *RemoteMeta) jitterDraw() float64 {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.rng.Float64()
+}
+
+// postJSON runs one logical metadata operation with retries. Each
+// attempt is a span (child of the caller's trace, annotated with the
+// endpoint and the fault seen) whose headers ride the request, so the
+// metadata server's handler span joins under the caller's trace.
+func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, m.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
+	pol := m.retry.withDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		ep := m.pick(attempt)
+		req, err := http.NewRequest(http.MethodPost, ep+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(APIHeader, APIV1)
+		att := tracing.ChildFromContext(ctx, tracing.CompMeta, op)
+		att.AnnotateInt("attempt", int64(attempt))
+		att.Annotate("endpoint", ep)
+		att.Inject(req.Header)
+		actx, cancel := context.WithTimeout(ctx, pol.RequestTimeout)
+		resp, err := m.http.Do(req.WithContext(actx))
+		var retryAfter time.Duration
+		if err != nil {
+			m.health.ReportFailure(ep)
+		} else {
+			// Any HTTP response means the node is up — even a 503
+			// standby rejection (routing, not node health).
+			m.health.ReportSuccess(ep)
+			retryAfter = parseRetryAfter(resp.Header)
+			if resp.StatusCode != http.StatusOK {
+				err = decodeError(resp)
+			} else if out != nil {
+				err = json.NewDecoder(resp.Body).Decode(out)
+			}
+			resp.Body.Close()
+		}
+		cancel()
+		if err != nil {
+			att.Annotate("fault", err.Error())
+		}
+		att.End()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+		if attempt >= pol.MaxAttempts {
+			return fmt.Errorf("storage: meta %s: giving up after %d attempts: %w", op, attempt, lastErr)
+		}
+		d := pol.backoff(attempt, m.jitterDraw())
+		if retryAfter > d {
+			d = retryAfter
+		}
+		if d > pol.MaxDelay {
+			d = pol.MaxDelay
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return fmt.Errorf("storage: meta %s: %w (last error: %v)", op, ctx.Err(), lastErr)
+		}
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(APIHeader, APIV1)
-	resp, err := m.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Commit implements MetaService.
 func (m *RemoteMeta) Commit(url string, chunkMD5s []Sum) error {
-	return m.postJSON("/meta/commit", CommitRequest{URL: url, ChunkMD5s: sumStrings(chunkMD5s)}, nil)
+	return m.CommitCtx(context.Background(), url, chunkMD5s)
+}
+
+// CommitCtx is Commit with trace propagation and cancellation.
+func (m *RemoteMeta) CommitCtx(ctx context.Context, url string, chunkMD5s []Sum) error {
+	return m.postJSON(ctx, "meta-commit", "/meta/commit",
+		CommitRequest{URL: url, ChunkMD5s: sumStrings(chunkMD5s)}, nil)
 }
 
 // Lookup implements MetaService.
 func (m *RemoteMeta) Lookup(sum Sum) (FileMeta, error) {
+	return m.LookupCtx(context.Background(), sum)
+}
+
+// LookupCtx is Lookup with trace propagation and cancellation.
+func (m *RemoteMeta) LookupCtx(ctx context.Context, sum Sum) (FileMeta, error) {
 	var resp LookupResponse
-	if err := m.postJSON("/meta/lookup", LookupRequest{FileMD5: sum.String()}, &resp); err != nil {
+	if err := m.postJSON(ctx, "meta-lookup", "/meta/lookup", LookupRequest{FileMD5: sum.String()}, &resp); err != nil {
 		return FileMeta{}, err
 	}
 	fileSum, err := ParseSum(resp.FileMD5)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"mcloud/internal/metrics"
+	"mcloud/internal/tracing"
 )
 
 // FileMeta is the metadata server's record of one stored file version.
@@ -32,6 +34,31 @@ type MetaService interface {
 	Lookup(sum Sum) (FileMeta, error)
 }
 
+// ctxMetaService is the context-aware superset of MetaService; both
+// *Metadata and *RemoteMeta implement it. The context carries the
+// caller's trace (WAL spans join it) and cancellation.
+type ctxMetaService interface {
+	CommitCtx(ctx context.Context, url string, chunkMD5s []Sum) error
+	LookupCtx(ctx context.Context, sum Sum) (FileMeta, error)
+}
+
+// metaCommit commits via svc, propagating ctx when svc supports it —
+// the same downgrade pattern PutCtx uses for chunk stores.
+func metaCommit(ctx context.Context, svc MetaService, url string, chunkMD5s []Sum) error {
+	if c, ok := svc.(ctxMetaService); ok {
+		return c.CommitCtx(ctx, url, chunkMD5s)
+	}
+	return svc.Commit(url, chunkMD5s)
+}
+
+// metaLookup resolves via svc, propagating ctx when svc supports it.
+func metaLookup(ctx context.Context, svc MetaService, sum Sum) (FileMeta, error) {
+	if c, ok := svc.(ctxMetaService); ok {
+		return c.LookupCtx(ctx, sum)
+	}
+	return svc.Lookup(sum)
+}
+
 // Metadata is the metadata service (§2.1): it owns user namespaces,
 // performs file-level deduplication, maps URLs to content hashes, and
 // assigns storage front-ends. It is safe for concurrent use.
@@ -48,8 +75,23 @@ type Metadata struct {
 	dedupHits int64 // uploads avoided entirely by file-level dedup
 	checks    int64
 
+	// Durability + replication state. lastSeq numbers every applied
+	// mutation; tail buffers the most recent records so standbys can
+	// pull them without reading the log back from disk; wal (nil for a
+	// RAM-only server) makes mutations crash-safe. A standby applies
+	// only replicated records and rejects direct writes.
+	lastSeq uint64
+	tail    []MetaWALRecord
+	wal     *MetaWAL
+	standby bool
+	primary string // primary's base URL, for standby error messages
+
 	met *metadataMetrics // nil until Instrument; set before serving
 }
+
+// metaTailCap bounds the in-memory replication tail. A standby that
+// falls further behind than this is reseeded with a full snapshot.
+const metaTailCap = 8192
 
 // metadataMetrics holds the pre-resolved latency histograms for the
 // metadata operations.
@@ -75,6 +117,13 @@ func (m *Metadata) Instrument(reg *metrics.Registry) {
 		resolve:    reg.Histogram("mcs_meta_op_seconds", help, "op", "resolve"),
 		commit:     reg.Histogram("mcs_meta_op_seconds", help, "op", "commit"),
 		lookup:     reg.Histogram("mcs_meta_op_seconds", help, "op", "lookup"),
+	}
+	reg.GaugeFunc("mcs_meta_wal_last_seq", "Newest applied metadata mutation sequence.",
+		func() float64 { return float64(m.LastSeq()) })
+	if m.wal != nil {
+		m.wal.Instrument(reg)
+		reg.GaugeFunc("mcs_meta_wal_records", "WAL records not yet covered by a checkpoint.",
+			func() float64 { return float64(m.LastSeq() - m.wal.Stats().CheckpointSeq) })
 	}
 }
 
@@ -113,6 +162,13 @@ func (m *Metadata) pickFrontEnd() string {
 // it links the file into the user's namespace and reports Duplicate.
 // Otherwise it reserves a URL and directs the client to a front-end.
 func (m *Metadata) StoreCheck(req StoreCheckRequest) (StoreCheckResponse, error) {
+	return m.StoreCheckCtx(context.Background(), req)
+}
+
+// StoreCheckCtx is StoreCheck with trace propagation: when a WAL is
+// attached, the append and fsync waits show up as spans under the
+// caller's trace.
+func (m *Metadata) StoreCheckCtx(ctx context.Context, req StoreCheckRequest) (StoreCheckResponse, error) {
 	if met := m.met; met != nil {
 		defer met.storeCheck.ObserveSince(time.Now())
 	}
@@ -120,22 +176,40 @@ func (m *Metadata) StoreCheck(req StoreCheckRequest) (StoreCheckResponse, error)
 	if err != nil {
 		return StoreCheckResponse{}, err
 	}
+	app := m.walSpan(ctx, tracing.SpanWALAppend)
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	if err := m.writeGuardLocked(); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return StoreCheckResponse{}, err
+	}
 	m.checks++
+	var rec MetaWALRecord
+	var resp StoreCheckResponse
 	if f, ok := m.byMD5[sum]; ok {
 		m.dedupHits++
-		m.linkLocked(req.UserID, f)
-		return StoreCheckResponse{Duplicate: true, URL: f.URL}, nil
+		rec = MetaWALRecord{Op: walOpLink, User: req.UserID, URL: f.URL}
+		resp = StoreCheckResponse{Duplicate: true, URL: f.URL}
+	} else {
+		// The record is provisional until Commit; it reserves the URL
+		// but enters the dedup catalog only when chunks land. The
+		// reserved sequence rides in the record so replay reproduces
+		// URL assignment exactly.
+		url := fmt.Sprintf("/f/%x/%d", sum[:4], m.urlSeq+1)
+		rec = MetaWALRecord{
+			Op: walOpReserve, User: req.UserID, URL: url,
+			Name: req.Name, Size: req.Size, FileMD5: req.FileMD5,
+			URLSeq: m.urlSeq + 1,
+		}
+		resp = StoreCheckResponse{FrontEnd: m.pickFrontEnd(), URL: url}
 	}
-	m.urlSeq++
-	url := fmt.Sprintf("/f/%x/%d", sum[:4], m.urlSeq)
-	f := &FileMeta{Name: req.Name, Size: req.Size, FileMD5: sum, URL: url}
-	// The record is provisional until Commit; store it under URL so
-	// the URL is reserved, but not under MD5 until chunks land.
-	m.byURL[url] = f
-	m.linkLocked(req.UserID, f)
-	return StoreCheckResponse{FrontEnd: m.pickFrontEnd(), URL: url}, nil
+	lsn, err := m.logApplyLocked(&rec)
+	m.mu.Unlock()
+	app.EndErr(err)
+	if err != nil {
+		return StoreCheckResponse{}, err
+	}
+	return resp, m.waitDurable(ctx, lsn)
 }
 
 // linkLocked adds the file to a user's namespace (caller holds mu).
@@ -157,46 +231,194 @@ func (m *Metadata) linkLocked(user uint64, f *FileMeta) {
 // can release chunk references (see DeleteFile). Deduplicated content
 // linked by other users survives.
 func (m *Metadata) Unlink(user uint64, url string) (chunks []Sum, lastRef bool, err error) {
+	return m.UnlinkCtx(context.Background(), user, url)
+}
+
+// UnlinkCtx is Unlink with trace propagation (see StoreCheckCtx).
+func (m *Metadata) UnlinkCtx(ctx context.Context, user uint64, url string) (chunks []Sum, lastRef bool, err error) {
+	app := m.walSpan(ctx, tracing.SpanWALAppend)
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	if err := m.writeGuardLocked(); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return nil, false, err
+	}
 	ns, ok := m.users[user]
 	if !ok {
+		m.mu.Unlock()
+		app.End()
 		return nil, false, ErrNotFound
 	}
 	f, ok := ns[url]
 	if !ok {
+		m.mu.Unlock()
+		app.End()
 		return nil, false, ErrNotFound
 	}
-	delete(ns, url)
-	if len(ns) == 0 {
-		delete(m.users, user)
+	chunks = f.ChunkMD5s
+	lastRef = m.links[url] <= 1
+	rec := MetaWALRecord{Op: walOpUnlink, User: user, URL: url}
+	lsn, err := m.logApplyLocked(&rec)
+	m.mu.Unlock()
+	app.EndErr(err)
+	if err != nil {
+		return nil, false, err
 	}
-	m.links[url]--
-	if m.links[url] > 0 {
-		return f.ChunkMD5s, false, nil
-	}
-	delete(m.links, url)
-	delete(m.byURL, url)
-	delete(m.byMD5, f.FileMD5)
-	return f.ChunkMD5s, true, nil
+	return chunks, lastRef, m.waitDurable(ctx, lsn)
 }
 
 // Commit finalizes a file upload: the front-end calls it after all
 // chunks are stored, making the content available for dedup and
 // retrieval.
 func (m *Metadata) Commit(url string, chunkMD5s []Sum) error {
+	return m.CommitCtx(context.Background(), url, chunkMD5s)
+}
+
+// CommitCtx is Commit with trace propagation (see StoreCheckCtx).
+func (m *Metadata) CommitCtx(ctx context.Context, url string, chunkMD5s []Sum) error {
 	if met := m.met; met != nil {
 		defer met.commit.ObserveSince(time.Now())
 	}
+	app := m.walSpan(ctx, tracing.SpanWALAppend)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, ok := m.byURL[url]
-	if !ok {
+	if err := m.writeGuardLocked(); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return err
+	}
+	if _, ok := m.byURL[url]; !ok {
+		m.mu.Unlock()
+		app.End()
 		return ErrNotFound
 	}
-	f.ChunkMD5s = chunkMD5s
-	m.byMD5[f.FileMD5] = f
+	rec := MetaWALRecord{Op: walOpCommit, URL: url, ChunkMD5s: sumStrings(chunkMD5s)}
+	lsn, err := m.logApplyLocked(&rec)
+	m.mu.Unlock()
+	app.EndErr(err)
+	if err != nil {
+		return err
+	}
+	return m.waitDurable(ctx, lsn)
+}
+
+// writeGuardLocked rejects mutations on a standby (caller holds mu).
+// The typed error unwraps to ErrUnavailable, so over /v1 the client
+// sees a retryable 503 and fails over to the primary.
+func (m *Metadata) writeGuardLocked() error {
+	if m.standby {
+		return fmt.Errorf("%w: metadata standby of %s is read-only", ErrUnavailable, m.primary)
+	}
 	return nil
+}
+
+// logApplyLocked assigns the next sequence number, applies the record
+// through the shared mutation path, buffers it for replication, and
+// appends it to the WAL (caller holds mu for writing). The returned
+// LSN must be passed to waitDurable after the lock is released; until
+// then the mutation is applied but not yet acknowledged durable.
+func (m *Metadata) logApplyLocked(rec *MetaWALRecord) (int64, error) {
+	rec.Seq = m.lastSeq + 1
+	if err := m.applyRecordLocked(rec); err != nil {
+		return 0, err
+	}
+	m.lastSeq = rec.Seq
+	m.tailAppendLocked(*rec)
+	if m.wal == nil {
+		return 0, nil
+	}
+	return m.wal.Append(rec)
+}
+
+// applyRecordLocked is the single mutation path: live operations,
+// recovery replay, and standby apply all mutate the maps through it,
+// so a replayed log always reproduces the live state (caller holds mu
+// for writing).
+func (m *Metadata) applyRecordLocked(rec *MetaWALRecord) error {
+	switch rec.Op {
+	case walOpReserve:
+		sum, err := ParseSum(rec.FileMD5)
+		if err != nil {
+			return fmt.Errorf("storage: meta apply reserve: %w", err)
+		}
+		f := &FileMeta{Name: rec.Name, Size: rec.Size, FileMD5: sum, URL: rec.URL}
+		m.byURL[rec.URL] = f
+		m.linkLocked(rec.User, f)
+		if rec.URLSeq > m.urlSeq {
+			m.urlSeq = rec.URLSeq
+		}
+	case walOpLink:
+		f, ok := m.byURL[rec.URL]
+		if !ok {
+			return fmt.Errorf("storage: meta apply link: unknown URL %q", rec.URL)
+		}
+		m.linkLocked(rec.User, f)
+	case walOpCommit:
+		f, ok := m.byURL[rec.URL]
+		if !ok {
+			return fmt.Errorf("storage: meta apply commit: unknown URL %q", rec.URL)
+		}
+		sums, err := parseSums(rec.ChunkMD5s)
+		if err != nil {
+			return fmt.Errorf("storage: meta apply commit: %w", err)
+		}
+		f.ChunkMD5s = sums
+		m.byMD5[f.FileMD5] = f
+	case walOpUnlink:
+		ns, ok := m.users[rec.User]
+		if !ok {
+			return fmt.Errorf("storage: meta apply unlink: unknown user %d", rec.User)
+		}
+		f, ok := ns[rec.URL]
+		if !ok {
+			return fmt.Errorf("storage: meta apply unlink: user %d has no %q", rec.User, rec.URL)
+		}
+		delete(ns, rec.URL)
+		if len(ns) == 0 {
+			delete(m.users, rec.User)
+		}
+		m.links[rec.URL]--
+		if m.links[rec.URL] <= 0 {
+			delete(m.links, rec.URL)
+			delete(m.byURL, rec.URL)
+			delete(m.byMD5, f.FileMD5)
+		}
+	default:
+		return fmt.Errorf("storage: meta apply: unknown op %q", rec.Op)
+	}
+	return nil
+}
+
+// tailAppendLocked buffers a record for standby pulls, dropping the
+// oldest quarter when full — the tail stays contiguous, and a standby
+// that needs older records is reseeded with a snapshot (caller holds
+// mu for writing).
+func (m *Metadata) tailAppendLocked(rec MetaWALRecord) {
+	if len(m.tail) >= metaTailCap {
+		n := copy(m.tail, m.tail[metaTailCap/4:])
+		m.tail = m.tail[:n]
+	}
+	m.tail = append(m.tail, rec)
+}
+
+// walSpan opens a WAL-append tracing span when durability is on; the
+// returned span is nil-safe.
+func (m *Metadata) walSpan(ctx context.Context, name string) *tracing.Span {
+	if m.wal == nil {
+		return nil
+	}
+	return tracing.ChildFromContext(ctx, tracing.CompMeta, name)
+}
+
+// waitDurable blocks until the record behind lsn is fsync-covered,
+// tracing the group-commit wait.
+func (m *Metadata) waitDurable(ctx context.Context, lsn int64) error {
+	if m.wal == nil || lsn == 0 {
+		return nil
+	}
+	fs := tracing.ChildFromContext(ctx, tracing.CompMeta, tracing.SpanWALFsync)
+	err := m.wal.WaitDurable(lsn)
+	fs.EndErr(err)
+	return err
 }
 
 // Resolve maps a file URL to its content hash and a front-end, for
@@ -216,6 +438,12 @@ func (m *Metadata) Resolve(req ResolveRequest) (ResolveResponse, error) {
 		Size:     f.Size,
 		FrontEnd: m.pickFrontEnd(),
 	}, nil
+}
+
+// LookupCtx is Lookup; the context is accepted for interface symmetry
+// (reads don't touch the WAL, so there is nothing to trace here).
+func (m *Metadata) LookupCtx(_ context.Context, sum Sum) (FileMeta, error) {
+	return m.Lookup(sum)
 }
 
 // Lookup returns the file record for a content hash.
@@ -301,9 +529,12 @@ type LookupResponse struct {
 //	POST /meta/resolve      ResolveRequest -> ResolveResponse
 //	POST /meta/commit       CommitRequest (front-end internal)
 //	POST /meta/lookup       LookupRequest -> LookupResponse (front-end internal)
+//	POST /meta/wal/pull     MetaPullRequest -> MetaPullResponse (standby internal)
+//	GET  /meta/wal/status   MetaWALStatus
 //
 // Every response carries the X-MCS-API stamp; requests advertising v1
-// receive the typed error envelope.
+// receive the typed error envelope. Mutations on a standby answer 503
+// with a retryable envelope so front-ends fail over to the primary.
 func (m *Metadata) Handler() http.Handler {
 	mux := http.NewServeMux()
 	registerBoth(mux, "/meta/store-check", func(w http.ResponseWriter, r *http.Request) {
@@ -311,9 +542,9 @@ func (m *Metadata) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		resp, err := m.StoreCheck(req)
+		resp, err := m.StoreCheckCtx(r.Context(), req)
 		if err != nil {
-			writeAPIError(w, r, http.StatusBadRequest, err)
+			writeAPIError(w, r, metaErrStatus(err, http.StatusBadRequest), err)
 			return
 		}
 		writeJSON(w, resp)
@@ -340,8 +571,8 @@ func (m *Metadata) Handler() http.Handler {
 			writeAPIError(w, r, http.StatusBadRequest, err)
 			return
 		}
-		if err := m.Commit(req.URL, sums); err != nil {
-			writeAPIError(w, r, http.StatusNotFound, err)
+		if err := m.CommitCtx(r.Context(), req.URL, sums); err != nil {
+			writeAPIError(w, r, metaErrStatus(err, http.StatusNotFound), err)
 			return
 		}
 		writeJSON(w, FileOpResponse{OK: true})
@@ -369,7 +600,32 @@ func (m *Metadata) Handler() http.Handler {
 			URL:       f.URL,
 		})
 	})
+	registerBoth(mux, "/meta/wal/pull", func(w http.ResponseWriter, r *http.Request) {
+		var req MetaPullRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, m.Pull(req))
+	})
+	registerBoth(mux, "/meta/wal/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeAPIError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method))
+			return
+		}
+		writeJSON(w, m.WALStatus())
+	})
 	return advertiseV1(mux)
+}
+
+// metaErrStatus maps a metadata mutation error to an HTTP status:
+// standby rejections (and any other unavailability) are 503 so the
+// typed envelope marks them retryable; everything else keeps the
+// handler's default.
+func metaErrStatus(err error, fallback int) int {
+	if IsUnavailable(err) {
+		return http.StatusServiceUnavailable
+	}
+	return fallback
 }
 
 // parseSums decodes a list of hex digests.

@@ -1,0 +1,334 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcloud/internal/metrics"
+)
+
+// Metadata replication: a standby node pulls committed WAL records
+// from the primary over /v1/meta/wal/pull and applies them through the
+// same applyRecordLocked path the primary used, so both hold identical
+// state. A standby that is too far behind for the primary's in-memory
+// tail (or is brand new) is reseeded with a full snapshot — the same
+// codec the WAL checkpoint uses. The standby persists what it applies
+// to its own WAL, so a promoted or restarted standby recovers exactly
+// like a primary.
+//
+// Writes are rejected on the standby with a retryable 503 (see
+// writeGuardLocked); reads are served from the replicated state. This
+// is the metadata-plane counterpart of the chunk plane's replicated
+// ring: the paper's metadata tier is a replicated database, and the
+// request-cloning literature (PAPERS.md) shows a warm replica is what
+// masks single-server failure from clients.
+
+// MetaPullRequest asks the primary for every record after sequence
+// After, bounded by Limit (default 1024).
+type MetaPullRequest struct {
+	After uint64 `json:"after"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+// MetaPullResponse carries either a batch of records contiguous from
+// After+1, or — when the primary's tail no longer reaches that far
+// back — a full snapshot to reseed from. LastSeq is the primary's
+// newest sequence, so the standby knows whether to pull again
+// immediately.
+type MetaPullResponse struct {
+	LastSeq     uint64          `json:"last_seq"`
+	Records     []MetaWALRecord `json:"records,omitempty"`
+	Snapshot    *metaSnapshot   `json:"snapshot,omitempty"`
+	SnapshotSeq uint64          `json:"snapshot_seq,omitempty"`
+}
+
+// Pull serves one replication batch (primary side).
+func (m *Metadata) Pull(req MetaPullRequest) MetaPullResponse {
+	limit := req.Limit
+	if limit <= 0 || limit > 4096 {
+		limit = 1024
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	resp := MetaPullResponse{LastSeq: m.lastSeq}
+	if req.After >= m.lastSeq {
+		return resp // caught up
+	}
+	// The tail holds contiguous sequences ending at lastSeq; serve
+	// from it when it reaches back to After+1.
+	if n := len(m.tail); n > 0 && m.tail[0].Seq <= req.After+1 {
+		start := int(req.After + 1 - m.tail[0].Seq)
+		end := start + limit
+		if end > n {
+			end = n
+		}
+		resp.Records = append(resp.Records, m.tail[start:end]...)
+		return resp
+	}
+	// Too far behind (or fresh): reseed with a snapshot.
+	snap := m.snapshotLocked()
+	resp.Snapshot = &snap
+	resp.SnapshotSeq = m.lastSeq
+	return resp
+}
+
+// SetStandby marks this metadata server a read-only replica of
+// primary. Mutations are rejected with a retryable 503 until Promote.
+func (m *Metadata) SetStandby(primary string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.standby = true
+	m.primary = primary
+}
+
+// Promote clears standby mode, letting the node accept writes — the
+// manual failover step when the primary is gone for good.
+func (m *Metadata) Promote() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.standby = false
+	m.primary = ""
+}
+
+// ApplyReplicated applies a contiguous batch of records pulled from
+// the primary: mutate through the shared apply path, buffer for
+// further replication, append to the local WAL, and wait once for
+// durability at the end of the batch. Records at or below the current
+// sequence are skipped (the pull raced an earlier apply); a sequence
+// gap aborts the batch so the caller can re-pull.
+func (m *Metadata) ApplyReplicated(recs []MetaWALRecord) (applied int, err error) {
+	var lsn int64
+	m.mu.Lock()
+	for i := range recs {
+		rec := recs[i]
+		if rec.Seq <= m.lastSeq {
+			continue
+		}
+		if rec.Seq != m.lastSeq+1 {
+			err = fmt.Errorf("storage: meta replicate: sequence gap: have %d, got %d", m.lastSeq, rec.Seq)
+			break
+		}
+		if aerr := m.applyRecordLocked(&rec); aerr != nil {
+			err = aerr
+			break
+		}
+		m.lastSeq = rec.Seq
+		m.tailAppendLocked(rec)
+		if m.wal != nil {
+			l, werr := m.wal.Append(&rec)
+			if werr != nil {
+				err = werr
+				break
+			}
+			lsn = l
+		}
+		applied++
+	}
+	wal := m.wal
+	m.mu.Unlock()
+	if wal != nil && lsn != 0 {
+		if derr := wal.WaitDurable(lsn); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return applied, err
+}
+
+// ResetFromSnapshot discards all local state and reseeds from a
+// primary snapshot at seq, then checkpoints so the local WAL drops its
+// now-obsolete history.
+func (m *Metadata) ResetFromSnapshot(snap metaSnapshot, seq uint64) error {
+	m.mu.Lock()
+	m.byMD5 = make(map[Sum]*FileMeta)
+	m.byURL = make(map[string]*FileMeta)
+	m.users = make(map[uint64]map[string]*FileMeta)
+	m.links = make(map[string]int)
+	m.tail = nil
+	err := m.restoreLocked(snap)
+	if err == nil {
+		m.lastSeq = seq
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return m.Checkpoint()
+}
+
+// MetaWALStatus is the /meta/wal/status wire form, used by operators
+// and the cluster smoke to check replication lag and durability.
+type MetaWALStatus struct {
+	LastSeq       uint64 `json:"last_seq"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	TailLen       int    `json:"tail_len"`
+	Files         int    `json:"files"`
+	Users         int    `json:"users"`
+	Durable       bool   `json:"durable"`
+	Standby       bool   `json:"standby"`
+	Primary       string `json:"primary,omitempty"`
+}
+
+// WALStatus reports the durability/replication position.
+func (m *Metadata) WALStatus() MetaWALStatus {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st := MetaWALStatus{
+		LastSeq: m.lastSeq,
+		TailLen: len(m.tail),
+		Files:   len(m.byURL),
+		Users:   len(m.users),
+		Durable: m.wal != nil,
+		Standby: m.standby,
+		Primary: m.primary,
+	}
+	if m.wal != nil {
+		st.CheckpointSeq = m.wal.Stats().CheckpointSeq
+	}
+	return st
+}
+
+// MetaStandby runs the standby's pull loop against the primary.
+type MetaStandby struct {
+	meta     *Metadata
+	primary  string
+	httpc    *http.Client
+	interval time.Duration
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	pulls   atomic.Int64
+	applied atomic.Int64
+	resets  atomic.Int64
+	lag     atomic.Int64 // primary lastSeq - local lastSeq at last pull
+	errs    atomic.Int64
+}
+
+// NewMetaStandby marks meta as a standby of primary and returns the
+// pull loop (not yet started). interval is the idle poll period;
+// while behind, the loop pulls back-to-back.
+func NewMetaStandby(meta *Metadata, primary string, httpc *http.Client, interval time.Duration) *MetaStandby {
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 10 * time.Second}
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	meta.SetStandby(primary)
+	return &MetaStandby{
+		meta:     meta,
+		primary:  primary,
+		httpc:    httpc,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the pull loop.
+func (s *MetaStandby) Start() {
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+			// Drain until caught up; errors wait for the next tick
+			// (the primary is restarting — hammering won't help).
+			for {
+				behind, err := s.pullOnce()
+				if err != nil {
+					s.errs.Add(1)
+					break
+				}
+				if !behind {
+					break
+				}
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the pull loop and waits for it to exit (idempotent).
+func (s *MetaStandby) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// pullOnce fetches and applies one batch; behind reports whether the
+// primary has more records than we now hold.
+func (s *MetaStandby) pullOnce() (behind bool, err error) {
+	req := MetaPullRequest{After: s.meta.LastSeq(), Limit: 1024}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, s.primary+"/v1/meta/wal/pull", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(APIHeader, APIV1)
+	hresp, err := s.httpc.Do(hreq)
+	if err != nil {
+		return false, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return false, decodeError(hresp)
+	}
+	var resp MetaPullResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return false, err
+	}
+	s.pulls.Add(1)
+	switch {
+	case resp.Snapshot != nil:
+		if err := s.meta.ResetFromSnapshot(*resp.Snapshot, resp.SnapshotSeq); err != nil {
+			return false, err
+		}
+		s.resets.Add(1)
+	case len(resp.Records) > 0:
+		n, err := s.meta.ApplyReplicated(resp.Records)
+		s.applied.Add(int64(n))
+		if err != nil {
+			return false, err
+		}
+	}
+	local := s.meta.LastSeq()
+	lag := int64(0)
+	if resp.LastSeq > local {
+		lag = int64(resp.LastSeq - local)
+	}
+	s.lag.Store(lag)
+	return lag > 0, nil
+}
+
+// Instrument registers the standby-side replication series.
+func (s *MetaStandby) Instrument(reg *metrics.Registry) {
+	reg.CounterFunc("mcs_meta_standby_pulls_total", "Replication pull batches fetched from the primary.",
+		func() float64 { return float64(s.pulls.Load()) })
+	reg.CounterFunc("mcs_meta_standby_applied_total", "Replicated metadata records applied.",
+		func() float64 { return float64(s.applied.Load()) })
+	reg.CounterFunc("mcs_meta_standby_snapshot_resets_total", "Full-snapshot reseeds (standby fell behind the tail).",
+		func() float64 { return float64(s.resets.Load()) })
+	reg.CounterFunc("mcs_meta_standby_pull_errors_total", "Failed replication pulls (primary down or restarting).",
+		func() float64 { return float64(s.errs.Load()) })
+	reg.GaugeFunc("mcs_meta_standby_lag", "Records the standby trails the primary by (at last pull).",
+		func() float64 { return float64(s.lag.Load()) })
+}

@@ -2,9 +2,11 @@ package storage
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"syscall"
 )
 
 // metaSnapshot is the JSON form of the metadata server's durable
@@ -36,6 +38,18 @@ const snapshotVersion = 1
 // Snapshot serializes the catalog and user namespaces to w.
 func (m *Metadata) Snapshot(w io.Writer) error {
 	m.mu.RLock()
+	snap := m.snapshotLocked()
+	m.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// snapshotLocked builds the serializable form of the durable state
+// (caller holds mu in either mode). The WAL checkpoint and the
+// standby snapshot transfer reuse it, so every durability path shares
+// one codec.
+func (m *Metadata) snapshotLocked() metaSnapshot {
 	snap := metaSnapshot{Version: snapshotVersion, URLSeq: m.urlSeq}
 	for url, f := range m.byURL {
 		_, committed := m.byMD5[f.FileMD5]
@@ -58,10 +72,7 @@ func (m *Metadata) Snapshot(w io.Writer) error {
 		}
 		snap.Users = append(snap.Users, us)
 	}
-	m.mu.RUnlock()
-
-	enc := json.NewEncoder(w)
-	return enc.Encode(snap)
+	return snap
 }
 
 // Restore loads a snapshot into an empty metadata server. Restoring
@@ -72,14 +83,19 @@ func (m *Metadata) Restore(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("storage: restore: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("storage: restore: unsupported snapshot version %d", snap.Version)
-	}
-
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.byURL) != 0 || len(m.users) != 0 {
 		return fmt.Errorf("storage: restore into non-empty metadata server")
+	}
+	return m.restoreLocked(snap)
+}
+
+// restoreLocked rebuilds the in-memory state from a snapshot (caller
+// holds mu and has emptied or just-created the maps).
+func (m *Metadata) restoreLocked(snap metaSnapshot) error {
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("storage: restore: unsupported snapshot version %d", snap.Version)
 	}
 	m.urlSeq = snap.URLSeq
 	for _, fs := range snap.Files {
@@ -116,9 +132,12 @@ func (m *Metadata) Restore(r io.Reader) error {
 // failure between the temp-file write and the atomic rename.
 var renameSnapshot = os.Rename
 
-// SaveFile writes a snapshot atomically (temp file + fsync + rename),
-// so a crash at any point leaves either the previous snapshot or the
-// new one — never a torn file.
+// SaveFile writes a snapshot atomically (temp file + fsync + rename +
+// parent-directory fsync), so a crash at any point leaves either the
+// previous snapshot or the new one — never a torn file. The directory
+// fsync matters: without it the rename itself may not have reached
+// disk, and a crash immediately after SaveFile returns could resurrect
+// the old snapshot (or, for a first save, no snapshot at all).
 func (m *Metadata) SaveFile(path string) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".meta-*")
 	if err != nil {
@@ -142,7 +161,26 @@ func (m *Metadata) SaveFile(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	return syncDir(dirOf(path))
+}
+
+// syncDir fsyncs a directory, making previously-renamed entries in it
+// durable. Filesystems that reject directory fsync (some network or
+// FUSE mounts) are tolerated: the rename is still atomic, only its
+// durability timing is weaker there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (os.IsPermission(err) || errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
 }
 
 // LoadFile restores from a snapshot file; a missing file is not an

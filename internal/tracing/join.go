@@ -33,6 +33,13 @@ const (
 	SpanDiskAppend = "append"      // segment append under the store lock
 	SpanDiskFsync  = "fsync-wait"  // group-commit fsync wait
 	SpanDiskRead   = "read"        // segment read + verify
+
+	// Metadata WAL span names (component CompMeta). They sit under the
+	// meta handler span, so a slow metadata commit decomposes into log
+	// append vs. group-commit fsync wait — the same split the chunk
+	// disk stage gets.
+	SpanWALAppend = "wal-append"     // record append under the metadata lock
+	SpanWALFsync  = "wal-fsync-wait" // group-commit fsync wait for the record's LSN
 )
 
 // Trace is one operation's spans joined across every exporting node.

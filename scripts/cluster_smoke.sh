@@ -1,16 +1,33 @@
 #!/usr/bin/env bash
-# Cluster smoke test: boot a 3-node replicated cluster (node 1 also
-# serves metadata), drive it with mcsload while a seeded chaos scenario
-# takes node 3 through a full outage window, then assert the headline
-# invariants:
+# Cluster smoke test: boot a replicated cluster with a dedicated
+# durable metadata node and a warm standby, then run two chaos phases
+# against it:
+#
+#   Phase A — chunk-plane outage: mcsload drives the cluster while a
+#   seeded chaos scenario takes storage node 3 through a 200-request
+#   outage window.
+#   Phase B — metadata-plane crash: a second load runs while the
+#   metadata primary is SIGKILLed mid-load (no drain, no shutdown
+#   checkpoint) and restarted from its WAL directory.
+#
+# The phases are sequential so each gate is deterministic: phase A's
+# verify sweep runs against a cluster whose outage window has closed,
+# and phase B's runs against a healthy chunk plane, isolating what the
+# metadata kill must not break.
+#
+# Invariants asserted:
 #
 #   1. every acknowledged upload is retrieved back byte-identical
-#      (0 lost, 0 corrupted) — mcsload -verify exits non-zero otherwise;
+#      (0 lost, 0 corrupted) — mcsload -verify exits non-zero
+#      otherwise — in BOTH phases, which for phase B means every file
+#      acked before the SIGKILL survived the metadata crash;
 #   2. mcs_cluster_underreplicated returns to 0 on every node once the
 #      repair loop has re-streamed the replicas the outage missed;
-#   3. a follow-up mcsrebalance pass finds nothing left to move;
-#   4. distributed tracing joins end-to-end: mcstrace -strict over the
-#      three nodes' /debug/traces plus the loader's trace dump must
+#   3. the restarted metadata primary recovers its state from the WAL +
+#      checkpoint, and the standby drains its replication lag to 0;
+#   4. a follow-up mcsrebalance pass finds nothing left to move;
+#   5. distributed tracing joins end-to-end: mcstrace -strict over the
+#      storage nodes' /debug/traces plus both loaders' trace dumps must
 #      decompose every acknowledged chunk transfer completely.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,21 +49,40 @@ N2=http://127.0.0.1:8082
 N3=http://127.0.0.1:8083
 PEERS="$N1,$N2,$N3"
 META=http://127.0.0.1:8070
+METASTBY=http://127.0.0.1:8071
 # Node 3 rejects every request in its [30, 230) request window; the
 # other nodes share the spec but the node= gate disables it for them.
 CHAOS="name=smoke,seed=7,outage=30+200,node=$N3"
 
-# Each node gets a durable segment store so the traced disk stage
-# (append + fsync-wait spans) carries real time in the diagnosis.
-"$BIN/mcsserver" -meta :8070 -frontends :8081 -ops :8090 -log "$WORK/n1.log" \
+# The metadata plane is its own pair of processes: a durable primary
+# (WAL + 2s checkpoints) that assigns the storage nodes as front-ends,
+# and a standby replicating its WAL stream. Front-ends list both, so
+# metadata reads fail over while the primary is down and writes retry
+# until it is back.
+start_meta_primary() {
+    "$BIN/mcsserver" -meta :8070 -frontends "" -ops :8093 -log "$WORK/m$1.log" \
+        -metadata-dir "$WORK/meta" -metacheckpoint 2s -metafrontends "$PEERS" \
+        >"$WORK/m$1.out" 2>&1 &
+    MPID=$!
+    pids+=($MPID)
+}
+start_meta_primary 1
+"$BIN/mcsserver" -meta :8071 -frontends "" -ops :8094 -log "$WORK/s.log" \
+    -metadata-dir "$WORK/metastby" -metastandby "$META" -metafrontends "$PEERS" \
+    >"$WORK/s.out" 2>&1 &
+pids+=($!)
+
+# Each storage node gets a durable segment store so the traced disk
+# stage (append + fsync-wait spans) carries real time in the diagnosis.
+"$BIN/mcsserver" -frontends :8081 -metaurl "$META,$METASTBY" -ops :8090 -log "$WORK/n1.log" \
     -data "$WORK/d1" \
     -peers "$PEERS" -replicas 3 -quorum 2 -chaos "$CHAOS" >"$WORK/n1.out" 2>&1 &
 pids+=($!)
-"$BIN/mcsserver" -frontends :8082 -metaurl "$META" -ops :8091 -log "$WORK/n2.log" \
+"$BIN/mcsserver" -frontends :8082 -metaurl "$META,$METASTBY" -ops :8091 -log "$WORK/n2.log" \
     -data "$WORK/d2" \
     -peers "$PEERS" -replicas 3 -quorum 2 -chaos "$CHAOS" >"$WORK/n2.out" 2>&1 &
 pids+=($!)
-"$BIN/mcsserver" -frontends :8083 -metaurl "$META" -ops :8092 -log "$WORK/n3.log" \
+"$BIN/mcsserver" -frontends :8083 -metaurl "$META,$METASTBY" -ops :8092 -log "$WORK/n3.log" \
     -data "$WORK/d3" \
     -peers "$PEERS" -replicas 3 -quorum 2 -chaos "$CHAOS" >"$WORK/n3.out" 2>&1 &
 pids+=($!)
@@ -57,44 +93,100 @@ ready() {
         sleep 0.2
     done
     echo "cluster_smoke: node on ops port $1 never became ready" >&2
-    cat "$WORK"/n*.out >&2 || true
+    cat "$WORK"/*.out >&2 || true
     return 1
 }
+ready 8093
+ready 8094
 ready 8090
 ready 8091
 ready 8092
-echo "cluster_smoke: 3 nodes up (N=3, W=2), node 3 will outage for 200 requests"
+echo "cluster_smoke: 5 processes up (meta primary + standby, 3 storage nodes, N=3 W=2)"
 
+# --- Phase A: chunk-plane outage -----------------------------------
 # Invariant 1 (and 2 on node 1): mcsload exits non-zero on any lost or
 # corrupted acknowledged file, or if node 1's under-replication gauge
 # does not drain. The outage makes some operations fail outright —
 # that's expected and capped by -maxfail.
+echo "cluster_smoke: phase A: load with node 3 in a 200-request outage"
 "$BIN/mcsload" -meta "$META" -devices 4 -files 10 -retrieve 0.5 -seed 3 \
     -ops http://127.0.0.1:8090 -waitrepair 60s -maxfail 0.5 \
-    -tracedump "$WORK/client-traces.json"
+    -tracedump "$WORK/client-traces-a.json"
 
 # Invariant 2 on the other nodes: their repair queues must drain too.
 gauge_zero() {
     for i in $(seq 1 150); do
-        v=$(curl -fsS "http://127.0.0.1:$1/metrics" | awk '$1 == "mcs_cluster_underreplicated" {print $2}')
+        v=$(curl -fsS "http://127.0.0.1:$1/metrics" | awk -v g="$2" '$1 == g {print $2}')
         if [ "${v:-1}" = "0" ]; then return 0; fi
         sleep 0.2
     done
-    echo "cluster_smoke: mcs_cluster_underreplicated stuck at ${v:-?} on ops port $1" >&2
+    echo "cluster_smoke: $2 stuck at ${v:-?} on ops port $1" >&2
     return 1
 }
-gauge_zero 8091
-gauge_zero 8092
+gauge_zero 8091 mcs_cluster_underreplicated
+gauge_zero 8092 mcs_cluster_underreplicated
 echo "cluster_smoke: under-replication drained to 0 on all nodes"
 
-# Invariant 3: placement is already correct, so the rebalancer is a
+# --- Phase B: metadata-plane crash ---------------------------------
+# Invariant 3, first half: once the second load is demonstrably in
+# flight (the primary has durably committed several phase-B files),
+# SIGKILL the metadata primary and restart it from the same WAL
+# directory. Every commit it acked must survive; commits in flight
+# during the restart ride the front-ends' failover retries.
+meta_commits() {
+    curl -fsS http://127.0.0.1:8093/metrics 2>/dev/null |
+        grep '^mcs_meta_op_seconds_count{op="commit"}' | awk '{print $2}'
+}
+base=$(meta_commits || echo 0)
+echo "cluster_smoke: phase B: load with a mid-load metadata kill (commit count starts at ${base:-0})"
+"$BIN/mcsload" -meta "$META" -devices 4 -files 8 -retrieve 0.5 -seed 5 \
+    -maxfail 0.5 -tracedump "$WORK/client-traces-b.json" &
+LOAD=$!
+
+killed=0
+for i in $(seq 1 300); do
+    c=$(meta_commits || true)
+    if [ "${c:-0}" -ge $((${base:-0} + 5)) ] 2>/dev/null; then
+        kill -9 "$MPID"
+        echo "cluster_smoke: SIGKILLed metadata primary after $((c - base)) phase-B commits"
+        killed=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$killed" != 1 ]; then
+    echo "cluster_smoke: metadata kill never triggered (load too fast or primary down)" >&2
+    exit 1
+fi
+sleep 1
+start_meta_primary 2
+ready 8093
+if ! grep -q "durable metadata" "$WORK/m2.out"; then
+    echo "cluster_smoke: restarted metadata primary did not report WAL recovery" >&2
+    cat "$WORK/m2.out" >&2 || true
+    exit 1
+fi
+grep "durable metadata" "$WORK/m2.out" | sed 's/^/cluster_smoke: /'
+
+wait $LOAD
+echo "cluster_smoke: phase B load survived the metadata kill (0 lost, 0 corrupted)"
+
+# Invariant 3, second half: the standby rode through the primary's
+# restart and holds the full committed history.
+gauge_zero 8094 mcs_meta_standby_lag
+echo "cluster_smoke: metadata standby caught up (replication lag 0)"
+
+# Invariant 4: placement is already correct, so the rebalancer is a
 # no-op (it exits non-zero on any transfer error).
 "$BIN/mcsrebalance" -node "$N1"
 
-# Invariant 4: join the loader's traces with every node's ring and
-# demand a complete stage decomposition for each acked transfer —
-# a single missed header propagation anywhere fails the run.
+# Invariant 5: join both loaders' traces with every storage node's
+# ring and demand a complete stage decomposition for each acked
+# transfer — a single missed header propagation anywhere fails the
+# run. (The killed primary's span ring died with it; chunk-transfer
+# joins live on the storage nodes and the loaders, so the gate still
+# has teeth.)
 "$BIN/mcstrace" -strict \
-    -from "http://127.0.0.1:8090,http://127.0.0.1:8091,http://127.0.0.1:8092,$WORK/client-traces.json"
+    -from "http://127.0.0.1:8090,http://127.0.0.1:8091,http://127.0.0.1:8092,$WORK/client-traces-a.json,$WORK/client-traces-b.json"
 
 echo "cluster_smoke: PASS"
