@@ -26,6 +26,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,14 +63,30 @@ type report struct {
 	// TracedOverheadAt8 is t(transfer_traced, 8w) / t(transfer, 8w) - 1:
 	// the fraction of transfer time added by tracing every operation.
 	TracedOverheadAt8 float64 `json:"traced_overhead_at_8"`
+	// BinGainAt8 is 1 - t(transfer_bin, 8w) / t(transfer, 8w): the
+	// fraction of 8-worker transfer time saved by the mcsbin/1 batched
+	// binary dialect over per-chunk JSON.
+	BinGainAt8 float64 `json:"bin_gain_at_8"`
 }
+
+// gatedPaths are the hot paths the -baseline flag guards: a run whose
+// speedup_at_8 drops more than 10% below the committed baseline fails.
+var gatedPaths = []string{"store", "disk", "transfer"}
+
+const baselineSlack = 0.9
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_pipeline.json", "report output path")
-		quick = flag.Bool("quick", false, "reduced problem sizes for CI smoke runs")
+		out      = flag.String("o", "BENCH_pipeline.json", "report output path")
+		quick    = flag.Bool("quick", false, "reduced problem sizes for CI smoke runs")
+		baseline = flag.String("baseline", "", "committed report to gate against: exit non-zero if any of store/disk/transfer speedup_at_8 drops >10% below it")
+		only     = flag.String("only", "", "comma-separated path names to run (default all); aggregate and delta lines need their inputs present")
+		reps     = flag.Int("reps", 3, "repetitions per timing; the minimum is reported (least-noise estimator, stabilizes the gated speedup ratios)")
 	)
 	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
 
 	rep := report{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -87,22 +104,41 @@ func main() {
 	}{
 		{"store", "CPU/lock-bound: concurrent Put into the sharded chunk store", benchStore},
 		{"disk", "fsync-bound: concurrent durable Put into the segment store; group commit amortizes fsyncs across writers", benchDisk},
-		{"transfer", "latency-bound: pipelined chunk PUT+GET against a live front-end with a 20ms median simulated upstream delay", benchTransfer},
-		{"transfer_traced", "the transfer path with distributed tracing on and every operation sampled; the delta vs transfer is the tracing overhead", benchTransferTraced},
-		{"cluster", "same workload as transfer, but through a 3-node N=3/W=2 replicated cluster on loopback; the delta vs transfer is the replication fan-out and one-hop forwarding overhead", benchCluster},
+		{"transfer", "latency-bound: pipelined per-chunk JSON PUT+GET against a live front-end with a 20ms median simulated upstream delay (dialect pinned to JSON)", benchTransfer},
+		{"transfer_bin", "the same workload over the mcsbin/1 batched binary dialect; the delta vs transfer is the dialect win (batched frames share upstream round trips)", benchTransferBin},
+		{"transfer_traced", "the JSON transfer path with distributed tracing on and every operation sampled; the delta vs transfer is the tracing overhead", benchTransferTraced},
+		{"cluster", "same workload and negotiated binary dialect as transfer_bin, but through a 3-node N=3/W=2 replicated cluster on loopback; the delta vs transfer_bin is the replication fan-out and one-hop forwarding overhead", benchCluster},
 		{"generate", "CPU-bound: bounded-memory workload generation via StreamP", benchGenerate},
 		{"analyze", "CPU-bound: user-sharded fold + merge via ParallelAnalyzer", benchAnalyze},
 	}
 
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+
 	speedups := make([]float64, 0, len(paths))
 	for _, p := range paths {
+		if len(want) > 0 && !want[p.name] {
+			continue
+		}
 		pr := pathReport{SecondsByWorkers: map[string]float64{}, Notes: p.notes}
+		// One discarded warmup run per path: the first timed run
+		// otherwise pays heap growth and page faults for the path's
+		// working set, inflating t(1) and with it the reported speedup.
+		runtime.GC()
+		p.run(workerCounts[len(workerCounts)-1], *quick)
 		var t1, t8 float64
 		for _, w := range workerCounts {
-			// Settle allocator debt from setup/previous runs so one
-			// timing doesn't pay another's GC bill.
-			runtime.GC()
-			secs := p.run(w, *quick)
+			secs := math.Inf(1)
+			for r := 0; r < *reps; r++ {
+				// Settle allocator debt from setup/previous runs so one
+				// timing doesn't pay another's GC bill.
+				runtime.GC()
+				secs = math.Min(secs, p.run(w, *quick))
+			}
 			pr.SecondsByWorkers[fmt.Sprint(w)] = secs
 			fmt.Printf("mcsbench: %-8s workers=%d  %8.3fs\n", p.name, w, secs)
 			if w == 1 {
@@ -120,16 +156,22 @@ func main() {
 		speedups = append(speedups, pr.SpeedupAt8)
 	}
 
-	logSum := 0.0
-	for _, s := range speedups {
-		logSum += math.Log(math.Max(s, 1e-9))
+	if len(speedups) > 0 {
+		logSum := 0.0
+		for _, s := range speedups {
+			logSum += math.Log(math.Max(s, 1e-9))
+		}
+		rep.AggregateSpeedupAt8 = math.Exp(logSum / float64(len(speedups)))
+		fmt.Printf("mcsbench: aggregate speedup at 8 workers: %.2fx (geometric mean)\n", rep.AggregateSpeedupAt8)
 	}
-	rep.AggregateSpeedupAt8 = math.Exp(logSum / float64(len(speedups)))
-	fmt.Printf("mcsbench: aggregate speedup at 8 workers: %.2fx (geometric mean)\n", rep.AggregateSpeedupAt8)
 
-	if plain, traced := rep.Paths["transfer"].SecondsByWorkers["8"], rep.Paths["transfer_traced"].SecondsByWorkers["8"]; plain > 0 {
+	if plain, traced := rep.Paths["transfer"].SecondsByWorkers["8"], rep.Paths["transfer_traced"].SecondsByWorkers["8"]; plain > 0 && traced > 0 {
 		rep.TracedOverheadAt8 = traced/plain - 1
 		fmt.Printf("mcsbench: tracing overhead on the transfer path at 8 workers: %+.1f%%\n", 100*rep.TracedOverheadAt8)
+	}
+	if plain, bin := rep.Paths["transfer"].SecondsByWorkers["8"], rep.Paths["transfer_bin"].SecondsByWorkers["8"]; plain > 0 && bin > 0 {
+		rep.BinGainAt8 = 1 - bin/plain
+		fmt.Printf("mcsbench: mcsbin/1 gain over JSON on the transfer path at 8 workers: %.1f%%\n", 100*rep.BinGainAt8)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -140,6 +182,52 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("mcsbench: wrote %s\n", *out)
+
+	if *baseline != "" {
+		if err := gateAgainst(*baseline, rep); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// gateAgainst compares this run's gated speedups with a committed
+// baseline report and errors if any regressed past the slack. The
+// baseline must come from the same mode: quick runs have smaller,
+// overhead-dominated problem sizes whose speedups are not comparable
+// with full-size numbers.
+func gateAgainst(path string, rep report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Quick != rep.Quick {
+		return fmt.Errorf("baseline %s was recorded with quick=%v but this run is quick=%v; speedups are only comparable within a mode", path, base.Quick, rep.Quick)
+	}
+	failed := false
+	for _, name := range gatedPaths {
+		want, ok := base.Paths[name]
+		if !ok || want.SpeedupAt8 <= 0 {
+			fmt.Printf("mcsbench: gate %-8s no baseline speedup recorded; skipping\n", name)
+			continue
+		}
+		got := rep.Paths[name].SpeedupAt8
+		floor := want.SpeedupAt8 * baselineSlack
+		verdict := "ok"
+		if got < floor {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("mcsbench: gate %-8s speedup_at_8 %.2fx vs baseline %.2fx (floor %.2fx): %s\n",
+			name, got, want.SpeedupAt8, floor, verdict)
+	}
+	if failed {
+		return fmt.Errorf("speedup regression vs baseline %s (floor is %.0f%% of committed speedup_at_8)", path, 100*baselineSlack)
+	}
+	return nil
 }
 
 // benchStore times W goroutines putting pre-hashed chunks into one
@@ -193,9 +281,12 @@ func benchStore(workers int, quick bool) float64 {
 // scaling it measures is the group commit: more concurrent writers
 // share each fsync instead of issuing their own.
 func benchDisk(workers int, quick bool) float64 {
+	// Quick mode still needs enough puts for the fsync group-commit
+	// ratio to settle — a ~0.1s run is all scheduler noise and makes
+	// the CI regression gate flake.
 	chunks, size := 1024, 64<<10
 	if quick {
-		chunks, size = 128, 16<<10
+		chunks, size = 512, 16<<10
 	}
 	data := make([][]byte, chunks)
 	sums := make([]storage.Sum, chunks)
@@ -249,21 +340,33 @@ func benchDisk(workers int, quick bool) float64 {
 }
 
 // benchTransfer times storing and retrieving files through a live
-// in-process front-end whose upstream delay is a ~2 ms lognormal,
-// with the client keeping `workers` chunk requests in flight.
+// in-process front-end whose upstream delay is a ~20 ms lognormal,
+// with the client keeping `workers` chunk requests in flight. The
+// dialect is pinned to per-chunk JSON so this path stays comparable
+// with pre-mcsbin baselines; transfer_bin measures the binary dialect.
 func benchTransfer(workers int, quick bool) float64 {
-	return benchTransferWith(workers, quick, nil)
+	return benchTransferWith(workers, quick, nil, true)
+}
+
+// benchTransferBin is the identical workload with the mcsbin/1 batched
+// binary dialect negotiated (the default for current clients).
+func benchTransferBin(workers int, quick bool) float64 {
+	return benchTransferWith(workers, quick, nil, false)
 }
 
 // benchTransferTraced is the identical workload with a tracer on both
 // sides and every operation sampled — the worst case for tracing
 // overhead on the wire path.
 func benchTransferTraced(workers int, quick bool) float64 {
-	return benchTransferWith(workers, quick, tracing.New(tracing.Config{Node: "bench", Sample: 1}))
+	return benchTransferWith(workers, quick, tracing.New(tracing.Config{Node: "bench", Sample: 1}), true)
 }
 
-func benchTransferWith(workers int, quick bool, tracer *tracing.Tracer) float64 {
-	files, chunksPerFile := 4, 16
+func benchTransferWith(workers int, quick bool, tracer *tracing.Tracer, disableBin bool) float64 {
+	// Few deep files rather than many shallow ones: a 16 MB sync object
+	// keeps a 32-chunk pipeline busy, which is the shape where window
+	// depth (and batched round trips) matter; per-file metadata ops
+	// amortize identically across both dialects.
+	files, chunksPerFile := 2, 32
 	if quick {
 		files, chunksPerFile = 2, 8
 	}
@@ -295,12 +398,13 @@ func benchTransferWith(workers int, quick bool, tracer *tracing.Tracer) float64 
 	meta.AddFrontEnd(feSrv.URL)
 
 	client := &storage.Client{
-		MetaURL:  metaSrv.URL,
-		UserID:   1,
-		DeviceID: 1,
-		Device:   trace.Android,
-		Parallel: workers,
-		Tracer:   tracer,
+		MetaURL:    metaSrv.URL,
+		UserID:     1,
+		DeviceID:   1,
+		Device:     trace.Android,
+		Parallel:   workers,
+		Tracer:     tracer,
+		DisableBin: disableBin,
 	}
 
 	payloads := make([][]byte, files)
@@ -332,12 +436,14 @@ func benchTransferWith(workers int, quick bool, tracer *tracing.Tracer) float64 
 	return time.Since(start).Seconds()
 }
 
-// benchCluster is benchTransfer through a 3-node replicated cluster:
-// every chunk PUT fans out to its ring owners (quorum W=2 of N=3) and
-// GETs may forward one hop to a replica. Comparing its timings with
-// the single-node transfer path isolates the replication overhead.
+// benchCluster is the transfer workload through a 3-node replicated
+// cluster: every chunk PUT fans out to its ring owners (quorum W=2 of
+// N=3) and GETs may forward one hop to a replica. The client
+// negotiates mcsbin/1 as it would in production, so the honest
+// single-node comparison point is transfer_bin (same shape, same
+// dialect); that delta isolates the replication overhead.
 func benchCluster(workers int, quick bool) float64 {
-	files, chunksPerFile := 4, 16
+	files, chunksPerFile := 2, 32
 	if quick {
 		files, chunksPerFile = 2, 8
 	}

@@ -65,6 +65,7 @@ func main() {
 		metaFEs  = flag.String("metafrontends", "", "comma-separated front-end base URLs the metadata server assigns to clients (default: cluster peers, else this process's listeners)")
 		traceBuf = flag.Int("tracebuf", 65536, "distributed-tracing span ring capacity per process (0 disables tracing)")
 		traceSmp = flag.Int("tracesample", 1, "record 1 in N locally-rooted traces (requests arriving with X-MCS-Trace are always recorded)")
+		binAPI   = flag.Bool("binapi", true, "serve the mcsbin/1 binary chunk dialect (/v1/bin/*) and advertise it via X-MCS-Bin; false pins peers and clients to JSON")
 	)
 	flag.Parse()
 	fmt.Printf("mcsserver: GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
@@ -185,7 +186,7 @@ func main() {
 		fmt.Printf("mcsserver: metadata standby replicating from %s\n", *metaStby)
 	}
 
-	cfg := storage.FrontEndConfig{Meta: metaSvc, Sink: sink, Metrics: storage.NewFrontEndMetrics(reg)}
+	cfg := storage.FrontEndConfig{Meta: metaSvc, Sink: sink, Metrics: storage.NewFrontEndMetrics(reg), DisableBin: !*binAPI}
 	if *tsrvMS > 0 {
 		src := randx.New(uint64(time.Now().UnixNano()))
 		median := float64(*tsrvMS) * float64(time.Millisecond)
@@ -287,6 +288,7 @@ func main() {
 			Replicas:    *replicas,
 			WriteQuorum: *quorum,
 			Local:       store,
+			DisableBin:  !*binAPI,
 		})
 		if err != nil {
 			fatal(err)

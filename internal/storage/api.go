@@ -178,8 +178,20 @@ func writeAPIError(w http.ResponseWriter, r *http.Request, status int, err error
 // advertiseV1 wraps a handler so every response — success or error —
 // carries the X-MCS-API stamp clients negotiate against.
 func advertiseV1(next http.Handler) http.Handler {
+	return advertiseDialects(false, next)
+}
+
+// advertiseDialects stamps every response with the dialects this
+// server speaks: always X-MCS-API: v1, plus X-MCS-Bin: mcsbin/1 when
+// the binary chunk dialect is enabled. Clients treat the bin stamp as
+// the capability signal, so a node built (or flagged) without the
+// dialect silently keeps its peers on JSON.
+func advertiseDialects(bin bool, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(APIHeader, APIV1)
+		if bin {
+			w.Header().Set(BinHeader, BinV1)
+		}
 		next.ServeHTTP(w, r)
 	})
 }

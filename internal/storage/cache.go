@@ -149,6 +149,19 @@ func (s *cacheShard) admit(sum Sum, data []byte) {
 	s.used += int64(len(data))
 }
 
+// GetReaderCtx implements ReaderStore: hits stream the cached slice
+// without copying; misses read through GetCtx so the chunk is still
+// admitted, then serve the admitted copy from RAM. The cache tier
+// therefore trades the backing store's zero-copy disk path for
+// RAM-resident re-reads, which is the point of putting it there.
+func (c *CachedStore) GetReaderCtx(ctx context.Context, sum Sum) (*ChunkReader, error) {
+	data, err := c.GetCtx(ctx, sum)
+	if err != nil {
+		return nil, err
+	}
+	return NewBytesReader(data), nil
+}
+
 // Has implements ChunkStore.
 func (c *CachedStore) Has(sum Sum) bool {
 	s := c.shard(sum)

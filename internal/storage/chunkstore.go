@@ -200,6 +200,17 @@ func (m *MemStore) Get(sum Sum) ([]byte, error) {
 	return data, nil
 }
 
+// GetReaderCtx implements ReaderStore: the reader wraps the resident
+// slice without copying — chunk payloads are content-immutable, so
+// sharing is safe for the reader's lifetime.
+func (m *MemStore) GetReaderCtx(ctx context.Context, sum Sum) (*ChunkReader, error) {
+	data, err := m.Get(sum)
+	if err != nil {
+		return nil, err
+	}
+	return NewBytesReader(data), nil
+}
+
 // Has implements ChunkStore.
 func (m *MemStore) Has(sum Sum) bool {
 	sh := m.shard(sum)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,11 @@ type Client struct {
 	// tests).
 	LegacyAPI bool
 
+	// DisableBin pins the client to the JSON chunk paths even against
+	// binary-capable servers — the knob mcsbench and tests use for
+	// like-for-like dialect comparisons.
+	DisableBin bool
+
 	rngMu sync.Mutex
 	rng   *randx.Source
 
@@ -87,6 +93,13 @@ type Client struct {
 	// signature. Negotiation then costs one round trip per host, once.
 	legacyMu    sync.Mutex
 	legacyHosts map[string]bool
+
+	// binHosts remembers, per host, the last-seen X-MCS-Bin stamp —
+	// the capability signal for the batched binary chunk dialect.
+	// Refreshed on every handled response, so a host restarted without
+	// the dialect downgrades the client back to JSON automatically.
+	binMu    sync.Mutex
+	binHosts map[string]bool
 
 	// rings caches each front-end's cluster ring (nil: single-node or
 	// legacy), learned once per host from /v1/cluster/info.
@@ -113,6 +126,34 @@ func (c *Client) useV1(base string) bool {
 	legacy := c.legacyHosts[base]
 	c.legacyMu.Unlock()
 	return !legacy
+}
+
+// noteBin records the dialect capability a response from base
+// advertised (or stopped advertising).
+func (c *Client) noteBin(base string, h http.Header) {
+	if c.DisableBin || c.LegacyAPI {
+		return
+	}
+	v := binAdvertised(h)
+	c.binMu.Lock()
+	if c.binHosts == nil {
+		c.binHosts = make(map[string]bool)
+	}
+	c.binHosts[base] = v
+	c.binMu.Unlock()
+}
+
+// binHost reports whether chunk traffic to base may take the binary
+// dialect: the client allows it and the host's last response carried
+// the X-MCS-Bin stamp.
+func (c *Client) binHost(base string) bool {
+	if c.DisableBin || !c.useV1(base) {
+		return false
+	}
+	c.binMu.Lock()
+	ok := c.binHosts[base]
+	c.binMu.Unlock()
+	return ok
 }
 
 // apiPath joins base and path, inserting the /v1 prefix when the host
@@ -241,6 +282,7 @@ type ClientConfig struct {
 	SimClock        func() time.Time
 	Tracer          *tracing.Tracer
 	LegacyAPI       bool
+	DisableBin      bool
 }
 
 // NewClient returns a client built from cfg.
@@ -262,6 +304,7 @@ func NewClient(cfg ClientConfig) *Client {
 		SimClock:        cfg.SimClock,
 		Tracer:          cfg.Tracer,
 		LegacyAPI:       cfg.LegacyAPI,
+		DisableBin:      cfg.DisableBin,
 	}
 }
 
@@ -286,6 +329,7 @@ func (c *Client) Clone() *Client {
 		SimClock:        c.SimClock,
 		Tracer:          c.Tracer,
 		LegacyAPI:       c.LegacyAPI,
+		DisableBin:      c.DisableBin,
 	}
 }
 
@@ -339,6 +383,7 @@ func (c *Client) postJSON(base, path string, in, out interface{}, budget *retryB
 				io.Copy(io.Discard, resp.Body)
 				return errLegacyRetry
 			}
+			c.noteBin(base, resp.Header)
 			if resp.StatusCode != http.StatusOK {
 				return decodeError(resp)
 			}
@@ -500,6 +545,15 @@ func (c *Client) window(chunks int) int {
 // fold into res; the returned error is the one from the lowest chunk
 // position, so reporting does not depend on goroutine interleaving.
 func (c *Client) sendChunks(frontend, url string, todo []string, byDigest map[string]int, chunkSums []Sum, data []byte, budget *retryBudget, res *StoreResult) error {
+	if w := c.window(len(todo)); w > 1 && c.binHost(frontend) {
+		if err := c.sendChunksBin(frontend, url, todo, byDigest, chunkSums, data, budget, res, w); err == nil {
+			return nil
+		}
+		// Any batched-upload failure degrades to the per-chunk JSON
+		// path below, which re-sends everything with its own retry
+		// machinery — chunk PUTs are idempotent, so frames the batch
+		// already landed deduplicate server-side.
+	}
 	var sent, sentBytes int64
 	send := func(j int) error {
 		i, ok := byDigest[todo[j]]
@@ -535,6 +589,78 @@ func (c *Client) sendChunks(frontend, url string, todo []string, byDigest map[st
 	res.ChunksSent += int(sent)
 	res.BytesSent += sentBytes
 	return err
+}
+
+// batchSize resolves how many chunks ride one binary batch: small
+// enough that a window's worth of batches still fills the transfer
+// window (keeping the parallelism the JSON path had), capped at the
+// protocol's binMaxBatch.
+func batchSize(n, w int) int {
+	// Split the chunks so every window slot carries one batch: the
+	// server folds each batch's upstream round trips into one shared
+	// wait, while keeping w requests in flight overlaps the per-request
+	// decode/hash work with the other batches' upstream waits. Fewer,
+	// fuller batches measure slower on-core — a single giant request
+	// serializes its transfer and checksum work behind the shared wait.
+	per := (n + w - 1) / w
+	if per > binMaxBatch {
+		per = binMaxBatch
+	}
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// sendChunksBin uploads the missing chunks over the binary dialect,
+// batching them into /v1/bin/put requests that the window runs in
+// parallel. Counters fold into res only when every batch lands, so a
+// fallback to the JSON path never double-counts.
+func (c *Client) sendChunksBin(frontend, url string, todo []string, byDigest map[string]int, chunkSums []Sum, data []byte, budget *retryBudget, res *StoreResult, w int) error {
+	idx := make([]int, len(todo))
+	for j, d := range todo {
+		i, ok := byDigest[d]
+		if !ok {
+			return fmt.Errorf("storage: front-end wants unknown chunk %s", d)
+		}
+		idx[j] = i
+	}
+	slice := func(i int) []byte {
+		lo := i * ChunkSize
+		hi := lo + ChunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		return data[lo:hi]
+	}
+	per := batchSize(len(idx), w)
+	var batches [][]int
+	for lo := 0; lo < len(idx); lo += per {
+		hi := lo + per
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		batches = append(batches, idx[lo:hi])
+	}
+	if w > len(batches) {
+		w = len(batches)
+	}
+	var sent, sentBytes int64
+	err := runWindow(w, len(batches), func(b int) error {
+		n, err := c.putChunkBatch(frontend, url, batches[b], chunkSums, slice, budget)
+		if err != nil {
+			return err
+		}
+		atomic.AddInt64(&sent, int64(len(batches[b])))
+		atomic.AddInt64(&sentBytes, n)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.ChunksSent += int(sent)
+	res.BytesSent += sentBytes
+	return nil
 }
 
 // runWindow runs fn(0..n-1) on w goroutines, keeping at most w calls
@@ -602,6 +728,7 @@ func (c *Client) putChunk(frontend, url string, sum Sum, data []byte, budget *re
 				io.Copy(io.Discard, resp.Body)
 				return errLegacyRetry
 			}
+			c.noteBin(frontend, resp.Header)
 			if resp.StatusCode != http.StatusOK {
 				return decodeError(resp)
 			}
@@ -610,6 +737,65 @@ func (c *Client) putChunk(frontend, url string, sum Sum, data []byte, budget *re
 		})
 	sp.EndErr(err)
 	return err
+}
+
+// putChunkBatch uploads a set of chunks in one binary /v1/bin/put
+// request. The span keeps the chunk-put shape (attempt children, a
+// joined server-side handler span), so the trace pipeline diagnoses
+// the batch exactly like a single bigger chunk transfer. Retries
+// re-send the whole batch — chunk PUTs deduplicate by content, so
+// re-sending frames the server already committed is harmless.
+func (c *Client) putChunkBatch(frontend, url string, ids []int, chunkSums []Sum, slice func(int) []byte, budget *retryBudget) (int64, error) {
+	// Zero-copy body: frame headers are encoded once (the CRC pass over
+	// each payload happens here), then every attempt streams the
+	// headers interleaved with the caller's payload slices — the file
+	// bytes are never staged into a batch buffer.
+	var total, wire int64
+	hdrs := make([]byte, len(ids)*recHeaderSize)
+	for k, i := range ids {
+		p := slice(i)
+		encodeHeader(hdrs[k*recHeaderSize:(k+1)*recHeaderSize], chunkSums[i], uint32(len(p)), p)
+		total += int64(len(p))
+	}
+	count := appendBinCount(nil, len(ids))
+	wire = int64(len(count)) + int64(len(hdrs)) + total
+	body := func() io.Reader {
+		parts := make([]io.Reader, 0, 1+2*len(ids))
+		parts = append(parts, bytes.NewReader(count))
+		for k, i := range ids {
+			parts = append(parts, bytes.NewReader(hdrs[k*recHeaderSize:(k+1)*recHeaderSize]))
+			parts = append(parts, bytes.NewReader(slice(i)))
+		}
+		return io.MultiReader(parts...)
+	}
+	sp := budget.span.StartChild(tracing.CompClient, tracing.SpanChunkPut)
+	sp.Annotate("chunk", chunkSums[ids[0]].String())
+	sp.Annotate("dialect", BinV1)
+	sp.AnnotateInt("count", int64(len(ids)))
+	sp.AnnotateInt("bytes", total)
+	err := c.doRetry(budget, sp,
+		func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPost, frontend+"/v1/bin/put?url="+url, body())
+			if err != nil {
+				return nil, err
+			}
+			req.ContentLength = wire
+			req.Header.Set("Content-Type", binContentType)
+			c.setIdentity(req)
+			c.setAPIVersion(req, frontend)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			defer resp.Body.Close()
+			c.noteBin(frontend, resp.Header)
+			if resp.StatusCode != http.StatusOK {
+				return decodeError(resp)
+			}
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		})
+	sp.EndErr(err)
+	return total, err
 }
 
 // RetrieveFile downloads the file behind a service URL and returns its
@@ -675,29 +861,170 @@ func (c *Client) RetrieveFile(url string) (out []byte, err error) {
 			return nil, fmt.Errorf("storage: metadata size %d inconsistent with %d chunks", res.Size, n)
 		}
 		buf = make([]byte, res.Size)
-		err = runWindow(w, len(sums), func(i int) error {
-			lo := int64(i) * ChunkSize
-			hi := lo + ChunkSize
-			if hi > res.Size {
-				hi = res.Size
+		rest := c.retrieveBin(res.FrontEnd, sums, buf, res.Size, budget, w)
+		if len(rest) > 0 {
+			if w > len(rest) {
+				w = len(rest)
 			}
-			data, err := c.getChunk(res.FrontEnd, sums[i], budget, buf[lo:lo:hi])
+			err = runWindow(w, len(rest), func(k int) error {
+				i := rest[k]
+				lo := int64(i) * ChunkSize
+				hi := lo + ChunkSize
+				if hi > res.Size {
+					hi = res.Size
+				}
+				data, err := c.getChunk(res.FrontEnd, sums[i], budget, buf[lo:lo:hi])
+				if err != nil {
+					return fmt.Errorf("chunk %d: %w", i, err)
+				}
+				if int64(len(data)) != hi-lo {
+					return fmt.Errorf("chunk %d: storage: chunk length %d does not fit file layout", i, len(data))
+				}
+				return nil
+			})
 			if err != nil {
-				return fmt.Errorf("chunk %d: %w", i, err)
+				return nil, err
 			}
-			if int64(len(data)) != hi-lo {
-				return fmt.Errorf("chunk %d: storage: chunk length %d does not fit file layout", i, len(data))
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
 	}
 	if got := SumBytes(buf); got.String() != res.FileMD5 {
 		return nil, fmt.Errorf("storage: retrieved content hash mismatch")
 	}
 	return buf, nil
+}
+
+// retrieveBin fetches as many chunks as possible over the binary
+// dialect, writing verified payloads straight into their slots of the
+// assembled file, and returns the indices the per-chunk JSON path
+// must still fetch (everything, when no target speaks the dialect).
+// Chunks are grouped by their routed primary; hosts not yet seen
+// advertising mcsbin/1 keep their chunks on the fallback path. Batch
+// failures degrade, never abort: the fallback path has per-chunk
+// retries and front-end failover.
+func (c *Client) retrieveBin(frontend string, sums []Sum, buf []byte, size int64, budget *retryBudget, w int) []int {
+	rest := make([]int, 0, len(sums))
+	if c.DisableBin || c.LegacyAPI {
+		for i := range sums {
+			rest = append(rest, i)
+		}
+		return rest
+	}
+	byHost := make(map[string][]int)
+	for i, sum := range sums {
+		t := c.chunkTarget(frontend, sum)
+		if !c.binHost(t) {
+			rest = append(rest, i)
+			continue
+		}
+		byHost[t] = append(byHost[t], i)
+	}
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	type batch struct {
+		host string
+		ids  []int
+	}
+	var batches []batch
+	for _, h := range hosts {
+		ids := byHost[h]
+		per := batchSize(len(ids), w)
+		for lo := 0; lo < len(ids); lo += per {
+			hi := lo + per
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			batches = append(batches, batch{h, ids[lo:hi]})
+		}
+	}
+	if len(batches) == 0 {
+		return rest
+	}
+	if w > len(batches) {
+		w = len(batches)
+	}
+	var mu sync.Mutex
+	runWindow(w, len(batches), func(b int) error {
+		missed := c.getChunkBatch(batches[b].host, batches[b].ids, sums, buf, size, budget)
+		if len(missed) > 0 {
+			mu.Lock()
+			rest = append(rest, missed...)
+			mu.Unlock()
+		}
+		return nil
+	})
+	sort.Ints(rest)
+	return rest
+}
+
+// getChunkBatch fetches one batch of chunks from host over the binary
+// dialect. Frame payloads land directly in their file slots — the CRC
+// and MD5 verification happen during that single copy off the socket.
+// It returns the indices still unfetched: the whole batch after an
+// exhausted retry, or the individual chunks the host answered
+// not-found frames for (the fallback path then walks the replicas).
+func (c *Client) getChunkBatch(host string, ids []int, sums []Sum, buf []byte, size int64, budget *retryBudget) []int {
+	req := make([]Sum, len(ids))
+	for k, i := range ids {
+		req[k] = sums[i]
+	}
+	body := encodeBinGet(req)
+	sp := budget.span.StartChild(tracing.CompClient, tracing.SpanChunkGet)
+	sp.Annotate("chunk", sums[ids[0]].String())
+	sp.Annotate("dialect", BinV1)
+	sp.AnnotateInt("count", int64(len(ids)))
+	var missed []int
+	var got int64
+	err := c.doRetry(budget, sp,
+		func() (*http.Request, error) {
+			r, err := http.NewRequest(http.MethodPost, host+"/v1/bin/get", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			r.Header.Set("Content-Type", binContentType)
+			c.setIdentity(r)
+			c.setAPIVersion(r, host)
+			return r, nil
+		},
+		func(resp *http.Response) error {
+			defer resp.Body.Close()
+			c.noteBin(host, resp.Header)
+			if resp.StatusCode != http.StatusOK {
+				return decodeError(resp)
+			}
+			missed = missed[:0]
+			got = 0
+			for _, i := range ids {
+				lo := int64(i) * ChunkSize
+				hi := lo + ChunkSize
+				if hi > size {
+					hi = size
+				}
+				f, err := readBinFrame(resp.Body, buf[lo:hi])
+				if err != nil {
+					c.Metrics.refetch()
+					return &corruptError{err: err}
+				}
+				if f.notFound {
+					missed = append(missed, i)
+					continue
+				}
+				if f.sum != sums[i] || f.got != sums[i] || int64(len(f.payload)) != hi-lo {
+					c.Metrics.refetch()
+					return &corruptError{err: fmt.Errorf("mcsbin frame mismatch for chunk %d", i)}
+				}
+				got += int64(len(f.payload))
+			}
+			return nil
+		})
+	sp.AnnotateInt("bytes", got)
+	sp.EndErr(err)
+	if err != nil {
+		return ids
+	}
+	return missed
 }
 
 // getChunk downloads and verifies one chunk; truncated or corrupted

@@ -61,6 +61,7 @@ type DiskStore struct {
 
 	fsyncs      atomic.Int64
 	compactions atomic.Int64
+	streamReads atomic.Int64 // GetReaderCtx opens (zero-copy read path)
 	recovery    time.Duration
 	truncated   int64 // torn-tail bytes discarded at open
 	closed      bool
@@ -495,6 +496,55 @@ func (ds *DiskStore) GetCtx(ctx context.Context, sum Sum) (_ []byte, err error) 
 	return buf[recHeaderSize:], nil
 }
 
+// GetReaderCtx implements ReaderStore: it returns a streaming view
+// over the pinned record region of the segment file instead of
+// materializing the payload. The pin is held until the reader is
+// Closed, so compaction keeps the file open (and its bytes valid,
+// even after an unlink) for as long as the response is in flight. The
+// disk span covers only the lookup and header read; the payload
+// streams under the caller's span. Unlike GetCtx, the payload CRC is
+// not verified up front — ChunkReader.StreamTo folds the check into
+// the copy loop, and binary-dialect receivers re-verify the frame CRC
+// end to end.
+func (ds *DiskStore) GetReaderCtx(ctx context.Context, sum Sum) (_ *ChunkReader, err error) {
+	if sp := tracing.ChildFromContext(ctx, tracing.CompDisk, tracing.SpanDiskRead); sp != nil {
+		defer func() { sp.EndErr(err) }()
+	}
+	ds.mu.RLock()
+	if ds.closed {
+		ds.mu.RUnlock()
+		return nil, errReaderClosed
+	}
+	loc, ok := ds.index[sum]
+	if !ok {
+		ds.mu.RUnlock()
+		return nil, ErrNotFound
+	}
+	seg := ds.segs[loc.seg]
+	seg.pins.Add(1)
+	ds.mu.RUnlock()
+	ds.streamReads.Add(1)
+
+	// One 24-byte pread fetches the stored CRC (so the streaming copy
+	// can verify without a second pass) and sanity-checks the header
+	// against the index before any payload byte is served.
+	var hdr [recHeaderSize]byte
+	if _, err := seg.f.ReadAt(hdr[:], loc.off); err != nil {
+		seg.pins.Add(-1)
+		return nil, err
+	}
+	var hsum Sum
+	copy(hsum[:], hdr[:16])
+	if hsum != sum || binary.LittleEndian.Uint32(hdr[16:20]) != loc.n {
+		seg.pins.Add(-1)
+		return nil, fmt.Errorf("storage: diskstore: on-disk corruption for %s", sum)
+	}
+	stored := binary.LittleEndian.Uint32(hdr[20:24])
+	hdrCRC := crc32.ChecksumIEEE(hdr[:20])
+	release := func() { seg.pins.Add(-1) }
+	return newDiskReader(seg.f, loc.off, int64(loc.n), stored, hdrCRC, release), nil
+}
+
 // Has implements ChunkStore.
 func (ds *DiskStore) Has(sum Sum) bool {
 	ds.mu.RLock()
@@ -713,6 +763,7 @@ type DiskStats struct {
 	DeadBytes   int64         // record bytes awaiting compaction
 	Fsyncs      int64         // fsync syscalls issued (group-committed)
 	Compactions int64         // segments rewritten and reclaimed
+	StreamReads int64         // zero-copy streaming reads served
 	Recovery    time.Duration // index rebuild time at open
 	Truncated   int64         // torn-tail bytes discarded at open
 }
@@ -724,6 +775,7 @@ func (ds *DiskStore) DiskStats() DiskStats {
 		Segments:    len(ds.segs),
 		Fsyncs:      ds.fsyncs.Load(),
 		Compactions: ds.compactions.Load(),
+		StreamReads: ds.streamReads.Load(),
 		Recovery:    ds.recovery,
 		Truncated:   ds.truncated,
 	}

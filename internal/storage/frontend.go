@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -116,6 +117,11 @@ type FrontEndConfig struct {
 	// the client's trace when the request carries X-MCS-Trace) and
 	// pins the traces behind top-bucket latency observations.
 	Tracer *tracing.Tracer
+	// DisableBin withholds the mcsbin/1 binary dialect: the /v1/bin/*
+	// endpoints are not registered and responses carry no X-MCS-Bin
+	// stamp, so negotiated peers stay on JSON/HTTP. Used to run
+	// legacy-JSON nodes in mixed-version clusters.
+	DisableBin bool
 }
 
 // FrontEnd is one storage front-end server: it accepts file operation
@@ -298,10 +304,15 @@ func (f *FrontEnd) Handler() http.Handler {
 	mux.HandleFunc("/v1/chunk/", f.handleChunk)
 	mux.HandleFunc("/v1/cluster/info", f.handleClusterInfo)
 	mux.HandleFunc("/v1/cluster/chunks", f.handleClusterChunks)
+	if !f.cfg.DisableBin {
+		mux.HandleFunc("/v1/bin/get", f.handleBinGet)
+		mux.HandleFunc("/v1/bin/put", f.handleBinPut)
+	}
 	// The tracing middleware wraps the whole surface — legacy aliases
 	// included, so traces survive dialect fallback — and places the
 	// request span in the context for the store layers below.
-	return tracing.Middleware(f.cfg.Tracer, tracing.CompFrontEnd, spanName, advertiseV1(mux))
+	return tracing.Middleware(f.cfg.Tracer, tracing.CompFrontEnd, spanName,
+		advertiseDialects(!f.cfg.DisableBin, mux))
 }
 
 // spanName maps a request onto a low-cardinality span name: the
@@ -532,13 +543,15 @@ func (f *FrontEnd) handleReplicaChunk(w http.ResponseWriter, r *http.Request, su
 		}
 		writeJSON(w, FileOpResponse{OK: true})
 	case http.MethodGet:
-		data, err := GetCtx(r.Context(), f.local, sum)
+		rd, err := GetReader(r.Context(), f.local, sum)
 		if err != nil {
 			writeAPIError(w, r, http.StatusNotFound, err)
 			return
 		}
+		defer rd.Close()
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(data)
+		w.Header().Set("Content-Length", strconv.FormatInt(rd.Size(), 10))
+		f.streamChunk(w, r, rd, sum, trace.ChunkRetrieve)
 	case http.MethodDelete:
 		d, ok := f.local.(Deleter)
 		if !ok {
@@ -644,7 +657,7 @@ func (f *FrontEnd) completeLocked(p *pendingUpload) bool {
 }
 
 func (f *FrontEnd) getChunk(w http.ResponseWriter, r *http.Request, sum Sum, started time.Time) {
-	data, err := GetCtx(r.Context(), f.store, sum)
+	rd, err := GetReader(r.Context(), f.store, sum)
 	if err != nil {
 		code := http.StatusNotFound
 		if IsUnavailable(err) {
@@ -653,10 +666,236 @@ func (f *FrontEnd) getChunk(w http.ResponseWriter, r *http.Request, sum Sum, sta
 		f.fail(w, r, code, err, trace.ChunkRetrieve)
 		return
 	}
+	defer rd.Close()
 	tsrv := f.upstream()
-	f.record(r, trace.ChunkRetrieve, int64(len(data)), started, tsrv)
+	f.record(r, trace.ChunkRetrieve, rd.Size(), started, tsrv)
+	// Content-Length is known from the record header, so the response
+	// skips chunked framing and the client can fail fast on truncation.
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(data)
+	w.Header().Set("Content-Length", strconv.FormatInt(rd.Size(), 10))
+	f.streamChunk(w, r, rd, sum, trace.ChunkRetrieve)
+}
+
+// streamChunk copies a chunk payload into the response, verifying the
+// record CRC during the copy (disk-backed readers; no second pass).
+// A partial or failed write is counted and annotated on the request
+// span instead of being silently dropped — the status line is already
+// out, so that is all a server can do for a dead client. Corruption
+// detected mid-stream aborts the connection: the client sees a short
+// body, fails its digest check, and re-fetches from another replica.
+func (f *FrontEnd) streamChunk(w http.ResponseWriter, r *http.Request, rd *ChunkReader, sum Sum, typ trace.ReqType) {
+	_, verified, werr := rd.StreamTo(w)
+	if werr != nil {
+		f.countErr(typ)
+		tracing.FromContext(r.Context()).Annotate("write_err", werr.Error())
+		return
+	}
+	if !verified {
+		f.countErr(typ)
+		tracing.FromContext(r.Context()).Annotate("corrupt", sum.String())
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// binErrStatus maps a frame/batch decode error onto its HTTP status;
+// classifyAPIError then renders the matching typed envelope code.
+func binErrStatus(err error) int {
+	if errors.Is(err, ErrTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// upstreamBatch samples one upstream delay per batched chunk but
+// sleeps only the maximum once: the batch members share the upstream
+// round trip, which is where the binary dialect's latency win on
+// upstream-bound paths comes from. Each chunk's log still records its
+// own sampled tsrv.
+func (f *FrontEnd) upstreamBatch(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	if f.cfg.UpstreamDelay == nil {
+		return out
+	}
+	var max time.Duration
+	for i := range out {
+		out[i] = f.cfg.UpstreamDelay()
+		if out[i] > max {
+			max = out[i]
+		}
+	}
+	if f.cfg.SleepUpstream && max > 0 {
+		time.Sleep(max)
+	}
+	return out
+}
+
+// handleBinGet serves a batched binary chunk fetch: the request body
+// lists digests, the response is one mcsbin/1 frame per digest in
+// order (not-found frames for absent chunks). All readers are opened
+// before the first response byte — pins held across the response, so
+// every error can still use the typed envelope and the Content-Length
+// is exact. Disk-resident chunks stream their raw record region
+// (framing and checksum included) with no re-encode.
+func (f *FrontEnd) handleBinGet(w http.ResponseWriter, r *http.Request) {
+	started := f.cfg.Now()
+	if r.Method != http.MethodPost {
+		f.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method), trace.ChunkRetrieve)
+		return
+	}
+	sums, err := decodeBinGetRequest(r.Body, binMaxBatch)
+	if err != nil {
+		f.fail(w, r, binErrStatus(err), err, trace.ChunkRetrieve)
+		return
+	}
+	store := f.store
+	if isReplicaRequest(r) {
+		store = f.local
+	}
+	readers := make([]*ChunkReader, len(sums))
+	defer func() {
+		for _, rd := range readers {
+			if rd != nil {
+				rd.Close()
+			}
+		}
+	}()
+	var total int64
+	for i, sum := range sums {
+		rd, err := GetReader(r.Context(), store, sum)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				total += recHeaderSize
+				continue
+			}
+			code := http.StatusInternalServerError
+			if IsUnavailable(err) {
+				code = http.StatusServiceUnavailable
+			}
+			f.fail(w, r, code, err, trace.ChunkRetrieve)
+			return
+		}
+		readers[i] = rd
+		total += recHeaderSize + rd.Size()
+	}
+	tsrvs := f.upstreamBatch(len(sums))
+	w.Header().Set("Content-Type", binContentType)
+	w.Header().Set("Content-Length", strconv.FormatInt(total, 10))
+	prev := started
+	for i, sum := range sums {
+		rd := readers[i]
+		if rd == nil {
+			if _, werr := w.Write(binNotFoundFrame(sum)); werr != nil {
+				f.countErr(trace.ChunkRetrieve)
+				tracing.FromContext(r.Context()).Annotate("write_err", werr.Error())
+				return
+			}
+			continue
+		}
+		var werr error
+		if fr, _, ok := rd.Frame(); ok {
+			buf := getCopyBuf()
+			_, werr = io.CopyBuffer(w, fr, *buf)
+			putCopyBuf(buf)
+		} else {
+			var hdr [recHeaderSize]byte
+			data, _ := rd.Bytes()
+			encodeHeader(hdr[:], sum, uint32(rd.Size()), data)
+			if _, werr = w.Write(hdr[:]); werr == nil {
+				_, _, werr = rd.StreamTo(w)
+			}
+		}
+		size := rd.Size()
+		rd.Close()
+		readers[i] = nil
+		if werr != nil {
+			f.countErr(trace.ChunkRetrieve)
+			tracing.FromContext(r.Context()).Annotate("write_err", werr.Error())
+			return
+		}
+		// Per-chunk Table 1 logs with additive elapsed shares, so the
+		// batch accounts for the same wall time as n single requests.
+		f.record(r, trace.ChunkRetrieve, size, prev, tsrvs[i])
+		prev = f.cfg.Now()
+	}
+}
+
+// handleBinPut accepts a batched binary chunk upload: count frames,
+// each verified (CRC during the streaming read, then MD5 against the
+// frame digest) and stored before the next is read. Any bad frame
+// fails the whole request closed with the typed envelope — nothing
+// has been written to the response yet — and the client falls back to
+// per-chunk JSON PUTs, which are idempotent over whatever this batch
+// already stored. The ?url= query ties the chunks to their pending
+// upload exactly like PUT /v1/chunk/{md5}.
+func (f *FrontEnd) handleBinPut(w http.ResponseWriter, r *http.Request) {
+	started := f.cfg.Now()
+	if r.Method != http.MethodPost {
+		f.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method), trace.ChunkStore)
+		return
+	}
+	count, err := decodeBinCount(r.Body, binMaxBatch)
+	if err != nil {
+		f.fail(w, r, binErrStatus(err), err, trace.ChunkStore)
+		return
+	}
+	store := f.store
+	replica := isReplicaRequest(r)
+	if replica {
+		store = f.local
+	}
+	scratch := getChunkBuf()
+	defer putChunkBuf(scratch)
+	sums := make([]Sum, 0, count)
+	tsrvs := f.upstreamBatch(count)
+	prev := started
+	for i := 0; i < count; i++ {
+		fr, err := readBinFrame(r.Body, *scratch)
+		if err != nil {
+			f.fail(w, r, binErrStatus(err), err, trace.ChunkStore)
+			return
+		}
+		if fr.notFound {
+			f.fail(w, r, http.StatusBadRequest, fmt.Errorf("storage: mcsbin: not-found frame in put batch"), trace.ChunkStore)
+			return
+		}
+		if fr.got != fr.sum {
+			f.fail(w, r, http.StatusBadRequest,
+				fmt.Errorf("%w: frame payload hashes to %s, header says %s", ErrBadDigest, fr.got, fr.sum), trace.ChunkStore)
+			return
+		}
+		if err := PutCtx(r.Context(), store, fr.sum, fr.payload); err != nil {
+			code := http.StatusBadRequest
+			if IsUnavailable(err) {
+				code = http.StatusServiceUnavailable
+			}
+			f.fail(w, r, code, err, trace.ChunkStore)
+			return
+		}
+		sums = append(sums, fr.sum)
+		f.record(r, trace.ChunkStore, int64(len(fr.payload)), prev, tsrvs[i])
+		prev = f.cfg.Now()
+	}
+
+	if url := r.URL.Query().Get("url"); url != "" && !replica {
+		f.mu.Lock()
+		var snapshot []Sum
+		if p, ok := f.pending[url]; ok {
+			for _, sum := range sums {
+				p.got[sum] = true
+			}
+			if f.completeLocked(p) {
+				snapshot = append([]Sum(nil), p.expected...)
+			}
+		}
+		f.mu.Unlock()
+		if snapshot != nil {
+			if err := f.commitUpload(r.Context(), url, snapshot); err != nil {
+				f.fail(w, r, metaErrStatus(err, http.StatusInternalServerError), err, trace.ChunkStore)
+				return
+			}
+		}
+	}
+	writeJSON(w, FileOpResponse{OK: true})
 }
 
 // IsUnavailable reports whether err is the cluster's "not enough live

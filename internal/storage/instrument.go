@@ -152,6 +152,8 @@ func (ds *DiskStore) Instrument(reg *metrics.Registry) {
 		func() float64 { return float64(ds.DiskStats().Fsyncs) })
 	reg.CounterFunc("mcs_disk_compactions_total", "Segments rewritten and reclaimed by the compactor.",
 		func() float64 { return float64(ds.DiskStats().Compactions) })
+	reg.CounterFunc("mcs_disk_stream_reads_total", "Chunk reads served zero-copy from a pinned segment region.",
+		func() float64 { return float64(ds.DiskStats().StreamReads) })
 	reg.GaugeFunc("mcs_disk_recovery_seconds", "Index rebuild time at the last open.",
 		func() float64 { return ds.DiskStats().Recovery.Seconds() })
 	reg.GaugeFunc("mcs_disk_truncated_bytes", "Torn-tail bytes discarded at the last open.",

@@ -34,7 +34,22 @@ type Rebalancer struct {
 	DryRun bool
 	// Logf, when set, receives per-action progress lines.
 	Logf func(format string, args ...interface{})
+
+	// binNodes remembers which nodes advertised the binary chunk
+	// dialect during the census, so the re-streaming pass moves bytes
+	// over mcsbin/1 frames where both ends speak it.
+	binNodes map[string]bool
 }
+
+// noteBin records node's advertised dialect set from a response.
+func (rb *Rebalancer) noteBin(node string, h http.Header) {
+	if rb.binNodes == nil {
+		rb.binNodes = make(map[string]bool)
+	}
+	rb.binNodes[node] = binAdvertised(h)
+}
+
+func (rb *Rebalancer) binNode(node string) bool { return rb.binNodes[node] }
 
 // RebalanceReport summarizes one pass.
 type RebalanceReport struct {
@@ -256,6 +271,7 @@ func (rb *Rebalancer) clusterInfo(node string) (*ClusterInfo, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	rb.noteBin(node, resp.Header)
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
 	}
@@ -276,6 +292,7 @@ func (rb *Rebalancer) listChunks(node string) ([]ChunkInfo, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	rb.noteBin(node, resp.Header)
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
 	}
@@ -295,6 +312,25 @@ func (rb *Rebalancer) fetchFrom(have map[string]bool, sum Sum) []byte {
 	}
 	sort.Strings(nodes)
 	for _, node := range nodes {
+		if rb.binNode(node) {
+			req, err := binGetOneReq(node, sum)
+			if err != nil {
+				continue
+			}
+			req.Header.Set(APIHeader, APIV1)
+			req.Header.Set(ReplicaHeader, "1")
+			resp, err := rb.client().Do(req)
+			if err != nil {
+				continue
+			}
+			data, err := binReadOneFrame(resp, sum)
+			resp.Body.Close()
+			if err != nil {
+				rb.logf("rebalance: binary fetch from %s failed for %s: %v", node, sum, err)
+				continue
+			}
+			return data
+		}
 		req, err := rb.replicaReq(http.MethodGet, node, "/v1/chunk/"+sum.String(), nil)
 		if err != nil {
 			continue
@@ -318,7 +354,17 @@ func (rb *Rebalancer) fetchFrom(have map[string]bool, sum Sum) []byte {
 }
 
 func (rb *Rebalancer) putTo(node string, sum Sum, data []byte) error {
-	req, err := rb.replicaReq(http.MethodPut, node, "/v1/chunk/"+sum.String(), bytes.NewReader(data))
+	var req *http.Request
+	var err error
+	if rb.binNode(node) {
+		req, err = binPutOneReq(node, sum, data)
+		if err == nil {
+			req.Header.Set(APIHeader, APIV1)
+			req.Header.Set(ReplicaHeader, "1")
+		}
+	} else {
+		req, err = rb.replicaReq(http.MethodPut, node, "/v1/chunk/"+sum.String(), bytes.NewReader(data))
+	}
 	if err != nil {
 		return err
 	}

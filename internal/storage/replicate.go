@@ -48,6 +48,10 @@ type ReplicatedStore struct {
 	repairMu sync.Mutex
 	repairQ  map[Sum]map[string]bool // chunk -> owners known to be missing it
 
+	binMu      sync.Mutex
+	binPeers   map[string]bool // peer -> last-seen X-MCS-Bin capability
+	disableBin bool
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -81,6 +85,11 @@ type ReplicatedConfig struct {
 	// RepairEvery is the background repair sweep interval; 0 means
 	// 2s, negative disables the loop (tests drive RepairNow directly).
 	RepairEvery time.Duration
+	// DisableBin pins replica traffic to the JSON chunk paths even
+	// toward peers advertising mcsbin/1 — set on nodes running with
+	// the binary dialect withheld, so a "legacy" node is legacy in
+	// both directions.
+	DisableBin bool
 }
 
 // NewReplicatedStore builds the replication layer and starts its
@@ -123,10 +132,11 @@ func NewReplicatedStore(cfg ReplicatedConfig) (*ReplicatedStore, error) {
 		ring:    ring,
 		n:       n,
 		w:       w,
-		local:   cfg.Local,
-		http:    httpc,
-		health:  health,
-		repairQ: make(map[Sum]map[string]bool),
+		local:      cfg.Local,
+		http:       httpc,
+		health:     health,
+		disableBin: cfg.DisableBin,
+		repairQ:    make(map[Sum]map[string]bool),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -299,6 +309,28 @@ func (rs *ReplicatedStore) GetCtx(ctx context.Context, sum Sum) ([]byte, error) 
 		return nil, fmt.Errorf("%w: no live replica answered for %s: %v", ErrUnavailable, sum, firstErr)
 	}
 	return nil, ErrNotFound
+}
+
+// GetReaderCtx implements ReaderStore: when this node owns the chunk
+// and holds it locally, the response streams straight from the local
+// tier's reader (pin-counted segment region on disk). Otherwise the
+// materializing failover path runs — with its health-ordered owner
+// walk and read repair intact — and the fetched bytes are wrapped.
+func (rs *ReplicatedStore) GetReaderCtx(ctx context.Context, sum Sum) (*ChunkReader, error) {
+	for _, o := range rs.Owners(sum) {
+		if o != rs.self {
+			continue
+		}
+		if rd, err := GetReader(ctx, rs.local, sum); err == nil {
+			return rd, nil
+		}
+		break
+	}
+	data, err := rs.GetCtx(ctx, sum)
+	if err != nil {
+		return nil, err
+	}
+	return NewBytesReader(data), nil
 }
 
 // Has implements ChunkStore.
@@ -517,7 +549,10 @@ func (rs *ReplicatedStore) replicaReq(method, node, path string, body io.Reader)
 	return req, nil
 }
 
-// do runs one replica sub-request with health accounting.
+// do runs one replica sub-request with health accounting. Every
+// response also refreshes the peer's advertised dialect set, so bin
+// capability is learned (and un-learned, after a downgrade restart)
+// without any extra probe traffic.
 func (rs *ReplicatedStore) do(node string, req *http.Request) (*http.Response, error) {
 	resp, err := rs.http.Do(req)
 	if err != nil {
@@ -525,6 +560,7 @@ func (rs *ReplicatedStore) do(node string, req *http.Request) (*http.Response, e
 		rs.met.ReplicaError()
 		return nil, err
 	}
+	rs.noteBinPeer(node, resp.Header)
 	// A 404 is a healthy node answering "I don't have it" — only
 	// transport errors and 5xx count against liveness.
 	if resp.StatusCode >= 500 {
@@ -534,6 +570,26 @@ func (rs *ReplicatedStore) do(node string, req *http.Request) (*http.Response, e
 		rs.health.ReportSuccess(node)
 	}
 	return resp, nil
+}
+
+func (rs *ReplicatedStore) noteBinPeer(node string, h http.Header) {
+	v := binAdvertised(h)
+	rs.binMu.Lock()
+	if rs.binPeers == nil {
+		rs.binPeers = make(map[string]bool)
+	}
+	rs.binPeers[node] = v
+	rs.binMu.Unlock()
+}
+
+func (rs *ReplicatedStore) binPeer(node string) bool {
+	if rs.disableBin {
+		return false
+	}
+	rs.binMu.Lock()
+	ok := rs.binPeers[node]
+	rs.binMu.Unlock()
+	return ok
 }
 
 // putReplica writes one chunk to one owner. The local owner writes
@@ -547,7 +603,17 @@ func (rs *ReplicatedStore) putReplica(ctx context.Context, node string, sum Sum,
 	sp := tracing.ChildFromContext(ctx, tracing.CompReplicate, tracing.SpanReplicaPut)
 	sp.Annotate("node", node)
 	defer func() { sp.EndErr(err) }()
-	req, err := rs.replicaReq(http.MethodPut, node, "/v1/chunk/"+sum.String(), bytes.NewReader(data))
+	var req *http.Request
+	if rs.binPeer(node) {
+		sp.Annotate("dialect", BinV1)
+		req, err = binPutOneReq(node, sum, data)
+		if err == nil {
+			req.Header.Set(APIHeader, APIV1)
+			req.Header.Set(ReplicaHeader, "1")
+		}
+	} else {
+		req, err = rs.replicaReq(http.MethodPut, node, "/v1/chunk/"+sum.String(), bytes.NewReader(data))
+	}
 	if err != nil {
 		return err
 	}
@@ -571,6 +637,27 @@ func (rs *ReplicatedStore) getReplica(ctx context.Context, node string, sum Sum)
 	sp := tracing.ChildFromContext(ctx, tracing.CompReplicate, tracing.SpanReplicaGet)
 	sp.Annotate("node", node)
 	defer func() { sp.EndErr(err) }()
+	if rs.binPeer(node) {
+		sp.Annotate("dialect", BinV1)
+		req, err := binGetOneReq(node, sum)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(APIHeader, APIV1)
+		req.Header.Set(ReplicaHeader, "1")
+		sp.Inject(req.Header)
+		rs.met.ForwardGet()
+		resp, err := rs.do(node, req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		out, err := binReadOneFrame(resp, sum)
+		if err != nil && errors.Is(err, ErrBadDigest) {
+			rs.health.ReportFailure(node)
+		}
+		return out, err
+	}
 	req, err := rs.replicaReq(http.MethodGet, node, "/v1/chunk/"+sum.String(), nil)
 	if err != nil {
 		return nil, err

@@ -192,6 +192,9 @@ func TestDownloadTruncationRefetched(t *testing.T) {
 	}
 	client, _, cleanup := newFlakyService(t, wrap)
 	defer cleanup()
+	// The injected truncation targets the per-chunk JSON GET; pin the
+	// dialect so the batched binary path does not route around it.
+	client.DisableBin = true
 	reg := metrics.NewRegistry()
 	client.Metrics = NewClientMetrics(reg)
 
@@ -236,6 +239,9 @@ func TestUploadConnectionResetRecovered(t *testing.T) {
 	}
 	client, store, cleanup := newFlakyService(t, wrap)
 	defer cleanup()
+	// The injected reset targets the per-chunk JSON PUT; pin the
+	// dialect so the batched binary path does not route around it.
+	client.DisableBin = true
 	reg := metrics.NewRegistry()
 	client.Metrics = NewClientMetrics(reg)
 
@@ -286,6 +292,9 @@ func TestStoreResumeSendsOnlyMissing(t *testing.T) {
 	}
 	client, _, cleanup := newFlakyService(t, wrap)
 	defer cleanup()
+	// Per-chunk upload accounting only holds on the JSON dialect; the
+	// binary path batches PUTs.
+	client.DisableBin = true
 	// One attempt per request: the injected 503 immediately fails the
 	// chunk PUT, forcing the resume path rather than an in-place retry.
 	pol := fastRetry

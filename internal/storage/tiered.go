@@ -181,6 +181,42 @@ func (t *TieredStore) GetCtx(ctx context.Context, sum Sum) ([]byte, error) {
 	return data, nil
 }
 
+// GetReaderCtx implements ReaderStore: a hot-placed chunk streams
+// through the hot tier's own reader (pin-counted and zero-copy when
+// that tier is a DiskStore), updating the read-recency bookkeeping
+// exactly like GetCtx. Cold hits take the materializing GetCtx path
+// so promotion still happens, then serve the promoted bytes.
+func (t *TieredStore) GetReaderCtx(ctx context.Context, sum Sum) (*ChunkReader, error) {
+	s := t.shard(sum)
+	s.mu.Lock()
+	hot := s.placedHot[sum]
+	_, known := s.sizes[sum]
+	s.mu.Unlock()
+	if !known {
+		return nil, ErrNotFound
+	}
+	if hot {
+		rd, err := GetReader(ctx, t.hot, sum)
+		if err == nil {
+			s.mu.Lock()
+			s.tstats.HotReads++
+			s.lastRead[sum] = t.now()
+			s.mu.Unlock()
+			return rd, nil
+		}
+		if err != ErrNotFound {
+			return nil, err
+		}
+		// Demoted between the placement check and the hot read; the
+		// GetCtx below finds it in the cold tier.
+	}
+	data, err := t.GetCtx(ctx, sum)
+	if err != nil {
+		return nil, err
+	}
+	return NewBytesReader(data), nil
+}
+
 // Has implements ChunkStore.
 func (t *TieredStore) Has(sum Sum) bool {
 	s := t.shard(sum)

@@ -82,13 +82,15 @@ func TestTraceJoinsSingleNode(t *testing.T) {
 
 	ex := tracing.Export{Node: tr.Node(), Spans: tr.Snapshot(tracing.Filter{})}
 	d := assertJoined(t, ex)
+	// A batched mcsbin/1 transfer decomposes as one diagnosis carrying
+	// Count chunks, so tally carried chunks rather than spans.
 	stores, retrieves := 0, 0
 	for _, c := range d.Chunks {
 		switch c.Dir {
 		case "store":
-			stores++
+			stores += c.Count
 		case "retrieve":
-			retrieves++
+			retrieves += c.Count
 		}
 		if c.Node != "solo" {
 			t.Errorf("chunk served on node %q, want solo", c.Node)

@@ -129,10 +129,14 @@ func (t *Trace) descendantsOn(root SpanID, component, node string, out *[]*Span)
 // from span durations and parent links only — never from comparing
 // timestamps across nodes — so the decomposition is clock-skew safe.
 type ChunkDiag struct {
-	Trace    TraceID       `json:"trace"`
-	Chunk    string        `json:"chunk"` // hex MD5
-	Dir      string        `json:"dir"`   // "store" | "retrieve"
-	Node     string        `json:"node"`  // serving front-end
+	Trace TraceID `json:"trace"`
+	Chunk string  `json:"chunk"` // hex MD5 (first chunk of a batch)
+	Dir   string  `json:"dir"`   // "store" | "retrieve"
+	Node  string  `json:"node"`  // serving front-end
+	// Count is how many chunks the transfer carried: 1 on the
+	// per-chunk JSON dialect, the batch size on mcsbin/1 (the batch
+	// shares one request, so it decomposes as one transfer).
+	Count    int           `json:"count"`
 	Bytes    int64         `json:"bytes"`
 	Attempts int           `json:"attempts"`
 	Total    time.Duration `json:"total"`
@@ -215,7 +219,14 @@ func diagnoseChunk(tr *Trace, chunk *Span) ChunkDiag {
 	diag := ChunkDiag{
 		Trace: tr.ID,
 		Chunk: firstAnnot(chunk, "chunk"),
+		Count: 1,
 		Total: chunk.Duration,
+	}
+	if v, ok := chunk.Annotation("count"); ok {
+		fmt.Sscan(v, &diag.Count)
+		if diag.Count < 1 {
+			diag.Count = 1
+		}
 	}
 	if chunk.Name == SpanChunkPut {
 		diag.Dir = "store"
@@ -369,7 +380,7 @@ func diagnoseOp(tr *Trace, op *Span, chunks []ChunkDiag) OpDiag {
 		if cd.Trace != tr.ID {
 			continue
 		}
-		od.Chunks++
+		od.Chunks += cd.Count
 		od.ChunkSum += cd.Total
 		if cd.Total > od.Slowest.Total {
 			od.Slowest = cd

@@ -78,8 +78,11 @@ pids+=($!)
     -data "$WORK/d1" \
     -peers "$PEERS" -replicas 3 -quorum 2 -chaos "$CHAOS" >"$WORK/n1.out" 2>&1 &
 pids+=($!)
+# N2 runs with the binary dialect withheld (-binapi=false): a
+# mixed-version ring where one legacy-JSON node keeps serving while
+# its peers negotiate mcsbin/1 among themselves.
 "$BIN/mcsserver" -frontends :8082 -metaurl "$META,$METASTBY" -ops :8091 -log "$WORK/n2.log" \
-    -data "$WORK/d2" \
+    -data "$WORK/d2" -binapi=false \
     -peers "$PEERS" -replicas 3 -quorum 2 -chaos "$CHAOS" >"$WORK/n2.out" 2>&1 &
 pids+=($!)
 "$BIN/mcsserver" -frontends :8083 -metaurl "$META,$METASTBY" -ops :8092 -log "$WORK/n3.log" \
