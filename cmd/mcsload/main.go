@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		metaURL  = flag.String("meta", "http://127.0.0.1:8070", "metadata server base URL")
+		metaURL  = flag.String("meta", "http://127.0.0.1:8070", "metadata server base URL(s), comma-separated primary-first; clients fail over and follow promotions")
 		devices  = flag.Int("devices", 4, "concurrent simulated devices")
 		files    = flag.Int("files", 20, "files stored per device")
 		retr     = flag.Float64("retrieve", 0.3, "fraction of stored files retrieved back")

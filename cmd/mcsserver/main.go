@@ -62,6 +62,8 @@ func main() {
 		metaDir  = flag.String("metadata-dir", "", "durable metadata directory: WAL + checkpoint with crash recovery (empty keeps metadata in RAM; supersedes -metasnap)")
 		metaCkpt = flag.Duration("metacheckpoint", 30*time.Second, "periodic metadata checkpoint interval (with -metadata-dir; 0 disables)")
 		metaStby = flag.String("metastandby", "", "serve metadata as a read-only standby replicating from this primary base URL")
+		metaLeas = flag.Duration("metafailover", 0, "standby lease TTL: self-promote when the primary has not answered a pull for this long (with -metastandby; 0 = manual promotion only)")
+		metaRiv  = flag.String("metapeers", "", "comma-separated base URLs of the other metadata nodes, checked before self-promotion so only one standby wins (with -metafailover)")
 		metaFEs  = flag.String("metafrontends", "", "comma-separated front-end base URLs the metadata server assigns to clients (default: cluster peers, else this process's listeners)")
 		traceBuf = flag.Int("tracebuf", 65536, "distributed-tracing span ring capacity per process (0 disables tracing)")
 		traceSmp = flag.Int("tracesample", 1, "record 1 in N locally-rooted traces (requests arriving with X-MCS-Trace are always recorded)")
@@ -183,7 +185,22 @@ func main() {
 		}
 		standby = storage.NewMetaStandby(meta, *metaStby, nil, 0)
 		standby.Instrument(reg)
-		fmt.Printf("mcsserver: metadata standby replicating from %s\n", *metaStby)
+		standby.SetLogf(func(format string, args ...interface{}) {
+			fmt.Printf("mcsserver: "+format+"\n", args...)
+		})
+		if *metaLeas > 0 {
+			var rivals []string
+			for _, r := range strings.Split(*metaRiv, ",") {
+				if r = strings.TrimSpace(r); r != "" {
+					rivals = append(rivals, r)
+				}
+			}
+			standby.SetFailover(*metaLeas, rivals...)
+			fmt.Printf("mcsserver: metadata standby replicating from %s (auto-failover lease %v, %d rivals)\n",
+				*metaStby, *metaLeas, len(rivals))
+		} else {
+			fmt.Printf("mcsserver: metadata standby replicating from %s\n", *metaStby)
+		}
 	}
 
 	cfg := storage.FrontEndConfig{Meta: metaSvc, Sink: sink, Metrics: storage.NewFrontEndMetrics(reg), DisableBin: !*binAPI}
@@ -384,7 +401,14 @@ func main() {
 	}
 	health.SetReady(true)
 	if standby != nil {
+		standby.SetTracer(tracer)
 		standby.Start()
+	}
+	// Probe assigned front-ends so pickFrontEnd skips dead ones
+	// instead of handing clients an endpoint that cannot answer.
+	var stopFEProbe func()
+	if meta != nil {
+		stopFEProbe = meta.ProbeFrontEnds(nil, 2*time.Second)
 	}
 
 	// Background maintenance: demote idle chunks to the cold tier,
@@ -478,6 +502,9 @@ func main() {
 	cancel()
 	close(maintDone)
 	maintWG.Wait()
+	if stopFEProbe != nil {
+		stopFEProbe()
+	}
 	if standby != nil {
 		standby.Close()
 	}

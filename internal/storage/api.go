@@ -51,8 +51,18 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeOverloaded       = "overloaded"
 	CodeUnavailable      = "unavailable"
+	CodeNotPrimary       = "not_primary"
+	CodeFenced           = "fenced"
 	CodeInternal         = "internal"
 )
+
+// MetaEpochHeader carries the metadata leadership epoch. Every
+// /v1/meta/* response is stamped with the serving node's current
+// epoch; clients echo the highest epoch they have observed on their
+// requests. A primary that receives a request carrying a higher epoch
+// than its own has been deposed and fences itself: subsequent writes
+// fail with CodeFenced until it rejoins as a standby.
+const MetaEpochHeader = "X-MCS-Meta-Epoch"
 
 // APIError is the typed /v1 error envelope. On the server it is
 // rendered as the response body; on the client it is decoded back and
@@ -89,6 +99,10 @@ func (e *APIError) Unwrap() error {
 		return ErrOverloaded
 	case CodeUnavailable:
 		return ErrUnavailable
+	case CodeNotPrimary:
+		return ErrNotPrimary
+	case CodeFenced:
+		return ErrFenced
 	default:
 		return nil
 	}
@@ -107,6 +121,13 @@ func classifyAPIError(status int, err error) APIError {
 		e.Code = CodeTooLarge
 	case errors.Is(err, ErrOverloaded):
 		e.Code, e.Retryable = CodeOverloaded, true
+	case errors.Is(err, ErrFenced):
+		// Retryable: the write will succeed once the client re-routes
+		// to the primary that holds the newer epoch.
+		e.Code, e.Retryable = CodeFenced, true
+	case errors.Is(err, ErrNotPrimary):
+		// Checked before ErrUnavailable: ErrNotPrimary wraps it.
+		e.Code, e.Retryable = CodeNotPrimary, true
 	case errors.Is(err, ErrUnavailable):
 		e.Code, e.Retryable = CodeUnavailable, true
 	case status == http.StatusMethodNotAllowed:

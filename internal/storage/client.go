@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -105,6 +106,18 @@ type Client struct {
 	// legacy), learned once per host from /v1/cluster/info.
 	ringMu sync.Mutex
 	rings  map[string]*cluster.Ring
+
+	// metaEPs is MetaURL parsed as a comma-separated endpoint list
+	// (primary first, standbys after); metaPref indexes the endpoint
+	// last seen acting as primary so retries start there instead of
+	// walking the configured order. metaEpoch holds the highest
+	// fencing epoch observed in X-MCS-Meta-Epoch response headers and
+	// is echoed on every meta request, so a deposed primary rejects
+	// the write instead of acking it onto a forked history.
+	metaMu    sync.Mutex
+	metaEPs   []string
+	metaPref  int
+	metaEpoch atomic.Uint64
 }
 
 // markLegacy records that base speaks only the unversioned API.
@@ -396,6 +409,129 @@ func (c *Client) postJSON(base, path string, in, out interface{}, budget *retryB
 		})
 }
 
+// metaEndpoints parses MetaURL as a comma-separated endpoint list,
+// once. A single-endpoint MetaURL behaves exactly as before.
+func (c *Client) metaEndpoints() []string {
+	c.metaMu.Lock()
+	defer c.metaMu.Unlock()
+	if c.metaEPs == nil {
+		for _, e := range strings.Split(c.MetaURL, ",") {
+			e = strings.TrimRight(strings.TrimSpace(e), "/")
+			if e != "" {
+				c.metaEPs = append(c.metaEPs, e)
+			}
+		}
+		if len(c.metaEPs) == 0 {
+			c.metaEPs = []string{c.MetaURL}
+		}
+	}
+	return c.metaEPs
+}
+
+// metaPick returns the endpoint for the given zero-based attempt:
+// the preferred (last-known-primary) endpoint first, then the rest
+// in configured order.
+func (c *Client) metaPick(attempt int) string {
+	eps := c.metaEndpoints()
+	c.metaMu.Lock()
+	defer c.metaMu.Unlock()
+	return eps[(c.metaPref+attempt)%len(eps)]
+}
+
+// metaMark pins base as the preferred meta endpoint (ok) or, if base
+// was preferred, advances preference past it (a standby bounce or a
+// fencing rejection means it is not the primary anymore).
+func (c *Client) metaMark(base string, ok bool) {
+	eps := c.metaEndpoints()
+	c.metaMu.Lock()
+	defer c.metaMu.Unlock()
+	for i, e := range eps {
+		if e != base {
+			continue
+		}
+		if ok {
+			c.metaPref = i
+		} else if c.metaPref == i {
+			c.metaPref = (i + 1) % len(eps)
+		}
+		return
+	}
+}
+
+// observeMetaEpoch folds a response's fencing epoch into the highest
+// seen so far.
+func (c *Client) observeMetaEpoch(h http.Header) {
+	v := h.Get(MetaEpochHeader)
+	if v == "" {
+		return
+	}
+	e, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := c.metaEpoch.Load()
+		if e <= cur || c.metaEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// postMetaJSON is postJSON against the metadata plane: each attempt
+// may target a different endpoint from the MetaURL list, rotating
+// away from nodes that answer as standby (ErrNotPrimary) or fenced
+// deposed primaries (ErrFenced), and sticking to whichever endpoint
+// last completed a call. Build and handle closures run sequentially
+// per attempt inside doRetry, so the captured attempt counter and
+// base are race-free.
+func (c *Client) postMetaJSON(path string, in, out interface{}, budget *retryBudget) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	rotation := 0
+	base := ""
+	return c.doRetry(budget, budget.span,
+		func() (*http.Request, error) {
+			base = c.metaPick(rotation)
+			rotation++
+			req, err := http.NewRequest(http.MethodPost, c.apiPath(base, path), bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if e := c.metaEpoch.Load(); e > 0 {
+				req.Header.Set(MetaEpochHeader, strconv.FormatUint(e, 10))
+			}
+			c.setIdentity(req)
+			c.setAPIVersion(req, base)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			defer resp.Body.Close()
+			if c.checkLegacy(base, resp) {
+				io.Copy(io.Discard, resp.Body)
+				return errLegacyRetry
+			}
+			c.observeMetaEpoch(resp.Header)
+			if resp.StatusCode != http.StatusOK {
+				err := decodeError(resp)
+				if errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrFenced) {
+					c.metaMark(base, false)
+					// Restart the rotation at the advanced preference
+					// instead of letting the attempt index skip it.
+					rotation = 0
+				}
+				return err
+			}
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return &corruptError{err: err}
+			}
+			c.metaMark(base, true)
+			return nil
+		})
+}
+
 // setAPIVersion advertises v1 on requests to hosts not known legacy.
 func (c *Client) setAPIVersion(req *http.Request, base string) {
 	if c.useV1(base) {
@@ -445,7 +581,7 @@ func (c *Client) StoreFile(name string, data []byte) (res StoreResult, err error
 	defer func() { budget.span.EndErr(err) }()
 	fileSum := SumBytes(data)
 	var check StoreCheckResponse
-	err = c.postJSON(c.MetaURL, "/meta/store-check", StoreCheckRequest{
+	err = c.postMetaJSON("/meta/store-check", StoreCheckRequest{
 		UserID:  c.UserID,
 		Name:    name,
 		Size:    int64(len(data)),
@@ -812,7 +948,7 @@ func (c *Client) RetrieveFile(url string) (out []byte, err error) {
 		budget.span.EndErr(err)
 	}()
 	var res ResolveResponse
-	err = c.postJSON(c.MetaURL, "/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
+	err = c.postMetaJSON("/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package storage
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 var (
 	// ErrBadDigest reports a malformed or mismatched MD5 digest.
@@ -24,7 +27,20 @@ var (
 	// its write quorum or any live replica; retryable once the
 	// affected nodes recover.
 	ErrUnavailable = errors.New("storage: replicas unavailable")
+
+	// ErrFenced reports a metadata write rejected because this node's
+	// leadership epoch has been superseded: a newer primary exists and
+	// accepting the write would fork history. Clients should rediscover
+	// the current primary and retry there.
+	ErrFenced = errors.New("storage: metadata epoch fenced")
 )
+
+// ErrNotPrimary reports a metadata mutation sent to a node that is not
+// the current primary (a standby, or a deposed primary). It wraps
+// ErrUnavailable so existing availability checks keep treating it as a
+// retry-elsewhere condition, while clients that know about failover can
+// use it as a demotion signal for their endpoint ordering.
+var ErrNotPrimary = fmt.Errorf("%w: not the metadata primary", ErrUnavailable)
 
 // errBadDigest is the historical internal name; new code should use
 // the exported sentinel.

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcloud/internal/cluster"
@@ -23,19 +26,29 @@ import (
 // checks (errors.Is(err, ErrNotFound)) behave exactly as with a local
 // *Metadata.
 //
-// It is built to ride through a metadata-node kill: every request gets
-// a per-attempt deadline, failed attempts back off exponentially with
-// deterministic jitter and honor Retry-After, and when several
-// endpoints are configured (primary first, then standbys) attempts
-// rotate through them in circuit-breaker health order. A standby
-// answers reads and rejects writes with a retryable 503, so writes
-// keep cycling until the primary is back — the front-end never has to
-// know which node is which.
+// It is built to ride through a metadata-node kill and an automatic
+// failover: every request gets a per-attempt deadline, failed attempts
+// back off exponentially with deterministic jitter and honor
+// Retry-After, and when several endpoints are configured attempts
+// rotate through them in circuit-breaker health order. The configured
+// order is only the starting point — a node answering "not primary" or
+// "fenced" is demoted to the back of the rotation and the current
+// primary is rediscovered via /v1/meta/wal/status, so after a failover
+// requests go straight to the promoted standby instead of burning a
+// round trip on the deposed primary first. The highest leadership
+// epoch seen is echoed on every request, which is what fences a
+// deposed primary the moment a post-failover client talks to it.
 type RemoteMeta struct {
-	endpoints []string // primary first; never empty
-	http      *http.Client
-	health    *cluster.Health
-	retry     RetryPolicy
+	http   *http.Client
+	health *cluster.Health
+	retry  RetryPolicy
+
+	epMu      sync.Mutex
+	endpoints []string // rotation order; demotions move entries back
+	preferred string   // last discovered primary ("" until known)
+	lastDisc  time.Time
+
+	epochSeen atomic.Uint64 // highest epoch observed on any response
 
 	rngMu sync.Mutex
 	rng   *randx.Source
@@ -87,15 +100,137 @@ func (m *RemoteMeta) SetRetry(pol RetryPolicy, seed uint64) {
 	m.rngMu.Unlock()
 }
 
-// pick chooses the endpoint for a 1-based attempt: health-ordered
-// (alive before tripped, configured order inside each class), rotated
-// by attempt so consecutive retries try different nodes.
+// pick chooses the endpoint for a 1-based attempt: the discovered
+// primary first when one is known, then the rest health-ordered (alive
+// before tripped, rotation order inside each class), rotated by
+// attempt so consecutive retries try different nodes.
 func (m *RemoteMeta) pick(attempt int) string {
-	ordered := m.health.Order(m.endpoints)
+	m.epMu.Lock()
+	eps := append([]string(nil), m.endpoints...)
+	pref := m.preferred
+	m.epMu.Unlock()
+	var ordered []string
+	if pref != "" {
+		ordered = append(ordered, pref)
+		for _, e := range eps {
+			if e != pref {
+				ordered = append(ordered, e)
+			}
+		}
+		rest := m.health.Order(ordered[1:])
+		ordered = append(ordered[:1], rest...)
+	} else {
+		ordered = m.health.Order(eps)
+	}
 	if len(ordered) == 0 {
-		ordered = m.endpoints
+		ordered = eps
 	}
 	return ordered[(attempt-1)%len(ordered)]
+}
+
+// demote reacts to a routing signal (standby rejection, fencing, or a
+// stale epoch): ep moves to the back of the rotation and loses its
+// preferred status, so the next attempt starts somewhere else.
+func (m *RemoteMeta) demote(ep string) {
+	m.epMu.Lock()
+	defer m.epMu.Unlock()
+	for i, e := range m.endpoints {
+		if e == ep {
+			m.endpoints = append(append(m.endpoints[:i:i], m.endpoints[i+1:]...), ep)
+			break
+		}
+	}
+	if m.preferred == ep {
+		m.preferred = ""
+	}
+}
+
+// Discover probes every endpoint's /v1/meta/wal/status and prefers the
+// current primary: the non-standby, non-fenced node with the highest
+// (epoch, last_seq). Throttled, so a burst of demotions costs one
+// sweep. Returns the preferred endpoint, "" when none answered as a
+// primary.
+func (m *RemoteMeta) Discover(ctx context.Context) string {
+	m.epMu.Lock()
+	if time.Since(m.lastDisc) < 500*time.Millisecond {
+		pref := m.preferred
+		m.epMu.Unlock()
+		return pref
+	}
+	m.lastDisc = time.Now()
+	eps := append([]string(nil), m.endpoints...)
+	m.epMu.Unlock()
+
+	best := ""
+	var bestEpoch, bestSeq uint64
+	for _, ep := range eps {
+		st, err := m.fetchStatus(ctx, ep)
+		if err != nil {
+			continue
+		}
+		if st.Epoch > m.epochSeen.Load() {
+			m.epochSeen.Store(st.Epoch)
+		}
+		if st.Standby || st.Fenced {
+			continue
+		}
+		if best == "" || st.Epoch > bestEpoch || (st.Epoch == bestEpoch && st.LastSeq > bestSeq) {
+			best, bestEpoch, bestSeq = ep, st.Epoch, st.LastSeq
+		}
+	}
+	if best != "" {
+		m.epMu.Lock()
+		m.preferred = best
+		m.epMu.Unlock()
+	}
+	return best
+}
+
+// fetchStatus reads one endpoint's WAL status with a short deadline.
+func (m *RemoteMeta) fetchStatus(ctx context.Context, ep string) (MetaWALStatus, error) {
+	req, err := http.NewRequest(http.MethodGet, ep+"/v1/meta/wal/status", nil)
+	if err != nil {
+		return MetaWALStatus{}, err
+	}
+	req.Header.Set(APIHeader, APIV1)
+	sctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	resp, err := m.http.Do(req.WithContext(sctx))
+	if err != nil {
+		return MetaWALStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return MetaWALStatus{}, decodeError(resp)
+	}
+	var st MetaWALStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return MetaWALStatus{}, err
+	}
+	return st, nil
+}
+
+// observeEpochHeader folds a response's epoch stamp into the client's
+// view, reporting whether the serving endpoint is behind an epoch this
+// client has already seen (a deposed primary still answering).
+func (m *RemoteMeta) observeEpochHeader(h http.Header) (stale bool) {
+	v := h.Get(MetaEpochHeader)
+	if v == "" {
+		return false
+	}
+	e, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return false
+	}
+	for {
+		seen := m.epochSeen.Load()
+		if e <= seen {
+			return e < seen
+		}
+		if m.epochSeen.CompareAndSwap(seen, e) {
+			return false
+		}
+	}
 }
 
 func (m *RemoteMeta) jitterDraw() float64 {
@@ -115,14 +250,19 @@ func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out inte
 	}
 	pol := m.retry.withDefaults()
 	var lastErr error
+	rotation := 0
 	for attempt := 1; ; attempt++ {
-		ep := m.pick(attempt)
+		rotation++
+		ep := m.pick(rotation)
 		req, err := http.NewRequest(http.MethodPost, ep+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(APIHeader, APIV1)
+		if e := m.epochSeen.Load(); e > 0 {
+			req.Header.Set(MetaEpochHeader, strconv.FormatUint(e, 10))
+		}
 		att := tracing.ChildFromContext(ctx, tracing.CompMeta, op)
 		att.AnnotateInt("attempt", int64(attempt))
 		att.Annotate("endpoint", ep)
@@ -130,12 +270,14 @@ func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out inte
 		actx, cancel := context.WithTimeout(ctx, pol.RequestTimeout)
 		resp, err := m.http.Do(req.WithContext(actx))
 		var retryAfter time.Duration
+		stale := false
 		if err != nil {
 			m.health.ReportFailure(ep)
 		} else {
 			// Any HTTP response means the node is up — even a 503
 			// standby rejection (routing, not node health).
 			m.health.ReportSuccess(ep)
+			stale = m.observeEpochHeader(resp.Header)
 			retryAfter = parseRetryAfter(resp.Header)
 			if resp.StatusCode != http.StatusOK {
 				err = decodeError(resp)
@@ -145,6 +287,19 @@ func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out inte
 			resp.Body.Close()
 		}
 		cancel()
+		// Routing signals, distinct from node health: the node answered,
+		// but it is not (or no longer) the primary. Demote it so the
+		// next attempt — and every later request — starts elsewhere, and
+		// rediscover where the primary went.
+		if stale || errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrFenced) {
+			m.demote(ep)
+			m.Discover(ctx)
+			att.Annotate("demoted", ep)
+			// Restart the rotation: the next attempt must go to the
+			// rediscovered primary, not to whatever the pre-demotion
+			// attempt index happens to land on.
+			rotation = 0
+		}
 		if err != nil {
 			att.Annotate("fault", err.Error())
 		}

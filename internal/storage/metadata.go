@@ -3,11 +3,15 @@ package storage
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mcloud/internal/cluster"
 	"mcloud/internal/metrics"
 	"mcloud/internal/tracing"
 )
@@ -86,8 +90,58 @@ type Metadata struct {
 	standby bool
 	primary string // primary's base URL, for standby error messages
 
+	// Leadership state. epoch is the term this node believes it is in;
+	// it rises only through a walOpEpoch fence record (promotion) or by
+	// adopting a primary's epoch during standby replication. fenced is
+	// set when a higher epoch is observed on the wire while this node
+	// is acting as a primary: it has been deposed, and every mutation
+	// fails with ErrFenced until it rejoins as a standby. fencedBy
+	// remembers the highest remote epoch seen, so a later promotion
+	// jumps above it.
+	epoch    uint64
+	fenced   bool
+	fencedBy uint64
+
+	// notify is closed and replaced whenever a record is applied; pull
+	// long-polling parks on it so standbys learn about new records in
+	// one RTT instead of a poll interval.
+	notify chan struct{}
+
+	// puller is the standby pull loop feeding this node, registered by
+	// NewMetaStandby. Promotion closes it synchronously before local
+	// writes resume, so a promotion can never race an in-flight
+	// replicated batch.
+	puller interface{ Close() }
+
+	// Semi-sync replication ack state, under its own mutex (it is
+	// touched on every pull and every durable write, but never inside
+	// the catalog lock's hot paths). replSeq is the highest sequence a
+	// standby has confirmed — a pull with After=N acknowledges that the
+	// standby has durably applied through N. replSeen is the last pull
+	// time; zero means no standby is attached and writes are acked on
+	// local fsync alone. replCh is closed and replaced on every ack so
+	// waiters wake without polling.
+	replMu       sync.Mutex
+	replSeq      uint64
+	replSeen     time.Time
+	replCh       chan struct{}
+	syncTimeouts atomic.Int64
+
+	// feHealth is the per-front-end circuit breaker consulted by
+	// pickFrontEnd, so clients are not handed a dead front-end URL
+	// while it is in cooldown.
+	feHealth *cluster.Health
+
 	met *metadataMetrics // nil until Instrument; set before serving
 }
+
+// metaSyncTimeout bounds how long an acked write waits for the
+// attached standby to confirm replication. On expiry the standby is
+// detached (writes proceed on local durability alone — availability
+// over sync replication) and the stalled write fails retryably. Kept
+// under RemoteMeta's per-request timeout so front-ends see the error,
+// not a hang.
+const metaSyncTimeout = 3 * time.Second
 
 // metaTailCap bounds the in-memory replication tail. A standby that
 // falls further behind than this is reseeded with a full snapshot.
@@ -120,6 +174,25 @@ func (m *Metadata) Instrument(reg *metrics.Registry) {
 	}
 	reg.GaugeFunc("mcs_meta_wal_last_seq", "Newest applied metadata mutation sequence.",
 		func() float64 { return float64(m.LastSeq()) })
+	reg.GaugeFunc("mcs_meta_epoch", "Current metadata leadership epoch (term).",
+		func() float64 { return float64(m.Epoch()) })
+	reg.GaugeFunc("mcs_meta_fenced", "1 when this node was deposed by a higher epoch and rejects writes.",
+		func() float64 {
+			if m.Fenced() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("mcs_meta_repl_ack_seq", "Highest mutation sequence the attached standby has acknowledged.",
+		func() float64 {
+			m.replMu.Lock()
+			defer m.replMu.Unlock()
+			return float64(m.replSeq)
+		})
+	reg.CounterFunc("mcs_meta_sync_timeouts_total", "Writes that timed out waiting for standby acknowledgement (standby detached).",
+		func() float64 { return float64(m.syncTimeouts.Load()) })
+	reg.GaugeFunc("mcs_meta_frontends_down", "Registered front-ends currently inside a breaker down window.",
+		func() float64 { return float64(m.feHealth.Down()) })
 	if m.wal != nil {
 		m.wal.Instrument(reg)
 		reg.GaugeFunc("mcs_meta_wal_records", "WAL records not yet covered by a checkpoint.",
@@ -138,6 +211,9 @@ func NewMetadata(frontends ...string) *Metadata {
 		users:     make(map[uint64]map[string]*FileMeta),
 		links:     make(map[string]int),
 		frontends: frontends,
+		notify:    make(chan struct{}),
+		replCh:    make(chan struct{}),
+		feHealth:  cluster.NewHealth(2, 5*time.Second),
 	}
 }
 
@@ -148,14 +224,80 @@ func (m *Metadata) AddFrontEnd(baseURL string) {
 	m.frontends = append(m.frontends, baseURL)
 }
 
-// pickFrontEnd returns the next front-end (caller holds mu).
+// pickFrontEnd returns the next front-end whose breaker is closed,
+// advancing the round-robin cursor past ones in cooldown (caller
+// holds mu). When every breaker is open the plain rotation wins: a
+// maybe-dead assignment beats refusing the upload, and the breaker's
+// half-open probe will re-admit recovered nodes.
 func (m *Metadata) pickFrontEnd() string {
-	if len(m.frontends) == 0 {
+	n := len(m.frontends)
+	if n == 0 {
 		return ""
 	}
-	fe := m.frontends[m.nextFE%len(m.frontends)]
+	for i := 0; i < n; i++ {
+		fe := m.frontends[m.nextFE%n]
+		m.nextFE++
+		if m.feHealth.Alive(fe) {
+			return fe
+		}
+	}
+	fe := m.frontends[m.nextFE%n]
 	m.nextFE++
 	return fe
+}
+
+// ReportFrontEnd feeds the front-end breaker: ok=false counts toward
+// opening it, ok=true closes it. Called by the prober and available to
+// any caller that observes a front-end failing.
+func (m *Metadata) ReportFrontEnd(baseURL string, ok bool) {
+	if ok {
+		m.feHealth.ReportSuccess(baseURL)
+	} else {
+		m.feHealth.ReportFailure(baseURL)
+	}
+}
+
+// ProbeFrontEnds starts a background prober that marks each registered
+// front-end alive or dead by hitting its /v1/cluster/info endpoint.
+// Any HTTP response counts as alive — the breaker guards against dead
+// processes, not degraded ones. Returns a stop function.
+func (m *Metadata) ProbeFrontEnds(httpc *http.Client, interval time.Duration) (stop func()) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			m.mu.RLock()
+			fes := append([]string(nil), m.frontends...)
+			m.mu.RUnlock()
+			for _, fe := range fes {
+				req, err := http.NewRequest(http.MethodGet, fe+"/v1/cluster/info", nil)
+				if err != nil {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				resp, err := httpc.Do(req.WithContext(ctx))
+				if resp != nil {
+					resp.Body.Close()
+				}
+				cancel()
+				m.ReportFrontEnd(fe, err == nil)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // StoreCheck implements the dedup handshake: if the content is known,
@@ -209,7 +351,7 @@ func (m *Metadata) StoreCheckCtx(ctx context.Context, req StoreCheckRequest) (St
 	if err != nil {
 		return StoreCheckResponse{}, err
 	}
-	return resp, m.waitDurable(ctx, lsn)
+	return resp, m.waitDurable(ctx, lsn, rec.Seq)
 }
 
 // linkLocked adds the file to a user's namespace (caller holds mu).
@@ -264,7 +406,7 @@ func (m *Metadata) UnlinkCtx(ctx context.Context, user uint64, url string) (chun
 	if err != nil {
 		return nil, false, err
 	}
-	return chunks, lastRef, m.waitDurable(ctx, lsn)
+	return chunks, lastRef, m.waitDurable(ctx, lsn, rec.Seq)
 }
 
 // Commit finalizes a file upload: the front-end calls it after all
@@ -298,17 +440,61 @@ func (m *Metadata) CommitCtx(ctx context.Context, url string, chunkMD5s []Sum) e
 	if err != nil {
 		return err
 	}
-	return m.waitDurable(ctx, lsn)
+	return m.waitDurable(ctx, lsn, rec.Seq)
 }
 
-// writeGuardLocked rejects mutations on a standby (caller holds mu).
-// The typed error unwraps to ErrUnavailable, so over /v1 the client
-// sees a retryable 503 and fails over to the primary.
+// writeGuardLocked rejects mutations on a node that does not hold the
+// write lease: a standby, or a deposed primary that observed a higher
+// epoch (caller holds mu). Leadership is the pair (not standby, not
+// fenced) — a bare standby bool is not enough, because a SIGKILLed
+// primary restarting from its own WAL comes back with standby=false
+// and must still be stopped from forking history. Both errors map to
+// retryable typed envelopes over /v1, so clients fail over rather
+// than surface the rejection.
 func (m *Metadata) writeGuardLocked() error {
+	if m.fenced {
+		return fmt.Errorf("%w: primary at epoch %d deposed by epoch %d", ErrFenced, m.epoch, m.fencedBy)
+	}
 	if m.standby {
-		return fmt.Errorf("%w: metadata standby of %s is read-only", ErrUnavailable, m.primary)
+		return fmt.Errorf("%w: metadata standby of %s is read-only", ErrNotPrimary, m.primary)
 	}
 	return nil
+}
+
+// Epoch returns the node's current leadership term.
+func (m *Metadata) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// Fenced reports whether this node has been deposed by a higher epoch.
+func (m *Metadata) Fenced() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.fenced
+}
+
+// ObserveEpoch folds a remotely-observed epoch into this node's view.
+// A primary that sees a higher epoch than its own has been deposed —
+// someone promoted past it while it was gone — and fences itself so no
+// further writes land on the forked timeline. A standby just records
+// the observation (its writes are rejected anyway, and its pull loop
+// adopts the primary's epoch through the replication stream).
+func (m *Metadata) ObserveEpoch(remote uint64) {
+	if remote == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if remote > m.epoch {
+		if !m.standby {
+			m.fenced = true
+		}
+		if remote > m.fencedBy {
+			m.fencedBy = remote
+		}
+	}
 }
 
 // logApplyLocked assigns the next sequence number, applies the record
@@ -318,11 +504,15 @@ func (m *Metadata) writeGuardLocked() error {
 // then the mutation is applied but not yet acknowledged durable.
 func (m *Metadata) logApplyLocked(rec *MetaWALRecord) (int64, error) {
 	rec.Seq = m.lastSeq + 1
+	rec.Epoch = m.epoch
 	if err := m.applyRecordLocked(rec); err != nil {
 		return 0, err
 	}
 	m.lastSeq = rec.Seq
 	m.tailAppendLocked(*rec)
+	// Wake long-poll pulls parked on the previous notify channel.
+	close(m.notify)
+	m.notify = make(chan struct{})
 	if m.wal == nil {
 		return 0, nil
 	}
@@ -334,7 +524,16 @@ func (m *Metadata) logApplyLocked(rec *MetaWALRecord) (int64, error) {
 // so a replayed log always reproduces the live state (caller holds mu
 // for writing).
 func (m *Metadata) applyRecordLocked(rec *MetaWALRecord) error {
+	// The epoch rides on every record; replay and standby apply adopt
+	// rises as they happen (the live path is a no-op — logApplyLocked
+	// stamped rec.Epoch from m.epoch).
+	if rec.Epoch > m.epoch {
+		m.epoch = rec.Epoch
+	}
 	switch rec.Op {
+	case walOpEpoch:
+		// Leadership fence: no catalog change, the epoch bump above is
+		// the whole mutation.
 	case walOpReserve:
 		sum, err := ParseSum(rec.FileMD5)
 		if err != nil {
@@ -410,15 +609,77 @@ func (m *Metadata) walSpan(ctx context.Context, name string) *tracing.Span {
 }
 
 // waitDurable blocks until the record behind lsn is fsync-covered,
-// tracing the group-commit wait.
-func (m *Metadata) waitDurable(ctx context.Context, lsn int64) error {
+// tracing the group-commit wait, and then — when a standby is
+// attached — until the standby has confirmed replication through seq.
+// That second wait is what makes "acked" mean "survives losing the
+// primary": a commit answered 200 is already applied and fsynced on
+// the standby, so an automatic promotion loses nothing.
+func (m *Metadata) waitDurable(ctx context.Context, lsn int64, seq uint64) error {
 	if m.wal == nil || lsn == 0 {
 		return nil
 	}
 	fs := tracing.ChildFromContext(ctx, tracing.CompMeta, tracing.SpanWALFsync)
 	err := m.wal.WaitDurable(lsn)
 	fs.EndErr(err)
-	return err
+	if err != nil {
+		return err
+	}
+	return m.waitReplicated(ctx, seq)
+}
+
+// noteStandbyPull records a standby's pull as a replication ack: a
+// pull asking for records after N confirms the standby has durably
+// applied through N. Also the primary's lease renewal signal.
+func (m *Metadata) noteStandbyPull(after uint64) {
+	m.replMu.Lock()
+	defer m.replMu.Unlock()
+	m.replSeen = time.Now()
+	if after > m.replSeq {
+		m.replSeq = after
+	}
+	close(m.replCh)
+	m.replCh = make(chan struct{})
+}
+
+// waitReplicated blocks until the attached standby has acknowledged
+// seq, the sync timeout lapses, or ctx is done. On timeout the standby
+// is detached — writes fall back to local-durability acks (the
+// availability side of semi-sync) — and the stalled write fails with a
+// retryable error so the client does not treat it as replicated.
+func (m *Metadata) waitReplicated(ctx context.Context, seq uint64) error {
+	deadline := time.Now().Add(metaSyncTimeout)
+	for {
+		m.replMu.Lock()
+		if m.replSeen.IsZero() || m.replSeq >= seq {
+			m.replMu.Unlock()
+			return nil
+		}
+		ch := m.replCh
+		m.replMu.Unlock()
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			m.replMu.Lock()
+			// Re-check under the lock; the ack may have raced the timer.
+			if m.replSeen.IsZero() || m.replSeq >= seq {
+				m.replMu.Unlock()
+				return nil
+			}
+			m.replSeen = time.Time{} // detach the stalled standby
+			m.replMu.Unlock()
+			m.syncTimeouts.Add(1)
+			return fmt.Errorf("%w: standby did not acknowledge seq %d within %v", ErrUnavailable, seq, metaSyncTimeout)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		t.Stop()
+	}
 }
 
 // Resolve maps a file URL to its content hash and a front-end, for
@@ -605,7 +866,16 @@ func (m *Metadata) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, m.Pull(req))
+		// A puller announcing a higher epoch than ours means a newer
+		// primary exists: fence (if we think we are a primary) and
+		// refuse to serve — our tail may be forked history.
+		m.ObserveEpoch(req.Epoch)
+		if m.Fenced() {
+			err := fmt.Errorf("%w: pull refused, this node's epoch %d was superseded", ErrFenced, m.Epoch())
+			writeAPIError(w, r, metaErrStatus(err, http.StatusServiceUnavailable), err)
+			return
+		}
+		writeJSON(w, m.PullWait(r.Context(), req))
 	})
 	registerBoth(mux, "/meta/wal/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -614,15 +884,32 @@ func (m *Metadata) Handler() http.Handler {
 		}
 		writeJSON(w, m.WALStatus())
 	})
-	return advertiseV1(mux)
+	return advertiseV1(m.epochExchange(mux))
+}
+
+// epochExchange is the fencing middleware: every /meta/* response is
+// stamped with this node's current epoch, and every request's echoed
+// epoch is folded back in. This is how a deposed primary finds out —
+// the first client that talked to the new primary carries the newer
+// epoch here, and the write guard starts rejecting.
+func (m *Metadata) epochExchange(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(MetaEpochHeader); v != "" {
+			if e, err := strconv.ParseUint(v, 10, 64); err == nil {
+				m.ObserveEpoch(e)
+			}
+		}
+		w.Header().Set(MetaEpochHeader, strconv.FormatUint(m.Epoch(), 10))
+		next.ServeHTTP(w, r)
+	})
 }
 
 // metaErrStatus maps a metadata mutation error to an HTTP status:
-// standby rejections (and any other unavailability) are 503 so the
-// typed envelope marks them retryable; everything else keeps the
+// standby/fencing rejections (and any other unavailability) are 503 so
+// the typed envelope marks them retryable; everything else keeps the
 // handler's default.
 func metaErrStatus(err error, fallback int) int {
-	if IsUnavailable(err) {
+	if IsUnavailable(err) || errors.Is(err, ErrFenced) {
 		return http.StatusServiceUnavailable
 	}
 	return fallback

@@ -148,6 +148,12 @@ func TestApplyReplicatedGap(t *testing.T) {
 	src.mu.RUnlock()
 
 	dst := NewMetadata()
+	// Replicated batches only land on standbys; a non-standby must
+	// reject them outright (promotion vs. pull-loop race).
+	if _, err := dst.ApplyReplicated(recs[:3]); err == nil {
+		t.Fatal("ApplyReplicated on a non-standby succeeded")
+	}
+	dst.SetStandby("src")
 	if n, err := dst.ApplyReplicated(recs[:3]); err != nil || n != 3 {
 		t.Fatalf("contiguous apply: n=%d err=%v", n, err)
 	}

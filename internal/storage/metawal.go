@@ -82,12 +82,20 @@ const (
 	walOpLink    = "link"    // StoreCheck dedup hit: link existing file
 	walOpCommit  = "commit"  // finalize an upload (chunk digests land)
 	walOpUnlink  = "unlink"  // remove a file from one user's namespace
+	walOpEpoch   = "epoch"   // leadership fence: a promotion bumped the epoch
 )
 
 // MetaWALRecord is one logged metadata mutation; it doubles as the
 // wire form streamed to standby nodes.
 type MetaWALRecord struct {
-	Seq       uint64   `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Epoch is the leadership term the record was written under. It
+	// rides inside the JSON payload (covered by the frame CRC) so the
+	// 16-byte header layout is unchanged and old segments decode with
+	// epoch 0. A walOpEpoch record is how the epoch rises; every later
+	// record carries the new value, so replaying a WAL reproduces the
+	// epoch along with the catalog.
+	Epoch     uint64   `json:"epoch,omitempty"`
 	Op        string   `json:"op"`
 	User      uint64   `json:"user,omitempty"`
 	URL       string   `json:"url,omitempty"`
@@ -124,9 +132,12 @@ func encodeWALHeader(hdr []byte, seq uint64, payload []byte) {
 // checkpointFile is the on-disk form of a metadata checkpoint: the
 // snapshot codec plus the WAL sequence number it covers.
 type checkpointFile struct {
-	Version int          `json:"version"`
-	Seq     uint64       `json:"seq"`
-	Meta    metaSnapshot `json:"meta"`
+	Version int    `json:"version"`
+	Seq     uint64 `json:"seq"`
+	// Epoch is the leadership term at checkpoint time; absent (0) in
+	// checkpoints written before fencing existed.
+	Epoch uint64       `json:"epoch,omitempty"`
+	Meta  metaSnapshot `json:"meta"`
 }
 
 // OpenDurableMetadata opens (creating if needed) a WAL-backed metadata
@@ -150,6 +161,7 @@ func OpenDurableMetadata(dir string) (*Metadata, error) {
 			return nil, fmt.Errorf("storage: metawal: checkpoint: %w", err)
 		}
 		m.lastSeq = cp.Seq
+		m.epoch = cp.Epoch
 	}
 
 	w := &MetaWAL{dir: dir}
@@ -385,6 +397,9 @@ func (w *MetaWAL) WaitDurable(lsn int64) error {
 	if closed {
 		return fmt.Errorf("storage: metawal: closed")
 	}
+	if d := metaFsyncDelay; d != nil {
+		d()
+	}
 	if err := f.Sync(); err != nil {
 		return err
 	}
@@ -395,6 +410,11 @@ func (w *MetaWAL) WaitDurable(lsn int64) error {
 	w.observeFsyncWait(start)
 	return nil
 }
+
+// metaFsyncDelay, when set, runs inside WaitDurable's fsync path while
+// syncMu is held. Test hook: lets the fencing tests stall the disk
+// under an in-flight commit the way a sick device would.
+var metaFsyncDelay func()
 
 func (w *MetaWAL) observeFsyncWait(start time.Time) {
 	if h := w.fsyncHist; h != nil {
@@ -421,12 +441,12 @@ func (w *MetaWAL) rotateLocked(sealSeq uint64) error {
 
 // writeCheckpoint persists the snapshot atomically beside the
 // segments: temp file + fsync + rename + directory fsync.
-func (w *MetaWAL) writeCheckpoint(snap metaSnapshot, seq uint64) error {
+func (w *MetaWAL) writeCheckpoint(snap metaSnapshot, seq, epoch uint64) error {
 	tmp, err := os.CreateTemp(w.dir, ".checkpoint-*")
 	if err != nil {
 		return err
 	}
-	cp := checkpointFile{Version: snapshotVersion, Seq: seq, Meta: snap}
+	cp := checkpointFile{Version: snapshotVersion, Seq: seq, Epoch: epoch, Meta: snap}
 	err = json.NewEncoder(tmp).Encode(cp)
 	if err == nil {
 		err = tmp.Sync()
@@ -552,6 +572,7 @@ func (m *Metadata) Checkpoint() error {
 	}
 	m.mu.Lock()
 	seq := m.lastSeq
+	epoch := m.epoch
 	w.mu.Lock()
 	if seq == w.cpSeq {
 		w.mu.Unlock()
@@ -565,7 +586,7 @@ func (m *Metadata) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	if err := w.writeCheckpoint(snap, seq); err != nil {
+	if err := w.writeCheckpoint(snap, seq, epoch); err != nil {
 		return err
 	}
 	return w.prune(seq)

@@ -40,6 +40,12 @@ const (
 	// disk stage gets.
 	SpanWALAppend = "wal-append"     // record append under the metadata lock
 	SpanWALFsync  = "wal-fsync-wait" // group-commit fsync wait for the record's LSN
+
+	// Failover span names (component CompMeta). Root spans on the
+	// standby: the lease lifecycle and the promotion it triggers.
+	SpanLeaseRenew   = "lease-renew"   // one successful replication pull (= lease renewal)
+	SpanLeaseExpired = "lease-expired" // pull failures crossed the lease TTL
+	SpanPromote      = "meta-promote"  // standby self-promotion (epoch bump + fence record)
 )
 
 // Trace is one operation's spans joined across every exporting node.

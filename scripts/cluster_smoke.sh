@@ -6,9 +6,13 @@
 #   Phase A — chunk-plane outage: mcsload drives the cluster while a
 #   seeded chaos scenario takes storage node 3 through a 200-request
 #   outage window.
-#   Phase B — metadata-plane crash: a second load runs while the
-#   metadata primary is SIGKILLed mid-load (no drain, no shutdown
-#   checkpoint) and restarted from its WAL directory.
+#   Phase B — metadata-plane failover: a second load runs while the
+#   metadata primary is SIGKILLed mid-load and NOT restarted. The
+#   standby's lease expires, it self-promotes (bumping the fencing
+#   epoch), and the load finishes against the new primary. The old
+#   primary then comes back from its own WAL, is fenced on its first
+#   write (typed "fenced" error), and rejoins as a standby of the
+#   new primary.
 #
 # The phases are sequential so each gate is deterministic: phase A's
 # verify sweep runs against a cluster whose outage window has closed,
@@ -20,11 +24,13 @@
 #   1. every acknowledged upload is retrieved back byte-identical
 #      (0 lost, 0 corrupted) — mcsload -verify exits non-zero
 #      otherwise — in BOTH phases, which for phase B means every file
-#      acked before the SIGKILL survived the metadata crash;
+#      acked before the SIGKILL survived the failover without the
+#      primary ever coming back;
 #   2. mcs_cluster_underreplicated returns to 0 on every node once the
 #      repair loop has re-streamed the replicas the outage missed;
-#   3. the restarted metadata primary recovers its state from the WAL +
-#      checkpoint, and the standby drains its replication lag to 0;
+#   3. the standby self-promotes within its lease TTL, the deposed
+#      primary's writes are rejected with the typed "fenced" error,
+#      and once re-attached as a standby it drains its lag to 0;
 #   4. a follow-up mcsrebalance pass finds nothing left to move;
 #   5. distributed tracing joins end-to-end: mcstrace -strict over the
 #      storage nodes' /debug/traces plus both loaders' trace dumps must
@@ -56,9 +62,10 @@ CHAOS="name=smoke,seed=7,outage=30+200,node=$N3"
 
 # The metadata plane is its own pair of processes: a durable primary
 # (WAL + 2s checkpoints) that assigns the storage nodes as front-ends,
-# and a standby replicating its WAL stream. Front-ends list both, so
-# metadata reads fail over while the primary is down and writes retry
-# until it is back.
+# and a standby replicating its WAL stream with a 2s failover lease —
+# if the primary stops answering pulls for 2s, the standby promotes
+# itself after confirming no better rival exists. Front-ends list
+# both endpoints and rediscover the primary via /v1/meta/wal/status.
 start_meta_primary() {
     "$BIN/mcsserver" -meta :8070 -frontends "" -ops :8093 -log "$WORK/m$1.log" \
         -metadata-dir "$WORK/meta" -metacheckpoint 2s -metafrontends "$PEERS" \
@@ -69,6 +76,7 @@ start_meta_primary() {
 start_meta_primary 1
 "$BIN/mcsserver" -meta :8071 -frontends "" -ops :8094 -log "$WORK/s.log" \
     -metadata-dir "$WORK/metastby" -metastandby "$META" -metafrontends "$PEERS" \
+    -metafailover 2s -metapeers "$META" \
     >"$WORK/s.out" 2>&1 &
 pids+=($!)
 
@@ -130,20 +138,26 @@ gauge_zero 8091 mcs_cluster_underreplicated
 gauge_zero 8092 mcs_cluster_underreplicated
 echo "cluster_smoke: under-replication drained to 0 on all nodes"
 
-# --- Phase B: metadata-plane crash ---------------------------------
-# Invariant 3, first half: once the second load is demonstrably in
+# --- Phase B: metadata-plane failover ------------------------------
+# Invariant 3, first act: once the second load is demonstrably in
 # flight (the primary has durably committed several phase-B files),
-# SIGKILL the metadata primary and restart it from the same WAL
-# directory. Every commit it acked must survive; commits in flight
-# during the restart ride the front-ends' failover retries.
+# SIGKILL the metadata primary and do NOT restart it. The standby's
+# 2s lease expires and it promotes itself; the load — whose clients
+# know both endpoints — finishes against the new primary with every
+# acked file intact.
 meta_commits() {
     curl -fsS http://127.0.0.1:8093/metrics 2>/dev/null |
         grep '^mcs_meta_op_seconds_count{op="commit"}' | awk '{print $2}'
 }
+meta_status() { curl -fsS "$1/v1/meta/wal/status" 2>/dev/null; }
 base=$(meta_commits || echo 0)
-echo "cluster_smoke: phase B: load with a mid-load metadata kill (commit count starts at ${base:-0})"
-"$BIN/mcsload" -meta "$META" -devices 4 -files 8 -retrieve 0.5 -seed 5 \
-    -maxfail 0.5 -tracedump "$WORK/client-traces-b.json" &
+echo "cluster_smoke: phase B: load with a mid-load metadata kill, no restart (commit count starts at ${base:-0})"
+# Writes fail hard inside the promotion gap (neither node takes
+# them — that is the consistency side of the fencing design), so the
+# file count gives the run enough post-failover successes to stay
+# inside -maxfail.
+"$BIN/mcsload" -meta "$META,$METASTBY" -devices 4 -files 12 -retrieve 0.5 -seed 5 \
+    -maxfail 0.6 -tracedump "$WORK/client-traces-b.json" &
 LOAD=$!
 
 killed=0
@@ -161,23 +175,63 @@ if [ "$killed" != 1 ]; then
     echo "cluster_smoke: metadata kill never triggered (load too fast or primary down)" >&2
     exit 1
 fi
-sleep 1
-start_meta_primary 2
-ready 8093
-if ! grep -q "durable metadata" "$WORK/m2.out"; then
-    echo "cluster_smoke: restarted metadata primary did not report WAL recovery" >&2
-    cat "$WORK/m2.out" >&2 || true
+
+# The standby must self-promote: status flips standby:false and the
+# fencing epoch goes positive, all within a few lease TTLs.
+promoted=0
+for i in $(seq 1 100); do
+    st=$(meta_status "$METASTBY" || true)
+    if echo "$st" | grep -q '"standby":true'; then :; elif echo "$st" | grep -q '"epoch":[1-9]'; then
+        promoted=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$promoted" != 1 ]; then
+    echo "cluster_smoke: standby never promoted itself (status: $(meta_status "$METASTBY"))" >&2
+    cat "$WORK/s.out" >&2 || true
     exit 1
 fi
-grep "durable metadata" "$WORK/m2.out" | sed 's/^/cluster_smoke: /'
+NEWEPOCH=$(meta_status "$METASTBY" | grep -o '"epoch":[0-9]*' | cut -d: -f2)
+echo "cluster_smoke: standby self-promoted to primary at epoch $NEWEPOCH"
 
 wait $LOAD
-echo "cluster_smoke: phase B load survived the metadata kill (0 lost, 0 corrupted)"
+echo "cluster_smoke: phase B load survived the failover (0 lost, 0 corrupted, primary never restarted)"
 
-# Invariant 3, second half: the standby rode through the primary's
-# restart and holds the full committed history.
-gauge_zero 8094 mcs_meta_standby_lag
-echo "cluster_smoke: metadata standby caught up (replication lag 0)"
+# Invariant 3, second act: the deposed primary comes back from its own
+# WAL believing it is a primary at the old epoch. Its first write
+# request carrying the new epoch must be rejected with the typed
+# fencing error — not silently applied onto a forked history.
+start_meta_primary 2
+ready 8093
+grep "durable metadata" "$WORK/m2.out" | sed 's/^/cluster_smoke: /'
+fence=$(curl -sS -X POST "$META/v1/meta/store-check" \
+    -H "Content-Type: application/json" -H "X-MCS-Meta-Epoch: $NEWEPOCH" \
+    -d '{"user_id":1,"name":"fence-probe","size":1,"file_md5":"d41d8cd98f00b204e9800998ecf8427e"}')
+if ! echo "$fence" | grep -q '"code":"fenced"'; then
+    echo "cluster_smoke: deposed primary accepted a write instead of fencing: $fence" >&2
+    exit 1
+fi
+echo "cluster_smoke: deposed primary fenced its first write (code=fenced)"
+
+# Invariant 3, third act: the old primary rejoins as a standby of the
+# new primary, reseeds across the epoch boundary, and drains its
+# replication lag to 0.
+kill -9 "$MPID" 2>/dev/null || true
+sleep 0.5
+"$BIN/mcsserver" -meta :8070 -frontends "" -ops :8093 -log "$WORK/m3.log" \
+    -metadata-dir "$WORK/meta" -metacheckpoint 2s -metafrontends "$PEERS" \
+    -metastandby "$METASTBY" \
+    >"$WORK/m3.out" 2>&1 &
+pids+=($!)
+ready 8093
+gauge_zero 8093 mcs_meta_standby_lag
+st=$(meta_status "$META")
+if ! echo "$st" | grep -q '"standby":true'; then
+    echo "cluster_smoke: old primary did not rejoin as standby: $st" >&2
+    exit 1
+fi
+echo "cluster_smoke: old primary rejoined as standby of the new primary (lag 0, epoch $(echo "$st" | grep -o '"epoch":[0-9]*' | cut -d: -f2))"
 
 # Invariant 4: placement is already correct, so the rebalancer is a
 # no-op (it exits non-zero on any transfer error).
