@@ -19,6 +19,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,7 +42,7 @@ func main() {
 		retr     = flag.Float64("retrieve", 0.3, "fraction of stored files retrieved back")
 		dup      = flag.Float64("dup", 0.2, "probability a file duplicates another device's content")
 		seed     = flag.Uint64("seed", 1, "workload seed")
-		opsURL   = flag.String("ops", "", "mcsserver ops base URL (e.g. http://127.0.0.1:8090); polls /metrics and shows a live dashboard")
+		opsURL   = flag.String("ops", "", "mcsserver ops base URL(s), comma-separated (e.g. http://127.0.0.1:8090,http://127.0.0.1:8091); polls every /metrics and shows a merged live dashboard")
 		dash     = flag.Duration("dash", time.Second, "dashboard poll interval when -ops is set")
 		chaos    = flag.String("chaos", "", `client-side fault scenario, e.g. "mixed10,seed=42": faults are injected into the loaders' own transports (see internal/faults)`)
 		maxFail  = flag.Float64("maxfail", 0, "tolerated operation failure rate before a non-zero exit")
@@ -255,7 +257,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mcsload: -waitrepair needs -ops to scrape /metrics")
 			os.Exit(2)
 		}
-		probe := &opsDashboard{url: *opsURL}
+		probe := &opsDashboard{urls: splitList(*opsURL)}
 		deadline := time.Now().Add(*waitRep)
 		for {
 			vals, err := probe.scrape()
@@ -290,11 +292,12 @@ func main() {
 	}
 }
 
-// opsDashboard polls the mcsserver ops listener's /metrics endpoint
-// during the run, prints a live status line per tick, and renders the
-// collected time series as textplot charts afterwards.
+// opsDashboard polls one or more mcsserver ops listeners' /metrics
+// endpoints during the run (a sharded metadata plane exposes one per
+// node), prints a live status line per tick, and renders the merged
+// time series as textplot charts afterwards.
 type opsDashboard struct {
-	url      string
+	urls     []string
 	interval time.Duration
 	done     chan struct{}
 	finished chan struct{}
@@ -306,13 +309,19 @@ type opsDashboard struct {
 	hitRate []float64 // cache hit fraction, NaN when no cache
 	under   []float64 // mcs_cluster_underreplicated gauge
 	sheds   []float64 // cumulative overload sheds across scopes
-	metaP99 []float64 // metadata commit p99 (ms), NaN before first commit
-	walP99  []float64 // metadata WAL fsync-wait p99 (ms), NaN when not durable
+	metaP99 []float64 // metadata commit p99 (ms), worst shard, NaN before first commit
+	walP99  []float64 // metadata WAL fsync-wait p99 (ms), worst shard, NaN when not durable
+
+	// Per-shard metadata series, keyed by the shard label. Shards may
+	// appear mid-run (a promotion brings a new node's ops online), so
+	// each history is padded with NaN up to the tick it first reported.
+	shardP99 map[string][]float64 // commit p99 (ms) by shard
+	shardLag map[string][]float64 // standby replication lag (records) by shard
 }
 
 func startDashboard(opsURL string, interval time.Duration) *opsDashboard {
 	d := &opsDashboard{
-		url:      opsURL,
+		urls:     splitList(opsURL),
 		interval: interval,
 		done:     make(chan struct{}),
 		finished: make(chan struct{}),
@@ -363,15 +372,24 @@ func (d *opsDashboard) loop() {
 		sheds := sumPrefix(vals, "mcs_overload_sheds_total")
 
 		// Metadata plane: commit latency is what every store waits on,
-		// and the WAL fsync wait is its durable floor.
+		// and the WAL fsync wait is its durable floor. Series carry a
+		// shard label; the status line shows the worst shard and the
+		// per-shard histories feed their own charts.
+		commitByShard := shardSeries(vals, "mcs_meta_op_seconds", `op="commit"`, `quantile="0.99"`)
 		metaP99 := math.NaN()
-		if v, ok := vals[metrics.Key("mcs_meta_op_seconds", "op", "commit", "quantile", "0.99")]; ok {
-			metaP99 = v * 1000
+		for shard, v := range commitByShard {
+			commitByShard[shard] = v * 1000
+			if math.IsNaN(metaP99) || v*1000 > metaP99 {
+				metaP99 = v * 1000
+			}
 		}
 		walP99 := math.NaN()
-		if v, ok := vals[metrics.Key("mcs_meta_wal_fsync_seconds", "quantile", "0.99")]; ok {
-			walP99 = v * 1000
+		for _, v := range shardSeries(vals, "mcs_meta_wal_fsync_seconds", `quantile="0.99"`) {
+			if math.IsNaN(walP99) || v*1000 > walP99 {
+				walP99 = v * 1000
+			}
 		}
+		lagByShard := shardSeries(vals, "mcs_meta_standby_lag")
 
 		d.mu.Lock()
 		d.times = append(d.times, t)
@@ -382,6 +400,13 @@ func (d *opsDashboard) loop() {
 		d.sheds = append(d.sheds, sheds)
 		d.metaP99 = append(d.metaP99, metaP99)
 		d.walP99 = append(d.walP99, walP99)
+		if d.shardP99 == nil {
+			d.shardP99 = make(map[string][]float64)
+			d.shardLag = make(map[string][]float64)
+		}
+		ticks := len(d.times) - 1
+		appendShard(d.shardP99, commitByShard, ticks)
+		appendShard(d.shardLag, lagByShard, ticks)
 		d.mu.Unlock()
 
 		line := fmt.Sprintf("mcsload: [dash] t=%5.1fs rps=%7.1f upload_p99=%7.1fms", t, rps, p99*1000)
@@ -399,8 +424,38 @@ func (d *opsDashboard) loop() {
 	}
 }
 
+// scrape polls every ops endpoint and merges the expositions: series
+// labeled by shard are disjoint across nodes, plain counters and
+// gauges sum, and quantile series keep the worst (highest) value.
 func (d *opsDashboard) scrape() (map[string]float64, error) {
-	resp, err := http.Get(d.url + "/metrics")
+	merged := make(map[string]float64)
+	var lastErr error
+	ok := 0
+	for _, u := range d.urls {
+		vals, err := d.scrapeOne(u)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ok++
+		for k, v := range vals {
+			if strings.Contains(k, `quantile="`) {
+				if cur, dup := merged[k]; !dup || v > cur {
+					merged[k] = v
+				}
+				continue
+			}
+			merged[k] += v
+		}
+	}
+	if ok == 0 {
+		return nil, lastErr
+	}
+	return merged, nil
+}
+
+func (d *opsDashboard) scrapeOne(u string) (map[string]float64, error) {
+	resp, err := http.Get(u + "/metrics")
 	if err != nil {
 		return nil, err
 	}
@@ -409,6 +464,71 @@ func (d *opsDashboard) scrape() (map[string]float64, error) {
 		return nil, fmt.Errorf("/metrics returned status %d", resp.StatusCode)
 	}
 	return metrics.ParseText(resp.Body)
+}
+
+// splitList parses a comma-separated URL list.
+func splitList(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, strings.TrimRight(u, "/"))
+		}
+	}
+	return out
+}
+
+// shardSeries collects one metric's per-shard values: every series of
+// name carrying all the given label pairs contributes its shard label
+// value. Series without a shard label land under "".
+func shardSeries(vals map[string]float64, name string, labels ...string) map[string]float64 {
+	out := make(map[string]float64)
+	prefix := name + "{"
+	for k, v := range vals {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		all := true
+		for _, l := range labels {
+			if !strings.Contains(k, l) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		shard := ""
+		if i := strings.Index(k, `shard="`); i >= 0 {
+			rest := k[i+len(`shard="`):]
+			if j := strings.IndexByte(rest, '"'); j >= 0 {
+				shard = rest[:j]
+			}
+		}
+		out[shard] = v
+	}
+	return out
+}
+
+// appendShard folds one tick's per-shard readings into the padded
+// histories: shards seen for the first time are back-filled with NaN,
+// shards missing this tick record NaN.
+func appendShard(hist map[string][]float64, byShard map[string]float64, ticks int) {
+	for shard := range byShard {
+		if _, ok := hist[shard]; !ok {
+			pad := make([]float64, ticks)
+			for i := range pad {
+				pad[i] = math.NaN()
+			}
+			hist[shard] = pad
+		}
+	}
+	for shard, h := range hist {
+		if v, ok := byShard[shard]; ok {
+			hist[shard] = append(h, v)
+		} else {
+			hist[shard] = append(h, math.NaN())
+		}
+	}
 }
 
 func (d *opsDashboard) stop() {
@@ -443,6 +563,19 @@ func (d *opsDashboard) render(w *os.File) {
 	plot("cache hit rate (%)", d.hitRate, 100)
 	plot("p99 metadata commit latency (ms)", d.metaP99, 1)
 	plot("p99 metadata WAL fsync wait (ms)", d.walP99, 1)
+	// Per-shard metadata charts, when the plane is sharded: one commit
+	// latency chart per shard, and replication lag for any standby
+	// that reported (a flat-zero lag chart is noise, skip it).
+	for _, shard := range sortedShards(d.shardP99) {
+		if len(d.shardP99) > 1 {
+			plot(fmt.Sprintf("p99 metadata commit latency, shard %s (ms)", shard), d.shardP99[shard], 1)
+		}
+	}
+	for _, shard := range sortedShards(d.shardLag) {
+		if peak(d.shardLag[shard]) > 0 {
+			plot(fmt.Sprintf("metadata standby lag, shard %s (records)", shard), d.shardLag[shard], 1)
+		}
+	}
 	if peak(d.under) > 0 {
 		plot("under-replicated chunks", d.under, 1)
 	}
@@ -461,6 +594,16 @@ func sumPrefix(vals map[string]float64, name string) float64 {
 		}
 	}
 	return sum
+}
+
+// sortedShards returns the map's shard labels in stable order.
+func sortedShards(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func peak(xs []float64) float64 {

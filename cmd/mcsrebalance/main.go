@@ -10,11 +10,21 @@
 // whenever mcs_cluster_underreplicated stays above zero (the online
 // repair queue only heals failures the writing node itself observed).
 //
+// With -meta the same invariant is enforced on the metadata plane:
+// every user namespace on the shard the versioned shard map assigns.
+// Misplaced namespaces (leftovers of a -metashards change) are moved
+// — export from the holder, import through the owner's WAL keeping
+// the file URLs clients hold, verify, then evict the leftover.
+// -verify audits placement without moving and exits nonzero when any
+// namespace sits on the wrong shard.
+//
 // Usage:
 //
 //	mcsrebalance -node http://10.0.0.1:8080            # heal missing replicas
 //	mcsrebalance -node http://10.0.0.1:8080 -prune     # also drop misplaced copies
 //	mcsrebalance -node http://10.0.0.1:8080 -dry-run -v
+//	mcsrebalance -meta -node http://10.0.0.1:8070      # move misplaced user namespaces
+//	mcsrebalance -meta -node http://10.0.0.1:8070 -verify
 package main
 
 import (
@@ -27,16 +37,23 @@ import (
 
 func main() {
 	var (
-		node   = flag.String("node", "", "base URL of any live cluster node (required)")
+		node   = flag.String("node", "", "base URL of any live cluster node (required; with -meta, any metadata endpoint)")
 		prune  = flag.Bool("prune", false, "delete misplaced copies once all owners are confirmed")
 		dryRun = flag.Bool("dry-run", false, "report planned moves without transferring bytes")
 		verb   = flag.Bool("v", false, "log every copy and prune")
+		meta   = flag.Bool("meta", false, "rebalance the metadata plane (user namespaces across shards) instead of chunks")
+		verify = flag.Bool("verify", false, "with -meta: audit shard placement only; exit 1 when any namespace is misplaced")
 	)
 	flag.Parse()
 	if *node == "" {
 		fmt.Fprintln(os.Stderr, "mcsrebalance: -node is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *meta {
+		runMeta(*node, *dryRun, *verify, *verb)
+		return
 	}
 
 	rb := &storage.Rebalancer{
@@ -67,6 +84,39 @@ func main() {
 	}
 	if rep.Errors > 0 {
 		fmt.Printf("  errors     %d\n", rep.Errors)
+		os.Exit(1)
+	}
+}
+
+// runMeta drives the metadata-plane rebalance (or -verify audit).
+func runMeta(seed string, dryRun, verify, verb bool) {
+	rb := &storage.MetaRebalancer{Seed: seed, DryRun: dryRun, Verify: verify}
+	if verb {
+		rb.Logf = func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	rep, err := rb.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsrebalance:", err)
+		os.Exit(1)
+	}
+	mode := ""
+	switch {
+	case verify:
+		mode = " (verify)"
+	case dryRun:
+		mode = " (dry run)"
+	}
+	fmt.Printf("mcsrebalance -meta%s: %d shards, map version %d\n", mode, rep.Shards, rep.MapVersion)
+	fmt.Printf("  users      %d (%d misplaced)\n", rep.Users, rep.Misplaced)
+	fmt.Printf("  moved      %d\n", rep.Moved)
+	fmt.Printf("  evicted    %d\n", rep.Evicted)
+	if rep.Errors > 0 {
+		fmt.Printf("  errors     %d\n", rep.Errors)
+		os.Exit(1)
+	}
+	if verify && rep.Misplaced > 0 {
 		os.Exit(1)
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"flag"
 
+	"mcloud/internal/cluster"
 	"mcloud/internal/faults"
 	"mcloud/internal/metrics"
 	"mcloud/internal/randx"
@@ -65,6 +66,9 @@ func main() {
 		metaLeas = flag.Duration("metafailover", 0, "standby lease TTL: self-promote when the primary has not answered a pull for this long (with -metastandby; 0 = manual promotion only)")
 		metaRiv  = flag.String("metapeers", "", "comma-separated base URLs of the other metadata nodes, checked before self-promotion so only one standby wins (with -metafailover)")
 		metaFEs  = flag.String("metafrontends", "", "comma-separated front-end base URLs the metadata server assigns to clients (default: cluster peers, else this process's listeners)")
+		metaShds = flag.String("metashards", "", `metadata shard map: ";"-separated shard groups, each a ","-separated endpoint list (primary first); every node of the plane shares one spec`)
+		metaShID = flag.Int("metashard", 0, "which shard of -metashards this node's metadata server serves")
+		legacyOn = flag.Bool("legacyapi", true, "serve the deprecated unversioned path aliases (/meta/*, /op/*, /chunk/*) alongside /v1; false withholds them")
 		traceBuf = flag.Int("tracebuf", 65536, "distributed-tracing span ring capacity per process (0 disables tracing)")
 		traceSmp = flag.Int("tracesample", 1, "record 1 in N locally-rooted traces (requests arriving with X-MCS-Trace are always recorded)")
 		binAPI   = flag.Bool("binapi", true, "serve the mcsbin/1 binary chunk dialect (/v1/bin/*) and advertise it via X-MCS-Bin; false pins peers and clients to JSON")
@@ -139,14 +143,42 @@ func main() {
 		store = cached
 	}
 
+	// Metadata sharding: every node of a sharded plane (and every
+	// front-end routing to it) shares one -metashards spec. The
+	// resolved map carries a version that bumps whenever the layout
+	// changes; metadata nodes persist it next to their WAL so a
+	// restart under a changed spec is detectable.
+	var smap *cluster.MetaShardMap
+	if *metaShds != "" {
+		groups, err := cluster.ParseMetaShards(*metaShds)
+		if err != nil {
+			fatal(err)
+		}
+		smap, err = cluster.ResolveShardMap(*metaDir, groups)
+		if err != nil {
+			fatal(err)
+		}
+		if *metaShID < 0 || *metaShID >= smap.NumShards() {
+			fatal(fmt.Errorf("-metashard %d out of range: map has %d shards", *metaShID, smap.NumShards()))
+		}
+	}
+
 	// Metadata: served in-process by default; in a cluster, non-meta
 	// nodes point -metaurl at the node that does and commit uploads
 	// over the wire instead.
 	var meta *storage.Metadata
 	var metaSvc storage.MetaService
-	if *metaURL != "" {
-		metaSvc = storage.NewRemoteMeta(*metaURL, nil)
-		fmt.Printf("mcsserver: using remote metadata at %s\n", *metaURL)
+	var remoteMeta *storage.RemoteMeta
+	if *metaURL != "" || (*metaShds != "" && *metaAddr == "") {
+		if smap != nil {
+			remoteMeta = storage.NewShardedRemoteMeta(smap, nil)
+			fmt.Printf("mcsserver: routing metadata across %d shards (map version %d)\n",
+				smap.NumShards(), smap.Version)
+		} else {
+			remoteMeta = storage.NewRemoteMeta(*metaURL, nil)
+			fmt.Printf("mcsserver: using remote metadata at %s\n", *metaURL)
+		}
+		metaSvc = remoteMeta
 	} else {
 		if *metaDir != "" {
 			var err error
@@ -172,8 +204,22 @@ func main() {
 				}
 			}
 		}
+		if smap != nil {
+			meta.SetShard(*metaShID, smap)
+			fmt.Printf("mcsserver: metadata shard %d of %d (map version %d)\n",
+				*metaShID, smap.NumShards(), smap.Version)
+		}
+		meta.SetLegacyAPI(*legacyOn)
 		meta.Instrument(reg)
 		metaSvc = meta
+	}
+
+	// A node serving one shard of a multi-shard plane routes its own
+	// front-ends' commits/lookups through the shard map — only calls
+	// pinned to the local shard may short-circuit in process.
+	if smap != nil && smap.NumShards() > 1 && meta != nil {
+		remoteMeta = storage.NewShardedRemoteMeta(smap, nil)
+		metaSvc = remoteMeta
 	}
 
 	// Standby mode: replicate the primary's WAL stream and reject
@@ -203,7 +249,26 @@ func main() {
 		}
 	}
 
-	cfg := storage.FrontEndConfig{Meta: metaSvc, Sink: sink, Metrics: storage.NewFrontEndMetrics(reg), DisableBin: !*binAPI}
+	cfg := storage.FrontEndConfig{
+		Meta:          metaSvc,
+		Sink:          sink,
+		Metrics:       storage.NewFrontEndMetrics(reg),
+		DisableBin:    !*binAPI,
+		DisableLegacy: !*legacyOn,
+	}
+	if remoteMeta != nil {
+		cfg.MetaSummary = remoteMeta.Summary
+	} else if meta != nil {
+		m := meta
+		cfg.MetaSummary = func(context.Context) *storage.MetaShardSummary {
+			v := m.ShardMapView()
+			return &storage.MetaShardSummary{
+				Shards:     v.NumShards(),
+				MapVersion: v.Version,
+				ShardInfo:  []storage.MetaShardInfo{{Shard: m.ShardID(), Epoch: m.WALStatus().Epoch}},
+			}
+		}
+	}
 	if *tsrvMS > 0 {
 		src := randx.New(uint64(time.Now().UnixNano()))
 		median := float64(*tsrvMS) * float64(time.Millisecond)

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// MetaShard is one metadata shard: a contiguous user-hash range owned
+// by a WAL-backed primary/standby group. Endpoints lists the group's
+// member base URLs in configuration order (conventionally primary
+// first); which member is the *current* primary is a runtime fact
+// discovered via /v1/meta/wal/status, never recorded in the map.
+type MetaShard struct {
+	ID        int      `json:"id"`
+	Endpoints []string `json:"endpoints"`
+}
+
+// MetaShardMap is the versioned assignment of user-hash ranges to
+// metadata shards. The 64-bit user-hash space is split into
+// len(Shards) equal contiguous ranges; shard i owns range i. The map
+// is immutable once built — resharding produces a new map with a
+// higher Version, and every /v1/meta/* exchange carries
+// "shard@version" so both sides can detect skew.
+//
+// Version 0 is reserved for "no map" (an unsharded legacy deployment);
+// real maps start at 1.
+type MetaShardMap struct {
+	Version uint64      `json:"version"`
+	Shards  []MetaShard `json:"shards"`
+}
+
+// NewMetaShardMap builds a single-version map over the given shard
+// endpoint groups. Groups must be non-empty; endpoints may be empty
+// (a server that knows the shard *count* but lets clients keep their
+// bootstrap endpoints, e.g. an unsharded node advertising itself).
+func NewMetaShardMap(version uint64, groups [][]string) (*MetaShardMap, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("cluster: shard map needs at least one shard")
+	}
+	m := &MetaShardMap{Version: version, Shards: make([]MetaShard, len(groups))}
+	for i, eps := range groups {
+		m.Shards[i] = MetaShard{ID: i, Endpoints: append([]string(nil), eps...)}
+	}
+	return m, nil
+}
+
+// ParseMetaShards parses the -metashards flag syntax: shard groups
+// separated by ';', endpoints within a group separated by ','. For
+// example "http://a:8070,http://a:8071;http://b:8072,http://b:8073"
+// is a 2-shard map where each shard has a primary+standby pair.
+func ParseMetaShards(spec string) ([][]string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("cluster: empty metadata shard spec")
+	}
+	var groups [][]string
+	for _, part := range strings.Split(spec, ";") {
+		var eps []string
+		for _, ep := range strings.Split(part, ",") {
+			ep = strings.TrimRight(strings.TrimSpace(ep), "/")
+			if ep != "" {
+				eps = append(eps, ep)
+			}
+		}
+		if len(eps) == 0 {
+			return nil, fmt.Errorf("cluster: metadata shard spec %q has an empty shard group", spec)
+		}
+		groups = append(groups, eps)
+	}
+	return groups, nil
+}
+
+// UserHash maps a user ID onto the 64-bit shard key space (FNV-1a, so
+// every process — server, client, rebalancer — agrees without
+// coordination).
+func UserHash(user uint64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], user)
+	h := fnv.New64a()
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// ShardFor returns the shard that owns the given user: the index of
+// the equal-width hash range UserHash(user) falls into.
+func (m *MetaShardMap) ShardFor(user uint64) int {
+	if m == nil || len(m.Shards) <= 1 {
+		return 0
+	}
+	width := math.MaxUint64/uint64(len(m.Shards)) + 1
+	return int(UserHash(user) / width)
+}
+
+// NumShards returns the shard count; a nil map is one implicit shard.
+func (m *MetaShardMap) NumShards() int {
+	if m == nil || len(m.Shards) == 0 {
+		return 1
+	}
+	return len(m.Shards)
+}
+
+// Endpoints returns the endpoint list of shard id, nil when the map
+// does not cover it.
+func (m *MetaShardMap) Endpoints(id int) []string {
+	if m == nil || id < 0 || id >= len(m.Shards) {
+		return nil
+	}
+	return m.Shards[id].Endpoints
+}
+
+// SameLayout reports whether two maps assign the same endpoints to the
+// same shards (ignoring Version): the test for "the operator re-ran
+// with an unchanged -metashards, don't bump the version".
+func (m *MetaShardMap) SameLayout(o *MetaShardMap) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if len(m.Shards) != len(o.Shards) {
+		return false
+	}
+	for i := range m.Shards {
+		a, b := m.Shards[i].Endpoints, o.Shards[i].Endpoints
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// shardMapFile is the on-disk name of the persisted map inside a
+// metadata node's data directory.
+const shardMapFile = "shardmap.json"
+
+// LoadShardMap reads the persisted shard map from dir. A missing file
+// is a fresh start (nil map, no error).
+func LoadShardMap(dir string) (*MetaShardMap, error) {
+	b, err := os.ReadFile(filepath.Join(dir, shardMapFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard map: %w", err)
+	}
+	var m MetaShardMap
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("cluster: shard map %s: %w", filepath.Join(dir, shardMapFile), err)
+	}
+	return &m, nil
+}
+
+// SaveShardMap persists the map into dir (atomic rename, so a crash
+// mid-write leaves the previous version intact). dir is created if
+// needed — the map is resolved before the WAL first opens it.
+func SaveShardMap(dir string, m *MetaShardMap) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cluster: shard map: %w", err)
+	}
+	tmp := filepath.Join(dir, shardMapFile+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("cluster: shard map: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, shardMapFile)); err != nil {
+		return fmt.Errorf("cluster: shard map: %w", err)
+	}
+	return nil
+}
+
+// ResolveShardMap reconciles a configured shard layout against the
+// persisted one in dir: an unchanged layout keeps its version, a
+// changed layout gets the successor version, and the result is
+// persisted back. dir == "" (a RAM-only node) yields version 1
+// without touching disk.
+func ResolveShardMap(dir string, groups [][]string) (*MetaShardMap, error) {
+	next, err := NewMetaShardMap(1, groups)
+	if err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		return next, nil
+	}
+	prev, err := LoadShardMap(dir)
+	if err != nil {
+		return nil, err
+	}
+	if prev != nil {
+		if next.SameLayout(prev) {
+			return prev, nil
+		}
+		next.Version = prev.Version + 1
+	}
+	if err := SaveShardMap(dir, next); err != nil {
+		return nil, err
+	}
+	return next, nil
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMetaShards(t *testing.T) {
+	groups, err := ParseMetaShards("http://a:1,http://a:2; http://b:3 ,http://b:4/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if groups[1][1] != "http://b:4" {
+		t.Fatalf("trailing slash not trimmed: %q", groups[1][1])
+	}
+	if _, err := ParseMetaShards(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := ParseMetaShards("http://a:1;;http://b:2"); err == nil {
+		t.Fatal("empty shard group accepted")
+	}
+}
+
+func TestShardForCoversAllShardsEvenly(t *testing.T) {
+	m, err := NewMetaShardMap(1, [][]string{{"a"}, {"b"}, {"c"}, {"d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for u := uint64(1); u <= 4000; u++ {
+		s := m.ShardFor(u)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardFor(%d) = %d out of range", u, s)
+		}
+		counts[s]++
+	}
+	for i, c := range counts {
+		if c < 600 || c > 1400 {
+			t.Fatalf("shard %d got %d of 4000 users — hash badly skewed: %v", i, c, counts)
+		}
+	}
+	// Determinism across map instances with the same shard count.
+	m2, _ := NewMetaShardMap(9, [][]string{{"w"}, {"x"}, {"y"}, {"z"}})
+	for u := uint64(1); u <= 100; u++ {
+		if m.ShardFor(u) != m2.ShardFor(u) {
+			t.Fatalf("ShardFor(%d) differs between equal-count maps", u)
+		}
+	}
+}
+
+func TestShardForSingleAndNil(t *testing.T) {
+	var m *MetaShardMap
+	if m.ShardFor(42) != 0 || m.NumShards() != 1 {
+		t.Fatal("nil map must behave as one shard")
+	}
+	one, _ := NewMetaShardMap(1, [][]string{{"a"}})
+	for u := uint64(0); u < 50; u++ {
+		if one.ShardFor(u) != 0 {
+			t.Fatal("single-shard map must route everything to 0")
+		}
+	}
+}
+
+func TestResolveShardMapVersioning(t *testing.T) {
+	dir := t.TempDir()
+	g1 := [][]string{{"http://a:1"}, {"http://b:2"}}
+	m1, err := ResolveShardMap(dir, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Version != 1 {
+		t.Fatalf("fresh map version = %d, want 1", m1.Version)
+	}
+	// Same layout: version sticks.
+	m2, err := ResolveShardMap(dir, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != 1 {
+		t.Fatalf("unchanged layout bumped version to %d", m2.Version)
+	}
+	// Changed layout: version bumps and persists.
+	g2 := [][]string{{"http://a:1"}, {"http://b:2"}, {"http://c:3"}}
+	m3, err := ResolveShardMap(dir, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Version != 2 {
+		t.Fatalf("changed layout version = %d, want 2", m3.Version)
+	}
+	loaded, err := LoadShardMap(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Version != 2 || len(loaded.Shards) != 3 {
+		t.Fatalf("persisted map = %+v", loaded)
+	}
+	// RAM node: no file written.
+	ram, err := ResolveShardMap("", g1)
+	if err != nil || ram.Version != 1 {
+		t.Fatalf("ram map = %+v err %v", ram, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shardmap.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("tmp file left behind")
+	}
+}

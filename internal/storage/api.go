@@ -53,6 +53,7 @@ const (
 	CodeUnavailable      = "unavailable"
 	CodeNotPrimary       = "not_primary"
 	CodeFenced           = "fenced"
+	CodeWrongShard       = "wrong_shard"
 	CodeInternal         = "internal"
 )
 
@@ -63,6 +64,45 @@ const (
 // than its own has been deposed and fences itself: subsequent writes
 // fail with CodeFenced until it rejoins as a standby.
 const MetaEpochHeader = "X-MCS-Meta-Epoch"
+
+// MetaShardHeader carries the metadata shard exchange, mirroring the
+// epoch exchange: every /v1/meta/* response is stamped with
+// "<shard>@<map-version>" naming the shard the serving node owns and
+// the shard-map version it owns it under; clients echo the shard they
+// *meant* to reach and the map version they routed with. A mismatch
+// surfaces as the typed wrong_shard redirect rather than a silently
+// misplaced write.
+const MetaShardHeader = "X-MCS-Meta-Shard"
+
+// ShardAssignment is the authoritative routing fact carried inside a
+// wrong_shard envelope: which shard owns the user the request was
+// about, under which map version, and (when the server knows them)
+// the owning shard group's endpoints. A client that adopts the
+// assignment converges in one bounce.
+type ShardAssignment struct {
+	Shard      int      `json:"shard"`
+	MapVersion uint64   `json:"map_version"`
+	Endpoints  []string `json:"endpoints,omitempty"`
+}
+
+// FormatMetaShard renders the MetaShardHeader value.
+func FormatMetaShard(shard int, mapVersion uint64) string {
+	return fmt.Sprintf("%d@%d", shard, mapVersion)
+}
+
+// ParseMetaShard decodes a MetaShardHeader value; ok is false for a
+// missing or malformed header (legacy peer).
+func ParseMetaShard(v string) (shard int, mapVersion uint64, ok bool) {
+	if v == "" {
+		return 0, 0, false
+	}
+	var s int
+	var mv uint64
+	if _, err := fmt.Sscanf(v, "%d@%d", &s, &mv); err != nil || s < 0 {
+		return 0, 0, false
+	}
+	return s, mv, true
+}
 
 // APIError is the typed /v1 error envelope. On the server it is
 // rendered as the response body; on the client it is decoded back and
@@ -76,6 +116,9 @@ type APIError struct {
 	// so a client-side retry span can be joined to the server-side
 	// rejection that caused it.
 	TraceID string `json:"trace_id,omitempty"`
+	// Assignment rides on wrong_shard envelopes only: the
+	// authoritative shard for the user the request addressed.
+	Assignment *ShardAssignment `json:"assignment,omitempty"`
 	// Status is the HTTP status the envelope arrived with
 	// (client-side only; not serialized).
 	Status int `json:"-"`
@@ -103,10 +146,26 @@ func (e *APIError) Unwrap() error {
 		return ErrNotPrimary
 	case CodeFenced:
 		return ErrFenced
+	case CodeWrongShard:
+		return ErrWrongShard
 	default:
 		return nil
 	}
 }
+
+// wrongShardError is the server-side carrier of a shard redirect: it
+// unwraps to ErrWrongShard and classifyAPIError lifts its Assignment
+// into the envelope.
+type wrongShardError struct {
+	assignment ShardAssignment
+}
+
+func (e *wrongShardError) Error() string {
+	return fmt.Sprintf("storage: wrong metadata shard: owner is shard %d (map v%d)",
+		e.assignment.Shard, e.assignment.MapVersion)
+}
+
+func (e *wrongShardError) Unwrap() error { return ErrWrongShard }
 
 // classifyAPIError derives the envelope for an error escaping a
 // handler with the given HTTP status.
@@ -121,6 +180,15 @@ func classifyAPIError(status int, err error) APIError {
 		e.Code = CodeTooLarge
 	case errors.Is(err, ErrOverloaded):
 		e.Code, e.Retryable = CodeOverloaded, true
+	case errors.Is(err, ErrWrongShard):
+		// Retryable: the client adopts the attached assignment and the
+		// retry lands on the owning shard — one bounce, by design.
+		e.Code, e.Retryable = CodeWrongShard, true
+		var ws *wrongShardError
+		if errors.As(err, &ws) {
+			a := ws.assignment
+			e.Assignment = &a
+		}
 	case errors.Is(err, ErrFenced):
 		// Retryable: the write will succeed once the client re-routes
 		// to the primary that holds the newer epoch.
@@ -217,10 +285,40 @@ func advertiseDialects(bin bool, next http.Handler) http.Handler {
 	})
 }
 
+// LegacySunset is the announced removal date for the unversioned
+// legacy aliases, stamped into the Sunset header of every alias
+// response (see API.md, "Deprecation timeline"). The aliases default
+// on for one release behind -legacyapi, then default off.
+const LegacySunset = "Sun, 01 Nov 2026 00:00:00 GMT"
+
+// deprecateAlias wraps a legacy-alias handler so every response
+// carries the deprecation trio: Deprecation (RFC 9745), Sunset
+// (RFC 8594) naming the removal date, and a Link to the /v1
+// successor route.
+func deprecateAlias(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hdr := w.Header()
+		hdr.Set("Deprecation", "true")
+		hdr.Set("Sunset", LegacySunset)
+		hdr.Set("Link", `</v1`+path+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
 // registerBoth registers a handler under its legacy path and the /v1
 // alias, so negotiated and legacy clients land on the same code.
 func registerBoth(mux *http.ServeMux, path string, h http.HandlerFunc) {
-	mux.HandleFunc(path, h)
+	registerBothGated(mux, true, path, h)
+}
+
+// registerBothGated is registerBoth with the legacy alias behind a
+// gate: when legacy is false only the /v1 route exists and the
+// unversioned path 404s like any unknown route; when true the alias
+// answers, stamped with the deprecation headers.
+func registerBothGated(mux *http.ServeMux, legacy bool, path string, h http.HandlerFunc) {
+	if legacy {
+		mux.HandleFunc(path, deprecateAlias(path, h))
+	}
 	mux.HandleFunc("/v1"+path, h)
 }
 

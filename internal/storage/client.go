@@ -107,17 +107,81 @@ type Client struct {
 	ringMu sync.Mutex
 	rings  map[string]*cluster.Ring
 
-	// metaEPs is MetaURL parsed as a comma-separated endpoint list
-	// (primary first, standbys after); metaPref indexes the endpoint
-	// last seen acting as primary so retries start there instead of
-	// walking the configured order. metaEpoch holds the highest
-	// fencing epoch observed in X-MCS-Meta-Epoch response headers and
-	// is echoed on every meta request, so a deposed primary rejects
-	// the write instead of acking it onto a forked history.
-	metaMu    sync.Mutex
-	metaEPs   []string
-	metaPref  int
-	metaEpoch atomic.Uint64
+	// Metadata-plane routing. MetaURL parses as a comma-separated
+	// bootstrap endpoint list (primary first, standbys after). On the
+	// first metadata operation the client asks one bootstrap endpoint
+	// for the shard map (GET /v1/meta/shards) and afterwards routes
+	// each user-keyed call to the owning shard's endpoint group; a
+	// wrong_shard rejection carries the authoritative assignment and is
+	// adopted before the retry, so a stale map converges in one bounce.
+	// Unsharded and legacy servers leave metaMap nil and everything
+	// routes through the bootstrap list, exactly as before sharding.
+	metaMu     sync.Mutex
+	metaBoot   []string
+	metaMap    *cluster.MetaShardMap
+	metaTried  bool // shard-map fetch attempted (reset by a newer map sighting)
+	metaShards map[int]*clientMetaShard
+}
+
+// clientMetaShard is the client's routing state for one metadata
+// shard group: the endpoint rotation, the index of the endpoint last
+// seen acting as primary (so retries start there instead of walking
+// the configured order), and the highest fencing epoch observed in
+// X-MCS-Meta-Epoch response headers — echoed on every request to that
+// shard, so a deposed primary rejects the write instead of acking it
+// onto a forked history.
+type clientMetaShard struct {
+	mu    sync.Mutex
+	eps   []string
+	pref  int
+	epoch atomic.Uint64
+}
+
+// pick returns the endpoint for the given zero-based attempt: the
+// preferred (last-known-primary) endpoint first, then the rest in
+// rotation order.
+func (s *clientMetaShard) pick(attempt int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eps[(s.pref+attempt)%len(s.eps)]
+}
+
+// mark pins base as the shard's preferred endpoint (ok) or, if base
+// was preferred, advances preference past it (a standby bounce or a
+// fencing rejection means it is not the primary anymore).
+func (s *clientMetaShard) mark(base string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range s.eps {
+		if e != base {
+			continue
+		}
+		if ok {
+			s.pref = i
+		} else if s.pref == i {
+			s.pref = (i + 1) % len(s.eps)
+		}
+		return
+	}
+}
+
+// observeEpoch folds a response's fencing epoch into the highest seen
+// for this shard.
+func (s *clientMetaShard) observeEpoch(h http.Header) {
+	v := h.Get(MetaEpochHeader)
+	if v == "" {
+		return
+	}
+	e, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := s.epoch.Load()
+		if e <= cur || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // markLegacy records that base speaks only the unversioned API.
@@ -409,82 +473,156 @@ func (c *Client) postJSON(base, path string, in, out interface{}, budget *retryB
 		})
 }
 
-// metaEndpoints parses MetaURL as a comma-separated endpoint list,
-// once. A single-endpoint MetaURL behaves exactly as before.
-func (c *Client) metaEndpoints() []string {
-	c.metaMu.Lock()
-	defer c.metaMu.Unlock()
-	if c.metaEPs == nil {
+// metaBootLocked parses MetaURL as a comma-separated endpoint list,
+// once. Callers hold c.metaMu. A single-endpoint MetaURL behaves
+// exactly as before.
+func (c *Client) metaBootLocked() []string {
+	if c.metaBoot == nil {
 		for _, e := range strings.Split(c.MetaURL, ",") {
 			e = strings.TrimRight(strings.TrimSpace(e), "/")
 			if e != "" {
-				c.metaEPs = append(c.metaEPs, e)
+				c.metaBoot = append(c.metaBoot, e)
 			}
 		}
-		if len(c.metaEPs) == 0 {
-			c.metaEPs = []string{c.MetaURL}
+		if len(c.metaBoot) == 0 {
+			c.metaBoot = []string{c.MetaURL}
 		}
 	}
-	return c.metaEPs
+	return c.metaBoot
 }
 
-// metaPick returns the endpoint for the given zero-based attempt:
-// the preferred (last-known-primary) endpoint first, then the rest
-// in configured order.
-func (c *Client) metaPick(attempt int) string {
-	eps := c.metaEndpoints()
+// metaShardMap returns the metadata shard map, fetching it from a
+// bootstrap endpoint on first use. Nil (unsharded, legacy, or fetch
+// failure) routes every call through the bootstrap list — the
+// pre-sharding behavior — and a wrong_shard redirect still corrects
+// the routing, so the fetch is a fast path, not a correctness
+// requirement.
+func (c *Client) metaShardMap() *cluster.MetaShardMap {
+	if c.LegacyAPI {
+		return nil
+	}
+	c.metaMu.Lock()
+	if c.metaTried {
+		m := c.metaMap
+		c.metaMu.Unlock()
+		return m
+	}
+	c.metaTried = true
+	boot := append([]string(nil), c.metaBootLocked()...)
+	c.metaMu.Unlock()
+
+	fetched := c.fetchShardMap(boot)
 	c.metaMu.Lock()
 	defer c.metaMu.Unlock()
-	return eps[(c.metaPref+attempt)%len(eps)]
+	if fetched != nil && (c.metaMap == nil || fetched.Version >= c.metaMap.Version) {
+		c.metaMap = fetched
+	}
+	return c.metaMap
 }
 
-// metaMark pins base as the preferred meta endpoint (ok) or, if base
-// was preferred, advances preference past it (a standby bounce or a
-// fencing rejection means it is not the primary anymore).
-func (c *Client) metaMark(base string, ok bool) {
-	eps := c.metaEndpoints()
-	c.metaMu.Lock()
-	defer c.metaMu.Unlock()
-	for i, e := range eps {
-		if e != base {
+// fetchShardMap asks the bootstrap endpoints, in order, for the shard
+// map. Returns nil when none answered (or the server predates
+// sharding / speaks only the legacy API).
+func (c *Client) fetchShardMap(boot []string) *cluster.MetaShardMap {
+	for _, ep := range boot {
+		if !c.useV1(ep) {
 			continue
 		}
-		if ok {
-			c.metaPref = i
-		} else if c.metaPref == i {
-			c.metaPref = (i + 1) % len(eps)
+		req, err := http.NewRequest(http.MethodGet, ep+"/v1/meta/shards", nil)
+		if err != nil {
+			continue
 		}
-		return
+		req.Header.Set(APIHeader, APIV1)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			continue
+		}
+		if c.checkLegacy(ep, resp) || resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var m cluster.MetaShardMap
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil || len(m.Shards) == 0 {
+			continue
+		}
+		return &m
 	}
+	return nil
 }
 
-// observeMetaEpoch folds a response's fencing epoch into the highest
-// seen so far.
-func (c *Client) observeMetaEpoch(h http.Header) {
-	v := h.Get(MetaEpochHeader)
-	if v == "" {
-		return
-	}
-	e, err := strconv.ParseUint(v, 10, 64)
-	if err != nil {
-		return
-	}
-	for {
-		cur := c.metaEpoch.Load()
-		if e <= cur || c.metaEpoch.CompareAndSwap(cur, e) {
-			return
-		}
-	}
+// metaShardFor maps a user to the owning metadata shard (0 when the
+// plane is unsharded or the map is unknown).
+func (c *Client) metaShardFor(user uint64) int {
+	return c.metaShardMap().ShardFor(user)
 }
 
-// postMetaJSON is postJSON against the metadata plane: each attempt
-// may target a different endpoint from the MetaURL list, rotating
-// away from nodes that answer as standby (ErrNotPrimary) or fenced
-// deposed primaries (ErrFenced), and sticking to whichever endpoint
-// last completed a call. Build and handle closures run sequentially
-// per attempt inside doRetry, so the captured attempt counter and
-// base are race-free.
-func (c *Client) postMetaJSON(path string, in, out interface{}, budget *retryBudget) error {
+// metaMapVersion is the version of the map the client currently holds
+// (0 when none), stamped into the X-MCS-Meta-Shard exchange header so
+// servers can count skewed clients.
+func (c *Client) metaMapVersion() uint64 {
+	c.metaMu.Lock()
+	defer c.metaMu.Unlock()
+	if c.metaMap == nil {
+		return 0
+	}
+	return c.metaMap.Version
+}
+
+// metaShardState returns (creating on first use) the routing state
+// for a shard, seeded from the shard map's endpoint group or, absent
+// a map entry, the bootstrap list.
+func (c *Client) metaShardState(shard int) *clientMetaShard {
+	c.metaMu.Lock()
+	defer c.metaMu.Unlock()
+	if s, ok := c.metaShards[shard]; ok {
+		return s
+	}
+	eps := c.metaMap.Endpoints(shard)
+	if len(eps) == 0 {
+		eps = c.metaBootLocked()
+	}
+	s := &clientMetaShard{eps: append([]string(nil), eps...)}
+	if c.metaShards == nil {
+		c.metaShards = make(map[int]*clientMetaShard)
+	}
+	c.metaShards[shard] = s
+	return s
+}
+
+// adoptMetaAssignment folds a wrong_shard redirect's authoritative
+// assignment into the routing state: the owner shard's rotation is
+// replaced with the server-provided endpoint group, and a newer map
+// version than ours schedules a shard-map refetch on the next
+// operation.
+func (c *Client) adoptMetaAssignment(a *ShardAssignment) {
+	if a == nil || len(a.Endpoints) == 0 {
+		return
+	}
+	s := c.metaShardState(a.Shard)
+	s.mu.Lock()
+	s.eps = append([]string(nil), a.Endpoints...)
+	s.pref = 0
+	s.mu.Unlock()
+	c.metaMu.Lock()
+	if c.metaMap == nil || a.MapVersion > c.metaMap.Version {
+		c.metaTried = false
+	}
+	c.metaMu.Unlock()
+}
+
+// postMetaJSON is postJSON against the metadata plane, pinned to one
+// shard: each attempt may target a different endpoint of the shard's
+// group, rotating away from nodes that answer as standby
+// (ErrNotPrimary) or fenced deposed primaries (ErrFenced), and
+// sticking to whichever endpoint last completed a call. A wrong_shard
+// rejection redirects the remaining attempts to the owner group named
+// in the response, so a client holding a stale shard map converges in
+// one bounce. Build and handle closures run sequentially per attempt
+// inside doRetry, so the captured counters are race-free.
+func (c *Client) postMetaJSON(shard int, path string, in, out interface{}, budget *retryBudget) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -493,15 +631,19 @@ func (c *Client) postMetaJSON(path string, in, out interface{}, budget *retryBud
 	base := ""
 	return c.doRetry(budget, budget.span,
 		func() (*http.Request, error) {
-			base = c.metaPick(rotation)
+			st := c.metaShardState(shard)
+			base = st.pick(rotation)
 			rotation++
 			req, err := http.NewRequest(http.MethodPost, c.apiPath(base, path), bytes.NewReader(body))
 			if err != nil {
 				return nil, err
 			}
 			req.Header.Set("Content-Type", "application/json")
-			if e := c.metaEpoch.Load(); e > 0 {
+			if e := st.epoch.Load(); e > 0 {
 				req.Header.Set(MetaEpochHeader, strconv.FormatUint(e, 10))
+			}
+			if c.useV1(base) {
+				req.Header.Set(MetaShardHeader, FormatMetaShard(shard, c.metaMapVersion()))
 			}
 			c.setIdentity(req)
 			c.setAPIVersion(req, base)
@@ -513,11 +655,21 @@ func (c *Client) postMetaJSON(path string, in, out interface{}, budget *retryBud
 				io.Copy(io.Discard, resp.Body)
 				return errLegacyRetry
 			}
-			c.observeMetaEpoch(resp.Header)
+			st := c.metaShardState(shard)
+			st.observeEpoch(resp.Header)
 			if resp.StatusCode != http.StatusOK {
 				err := decodeError(resp)
-				if errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrFenced) {
-					c.metaMark(base, false)
+				if errors.Is(err, ErrWrongShard) {
+					var ae *APIError
+					if errors.As(err, &ae) && ae.Assignment != nil {
+						c.adoptMetaAssignment(ae.Assignment)
+						// Follow the redirect: the retry goes to the
+						// owner group, not back into this rotation.
+						shard = ae.Assignment.Shard
+						rotation = 0
+					}
+				} else if errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrFenced) {
+					st.mark(base, false)
 					// Restart the rotation at the advanced preference
 					// instead of letting the attempt index skip it.
 					rotation = 0
@@ -527,7 +679,7 @@ func (c *Client) postMetaJSON(path string, in, out interface{}, budget *retryBud
 			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 				return &corruptError{err: err}
 			}
-			c.metaMark(base, true)
+			st.mark(base, true)
 			return nil
 		})
 }
@@ -580,8 +732,9 @@ func (c *Client) StoreFile(name string, data []byte) (res StoreResult, err error
 	budget.span.AnnotateInt("bytes", int64(len(data)))
 	defer func() { budget.span.EndErr(err) }()
 	fileSum := SumBytes(data)
+	shard := c.metaShardFor(c.UserID)
 	var check StoreCheckResponse
-	err = c.postMetaJSON("/meta/store-check", StoreCheckRequest{
+	err = c.postMetaJSON(shard, "/meta/store-check", StoreCheckRequest{
 		UserID:  c.UserID,
 		Name:    name,
 		Size:    int64(len(data)),
@@ -615,6 +768,9 @@ func (c *Client) StoreFile(name string, data []byte) (res StoreResult, err error
 		Size:      int64(len(data)),
 		FileMD5:   fileSum.String(),
 		ChunkMD5s: chunkStrs,
+		// Pin the front-end's commit to the shard that reserved the
+		// URL (authoritative: the server that answered store-check).
+		Shard: check.Shard,
 	}
 
 	maxResumes := c.MaxResumes
@@ -947,8 +1103,24 @@ func (c *Client) RetrieveFile(url string) (out []byte, err error) {
 		budget.span.AnnotateInt("bytes", int64(len(out)))
 		budget.span.EndErr(err)
 	}()
+	// A URL is a shareable capability: it lives on the shard of the
+	// user who STORED it, which the requester's own hash says nothing
+	// about. Try our shard first (own files, the common case), then
+	// scatter the resolve across the remaining shards on a miss.
+	own := c.metaShardFor(c.UserID)
 	var res ResolveResponse
-	err = c.postMetaJSON("/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
+	err = c.postMetaJSON(own, "/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
+	if errors.Is(err, ErrNotFound) {
+		for s := 0; s < c.metaShardMap().NumShards(); s++ {
+			if s == own {
+				continue
+			}
+			err = c.postMetaJSON(s, "/meta/resolve", ResolveRequest{UserID: c.UserID, URL: url}, &res, budget)
+			if !errors.Is(err, ErrNotFound) {
+				break
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -963,6 +1135,7 @@ func (c *Client) RetrieveFile(url string) (out []byte, err error) {
 		Device:   c.Device.String(),
 		FileMD5:  res.FileMD5,
 		Size:     res.Size,
+		Shard:    res.Shard,
 	}, &op, budget)
 	if err != nil {
 		return nil, err

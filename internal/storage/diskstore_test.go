@@ -298,7 +298,7 @@ func TestDiskStoreGCWiring(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := meta.Commit(resp.URL, sums); err != nil {
+	if err := meta.Commit(0, resp.URL, sums); err != nil {
 		t.Fatal(err)
 	}
 	rc.Acquire(sums)

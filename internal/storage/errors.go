@@ -33,6 +33,13 @@ var (
 	// accepting the write would fork history. Clients should rediscover
 	// the current primary and retry there.
 	ErrFenced = errors.New("storage: metadata epoch fenced")
+
+	// ErrWrongShard reports a metadata request routed to a shard that
+	// does not own the target user. The wire envelope (code
+	// "wrong_shard") carries the authoritative ShardAssignment so the
+	// client can adopt it and converge on the owning shard in a single
+	// redirect bounce.
+	ErrWrongShard = errors.New("storage: wrong metadata shard")
 )
 
 // ErrNotPrimary reports a metadata mutation sent to a node that is not

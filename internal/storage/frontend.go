@@ -122,6 +122,15 @@ type FrontEndConfig struct {
 	// stamp, so negotiated peers stay on JSON/HTTP. Used to run
 	// legacy-JSON nodes in mixed-version clusters.
 	DisableBin bool
+	// DisableLegacy withholds the unversioned path aliases (/op/store,
+	// /op/retrieve, /chunk/): a /v1-only node. While the aliases are
+	// registered they answer with the deprecation headers (-legacyapi;
+	// see LegacySunset).
+	DisableLegacy bool
+	// MetaSummary, when non-nil, supplies the metadata-shard summary
+	// attached to /v1/cluster/info (a sharded RemoteMeta's Summary, or
+	// a colocated Metadata's view).
+	MetaSummary func(ctx context.Context) *MetaShardSummary
 }
 
 // FrontEnd is one storage front-end server: it accepts file operation
@@ -141,6 +150,7 @@ type FrontEnd struct {
 
 type pendingUpload struct {
 	url      string
+	shard    int // metadata shard that reserved the URL (from the op request)
 	expected []Sum
 	got      map[Sum]bool
 }
@@ -295,9 +305,11 @@ func (f *FrontEnd) upstream() time.Duration {
 // carries X-MCS-API: v1; errors follow the request's dialect.
 func (f *FrontEnd) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/op/store", f.handleStoreOp)
-	mux.HandleFunc("/op/retrieve", f.handleRetrieveOp)
-	mux.HandleFunc("/chunk/", f.handleChunk)
+	if !f.cfg.DisableLegacy {
+		mux.HandleFunc("/op/store", deprecateAlias("/op/store", f.handleStoreOp))
+		mux.HandleFunc("/op/retrieve", deprecateAlias("/op/retrieve", f.handleRetrieveOp))
+		mux.HandleFunc("/chunk/", deprecateAlias("/chunk/", f.handleChunk))
+	}
 	mux.HandleFunc("/v1/op/store", f.handleStoreOp)
 	mux.HandleFunc("/v1/op/retrieve", f.handleRetrieveOp)
 	mux.HandleFunc("/v1/op/stat", f.handleStatOp)
@@ -353,7 +365,7 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(expected) == 0 {
 		// Zero-byte files carry no chunks; commit immediately.
-		if err := metaCommit(r.Context(), f.meta, url, nil); err != nil {
+		if err := metaCommit(r.Context(), f.meta, req.Shard, url, nil); err != nil {
 			f.fail(w, r, metaErrStatus(err, http.StatusNotFound), err, trace.FileStore)
 			return
 		}
@@ -378,7 +390,7 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	f.mu.Lock()
 	p, ok := f.pending[url]
 	if !ok {
-		p = &pendingUpload{url: url, expected: expected, got: make(map[Sum]bool)}
+		p = &pendingUpload{url: url, shard: req.Shard, expected: expected, got: make(map[Sum]bool)}
 		for i, s := range expected {
 			if present[i] {
 				p.got[s] = true
@@ -399,7 +411,7 @@ func (f *FrontEnd) handleStoreOp(w http.ResponseWriter, r *http.Request) {
 	f.mu.Unlock()
 
 	if len(missing) == 0 {
-		if err := f.commitUpload(r.Context(), url, snapshot); err != nil {
+		if err := f.commitUpload(r.Context(), req.Shard, url, snapshot); err != nil {
 			f.fail(w, r, metaErrStatus(err, http.StatusInternalServerError), err, trace.FileStore)
 			return
 		}
@@ -448,8 +460,8 @@ func (f *FrontEnd) handleStatOp(w http.ResponseWriter, r *http.Request) {
 // retryable by the client (via op re-issue or chunk re-PUT). The
 // request context rides along so the metadata server's WAL spans join
 // the caller's trace.
-func (f *FrontEnd) commitUpload(ctx context.Context, url string, expected []Sum) error {
-	if err := metaCommit(ctx, f.meta, url, expected); err != nil {
+func (f *FrontEnd) commitUpload(ctx context.Context, shard int, url string, expected []Sum) error {
+	if err := metaCommit(ctx, f.meta, shard, url, expected); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -476,7 +488,7 @@ func (f *FrontEnd) handleRetrieveOp(w http.ResponseWriter, r *http.Request) {
 		f.fail(w, r, http.StatusBadRequest, err, trace.FileRetrieve)
 		return
 	}
-	meta, err := metaLookup(r.Context(), f.meta, sum)
+	meta, err := metaLookup(r.Context(), f.meta, req.Shard, sum)
 	if err != nil {
 		f.fail(w, r, http.StatusNotFound, err, trace.FileRetrieve)
 		return
@@ -570,13 +582,19 @@ func (f *FrontEnd) handleReplicaChunk(w http.ResponseWriter, r *http.Request, su
 	}
 }
 
-// handleClusterInfo reports the node's placement configuration.
+// handleClusterInfo reports the node's placement configuration, plus a
+// metadata-plane summary when this node knows how to build one.
 func (f *FrontEnd) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	var info ClusterInfo
 	if rs, ok := f.store.(*ReplicatedStore); ok {
-		writeJSON(w, rs.Info())
-		return
+		info = rs.Info()
+	} else {
+		info = ClusterInfo{Replicas: 1, Quorum: 1}
 	}
-	writeJSON(w, ClusterInfo{Replicas: 1, Quorum: 1})
+	if f.cfg.MetaSummary != nil {
+		info.Meta = f.cfg.MetaSummary(r.Context())
+	}
+	writeJSON(w, info)
 }
 
 // handleClusterChunks streams the digests held by this node's local
@@ -627,15 +645,17 @@ func (f *FrontEnd) putChunk(w http.ResponseWriter, r *http.Request, sum Sum, sta
 	if url != "" {
 		f.mu.Lock()
 		var snapshot []Sum
+		var shard int
 		if p, ok := f.pending[url]; ok {
 			p.got[sum] = true
 			if f.completeLocked(p) {
 				snapshot = append([]Sum(nil), p.expected...)
+				shard = p.shard
 			}
 		}
 		f.mu.Unlock()
 		if snapshot != nil {
-			if err := f.commitUpload(r.Context(), url, snapshot); err != nil {
+			if err := f.commitUpload(r.Context(), shard, url, snapshot); err != nil {
 				f.fail(w, r, metaErrStatus(err, http.StatusInternalServerError), err, trace.ChunkStore)
 				return
 			}
@@ -879,17 +899,19 @@ func (f *FrontEnd) handleBinPut(w http.ResponseWriter, r *http.Request) {
 	if url := r.URL.Query().Get("url"); url != "" && !replica {
 		f.mu.Lock()
 		var snapshot []Sum
+		var shard int
 		if p, ok := f.pending[url]; ok {
 			for _, sum := range sums {
 				p.got[sum] = true
 			}
 			if f.completeLocked(p) {
 				snapshot = append([]Sum(nil), p.expected...)
+				shard = p.shard
 			}
 		}
 		f.mu.Unlock()
 		if snapshot != nil {
-			if err := f.commitUpload(r.Context(), url, snapshot); err != nil {
+			if err := f.commitUpload(r.Context(), shard, url, snapshot); err != nil {
 				f.fail(w, r, metaErrStatus(err, http.StatusInternalServerError), err, trace.ChunkStore)
 				return
 			}

@@ -83,7 +83,7 @@ func TestMetadataUnlinkSharedContent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := meta.Commit(resp.URL, []Sum{chunk}); err != nil {
+	if err := meta.Commit(0, resp.URL, []Sum{chunk}); err != nil {
 		t.Fatal(err)
 	}
 	resp2, err := meta.StoreCheck(StoreCheckRequest{UserID: 2, Name: "q.jpg", Size: 12, FileMD5: sum.String()})
@@ -170,7 +170,7 @@ func TestDeleteFileEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if err := meta.Commit(resp.URL, sums); err != nil {
+		if err := meta.Commit(0, resp.URL, sums); err != nil {
 			t.Fatal(err)
 		}
 		rc.Acquire(sums)

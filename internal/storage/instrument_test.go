@@ -79,9 +79,9 @@ func TestInstrumentedServiceExposition(t *testing.T) {
 		metrics.Key("mcs_frontend_chunk_seconds_count", "dir", "store", "device", "all"): 2,
 		metrics.Key("mcs_store_chunks"):                                                  2,
 		metrics.Key("mcs_store_puts_total"):                                              2,
-		metrics.Key("mcs_meta_files"):                                                    1,
-		metrics.Key("mcs_meta_users"):                                                    1,
-		metrics.Key("mcs_meta_checks_total"):                                             1,
+		metrics.Key("mcs_meta_files", "shard", "0"):                                      1,
+		metrics.Key("mcs_meta_users", "shard", "0"):                                      1,
+		metrics.Key("mcs_meta_checks_total", "shard", "0"):                               1,
 		metrics.Key("mcs_cache_hits_total"):                                              2,
 		metrics.Key("mcs_cache_misses_total"):                                            2,
 	}
@@ -95,7 +95,7 @@ func TestInstrumentedServiceExposition(t *testing.T) {
 			t.Errorf("%s = %g, want %g", k, got, want)
 		}
 	}
-	if n := vals[metrics.Key("mcs_meta_op_seconds_count", "op", "store_check")]; n != 1 {
+	if n := vals[metrics.Key("mcs_meta_op_seconds_count", "op", "store_check", "shard", "0")]; n != 1 {
 		t.Errorf("store_check count = %g, want 1", n)
 	}
 	if p50 := vals[metrics.Key("mcs_frontend_chunk_seconds", "dir", "store", "device", "ios", "quantile", "0.5")]; !(p50 > 0) {
@@ -153,7 +153,7 @@ func TestGCMetrics(t *testing.T) {
 	if err := store.Put(sum, data); err != nil {
 		t.Fatal(err)
 	}
-	if err := meta.Commit(check.URL, []Sum{sum}); err != nil {
+	if err := meta.Commit(0, check.URL, []Sum{sum}); err != nil {
 		t.Fatal(err)
 	}
 	rc.Acquire([]Sum{sum})

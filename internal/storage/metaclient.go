@@ -18,40 +18,60 @@ import (
 	"mcloud/internal/tracing"
 )
 
-// RemoteMeta implements MetaService against a metadata server running
-// in another process, so a clustered front-end node without a
+// RemoteMeta implements MetaService against a metadata plane running
+// in other processes, so a clustered front-end node without a
 // colocated metadata server can still commit uploads and resolve
 // retrievals. It speaks the /meta/commit and /meta/lookup internal
 // endpoints and decodes the typed /v1 error envelope, so sentinel
 // checks (errors.Is(err, ErrNotFound)) behave exactly as with a local
 // *Metadata.
 //
+// The plane may be sharded: RemoteMeta keeps fully independent
+// routing state per shard — endpoint rotation, circuit breakers,
+// discovered primary, and highest observed epoch are all per-shard,
+// so a failover in one shard never perturbs routing to the others.
+// Every request is pinned to the shard the caller names (the pin a
+// client's store-check/resolve handshake produced); a wrong_shard
+// rejection carries the authoritative assignment, which is adopted
+// before the retry — convergence in one bounce.
+//
 // It is built to ride through a metadata-node kill and an automatic
 // failover: every request gets a per-attempt deadline, failed attempts
 // back off exponentially with deterministic jitter and honor
-// Retry-After, and when several endpoints are configured attempts
-// rotate through them in circuit-breaker health order. The configured
-// order is only the starting point — a node answering "not primary" or
-// "fenced" is demoted to the back of the rotation and the current
-// primary is rediscovered via /v1/meta/wal/status, so after a failover
+// Retry-After, and attempts rotate through the shard's endpoints in
+// circuit-breaker health order. The configured order is only the
+// starting point — a node answering "not primary" or "fenced" is
+// demoted to the back of the rotation and the shard's current primary
+// is rediscovered via /v1/meta/wal/status, so after a failover
 // requests go straight to the promoted standby instead of burning a
 // round trip on the deposed primary first. The highest leadership
-// epoch seen is echoed on every request, which is what fences a
-// deposed primary the moment a post-failover client talks to it.
+// epoch seen per shard is echoed on every request, which is what
+// fences a deposed primary the moment a post-failover client talks
+// to it.
 type RemoteMeta struct {
-	http   *http.Client
+	http  *http.Client
+	retry RetryPolicy
+
+	shMu   sync.Mutex
+	shards map[int]*remoteShard
+	smap   *cluster.MetaShardMap // nil: unsharded, every pin falls back to boot
+	boot   []string              // bootstrap endpoints (the unsharded endpoint list)
+
+	rngMu sync.Mutex
+	rng   *randx.Source
+}
+
+// remoteShard is the routing state for one metadata shard group.
+type remoteShard struct {
 	health *cluster.Health
-	retry  RetryPolicy
 
 	epMu      sync.Mutex
 	endpoints []string // rotation order; demotions move entries back
 	preferred string   // last discovered primary ("" until known)
 	lastDisc  time.Time
 
-	epochSeen atomic.Uint64 // highest epoch observed on any response
-
-	rngMu sync.Mutex
-	rng   *randx.Source
+	epochSeen    atomic.Uint64 // highest epoch observed on any response
+	primaryEpoch atomic.Uint64 // epoch of the last discovered primary
 }
 
 // DefaultMetaRetry shapes RemoteMeta's persistence: enough attempts
@@ -68,28 +88,52 @@ var DefaultMetaRetry = RetryPolicy{
 
 // NewRemoteMeta returns a MetaService talking to the metadata servers
 // listed in baseURL — a comma-separated list, primary first, standbys
-// after. httpc may be nil for a shared default with sane timeouts.
+// after. The whole list is one shard group (the unsharded
+// deployment); use NewShardedRemoteMeta for a sharded plane. httpc
+// may be nil for a shared default with sane timeouts.
 func NewRemoteMeta(baseURL string, httpc *http.Client) *RemoteMeta {
+	eps := splitEndpoints(baseURL)
+	if len(eps) == 0 {
+		eps = []string{""}
+	}
+	return newRemoteMeta(eps, nil, httpc)
+}
+
+// NewShardedRemoteMeta returns a MetaService routing across the shard
+// groups of the given map (the -metashards wiring). Each shard's
+// endpoint list seeds that shard's rotation.
+func NewShardedRemoteMeta(smap *cluster.MetaShardMap, httpc *http.Client) *RemoteMeta {
+	var boot []string
+	if smap != nil {
+		boot = smap.Endpoints(0)
+	}
+	return newRemoteMeta(boot, smap, httpc)
+}
+
+func newRemoteMeta(boot []string, smap *cluster.MetaShardMap, httpc *http.Client) *RemoteMeta {
 	if httpc == nil {
 		httpc = defaultHTTPClient
 	}
+	return &RemoteMeta{
+		http:   httpc,
+		retry:  DefaultMetaRetry,
+		shards: make(map[int]*remoteShard),
+		smap:   smap,
+		boot:   boot,
+		rng:    randx.Derive(0, "remotemeta"),
+	}
+}
+
+// splitEndpoints parses a comma-separated endpoint list.
+func splitEndpoints(s string) []string {
 	var eps []string
-	for _, e := range strings.Split(baseURL, ",") {
+	for _, e := range strings.Split(s, ",") {
 		e = strings.TrimRight(strings.TrimSpace(e), "/")
 		if e != "" {
 			eps = append(eps, e)
 		}
 	}
-	if len(eps) == 0 {
-		eps = []string{""}
-	}
-	return &RemoteMeta{
-		endpoints: eps,
-		http:      httpc,
-		health:    cluster.NewHealth(0, 0),
-		retry:     DefaultMetaRetry,
-		rng:       randx.Derive(0, "remotemeta"),
-	}
+	return eps
 }
 
 // SetRetry overrides the retry policy and jitter seed (tests, tuning).
@@ -100,15 +144,59 @@ func (m *RemoteMeta) SetRetry(pol RetryPolicy, seed uint64) {
 	m.rngMu.Unlock()
 }
 
+// ShardMap returns the map this router was configured with (nil when
+// unsharded).
+func (m *RemoteMeta) ShardMap() *cluster.MetaShardMap {
+	m.shMu.Lock()
+	defer m.shMu.Unlock()
+	return m.smap
+}
+
+// shardState returns (creating on first use) the routing state for a
+// shard: seeded from the shard map's endpoint list, falling back to
+// the bootstrap endpoints for an unsharded deployment.
+func (m *RemoteMeta) shardState(shard int) *remoteShard {
+	m.shMu.Lock()
+	defer m.shMu.Unlock()
+	if rs, ok := m.shards[shard]; ok {
+		return rs
+	}
+	eps := m.smap.Endpoints(shard)
+	if len(eps) == 0 {
+		eps = m.boot
+	}
+	rs := &remoteShard{
+		endpoints: append([]string(nil), eps...),
+		health:    cluster.NewHealth(0, 0),
+	}
+	m.shards[shard] = rs
+	return rs
+}
+
+// adoptAssignment folds a wrong_shard redirect's authoritative
+// assignment into the router: the named shard's rotation is replaced
+// with the owner group's endpoints. The next attempt lands there.
+func (m *RemoteMeta) adoptAssignment(a *ShardAssignment) {
+	if a == nil || len(a.Endpoints) == 0 {
+		return
+	}
+	rs := m.shardState(a.Shard)
+	rs.epMu.Lock()
+	rs.endpoints = append([]string(nil), a.Endpoints...)
+	rs.preferred = ""
+	rs.lastDisc = time.Time{}
+	rs.epMu.Unlock()
+}
+
 // pick chooses the endpoint for a 1-based attempt: the discovered
 // primary first when one is known, then the rest health-ordered (alive
 // before tripped, rotation order inside each class), rotated by
 // attempt so consecutive retries try different nodes.
-func (m *RemoteMeta) pick(attempt int) string {
-	m.epMu.Lock()
-	eps := append([]string(nil), m.endpoints...)
-	pref := m.preferred
-	m.epMu.Unlock()
+func (rs *remoteShard) pick(attempt int) string {
+	rs.epMu.Lock()
+	eps := append([]string(nil), rs.endpoints...)
+	pref := rs.preferred
+	rs.epMu.Unlock()
 	var ordered []string
 	if pref != "" {
 		ordered = append(ordered, pref)
@@ -117,10 +205,10 @@ func (m *RemoteMeta) pick(attempt int) string {
 				ordered = append(ordered, e)
 			}
 		}
-		rest := m.health.Order(ordered[1:])
+		rest := rs.health.Order(ordered[1:])
 		ordered = append(ordered[:1], rest...)
 	} else {
-		ordered = m.health.Order(eps)
+		ordered = rs.health.Order(eps)
 	}
 	if len(ordered) == 0 {
 		ordered = eps
@@ -131,35 +219,36 @@ func (m *RemoteMeta) pick(attempt int) string {
 // demote reacts to a routing signal (standby rejection, fencing, or a
 // stale epoch): ep moves to the back of the rotation and loses its
 // preferred status, so the next attempt starts somewhere else.
-func (m *RemoteMeta) demote(ep string) {
-	m.epMu.Lock()
-	defer m.epMu.Unlock()
-	for i, e := range m.endpoints {
+func (rs *remoteShard) demote(ep string) {
+	rs.epMu.Lock()
+	defer rs.epMu.Unlock()
+	for i, e := range rs.endpoints {
 		if e == ep {
-			m.endpoints = append(append(m.endpoints[:i:i], m.endpoints[i+1:]...), ep)
+			rs.endpoints = append(append(rs.endpoints[:i:i], rs.endpoints[i+1:]...), ep)
 			break
 		}
 	}
-	if m.preferred == ep {
-		m.preferred = ""
+	if rs.preferred == ep {
+		rs.preferred = ""
 	}
 }
 
-// Discover probes every endpoint's /v1/meta/wal/status and prefers the
-// current primary: the non-standby, non-fenced node with the highest
-// (epoch, last_seq). Throttled, so a burst of demotions costs one
-// sweep. Returns the preferred endpoint, "" when none answered as a
-// primary.
-func (m *RemoteMeta) Discover(ctx context.Context) string {
-	m.epMu.Lock()
-	if time.Since(m.lastDisc) < 500*time.Millisecond {
-		pref := m.preferred
-		m.epMu.Unlock()
+// Discover probes a shard's endpoints via /v1/meta/wal/status and
+// prefers that shard's current primary: the non-standby, non-fenced
+// node with the highest (epoch, last_seq). Throttled per shard, so a
+// burst of demotions costs one sweep. Returns the preferred endpoint,
+// "" when none answered as a primary.
+func (m *RemoteMeta) Discover(ctx context.Context, shard int) string {
+	rs := m.shardState(shard)
+	rs.epMu.Lock()
+	if time.Since(rs.lastDisc) < 500*time.Millisecond {
+		pref := rs.preferred
+		rs.epMu.Unlock()
 		return pref
 	}
-	m.lastDisc = time.Now()
-	eps := append([]string(nil), m.endpoints...)
-	m.epMu.Unlock()
+	rs.lastDisc = time.Now()
+	eps := append([]string(nil), rs.endpoints...)
+	rs.epMu.Unlock()
 
 	best := ""
 	var bestEpoch, bestSeq uint64
@@ -168,8 +257,8 @@ func (m *RemoteMeta) Discover(ctx context.Context) string {
 		if err != nil {
 			continue
 		}
-		if st.Epoch > m.epochSeen.Load() {
-			m.epochSeen.Store(st.Epoch)
+		if st.Epoch > rs.epochSeen.Load() {
+			rs.epochSeen.Store(st.Epoch)
 		}
 		if st.Standby || st.Fenced {
 			continue
@@ -179,11 +268,35 @@ func (m *RemoteMeta) Discover(ctx context.Context) string {
 		}
 	}
 	if best != "" {
-		m.epMu.Lock()
-		m.preferred = best
-		m.epMu.Unlock()
+		rs.epMu.Lock()
+		rs.preferred = best
+		rs.epMu.Unlock()
+		rs.primaryEpoch.Store(bestEpoch)
 	}
 	return best
+}
+
+// Summary assembles the metadata-shard half of /v1/cluster/info from
+// this router's view: shard count and map version from the configured
+// map, each shard's primary from its (throttled) discovery sweep.
+func (m *RemoteMeta) Summary(ctx context.Context) *MetaShardSummary {
+	m.shMu.Lock()
+	smap := m.smap
+	m.shMu.Unlock()
+	sum := &MetaShardSummary{Shards: smap.NumShards()}
+	if smap != nil {
+		sum.MapVersion = smap.Version
+	}
+	for i := 0; i < sum.Shards; i++ {
+		pref := m.Discover(ctx, i)
+		rs := m.shardState(i)
+		sum.ShardInfo = append(sum.ShardInfo, MetaShardInfo{
+			Shard:   i,
+			Primary: pref,
+			Epoch:   rs.primaryEpoch.Load(),
+		})
+	}
+	return sum
 }
 
 // fetchStatus reads one endpoint's WAL status with a short deadline.
@@ -210,10 +323,10 @@ func (m *RemoteMeta) fetchStatus(ctx context.Context, ep string) (MetaWALStatus,
 	return st, nil
 }
 
-// observeEpochHeader folds a response's epoch stamp into the client's
+// observeEpochHeader folds a response's epoch stamp into the shard's
 // view, reporting whether the serving endpoint is behind an epoch this
 // client has already seen (a deposed primary still answering).
-func (m *RemoteMeta) observeEpochHeader(h http.Header) (stale bool) {
+func (rs *remoteShard) observeEpochHeader(h http.Header) (stale bool) {
 	v := h.Get(MetaEpochHeader)
 	if v == "" {
 		return false
@@ -223,11 +336,11 @@ func (m *RemoteMeta) observeEpochHeader(h http.Header) (stale bool) {
 		return false
 	}
 	for {
-		seen := m.epochSeen.Load()
+		seen := rs.epochSeen.Load()
 		if e <= seen {
 			return e < seen
 		}
-		if m.epochSeen.CompareAndSwap(seen, e) {
+		if rs.epochSeen.CompareAndSwap(seen, e) {
 			return false
 		}
 	}
@@ -239,11 +352,12 @@ func (m *RemoteMeta) jitterDraw() float64 {
 	return m.rng.Float64()
 }
 
-// postJSON runs one logical metadata operation with retries. Each
-// attempt is a span (child of the caller's trace, annotated with the
-// endpoint and the fault seen) whose headers ride the request, so the
-// metadata server's handler span joins under the caller's trace.
-func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out interface{}) error {
+// postJSON runs one logical metadata operation against one shard with
+// retries. Each attempt is a span (child of the caller's trace,
+// annotated with the shard, endpoint, and the fault seen) whose
+// headers ride the request, so the metadata server's handler span
+// joins under the caller's trace.
+func (m *RemoteMeta) postJSON(ctx context.Context, op string, shard int, path string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -252,19 +366,22 @@ func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out inte
 	var lastErr error
 	rotation := 0
 	for attempt := 1; ; attempt++ {
+		rs := m.shardState(shard)
 		rotation++
-		ep := m.pick(rotation)
+		ep := rs.pick(rotation)
 		req, err := http.NewRequest(http.MethodPost, ep+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(APIHeader, APIV1)
-		if e := m.epochSeen.Load(); e > 0 {
+		if e := rs.epochSeen.Load(); e > 0 {
 			req.Header.Set(MetaEpochHeader, strconv.FormatUint(e, 10))
 		}
+		req.Header.Set(MetaShardHeader, FormatMetaShard(shard, m.mapVersion()))
 		att := tracing.ChildFromContext(ctx, tracing.CompMeta, op)
 		att.AnnotateInt("attempt", int64(attempt))
+		att.AnnotateInt("shard", int64(shard))
 		att.Annotate("endpoint", ep)
 		att.Inject(req.Header)
 		actx, cancel := context.WithTimeout(ctx, pol.RequestTimeout)
@@ -272,12 +389,12 @@ func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out inte
 		var retryAfter time.Duration
 		stale := false
 		if err != nil {
-			m.health.ReportFailure(ep)
+			rs.health.ReportFailure(ep)
 		} else {
 			// Any HTTP response means the node is up — even a 503
 			// standby rejection (routing, not node health).
-			m.health.ReportSuccess(ep)
-			stale = m.observeEpochHeader(resp.Header)
+			rs.health.ReportSuccess(ep)
+			stale = rs.observeEpochHeader(resp.Header)
 			retryAfter = parseRetryAfter(resp.Header)
 			if resp.StatusCode != http.StatusOK {
 				err = decodeError(resp)
@@ -287,13 +404,27 @@ func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out inte
 			resp.Body.Close()
 		}
 		cancel()
-		// Routing signals, distinct from node health: the node answered,
-		// but it is not (or no longer) the primary. Demote it so the
-		// next attempt — and every later request — starts elsewhere, and
-		// rediscover where the primary went.
-		if stale || errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrFenced) {
-			m.demote(ep)
-			m.Discover(ctx)
+		// A wrong_shard redirect outranks rotation: the endpoint group
+		// we hold for this shard is not the owner. Adopt the attached
+		// assignment and restart the rotation on the corrected group.
+		if errors.Is(err, ErrWrongShard) {
+			var ae *APIError
+			if errors.As(err, &ae) && ae.Assignment != nil {
+				m.adoptAssignment(ae.Assignment)
+				att.Annotate("redirect", fmt.Sprintf("shard %d", ae.Assignment.Shard))
+				// Follow the redirect: later attempts route (and stamp
+				// the exchange header) for the owner shard.
+				shard = ae.Assignment.Shard
+				rotation = 0
+			}
+		} else if stale || errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrFenced) {
+			// Routing signals, distinct from node health: the node
+			// answered, but it is not (or no longer) the shard's
+			// primary. Demote it so the next attempt — and every later
+			// request — starts elsewhere, and rediscover where the
+			// primary went.
+			rs.demote(ep)
+			m.Discover(ctx, shard)
 			att.Annotate("demoted", ep)
 			// Restart the rotation: the next attempt must go to the
 			// rediscovered primary, not to whatever the pre-demotion
@@ -329,26 +460,37 @@ func (m *RemoteMeta) postJSON(ctx context.Context, op, path string, in, out inte
 	}
 }
 
+// mapVersion returns the configured map's version (0 when unsharded).
+func (m *RemoteMeta) mapVersion() uint64 {
+	m.shMu.Lock()
+	defer m.shMu.Unlock()
+	if m.smap == nil {
+		return 0
+	}
+	return m.smap.Version
+}
+
 // Commit implements MetaService.
-func (m *RemoteMeta) Commit(url string, chunkMD5s []Sum) error {
-	return m.CommitCtx(context.Background(), url, chunkMD5s)
+func (m *RemoteMeta) Commit(shard int, url string, chunkMD5s []Sum) error {
+	return m.CommitCtx(context.Background(), shard, url, chunkMD5s)
 }
 
 // CommitCtx is Commit with trace propagation and cancellation.
-func (m *RemoteMeta) CommitCtx(ctx context.Context, url string, chunkMD5s []Sum) error {
-	return m.postJSON(ctx, "meta-commit", "/meta/commit",
-		CommitRequest{URL: url, ChunkMD5s: sumStrings(chunkMD5s)}, nil)
+func (m *RemoteMeta) CommitCtx(ctx context.Context, shard int, url string, chunkMD5s []Sum) error {
+	return m.postJSON(ctx, "meta-commit", shard, "/v1/meta/commit",
+		CommitRequest{Shard: shard, URL: url, ChunkMD5s: sumStrings(chunkMD5s)}, nil)
 }
 
 // Lookup implements MetaService.
-func (m *RemoteMeta) Lookup(sum Sum) (FileMeta, error) {
-	return m.LookupCtx(context.Background(), sum)
+func (m *RemoteMeta) Lookup(shard int, sum Sum) (FileMeta, error) {
+	return m.LookupCtx(context.Background(), shard, sum)
 }
 
 // LookupCtx is Lookup with trace propagation and cancellation.
-func (m *RemoteMeta) LookupCtx(ctx context.Context, sum Sum) (FileMeta, error) {
+func (m *RemoteMeta) LookupCtx(ctx context.Context, shard int, sum Sum) (FileMeta, error) {
 	var resp LookupResponse
-	if err := m.postJSON(ctx, "meta-lookup", "/meta/lookup", LookupRequest{FileMD5: sum.String()}, &resp); err != nil {
+	if err := m.postJSON(ctx, "meta-lookup", shard, "/v1/meta/lookup",
+		LookupRequest{Shard: shard, FileMD5: sum.String()}, &resp); err != nil {
 		return FileMeta{}, err
 	}
 	fileSum, err := ParseSum(resp.FileMD5)

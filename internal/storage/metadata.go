@@ -25,42 +25,46 @@ type FileMeta struct {
 	URL       string
 }
 
-// MetaService is the slice of the metadata server a storage front-end
+// MetaService is the slice of the metadata plane a storage front-end
 // depends on. A front-end colocated with the metadata server uses
 // *Metadata directly; a clustered front-end on another node uses
-// RemoteMeta, which speaks the same operations over HTTP — this is
-// what lets any node accept uploads while the namespace stays single.
+// RemoteMeta, which speaks the same operations over HTTP. Every call
+// names the metadata shard it targets — the shard the client's
+// store-check or resolve handshake pinned — so the namespace can be
+// split across shard groups while a front-end stays a dumb router.
+// An unsharded deployment is the one-shard special case: shard 0.
 type MetaService interface {
-	// Commit finalizes a completed upload, making the content
-	// available for dedup and retrieval.
-	Commit(url string, chunkMD5s []Sum) error
-	// Lookup returns the file record for a content hash.
-	Lookup(sum Sum) (FileMeta, error)
+	// Commit finalizes a completed upload on the given shard, making
+	// the content available for dedup and retrieval.
+	Commit(shard int, url string, chunkMD5s []Sum) error
+	// Lookup returns the file record for a content hash from the
+	// given shard's catalog.
+	Lookup(shard int, sum Sum) (FileMeta, error)
 }
 
 // ctxMetaService is the context-aware superset of MetaService; both
 // *Metadata and *RemoteMeta implement it. The context carries the
 // caller's trace (WAL spans join it) and cancellation.
 type ctxMetaService interface {
-	CommitCtx(ctx context.Context, url string, chunkMD5s []Sum) error
-	LookupCtx(ctx context.Context, sum Sum) (FileMeta, error)
+	CommitCtx(ctx context.Context, shard int, url string, chunkMD5s []Sum) error
+	LookupCtx(ctx context.Context, shard int, sum Sum) (FileMeta, error)
 }
 
 // metaCommit commits via svc, propagating ctx when svc supports it —
 // the same downgrade pattern PutCtx uses for chunk stores.
-func metaCommit(ctx context.Context, svc MetaService, url string, chunkMD5s []Sum) error {
+func metaCommit(ctx context.Context, svc MetaService, shard int, url string, chunkMD5s []Sum) error {
 	if c, ok := svc.(ctxMetaService); ok {
-		return c.CommitCtx(ctx, url, chunkMD5s)
+		return c.CommitCtx(ctx, shard, url, chunkMD5s)
 	}
-	return svc.Commit(url, chunkMD5s)
+	return svc.Commit(shard, url, chunkMD5s)
 }
 
 // metaLookup resolves via svc, propagating ctx when svc supports it.
-func metaLookup(ctx context.Context, svc MetaService, sum Sum) (FileMeta, error) {
+func metaLookup(ctx context.Context, svc MetaService, shard int, sum Sum) (FileMeta, error) {
 	if c, ok := svc.(ctxMetaService); ok {
-		return c.LookupCtx(ctx, sum)
+		return c.LookupCtx(ctx, shard, sum)
 	}
-	return svc.Lookup(sum)
+	return svc.Lookup(shard, sum)
 }
 
 // Metadata is the metadata service (§2.1): it owns user namespaces,
@@ -132,6 +136,17 @@ type Metadata struct {
 	// while it is in cooldown.
 	feHealth *cluster.Health
 
+	// Shard identity. shardID is the user-hash range this node owns;
+	// shardMap is the versioned cluster-wide assignment (nil for an
+	// unsharded node, which behaves as the sole shard 0 under map
+	// version 0). Both are set once by SetShard before serving.
+	shardID  int
+	shardMap *cluster.MetaShardMap
+
+	// legacyAPI gates the unversioned /meta/* aliases in Handler;
+	// default on for one release (see LegacySunset).
+	legacyAPI bool
+
 	met *metadataMetrics // nil until Instrument; set before serving
 }
 
@@ -151,52 +166,60 @@ const metaTailCap = 8192
 // metadata operations.
 type metadataMetrics struct {
 	storeCheck, resolve, commit, lookup *metrics.Histogram
+	shardSkew                           *metrics.Counter
 }
 
 // Instrument registers the metadata server's gauges and latency
-// histograms. Call it once, before the server starts handling
-// requests.
+// histograms, every series labeled with the shard this node owns so a
+// scrape across a sharded plane stays disambiguated. Call it once,
+// after SetShard and before the server starts handling requests.
 func (m *Metadata) Instrument(reg *metrics.Registry) {
+	shard := []string{"shard", strconv.Itoa(m.ShardID())}
 	reg.GaugeFunc("mcs_meta_files", "File records (committed or reserved URLs).",
-		func() float64 { return float64(m.Stats().Files) })
+		func() float64 { return float64(m.Stats().Files) }, shard...)
 	reg.GaugeFunc("mcs_meta_users", "User namespaces holding at least one file.",
-		func() float64 { return float64(m.Stats().Users) })
+		func() float64 { return float64(m.Stats().Users) }, shard...)
 	reg.CounterFunc("mcs_meta_checks_total", "Dedup store-check requests handled.",
-		func() float64 { return float64(m.Stats().Checks) })
+		func() float64 { return float64(m.Stats().Checks) }, shard...)
 	reg.CounterFunc("mcs_meta_dedup_hits_total", "Uploads avoided entirely by file-level dedup.",
-		func() float64 { return float64(m.Stats().DedupHits) })
+		func() float64 { return float64(m.Stats().DedupHits) }, shard...)
 	help := "Metadata operation latency by operation."
+	opLabels := func(op string) []string { return append([]string{"op", op}, shard...) }
 	m.met = &metadataMetrics{
-		storeCheck: reg.Histogram("mcs_meta_op_seconds", help, "op", "store_check"),
-		resolve:    reg.Histogram("mcs_meta_op_seconds", help, "op", "resolve"),
-		commit:     reg.Histogram("mcs_meta_op_seconds", help, "op", "commit"),
-		lookup:     reg.Histogram("mcs_meta_op_seconds", help, "op", "lookup"),
+		storeCheck: reg.Histogram("mcs_meta_op_seconds", help, opLabels("store_check")...),
+		resolve:    reg.Histogram("mcs_meta_op_seconds", help, opLabels("resolve")...),
+		commit:     reg.Histogram("mcs_meta_op_seconds", help, opLabels("commit")...),
+		lookup:     reg.Histogram("mcs_meta_op_seconds", help, opLabels("lookup")...),
+		shardSkew: reg.Counter("mcs_meta_shard_skew_total",
+			"Requests that routed with a shard-map version different from this node's.", shard...),
 	}
 	reg.GaugeFunc("mcs_meta_wal_last_seq", "Newest applied metadata mutation sequence.",
-		func() float64 { return float64(m.LastSeq()) })
+		func() float64 { return float64(m.LastSeq()) }, shard...)
 	reg.GaugeFunc("mcs_meta_epoch", "Current metadata leadership epoch (term).",
-		func() float64 { return float64(m.Epoch()) })
+		func() float64 { return float64(m.Epoch()) }, shard...)
 	reg.GaugeFunc("mcs_meta_fenced", "1 when this node was deposed by a higher epoch and rejects writes.",
 		func() float64 {
 			if m.Fenced() {
 				return 1
 			}
 			return 0
-		})
+		}, shard...)
 	reg.GaugeFunc("mcs_meta_repl_ack_seq", "Highest mutation sequence the attached standby has acknowledged.",
 		func() float64 {
 			m.replMu.Lock()
 			defer m.replMu.Unlock()
 			return float64(m.replSeq)
-		})
+		}, shard...)
 	reg.CounterFunc("mcs_meta_sync_timeouts_total", "Writes that timed out waiting for standby acknowledgement (standby detached).",
-		func() float64 { return float64(m.syncTimeouts.Load()) })
+		func() float64 { return float64(m.syncTimeouts.Load()) }, shard...)
 	reg.GaugeFunc("mcs_meta_frontends_down", "Registered front-ends currently inside a breaker down window.",
-		func() float64 { return float64(m.feHealth.Down()) })
+		func() float64 { return float64(m.feHealth.Down()) }, shard...)
+	reg.GaugeFunc("mcs_meta_shard_map_version", "Shard-map version this node serves under (0 = unsharded).",
+		func() float64 { return float64(m.MapVersion()) }, shard...)
 	if m.wal != nil {
 		m.wal.Instrument(reg)
 		reg.GaugeFunc("mcs_meta_wal_records", "WAL records not yet covered by a checkpoint.",
-			func() float64 { return float64(m.LastSeq() - m.wal.Stats().CheckpointSeq) })
+			func() float64 { return float64(m.LastSeq() - m.wal.Stats().CheckpointSeq) }, shard...)
 	}
 }
 
@@ -214,7 +237,96 @@ func NewMetadata(frontends ...string) *Metadata {
 		notify:    make(chan struct{}),
 		replCh:    make(chan struct{}),
 		feHealth:  cluster.NewHealth(2, 5*time.Second),
+		legacyAPI: true,
 	}
+}
+
+// SetShard assigns this node its place in a sharded metadata plane:
+// the user-hash range it owns and the versioned map it owns it under.
+// Call before serving; an un-set node is the sole shard 0 of an
+// unsharded (map version 0) deployment.
+func (m *Metadata) SetShard(id int, smap *cluster.MetaShardMap) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardID = id
+	m.shardMap = smap
+}
+
+// SetLegacyAPI gates the unversioned /meta/* aliases (default on).
+// Call before Handler.
+func (m *Metadata) SetLegacyAPI(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.legacyAPI = on
+}
+
+// ShardID returns the shard this node owns.
+func (m *Metadata) ShardID() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.shardID
+}
+
+// MapVersion returns the shard-map version this node serves under
+// (0 = unsharded).
+func (m *Metadata) MapVersion() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.shardMap == nil {
+		return 0
+	}
+	return m.shardMap.Version
+}
+
+// ShardMapView returns the map served at /v1/meta/shards: the real
+// map when sharded, else a synthesized single-shard map at version 0
+// whose empty endpoint list tells clients to keep their bootstrap
+// endpoints.
+func (m *Metadata) ShardMapView() cluster.MetaShardMap {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.shardMap == nil {
+		return cluster.MetaShardMap{Version: 0, Shards: []cluster.MetaShard{{ID: m.shardID}}}
+	}
+	return *m.shardMap
+}
+
+// assignmentLocked builds the authoritative redirect payload for a
+// wrong_shard rejection (caller holds mu).
+func (m *Metadata) assignmentLocked(want int) ShardAssignment {
+	a := ShardAssignment{Shard: want}
+	if m.shardMap != nil {
+		a.MapVersion = m.shardMap.Version
+		a.Endpoints = append([]string(nil), m.shardMap.Endpoints(want)...)
+	}
+	return a
+}
+
+// userShardGuardLocked rejects an operation on a user this shard does
+// not own, attaching the owner's assignment so the client converges
+// in one bounce (caller holds mu). Checked before the write guard:
+// "you are talking to the wrong shard group entirely" must win over
+// "this group member is a standby", or a misrouted client would
+// rotate forever inside the wrong group.
+func (m *Metadata) userShardGuardLocked(user uint64) error {
+	if m.shardMap == nil {
+		return nil
+	}
+	if want := m.shardMap.ShardFor(user); want != m.shardID {
+		return &wrongShardError{assignment: m.assignmentLocked(want)}
+	}
+	return nil
+}
+
+// shardGuardLocked rejects an operation explicitly pinned to a shard
+// this node is not (caller holds mu). The pin comes from an earlier
+// store-check/resolve response, so a mismatch means the caller's
+// routing table is stale for that shard.
+func (m *Metadata) shardGuardLocked(shard int) error {
+	if shard != m.shardID {
+		return &wrongShardError{assignment: m.assignmentLocked(shard)}
+	}
+	return nil
 }
 
 // AddFrontEnd registers another front-end.
@@ -320,6 +432,11 @@ func (m *Metadata) StoreCheckCtx(ctx context.Context, req StoreCheckRequest) (St
 	}
 	app := m.walSpan(ctx, tracing.SpanWALAppend)
 	m.mu.Lock()
+	if err := m.userShardGuardLocked(req.UserID); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return StoreCheckResponse{}, err
+	}
 	if err := m.writeGuardLocked(); err != nil {
 		m.mu.Unlock()
 		app.EndErr(err)
@@ -328,10 +445,11 @@ func (m *Metadata) StoreCheckCtx(ctx context.Context, req StoreCheckRequest) (St
 	m.checks++
 	var rec MetaWALRecord
 	var resp StoreCheckResponse
+	resp.Shard = m.shardID
 	if f, ok := m.byMD5[sum]; ok {
 		m.dedupHits++
 		rec = MetaWALRecord{Op: walOpLink, User: req.UserID, URL: f.URL}
-		resp = StoreCheckResponse{Duplicate: true, URL: f.URL}
+		resp.Duplicate, resp.URL = true, f.URL
 	} else {
 		// The record is provisional until Commit; it reserves the URL
 		// but enters the dedup catalog only when chunks land. The
@@ -343,7 +461,7 @@ func (m *Metadata) StoreCheckCtx(ctx context.Context, req StoreCheckRequest) (St
 			Name: req.Name, Size: req.Size, FileMD5: req.FileMD5,
 			URLSeq: m.urlSeq + 1,
 		}
-		resp = StoreCheckResponse{FrontEnd: m.pickFrontEnd(), URL: url}
+		resp.FrontEnd, resp.URL = m.pickFrontEnd(), url
 	}
 	lsn, err := m.logApplyLocked(&rec)
 	m.mu.Unlock()
@@ -380,6 +498,11 @@ func (m *Metadata) Unlink(user uint64, url string) (chunks []Sum, lastRef bool, 
 func (m *Metadata) UnlinkCtx(ctx context.Context, user uint64, url string) (chunks []Sum, lastRef bool, err error) {
 	app := m.walSpan(ctx, tracing.SpanWALAppend)
 	m.mu.Lock()
+	if err := m.userShardGuardLocked(user); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return nil, false, err
+	}
 	if err := m.writeGuardLocked(); err != nil {
 		m.mu.Unlock()
 		app.EndErr(err)
@@ -411,18 +534,23 @@ func (m *Metadata) UnlinkCtx(ctx context.Context, user uint64, url string) (chun
 
 // Commit finalizes a file upload: the front-end calls it after all
 // chunks are stored, making the content available for dedup and
-// retrieval.
-func (m *Metadata) Commit(url string, chunkMD5s []Sum) error {
-	return m.CommitCtx(context.Background(), url, chunkMD5s)
+// retrieval. shard is the pin from the store-check that reserved url.
+func (m *Metadata) Commit(shard int, url string, chunkMD5s []Sum) error {
+	return m.CommitCtx(context.Background(), shard, url, chunkMD5s)
 }
 
 // CommitCtx is Commit with trace propagation (see StoreCheckCtx).
-func (m *Metadata) CommitCtx(ctx context.Context, url string, chunkMD5s []Sum) error {
+func (m *Metadata) CommitCtx(ctx context.Context, shard int, url string, chunkMD5s []Sum) error {
 	if met := m.met; met != nil {
 		defer met.commit.ObserveSince(time.Now())
 	}
 	app := m.walSpan(ctx, tracing.SpanWALAppend)
 	m.mu.Lock()
+	if err := m.shardGuardLocked(shard); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return err
+	}
 	if err := m.writeGuardLocked(); err != nil {
 		m.mu.Unlock()
 		app.EndErr(err)
@@ -683,7 +811,12 @@ func (m *Metadata) waitReplicated(ctx context.Context, seq uint64) error {
 }
 
 // Resolve maps a file URL to its content hash and a front-end, for
-// retrievals.
+// retrievals. Unlike the namespace writes, resolve carries NO
+// user-shard guard: a URL is a shareable capability, resolvable by
+// any user, and it lives on the shard of the user who stored it — a
+// shard the requester's own hash says nothing about. A miss here is
+// an honest not_found for this shard; sharded clients scatter the
+// resolve across the remaining shards before giving up.
 func (m *Metadata) Resolve(req ResolveRequest) (ResolveResponse, error) {
 	if met := m.met; met != nil {
 		defer met.resolve.ObserveSince(time.Now())
@@ -698,22 +831,27 @@ func (m *Metadata) Resolve(req ResolveRequest) (ResolveResponse, error) {
 		FileMD5:  f.FileMD5.String(),
 		Size:     f.Size,
 		FrontEnd: m.pickFrontEnd(),
+		Shard:    m.shardID,
 	}, nil
 }
 
 // LookupCtx is Lookup; the context is accepted for interface symmetry
 // (reads don't touch the WAL, so there is nothing to trace here).
-func (m *Metadata) LookupCtx(_ context.Context, sum Sum) (FileMeta, error) {
-	return m.Lookup(sum)
+func (m *Metadata) LookupCtx(_ context.Context, shard int, sum Sum) (FileMeta, error) {
+	return m.Lookup(shard, sum)
 }
 
-// Lookup returns the file record for a content hash.
-func (m *Metadata) Lookup(sum Sum) (FileMeta, error) {
+// Lookup returns the file record for a content hash from this shard's
+// catalog. shard is the pin from the resolve that named the hash.
+func (m *Metadata) Lookup(shard int, sum Sum) (FileMeta, error) {
 	if met := m.met; met != nil {
 		defer met.lookup.ObserveSince(time.Now())
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if err := m.shardGuardLocked(shard); err != nil {
+		return FileMeta{}, err
+	}
 	f, ok := m.byMD5[sum]
 	if !ok {
 		return FileMeta{}, ErrNotFound
@@ -766,12 +904,14 @@ func (m *Metadata) Stats() MetaStats {
 // CommitRequest is the wire form of MetaService.Commit, used by
 // clustered front-ends without a colocated metadata server.
 type CommitRequest struct {
+	Shard     int      `json:"shard"`
 	URL       string   `json:"url"`
 	ChunkMD5s []string `json:"chunk_md5s"`
 }
 
 // LookupRequest is the wire form of MetaService.Lookup.
 type LookupRequest struct {
+	Shard   int    `json:"shard"`
 	FileMD5 string `json:"file_md5"`
 }
 
@@ -784,21 +924,262 @@ type LookupResponse struct {
 	URL       string   `json:"url"`
 }
 
+// MetaUserInfo is one row of the /v1/meta/users census: a user
+// namespace held by this shard, and whether the current map says it
+// belongs elsewhere (a resharding leftover).
+type MetaUserInfo struct {
+	User      uint64 `json:"user"`
+	Files     int    `json:"files"`
+	Misplaced bool   `json:"misplaced,omitempty"`
+}
+
+// MetaUsersResponse is the census reply.
+type MetaUsersResponse struct {
+	Shard      int            `json:"shard"`
+	MapVersion uint64         `json:"map_version"`
+	Users      []MetaUserInfo `json:"users"`
+}
+
+// MetaExportFile is one file of a user's namespace in transit between
+// shards during a reshard: everything needed to reproduce the
+// reserve (+ commit, when the upload finished) on the destination.
+type MetaExportFile struct {
+	Name      string   `json:"name"`
+	Size      int64    `json:"size"`
+	FileMD5   string   `json:"file_md5"`
+	ChunkMD5s []string `json:"chunk_md5s,omitempty"`
+	URL       string   `json:"url"`
+	Committed bool     `json:"committed"`
+}
+
+// MetaExportRequest / MetaExportResponse are the read-only half of a
+// user move: dump one user's namespace. Export is served even by a
+// shard that no longer owns the user under the current map — that is
+// the whole point.
+type MetaExportRequest struct {
+	User uint64 `json:"user"`
+}
+
+type MetaExportResponse struct {
+	User  uint64           `json:"user"`
+	Files []MetaExportFile `json:"files"`
+}
+
+// MetaImportRequest replays an exported namespace onto the shard that
+// owns the user under the current map (guarded: an import for a user
+// this shard does not own is a wrong_shard).
+type MetaImportRequest struct {
+	User  uint64           `json:"user"`
+	Files []MetaExportFile `json:"files"`
+}
+
+type MetaImportResponse struct {
+	Imported int `json:"imported"`
+}
+
+// MetaEvictRequest drops a user's namespace from a shard that no
+// longer owns it (inverse-guarded: evicting a user this shard still
+// owns is refused — that would be data loss, not a move).
+type MetaEvictRequest struct {
+	User uint64 `json:"user"`
+}
+
+type MetaEvictResponse struct {
+	Evicted int `json:"evicted"`
+}
+
+// UsersCensus lists every user namespace this shard holds, flagging
+// the ones the current map assigns elsewhere. The rebalancer's
+// discovery step.
+func (m *Metadata) UsersCensus() MetaUsersResponse {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	resp := MetaUsersResponse{Shard: m.shardID, Users: []MetaUserInfo{}}
+	if m.shardMap != nil {
+		resp.MapVersion = m.shardMap.Version
+	}
+	for user, ns := range m.users {
+		info := MetaUserInfo{User: user, Files: len(ns)}
+		if m.shardMap != nil && m.shardMap.ShardFor(user) != m.shardID {
+			info.Misplaced = true
+		}
+		resp.Users = append(resp.Users, info)
+	}
+	return resp
+}
+
+// ExportUser dumps one user's namespace for a shard move. Read-only
+// and deliberately unguarded: the source of a move is by definition
+// no longer the owner.
+func (m *Metadata) ExportUser(user uint64) (MetaExportResponse, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ns, ok := m.users[user]
+	if !ok {
+		return MetaExportResponse{}, ErrNotFound
+	}
+	resp := MetaExportResponse{User: user}
+	for _, f := range ns {
+		ef := MetaExportFile{
+			Name: f.Name, Size: f.Size, FileMD5: f.FileMD5.String(), URL: f.URL,
+		}
+		if cat, committed := m.byMD5[f.FileMD5]; committed && cat == f {
+			ef.Committed = true
+			ef.ChunkMD5s = sumStrings(f.ChunkMD5s)
+		}
+		resp.Files = append(resp.Files, ef)
+	}
+	return resp, nil
+}
+
+// ImportUser replays an exported namespace through the WAL path:
+// reserve (with the source-minted URL preserved, so client-held URLs
+// survive the move) then commit for finished uploads. Guarded — the
+// user must hash to this shard under the current map. Idempotent for
+// URLs already present with the same content; a URL collision with
+// different content aborts the import.
+func (m *Metadata) ImportUser(ctx context.Context, req MetaImportRequest) (MetaImportResponse, error) {
+	app := m.walSpan(ctx, tracing.SpanWALAppend)
+	m.mu.Lock()
+	if err := m.userShardGuardLocked(req.User); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return MetaImportResponse{}, err
+	}
+	if err := m.writeGuardLocked(); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return MetaImportResponse{}, err
+	}
+	var lsn int64
+	var seq uint64
+	var imported int
+	for _, f := range req.Files {
+		if existing, ok := m.byURL[f.URL]; ok {
+			if existing.FileMD5.String() != f.FileMD5 {
+				m.mu.Unlock()
+				err := fmt.Errorf("storage: meta import: URL %q already holds different content", f.URL)
+				app.EndErr(err)
+				return MetaImportResponse{}, err
+			}
+			rec := MetaWALRecord{Op: walOpLink, User: req.User, URL: f.URL}
+			l, err := m.logApplyLocked(&rec)
+			if err != nil {
+				m.mu.Unlock()
+				app.EndErr(err)
+				return MetaImportResponse{}, err
+			}
+			lsn, seq = l, rec.Seq
+			imported++
+			continue
+		}
+		rec := MetaWALRecord{
+			Op: walOpReserve, User: req.User, URL: f.URL,
+			Name: f.Name, Size: f.Size, FileMD5: f.FileMD5,
+		}
+		l, err := m.logApplyLocked(&rec)
+		if err != nil {
+			m.mu.Unlock()
+			app.EndErr(err)
+			return MetaImportResponse{}, err
+		}
+		lsn, seq = l, rec.Seq
+		if f.Committed {
+			crec := MetaWALRecord{Op: walOpCommit, URL: f.URL, ChunkMD5s: f.ChunkMD5s}
+			if l, err = m.logApplyLocked(&crec); err != nil {
+				m.mu.Unlock()
+				app.EndErr(err)
+				return MetaImportResponse{}, err
+			}
+			lsn, seq = l, crec.Seq
+		}
+		imported++
+	}
+	m.mu.Unlock()
+	app.End()
+	if imported == 0 {
+		return MetaImportResponse{}, nil
+	}
+	return MetaImportResponse{Imported: imported}, m.waitDurable(ctx, lsn, seq)
+}
+
+// EvictUser drops a user's namespace after a successful move away.
+// Inverse-guarded: a sharded node refuses to evict a user it still
+// owns. The unlink records flow through the WAL like any mutation, so
+// standbys and replay agree the namespace is gone.
+func (m *Metadata) EvictUser(ctx context.Context, user uint64) (MetaEvictResponse, error) {
+	app := m.walSpan(ctx, tracing.SpanWALAppend)
+	m.mu.Lock()
+	if m.shardMap != nil && m.shardMap.ShardFor(user) == m.shardID {
+		m.mu.Unlock()
+		err := fmt.Errorf("storage: meta evict: shard %d still owns user %d", m.shardID, user)
+		app.EndErr(err)
+		return MetaEvictResponse{}, err
+	}
+	if err := m.writeGuardLocked(); err != nil {
+		m.mu.Unlock()
+		app.EndErr(err)
+		return MetaEvictResponse{}, err
+	}
+	ns, ok := m.users[user]
+	if !ok {
+		m.mu.Unlock()
+		app.End()
+		return MetaEvictResponse{}, ErrNotFound
+	}
+	urls := make([]string, 0, len(ns))
+	for url := range ns {
+		urls = append(urls, url)
+	}
+	var lsn int64
+	var seq uint64
+	for _, url := range urls {
+		rec := MetaWALRecord{Op: walOpUnlink, User: user, URL: url}
+		l, err := m.logApplyLocked(&rec)
+		if err != nil {
+			m.mu.Unlock()
+			app.EndErr(err)
+			return MetaEvictResponse{}, err
+		}
+		lsn, seq = l, rec.Seq
+	}
+	m.mu.Unlock()
+	app.End()
+	if len(urls) == 0 {
+		return MetaEvictResponse{}, nil
+	}
+	return MetaEvictResponse{Evicted: len(urls)}, m.waitDurable(ctx, lsn, seq)
+}
+
 // Handler returns the metadata server's HTTP API:
 //
-//	POST /meta/store-check  StoreCheckRequest -> StoreCheckResponse
-//	POST /meta/resolve      ResolveRequest -> ResolveResponse
-//	POST /meta/commit       CommitRequest (front-end internal)
-//	POST /meta/lookup       LookupRequest -> LookupResponse (front-end internal)
-//	POST /meta/wal/pull     MetaPullRequest -> MetaPullResponse (standby internal)
-//	GET  /meta/wal/status   MetaWALStatus
+//	POST /v1/meta/store-check  StoreCheckRequest -> StoreCheckResponse
+//	POST /v1/meta/resolve      ResolveRequest -> ResolveResponse
+//	POST /v1/meta/commit       CommitRequest (front-end internal)
+//	POST /v1/meta/lookup       LookupRequest -> LookupResponse (front-end internal)
+//	POST /v1/meta/wal/pull     MetaPullRequest -> MetaPullResponse (standby internal)
+//	GET  /v1/meta/wal/status   MetaWALStatus
+//	GET  /v1/meta/shards       cluster.MetaShardMap (the versioned shard map)
+//	POST /v1/meta/users        MetaUsersResponse (rebalancer census)
+//	POST /v1/meta/export       MetaExportRequest -> MetaExportResponse
+//	POST /v1/meta/import       MetaImportRequest -> MetaImportResponse
+//	POST /v1/meta/evict        MetaEvictRequest -> MetaEvictResponse
 //
-// Every response carries the X-MCS-API stamp; requests advertising v1
-// receive the typed error envelope. Mutations on a standby answer 503
-// with a retryable envelope so front-ends fail over to the primary.
+// The first six also answer on their unversioned /meta/* aliases
+// while -legacyapi is on (stamped with Deprecation/Sunset headers);
+// the shard-era endpoints are /v1-only. Every response carries the
+// X-MCS-API stamp plus the epoch and shard exchange headers; requests
+// advertising v1 receive the typed error envelope. Mutations on a
+// standby answer 503 with a retryable envelope so front-ends fail
+// over to the primary; operations for a user another shard owns
+// answer 421 with a wrong_shard envelope carrying the authoritative
+// assignment.
 func (m *Metadata) Handler() http.Handler {
+	m.mu.RLock()
+	legacy := m.legacyAPI
+	m.mu.RUnlock()
 	mux := http.NewServeMux()
-	registerBoth(mux, "/meta/store-check", func(w http.ResponseWriter, r *http.Request) {
+	registerBothGated(mux, legacy, "/meta/store-check", func(w http.ResponseWriter, r *http.Request) {
 		var req StoreCheckRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -810,7 +1191,7 @@ func (m *Metadata) Handler() http.Handler {
 		}
 		writeJSON(w, resp)
 	})
-	registerBoth(mux, "/meta/resolve", func(w http.ResponseWriter, r *http.Request) {
+	registerBothGated(mux, legacy, "/meta/resolve", func(w http.ResponseWriter, r *http.Request) {
 		var req ResolveRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -822,7 +1203,7 @@ func (m *Metadata) Handler() http.Handler {
 		}
 		writeJSON(w, resp)
 	})
-	registerBoth(mux, "/meta/commit", func(w http.ResponseWriter, r *http.Request) {
+	registerBothGated(mux, legacy, "/meta/commit", func(w http.ResponseWriter, r *http.Request) {
 		var req CommitRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -832,13 +1213,13 @@ func (m *Metadata) Handler() http.Handler {
 			writeAPIError(w, r, http.StatusBadRequest, err)
 			return
 		}
-		if err := m.CommitCtx(r.Context(), req.URL, sums); err != nil {
+		if err := m.CommitCtx(r.Context(), req.Shard, req.URL, sums); err != nil {
 			writeAPIError(w, r, metaErrStatus(err, http.StatusNotFound), err)
 			return
 		}
 		writeJSON(w, FileOpResponse{OK: true})
 	})
-	registerBoth(mux, "/meta/lookup", func(w http.ResponseWriter, r *http.Request) {
+	registerBothGated(mux, legacy, "/meta/lookup", func(w http.ResponseWriter, r *http.Request) {
 		var req LookupRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -848,7 +1229,7 @@ func (m *Metadata) Handler() http.Handler {
 			writeAPIError(w, r, http.StatusBadRequest, err)
 			return
 		}
-		f, err := m.Lookup(sum)
+		f, err := m.Lookup(req.Shard, sum)
 		if err != nil {
 			writeAPIError(w, r, http.StatusNotFound, err)
 			return
@@ -861,7 +1242,7 @@ func (m *Metadata) Handler() http.Handler {
 			URL:       f.URL,
 		})
 	})
-	registerBoth(mux, "/meta/wal/pull", func(w http.ResponseWriter, r *http.Request) {
+	registerBothGated(mux, legacy, "/meta/wal/pull", func(w http.ResponseWriter, r *http.Request) {
 		var req MetaPullRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -877,14 +1258,84 @@ func (m *Metadata) Handler() http.Handler {
 		}
 		writeJSON(w, m.PullWait(r.Context(), req))
 	})
-	registerBoth(mux, "/meta/wal/status", func(w http.ResponseWriter, r *http.Request) {
+	registerBothGated(mux, legacy, "/meta/wal/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeAPIError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method))
 			return
 		}
 		writeJSON(w, m.WALStatus())
 	})
-	return advertiseV1(m.epochExchange(mux))
+	// Shard-era endpoints: /v1-only, no legacy aliases to deprecate.
+	mux.HandleFunc("/v1/meta/shards", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeAPIError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("storage: method %s not allowed", r.Method))
+			return
+		}
+		writeJSON(w, m.ShardMapView())
+	})
+	mux.HandleFunc("/v1/meta/users", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, m.UsersCensus())
+	})
+	mux.HandleFunc("/v1/meta/export", func(w http.ResponseWriter, r *http.Request) {
+		var req MetaExportRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := m.ExportUser(req.User)
+		if err != nil {
+			writeAPIError(w, r, metaErrStatus(err, http.StatusNotFound), err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/meta/import", func(w http.ResponseWriter, r *http.Request) {
+		var req MetaImportRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := m.ImportUser(r.Context(), req)
+		if err != nil {
+			writeAPIError(w, r, metaErrStatus(err, http.StatusBadRequest), err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/meta/evict", func(w http.ResponseWriter, r *http.Request) {
+		var req MetaEvictRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := m.EvictUser(r.Context(), req.User)
+		if err != nil {
+			writeAPIError(w, r, metaErrStatus(err, http.StatusBadRequest), err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	return advertiseV1(m.shardExchange(m.epochExchange(mux)))
+}
+
+// shardExchange is the routing middleware, the shard-plane mirror of
+// epochExchange: every /meta/* response is stamped with
+// "<shard>@<map-version>" naming the shard this node serves. The
+// request side carries the shard the client *meant* to reach and the
+// map version it routed with; a client that routed with an older map
+// is counted (the per-op guards produce the actual wrong_shard
+// redirect, with the authoritative assignment attached).
+func (m *Metadata) shardExchange(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(MetaShardHeader); v != "" {
+			if _, mv, ok := ParseMetaShard(v); ok && m.met != nil && mv != m.MapVersion() {
+				m.met.shardSkew.Add(1)
+			}
+		}
+		w.Header().Set(MetaShardHeader, FormatMetaShard(m.ShardID(), m.MapVersion()))
+		next.ServeHTTP(w, r)
+	})
 }
 
 // epochExchange is the fencing middleware: every /meta/* response is

@@ -336,10 +336,10 @@ func TestAutoFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rm.Commit(resp.URL, SplitSums(data)); err != nil {
+	if err := rm.Commit(0, resp.URL, SplitSums(data)); err != nil {
 		t.Fatalf("post-failover commit via client: %v", err)
 	}
-	if f, err := rm.Lookup(SumBytes(data)); err != nil || f.URL != resp.URL {
+	if f, err := rm.Lookup(0, SumBytes(data)); err != nil || f.URL != resp.URL {
 		t.Fatalf("post-failover lookup: %+v %v", f, err)
 	}
 }
@@ -371,7 +371,7 @@ func TestRemoteMetaDemotion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := rm.Commit(resp.URL, SplitSums(data)); err != nil {
+		if err := rm.Commit(0, resp.URL, SplitSums(data)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -409,28 +409,29 @@ func countPosts(inner http.Handler, n *atomic.Int64) http.Handler {
 // goes elsewhere.
 func TestRemoteMetaEpochStaleDemotion(t *testing.T) {
 	rm := NewRemoteMeta("http://a,http://b", nil)
+	rs := rm.shardState(0)
 
 	h := http.Header{}
 	h.Set(MetaEpochHeader, "3")
-	if rm.observeEpochHeader(h) {
+	if rs.observeEpochHeader(h) {
 		t.Fatal("first epoch observation read as stale")
 	}
 	low := http.Header{}
 	low.Set(MetaEpochHeader, "2")
-	if !rm.observeEpochHeader(low) {
+	if !rs.observeEpochHeader(low) {
 		t.Fatal("lower-than-seen epoch did not read as stale")
 	}
 	same := http.Header{}
 	same.Set(MetaEpochHeader, "3")
-	if rm.observeEpochHeader(same) {
+	if rs.observeEpochHeader(same) {
 		t.Fatal("equal epoch read as stale")
 	}
 
-	if first := rm.pick(1); first != "http://a" {
+	if first := rs.pick(1); first != "http://a" {
 		t.Fatalf("initial pick = %q, want the configured head", first)
 	}
-	rm.demote("http://a")
-	if first := rm.pick(1); first != "http://b" {
+	rs.demote("http://a")
+	if first := rs.pick(1); first != "http://b" {
 		t.Fatalf("post-demotion pick = %q, want the surviving endpoint first", first)
 	}
 }

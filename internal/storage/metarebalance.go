@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"mcloud/internal/cluster"
+)
+
+// MetaRebalancer restores the metadata plane's placement invariant:
+// every user namespace on exactly the shard the current map assigns.
+// It fetches the versioned shard map from a seed endpoint, discovers
+// each shard group's current primary, takes a census of which shard
+// holds which users, and moves every misplaced namespace — export
+// from the holder, import into the owner (replayed through the
+// owner's WAL, preserving the file URLs clients hold), verify the
+// copy landed, and only then evict the leftover from the source.
+//
+// Run it after changing -metashards across the plane, or with Verify
+// to audit placement without moving anything (the smoke test's gate).
+type MetaRebalancer struct {
+	Seed   string // base URL of any metadata endpoint (required)
+	DryRun bool   // report planned moves without mutating anything
+	Verify bool   // census only: count misplaced namespaces and stop
+	HTTP   *http.Client
+	Logf   func(format string, args ...interface{})
+}
+
+// MetaRebalanceReport summarizes one run.
+type MetaRebalanceReport struct {
+	Shards     int
+	MapVersion uint64
+	Users      int // namespaces seen across all shards
+	Misplaced  int // namespaces the map assigns to a different shard
+	Moved      int // namespaces exported + imported to their owner
+	Evicted    int // source leftovers dropped after a verified move
+	Errors     int
+}
+
+func (rb *MetaRebalancer) logf(format string, args ...interface{}) {
+	if rb.Logf != nil {
+		rb.Logf(format, args...)
+	}
+}
+
+func (rb *MetaRebalancer) client() *http.Client {
+	if rb.HTTP != nil {
+		return rb.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Run executes the census and (unless Verify or DryRun) the moves.
+func (rb *MetaRebalancer) Run() (MetaRebalanceReport, error) {
+	var rep MetaRebalanceReport
+	smap, err := rb.fetchMap(rb.Seed)
+	if err != nil {
+		return rep, fmt.Errorf("fetching shard map from %s: %w", rb.Seed, err)
+	}
+	rep.Shards = smap.NumShards()
+	rep.MapVersion = smap.Version
+
+	// Resolve each shard group's current primary once; every mutation
+	// of the move goes through a primary so it replicates via the WAL.
+	primaries := make([]string, rep.Shards)
+	for i := 0; i < rep.Shards; i++ {
+		eps := smap.Endpoints(i)
+		if len(eps) == 0 && i == 0 {
+			eps = []string{rb.Seed}
+		}
+		primaries[i] = rb.discoverPrimary(eps)
+		if primaries[i] == "" {
+			return rep, fmt.Errorf("shard %d: no endpoint answers as primary", i)
+		}
+		rb.logf("shard %d: primary %s", i, primaries[i])
+	}
+
+	// Census: who holds whom, and who should.
+	type move struct {
+		user uint64
+		src  int
+		dst  int
+	}
+	var moves []move
+	for i := 0; i < rep.Shards; i++ {
+		var census MetaUsersResponse
+		if err := rb.post(primaries[i], "/v1/meta/users", struct{}{}, &census); err != nil {
+			return rep, fmt.Errorf("shard %d census: %w", i, err)
+		}
+		if census.MapVersion != smap.Version {
+			return rep, fmt.Errorf("shard %d runs map version %d, rebalancer fetched %d — converge the plane first",
+				i, census.MapVersion, smap.Version)
+		}
+		rep.Users += len(census.Users)
+		for _, u := range census.Users {
+			if !u.Misplaced {
+				continue
+			}
+			rep.Misplaced++
+			moves = append(moves, move{user: u.User, src: i, dst: smap.ShardFor(u.User)})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].user < moves[j].user })
+
+	if rb.Verify {
+		return rep, nil
+	}
+	for _, mv := range moves {
+		rb.logf("user %d: shard %d -> shard %d", mv.user, mv.src, mv.dst)
+		if rb.DryRun {
+			continue
+		}
+		if err := rb.moveUser(primaries, mv.user, mv.src, mv.dst); err != nil {
+			rb.logf("user %d: %v", mv.user, err)
+			rep.Errors++
+			continue
+		}
+		rep.Moved++
+		rep.Evicted++
+	}
+	return rep, nil
+}
+
+// moveUser runs one namespace move: export, import, verify, evict.
+// The import replays the files through the owner's WAL preserving the
+// source-minted URLs, so a client-held URL survives the move; the
+// evict runs only after the owner's copy is read back and matches.
+func (rb *MetaRebalancer) moveUser(primaries []string, user uint64, src, dst int) error {
+	var exp MetaExportResponse
+	if err := rb.post(primaries[src], "/v1/meta/export", MetaExportRequest{User: user}, &exp); err != nil {
+		return fmt.Errorf("export from shard %d: %w", src, err)
+	}
+	var imp MetaImportResponse
+	if err := rb.post(primaries[dst], "/v1/meta/import", MetaImportRequest{User: user, Files: exp.Files}, &imp); err != nil {
+		return fmt.Errorf("import into shard %d: %w", dst, err)
+	}
+	var check MetaExportResponse
+	if err := rb.post(primaries[dst], "/v1/meta/export", MetaExportRequest{User: user}, &check); err != nil {
+		return fmt.Errorf("verifying shard %d copy: %w", dst, err)
+	}
+	if len(check.Files) < len(exp.Files) {
+		return fmt.Errorf("shard %d holds %d of %d files after import — leaving source untouched",
+			dst, len(check.Files), len(exp.Files))
+	}
+	var ev MetaEvictResponse
+	if err := rb.post(primaries[src], "/v1/meta/evict", MetaEvictRequest{User: user}, &ev); err != nil {
+		return fmt.Errorf("evicting from shard %d: %w", src, err)
+	}
+	return nil
+}
+
+// fetchMap reads the versioned shard map from one endpoint.
+func (rb *MetaRebalancer) fetchMap(ep string) (*cluster.MetaShardMap, error) {
+	req, err := http.NewRequest(http.MethodGet, ep+"/v1/meta/shards", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(APIHeader, APIV1)
+	resp, err := rb.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var m cluster.MetaShardMap
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// discoverPrimary probes a shard group's endpoints and returns the
+// current primary: the non-standby, non-fenced node with the highest
+// (epoch, last_seq). "" when none qualifies.
+func (rb *MetaRebalancer) discoverPrimary(eps []string) string {
+	best := ""
+	var bestEpoch, bestSeq uint64
+	for _, ep := range eps {
+		req, err := http.NewRequest(http.MethodGet, ep+"/v1/meta/wal/status", nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(APIHeader, APIV1)
+		resp, err := rb.client().Do(req)
+		if err != nil {
+			continue
+		}
+		var st MetaWALStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil || st.Standby || st.Fenced {
+			continue
+		}
+		if best == "" || st.Epoch > bestEpoch || (st.Epoch == bestEpoch && st.LastSeq > bestSeq) {
+			best, bestEpoch, bestSeq = ep, st.Epoch, st.LastSeq
+		}
+	}
+	return best
+}
+
+// post is one JSON round trip against a metadata endpoint.
+func (rb *MetaRebalancer) post(ep, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, ep+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(APIHeader, APIV1)
+	resp, err := rb.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -319,6 +320,10 @@ type MetaWALStatus struct {
 	// wait for its ack before being acknowledged).
 	ReplAckSeq  uint64 `json:"repl_ack_seq,omitempty"`
 	SyncStandby bool   `json:"sync_standby,omitempty"`
+	// Shard is the user-hash range this node owns; MapVersion the
+	// shard-map version it owns it under (0 = unsharded).
+	Shard      int    `json:"shard"`
+	MapVersion uint64 `json:"map_version,omitempty"`
 }
 
 // WALStatus reports the durability/replication/leadership position.
@@ -334,6 +339,10 @@ func (m *Metadata) WALStatus() MetaWALStatus {
 		Primary: m.primary,
 		Epoch:   m.epoch,
 		Fenced:  m.fenced,
+		Shard:   m.shardID,
+	}
+	if m.shardMap != nil {
+		st.MapVersion = m.shardMap.Version
 	}
 	if m.wal != nil {
 		st.CheckpointSeq = m.wal.Stats().CheckpointSeq
@@ -692,22 +701,25 @@ func (s *MetaStandby) pullOnce() (behind bool, err error) {
 	return lag > 0, nil
 }
 
-// Instrument registers the standby-side replication series.
+// Instrument registers the standby-side replication series, labeled
+// with the shard the standby replicates (call after the metadata
+// node's SetShard).
 func (s *MetaStandby) Instrument(reg *metrics.Registry) {
+	shard := []string{"shard", strconv.Itoa(s.meta.ShardID())}
 	reg.CounterFunc("mcs_meta_standby_pulls_total", "Replication pull batches fetched from the primary.",
-		func() float64 { return float64(s.pulls.Load()) })
+		func() float64 { return float64(s.pulls.Load()) }, shard...)
 	reg.CounterFunc("mcs_meta_standby_applied_total", "Replicated metadata records applied.",
-		func() float64 { return float64(s.applied.Load()) })
+		func() float64 { return float64(s.applied.Load()) }, shard...)
 	reg.CounterFunc("mcs_meta_standby_snapshot_resets_total", "Full-snapshot reseeds (standby fell behind the tail).",
-		func() float64 { return float64(s.resets.Load()) })
+		func() float64 { return float64(s.resets.Load()) }, shard...)
 	reg.CounterFunc("mcs_meta_standby_pull_errors_total", "Failed replication pulls (primary down or restarting).",
-		func() float64 { return float64(s.errs.Load()) })
+		func() float64 { return float64(s.errs.Load()) }, shard...)
 	reg.GaugeFunc("mcs_meta_standby_lag", "Records the standby trails the primary by (at last pull).",
-		func() float64 { return float64(s.lag.Load()) })
+		func() float64 { return float64(s.lag.Load()) }, shard...)
 	reg.CounterFunc("mcs_meta_standby_promotions_total", "Automatic promotions performed after lease expiry.",
-		func() float64 { return float64(s.promotions.Load()) })
+		func() float64 { return float64(s.promotions.Load()) }, shard...)
 	reg.CounterFunc("mcs_meta_standby_promote_aborts_total", "Promotions abandoned because a rival had already taken over.",
-		func() float64 { return float64(s.aborts.Load()) })
+		func() float64 { return float64(s.aborts.Load()) }, shard...)
 	reg.GaugeFunc("mcs_meta_standby_lease_age_seconds", "Seconds since the last successful pull renewed the primary lease.",
-		func() float64 { return s.LeaseAge().Seconds() })
+		func() float64 { return s.LeaseAge().Seconds() }, shard...)
 }

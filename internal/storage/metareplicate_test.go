@@ -51,7 +51,7 @@ func TestMetaStandbyReplication(t *testing.T) {
 	if !IsUnavailable(err) {
 		t.Fatalf("standby write: err = %v, want ErrUnavailable", err)
 	}
-	if err := standby.Commit(urls[1], nil); !IsUnavailable(err) {
+	if err := standby.Commit(0, urls[1], nil); !IsUnavailable(err) {
 		t.Fatalf("standby commit: err = %v, want ErrUnavailable", err)
 	}
 	// Reads are served from replicated state.

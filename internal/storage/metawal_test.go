@@ -35,7 +35,7 @@ func metaUpload(t *testing.T, m *Metadata, seed int64, i int, user uint64) strin
 		t.Fatal(err)
 	}
 	if !resp.Duplicate {
-		if err := m.Commit(resp.URL, SplitSums(data)); err != nil {
+		if err := m.Commit(0, resp.URL, SplitSums(data)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -408,7 +408,7 @@ func TestMetaSIGKILLRecovery(t *testing.T) {
 	for i := 0; i <= acked; i++ {
 		data := testChunk(seed, i)
 		sum := SumBytes(data)
-		f, err := m.Lookup(sum) // committed catalog: dedup must see it
+		f, err := m.Lookup(0, sum) // committed catalog: dedup must see it
 		if err != nil {
 			lost++
 			continue
@@ -445,7 +445,7 @@ func metaCrashChild(dir string, seed int64) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := m.Commit(resp.URL, SplitSums(data)); err != nil {
+		if err := m.Commit(0, resp.URL, SplitSums(data)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -482,7 +482,7 @@ func TestMetaWALConcurrent(t *testing.T) {
 					return
 				}
 				if !resp.Duplicate {
-					if err := m.Commit(resp.URL, SplitSums(data)); err != nil {
+					if err := m.Commit(0, resp.URL, SplitSums(data)); err != nil {
 						errc <- err
 						return
 					}

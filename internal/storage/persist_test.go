@@ -22,7 +22,7 @@ func populateMeta(t *testing.T) (*Metadata, map[string]string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Commit(respA.URL, []Sum{SumBytes([]byte("chunkA"))}); err != nil {
+	if err := m.Commit(0, respA.URL, []Sum{SumBytes([]byte("chunkA"))}); err != nil {
 		t.Fatal(err)
 	}
 	urls["a"] = respA.URL
@@ -182,7 +182,7 @@ func TestSaveFileCrashKeepsPreviousSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.Commit(resp.URL, []Sum{SumBytes([]byte("c"))}); err != nil {
+	if err := m2.Commit(0, resp.URL, []Sum{SumBytes([]byte("c"))}); err != nil {
 		t.Fatal(err)
 	}
 	renameSnapshot = func(oldpath, newpath string) error {

@@ -82,6 +82,7 @@ type StoreCheckResponse struct {
 	Duplicate bool   `json:"duplicate"`          // content already stored; no upload needed
 	FrontEnd  string `json:"frontend,omitempty"` // base URL of the assigned front-end
 	URL       string `json:"url"`                // the file's service URL
+	Shard     int    `json:"shard"`              // metadata shard that owns this user's namespace
 }
 
 // ResolveRequest asks the metadata server for the MD5 behind a file
@@ -97,6 +98,7 @@ type ResolveResponse struct {
 	FileMD5  string `json:"file_md5"`
 	Size     int64  `json:"size"`
 	FrontEnd string `json:"frontend"`
+	Shard    int    `json:"shard"` // metadata shard that resolved (and will commit) this file
 }
 
 // FileOpRequest is the file storage/retrieval operation request sent
@@ -110,6 +112,10 @@ type FileOpRequest struct {
 	Size      int64    `json:"size"`
 	FileMD5   string   `json:"file_md5"`
 	ChunkMD5s []string `json:"chunk_md5s,omitempty"`
+	// Shard pins the metadata shard that reserved (store) or resolved
+	// (retrieve) the file, so the front-end commits the namespace
+	// mutation against the same shard the client's handshake used.
+	Shard int `json:"shard"`
 }
 
 // FileOpResponse acknowledges a file operation. For retrievals it
@@ -150,6 +156,24 @@ type ChunkInfo struct {
 	Size int64  `json:"size"`
 }
 
+// MetaShardInfo describes one metadata shard in the cluster-info
+// summary: its current primary as last discovered ("" when unknown)
+// and the fencing epoch that primary serves at.
+type MetaShardInfo struct {
+	Shard   int    `json:"shard"`
+	Primary string `json:"primary,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+}
+
+// MetaShardSummary is the metadata-plane half of /v1/cluster/info:
+// one probe tells an operator how many shards exist, under which map
+// version, and who currently leads each.
+type MetaShardSummary struct {
+	Shards     int             `json:"shards"`
+	MapVersion uint64          `json:"map_version"`
+	ShardInfo  []MetaShardInfo `json:"shard_info,omitempty"`
+}
+
 // ClusterInfo describes a node's cluster configuration, served by
 // /v1/cluster/info.
 type ClusterInfo struct {
@@ -157,6 +181,9 @@ type ClusterInfo struct {
 	Peers    []string `json:"peers"`    // full membership, including Node
 	Replicas int      `json:"replicas"` // N
 	Quorum   int      `json:"quorum"`   // W
+	// Meta summarizes the metadata shard plane, when this node knows
+	// it (omitted by nodes without metadata wiring).
+	Meta *MetaShardSummary `json:"meta,omitempty"`
 }
 
 // errorResponse is the uniform legacy error body.

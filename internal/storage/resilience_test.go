@@ -78,6 +78,11 @@ func TestRetryTransient5xx(t *testing.T) {
 	var mu sync.Mutex
 	attempts := 0
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			// The one-time shard-map bootstrap probe; not an op attempt.
+			http.NotFound(w, r)
+			return
+		}
 		mu.Lock()
 		attempts++
 		n := attempts
@@ -114,6 +119,10 @@ func TestPermanent4xxFailsFast(t *testing.T) {
 	var mu sync.Mutex
 	attempts := 0
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
 		mu.Lock()
 		attempts++
 		mu.Unlock()
@@ -137,6 +146,10 @@ func TestRetryBudgetExhaustion(t *testing.T) {
 	var mu sync.Mutex
 	attempts := 0
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
 		mu.Lock()
 		attempts++
 		mu.Unlock()

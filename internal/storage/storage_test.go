@@ -150,7 +150,7 @@ func TestMetadataDedupFlow(t *testing.T) {
 	if resp2.Duplicate {
 		t.Error("uncommitted content reported as duplicate")
 	}
-	if err := meta.Commit(resp.URL, []Sum{SumBytes([]byte("photo"))}); err != nil {
+	if err := meta.Commit(0, resp.URL, []Sum{SumBytes([]byte("photo"))}); err != nil {
 		t.Fatal(err)
 	}
 	resp3, err := meta.StoreCheck(StoreCheckRequest{UserID: 3, Name: "c.jpg", Size: 100, FileMD5: req.FileMD5})
@@ -177,7 +177,7 @@ func TestMetadataResolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := meta.Commit(resp.URL, []Sum{sum}); err != nil {
+	if err := meta.Commit(0, resp.URL, []Sum{sum}); err != nil {
 		t.Fatal(err)
 	}
 	res, err := meta.Resolve(ResolveRequest{UserID: 1, URL: resp.URL})
@@ -194,7 +194,7 @@ func TestMetadataResolve(t *testing.T) {
 
 func TestMetadataCommitUnknownURL(t *testing.T) {
 	meta := NewMetadata()
-	if err := meta.Commit("/f/unknown", nil); err != ErrNotFound {
+	if err := meta.Commit(0, "/f/unknown", nil); err != ErrNotFound {
 		t.Errorf("err = %v, want ErrNotFound", err)
 	}
 }

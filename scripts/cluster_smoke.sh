@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Cluster smoke test: boot a replicated cluster with a dedicated
-# durable metadata node and a warm standby, then run two chaos phases
-# against it:
+# durable metadata node and a warm standby, then run three chaos
+# phases against it:
 #
 #   Phase A — chunk-plane outage: mcsload drives the cluster while a
 #   seeded chaos scenario takes storage node 3 through a 200-request
@@ -13,6 +13,13 @@
 #   primary then comes back from its own WAL, is fenced on its first
 #   write (typed "fenced" error), and rejoins as a standby of the
 #   new primary.
+#   Phase C — sharded metadata plane: a fresh cluster runs with TWO
+#   metadata shards (each a primary+standby pair sharing one
+#   -metashards map). Mid-load, shard 1's primary is SIGKILLed and
+#   NOT restarted: shard 1 fails over to its standby while shard 0
+#   never notices. The load finishes with every acked file intact,
+#   mcsrebalance -meta -verify audits the namespace placement clean,
+#   and mcstrace -strict decomposes every acked transfer.
 #
 # The phases are sequential so each gate is deterministic: phase A's
 # verify sweep runs against a cluster whose outage window has closed,
@@ -125,9 +132,11 @@ echo "cluster_smoke: phase A: load with node 3 in a 200-request outage"
     -tracedump "$WORK/client-traces-a.json"
 
 # Invariant 2 on the other nodes: their repair queues must drain too.
+# Series may carry labels (e.g. mcs_meta_standby_lag{shard="0"}), so
+# the name matches as a prefix.
 gauge_zero() {
     for i in $(seq 1 150); do
-        v=$(curl -fsS "http://127.0.0.1:$1/metrics" | awk -v g="$2" '$1 == g {print $2}')
+        v=$(curl -fsS "http://127.0.0.1:$1/metrics" | awk -v g="$2" 'index($1, g) == 1 {print $2}')
         if [ "${v:-1}" = "0" ]; then return 0; fi
         sleep 0.2
     done
@@ -145,12 +154,14 @@ echo "cluster_smoke: under-replication drained to 0 on all nodes"
 # 2s lease expires and it promotes itself; the load — whose clients
 # know both endpoints — finishes against the new primary with every
 # acked file intact.
+# Commit counter on the given ops port; the series carries a shard
+# label, so the selector matches up to the op label only.
 meta_commits() {
-    curl -fsS http://127.0.0.1:8093/metrics 2>/dev/null |
-        grep '^mcs_meta_op_seconds_count{op="commit"}' | awk '{print $2}'
+    curl -fsS "http://127.0.0.1:$1/metrics" 2>/dev/null |
+        grep '^mcs_meta_op_seconds_count{op="commit"' | awk '{print $2}'
 }
 meta_status() { curl -fsS "$1/v1/meta/wal/status" 2>/dev/null; }
-base=$(meta_commits || echo 0)
+base=$(meta_commits 8093 || echo 0)
 echo "cluster_smoke: phase B: load with a mid-load metadata kill, no restart (commit count starts at ${base:-0})"
 # Writes fail hard inside the promotion gap (neither node takes
 # them — that is the consistency side of the fencing design), so the
@@ -162,7 +173,7 @@ LOAD=$!
 
 killed=0
 for i in $(seq 1 300); do
-    c=$(meta_commits || true)
+    c=$(meta_commits 8093 || true)
     if [ "${c:-0}" -ge $((${base:-0} + 5)) ] 2>/dev/null; then
         kill -9 "$MPID"
         echo "cluster_smoke: SIGKILLed metadata primary after $((c - base)) phase-B commits"
@@ -245,5 +256,141 @@ echo "cluster_smoke: old primary rejoined as standby of the new primary (lag 0, 
 # has teeth.)
 "$BIN/mcstrace" -strict \
     -from "http://127.0.0.1:8090,http://127.0.0.1:8091,http://127.0.0.1:8092,$WORK/client-traces-a.json,$WORK/client-traces-b.json"
+
+# --- Phase C: sharded metadata plane -------------------------------
+# A second, independent cluster on fresh ports runs the metadata
+# plane as TWO shards, each a durable primary with a lease-failover
+# standby, all four processes sharing one -metashards map. Storage
+# nodes route each user's metadata to the owning shard's current
+# primary; clients fetch the shard map from any bootstrap endpoint.
+CMETA0=http://127.0.0.1:8170
+CSTBY0=http://127.0.0.1:8171
+CMETA1=http://127.0.0.1:8172
+CSTBY1=http://127.0.0.1:8173
+CSHARDS="$CMETA0,$CSTBY0;$CMETA1,$CSTBY1"
+C1=http://127.0.0.1:8181
+C2=http://127.0.0.1:8182
+C3=http://127.0.0.1:8183
+CPEERS="$C1,$C2,$C3"
+
+"$BIN/mcsserver" -meta :8170 -frontends "" -ops :8193 -log "$WORK/cm0.log" \
+    -metadata-dir "$WORK/cmeta0" -metacheckpoint 2s -metafrontends "$CPEERS" \
+    -metashards "$CSHARDS" -metashard 0 >"$WORK/cm0.out" 2>&1 &
+pids+=($!)
+"$BIN/mcsserver" -meta :8171 -frontends "" -ops :8194 -log "$WORK/cs0.log" \
+    -metadata-dir "$WORK/cstby0" -metastandby "$CMETA0" -metafrontends "$CPEERS" \
+    -metafailover 2s -metapeers "$CMETA0" \
+    -metashards "$CSHARDS" -metashard 0 >"$WORK/cs0.out" 2>&1 &
+pids+=($!)
+"$BIN/mcsserver" -meta :8172 -frontends "" -ops :8195 -log "$WORK/cm1.log" \
+    -metadata-dir "$WORK/cmeta1" -metacheckpoint 2s -metafrontends "$CPEERS" \
+    -metashards "$CSHARDS" -metashard 1 >"$WORK/cm1.out" 2>&1 &
+C1PID=$!
+pids+=($C1PID)
+"$BIN/mcsserver" -meta :8173 -frontends "" -ops :8196 -log "$WORK/cs1.log" \
+    -metadata-dir "$WORK/cstby1" -metastandby "$CMETA1" -metafrontends "$CPEERS" \
+    -metafailover 2s -metapeers "$CMETA1" \
+    -metashards "$CSHARDS" -metashard 1 >"$WORK/cs1.out" 2>&1 &
+pids+=($!)
+
+# -meta "" keeps these nodes pure front-ends: with -metashards set
+# they route every metadata call to the owning shard's primary.
+for p in 8181 8182 8183; do
+    "$BIN/mcsserver" -frontends ":$p" -meta "" -metashards "$CSHARDS" -ops ":$((p + 9))" \
+        -log "$WORK/cn$p.log" -data "$WORK/cd$p" \
+        -peers "$CPEERS" -replicas 3 -quorum 2 >"$WORK/cn$p.out" 2>&1 &
+    pids+=($!)
+done
+ready 8193
+ready 8194
+ready 8195
+ready 8196
+ready 8190
+ready 8191
+ready 8192
+echo "cluster_smoke: phase C: 7 processes up (2 metadata shards, each primary+standby, 3 storage nodes)"
+
+# Mid-load, SIGKILL shard 1's primary (no restart): shard 1 must fail
+# over to its standby while shard 0's primary keeps serving, and no
+# acked file may be lost anywhere. Clients know all four metadata
+# endpoints; the fetched shard map routes each user to the owner.
+"$BIN/mcsload" -meta "$CMETA0,$CSTBY0,$CMETA1,$CSTBY1" -devices 4 -files 12 \
+    -retrieve 0.5 -seed 9 -maxfail 0.6 \
+    -tracedump "$WORK/client-traces-c.json" &
+CLOAD=$!
+
+killed=0
+for i in $(seq 1 300); do
+    c=$(meta_commits 8195 || true)
+    if [ "${c:-0}" -ge 3 ] 2>/dev/null; then
+        kill -9 "$C1PID"
+        echo "cluster_smoke: SIGKILLed shard 1's metadata primary after $c shard-1 commits"
+        killed=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$killed" != 1 ]; then
+    echo "cluster_smoke: shard 1 kill never triggered (no shard-1 commits observed)" >&2
+    exit 1
+fi
+
+promoted=0
+for i in $(seq 1 100); do
+    st=$(meta_status "$CSTBY1" || true)
+    if echo "$st" | grep -q '"standby":true'; then :; elif echo "$st" | grep -q '"epoch":[1-9]'; then
+        promoted=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$promoted" != 1 ]; then
+    echo "cluster_smoke: shard 1 standby never promoted itself (status: $(meta_status "$CSTBY1"))" >&2
+    cat "$WORK/cs1.out" >&2 || true
+    exit 1
+fi
+echo "cluster_smoke: shard 1 standby self-promoted (epoch $(meta_status "$CSTBY1" | grep -o '"epoch":[0-9]*' | cut -d: -f2))"
+
+wait $CLOAD
+echo "cluster_smoke: phase C load survived the shard-1 failover (0 lost, 0 corrupted)"
+
+# Shard 0 must be untouched by its neighbor's failover: still the
+# primary it started as, unfenced, at its original epoch 0.
+st=$(meta_status "$CMETA0")
+if echo "$st" | grep -q '"standby":true\|"fenced":true'; then
+    echo "cluster_smoke: shard 0 primary disturbed by shard 1's failover: $st" >&2
+    exit 1
+fi
+echo "cluster_smoke: shard 0 primary unaffected ($(meta_commits 8193) commits served)"
+
+# Fencing is per shard: the deposed shard-1 primary comes back from
+# its own WAL at the old epoch, and its first write carrying shard
+# 1's new epoch must be rejected with the typed fenced error (user 1
+# hashes to shard 1, so the probe reaches the write guard, not the
+# shard guard).
+CEPOCH=$(meta_status "$CSTBY1" | grep -o '"epoch":[0-9]*' | cut -d: -f2)
+"$BIN/mcsserver" -meta :8172 -frontends "" -ops :8195 -log "$WORK/cm2.log" \
+    -metadata-dir "$WORK/cmeta1" -metacheckpoint 2s -metafrontends "$CPEERS" \
+    -metashards "$CSHARDS" -metashard 1 >"$WORK/cm2.out" 2>&1 &
+pids+=($!)
+ready 8195
+fence=$(curl -sS -X POST "$CMETA1/v1/meta/store-check" \
+    -H "Content-Type: application/json" -H "X-MCS-Meta-Epoch: $CEPOCH" \
+    -d '{"user_id":1,"name":"fence-probe","size":1,"file_md5":"d41d8cd98f00b204e9800998ecf8427e"}')
+if ! echo "$fence" | grep -q '"code":"fenced"'; then
+    echo "cluster_smoke: deposed shard-1 primary accepted a write instead of fencing: $fence" >&2
+    exit 1
+fi
+echo "cluster_smoke: deposed shard-1 primary fenced its first write (code=fenced), shard 0 never involved"
+
+# Namespace placement audit: every user on the shard the map assigns
+# (exit 1 on any misplaced namespace or unreachable shard).
+"$BIN/mcsrebalance" -meta -node "$CMETA0" -verify
+
+# Strict trace gate over the sharded cluster's storage nodes and the
+# loader's dump (shard 1's killed primary took its span ring with it;
+# chunk-transfer joins live on the storage nodes and the loader).
+"$BIN/mcstrace" -strict \
+    -from "http://127.0.0.1:8190,http://127.0.0.1:8191,http://127.0.0.1:8192,$WORK/client-traces-c.json"
 
 echo "cluster_smoke: PASS"
